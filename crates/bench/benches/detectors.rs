@@ -1,0 +1,70 @@
+//! Criterion benchmarks of the raw detectors on synthetic point clouds —
+//! isolating detector cost from the functional pipeline.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mfod::detect::features::matrix_from_rows;
+use mfod::linalg::Matrix;
+use mfod::prelude::*;
+use std::hint::black_box;
+
+fn cloud(n: usize, d: usize) -> Matrix {
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..d)
+                .map(|j| ((i * 31 + j * 17) as f64 * 0.618).sin() * 2.0)
+                .collect()
+        })
+        .collect();
+    matrix_from_rows(&rows).unwrap()
+}
+
+fn bench_iforest(c: &mut Criterion) {
+    let mut g = c.benchmark_group("iforest");
+    for &n in &[100usize, 400, 1600] {
+        let x = cloud(n, 16);
+        g.bench_function(format!("fit_n{n}_d16"), |b| {
+            b.iter(|| IsolationForest::default().fit(black_box(&x)).unwrap())
+        });
+    }
+    let x = cloud(400, 16);
+    let model = IsolationForest::default().fit(&x).unwrap();
+    g.bench_function("score_one_d16", |b| {
+        b.iter(|| model.score_one(black_box(x.row(7))).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_ocsvm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ocsvm");
+    g.sample_size(10);
+    for &n in &[100usize, 200, 400] {
+        let x = cloud(n, 16);
+        g.bench_function(format!("fit_n{n}_d16"), |b| {
+            b.iter_batched(
+                || x.clone(),
+                |x| OcSvm::with_nu(0.1).unwrap().fit(black_box(&x)).unwrap(),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_lof_mahalanobis(c: &mut Criterion) {
+    let x = cloud(400, 16);
+    c.bench_function("lof_fit_score_n400_d16", |b| {
+        b.iter(|| {
+            let m = Lof::default().fit(black_box(&x)).unwrap();
+            m.score_batch(black_box(&x)).unwrap()
+        })
+    });
+    c.bench_function("mahalanobis_fit_score_n400_d16", |b| {
+        b.iter(|| {
+            let m = Mahalanobis::default().fit(black_box(&x)).unwrap();
+            m.score_batch(black_box(&x)).unwrap()
+        })
+    });
+}
+
+criterion_group!(detectors, bench_iforest, bench_ocsvm, bench_lof_mahalanobis);
+criterion_main!(detectors);

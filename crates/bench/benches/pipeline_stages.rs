@@ -1,0 +1,88 @@
+//! Criterion microbenchmarks of every stage of the Fig. 3 pipeline:
+//! smoothing, mapping, detector fitting/scoring and the depth baselines.
+//! These are the per-stage costs behind the end-to-end experiment.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mfod::prelude::*;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn ecg_data() -> LabeledDataSet {
+    EcgSimulator::new(EcgConfig::default())
+        .unwrap()
+        .generate(128, 64, 2020)
+        .unwrap()
+        .augment_with(0, |y| y * y)
+        .unwrap()
+}
+
+fn bench_smoothing(c: &mut Criterion) {
+    let data = ecg_data();
+    let sample = data.samples()[0].clone();
+    let selector = BasisSelector { sizes: vec![16], lambdas: vec![1e-2], ..Default::default() };
+    c.bench_function("smooth_one_bivariate_sample_m85", |b| {
+        b.iter(|| mfod::pipeline::smooth_sample(black_box(&selector), black_box(&sample)).unwrap())
+    });
+    let loocv = BasisSelector::default();
+    c.bench_function("smooth_one_sample_loocv_ladder", |b| {
+        b.iter(|| mfod::pipeline::smooth_sample(black_box(&loocv), black_box(&sample)).unwrap())
+    });
+}
+
+fn bench_mapping(c: &mut Criterion) {
+    let data = ecg_data();
+    let selector = BasisSelector { sizes: vec![16], lambdas: vec![1e-2], ..Default::default() };
+    let datum = mfod::pipeline::smooth_sample(&selector, &data.samples()[0]).unwrap();
+    let grid = Grid::uniform(0.0, 1.0, 85).unwrap();
+    c.bench_function("curvature_map_m85", |b| {
+        b.iter(|| Curvature.map(black_box(&datum), black_box(&grid)).unwrap())
+    });
+    c.bench_function("curvature_eq5_map_m85", |b| {
+        b.iter(|| CurvatureEq5.map(black_box(&datum), black_box(&grid)).unwrap())
+    });
+    c.bench_function("speed_map_m85", |b| {
+        b.iter(|| Speed.map(black_box(&datum), black_box(&grid)).unwrap())
+    });
+}
+
+fn bench_detectors_on_features(c: &mut Criterion) {
+    let data = ecg_data();
+    let pipeline = GeomOutlierPipeline::new(
+        PipelineConfig::default(),
+        Arc::new(Curvature),
+        Arc::new(IsolationForest::default()),
+    );
+    let features = pipeline.features(data.samples()).unwrap();
+    c.bench_function("iforest_fit_n192_d85", |b| {
+        b.iter(|| IsolationForest::default().fit(black_box(&features)).unwrap())
+    });
+    let model = IsolationForest::default().fit(&features).unwrap();
+    c.bench_function("iforest_score_n192", |b| {
+        b.iter(|| model.score_batch(black_box(&features)).unwrap())
+    });
+    c.bench_function("ocsvm_fit_n192_d85", |b| {
+        b.iter_batched(
+            || features.clone(),
+            |f| OcSvm::with_nu(0.1).unwrap().fit(black_box(&f)).unwrap(),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_depth_baselines(c: &mut Criterion) {
+    let data = ecg_data();
+    let gridded = DepthBaseline::gridded(&data).unwrap();
+    c.bench_function("dirout_score_n192_m85_p2", |b| {
+        b.iter(|| DirOut::new().score(black_box(&gridded)).unwrap())
+    });
+    c.bench_function("funta_score_n192_m85_p2", |b| {
+        b.iter(|| Funta::new().score(black_box(&gridded)).unwrap())
+    });
+}
+
+criterion_group!(
+    name = stages;
+    config = Criterion::default().sample_size(10);
+    targets = bench_smoothing, bench_mapping, bench_detectors_on_features, bench_depth_baselines
+);
+criterion_main!(stages);

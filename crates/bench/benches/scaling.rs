@@ -1,0 +1,74 @@
+//! Scaling benchmarks (ablation A6): end-to-end feature-extraction cost of
+//! the geometric pipeline versus the number of samples `n`, the measurement
+//! count `m` and the channel count `p`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mfod::prelude::*;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn pipeline(grid_len: usize) -> GeomOutlierPipeline {
+    GeomOutlierPipeline::new(
+        PipelineConfig {
+            selector: BasisSelector { sizes: vec![12], lambdas: vec![1e-2], ..Default::default() },
+            grid_len,
+            ..Default::default()
+        },
+        Arc::new(Curvature),
+        Arc::new(IsolationForest::default()),
+    )
+}
+
+fn data(n: usize, m: usize, p_extra: usize, seed: u64) -> LabeledDataSet {
+    let base = EcgSimulator::new(EcgConfig { m, ..Default::default() })
+        .unwrap()
+        .generate(n, 0, seed)
+        .unwrap();
+    let mut out = base.augment_with(0, |y| y * y).unwrap();
+    for k in 0..p_extra {
+        out = out.augment_with(0, move |y| y * (k as f64 + 2.0)).unwrap();
+    }
+    out
+}
+
+fn bench_vs_n(c: &mut Criterion) {
+    let mut g = c.benchmark_group("features_vs_n");
+    g.sample_size(10);
+    for &n in &[32usize, 64, 128] {
+        let d = data(n, 60, 0, 1);
+        let p = pipeline(60);
+        g.bench_function(format!("n{n}_m60_p2"), |b| {
+            b.iter(|| p.features(black_box(d.samples())).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_vs_m(c: &mut Criterion) {
+    let mut g = c.benchmark_group("features_vs_m");
+    g.sample_size(10);
+    for &m in &[40usize, 85, 170] {
+        let d = data(48, m, 0, 2);
+        let p = pipeline(m);
+        g.bench_function(format!("n48_m{m}_p2"), |b| {
+            b.iter(|| p.features(black_box(d.samples())).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_vs_p(c: &mut Criterion) {
+    let mut g = c.benchmark_group("features_vs_p");
+    g.sample_size(10);
+    for &extra in &[0usize, 2, 6] {
+        let d = data(48, 60, extra, 3);
+        let p = pipeline(60);
+        g.bench_function(format!("n48_m60_p{}", 2 + extra), |b| {
+            b.iter(|| p.features(black_box(d.samples())).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(scaling, bench_vs_n, bench_vs_m, bench_vs_p);
+criterion_main!(scaling);

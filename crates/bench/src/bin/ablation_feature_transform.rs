@@ -1,0 +1,42 @@
+//! Ablation (supplementary) — feature transform: what the monotone
+//! compression of curvature features buys. Curvature is heavy-tailed near
+//! stationary points of the path; without compression those cusps dominate
+//! the detector's distance geometry.
+//!
+//! ```sh
+//! cargo run --release -p mfod-bench --bin ablation_feature_transform [reps]
+//! ```
+
+use mfod::prelude::*;
+use std::sync::Arc;
+
+fn main() -> Result<(), MfodError> {
+    let reps: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let data = EcgSimulator::new(EcgConfig::default())?
+        .generate(128, 64, 2020)?
+        .augment_with(0, |y| y * y)?;
+
+    let transforms = [
+        (FeatureTransform::None, "none"),
+        (FeatureTransform::Log1p, "log1p"),
+        (FeatureTransform::SignedSqrt, "signed-sqrt"),
+        (FeatureTransform::Winsorize(0.95), "winsorize@0.95"),
+    ];
+    println!("feature-transform ablation, iFor(Curvmap), c = 10%, {reps} splits\n");
+    println!("{:<16} {:>10} {:>8}", "transform", "AUC mean", "std");
+    for (transform, name) in transforms {
+        let pipeline = GeomOutlierPipeline::new(
+            PipelineConfig { transform, ..Default::default() },
+            Arc::new(Curvature),
+            Arc::new(IsolationForest::default()),
+        );
+        let summary = mfod::eval::run_repeated(reps, 38, |seed| {
+            let (train, test) = SplitConfig { train_size: 96, contamination: 0.10 }
+                .split_datasets(&data, seed)?;
+            Ok::<_, MfodError>(vec![(name.to_string(), pipeline.fit_score_auc(&train, &test)?)])
+        })?;
+        let m = &summary.methods[0];
+        println!("{name:<16} {:>10.3} {:>8.3}", m.mean, m.std);
+    }
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Ablation **A5** — outlier-type sensitivity: each method on single-type
+//! synthetic datasets (the Hubert et al. taxonomy) and on single-mode ECG
+//! abnormality classes, mirroring the per-type synthetic study of Dai &
+//! Genton that the paper's footnote 1 cites as justification for the
+//! baselines' expected behavior.
+//!
+//! ```sh
+//! cargo run --release -p mfod-bench --bin ablation_outlier_types
+//! ```
+
+use mfod::datasets::AbnormalMode;
+use mfod::prelude::*;
+use std::sync::Arc;
+
+fn methods_header() {
+    println!(
+        "{:<22} {:>14} {:>14} {:>10} {:>10}",
+        "dataset", "iFor(Curvmap)", "OCSVM(Curvmap)", "Dir.out", "FUNTA"
+    );
+}
+
+fn eval_all(data: &LabeledDataSet, label: &str) -> Result<(), MfodError> {
+    let (train, test) = SplitConfig {
+        train_size: data.len() / 2,
+        contamination: 0.10,
+    }
+    .split_datasets(data, 5)?;
+    let mut row = Vec::new();
+    for detector in [
+        Arc::new(IsolationForest::default()) as Arc<dyn Detector>,
+        Arc::new(OcSvm::with_nu(0.1).map_err(MfodError::Detect)?),
+    ] {
+        let p = GeomOutlierPipeline::new(PipelineConfig::default(), Arc::new(Curvature), detector);
+        row.push(p.fit_score_auc(&train, &test)?);
+    }
+    for scorer in [
+        Arc::new(DirOut::new()) as Arc<dyn FunctionalOutlierScorer>,
+        Arc::new(Funta::new()),
+    ] {
+        row.push(DepthBaseline::new(scorer).auc(&train, &test)?);
+    }
+    println!(
+        "{label:<22} {:>14.3} {:>14.3} {:>10.3} {:>10.3}",
+        row[0], row[1], row[2], row[3]
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), MfodError> {
+    println!("A5a: Hubert-taxonomy single-type datasets (80 inliers + 20 outliers)\n");
+    methods_header();
+    for ty in OutlierType::ALL {
+        let data = TaxonomyConfig::default().generate(ty, 80, 20, 41)?;
+        let data = if ty.dim() == 1 { data.augment_with(0, |y| y * y)? } else { data };
+        eval_all(&data, ty.name())?;
+    }
+
+    println!("\nA5b: single-mode ECG abnormality classes (100 normal + 30 abnormal)\n");
+    methods_header();
+    for mode in AbnormalMode::ALL {
+        let data = EcgSimulator::new(EcgConfig { modes: vec![mode], ..Default::default() })?
+            .generate(100, 30, 43)?
+            .augment_with(0, |y| y * y)?;
+        eval_all(&data, mode.name())?;
+    }
+    println!(
+        "\nReading guide: FUNTA only sees shape rows; Dir.out dominates\n\
+         pointwise-visible rows; the curvature pipeline is the most uniform\n\
+         across types — the paper's mixed-type argument (Sec. 4.3)."
+    );
+    Ok(())
+}

@@ -1,0 +1,1 @@
+//! Experiment binaries and Criterion benches live in this crate.

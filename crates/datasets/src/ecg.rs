@@ -1,0 +1,551 @@
+//! Parametric ECG beat simulator — the stand-in for the PhysioNet/UCR
+//! **ECG200** dataset used in the paper's evaluation (Sec. 4.1).
+//!
+//! A heartbeat is modeled as a sum of Gaussian bumps for the P, Q, R, S and
+//! T waves (a discrete-time simplification of the McSharry et al. dynamical
+//! ECG model). The *normal* class jitters the wave parameters mildly; the
+//! *abnormal* class applies one or two pathological transformations chosen
+//! at random, covering exactly the outlier classes the paper argues the ECG
+//! abnormal class contains (Sec. 4.3):
+//!
+//! | mode | clinical analogue | outlier class (Hubert taxonomy) |
+//! |------|-------------------|--------------------------------|
+//! | T-wave inversion | ischemia | persistent shape |
+//! | ST depression | ischemia | persistent shape/magnitude |
+//! | widened QRS | bundle branch block | persistent shape |
+//! | ectopic spike | premature beat artifact | isolated magnitude |
+//! | beat shift | mistriggered segmentation | isolated shift |
+//!
+//! Because abnormal beats may combine two modes, the abnormal class also
+//! contains the paper's *mixed-type* outliers. Measurements are taken on a
+//! uniform grid of `m = 85` points (ECG200's length) with white noise.
+
+use crate::error::DatasetError;
+use crate::labeled::LabeledDataSet;
+use crate::rngutil::{random_sign, standard_normal, uniform};
+use crate::Result;
+use mfod_fda::RawSample;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One Gaussian wave component `amp · exp(−(t − center)² / (2 width²))`.
+#[derive(Debug, Clone, Copy)]
+struct Wave {
+    amp: f64,
+    center: f64,
+    width: f64,
+}
+
+impl Wave {
+    fn eval(&self, t: f64) -> f64 {
+        let z = (t - self.center) / self.width;
+        self.amp * (-0.5 * z * z).exp()
+    }
+}
+
+/// Template P-QRS-T morphology on the unit interval.
+const TEMPLATE: [Wave; 5] = [
+    Wave { amp: 0.15, center: 0.18, width: 0.035 }, // P
+    Wave { amp: -0.12, center: 0.35, width: 0.012 }, // Q
+    Wave { amp: 1.0, center: 0.40, width: 0.016 },  // R
+    Wave { amp: -0.25, center: 0.45, width: 0.014 }, // S
+    Wave { amp: 0.35, center: 0.65, width: 0.060 }, // T
+];
+
+/// Index of the T wave in [`TEMPLATE`].
+const T_WAVE: usize = 4;
+
+/// Pathological transformations applied to abnormal beats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbnormalMode {
+    /// Inverted T wave (ischemia) — persistent shape outlyingness.
+    TWaveInversion,
+    /// Depressed ST segment — persistent shape/magnitude outlyingness.
+    StDepression,
+    /// Widened QRS complex (bundle branch block) — persistent shape.
+    WideQrs,
+    /// Notched (split) R wave with unchanged amplitude — a *dynamics*
+    /// anomaly nearly invisible pointwise, strong under curvature.
+    NotchedR,
+    /// Narrow ectopic spike — isolated magnitude outlyingness.
+    EctopicSpike,
+    /// Whole-beat shift (mistriggered segmentation) — isolated shift.
+    BeatShift,
+}
+
+impl AbnormalMode {
+    /// All modes, the default abnormal-class mixture.
+    pub const ALL: [AbnormalMode; 6] = [
+        AbnormalMode::TWaveInversion,
+        AbnormalMode::StDepression,
+        AbnormalMode::WideQrs,
+        AbnormalMode::NotchedR,
+        AbnormalMode::EctopicSpike,
+        AbnormalMode::BeatShift,
+    ];
+
+    /// Short identifier for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AbnormalMode::TWaveInversion => "t-inversion",
+            AbnormalMode::StDepression => "st-depression",
+            AbnormalMode::WideQrs => "wide-qrs",
+            AbnormalMode::NotchedR => "notched-r",
+            AbnormalMode::EctopicSpike => "ectopic-spike",
+            AbnormalMode::BeatShift => "beat-shift",
+        }
+    }
+}
+
+/// Simulator configuration.
+#[derive(Debug, Clone)]
+pub struct EcgConfig {
+    /// Measurement points per beat (ECG200 uses 85).
+    pub m: usize,
+    /// White-noise standard deviation added to every measurement.
+    pub noise_std: f64,
+    /// Relative jitter of the wave parameters within the normal class.
+    pub normal_jitter: f64,
+    /// Relative spread of the per-beat global gain (electrode contact /
+    /// amplifier differences; real ECG beats vary noticeably in amplitude).
+    pub gain_spread: f64,
+    /// Amplitude of the slow sinusoidal baseline wander added to every
+    /// beat (respiration artifact).
+    pub baseline_wander: f64,
+    /// Amplitude of the smooth random time-warp applied to every beat
+    /// (`t ↦ t + a·sin(2π(t + φ))`): physiological phase variability from
+    /// imperfect beat segmentation. This is what makes point-wise depth
+    /// hard on real ECG — steep QRS flanks develop a huge vertical spread.
+    pub warp_amp: f64,
+    /// Probability that a beat (of either class) carries a benign
+    /// electrode glitch: 1–3 consecutive samples offset by
+    /// [`EcgConfig::artifact_amp`]-scale noise. Raw-measurement methods
+    /// see these as heavy pointwise tails; the paper's smoothing step
+    /// removes them — its very rationale (Sec. 2: "the functional
+    /// approximation step aims at removing the noise").
+    pub artifact_rate: f64,
+    /// Typical magnitude of the benign glitches.
+    pub artifact_amp: f64,
+    /// Probability that an abnormal beat combines two distinct modes —
+    /// the paper's *mixed type* outliers (Sec. 1.1).
+    pub mixed_rate: f64,
+    /// Pathological modes the abnormal class draws from (default: all).
+    pub modes: Vec<AbnormalMode>,
+}
+
+impl Default for EcgConfig {
+    fn default() -> Self {
+        EcgConfig {
+            m: 85,
+            noise_std: 0.04,
+            normal_jitter: 0.08,
+            gain_spread: 0.05,
+            baseline_wander: 0.03,
+            warp_amp: 0.005,
+            artifact_rate: 0.25,
+            artifact_amp: 0.25,
+            mixed_rate: 0.5,
+            modes: AbnormalMode::ALL.to_vec(),
+        }
+    }
+}
+
+/// The ECG beat simulator.
+#[derive(Debug, Clone)]
+pub struct EcgSimulator {
+    config: EcgConfig,
+}
+
+impl EcgSimulator {
+    /// Simulator with the default (ECG200-like) configuration.
+    pub fn new(config: EcgConfig) -> Result<Self> {
+        if config.m < 8 {
+            return Err(DatasetError::InvalidParameter(format!(
+                "m must be >= 8, got {}",
+                config.m
+            )));
+        }
+        if !(config.noise_std >= 0.0 && config.noise_std.is_finite()) {
+            return Err(DatasetError::InvalidParameter("noise_std must be >= 0".into()));
+        }
+        if !(0.0..0.5).contains(&config.normal_jitter) {
+            return Err(DatasetError::InvalidParameter(
+                "normal_jitter must be in [0, 0.5)".into(),
+            ));
+        }
+        if !(0.0..1.0).contains(&config.gain_spread) {
+            return Err(DatasetError::InvalidParameter(
+                "gain_spread must be in [0, 1)".into(),
+            ));
+        }
+        if !(config.baseline_wander >= 0.0 && config.baseline_wander.is_finite()) {
+            return Err(DatasetError::InvalidParameter(
+                "baseline_wander must be >= 0".into(),
+            ));
+        }
+        if !(0.0..0.1).contains(&config.warp_amp) {
+            return Err(DatasetError::InvalidParameter(
+                "warp_amp must be in [0, 0.1)".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&config.artifact_rate) {
+            return Err(DatasetError::InvalidParameter(
+                "artifact_rate must be in [0, 1]".into(),
+            ));
+        }
+        if !(config.artifact_amp >= 0.0 && config.artifact_amp.is_finite()) {
+            return Err(DatasetError::InvalidParameter(
+                "artifact_amp must be >= 0".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&config.mixed_rate) {
+            return Err(DatasetError::InvalidParameter(
+                "mixed_rate must be in [0, 1]".into(),
+            ));
+        }
+        Ok(EcgSimulator { config })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &EcgConfig {
+        &self.config
+    }
+
+    /// Generates `n_normal` normal and `n_abnormal` abnormal beats
+    /// (univariate samples, labels `true` = abnormal), reproducibly from
+    /// `seed`. The sample order is normals first; shuffle via
+    /// [`crate::split::ContaminatedSplit`] when building experiments.
+    pub fn generate(&self, n_normal: usize, n_abnormal: usize, seed: u64) -> Result<LabeledDataSet> {
+        if n_normal + n_abnormal == 0 {
+            return Err(DatasetError::InvalidParameter(
+                "need at least one sample".into(),
+            ));
+        }
+        if self.config.modes.is_empty() {
+            return Err(DatasetError::InvalidParameter(
+                "modes must contain at least one abnormal mode".into(),
+            ));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let grid = self.grid();
+        let mut samples = Vec::with_capacity(n_normal + n_abnormal);
+        let mut labels = Vec::with_capacity(n_normal + n_abnormal);
+        for _ in 0..n_normal {
+            samples.push(self.beat_sample(&grid, &self.jittered_waves(&mut rng), None, &mut rng)?);
+            labels.push(false);
+        }
+        let pool = &self.config.modes;
+        for _ in 0..n_abnormal {
+            let mut waves = self.jittered_waves(&mut rng);
+            // one or two distinct pathological modes
+            let first = pool[rng.random_range(0..pool.len())];
+            let mut modes = vec![first];
+            if pool.len() > 1 && rng.random::<f64>() < self.config.mixed_rate {
+                loop {
+                    let second = pool[rng.random_range(0..pool.len())];
+                    if second != first {
+                        modes.push(second);
+                        break;
+                    }
+                }
+            }
+            let mut extra: Vec<Wave> = Vec::new();
+            for mode in &modes {
+                self.apply_mode(*mode, &mut waves, &mut extra, &mut rng);
+            }
+            samples.push(self.beat_sample_with_extra(
+                &grid,
+                &waves,
+                &extra,
+                &mut rng,
+            )?);
+            labels.push(true);
+        }
+        LabeledDataSet::new(samples, labels)
+    }
+
+    /// The measurement grid on `[0, 1]`.
+    pub fn grid(&self) -> Vec<f64> {
+        let m = self.config.m;
+        (0..m).map(|j| j as f64 / (m - 1) as f64).collect()
+    }
+
+    fn jittered_waves(&self, rng: &mut StdRng) -> Vec<Wave> {
+        let j = self.config.normal_jitter;
+        TEMPLATE
+            .iter()
+            .map(|w| Wave {
+                amp: w.amp * (1.0 + j * standard_normal(rng)),
+                center: w.center + 0.12 * j * standard_normal(rng),
+                width: w.width * (1.0 + j * standard_normal(rng)).max(0.2),
+            })
+            .collect()
+    }
+
+    fn apply_mode(
+        &self,
+        mode: AbnormalMode,
+        waves: &mut [Wave],
+        extra: &mut Vec<Wave>,
+        rng: &mut StdRng,
+    ) {
+        match mode {
+            AbnormalMode::TWaveInversion => {
+                waves[T_WAVE].amp = uniform(rng, -0.2, 0.08);
+            }
+            AbnormalMode::StDepression => {
+                // broad negative plateau between the S and T waves
+                extra.push(Wave {
+                    amp: -uniform(rng, 0.12, 0.3),
+                    center: uniform(rng, 0.5, 0.58),
+                    width: uniform(rng, 0.06, 0.1),
+                });
+            }
+            AbnormalMode::WideQrs => {
+                for i in 1..=3 {
+                    // Q, R, S
+                    waves[i].width *= uniform(rng, 2.0, 3.0);
+                }
+                waves[2].amp *= 0.75;
+            }
+            AbnormalMode::NotchedR => {
+                // split the R wave into two overlapping sub-peaks whose
+                // envelope keeps roughly the original height
+                let delta = uniform(rng, 0.018, 0.028);
+                let r = waves[2];
+                waves[2] = Wave {
+                    amp: r.amp * uniform(rng, 0.8, 0.9),
+                    center: r.center - delta,
+                    width: r.width * 0.8,
+                };
+                extra.push(Wave {
+                    amp: r.amp * uniform(rng, 0.75, 0.9),
+                    center: r.center + delta,
+                    width: r.width * 0.8,
+                });
+            }
+            AbnormalMode::EctopicSpike => {
+                extra.push(Wave {
+                    amp: random_sign(rng) * uniform(rng, 0.5, 1.0),
+                    center: uniform(rng, 0.1, 0.9),
+                    width: uniform(rng, 0.006, 0.01),
+                });
+            }
+            AbnormalMode::BeatShift => {
+                let shift = random_sign(rng) * uniform(rng, 0.05, 0.09);
+                for w in waves.iter_mut() {
+                    w.center += shift;
+                }
+            }
+        }
+    }
+
+    fn beat_sample(
+        &self,
+        grid: &[f64],
+        waves: &[Wave],
+        extra: Option<&[Wave]>,
+        rng: &mut StdRng,
+    ) -> Result<RawSample> {
+        self.beat_sample_with_extra(grid, waves, extra.unwrap_or(&[]), rng)
+    }
+
+    fn beat_sample_with_extra(
+        &self,
+        grid: &[f64],
+        waves: &[Wave],
+        extra: &[Wave],
+        rng: &mut StdRng,
+    ) -> Result<RawSample> {
+        // per-beat acquisition effects, shared by both classes: a global
+        // gain, a slow sinusoidal baseline wander and a smooth time-warp
+        let gain = (1.0 + self.config.gain_spread * standard_normal(rng)).max(0.3);
+        let wander_amp = self.config.baseline_wander * standard_normal(rng);
+        let wander_phase = uniform(rng, 0.0, 1.0);
+        let warp_amp = self.config.warp_amp * standard_normal(rng);
+        let warp_phase = uniform(rng, 0.0, 1.0);
+        let mut y: Vec<f64> = grid
+            .iter()
+            .map(|&t| {
+                let warped =
+                    t + warp_amp * (std::f64::consts::TAU * (t + warp_phase)).sin();
+                let clean: f64 =
+                    waves.iter().chain(extra).map(|w| w.eval(warped)).sum();
+                let wander =
+                    wander_amp * (std::f64::consts::PI * (t + wander_phase)).sin();
+                gain * clean + wander + self.config.noise_std * standard_normal(rng)
+            })
+            .collect();
+        // benign electrode glitch: a short burst of offset samples
+        if rng.random::<f64>() < self.config.artifact_rate {
+            let len = rng.random_range(1..=3usize).min(y.len());
+            let start = rng.random_range(0..y.len() - len + 1);
+            let offset = random_sign(rng) * self.config.artifact_amp * uniform(rng, 0.7, 1.3);
+            for v in &mut y[start..start + len] {
+                *v += offset;
+            }
+        }
+        Ok(RawSample::new(grid.to_vec(), vec![y])?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim() -> EcgSimulator {
+        EcgSimulator::new(EcgConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(EcgSimulator::new(EcgConfig { m: 4, ..Default::default() }).is_err());
+        assert!(EcgSimulator::new(EcgConfig { noise_std: -0.1, ..Default::default() }).is_err());
+        assert!(
+            EcgSimulator::new(EcgConfig { normal_jitter: 0.7, ..Default::default() }).is_err()
+        );
+        assert_eq!(sim().config().m, 85);
+    }
+
+    #[test]
+    fn shapes_and_labels() {
+        let d = sim().generate(20, 10, 42).unwrap();
+        assert_eq!(d.len(), 30);
+        assert_eq!(d.n_inliers(), 20);
+        assert_eq!(d.n_outliers(), 10);
+        for s in d.samples() {
+            assert_eq!(s.len(), 85);
+            assert_eq!(s.dim(), 1);
+            assert_eq!(s.domain(), (0.0, 1.0));
+        }
+        assert!(sim().generate(0, 0, 1).is_err());
+    }
+
+    #[test]
+    fn reproducible_and_seed_sensitive() {
+        let a = sim().generate(5, 5, 7).unwrap();
+        let b = sim().generate(5, 5, 7).unwrap();
+        let c = sim().generate(5, 5, 8).unwrap();
+        assert_eq!(a.samples()[0].channels, b.samples()[0].channels);
+        assert_ne!(a.samples()[0].channels, c.samples()[0].channels);
+    }
+
+    #[test]
+    fn normal_beats_have_r_peak() {
+        let d = sim().generate(10, 0, 3).unwrap();
+        let grid = sim().grid();
+        for s in d.samples() {
+            // R peak near t = 0.4 dominates
+            let (peak_idx, peak) = s.channels[0]
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, &v)| (i, v))
+                .unwrap();
+            assert!(peak > 0.5, "R amplitude {peak}");
+            let t_peak = grid[peak_idx];
+            assert!((t_peak - 0.4).abs() < 0.08, "R position {t_peak}");
+        }
+    }
+
+    #[test]
+    fn abnormal_beats_differ_from_normal_mean() {
+        let d = sim().generate(40, 20, 11).unwrap();
+        let m = 85;
+        // pointwise normal mean
+        let mut mean = vec![0.0; m];
+        for i in d.inlier_indices() {
+            for (j, v) in d.samples()[i].channels[0].iter().enumerate() {
+                mean[j] += v;
+            }
+        }
+        mean.iter_mut().for_each(|v| *v /= 40.0);
+        let rmse = |y: &[f64]| {
+            (y.iter().zip(&mean).map(|(a, b)| (a - b) * (a - b)).sum::<f64>() / m as f64).sqrt()
+        };
+        let mean_inlier_rmse: f64 =
+            d.inlier_indices().iter().map(|&i| rmse(&d.samples()[i].channels[0])).sum::<f64>()
+                / 40.0;
+        let mean_outlier_rmse: f64 =
+            d.outlier_indices().iter().map(|&i| rmse(&d.samples()[i].channels[0])).sum::<f64>()
+                / 20.0;
+        assert!(
+            mean_outlier_rmse > mean_inlier_rmse * 1.5,
+            "outliers {mean_outlier_rmse} vs inliers {mean_inlier_rmse}"
+        );
+    }
+
+    /// EcgConfig with every stochastic acquisition knob disabled.
+    fn silent_config() -> EcgConfig {
+        EcgConfig {
+            noise_std: 0.0,
+            normal_jitter: 0.0,
+            gain_spread: 0.0,
+            baseline_wander: 0.0,
+            warp_amp: 0.0,
+            artifact_rate: 0.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn noise_free_configuration() {
+        let s = EcgSimulator::new(silent_config()).unwrap();
+        let d = s.generate(2, 0, 5).unwrap();
+        // with every stochastic knob at zero, all normals are identical
+        assert_eq!(d.samples()[0].channels, d.samples()[1].channels);
+    }
+
+    #[test]
+    fn acquisition_knobs_validated() {
+        let bad = |f: fn(&mut EcgConfig)| {
+            let mut c = EcgConfig::default();
+            f(&mut c);
+            EcgSimulator::new(c).is_err()
+        };
+        assert!(bad(|c| c.gain_spread = 1.5));
+        assert!(bad(|c| c.baseline_wander = -0.1));
+        assert!(bad(|c| c.warp_amp = 0.5));
+        assert!(bad(|c| c.artifact_rate = 1.5));
+        assert!(bad(|c| c.artifact_amp = f64::NAN));
+        assert!(bad(|c| c.mixed_rate = 2.0));
+        // empty modes only fails at generate() time
+        let c = EcgConfig { modes: vec![], ..Default::default() };
+        assert!(EcgSimulator::new(c).unwrap().generate(1, 1, 0).is_err());
+    }
+
+    #[test]
+    fn single_mode_restriction_respected() {
+        // with only the ectopic-spike mode, every abnormal beat contains a
+        // narrow large deviation from the clean normal beat
+        let mut cfg = silent_config();
+        cfg.mixed_rate = 0.0;
+        cfg.modes = vec![AbnormalMode::EctopicSpike];
+        let s = EcgSimulator::new(cfg).unwrap();
+        let d = s.generate(1, 5, 9).unwrap();
+        let normal = &d.samples()[0].channels[0];
+        for i in d.outlier_indices() {
+            let abn = &d.samples()[i].channels[0];
+            let max_dev = abn
+                .iter()
+                .zip(normal)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            assert!(max_dev > 0.3, "spike missing in abnormal beat {i}: {max_dev}");
+        }
+    }
+
+    #[test]
+    fn mode_names_unique() {
+        let names: std::collections::HashSet<_> =
+            AbnormalMode::ALL.iter().map(|m| m.name()).collect();
+        assert_eq!(names.len(), AbnormalMode::ALL.len());
+    }
+
+    #[test]
+    fn augments_to_bivariate_like_paper() {
+        let d = sim().generate(5, 5, 2).unwrap();
+        let mfd = d.augment_with(0, |y| y * y).unwrap();
+        assert!(mfd.samples().iter().all(|s| s.dim() == 2));
+    }
+}

@@ -1,0 +1,106 @@
+//! Error type for dataset generation and IO.
+
+use mfod_fda::FdaError;
+use std::fmt;
+
+/// Errors produced while generating, splitting or loading datasets.
+#[derive(Debug)]
+pub enum DatasetError {
+    /// A generator or splitter parameter is out of range.
+    InvalidParameter(String),
+    /// Labels and samples disagree in length.
+    LabelMismatch {
+        /// Number of samples.
+        samples: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+    /// Not enough samples of one class to honor a requested split.
+    NotEnoughSamples {
+        /// What was missing (e.g. `"outliers"`).
+        what: &'static str,
+        /// Available count.
+        have: usize,
+        /// Requested count.
+        need: usize,
+    },
+    /// A file could not be read or written.
+    Io(std::io::Error),
+    /// A data file was malformed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Problem description.
+        message: String,
+    },
+    /// An underlying functional-data operation failed.
+    Fda(FdaError),
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            DatasetError::LabelMismatch { samples, labels } => {
+                write!(f, "label mismatch: {samples} samples vs {labels} labels")
+            }
+            DatasetError::NotEnoughSamples { what, have, need } => {
+                write!(f, "not enough {what}: have {have}, need {need}")
+            }
+            DatasetError::Io(e) => write!(f, "io error: {e}"),
+            DatasetError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            DatasetError::Fda(e) => write!(f, "functional data error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DatasetError::Io(e) => Some(e),
+            DatasetError::Fda(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DatasetError {
+    fn from(e: std::io::Error) -> Self {
+        DatasetError::Io(e)
+    }
+}
+
+impl From<FdaError> for DatasetError {
+    fn from(e: FdaError) -> Self {
+        DatasetError::Fda(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(DatasetError::InvalidParameter("c".into()).to_string().contains('c'));
+        assert!(DatasetError::LabelMismatch { samples: 3, labels: 2 }
+            .to_string()
+            .contains('3'));
+        assert!(DatasetError::NotEnoughSamples { what: "outliers", have: 1, need: 5 }
+            .to_string()
+            .contains("outliers"));
+        assert!(DatasetError::Parse { line: 7, message: "bad".into() }
+            .to_string()
+            .contains('7'));
+        let io: DatasetError = std::io::Error::other("x").into();
+        assert!(io.to_string().contains("io error"));
+        let fda: DatasetError = FdaError::NonFinite.into();
+        assert!(fda.to_string().contains("functional"));
+        use std::error::Error;
+        assert!(io.source().is_some());
+        assert!(fda.source().is_some());
+        assert!(DatasetError::InvalidParameter("x".into()).source().is_none());
+    }
+}

@@ -1,0 +1,58 @@
+//! Small RNG helpers shared by the generators.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Standard normal variate via Box–Muller.
+pub(crate) fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Uniform variate in `[lo, hi)`.
+pub(crate) fn uniform(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
+    lo + rng.random::<f64>() * (hi - lo)
+}
+
+/// Random sign (±1) with equal probability.
+pub(crate) fn random_sign(rng: &mut StdRng) -> f64 {
+    if rng.random::<bool>() {
+        1.0
+    } else {
+        -1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_roughly_standard() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v = uniform(&mut rng, -2.0, 3.0);
+            assert!((-2.0..3.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn signs_are_balanced() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pos = (0..1000).filter(|_| random_sign(&mut rng) > 0.0).count();
+        assert!((300..700).contains(&pos), "{pos}");
+    }
+}

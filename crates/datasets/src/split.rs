@@ -1,0 +1,184 @@
+//! Contamination-controlled train/test splitting (Sec. 4.1 of the paper):
+//! the training set is built with a prescribed outlier ratio
+//! `c ∈ {5, 10, 15, 20, 25}%` and the remaining samples form the test set.
+
+use crate::error::DatasetError;
+use crate::labeled::LabeledDataSet;
+use crate::Result;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Split configuration.
+#[derive(Debug, Clone)]
+pub struct SplitConfig {
+    /// Training-set size.
+    pub train_size: usize,
+    /// Training contamination level `c ∈ [0, 1)`: the fraction of training
+    /// samples that are outliers.
+    pub contamination: f64,
+}
+
+/// A materialized train/test split.
+#[derive(Debug, Clone)]
+pub struct ContaminatedSplit {
+    /// Indices (into the source dataset) of the training samples.
+    pub train_indices: Vec<usize>,
+    /// Indices of the test samples (everything not used for training).
+    pub test_indices: Vec<usize>,
+}
+
+impl SplitConfig {
+    /// Draws a random split honoring the contamination level exactly
+    /// (`round(train_size · c)` outliers in training).
+    pub fn split(&self, data: &LabeledDataSet, seed: u64) -> Result<ContaminatedSplit> {
+        if !(0.0..1.0).contains(&self.contamination) {
+            return Err(DatasetError::InvalidParameter(format!(
+                "contamination must be in [0, 1), got {}",
+                self.contamination
+            )));
+        }
+        if self.train_size == 0 || self.train_size >= data.len() {
+            return Err(DatasetError::InvalidParameter(format!(
+                "train_size must be in [1, n); got {} for n = {}",
+                self.train_size,
+                data.len()
+            )));
+        }
+        let n_out_train = (self.train_size as f64 * self.contamination).round() as usize;
+        let n_in_train = self.train_size - n_out_train;
+        let mut outliers = data.outlier_indices();
+        let mut inliers = data.inlier_indices();
+        if outliers.len() < n_out_train {
+            return Err(DatasetError::NotEnoughSamples {
+                what: "outliers",
+                have: outliers.len(),
+                need: n_out_train,
+            });
+        }
+        if inliers.len() < n_in_train {
+            return Err(DatasetError::NotEnoughSamples {
+                what: "inliers",
+                have: inliers.len(),
+                need: n_in_train,
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        shuffle(&mut outliers, &mut rng);
+        shuffle(&mut inliers, &mut rng);
+        let mut train_indices: Vec<usize> = Vec::with_capacity(self.train_size);
+        train_indices.extend_from_slice(&inliers[..n_in_train]);
+        train_indices.extend_from_slice(&outliers[..n_out_train]);
+        shuffle(&mut train_indices, &mut rng);
+        let mut test_indices: Vec<usize> = Vec::new();
+        test_indices.extend_from_slice(&inliers[n_in_train..]);
+        test_indices.extend_from_slice(&outliers[n_out_train..]);
+        shuffle(&mut test_indices, &mut rng);
+        Ok(ContaminatedSplit { train_indices, test_indices })
+    }
+
+    /// Materializes `(train, test)` datasets for a split drawn with `seed`.
+    pub fn split_datasets(
+        &self,
+        data: &LabeledDataSet,
+        seed: u64,
+    ) -> Result<(LabeledDataSet, LabeledDataSet)> {
+        let s = self.split(data, seed)?;
+        Ok((data.subset(&s.train_indices)?, data.subset(&s.test_indices)?))
+    }
+}
+
+/// Fisher–Yates shuffle using the crate's seeded RNG (avoids pulling in the
+/// `rand` `SliceRandom` trait for one call site).
+fn shuffle<T>(v: &mut [T], rng: &mut StdRng) {
+    for i in (1..v.len()).rev() {
+        let j = rng.random_range(0..=i);
+        v.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfod_fda::RawSample;
+
+    fn dataset(n_in: usize, n_out: usize) -> LabeledDataSet {
+        let mk = |v: f64| {
+            RawSample::new(vec![0.0, 1.0], vec![vec![v, v]]).unwrap()
+        };
+        let mut samples = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n_in {
+            samples.push(mk(i as f64));
+            labels.push(false);
+        }
+        for i in 0..n_out {
+            samples.push(mk(1000.0 + i as f64));
+            labels.push(true);
+        }
+        LabeledDataSet::new(samples, labels).unwrap()
+    }
+
+    #[test]
+    fn exact_contamination() {
+        let data = dataset(80, 40);
+        for &c in &[0.05, 0.10, 0.15, 0.20, 0.25] {
+            let cfg = SplitConfig { train_size: 60, contamination: c };
+            let (train, test) = cfg.split_datasets(&data, 42).unwrap();
+            assert_eq!(train.len(), 60);
+            assert_eq!(test.len(), 60);
+            let expect = (60.0 * c).round() as usize;
+            assert_eq!(train.n_outliers(), expect, "c={c}");
+            assert_eq!(test.n_outliers(), 40 - expect);
+        }
+    }
+
+    #[test]
+    fn partition_is_exact() {
+        let data = dataset(30, 10);
+        let cfg = SplitConfig { train_size: 20, contamination: 0.2 };
+        let s = cfg.split(&data, 7).unwrap();
+        let mut all: Vec<usize> = s.train_indices.iter().chain(&s.test_indices).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let data = dataset(50, 20);
+        let cfg = SplitConfig { train_size: 30, contamination: 0.1 };
+        let a = cfg.split(&data, 1).unwrap();
+        let b = cfg.split(&data, 2).unwrap();
+        assert_ne!(a.train_indices, b.train_indices);
+        let c = cfg.split(&data, 1).unwrap();
+        assert_eq!(a.train_indices, c.train_indices);
+    }
+
+    #[test]
+    fn error_paths() {
+        let data = dataset(10, 2);
+        assert!(SplitConfig { train_size: 0, contamination: 0.1 }.split(&data, 0).is_err());
+        assert!(SplitConfig { train_size: 12, contamination: 0.1 }.split(&data, 0).is_err());
+        assert!(SplitConfig { train_size: 5, contamination: 1.0 }.split(&data, 0).is_err());
+        assert!(SplitConfig { train_size: 5, contamination: -0.1 }.split(&data, 0).is_err());
+        // requesting more outliers than available
+        assert!(matches!(
+            SplitConfig { train_size: 10, contamination: 0.5 }.split(&data, 0),
+            Err(DatasetError::NotEnoughSamples { what: "outliers", .. })
+        ));
+        // requesting more inliers than available
+        let data = dataset(3, 20);
+        assert!(matches!(
+            SplitConfig { train_size: 10, contamination: 0.1 }.split(&data, 0),
+            Err(DatasetError::NotEnoughSamples { what: "inliers", .. })
+        ));
+    }
+
+    #[test]
+    fn zero_contamination_allowed() {
+        let data = dataset(20, 5);
+        let cfg = SplitConfig { train_size: 10, contamination: 0.0 };
+        let (train, test) = cfg.split_datasets(&data, 3).unwrap();
+        assert_eq!(train.n_outliers(), 0);
+        assert_eq!(test.n_outliers(), 5);
+    }
+}

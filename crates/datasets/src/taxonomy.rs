@@ -1,0 +1,321 @@
+//! Synthetic generators for the functional-outlier taxonomy of Hubert,
+//! Rousseeuw & Segaert (2015) that the paper builds on (Sec. 1.1) — one
+//! generator per outlier class, mirroring the single-type synthetic studies
+//! of Dai & Genton referenced in the paper's footnote 1.
+//!
+//! Inliers follow the smooth base model
+//! `x(t) = a·sin(2πt) + b·cos(2πt) + c` with mildly jittered `(a, b, c)`;
+//! each [`OutlierType`] perturbs it in its own characteristic way. The
+//! `CorrelationMixed` type generates *bivariate* samples whose channels are
+//! linked by `x₂ = x₁²` for inliers and a broken relationship for outliers —
+//! the "abnormal correlation between the parameters" case that motivates the
+//! curvature mapping (Sec. 1.2, issue (3)).
+
+use crate::error::DatasetError;
+use crate::labeled::LabeledDataSet;
+use crate::rngutil::{random_sign, standard_normal, uniform};
+use crate::Result;
+use mfod_fda::RawSample;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The outlier classes of the Hubert et al. taxonomy (plus the mixed-type
+/// correlation case).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OutlierType {
+    /// A narrow vertical peak at few `t` (isolated magnitude outlyingness).
+    MagnitudeIsolated,
+    /// A horizontal translation of the curve (isolated shift outlyingness).
+    ShiftIsolated,
+    /// A different functional form over all of `T` (persistent shape).
+    ShapePersistent,
+    /// Same shape, persistently scaled amplitude (persistent amplitude).
+    AmplitudePersistent,
+    /// Bivariate: inliers satisfy `x₂ = x₁²`; outliers break the relation
+    /// while each channel stays marginally unremarkable (mixed type).
+    CorrelationMixed,
+}
+
+impl OutlierType {
+    /// All taxonomy members, for sweeps.
+    pub const ALL: [OutlierType; 5] = [
+        OutlierType::MagnitudeIsolated,
+        OutlierType::ShiftIsolated,
+        OutlierType::ShapePersistent,
+        OutlierType::AmplitudePersistent,
+        OutlierType::CorrelationMixed,
+    ];
+
+    /// Short identifier for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OutlierType::MagnitudeIsolated => "magnitude-isolated",
+            OutlierType::ShiftIsolated => "shift-isolated",
+            OutlierType::ShapePersistent => "shape-persistent",
+            OutlierType::AmplitudePersistent => "amplitude-persistent",
+            OutlierType::CorrelationMixed => "correlation-mixed",
+        }
+    }
+
+    /// Channel count of the generated samples.
+    pub fn dim(&self) -> usize {
+        match self {
+            OutlierType::CorrelationMixed => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct TaxonomyConfig {
+    /// Measurement points per sample.
+    pub m: usize,
+    /// White-noise standard deviation.
+    pub noise_std: f64,
+}
+
+impl Default for TaxonomyConfig {
+    fn default() -> Self {
+        TaxonomyConfig { m: 85, noise_std: 0.05 }
+    }
+}
+
+impl TaxonomyConfig {
+    /// Generates `n_inliers + n_outliers` samples of the given type
+    /// (inliers first; labels `true` = outlier).
+    pub fn generate(
+        &self,
+        outlier_type: OutlierType,
+        n_inliers: usize,
+        n_outliers: usize,
+        seed: u64,
+    ) -> Result<LabeledDataSet> {
+        if self.m < 8 {
+            return Err(DatasetError::InvalidParameter(format!("m must be >= 8, got {}", self.m)));
+        }
+        if n_inliers + n_outliers == 0 {
+            return Err(DatasetError::InvalidParameter("need at least one sample".into()));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let grid: Vec<f64> = (0..self.m).map(|j| j as f64 / (self.m - 1) as f64).collect();
+        let mut samples = Vec::with_capacity(n_inliers + n_outliers);
+        let mut labels = Vec::with_capacity(n_inliers + n_outliers);
+        for _ in 0..n_inliers {
+            samples.push(self.inlier(outlier_type, &grid, &mut rng)?);
+            labels.push(false);
+        }
+        for _ in 0..n_outliers {
+            samples.push(self.outlier(outlier_type, &grid, &mut rng)?);
+            labels.push(true);
+        }
+        LabeledDataSet::new(samples, labels)
+    }
+
+    /// Base inlier coefficients `(a, b, c)`.
+    fn base_coefs(rng: &mut StdRng) -> (f64, f64, f64) {
+        (
+            1.0 + 0.1 * standard_normal(rng),
+            0.5 + 0.1 * standard_normal(rng),
+            0.1 * standard_normal(rng),
+        )
+    }
+
+    fn base_curve(grid: &[f64], a: f64, b: f64, c: f64, phase: f64) -> Vec<f64> {
+        grid.iter()
+            .map(|&t| {
+                let w = std::f64::consts::TAU * (t + phase);
+                a * w.sin() + b * w.cos() + c
+            })
+            .collect()
+    }
+
+    fn noisy(&self, mut y: Vec<f64>, rng: &mut StdRng) -> Vec<f64> {
+        for v in y.iter_mut() {
+            *v += self.noise_std * standard_normal(rng);
+        }
+        y
+    }
+
+    fn inlier(&self, ty: OutlierType, grid: &[f64], rng: &mut StdRng) -> Result<RawSample> {
+        let (a, b, c) = Self::base_coefs(rng);
+        match ty {
+            OutlierType::CorrelationMixed => {
+                let x1 = Self::base_curve(grid, a, b, c, 0.0);
+                let x2: Vec<f64> = x1.iter().map(|&v| v * v).collect();
+                Ok(RawSample::new(
+                    grid.to_vec(),
+                    vec![self.noisy(x1, rng), self.noisy(x2, rng)],
+                )?)
+            }
+            _ => {
+                let y = Self::base_curve(grid, a, b, c, 0.0);
+                Ok(RawSample::new(grid.to_vec(), vec![self.noisy(y, rng)])?)
+            }
+        }
+    }
+
+    fn outlier(&self, ty: OutlierType, grid: &[f64], rng: &mut StdRng) -> Result<RawSample> {
+        let (a, b, c) = Self::base_coefs(rng);
+        match ty {
+            OutlierType::MagnitudeIsolated => {
+                let mut y = Self::base_curve(grid, a, b, c, 0.0);
+                // narrow peak over ~3% of the domain
+                let center = uniform(rng, 0.15, 0.85);
+                let amp = random_sign(rng) * uniform(rng, 2.0, 4.0);
+                for (j, &t) in grid.iter().enumerate() {
+                    let z = (t - center) / 0.012;
+                    y[j] += amp * (-0.5 * z * z).exp();
+                }
+                Ok(RawSample::new(grid.to_vec(), vec![self.noisy(y, rng)])?)
+            }
+            OutlierType::ShiftIsolated => {
+                // horizontal translation of the whole curve
+                let shift = random_sign(rng) * uniform(rng, 0.08, 0.15);
+                let y = Self::base_curve(grid, a, b, c, shift);
+                Ok(RawSample::new(grid.to_vec(), vec![self.noisy(y, rng)])?)
+            }
+            OutlierType::ShapePersistent => {
+                // different functional form, same range: doubled frequency
+                let y: Vec<f64> = grid
+                    .iter()
+                    .map(|&t| {
+                        let w = 2.0 * std::f64::consts::TAU * t;
+                        a * w.sin() + b * w.cos() + c
+                    })
+                    .collect();
+                Ok(RawSample::new(grid.to_vec(), vec![self.noisy(y, rng)])?)
+            }
+            OutlierType::AmplitudePersistent => {
+                let scale = uniform(rng, 1.6, 2.2);
+                let y: Vec<f64> = Self::base_curve(grid, a, b, c, 0.0)
+                    .into_iter()
+                    .map(|v| v * scale)
+                    .collect();
+                Ok(RawSample::new(grid.to_vec(), vec![self.noisy(y, rng)])?)
+            }
+            OutlierType::CorrelationMixed => {
+                // channels individually plausible, relationship broken:
+                // x₂ tracks the square of a *different* curve
+                let x1 = Self::base_curve(grid, a, b, c, 0.0);
+                let (a2, b2, c2) = Self::base_coefs(rng);
+                let other = Self::base_curve(grid, a2, b2, c2, 0.25);
+                let x2: Vec<f64> = other.iter().map(|&v| v * v).collect();
+                Ok(RawSample::new(
+                    grid.to_vec(),
+                    vec![self.noisy(x1, rng), self.noisy(x2, rng)],
+                )?)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_types_generate_expected_shapes() {
+        for ty in OutlierType::ALL {
+            let d = TaxonomyConfig::default().generate(ty, 10, 5, 42).unwrap();
+            assert_eq!(d.len(), 15);
+            assert_eq!(d.n_outliers(), 5);
+            for s in d.samples() {
+                assert_eq!(s.dim(), ty.dim(), "{}", ty.name());
+                assert_eq!(s.len(), 85);
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: std::collections::HashSet<_> =
+            OutlierType::ALL.iter().map(|t| t.name()).collect();
+        assert_eq!(names.len(), OutlierType::ALL.len());
+    }
+
+    #[test]
+    fn magnitude_isolated_has_narrow_peak() {
+        let cfg = TaxonomyConfig { noise_std: 0.0, ..Default::default() };
+        let d = cfg.generate(OutlierType::MagnitudeIsolated, 1, 1, 3).unwrap();
+        let inlier = &d.samples()[0].channels[0];
+        let outlier = &d.samples()[1].channels[0];
+        // the outlier deviates hugely at few points only
+        let devs: Vec<f64> = inlier
+            .iter()
+            .zip(outlier)
+            .map(|(a, b)| (a - b).abs())
+            .collect();
+        let big = devs.iter().filter(|&&v| v > 1.0).count();
+        assert!((1..10).contains(&big), "{big} large deviations");
+    }
+
+    #[test]
+    fn amplitude_persistent_scales_range() {
+        let cfg = TaxonomyConfig { noise_std: 0.0, ..Default::default() };
+        let d = cfg.generate(OutlierType::AmplitudePersistent, 5, 5, 9).unwrap();
+        let range = |y: &[f64]| {
+            y.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v))
+                - y.iter().fold(f64::INFINITY, |m, &v| m.min(v))
+        };
+        let mean_in: f64 = d
+            .inlier_indices()
+            .iter()
+            .map(|&i| range(&d.samples()[i].channels[0]))
+            .sum::<f64>()
+            / 5.0;
+        let mean_out: f64 = d
+            .outlier_indices()
+            .iter()
+            .map(|&i| range(&d.samples()[i].channels[0]))
+            .sum::<f64>()
+            / 5.0;
+        assert!(mean_out > mean_in * 1.4, "{mean_out} vs {mean_in}");
+    }
+
+    #[test]
+    fn correlation_mixed_marginals_similar_relationship_broken() {
+        let cfg = TaxonomyConfig { noise_std: 0.0, ..Default::default() };
+        let d = cfg.generate(OutlierType::CorrelationMixed, 1, 1, 5).unwrap();
+        let inl = &d.samples()[0];
+        let out = &d.samples()[1];
+        // inlier: x2 == x1² exactly (no noise)
+        for (x1, x2) in inl.channels[0].iter().zip(&inl.channels[1]) {
+            assert!((x1 * x1 - x2).abs() < 1e-9);
+        }
+        // outlier: relationship broken somewhere
+        let broken = out.channels[0]
+            .iter()
+            .zip(&out.channels[1])
+            .any(|(x1, x2)| (x1 * x1 - x2).abs() > 0.5);
+        assert!(broken);
+    }
+
+    #[test]
+    fn shift_outlier_translates_extremum() {
+        let cfg = TaxonomyConfig { noise_std: 0.0, ..Default::default() };
+        let d = cfg.generate(OutlierType::ShiftIsolated, 1, 1, 12).unwrap();
+        let argmax = |y: &[f64]| {
+            y.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0
+        };
+        let shift =
+            argmax(&d.samples()[1].channels[0]) as isize - argmax(&d.samples()[0].channels[0]) as isize;
+        assert!(shift.unsigned_abs() >= 3, "peak shift {shift}");
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let cfg = TaxonomyConfig { m: 4, ..Default::default() };
+        assert!(cfg.generate(OutlierType::ShapePersistent, 5, 1, 0).is_err());
+        let cfg = TaxonomyConfig::default();
+        assert!(cfg.generate(OutlierType::ShapePersistent, 0, 0, 0).is_err());
+    }
+
+    #[test]
+    fn reproducibility() {
+        let cfg = TaxonomyConfig::default();
+        let a = cfg.generate(OutlierType::ShapePersistent, 3, 3, 77).unwrap();
+        let b = cfg.generate(OutlierType::ShapePersistent, 3, 3, 77).unwrap();
+        assert_eq!(a.samples()[4].channels, b.samples()[4].channels);
+    }
+}

@@ -1,0 +1,128 @@
+//! Loader for UCR-archive-style time-series files, so the paper's actual
+//! **ECG200** data can be dropped in when available.
+//!
+//! The UCR format is one sample per line: the class label followed by the
+//! `m` measurements, separated by commas, tabs or whitespace. ECG200 labels
+//! are `1` (normal) and `-1` (abnormal); pass `outlier_label = "-1"`.
+
+use crate::error::DatasetError;
+use crate::labeled::LabeledDataSet;
+use crate::Result;
+use mfod_fda::RawSample;
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+
+/// Loads a UCR-style file, mapping lines whose label equals `outlier_label`
+/// to outliers. Measurements are placed on the uniform grid `[0, 1]`.
+pub fn load_ucr_file(path: impl AsRef<Path>, outlier_label: &str) -> Result<LabeledDataSet> {
+    let file = std::fs::File::open(path)?;
+    parse_ucr(BufReader::new(file), outlier_label)
+}
+
+/// Parses UCR content from any reader (exposed for testing).
+pub fn parse_ucr(reader: impl BufRead, outlier_label: &str) -> Result<LabeledDataSet> {
+    let mut samples = Vec::new();
+    let mut labels = Vec::new();
+    let mut expected_m: Option<usize> = None;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed
+            .split(|c: char| c == ',' || c == '\t' || c.is_whitespace())
+            .filter(|s| !s.is_empty())
+            .collect();
+        if fields.len() < 3 {
+            return Err(DatasetError::Parse {
+                line: lineno + 1,
+                message: format!("need a label and >= 2 values, got {} fields", fields.len()),
+            });
+        }
+        // UCR labels may be written as integers or floats ("1", "1.0", "-1")
+        let label_matches = fields[0] == outlier_label
+            || match (fields[0].parse::<f64>(), outlier_label.parse::<f64>()) {
+                (Ok(a), Ok(b)) => a == b,
+                _ => false,
+            };
+        let m = fields.len() - 1;
+        if let Some(e) = expected_m {
+            if m != e {
+                return Err(DatasetError::Parse {
+                    line: lineno + 1,
+                    message: format!("inconsistent length {m}, expected {e}"),
+                });
+            }
+        } else {
+            expected_m = Some(m);
+        }
+        let values = fields[1..]
+            .iter()
+            .map(|s| {
+                s.parse::<f64>().map_err(|e| DatasetError::Parse {
+                    line: lineno + 1,
+                    message: format!("bad value {s:?}: {e}"),
+                })
+            })
+            .collect::<Result<Vec<f64>>>()?;
+        let grid: Vec<f64> = (0..m).map(|j| j as f64 / (m - 1) as f64).collect();
+        samples.push(RawSample::new(grid, vec![values])?);
+        labels.push(label_matches);
+    }
+    if samples.is_empty() {
+        return Err(DatasetError::Parse { line: 0, message: "file contains no samples".into() });
+    }
+    LabeledDataSet::new(samples, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_comma_separated() {
+        let content = "1,0.1,0.2,0.3\n-1,5.0,5.1,5.2\n";
+        let d = parse_ucr(Cursor::new(content), "-1").unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.labels(), &[false, true]);
+        assert_eq!(d.samples()[0].channels[0], vec![0.1, 0.2, 0.3]);
+        assert_eq!(d.samples()[0].t, vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn parses_whitespace_and_float_labels() {
+        let content = "1.0  0.1  0.2\n-1.0\t4.0\t4.1\n";
+        let d = parse_ucr(Cursor::new(content), "-1").unwrap();
+        assert_eq!(d.labels(), &[false, true]);
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let content = "\n1,0.0,1.0\n\n-1,2.0,3.0\n\n";
+        let d = parse_ucr(Cursor::new(content), "-1").unwrap();
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse_ucr(Cursor::new("1,0.1\n"), "-1").is_err()); // too short
+        assert!(parse_ucr(Cursor::new("1,a,b,c\n"), "-1").is_err()); // bad value
+        assert!(parse_ucr(Cursor::new(""), "-1").is_err()); // empty
+        // inconsistent lengths
+        assert!(parse_ucr(Cursor::new("1,0.0,1.0,2.0\n-1,1.0,2.0\n"), "-1").is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("mfod_ucr_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.txt");
+        std::fs::write(&path, "1,0.5,0.6,0.7\n-1,9.0,9.1,9.2\n").unwrap();
+        let d = load_ucr_file(&path, "-1").unwrap();
+        assert_eq!(d.n_outliers(), 1);
+        std::fs::remove_file(&path).unwrap();
+        assert!(load_ucr_file(dir.join("missing.txt"), "-1").is_err());
+    }
+}

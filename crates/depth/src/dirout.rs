@@ -1,0 +1,359 @@
+//! Directional outlyingness — `Dir.out` (Dai & Genton, *CSDA* 2019), the
+//! paper's second baseline.
+//!
+//! At every grid point the point cloud `{X_i(t_j)}_i ⊂ R^p` is scored with
+//! projection-depth outlyingness, oriented by the unit vector from the
+//! cloud's center to the point:
+//!
+//! ```text
+//! O(X_i(t), t) = (1/PD(X_i(t)) − 1) · v_i(t) = O_pd(X_i(t)) · v_i(t)
+//! ```
+//!
+//! The pointwise scores are then aggregated over `t` into
+//!
+//! * `MO_i = (1/|T|) ∫ O(X_i(t), t) dt` — *mean* directional outlyingness
+//!   (a vector in `R^p`; large for magnitude/isolated-style outliers), and
+//! * `VO_i = (1/|T|) ∫ ‖O(X_i(t), t) − MO_i‖² dt` — *variation* of
+//!   directional outlyingness (large for shape/persistent outliers),
+//!
+//! combined into the **functional outlyingness** `FO = ‖MO‖² + VO` used as
+//! the ranking score (Dai & Genton eq. (5); their MS-plot reads the two
+//! components separately, which [`DirOutScores`] exposes).
+
+use crate::dataset::GriddedDataSet;
+use crate::projection::{coordinate_median, projection_outlyingness, ProjectionConfig};
+use crate::{FunctionalOutlierScorer, Result};
+use mfod_linalg::vector;
+
+/// The directional-outlyingness scorer.
+#[derive(Debug, Clone, Default)]
+pub struct DirOut {
+    /// Random-projection settings for the pointwise projection depth
+    /// (ignored for univariate clouds, which are computed exactly).
+    pub projection: ProjectionConfig,
+}
+
+impl DirOut {
+    /// Scorer with default projection settings.
+    pub fn new() -> Self {
+        DirOut::default()
+    }
+
+    /// Full decomposition: per-sample `MO` vectors, `VO` and `FO` values.
+    pub fn decompose(&self, data: &GriddedDataSet) -> Result<DirOutScores> {
+        let n = data.n();
+        let m = data.m();
+        let p = data.dim();
+        let grid = data.grid();
+        let span = grid[m - 1] - grid[0];
+        // pointwise directional outlyingness, O[i][j] ∈ R^p flattened
+        let mut o = vec![vec![0.0; m * p]; n];
+        for j in 0..m {
+            let cloud = data.point_cloud(j);
+            let magnitude = projection_outlyingness(&cloud, &self.projection)?;
+            let center = coordinate_median(&cloud);
+            for i in 0..n {
+                let x = cloud.row(i);
+                let mut dir: Vec<f64> = x.iter().zip(&center).map(|(a, c)| a - c).collect();
+                let norm = vector::normalize(&mut dir, 1e-12);
+                if norm <= 1e-12 {
+                    // the point sits exactly at the center: zero outlyingness
+                    dir.iter_mut().for_each(|d| *d = 0.0);
+                }
+                for k in 0..p {
+                    o[i][j * p + k] = magnitude[i] * dir[k];
+                }
+            }
+        }
+        // aggregate over t with the trapezoid rule, normalized by |T|
+        let mut mo = Vec::with_capacity(n);
+        let mut vo = Vec::with_capacity(n);
+        let mut fo = Vec::with_capacity(n);
+        for oi in &o {
+            let mut mo_i = vec![0.0; p];
+            for (k, mo_ik) in mo_i.iter_mut().enumerate() {
+                let series: Vec<f64> = (0..m).map(|j| oi[j * p + k]).collect();
+                *mo_ik = vector::trapz(grid, &series) / span;
+            }
+            let dev: Vec<f64> = (0..m)
+                .map(|j| {
+                    (0..p)
+                        .map(|k| {
+                            let d = oi[j * p + k] - mo_i[k];
+                            d * d
+                        })
+                        .sum::<f64>()
+                })
+                .collect();
+            let vo_i = vector::trapz(grid, &dev) / span;
+            let fo_i = vector::dot(&mo_i, &mo_i) + vo_i;
+            mo.push(mo_i);
+            vo.push(vo_i);
+            fo.push(fo_i);
+        }
+        Ok(DirOutScores { mo, vo, fo })
+    }
+}
+
+/// The MO/VO/FO decomposition of a dataset under directional outlyingness.
+#[derive(Debug, Clone)]
+pub struct DirOutScores {
+    /// Mean directional outlyingness per sample (vectors in `R^p`).
+    pub mo: Vec<Vec<f64>>,
+    /// Variation of directional outlyingness per sample.
+    pub vo: Vec<f64>,
+    /// Combined functional outlyingness `‖MO‖² + VO` per sample.
+    pub fo: Vec<f64>,
+}
+
+impl DirOutScores {
+    /// MS-plot coordinates `(‖MO‖, VO)` per sample — Dai & Genton's
+    /// magnitude–shape plot. Points far along the `‖MO‖` axis are
+    /// magnitude-style outliers; far along `VO`, shape-style; far in both,
+    /// mixed.
+    pub fn ms_points(&self) -> Vec<(f64, f64)> {
+        self.mo
+            .iter()
+            .zip(&self.vo)
+            .map(|(mo, &vo)| (vector::norm2(mo), vo))
+            .collect()
+    }
+}
+
+impl DirOut {
+    /// MO/VO/FO of each `queries` sample with location/scale estimated from
+    /// `reference` only (the train/test protocol: training contamination
+    /// inflates the reference MAD and genuinely degrades the method, as the
+    /// paper's Fig. 3 probes).
+    pub fn decompose_against(
+        &self,
+        reference: &GriddedDataSet,
+        queries: &GriddedDataSet,
+    ) -> Result<DirOutScores> {
+        if reference.m() != queries.m() || reference.dim() != queries.dim() {
+            return Err(crate::DepthError::ShapeMismatch(
+                "reference and queries must share grid and channels".into(),
+            ));
+        }
+        let n = queries.n();
+        let m = queries.m();
+        let p = queries.dim();
+        let grid = queries.grid();
+        let span = grid[m - 1] - grid[0];
+        let mut o = vec![vec![0.0; m * p]; n];
+        for j in 0..m {
+            let ref_cloud = reference.point_cloud(j);
+            let query_cloud = queries.point_cloud(j);
+            let magnitude = crate::projection::projection_outlyingness_against(
+                &ref_cloud,
+                &query_cloud,
+                &self.projection,
+            )?;
+            let center = coordinate_median(&ref_cloud);
+            for i in 0..n {
+                let x = query_cloud.row(i);
+                let mut dir: Vec<f64> = x.iter().zip(&center).map(|(a, c)| a - c).collect();
+                let norm = vector::normalize(&mut dir, 1e-12);
+                if norm <= 1e-12 {
+                    dir.iter_mut().for_each(|d| *d = 0.0);
+                }
+                for k in 0..p {
+                    o[i][j * p + k] = magnitude[i] * dir[k];
+                }
+            }
+        }
+        let mut mo = Vec::with_capacity(n);
+        let mut vo = Vec::with_capacity(n);
+        let mut fo = Vec::with_capacity(n);
+        for oi in &o {
+            let mut mo_i = vec![0.0; p];
+            for (k, mo_ik) in mo_i.iter_mut().enumerate() {
+                let series: Vec<f64> = (0..m).map(|j| oi[j * p + k]).collect();
+                *mo_ik = vector::trapz(grid, &series) / span;
+            }
+            let dev: Vec<f64> = (0..m)
+                .map(|j| {
+                    (0..p)
+                        .map(|k| {
+                            let d = oi[j * p + k] - mo_i[k];
+                            d * d
+                        })
+                        .sum::<f64>()
+                })
+                .collect();
+            let vo_i = vector::trapz(grid, &dev) / span;
+            let fo_i = vector::dot(&mo_i, &mo_i) + vo_i;
+            mo.push(mo_i);
+            vo.push(vo_i);
+            fo.push(fo_i);
+        }
+        Ok(DirOutScores { mo, vo, fo })
+    }
+}
+
+impl FunctionalOutlierScorer for DirOut {
+    fn name(&self) -> &'static str {
+        "dir.out"
+    }
+
+    fn score(&self, data: &GriddedDataSet) -> Result<Vec<f64>> {
+        Ok(self.decompose(data)?.fo)
+    }
+
+    fn score_against(
+        &self,
+        reference: &GriddedDataSet,
+        queries: &GriddedDataSet,
+    ) -> Result<Vec<f64>> {
+        Ok(self.decompose_against(reference, queries)?.fo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bundle_with(outlier: Vec<f64>, m: usize) -> GriddedDataSet {
+        let grid: Vec<f64> = (0..m).map(|j| j as f64 / (m - 1) as f64).collect();
+        let mut curves: Vec<Vec<f64>> = (0..12)
+            .map(|i| {
+                let a = (i as f64 - 5.5) * 0.05;
+                grid.iter()
+                    .map(|&t| (std::f64::consts::TAU * t).sin() + a)
+                    .collect()
+            })
+            .collect();
+        curves.push(outlier);
+        GriddedDataSet::from_univariate(grid, curves).unwrap()
+    }
+
+    #[test]
+    fn magnitude_outlier_has_large_mo() {
+        let m = 40;
+        let grid: Vec<f64> = (0..m).map(|j| j as f64 / (m - 1) as f64).collect();
+        let shifted: Vec<f64> = grid
+            .iter()
+            .map(|&t| (std::f64::consts::TAU * t).sin() + 3.0)
+            .collect();
+        let d = bundle_with(shifted, m);
+        let scores = DirOut::new().decompose(&d).unwrap();
+        let n = d.n();
+        // outlier is the last sample: largest ‖MO‖, and largest FO
+        let mo_norm: Vec<f64> = scores.mo.iter().map(|v| vector::norm2(v)).collect();
+        let max_mo = mo_norm.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        assert_eq!(max_mo, n - 1, "{mo_norm:?}");
+        let max_fo = scores.fo.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        assert_eq!(max_fo, n - 1);
+        // a persistent magnitude shift has *low* VO relative to its MO²
+        let i = n - 1;
+        assert!(scores.fo[i] > scores.vo[i] * 2.0, "MO should dominate");
+    }
+
+    #[test]
+    fn shape_outlier_has_large_vo() {
+        let m = 40;
+        let grid: Vec<f64> = (0..m).map(|j| j as f64 / (m - 1) as f64).collect();
+        // phase-inverted: same range, different shape
+        let inverted: Vec<f64> = grid
+            .iter()
+            .map(|&t| -(std::f64::consts::TAU * t).sin())
+            .collect();
+        let d = bundle_with(inverted, m);
+        let scores = DirOut::new().decompose(&d).unwrap();
+        let n = d.n();
+        let max_vo = scores.vo.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        assert_eq!(max_vo, n - 1, "{:?}", scores.vo);
+        let max_fo = scores.fo.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        assert_eq!(max_fo, n - 1);
+    }
+
+    #[test]
+    fn isolated_spike_detected() {
+        let m = 40;
+        let grid: Vec<f64> = (0..m).map(|j| j as f64 / (m - 1) as f64).collect();
+        let mut spiky: Vec<f64> = grid
+            .iter()
+            .map(|&t| (std::f64::consts::TAU * t).sin())
+            .collect();
+        spiky[20] += 5.0; // narrow magnitude peak
+        let d = bundle_with(spiky, m);
+        let s = DirOut::new().score(&d).unwrap();
+        let max_fo = s.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        assert_eq!(max_fo, d.n() - 1, "{s:?}");
+    }
+
+    #[test]
+    fn ms_points_reflect_outlier_type() {
+        let m = 40;
+        let grid: Vec<f64> = (0..m).map(|j| j as f64 / (m - 1) as f64).collect();
+        // magnitude outlier: large ‖MO‖, modest VO
+        let shifted: Vec<f64> = grid
+            .iter()
+            .map(|&t| (std::f64::consts::TAU * t).sin() + 3.0)
+            .collect();
+        let d = bundle_with(shifted, m);
+        let pts = DirOut::new().decompose(&d).unwrap().ms_points();
+        let n = d.n();
+        let max_mo = pts
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1 .0.total_cmp(&b.1 .0))
+            .unwrap()
+            .0;
+        assert_eq!(max_mo, n - 1);
+        // shape outlier: large VO relative to the bundle
+        let inverted: Vec<f64> = grid
+            .iter()
+            .map(|&t| -(std::f64::consts::TAU * t).sin())
+            .collect();
+        let d = bundle_with(inverted, m);
+        let pts = DirOut::new().decompose(&d).unwrap().ms_points();
+        let max_vo = pts
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1 .1.total_cmp(&b.1 .1))
+            .unwrap()
+            .0;
+        assert_eq!(max_vo, n - 1);
+    }
+
+    #[test]
+    fn scores_nonnegative_and_finite() {
+        let m = 25;
+        let grid: Vec<f64> = (0..m).map(|j| j as f64 / (m - 1) as f64).collect();
+        let flat: Vec<f64> = grid.to_vec();
+        let d = bundle_with(flat, m);
+        let scores = DirOut::new().decompose(&d).unwrap();
+        assert!(scores.fo.iter().all(|&v| v >= 0.0 && v.is_finite()));
+        assert!(scores.vo.iter().all(|&v| v >= 0.0 && v.is_finite()));
+    }
+
+    #[test]
+    fn multivariate_input() {
+        use mfod_linalg::Matrix;
+        let m = 20;
+        let grid: Vec<f64> = (0..m).map(|j| j as f64 / (m - 1) as f64).collect();
+        let mut samples = Vec::new();
+        for i in 0..10 {
+            let a = (i as f64 - 4.5) * 0.1;
+            let mut s = Matrix::zeros(m, 2);
+            for (j, &t) in grid.iter().enumerate() {
+                s[(j, 0)] = t + a;
+                s[(j, 1)] = t * t + a;
+            }
+            samples.push(s);
+        }
+        // abnormal correlation: channel 2 inversely related
+        let mut s = Matrix::zeros(m, 2);
+        for (j, &t) in grid.iter().enumerate() {
+            s[(j, 0)] = t;
+            s[(j, 1)] = -t * t;
+        }
+        samples.push(s);
+        let d = GriddedDataSet::new(grid, samples).unwrap();
+        let scores = DirOut::new().score(&d).unwrap();
+        let max_idx = scores.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        assert_eq!(max_idx, 10, "{scores:?}");
+        assert_eq!(DirOut::new().name(), "dir.out");
+    }
+}

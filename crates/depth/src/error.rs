@@ -1,0 +1,63 @@
+//! Error type for depth-based scorers.
+
+use std::fmt;
+
+/// Errors produced by functional depth computations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DepthError {
+    /// The dataset is empty or too small for the method.
+    TooFewSamples {
+        /// Samples provided.
+        got: usize,
+        /// Minimum required.
+        need: usize,
+    },
+    /// Sample shapes (grid length or channel count) disagree.
+    ShapeMismatch(String),
+    /// Input contains NaN or infinite values.
+    NonFinite,
+    /// The grid is invalid (not strictly increasing, too short).
+    InvalidGrid(String),
+    /// A scale estimate degenerated to zero, making outlyingness undefined
+    /// (e.g. more than half the observations identical at some point).
+    DegenerateScale {
+        /// Grid index at which it happened.
+        grid_index: usize,
+    },
+    /// Invalid method parameter.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for DepthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DepthError::TooFewSamples { got, need } => {
+                write!(f, "too few samples: got {got}, need {need}")
+            }
+            DepthError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+            DepthError::NonFinite => write!(f, "input contains NaN or infinite values"),
+            DepthError::InvalidGrid(msg) => write!(f, "invalid grid: {msg}"),
+            DepthError::DegenerateScale { grid_index } => {
+                write!(f, "degenerate scale (zero MAD) at grid index {grid_index}")
+            }
+            DepthError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DepthError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(DepthError::TooFewSamples { got: 1, need: 3 }.to_string().contains('3'));
+        assert!(DepthError::ShapeMismatch("p".into()).to_string().contains('p'));
+        assert!(DepthError::DegenerateScale { grid_index: 4 }.to_string().contains('4'));
+        assert!(DepthError::InvalidGrid("g".into()).to_string().contains('g'));
+        assert!(DepthError::NonFinite.to_string().contains("NaN"));
+        assert!(DepthError::InvalidParameter("x".into()).to_string().contains('x'));
+    }
+}

@@ -1,0 +1,301 @@
+//! FUNTA — *functional tangential angle* pseudo-depth (Kuhnt & Rehage,
+//! *JMVA* 2016), one of the paper's two baselines.
+//!
+//! For every pair of curves, FUNTA finds the points where they intersect
+//! (sign changes of the difference of their linear interpolants) and records
+//! the intersection angle between the two segments. Deep (central) curves
+//! cross others at shallow angles; shape outliers cross steeply. The
+//! pseudo-depth is `1 − mean(|γ|/π)`; we report the **outlyingness**
+//! `mean(|γ|/π)` directly so that higher = more outlying.
+//!
+//! For multivariate functional data the per-channel outlyingness values are
+//! averaged (the paper: "average these angles over both their number and
+//! the parameters"). As the paper notes (Sec. 1.2), FUNTA only targets
+//! persistent *shape* outliers: magnitude outliers that never intersect the
+//! bulk produce no angles at all and receive outlyingness 0 — faithfully
+//! reproduced here.
+
+use crate::dataset::GriddedDataSet;
+use crate::error::DepthError;
+use crate::{FunctionalOutlierScorer, Result};
+
+/// The FUNTA scorer.
+#[derive(Debug, Clone)]
+pub struct Funta {
+    /// Fraction trimmed from each tail of the angle distribution before
+    /// averaging (`0.0` = plain FUNTA; `> 0` = the robustified rFUNTA
+    /// variant of Kuhnt & Rehage).
+    pub trim: f64,
+}
+
+impl Default for Funta {
+    fn default() -> Self {
+        Funta { trim: 0.0 }
+    }
+}
+
+impl Funta {
+    /// Plain FUNTA (untrimmed mean of intersection angles).
+    pub fn new() -> Self {
+        Funta::default()
+    }
+
+    /// Robustified rFUNTA with the given per-tail trimming fraction
+    /// (`0 <= trim < 0.5`).
+    pub fn robust(trim: f64) -> Result<Self> {
+        if !(0.0..0.5).contains(&trim) {
+            return Err(DepthError::InvalidParameter(format!(
+                "trim must be in [0, 0.5), got {trim}"
+            )));
+        }
+        Ok(Funta { trim })
+    }
+
+    /// Collects the normalized intersection angles of curve `i` against all
+    /// other curves in channel `k`.
+    fn angles_for(&self, data: &GriddedDataSet, i: usize, k: usize) -> Vec<f64> {
+        let xi = data.sample(i);
+        let mut angles = Vec::new();
+        for j in 0..data.n() {
+            if j == i {
+                continue;
+            }
+            Self::angles_between(data.grid(), xi, data.sample(j), k, &mut angles);
+        }
+        angles
+    }
+
+    /// Appends the normalized intersection angles between two curves'
+    /// channel `k` to `angles`.
+    fn angles_between(
+        grid: &[f64],
+        xi: &mfod_linalg::Matrix,
+        xj: &mfod_linalg::Matrix,
+        k: usize,
+        angles: &mut Vec<f64>,
+    ) {
+        let m = grid.len();
+        for l in 0..m - 1 {
+            let d0 = xi[(l, k)] - xj[(l, k)];
+            let d1 = xi[(l + 1, k)] - xj[(l + 1, k)];
+            // Crossing inside segment l (strict sign change), or exact
+            // touch at the left endpoint counted once.
+            let crosses = (d0 > 0.0 && d1 < 0.0) || (d0 < 0.0 && d1 > 0.0) || d0 == 0.0;
+            if !crosses {
+                continue;
+            }
+            let dt = grid[l + 1] - grid[l];
+            let slope_i = (xi[(l + 1, k)] - xi[(l, k)]) / dt;
+            let slope_j = (xj[(l + 1, k)] - xj[(l, k)]) / dt;
+            // intersection angle between the two segments, in [0, π)
+            let gamma = (slope_i.atan() - slope_j.atan()).abs();
+            angles.push(gamma / std::f64::consts::PI);
+        }
+    }
+
+    fn aggregate(&self, mut angles: Vec<f64>) -> f64 {
+        if angles.is_empty() {
+            // a curve that never intersects anything yields no angle
+            // information; FUNTA leaves it maximally deep
+            return 0.0;
+        }
+        if self.trim > 0.0 {
+            angles.sort_by(|a, b| a.total_cmp(b));
+            let cut = ((angles.len() as f64) * self.trim).floor() as usize;
+            if angles.len() > 2 * cut {
+                angles = angles[cut..angles.len() - cut].to_vec();
+            }
+        }
+        angles.iter().sum::<f64>() / angles.len() as f64
+    }
+}
+
+impl FunctionalOutlierScorer for Funta {
+    fn name(&self) -> &'static str {
+        if self.trim > 0.0 {
+            "rfunta"
+        } else {
+            "funta"
+        }
+    }
+
+    fn score(&self, data: &GriddedDataSet) -> Result<Vec<f64>> {
+        if data.n() < 2 {
+            return Err(DepthError::TooFewSamples { got: data.n(), need: 2 });
+        }
+        let mut scores = Vec::with_capacity(data.n());
+        for i in 0..data.n() {
+            // average the per-channel outlyingness over the p channels
+            let mut total = 0.0;
+            for k in 0..data.dim() {
+                let angles = self.angles_for(data, i, k);
+                total += self.aggregate(angles);
+            }
+            scores.push(total / data.dim() as f64);
+        }
+        Ok(scores)
+    }
+
+    fn score_against(
+        &self,
+        reference: &GriddedDataSet,
+        queries: &GriddedDataSet,
+    ) -> Result<Vec<f64>> {
+        if reference.n() < 1 {
+            return Err(DepthError::TooFewSamples { got: reference.n(), need: 1 });
+        }
+        if reference.m() != queries.m() || reference.dim() != queries.dim() {
+            return Err(DepthError::ShapeMismatch(
+                "reference and queries must share grid and channels".into(),
+            ));
+        }
+        let mut scores = Vec::with_capacity(queries.n());
+        for i in 0..queries.n() {
+            let xi = queries.sample(i);
+            let mut total = 0.0;
+            for k in 0..queries.dim() {
+                let mut angles = Vec::new();
+                for j in 0..reference.n() {
+                    Self::angles_between(
+                        queries.grid(),
+                        xi,
+                        reference.sample(j),
+                        k,
+                        &mut angles,
+                    );
+                }
+                total += self.aggregate(angles);
+            }
+            scores.push(total / queries.dim() as f64);
+        }
+        Ok(scores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Bundle of gently crossing lines (slopes near 1 through a common
+    /// pivot) plus one steeply descending crosser.
+    fn crossing_bundle() -> GriddedDataSet {
+        let m = 21;
+        let grid: Vec<f64> = (0..m).map(|j| j as f64 / (m - 1) as f64).collect();
+        let mut curves = Vec::new();
+        for i in 0..8 {
+            // slopes 0.86 … 1.14 pivoting around (0.5, 0.5): the inliers
+            // cross each other at shallow angles
+            let slope = 0.86 + i as f64 * 0.04;
+            curves.push(
+                grid.iter()
+                    .map(|&t| 0.5 + slope * (t - 0.5))
+                    .collect::<Vec<f64>>(),
+            );
+        }
+        // steep crosser: descends through the whole bundle
+        curves.push(grid.iter().map(|&t| 1.0 - 4.0 * t).collect::<Vec<f64>>());
+        GriddedDataSet::from_univariate(grid, curves).unwrap()
+    }
+
+    #[test]
+    fn steep_crosser_is_most_outlying() {
+        let d = crossing_bundle();
+        let s = Funta::new().score(&d).unwrap();
+        let max_idx = s.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        assert_eq!(max_idx, 8, "{s:?}");
+        // outlyingness is in [0, 1]
+        assert!(s.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // inliers cross each other at shallow angles: their scores must be
+        // clearly below the crosser's
+        for i in 0..8 {
+            assert!(s[i] < s[8] * 0.8, "inlier {i} score {} vs {}", s[i], s[8]);
+        }
+    }
+
+    #[test]
+    fn parallel_curves_have_zero_outlyingness() {
+        // Curves that never cross produce no angles at all.
+        let grid: Vec<f64> = (0..10).map(|j| j as f64).collect();
+        let curves: Vec<Vec<f64>> = (0..5)
+            .map(|i| grid.iter().map(|&t| t + i as f64).collect())
+            .collect();
+        let d = GriddedDataSet::from_univariate(grid, curves).unwrap();
+        let s = Funta::new().score(&d).unwrap();
+        assert!(s.iter().all(|&v| v == 0.0), "{s:?}");
+    }
+
+    #[test]
+    fn identical_slopes_crossing_at_zero_angle() {
+        // Two identical-slope curves that touch: the angle is zero.
+        let grid = vec![0.0, 1.0, 2.0];
+        let c1 = vec![0.0, 1.0, 2.0];
+        let c2 = vec![0.0, 1.0, 2.0]; // identical curve: d0 == 0 everywhere
+        let d = GriddedDataSet::from_univariate(grid, vec![c1, c2]).unwrap();
+        let s = Funta::new().score(&d).unwrap();
+        assert!(s.iter().all(|&v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn shape_outlier_in_sine_bundle() {
+        // Phase-inverted sine among in-phase sines: a persistent shape
+        // outlier that FUNTA is designed to catch.
+        let m = 50;
+        let grid: Vec<f64> = (0..m).map(|j| j as f64 / (m - 1) as f64).collect();
+        let mut curves: Vec<Vec<f64>> = (0..9)
+            .map(|i| {
+                let a = 1.0 + i as f64 * 0.02;
+                grid.iter()
+                    .map(|&t| a * (std::f64::consts::TAU * t).sin())
+                    .collect()
+            })
+            .collect();
+        curves.push(
+            grid.iter()
+                .map(|&t| -(std::f64::consts::TAU * t).sin())
+                .collect(),
+        );
+        let d = GriddedDataSet::from_univariate(grid, curves).unwrap();
+        let s = Funta::new().score(&d).unwrap();
+        let max_idx = s.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        assert_eq!(max_idx, 9, "{s:?}");
+    }
+
+    #[test]
+    fn multichannel_averages_channels() {
+        use mfod_linalg::Matrix;
+        let grid = vec![0.0, 0.5, 1.0];
+        // channel 0: curves cross; channel 1: all identical (no angles)
+        let s1 = Matrix::from_rows(&[&[0.0, 5.0], &[0.5, 5.0], &[1.0, 5.0]]);
+        let s2 = Matrix::from_rows(&[&[1.0, 5.0], &[0.5, 5.0], &[0.0, 5.0]]);
+        let d = GriddedDataSet::new(grid, vec![s1, s2]).unwrap();
+        let s = Funta::new().score(&d).unwrap();
+        // channel 0 angle: |atan(1) - atan(-1)| / π = (π/2)/π = 0.5, halved
+        // by the flat channel's zero
+        assert!((s[0] - 0.25).abs() < 1e-12, "{s:?}");
+        assert!((s[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn robust_variant_trims_extremes() {
+        let d = crossing_bundle();
+        let plain = Funta::new().score(&d).unwrap();
+        let robust = Funta::robust(0.2).unwrap().score(&d).unwrap();
+        assert_eq!(plain.len(), robust.len());
+        // trimming must not create scores outside [0, 1]
+        assert!(robust.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(Funta::robust(0.5).is_err());
+        assert!(Funta::robust(-0.1).is_err());
+        assert_eq!(Funta::new().name(), "funta");
+        assert_eq!(Funta::robust(0.1).unwrap().name(), "rfunta");
+    }
+
+    #[test]
+    fn needs_two_samples() {
+        let grid = vec![0.0, 1.0];
+        let d = GriddedDataSet::from_univariate(grid, vec![vec![0.0, 1.0]]).unwrap();
+        assert!(matches!(
+            Funta::new().score(&d),
+            Err(DepthError::TooFewSamples { .. })
+        ));
+    }
+}

@@ -1,0 +1,310 @@
+//! Projection-depth primitives: Stahel–Donoho outlyingness in 1-D (exact)
+//! and in `R^p` via random directions, as used by the directional
+//! outlyingness baseline (Zuo 2003; Dai & Genton 2019).
+
+use crate::error::DepthError;
+use crate::Result;
+use mfod_linalg::{vector, Matrix};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Exact univariate Stahel–Donoho outlyingness `|x − med| / MAD` of each
+/// entry of `points` w.r.t. the whole set.
+///
+/// Errors with [`DepthError::DegenerateScale`] when the MAD is zero.
+pub fn univariate_outlyingness(points: &[f64]) -> Result<Vec<f64>> {
+    if points.is_empty() {
+        return Err(DepthError::TooFewSamples { got: 0, need: 1 });
+    }
+    let med = vector::median(points);
+    let mad = vector::mad_raw(points);
+    if mad <= 0.0 || !mad.is_finite() {
+        return Err(DepthError::DegenerateScale { grid_index: 0 });
+    }
+    Ok(points.iter().map(|&x| (x - med).abs() / mad).collect())
+}
+
+/// Configuration for random-direction projection outlyingness in `R^p`.
+#[derive(Debug, Clone)]
+pub struct ProjectionConfig {
+    /// Number of random unit directions (coordinate axes are always
+    /// included in addition).
+    pub n_directions: usize,
+    /// RNG seed for reproducible directions.
+    pub seed: u64,
+}
+
+impl Default for ProjectionConfig {
+    fn default() -> Self {
+        ProjectionConfig { n_directions: 128, seed: 0x5EED_D1CE }
+    }
+}
+
+/// Approximates the projection outlyingness
+/// `O(x) = sup_u |uᵀx − med(uᵀZ)| / MAD(uᵀZ)` of every row of `cloud`
+/// (an `n x p` matrix) by maximizing over random unit directions plus the
+/// `p` coordinate axes.
+///
+/// For `p = 1` the exact univariate computation is used. Degenerate
+/// directions (zero MAD) are skipped; if *every* direction degenerates the
+/// cloud is concentrated and an error is returned.
+pub fn projection_outlyingness(cloud: &Matrix, config: &ProjectionConfig) -> Result<Vec<f64>> {
+    let n = cloud.nrows();
+    let p = cloud.ncols();
+    if n == 0 {
+        return Err(DepthError::TooFewSamples { got: 0, need: 1 });
+    }
+    if p == 1 {
+        return univariate_outlyingness(&cloud.col(0));
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut out = vec![0.0; n];
+    let mut any_valid = false;
+    let mut proj = vec![0.0; n];
+    let mut dir = vec![0.0; p];
+    let total = config.n_directions + p;
+    for d in 0..total {
+        if d < p {
+            // coordinate axes first: cheap and often informative
+            dir.fill(0.0);
+            dir[d] = 1.0;
+        } else {
+            // isotropic Gaussian direction, normalized
+            for v in dir.iter_mut() {
+                *v = standard_normal(&mut rng);
+            }
+            if vector::normalize(&mut dir, 1e-12) <= 1e-12 {
+                continue;
+            }
+        }
+        for (i, pr) in proj.iter_mut().enumerate() {
+            *pr = vector::dot(cloud.row(i), &dir);
+        }
+        let med = vector::median(&proj);
+        let mad = vector::mad_raw(&proj);
+        if mad <= 1e-300 || !mad.is_finite() {
+            continue;
+        }
+        any_valid = true;
+        for (o, &pr) in out.iter_mut().zip(proj.iter()) {
+            let v = (pr - med).abs() / mad;
+            if v > *o {
+                *o = v;
+            }
+        }
+    }
+    if !any_valid {
+        return Err(DepthError::DegenerateScale { grid_index: 0 });
+    }
+    Ok(out)
+}
+
+/// Approximates the projection outlyingness of each row of `queries`
+/// **with respect to the `reference` cloud**: the median and MAD of every
+/// direction's projections are estimated from `reference` only, so query
+/// points do not influence the location/scale estimates (the train/test
+/// protocol).
+pub fn projection_outlyingness_against(
+    reference: &Matrix,
+    queries: &Matrix,
+    config: &ProjectionConfig,
+) -> Result<Vec<f64>> {
+    let n_ref = reference.nrows();
+    let n_q = queries.nrows();
+    let p = reference.ncols();
+    if n_ref == 0 || n_q == 0 {
+        return Err(DepthError::TooFewSamples { got: 0, need: 1 });
+    }
+    if queries.ncols() != p {
+        return Err(DepthError::ShapeMismatch(format!(
+            "query dimension {} != reference dimension {p}",
+            queries.ncols()
+        )));
+    }
+    if p == 1 {
+        let refs = reference.col(0);
+        let med = vector::median(&refs);
+        let mad = vector::mad_raw(&refs);
+        if mad <= 0.0 || !mad.is_finite() {
+            return Err(DepthError::DegenerateScale { grid_index: 0 });
+        }
+        return Ok(queries.col(0).iter().map(|&x| (x - med).abs() / mad).collect());
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut out = vec![0.0; n_q];
+    let mut any_valid = false;
+    let mut proj_ref = vec![0.0; n_ref];
+    let mut dir = vec![0.0; p];
+    let total = config.n_directions + p;
+    for d in 0..total {
+        if d < p {
+            dir.fill(0.0);
+            dir[d] = 1.0;
+        } else {
+            for v in dir.iter_mut() {
+                *v = standard_normal(&mut rng);
+            }
+            if vector::normalize(&mut dir, 1e-12) <= 1e-12 {
+                continue;
+            }
+        }
+        for (pr, i) in proj_ref.iter_mut().zip(0..n_ref) {
+            *pr = vector::dot(reference.row(i), &dir);
+        }
+        let med = vector::median(&proj_ref);
+        let mad = vector::mad_raw(&proj_ref);
+        if mad <= 1e-300 || !mad.is_finite() {
+            continue;
+        }
+        any_valid = true;
+        for (i, o) in out.iter_mut().enumerate() {
+            let v = (vector::dot(queries.row(i), &dir) - med).abs() / mad;
+            if v > *o {
+                *o = v;
+            }
+        }
+    }
+    if !any_valid {
+        return Err(DepthError::DegenerateScale { grid_index: 0 });
+    }
+    Ok(out)
+}
+
+/// Projection depth `PD(x) = 1 / (1 + O(x))` for every row of `cloud`.
+pub fn projection_depth(cloud: &Matrix, config: &ProjectionConfig) -> Result<Vec<f64>> {
+    Ok(projection_outlyingness(cloud, config)?
+        .into_iter()
+        .map(|o| 1.0 / (1.0 + o))
+        .collect())
+}
+
+/// Standard normal variate via Box–Muller (keeps the dependency surface to
+/// `rand`'s uniform source only).
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Coordinate-wise median of the rows of `cloud` — the center estimate used
+/// for the direction vector of the directional outlyingness.
+pub fn coordinate_median(cloud: &Matrix) -> Vec<f64> {
+    (0..cloud.ncols()).map(|k| vector::median(&cloud.col(k))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn univariate_known_values() {
+        // points: 0..=4, med = 2, MAD = 1
+        let pts = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let o = univariate_outlyingness(&pts).unwrap();
+        assert_eq!(o, vec![2.0, 1.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn univariate_flags_extreme_point() {
+        let mut pts = vec![0.0, 0.1, -0.1, 0.05, -0.05, 0.02];
+        pts.push(10.0);
+        let o = univariate_outlyingness(&pts).unwrap();
+        let max_idx = o
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(max_idx, 6);
+    }
+
+    #[test]
+    fn univariate_degenerate_scale() {
+        assert!(matches!(
+            univariate_outlyingness(&[1.0, 1.0, 1.0, 5.0]),
+            Err(DepthError::DegenerateScale { .. })
+        ));
+        assert!(univariate_outlyingness(&[]).is_err());
+    }
+
+    #[test]
+    fn multivariate_center_is_least_outlying() {
+        // cross-shaped cloud around the origin plus one extreme point
+        let rows: Vec<Vec<f64>> = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![-1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![0.0, -1.0],
+            vec![0.5, 0.5],
+            vec![-0.5, 0.5],
+            vec![0.5, -0.5],
+            vec![-0.5, -0.5],
+            vec![8.0, 8.0],
+        ];
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let cloud = Matrix::from_rows(&refs);
+        let o = projection_outlyingness(&cloud, &ProjectionConfig::default()).unwrap();
+        // origin must have the smallest outlyingness, the far point the largest
+        let min_idx = o.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        let max_idx = o.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        assert_eq!(min_idx, 0, "{o:?}");
+        assert_eq!(max_idx, 9, "{o:?}");
+    }
+
+    #[test]
+    fn depth_is_monotone_in_outlyingness() {
+        let rows: Vec<Vec<f64>> = (0..10)
+            .map(|i| vec![i as f64, (i as f64).sin()])
+            .collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let cloud = Matrix::from_rows(&refs);
+        let cfg = ProjectionConfig::default();
+        let o = projection_outlyingness(&cloud, &cfg).unwrap();
+        let d = projection_depth(&cloud, &cfg).unwrap();
+        for i in 0..10 {
+            assert!((d[i] - 1.0 / (1.0 + o[i])).abs() < 1e-12);
+            assert!(d[i] > 0.0 && d[i] <= 1.0);
+        }
+    }
+
+    #[test]
+    fn reproducible_with_same_seed() {
+        let rows: Vec<Vec<f64>> = (0..15)
+            .map(|i| vec![(i as f64 * 0.7).sin(), (i as f64 * 1.3).cos(), i as f64 * 0.1])
+            .collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let cloud = Matrix::from_rows(&refs);
+        let cfg = ProjectionConfig { n_directions: 64, seed: 42 };
+        let o1 = projection_outlyingness(&cloud, &cfg).unwrap();
+        let o2 = projection_outlyingness(&cloud, &cfg).unwrap();
+        assert_eq!(o1, o2);
+    }
+
+    #[test]
+    fn degenerate_cloud_errors() {
+        let cloud = Matrix::filled(6, 2, 3.0); // all points identical
+        assert!(matches!(
+            projection_outlyingness(&cloud, &ProjectionConfig::default()),
+            Err(DepthError::DegenerateScale { .. })
+        ));
+    }
+
+    #[test]
+    fn coordinate_median_centers() {
+        let cloud = Matrix::from_rows(&[&[0.0, 10.0], &[1.0, 20.0], &[2.0, 30.0]]);
+        assert_eq!(coordinate_median(&cloud), vec![1.0, 20.0]);
+    }
+
+    #[test]
+    fn affine_invariance_of_univariate() {
+        // O is invariant to shift and positive scaling.
+        let pts = [0.0, 1.0, 2.0, 3.0, 10.0];
+        let o1 = univariate_outlyingness(&pts).unwrap();
+        let scaled: Vec<f64> = pts.iter().map(|x| 5.0 * x - 7.0).collect();
+        let o2 = univariate_outlyingness(&scaled).unwrap();
+        for (a, b) in o1.iter().zip(&o2) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

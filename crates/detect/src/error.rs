@@ -1,0 +1,91 @@
+//! Error type for the outlier detectors.
+
+use mfod_linalg::LinalgError;
+use std::fmt;
+
+/// Errors produced while fitting or scoring detectors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DetectError {
+    /// The training set is too small.
+    TooFewSamples {
+        /// Samples provided.
+        got: usize,
+        /// Minimum required.
+        need: usize,
+    },
+    /// Feature dimension differs between fit and score time.
+    DimensionMismatch {
+        /// Trained dimension.
+        expected: usize,
+        /// Dimension supplied.
+        got: usize,
+    },
+    /// Input contains NaN or infinite values.
+    NonFinite,
+    /// A hyper-parameter is out of its valid range.
+    InvalidParameter(String),
+    /// The optimizer did not converge within its iteration budget.
+    NoConvergence {
+        /// Algorithm name.
+        algorithm: &'static str,
+        /// Iterations performed.
+        iterations: usize,
+    },
+    /// An underlying linear algebra operation failed.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for DetectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DetectError::TooFewSamples { got, need } => {
+                write!(f, "too few samples: got {got}, need {need}")
+            }
+            DetectError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: model expects {expected}, got {got}")
+            }
+            DetectError::NonFinite => write!(f, "input contains NaN or infinite values"),
+            DetectError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            DetectError::NoConvergence { algorithm, iterations } => {
+                write!(f, "{algorithm} did not converge after {iterations} iterations")
+            }
+            DetectError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DetectError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DetectError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for DetectError {
+    fn from(e: LinalgError) -> Self {
+        DetectError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(DetectError::TooFewSamples { got: 1, need: 2 }.to_string().contains('2'));
+        assert!(DetectError::DimensionMismatch { expected: 3, got: 5 }
+            .to_string()
+            .contains('5'));
+        assert!(DetectError::InvalidParameter("nu".into()).to_string().contains("nu"));
+        assert!(DetectError::NoConvergence { algorithm: "smo", iterations: 9 }
+            .to_string()
+            .contains("smo"));
+        let e: DetectError = LinalgError::Empty.into();
+        assert!(e.to_string().contains("linear algebra"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,154 @@
+//! Feature-matrix validation and standardization helpers shared by the
+//! detectors.
+
+use crate::error::DetectError;
+use crate::Result;
+use mfod_linalg::{vector, Matrix};
+
+/// Validates a feature matrix: non-empty, finite, at least `min_rows` rows.
+pub fn validate_features(x: &Matrix, min_rows: usize) -> Result<()> {
+    if x.nrows() < min_rows {
+        return Err(DetectError::TooFewSamples { got: x.nrows(), need: min_rows });
+    }
+    if x.ncols() == 0 {
+        return Err(DetectError::InvalidParameter("feature dimension is zero".into()));
+    }
+    if !x.is_finite() {
+        return Err(DetectError::NonFinite);
+    }
+    Ok(())
+}
+
+/// Per-column standardization parameters learned on the training set.
+#[derive(Debug, Clone)]
+pub struct Standardizer {
+    mean: Vec<f64>,
+    /// Standard deviation with zero-variance columns clamped to 1 so that
+    /// constant features pass through unchanged instead of exploding.
+    std: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Learns column means and standard deviations.
+    pub fn fit(x: &Matrix) -> Result<Self> {
+        validate_features(x, 2)?;
+        let d = x.ncols();
+        let mut mean = Vec::with_capacity(d);
+        let mut std = Vec::with_capacity(d);
+        for j in 0..d {
+            let col = x.col(j);
+            mean.push(vector::mean(&col));
+            let s = vector::std_dev(&col);
+            std.push(if s > 1e-12 && s.is_finite() { s } else { 1.0 });
+        }
+        Ok(Standardizer { mean, std })
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Standardizes one row in place.
+    pub fn transform_row(&self, row: &mut [f64]) {
+        for ((v, m), s) in row.iter_mut().zip(&self.mean).zip(&self.std) {
+            *v = (*v - m) / s;
+        }
+    }
+
+    /// Standardizes a whole matrix into a new one.
+    pub fn transform(&self, x: &Matrix) -> Result<Matrix> {
+        if x.ncols() != self.dim() {
+            return Err(DetectError::DimensionMismatch { expected: self.dim(), got: x.ncols() });
+        }
+        let mut out = x.clone();
+        for i in 0..out.nrows() {
+            self.transform_row(out.row_mut(i));
+        }
+        Ok(out)
+    }
+}
+
+/// Builds a feature matrix from row vectors, validating consistency.
+pub fn matrix_from_rows(rows: &[Vec<f64>]) -> Result<Matrix> {
+    if rows.is_empty() {
+        return Err(DetectError::TooFewSamples { got: 0, need: 1 });
+    }
+    let d = rows[0].len();
+    if d == 0 {
+        return Err(DetectError::InvalidParameter("feature dimension is zero".into()));
+    }
+    for r in rows {
+        if r.len() != d {
+            return Err(DetectError::DimensionMismatch { expected: d, got: r.len() });
+        }
+        if !vector::all_finite(r) {
+            return Err(DetectError::NonFinite);
+        }
+    }
+    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+    Ok(Matrix::from_rows(&refs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert!(validate_features(&x, 2).is_ok());
+        assert!(matches!(
+            validate_features(&x, 3),
+            Err(DetectError::TooFewSamples { .. })
+        ));
+        let bad = Matrix::from_rows(&[&[f64::NAN, 1.0]]);
+        assert!(matches!(validate_features(&bad, 1), Err(DetectError::NonFinite)));
+        let empty = Matrix::zeros(3, 0);
+        assert!(validate_features(&empty, 1).is_err());
+    }
+
+    #[test]
+    fn standardizer_zero_mean_unit_std() {
+        let x = Matrix::from_rows(&[&[1.0, 10.0], &[2.0, 20.0], &[3.0, 30.0]]);
+        let s = Standardizer::fit(&x).unwrap();
+        let z = s.transform(&x).unwrap();
+        for j in 0..2 {
+            let col = z.col(j);
+            assert!(vector::mean(&col).abs() < 1e-12);
+            assert!((vector::std_dev(&col) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn standardizer_constant_column_passthrough() {
+        let x = Matrix::from_rows(&[&[5.0, 1.0], &[5.0, 2.0], &[5.0, 3.0]]);
+        let s = Standardizer::fit(&x).unwrap();
+        let z = s.transform(&x).unwrap();
+        // constant column becomes zero (centered), not NaN
+        assert!(z.col(0).iter().all(|&v| v == 0.0));
+        assert!(z.is_finite());
+    }
+
+    #[test]
+    fn standardizer_dimension_check() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let s = Standardizer::fit(&x).unwrap();
+        let y = Matrix::zeros(2, 3);
+        assert!(matches!(
+            s.transform(&y),
+            Err(DetectError::DimensionMismatch { .. })
+        ));
+        assert_eq!(s.dim(), 2);
+    }
+
+    #[test]
+    fn rows_builder() {
+        let m = matrix_from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m.shape(), (2, 2));
+        assert!(matrix_from_rows(&[]).is_err());
+        assert!(matrix_from_rows(&[vec![]]).is_err());
+        assert!(matrix_from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert!(matrix_from_rows(&[vec![f64::INFINITY]]).is_err());
+    }
+}

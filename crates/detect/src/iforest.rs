@@ -1,0 +1,340 @@
+//! Isolation Forest (Liu, Ting & Zhou, ICDM 2008).
+//!
+//! Outliers are "few and different", so random recursive partitioning
+//! isolates them in fewer splits than inliers. Each tree is grown on a
+//! subsample of `ψ` points with uniformly random (feature, threshold)
+//! splits up to depth `⌈log₂ ψ⌉`; the anomaly score of a point is
+//! `s(x) = 2^(−E[h(x)] / c(ψ))` where `h` is the path length (with the
+//! average-BST correction `c(size)` credited at truncated leaves) — scores
+//! near 1 are anomalous, near 0.5 or below are normal.
+
+use crate::error::DetectError;
+use crate::features::validate_features;
+use crate::{Detector, FittedDetector, Result};
+use mfod_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Isolation Forest configuration.
+#[derive(Debug, Clone)]
+pub struct IsolationForest {
+    /// Number of trees (paper default: 100).
+    pub n_trees: usize,
+    /// Subsample size ψ per tree (paper default: 256; clamped to n).
+    pub subsample: usize,
+    /// RNG seed for reproducible forests.
+    pub seed: u64,
+}
+
+impl Default for IsolationForest {
+    fn default() -> Self {
+        IsolationForest { n_trees: 100, subsample: 256, seed: 0xF0_4E57 }
+    }
+}
+
+impl IsolationForest {
+    /// Forest with explicit tree count and subsample size.
+    pub fn new(n_trees: usize, subsample: usize, seed: u64) -> Result<Self> {
+        if n_trees == 0 {
+            return Err(DetectError::InvalidParameter("n_trees must be >= 1".into()));
+        }
+        if subsample < 2 {
+            return Err(DetectError::InvalidParameter("subsample must be >= 2".into()));
+        }
+        Ok(IsolationForest { n_trees, subsample, seed })
+    }
+}
+
+/// Euler–Mascheroni constant (not yet stable in `std::f64::consts`).
+const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+
+/// Average path length of an unsuccessful BST search among `n` nodes:
+/// `c(n) = 2 H(n−1) − 2(n−1)/n`, with `c(1) = 0`.
+fn average_path_length(n: usize) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let harmonic = (nf - 1.0).ln() + EULER_GAMMA;
+    2.0 * harmonic - 2.0 * (nf - 1.0) / nf
+}
+
+/// One node of an isolation tree, arena-allocated.
+#[derive(Debug, Clone)]
+enum Node {
+    Internal {
+        feature: usize,
+        threshold: f64,
+        /// Arena index of the left (`< threshold`) child.
+        left: u32,
+        /// Arena index of the right child.
+        right: u32,
+    },
+    Leaf {
+        /// Number of training points that reached this leaf.
+        size: u32,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Tree {
+    nodes: Vec<Node>,
+}
+
+impl Tree {
+    /// Grows a tree on the points indexed by `idx` (mutated in place for
+    /// in-partition swapping).
+    fn grow(x: &Matrix, idx: &mut [usize], height_limit: usize, rng: &mut StdRng) -> Tree {
+        let mut nodes = Vec::with_capacity(2 * idx.len());
+        Self::grow_rec(x, idx, 0, height_limit, rng, &mut nodes);
+        Tree { nodes }
+    }
+
+    fn grow_rec(
+        x: &Matrix,
+        idx: &mut [usize],
+        depth: usize,
+        height_limit: usize,
+        rng: &mut StdRng,
+        nodes: &mut Vec<Node>,
+    ) -> u32 {
+        if idx.len() <= 1 || depth >= height_limit {
+            nodes.push(Node::Leaf { size: idx.len() as u32 });
+            return (nodes.len() - 1) as u32;
+        }
+        // choose a feature with non-degenerate spread; give up after d tries
+        let d = x.ncols();
+        let mut feature = None;
+        let start = rng.random_range(0..d);
+        for off in 0..d {
+            let f = (start + off) % d;
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &i in idx.iter() {
+                let v = x[(i, f)];
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            if hi > lo {
+                feature = Some((f, lo, hi));
+                break;
+            }
+        }
+        let Some((feature, lo, hi)) = feature else {
+            // all points identical on every feature: unsplittable
+            nodes.push(Node::Leaf { size: idx.len() as u32 });
+            return (nodes.len() - 1) as u32;
+        };
+        let threshold = lo + rng.random::<f64>() * (hi - lo);
+        // partition idx in place: left part < threshold
+        let mut split = 0;
+        for i in 0..idx.len() {
+            if x[(idx[i], feature)] < threshold {
+                idx.swap(i, split);
+                split += 1;
+            }
+        }
+        // a uniform threshold in (lo, hi) cannot produce an empty side given
+        // hi > lo, except through floating-point edge cases — fall back to a
+        // leaf in that case
+        if split == 0 || split == idx.len() {
+            nodes.push(Node::Leaf { size: idx.len() as u32 });
+            return (nodes.len() - 1) as u32;
+        }
+        let placeholder = nodes.len();
+        nodes.push(Node::Leaf { size: 0 }); // replaced below
+        let (left_idx, right_idx) = idx.split_at_mut(split);
+        let left = Self::grow_rec(x, left_idx, depth + 1, height_limit, rng, nodes);
+        let right = Self::grow_rec(x, right_idx, depth + 1, height_limit, rng, nodes);
+        nodes[placeholder] = Node::Internal { feature, threshold, left, right };
+        placeholder as u32
+    }
+
+    /// Path length of `x` from the root, with the `c(size)` credit at leaves.
+    fn path_length(&self, x: &[f64]) -> f64 {
+        let mut node = 0u32;
+        let mut depth = 0.0;
+        loop {
+            match &self.nodes[node as usize] {
+                Node::Leaf { size } => {
+                    return depth + average_path_length(*size as usize);
+                }
+                Node::Internal { feature, threshold, left, right } => {
+                    node = if x[*feature] < *threshold { *left } else { *right };
+                    depth += 1.0;
+                }
+            }
+        }
+    }
+}
+
+/// A fitted isolation forest.
+#[derive(Debug, Clone)]
+pub struct FittedIsolationForest {
+    trees: Vec<Tree>,
+    dim: usize,
+    /// Normalization constant `c(ψ_effective)`.
+    c_psi: f64,
+}
+
+impl Detector for IsolationForest {
+    fn name(&self) -> &'static str {
+        "iforest"
+    }
+
+    fn fit(&self, train: &Matrix) -> Result<Box<dyn FittedDetector>> {
+        validate_features(train, 2)?;
+        if self.n_trees == 0 || self.subsample < 2 {
+            return Err(DetectError::InvalidParameter(
+                "n_trees must be >= 1 and subsample >= 2".into(),
+            ));
+        }
+        let n = train.nrows();
+        let psi = self.subsample.min(n);
+        let height_limit = (psi as f64).log2().ceil() as usize;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut trees = Vec::with_capacity(self.n_trees);
+        let mut pool: Vec<usize> = (0..n).collect();
+        for _ in 0..self.n_trees {
+            // partial Fisher–Yates: the first psi entries become the subsample
+            for i in 0..psi {
+                let j = rng.random_range(i..n);
+                pool.swap(i, j);
+            }
+            let mut idx = pool[..psi].to_vec();
+            trees.push(Tree::grow(train, &mut idx, height_limit, &mut rng));
+        }
+        Ok(Box::new(FittedIsolationForest {
+            trees,
+            dim: train.ncols(),
+            c_psi: average_path_length(psi).max(f64::MIN_POSITIVE),
+        }))
+    }
+}
+
+impl FittedDetector for FittedIsolationForest {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn score_one(&self, x: &[f64]) -> Result<f64> {
+        if x.len() != self.dim {
+            return Err(DetectError::DimensionMismatch { expected: self.dim, got: x.len() });
+        }
+        if !mfod_linalg::vector::all_finite(x) {
+            return Err(DetectError::NonFinite);
+        }
+        let mean_path: f64 =
+            self.trees.iter().map(|t| t.path_length(x)).sum::<f64>() / self.trees.len() as f64;
+        Ok(2.0_f64.powf(-mean_path / self.c_psi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::matrix_from_rows;
+
+    fn blob_with_outlier() -> Matrix {
+        let mut rows: Vec<Vec<f64>> = (0..128)
+            .map(|i| {
+                let a = i as f64 * 0.37;
+                vec![a.sin(), a.cos(), (2.0 * a).sin() * 0.5]
+            })
+            .collect();
+        rows.push(vec![10.0, -10.0, 10.0]);
+        matrix_from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn average_path_length_values() {
+        assert_eq!(average_path_length(0), 0.0);
+        assert_eq!(average_path_length(1), 0.0);
+        // c(2) = 2(ln 1 + γ) − 1 = 2γ − 1 ≈ 0.1544
+        assert!((average_path_length(2) - (2.0 * EULER_GAMMA - 1.0)).abs() < 1e-12);
+        // monotone increasing
+        for n in 2..100 {
+            assert!(average_path_length(n + 1) > average_path_length(n));
+        }
+    }
+
+    #[test]
+    fn outlier_gets_top_score() {
+        let x = blob_with_outlier();
+        let model = IsolationForest::default().fit(&x).unwrap();
+        let scores = model.score_batch(&x).unwrap();
+        let top = scores.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        assert_eq!(top, 128);
+        // scores live in (0, 1]
+        assert!(scores.iter().all(|&s| s > 0.0 && s <= 1.0));
+        // the outlier's score exceeds the typical inlier score clearly
+        let inlier_mean: f64 = scores[..128].iter().sum::<f64>() / 128.0;
+        assert!(scores[128] > inlier_mean + 0.1, "{} vs {}", scores[128], inlier_mean);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let x = blob_with_outlier();
+        let m1 = IsolationForest { seed: 7, ..Default::default() }.fit(&x).unwrap();
+        let m2 = IsolationForest { seed: 7, ..Default::default() }.fit(&x).unwrap();
+        let s1 = m1.score_batch(&x).unwrap();
+        let s2 = m2.score_batch(&x).unwrap();
+        assert_eq!(s1, s2);
+        let m3 = IsolationForest { seed: 8, ..Default::default() }.fit(&x).unwrap();
+        let s3 = m3.score_batch(&x).unwrap();
+        assert_ne!(s1, s3);
+    }
+
+    #[test]
+    fn scores_unseen_points() {
+        let x = blob_with_outlier();
+        let model = IsolationForest::default().fit(&x).unwrap();
+        let near = model.score_one(&[0.5, 0.8, 0.2]).unwrap();
+        let far = model.score_one(&[-20.0, 20.0, -20.0]).unwrap();
+        assert!(far > near, "far {far} near {near}");
+    }
+
+    #[test]
+    fn handles_constant_data() {
+        // unsplittable: all points identical; scoring must not panic or NaN
+        let x = Matrix::filled(16, 2, 1.0);
+        let model = IsolationForest::default().fit(&x).unwrap();
+        let s = model.score_one(&[1.0, 1.0]).unwrap();
+        assert!(s.is_finite() && s > 0.0);
+    }
+
+    #[test]
+    fn validations() {
+        assert!(IsolationForest::new(0, 256, 0).is_err());
+        assert!(IsolationForest::new(10, 1, 0).is_err());
+        let x = Matrix::zeros(1, 2);
+        assert!(IsolationForest::default().fit(&x).is_err());
+        let x = blob_with_outlier();
+        let model = IsolationForest::default().fit(&x).unwrap();
+        assert!(model.score_one(&[1.0]).is_err());
+        assert!(model.score_one(&[f64::NAN, 0.0, 0.0]).is_err());
+        assert_eq!(model.dim(), 3);
+        assert_eq!(IsolationForest::default().name(), "iforest");
+    }
+
+    #[test]
+    fn subsample_larger_than_n_is_clamped() {
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, (i * i) as f64]).collect();
+        let x = matrix_from_rows(&rows).unwrap();
+        let model = IsolationForest { subsample: 1000, ..Default::default() }.fit(&x).unwrap();
+        let s = model.score_batch(&x).unwrap();
+        assert_eq!(s.len(), 20);
+        assert!(s.iter().all(|&v| v.is_finite()));
+    }
+
+    #[test]
+    fn score_batch_dimension_check() {
+        let x = blob_with_outlier();
+        let model = IsolationForest::default().fit(&x).unwrap();
+        let wrong = Matrix::zeros(3, 2);
+        assert!(matches!(
+            model.score_batch(&wrong),
+            Err(DetectError::DimensionMismatch { .. })
+        ));
+    }
+}

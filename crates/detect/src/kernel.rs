@@ -1,0 +1,91 @@
+//! Kernel functions for the one-class SVM.
+
+use mfod_linalg::vector;
+
+/// A positive-definite kernel `K(x, y)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Kernel {
+    /// Linear kernel `xᵀy`.
+    Linear,
+    /// Gaussian RBF `exp(−γ ‖x − y‖²)`.
+    Rbf {
+        /// Bandwidth parameter γ > 0.
+        gamma: f64,
+    },
+    /// Polynomial kernel `(γ xᵀy + coef0)^degree`.
+    Polynomial {
+        /// Scale γ > 0.
+        gamma: f64,
+        /// Additive constant.
+        coef0: f64,
+        /// Degree (>= 1).
+        degree: u32,
+    },
+}
+
+impl Kernel {
+    /// Evaluates the kernel.
+    ///
+    /// # Panics
+    /// Panics if `x` and `y` have different lengths.
+    pub fn eval(&self, x: &[f64], y: &[f64]) -> f64 {
+        match *self {
+            Kernel::Linear => vector::dot(x, y),
+            Kernel::Rbf { gamma } => (-gamma * vector::dist2_sq(x, y)).exp(),
+            Kernel::Polynomial { gamma, coef0, degree } => {
+                (gamma * vector::dot(x, y) + coef0).powi(degree as i32)
+            }
+        }
+    }
+
+    /// Whether the parameters are in range.
+    pub fn is_valid(&self) -> bool {
+        match *self {
+            Kernel::Linear => true,
+            Kernel::Rbf { gamma } => gamma > 0.0 && gamma.is_finite(),
+            Kernel::Polynomial { gamma, coef0, degree } => {
+                gamma > 0.0 && gamma.is_finite() && coef0.is_finite() && degree >= 1
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_kernel() {
+        assert_eq!(Kernel::Linear.eval(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert!(Kernel::Linear.is_valid());
+    }
+
+    #[test]
+    fn rbf_kernel_properties() {
+        let k = Kernel::Rbf { gamma: 0.5 };
+        // K(x, x) = 1
+        assert!((k.eval(&[1.0, -2.0], &[1.0, -2.0]) - 1.0).abs() < 1e-12);
+        // symmetric
+        let a = [0.0, 1.0];
+        let b = [2.0, -1.0];
+        assert_eq!(k.eval(&a, &b), k.eval(&b, &a));
+        // bounded in (0, 1]
+        let v = k.eval(&a, &b);
+        assert!(v > 0.0 && v <= 1.0);
+        // known value: ‖a−b‖² = 8 → exp(−4)
+        assert!((v - (-4.0_f64).exp()).abs() < 1e-12);
+        assert!(k.is_valid());
+        assert!(!Kernel::Rbf { gamma: 0.0 }.is_valid());
+        assert!(!Kernel::Rbf { gamma: f64::NAN }.is_valid());
+    }
+
+    #[test]
+    fn polynomial_kernel() {
+        let k = Kernel::Polynomial { gamma: 1.0, coef0: 1.0, degree: 2 };
+        // (x·y + 1)² with x·y = 2 → 9
+        assert_eq!(k.eval(&[1.0, 1.0], &[1.0, 1.0]), 9.0);
+        assert!(k.is_valid());
+        assert!(!Kernel::Polynomial { gamma: -1.0, coef0: 0.0, degree: 2 }.is_valid());
+        assert!(!Kernel::Polynomial { gamma: 1.0, coef0: 0.0, degree: 0 }.is_valid());
+    }
+}

@@ -1,0 +1,101 @@
+//! # mfod-detect
+//!
+//! From-scratch multivariate outlier detectors — the "state-of-the-art
+//! algorithms" the paper feeds with geometrically mapped functional data
+//! (Sec. 3–4):
+//!
+//! * [`iforest::IsolationForest`] — Liu, Ting & Zhou (ICDM 2008);
+//! * [`ocsvm::OcSvm`] — the ν-one-class SVM of Schölkopf et al. (2001),
+//!   solved by sequential minimal optimization (SMO);
+//! * [`lof::Lof`] — local outlier factor (extra detector for ablations);
+//! * [`mahalanobis::Mahalanobis`] — the classical parametric yardstick.
+//!
+//! All detectors implement the [`Detector`] → [`FittedDetector`] pair and
+//! orient scores **higher = more outlying**. Feature vectors are rows of a
+//! [`mfod_linalg::Matrix`]; [`features::validate_features`] centralizes the
+//! input checks.
+//!
+//! ```
+//! use mfod_detect::prelude::*;
+//! use mfod_linalg::Matrix;
+//!
+//! // 2-D blob plus one far-away point.
+//! let mut rows: Vec<Vec<f64>> = (0..64)
+//!     .map(|i| {
+//!         let a = i as f64 * 0.1;
+//!         vec![a.sin() * 0.1, a.cos() * 0.1]
+//!     })
+//!     .collect();
+//! rows.push(vec![4.0, -4.0]);
+//! let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+//! let x = Matrix::from_rows(&refs);
+//!
+//! let model = IsolationForest::default().fit(&x).unwrap();
+//! let scores = model.score_batch(&x).unwrap();
+//! let top = scores
+//!     .iter()
+//!     .enumerate()
+//!     .max_by(|a, b| a.1.total_cmp(b.1))
+//!     .unwrap()
+//!     .0;
+//! assert_eq!(top, 64);
+//! ```
+
+pub mod error;
+pub mod features;
+pub mod iforest;
+pub mod kernel;
+pub mod lof;
+pub mod mahalanobis;
+pub mod ocsvm;
+
+pub use error::DetectError;
+pub use iforest::IsolationForest;
+pub use kernel::Kernel;
+pub use lof::Lof;
+pub use mahalanobis::Mahalanobis;
+pub use ocsvm::{GammaSpec, OcSvm};
+
+use mfod_linalg::Matrix;
+
+/// Crate-wide `Result` alias.
+pub type Result<T> = std::result::Result<T, DetectError>;
+
+/// An unsupervised outlier-detection algorithm configuration.
+pub trait Detector: Send + Sync {
+    /// Identifier used in experiment reports.
+    fn name(&self) -> &'static str;
+
+    /// Fits the detector on training rows (which may themselves contain
+    /// outliers — robustness to training contamination is exactly what the
+    /// paper's Fig. 3 probes).
+    fn fit(&self, train: &Matrix) -> Result<Box<dyn FittedDetector>>;
+}
+
+/// A fitted detector ready to score unseen samples.
+pub trait FittedDetector: Send + Sync {
+    /// Feature dimension the model was trained on.
+    fn dim(&self) -> usize;
+
+    /// Outlyingness score of one sample; **higher = more outlying**.
+    fn score_one(&self, x: &[f64]) -> Result<f64>;
+
+    /// Scores every row of `data`.
+    fn score_batch(&self, data: &Matrix) -> Result<Vec<f64>> {
+        if data.ncols() != self.dim() {
+            return Err(DetectError::DimensionMismatch { expected: self.dim(), got: data.ncols() });
+        }
+        (0..data.nrows()).map(|i| self.score_one(data.row(i))).collect()
+    }
+}
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::error::DetectError;
+    pub use crate::iforest::IsolationForest;
+    pub use crate::kernel::Kernel;
+    pub use crate::lof::Lof;
+    pub use crate::mahalanobis::Mahalanobis;
+    pub use crate::ocsvm::{GammaSpec, OcSvm};
+    pub use crate::{Detector, FittedDetector};
+}

@@ -1,0 +1,204 @@
+//! Local Outlier Factor (Breunig et al., SIGMOD 2000).
+//!
+//! LOF compares the local reachability density of a point with that of its
+//! `k` nearest neighbors; values ≫ 1 mean the point is in a sparser region
+//! than its neighbors — a *local* notion of outlyingness that complements
+//! the global iForest/OCSVM views in the detector ablation (experiment A3).
+
+use crate::error::DetectError;
+use crate::features::validate_features;
+use crate::{Detector, FittedDetector, Result};
+use mfod_linalg::{vector, Matrix};
+
+/// LOF configuration.
+#[derive(Debug, Clone)]
+pub struct Lof {
+    /// Neighborhood size `k` (MinPts).
+    pub k: usize,
+}
+
+impl Default for Lof {
+    fn default() -> Self {
+        Lof { k: 20 }
+    }
+}
+
+impl Lof {
+    /// LOF with neighborhood size `k >= 1`.
+    pub fn new(k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(DetectError::InvalidParameter("k must be >= 1".into()));
+        }
+        Ok(Lof { k })
+    }
+}
+
+/// A fitted LOF model: stores the training set and its precomputed
+/// k-distances and local reachability densities.
+#[derive(Debug, Clone)]
+pub struct FittedLof {
+    train: Matrix,
+    k: usize,
+    /// k-distance of every training point.
+    k_dist: Vec<f64>,
+    /// local reachability density of every training point.
+    lrd: Vec<f64>,
+}
+
+/// Indices and distances of the `k` nearest rows of `train` to `x`
+/// (excluding an optional `skip` row).
+fn knn(train: &Matrix, x: &[f64], k: usize, skip: Option<usize>) -> Vec<(usize, f64)> {
+    let mut d: Vec<(usize, f64)> = (0..train.nrows())
+        .filter(|&i| Some(i) != skip)
+        .map(|i| (i, vector::dist2(train.row(i), x)))
+        .collect();
+    d.sort_by(|a, b| a.1.total_cmp(&b.1));
+    d.truncate(k);
+    d
+}
+
+impl Detector for Lof {
+    fn name(&self) -> &'static str {
+        "lof"
+    }
+
+    fn fit(&self, train: &Matrix) -> Result<Box<dyn FittedDetector>> {
+        validate_features(train, 2)?;
+        if self.k == 0 {
+            return Err(DetectError::InvalidParameter("k must be >= 1".into()));
+        }
+        let n = train.nrows();
+        let k = self.k.min(n - 1);
+        // neighbor lists of the training points themselves
+        let neighbors: Vec<Vec<(usize, f64)>> =
+            (0..n).map(|i| knn(train, train.row(i), k, Some(i))).collect();
+        let k_dist: Vec<f64> = neighbors
+            .iter()
+            .map(|nb| nb.last().map(|&(_, d)| d).unwrap_or(0.0))
+            .collect();
+        // local reachability density
+        let lrd: Vec<f64> = (0..n)
+            .map(|i| {
+                let sum: f64 = neighbors[i]
+                    .iter()
+                    .map(|&(j, d)| d.max(k_dist[j]))
+                    .sum();
+                if sum <= 0.0 {
+                    f64::INFINITY // duplicated points: infinitely dense
+                } else {
+                    k as f64 / sum
+                }
+            })
+            .collect();
+        Ok(Box::new(FittedLof { train: train.clone(), k, k_dist, lrd }))
+    }
+}
+
+impl FittedDetector for FittedLof {
+    fn dim(&self) -> usize {
+        self.train.ncols()
+    }
+
+    fn score_one(&self, x: &[f64]) -> Result<f64> {
+        if x.len() != self.dim() {
+            return Err(DetectError::DimensionMismatch { expected: self.dim(), got: x.len() });
+        }
+        if !vector::all_finite(x) {
+            return Err(DetectError::NonFinite);
+        }
+        let nb = knn(&self.train, x, self.k, None);
+        let reach_sum: f64 = nb.iter().map(|&(j, d)| d.max(self.k_dist[j])).sum();
+        let lrd_x = if reach_sum <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.k as f64 / reach_sum
+        };
+        let mean_neighbor_lrd: f64 =
+            nb.iter().map(|&(j, _)| self.lrd[j]).sum::<f64>() / nb.len() as f64;
+        if !lrd_x.is_finite() {
+            // x coincides with training points: maximally dense, LOF -> ratio
+            // of finite neighbor density to infinite own density = 0-ish; by
+            // convention return 1.0 (perfectly normal)
+            return Ok(1.0);
+        }
+        if !mean_neighbor_lrd.is_finite() {
+            // neighbors are duplicated points, x is not: strongly outlying
+            return Ok(f64::MAX.sqrt());
+        }
+        Ok(mean_neighbor_lrd / lrd_x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::matrix_from_rows;
+
+    fn two_clusters_and_outlier() -> Matrix {
+        let mut rows = Vec::new();
+        for i in 0..30 {
+            let a = i as f64 * 0.21;
+            rows.push(vec![a.sin() * 0.2, a.cos() * 0.2]);
+            rows.push(vec![5.0 + a.cos() * 0.2, 5.0 + a.sin() * 0.2]);
+        }
+        rows.push(vec![2.5, 2.5]); // between the clusters: locally isolated
+        matrix_from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn isolated_point_has_high_lof() {
+        let x = two_clusters_and_outlier();
+        let model = Lof::new(10).unwrap().fit(&x).unwrap();
+        let s = model.score_batch(&x).unwrap();
+        let top = s.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        assert_eq!(top, 60, "{s:?}");
+        assert!(s[60] > 1.5, "LOF of isolated point: {}", s[60]);
+    }
+
+    #[test]
+    fn uniform_cloud_scores_near_one() {
+        // grid points all have similar density: LOF ≈ 1
+        let rows: Vec<Vec<f64>> = (0..49)
+            .map(|i| vec![(i % 7) as f64, (i / 7) as f64])
+            .collect();
+        let x = matrix_from_rows(&rows).unwrap();
+        let model = Lof::new(8).unwrap().fit(&x).unwrap();
+        // score interior points (corners legitimately drift above 1)
+        let s = model.score_one(&[3.0, 3.0]).unwrap();
+        assert!((s - 1.0).abs() < 0.2, "interior LOF {s}");
+    }
+
+    #[test]
+    fn duplicate_training_points() {
+        let mut rows = vec![vec![0.0, 0.0]; 10];
+        rows.push(vec![3.0, 3.0]);
+        let x = matrix_from_rows(&rows).unwrap();
+        let model = Lof::new(3).unwrap().fit(&x).unwrap();
+        // a duplicated point: convention 1.0
+        assert_eq!(model.score_one(&[0.0, 0.0]).unwrap(), 1.0);
+        // a fresh point whose neighbors are all duplicates: huge score
+        let s = model.score_one(&[0.5, 0.5]).unwrap();
+        assert!(s > 1e3);
+    }
+
+    #[test]
+    fn k_clamped_to_n_minus_1() {
+        let rows: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64]).collect();
+        let x = matrix_from_rows(&rows).unwrap();
+        let model = Lof::new(100).unwrap().fit(&x).unwrap();
+        assert!(model.score_one(&[2.0]).unwrap().is_finite());
+    }
+
+    #[test]
+    fn validations() {
+        assert!(Lof::new(0).is_err());
+        let x = Matrix::zeros(1, 2);
+        assert!(Lof::default().fit(&x).is_err());
+        let x = two_clusters_and_outlier();
+        let model = Lof::default().fit(&x).unwrap();
+        assert!(model.score_one(&[1.0]).is_err());
+        assert!(model.score_one(&[f64::NAN, 0.0]).is_err());
+        assert_eq!(Lof::default().name(), "lof");
+        assert_eq!(model.dim(), 2);
+    }
+}

@@ -1,0 +1,170 @@
+//! Mahalanobis-distance detector: the classical parametric yardstick
+//! (a Gaussian ellipsoid around the mean). Fast, but non-robust — included
+//! as the weakest baseline of the detector ablation (experiment A3).
+
+use crate::error::DetectError;
+use crate::features::validate_features;
+use crate::{Detector, FittedDetector, Result};
+use mfod_linalg::{vector, Cholesky, Matrix};
+
+/// Mahalanobis detector configuration.
+#[derive(Debug, Clone)]
+pub struct Mahalanobis {
+    /// Ridge added to the covariance diagonal (relative to its trace) to
+    /// keep the estimate invertible for `d ≈ n` feature sets like gridded
+    /// curves.
+    pub ridge: f64,
+}
+
+impl Default for Mahalanobis {
+    fn default() -> Self {
+        Mahalanobis { ridge: 1e-6 }
+    }
+}
+
+/// A fitted Mahalanobis model: mean vector and Cholesky factor of the
+/// (ridged) covariance.
+#[derive(Debug, Clone)]
+pub struct FittedMahalanobis {
+    mean: Vec<f64>,
+    chol: Cholesky,
+}
+
+impl Detector for Mahalanobis {
+    fn name(&self) -> &'static str {
+        "mahalanobis"
+    }
+
+    fn fit(&self, train: &Matrix) -> Result<Box<dyn FittedDetector>> {
+        validate_features(train, 2)?;
+        if !(self.ridge >= 0.0 && self.ridge.is_finite()) {
+            return Err(DetectError::InvalidParameter(format!(
+                "ridge must be finite and >= 0, got {}",
+                self.ridge
+            )));
+        }
+        let n = train.nrows();
+        let d = train.ncols();
+        let mut mean = vec![0.0; d];
+        for i in 0..n {
+            vector::axpy(1.0, train.row(i), &mut mean);
+        }
+        vector::scale(1.0 / n as f64, &mut mean);
+        // covariance
+        let mut cov = Matrix::zeros(d, d);
+        let mut centered = vec![0.0; d];
+        for i in 0..n {
+            for (c, (v, m)) in centered.iter_mut().zip(train.row(i).iter().zip(&mean)) {
+                *c = v - m;
+            }
+            for a in 0..d {
+                let ca = centered[a];
+                if ca == 0.0 {
+                    continue;
+                }
+                for b in a..d {
+                    cov[(a, b)] += ca * centered[b];
+                }
+            }
+        }
+        let denom = (n - 1).max(1) as f64;
+        for a in 0..d {
+            for b in a..d {
+                cov[(a, b)] /= denom;
+                cov[(b, a)] = cov[(a, b)];
+            }
+        }
+        // relative ridge keeps the scale of the data
+        let scale = cov.trace().max(1e-300) / d as f64;
+        for a in 0..d {
+            cov[(a, a)] += self.ridge * scale + 1e-12;
+        }
+        let chol = Cholesky::new_jittered(&cov, 1e-10)?;
+        Ok(Box::new(FittedMahalanobis { mean, chol }))
+    }
+}
+
+impl FittedDetector for FittedMahalanobis {
+    fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    fn score_one(&self, x: &[f64]) -> Result<f64> {
+        if x.len() != self.dim() {
+            return Err(DetectError::DimensionMismatch { expected: self.dim(), got: x.len() });
+        }
+        if !vector::all_finite(x) {
+            return Err(DetectError::NonFinite);
+        }
+        let diff = vector::sub(x, &self.mean);
+        let solved = self.chol.solve(&diff);
+        Ok(vector::dot(&diff, &solved).max(0.0).sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::matrix_from_rows;
+
+    fn anisotropic_blob() -> Matrix {
+        // spread 10x along x, 1x along y
+        let rows: Vec<Vec<f64>> = (0..200)
+            .map(|i| {
+                let a = i as f64 * 0.7;
+                vec![10.0 * a.sin(), a.cos()]
+            })
+            .collect();
+        matrix_from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn respects_covariance_shape() {
+        let x = anisotropic_blob();
+        let model = Mahalanobis::default().fit(&x).unwrap();
+        // a point far along the stretched axis is LESS outlying than one the
+        // same Euclidean distance along the narrow axis
+        let along = model.score_one(&[8.0, 0.0]).unwrap();
+        let across = model.score_one(&[0.0, 8.0]).unwrap();
+        assert!(across > along * 2.0, "across {across} vs along {along}");
+    }
+
+    #[test]
+    fn mean_point_scores_zero() {
+        let x = matrix_from_rows(&[
+            vec![1.0, 2.0],
+            vec![3.0, 4.0],
+            vec![5.0, 0.0],
+        ])
+        .unwrap();
+        let model = Mahalanobis::default().fit(&x).unwrap();
+        let s = model.score_one(&[3.0, 2.0]).unwrap(); // the mean
+        assert!(s < 1e-6, "score at mean: {s}");
+    }
+
+    #[test]
+    fn degenerate_directions_survive_ridge() {
+        // perfectly collinear data: plain covariance is singular
+        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let x = matrix_from_rows(&rows).unwrap();
+        let model = Mahalanobis::default().fit(&x).unwrap();
+        let s = model.score_one(&[25.0, 50.0]).unwrap();
+        assert!(s.is_finite());
+        // off-line point is much more outlying
+        let off = model.score_one(&[25.0, 0.0]).unwrap();
+        assert!(off > s);
+    }
+
+    #[test]
+    fn validations() {
+        let bad = Mahalanobis { ridge: -1.0 };
+        let x = anisotropic_blob();
+        assert!(bad.fit(&x).is_err());
+        assert!(Mahalanobis::default().fit(&Matrix::zeros(1, 2)).is_err());
+        let model = Mahalanobis::default().fit(&x).unwrap();
+        assert!(model.score_one(&[1.0]).is_err());
+        assert!(model.score_one(&[f64::NAN, 0.0]).is_err());
+        assert_eq!(Mahalanobis::default().name(), "mahalanobis");
+        assert_eq!(model.dim(), 2);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for the outlier detectors.
+
+use mfod_detect::features::matrix_from_rows;
+use mfod_detect::prelude::*;
+use mfod_linalg::Matrix;
+use proptest::prelude::*;
+
+/// Strategy: a cloud of n points in d dimensions with bounded coordinates.
+fn cloud(n: usize, d: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-100.0..100.0f64, n * d)
+        .prop_map(move |data| Matrix::from_vec(n, d, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn iforest_scores_in_unit_interval(x in cloud(40, 3)) {
+        let model = IsolationForest { n_trees: 25, ..Default::default() }.fit(&x).unwrap();
+        let scores = model.score_batch(&x).unwrap();
+        prop_assert!(scores.iter().all(|&s| s > 0.0 && s <= 1.0));
+    }
+
+    #[test]
+    fn iforest_is_deterministic(x in cloud(30, 2), seed in 0u64..1000) {
+        let cfg = IsolationForest { n_trees: 20, seed, ..Default::default() };
+        let s1 = cfg.fit(&x).unwrap().score_batch(&x).unwrap();
+        let s2 = cfg.fit(&x).unwrap().score_batch(&x).unwrap();
+        prop_assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn iforest_far_point_scores_higher_than_center(x in cloud(50, 2)) {
+        // inject a point far outside the data's bounding box
+        let model = IsolationForest { n_trees: 50, ..Default::default() }.fit(&x).unwrap();
+        let far = model.score_one(&[1e4, -1e4]).unwrap();
+        // mean score of actual data
+        let scores = model.score_batch(&x).unwrap();
+        let mean = scores.iter().sum::<f64>() / scores.len() as f64;
+        prop_assert!(far >= mean, "far {far} vs mean {mean}");
+    }
+
+    #[test]
+    fn ocsvm_dual_feasibility(x in cloud(30, 2), nu in 0.05f64..0.9) {
+        let cfg = OcSvm { nu, ..Default::default() };
+        let model = cfg.fit_concrete(&x);
+        // degenerate clouds (zero MAD in every direction) may legitimately fail
+        prop_assume!(model.is_ok());
+        let model = model.unwrap();
+        prop_assert!(model.rho().is_finite());
+        prop_assert!(model.n_support() >= 1);
+        // the ν-property lower bound on the SV fraction
+        prop_assert!(
+            model.sv_fraction() >= nu - 2.0 / 30.0,
+            "sv fraction {} for nu {nu}",
+            model.sv_fraction()
+        );
+    }
+
+    #[test]
+    fn ocsvm_score_is_negated_decision(x in cloud(25, 2)) {
+        let cfg = OcSvm { nu: 0.2, ..Default::default() };
+        let model = cfg.fit_concrete(&x);
+        prop_assume!(model.is_ok());
+        let model = model.unwrap();
+        for i in 0..x.nrows() {
+            let d = model.decision(x.row(i)).unwrap();
+            let s = model.score_one(x.row(i)).unwrap();
+            prop_assert!((d + s).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lof_uniformish_scores_near_one(scale in 0.5f64..5.0) {
+        // regular grid scaled arbitrarily: interior density is homogeneous
+        let rows: Vec<Vec<f64>> = (0..36)
+            .map(|i| vec![scale * (i % 6) as f64, scale * (i / 6) as f64])
+            .collect();
+        let x = matrix_from_rows(&rows).unwrap();
+        let model = Lof::new(6).unwrap().fit(&x).unwrap();
+        let s = model.score_one(&[scale * 2.5, scale * 2.5]).unwrap();
+        prop_assert!((s - 1.0).abs() < 0.3, "interior LOF {s}");
+    }
+
+    #[test]
+    fn mahalanobis_affine_consistency(x in cloud(40, 2), shift in -50.0..50.0f64) {
+        // shifting all data and the query leaves the distance unchanged
+        let model = Mahalanobis::default().fit(&x).unwrap();
+        let q = [1.0, 2.0];
+        let d1 = model.score_one(&q).unwrap();
+        let mut moved = x.clone();
+        for v in moved.as_mut_slice() {
+            *v += shift;
+        }
+        let model2 = Mahalanobis::default().fit(&moved).unwrap();
+        let d2 = model2.score_one(&[q[0] + shift, q[1] + shift]).unwrap();
+        prop_assert!((d1 - d2).abs() < 1e-6 * (1.0 + d1), "{d1} vs {d2}");
+    }
+
+    #[test]
+    fn standardizer_inverse_consistency(x in cloud(20, 3)) {
+        use mfod_detect::features::Standardizer;
+        let s = Standardizer::fit(&x).unwrap();
+        let z = s.transform(&x).unwrap();
+        // standardized columns have |mean| ~ 0
+        for j in 0..3 {
+            let col = z.col(j);
+            let mean = col.iter().sum::<f64>() / col.len() as f64;
+            prop_assert!(mean.abs() < 1e-8, "col {j} mean {mean}");
+        }
+    }
+}

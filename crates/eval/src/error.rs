@@ -1,0 +1,65 @@
+//! Error type for evaluation utilities.
+
+use std::fmt;
+
+/// Errors produced by metric computation or experiment running.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// Scores and labels disagree in length.
+    LengthMismatch {
+        /// Number of scores.
+        scores: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+    /// A metric needs both classes present (AUC is undefined otherwise).
+    SingleClass,
+    /// Scores contain NaN (ordering undefined).
+    NonFinite,
+    /// A parameter is out of range.
+    InvalidParameter(String),
+    /// An experiment repetition failed; carries the repetition index and the
+    /// stringified cause.
+    RepetitionFailed {
+        /// 0-based repetition index.
+        repetition: usize,
+        /// Cause description.
+        message: String,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::LengthMismatch { scores, labels } => {
+                write!(f, "length mismatch: {scores} scores vs {labels} labels")
+            }
+            EvalError::SingleClass => {
+                write!(f, "metric undefined: only one class present in labels")
+            }
+            EvalError::NonFinite => write!(f, "scores contain NaN or infinite values"),
+            EvalError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            EvalError::RepetitionFailed { repetition, message } => {
+                write!(f, "repetition {repetition} failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(EvalError::LengthMismatch { scores: 3, labels: 4 }.to_string().contains('4'));
+        assert!(EvalError::SingleClass.to_string().contains("one class"));
+        assert!(EvalError::NonFinite.to_string().contains("NaN"));
+        assert!(EvalError::InvalidParameter("k".into()).to_string().contains('k'));
+        assert!(EvalError::RepetitionFailed { repetition: 3, message: "x".into() }
+            .to_string()
+            .contains('3'));
+    }
+}

@@ -1,0 +1,174 @@
+//! The repeated-experiment runner behind Fig. 3: run a seeded experiment
+//! many times (the paper: 50 random splittings) and aggregate each method's
+//! metric into mean ± standard deviation.
+
+use crate::error::EvalError;
+use crate::Result;
+use mfod_linalg::vector;
+use std::collections::BTreeMap;
+
+/// Aggregated result of one method over all repetitions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodSummary {
+    /// Method identifier.
+    pub method: String,
+    /// Mean metric value.
+    pub mean: f64,
+    /// Sample standard deviation (0 for a single repetition).
+    pub std: f64,
+    /// All raw values, in repetition order.
+    pub values: Vec<f64>,
+}
+
+/// Aggregated results of a repeated experiment, ordered by method name.
+#[derive(Debug, Clone)]
+pub struct RepeatedSummary {
+    /// One summary per method.
+    pub methods: Vec<MethodSummary>,
+    /// Number of repetitions performed.
+    pub repetitions: usize,
+}
+
+impl RepeatedSummary {
+    /// Looks a method up by name.
+    pub fn get(&self, method: &str) -> Option<&MethodSummary> {
+        self.methods.iter().find(|m| m.method == method)
+    }
+
+    /// Renders a compact fixed-width table (method, mean ± std).
+    pub fn to_table(&self, metric_name: &str) -> String {
+        let mut out = String::new();
+        let width = self
+            .methods
+            .iter()
+            .map(|m| m.method.len())
+            .max()
+            .unwrap_or(6)
+            .max(6);
+        out.push_str(&format!(
+            "{:width$}  {metric_name} (mean ± std over {} reps)\n",
+            "method",
+            self.repetitions,
+            width = width
+        ));
+        for m in &self.methods {
+            out.push_str(&format!(
+                "{:width$}  {:.4} ± {:.4}\n",
+                m.method,
+                m.mean,
+                m.std,
+                width = width
+            ));
+        }
+        out
+    }
+}
+
+/// Runs `experiment` for `repetitions` seeds (`base_seed`, `base_seed+1`, …)
+/// and aggregates per-method metrics. Each run returns
+/// `(method name, metric value)` pairs; methods must be consistent across
+/// repetitions (missing methods in some repetition are an error).
+pub fn run_repeated<E: std::fmt::Display>(
+    repetitions: usize,
+    base_seed: u64,
+    mut experiment: impl FnMut(u64) -> std::result::Result<Vec<(String, f64)>, E>,
+) -> Result<RepeatedSummary> {
+    if repetitions == 0 {
+        return Err(EvalError::InvalidParameter("repetitions must be >= 1".into()));
+    }
+    let mut per_method: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for r in 0..repetitions {
+        let results = experiment(base_seed + r as u64).map_err(|e| {
+            EvalError::RepetitionFailed { repetition: r, message: e.to_string() }
+        })?;
+        for (name, value) in results {
+            per_method.entry(name).or_default().push(value);
+        }
+    }
+    let mut methods = Vec::with_capacity(per_method.len());
+    for (method, values) in per_method {
+        if values.len() != repetitions {
+            return Err(EvalError::InvalidParameter(format!(
+                "method {method} reported {} values for {repetitions} repetitions",
+                values.len()
+            )));
+        }
+        let mean = vector::mean(&values);
+        let std = if values.len() > 1 { vector::std_dev(&values) } else { 0.0 };
+        methods.push(MethodSummary { method, mean, std, values });
+    }
+    Ok(RepeatedSummary { methods, repetitions })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_mean_and_std() {
+        let summary = run_repeated::<String>(4, 100, |seed| {
+            let v = (seed - 100) as f64;
+            Ok(vec![("a".into(), v), ("b".into(), 10.0)])
+        })
+        .unwrap();
+        assert_eq!(summary.repetitions, 4);
+        let a = summary.get("a").unwrap();
+        assert_eq!(a.values, vec![0.0, 1.0, 2.0, 3.0]);
+        assert!((a.mean - 1.5).abs() < 1e-12);
+        assert!((a.std - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        let b = summary.get("b").unwrap();
+        assert_eq!(b.std, 0.0);
+        assert!(summary.get("missing").is_none());
+    }
+
+    #[test]
+    fn propagates_failures_with_context() {
+        let e = run_repeated(3, 0, |seed| {
+            if seed == 1 {
+                Err("boom".to_string())
+            } else {
+                Ok(vec![("a".into(), 1.0)])
+            }
+        })
+        .unwrap_err();
+        assert!(matches!(e, EvalError::RepetitionFailed { repetition: 1, .. }));
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn inconsistent_methods_rejected() {
+        let e = run_repeated::<String>(2, 0, |seed| {
+            if seed == 0 {
+                Ok(vec![("a".into(), 1.0), ("b".into(), 2.0)])
+            } else {
+                Ok(vec![("a".into(), 1.0)])
+            }
+        })
+        .unwrap_err();
+        assert!(matches!(e, EvalError::InvalidParameter(_)));
+    }
+
+    #[test]
+    fn zero_repetitions_rejected() {
+        assert!(run_repeated::<String>(0, 0, |_| Ok(vec![])).is_err());
+    }
+
+    #[test]
+    fn table_rendering() {
+        let summary = run_repeated::<String>(2, 0, |_| {
+            Ok(vec![("iforest".into(), 0.95), ("ocsvm".into(), 0.91)])
+        })
+        .unwrap();
+        let table = summary.to_table("AUC");
+        assert!(table.contains("iforest"));
+        assert!(table.contains("0.9500"));
+        assert!(table.contains("2 reps"));
+    }
+
+    #[test]
+    fn single_repetition_has_zero_std() {
+        let summary =
+            run_repeated::<String>(1, 5, |_| Ok(vec![("m".into(), 0.5)])).unwrap();
+        assert_eq!(summary.get("m").unwrap().std, 0.0);
+    }
+}

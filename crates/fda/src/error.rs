@@ -1,0 +1,114 @@
+//! Error type for functional-data operations.
+
+use mfod_linalg::LinalgError;
+use std::fmt;
+
+/// Errors produced while representing or smoothing functional data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FdaError {
+    /// The requested domain `[a, b]` is empty or inverted.
+    InvalidDomain {
+        /// Left endpoint.
+        a: f64,
+        /// Right endpoint.
+        b: f64,
+    },
+    /// Fewer observation points than required.
+    TooFewPoints {
+        /// Number of points supplied.
+        got: usize,
+        /// Minimum required.
+        need: usize,
+    },
+    /// Input contained NaN or infinite values.
+    NonFinite,
+    /// The basis has more functions than there are observations, making the
+    /// unpenalized fit under-determined.
+    BasisTooLarge {
+        /// Basis size L.
+        basis_len: usize,
+        /// Number of observations m.
+        points: usize,
+    },
+    /// A basis was requested with an invalid configuration.
+    InvalidBasis(String),
+    /// Abscissae must be sorted strictly increasing (grids) or lie inside
+    /// the basis domain (observations).
+    InvalidAbscissae(String),
+    /// Observation and abscissa vectors disagree in length.
+    LengthMismatch {
+        /// Length of `t`.
+        t_len: usize,
+        /// Length of `y`.
+        y_len: usize,
+    },
+    /// Channels of a multivariate functional datum disagree (domain or count).
+    ChannelMismatch(String),
+    /// An underlying linear algebra operation failed.
+    Linalg(LinalgError),
+    /// A hyper-parameter is out of range (e.g. negative λ).
+    InvalidParameter(String),
+}
+
+impl fmt::Display for FdaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FdaError::InvalidDomain { a, b } => write!(f, "invalid domain [{a}, {b}]"),
+            FdaError::TooFewPoints { got, need } => {
+                write!(f, "too few points: got {got}, need at least {need}")
+            }
+            FdaError::NonFinite => write!(f, "input contains NaN or infinite values"),
+            FdaError::BasisTooLarge { basis_len, points } => write!(
+                f,
+                "basis size {basis_len} exceeds the {points} observation points"
+            ),
+            FdaError::InvalidBasis(msg) => write!(f, "invalid basis: {msg}"),
+            FdaError::InvalidAbscissae(msg) => write!(f, "invalid abscissae: {msg}"),
+            FdaError::LengthMismatch { t_len, y_len } => {
+                write!(f, "length mismatch: {t_len} abscissae vs {y_len} observations")
+            }
+            FdaError::ChannelMismatch(msg) => write!(f, "channel mismatch: {msg}"),
+            FdaError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            FdaError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FdaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FdaError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for FdaError {
+    fn from(e: LinalgError) -> Self {
+        FdaError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(FdaError::InvalidDomain { a: 1.0, b: 0.0 }.to_string().contains("[1, 0]"));
+        assert!(FdaError::TooFewPoints { got: 2, need: 4 }.to_string().contains('4'));
+        assert!(FdaError::BasisTooLarge { basis_len: 10, points: 5 }
+            .to_string()
+            .contains("10"));
+        let e: FdaError = LinalgError::Empty.into();
+        assert!(e.to_string().contains("linear algebra"));
+    }
+
+    #[test]
+    fn source_chains_linalg() {
+        use std::error::Error;
+        let e: FdaError = LinalgError::NonFinite.into();
+        assert!(e.source().is_some());
+        assert!(FdaError::NonFinite.source().is_none());
+    }
+}

@@ -1,0 +1,215 @@
+//! Fourier bases for periodic functional data (the paper's suggested
+//! alternative to B-splines when data are periodic, Sec. 2.1).
+
+use crate::basis::Basis;
+use crate::error::FdaError;
+use crate::Result;
+use mfod_linalg::quadrature::gauss_legendre_on;
+use mfod_linalg::Matrix;
+
+/// The Fourier basis `{1/√P, √(2/P)·sin(ωt), √(2/P)·cos(ωt),
+/// √(2/P)·sin(2ωt), …}` with `ω = 2π / P` and period `P = b − a`.
+///
+/// The normalization makes the family orthonormal in `L²[a, b]`, so the
+/// order-0 penalty matrix is the identity and higher-order penalties are
+/// diagonal — both computed analytically.
+#[derive(Debug, Clone)]
+pub struct FourierBasis {
+    len: usize,
+    a: f64,
+    b: f64,
+    omega: f64,
+}
+
+impl FourierBasis {
+    /// Creates a Fourier basis with `len` functions (must be odd and >= 1 so
+    /// sin/cos come in pairs after the constant) on `[a, b]`.
+    pub fn new(a: f64, b: f64, len: usize) -> Result<Self> {
+        if !(a.is_finite() && b.is_finite()) {
+            return Err(FdaError::NonFinite);
+        }
+        if a >= b {
+            return Err(FdaError::InvalidDomain { a, b });
+        }
+        if len == 0 || len % 2 == 0 {
+            return Err(FdaError::InvalidBasis(format!(
+                "fourier basis size must be odd and positive, got {len}"
+            )));
+        }
+        Ok(FourierBasis { len, a, b, omega: std::f64::consts::TAU / (b - a) })
+    }
+
+    /// Fundamental angular frequency `ω = 2π / (b − a)`.
+    pub fn omega(&self) -> f64 {
+        self.omega
+    }
+
+    /// Harmonic number of basis function `l` (0 for the constant, `h` for
+    /// the pair `sin(hωt)`, `cos(hωt)`).
+    fn harmonic(l: usize) -> usize {
+        l.div_ceil(2)
+    }
+}
+
+impl Basis for FourierBasis {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn domain(&self) -> (f64, f64) {
+        (self.a, self.b)
+    }
+
+    fn eval_into(&self, t: f64, deriv: usize, out: &mut [f64]) {
+        assert_eq!(out.len(), self.len, "output buffer length mismatch");
+        let t = t.clamp(self.a, self.b);
+        let p = self.b - self.a;
+        let c0 = 1.0 / p.sqrt();
+        let cn = (2.0 / p).sqrt();
+        out[0] = if deriv == 0 { c0 } else { 0.0 };
+        for l in (1..self.len).step_by(2) {
+            let h = Self::harmonic(l) as f64;
+            let w = h * self.omega;
+            let arg = w * (t - self.a);
+            let amp = cn * w.powi(deriv as i32);
+            // D^q sin = sin(arg + qπ/2); D^q cos = cos(arg + qπ/2)
+            let phase = deriv as f64 * std::f64::consts::FRAC_PI_2;
+            out[l] = amp * (arg + phase).sin();
+            if l + 1 < self.len {
+                out[l + 1] = amp * (arg + phase).cos();
+            }
+        }
+    }
+
+    fn penalty(&self, q: usize) -> Matrix {
+        // Orthonormal family: ∫ D^q φ_l D^q φ_m = δ_lm (hω)^{2q}
+        // for the harmonic pairs; the constant contributes only at q = 0.
+        let mut r = Matrix::zeros(self.len, self.len);
+        if q == 0 {
+            return Matrix::identity(self.len);
+        }
+        for l in 1..self.len {
+            let h = Self::harmonic(l) as f64;
+            r[(l, l)] = (h * self.omega).powi(2 * q as i32);
+        }
+        r
+    }
+
+    fn name(&self) -> &'static str {
+        "fourier"
+    }
+}
+
+/// Numerically verifies orthonormality of a basis on its domain by composite
+/// Gauss–Legendre quadrature — exposed for tests and diagnostics.
+pub fn gram_matrix_numeric(basis: &dyn Basis, subintervals: usize, nodes: usize) -> Matrix {
+    let (a, b) = basis.domain();
+    let l = basis.len();
+    let mut g = Matrix::zeros(l, l);
+    let mut buf = vec![0.0; l];
+    let step = (b - a) / subintervals as f64;
+    for s in 0..subintervals {
+        let lo = a + step * s as f64;
+        let rule = gauss_legendre_on(nodes, lo, lo + step);
+        for (&x, &w) in rule.nodes.iter().zip(&rule.weights) {
+            basis.eval_into(x, 0, &mut buf);
+            for i in 0..l {
+                for j in 0..l {
+                    g[(i, j)] += w * buf[i] * buf[j];
+                }
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validations() {
+        assert!(FourierBasis::new(0.0, 1.0, 0).is_err());
+        assert!(FourierBasis::new(0.0, 1.0, 4).is_err()); // even
+        assert!(FourierBasis::new(1.0, 0.0, 5).is_err());
+        assert!(FourierBasis::new(0.0, f64::INFINITY, 5).is_err());
+        let b = FourierBasis::new(0.0, 2.0, 7).unwrap();
+        assert_eq!(b.len(), 7);
+        assert!((b.omega() - std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn orthonormal_on_domain() {
+        let b = FourierBasis::new(0.0, 1.0, 5).unwrap();
+        let g = gram_matrix_numeric(&b, 40, 8);
+        let err = g.sub(&Matrix::identity(5)).max_abs();
+        assert!(err < 1e-10, "gram deviation {err}");
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let b = FourierBasis::new(0.0, 1.0, 7).unwrap();
+        let h = 1e-6;
+        for &t in &[0.2, 0.5, 0.8] {
+            let vp = b.eval(t + h, 0);
+            let vm = b.eval(t - h, 0);
+            let d = b.eval(t, 1);
+            for l in 0..7 {
+                let fd = (vp[l] - vm[l]) / (2.0 * h);
+                assert!((d[l] - fd).abs() < 1e-4 * (1.0 + d[l].abs()), "l={l}");
+            }
+        }
+    }
+
+    #[test]
+    fn second_derivative_is_negative_scaled_function() {
+        // D² sin(hωt) = -(hω)² sin(hωt)
+        let b = FourierBasis::new(0.0, 1.0, 5).unwrap();
+        let t = 0.3;
+        let v = b.eval(t, 0);
+        let d2 = b.eval(t, 2);
+        for l in 1..5 {
+            let h = FourierBasis::harmonic(l) as f64;
+            let expect = -(h * b.omega()).powi(2) * v[l];
+            assert!((d2[l] - expect).abs() < 1e-8 * (1.0 + expect.abs()), "l={l}");
+        }
+        assert_eq!(d2[0], 0.0);
+    }
+
+    #[test]
+    fn penalty_diagonal_matches_numeric() {
+        let b = FourierBasis::new(0.0, 1.0, 5).unwrap();
+        let r = b.penalty(2);
+        // numeric check of one diagonal entry: ∫ (D²φ₁)² = ω⁴
+        let rule = gauss_legendre_on(16, 0.0, 1.0);
+        let mut buf = vec![0.0; 5];
+        let num: f64 = rule
+            .nodes
+            .iter()
+            .zip(&rule.weights)
+            .map(|(&x, &w)| {
+                b.eval_into(x, 2, &mut buf);
+                w * buf[1] * buf[1]
+            })
+            .sum();
+        assert!((r[(1, 1)] - num).abs() < 1e-6 * num.max(1.0));
+        assert_eq!(r[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn penalty_q0_is_identity() {
+        let b = FourierBasis::new(0.0, 3.0, 9).unwrap();
+        let r = b.penalty(0);
+        assert!(r.sub(&Matrix::identity(9)).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn periodicity_of_values() {
+        let b = FourierBasis::new(0.0, 1.0, 5).unwrap();
+        let v0 = b.eval(0.0, 0);
+        let v1 = b.eval(1.0, 0);
+        for l in 0..5 {
+            assert!((v0[l] - v1[l]).abs() < 1e-10, "l={l}");
+        }
+    }
+}

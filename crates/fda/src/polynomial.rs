@@ -1,0 +1,179 @@
+//! Global polynomial (monomial) bases on a normalized variable.
+//!
+//! Mainly useful for testing, very small problems, and as a sanity baseline:
+//! monomials are ill-conditioned for large `L` (prefer B-splines there).
+
+use crate::basis::Basis;
+use crate::error::FdaError;
+use crate::Result;
+use mfod_linalg::quadrature::gauss_legendre_on;
+use mfod_linalg::Matrix;
+
+/// The monomial basis `{1, u, u², …, u^{L−1}}` in the normalized variable
+/// `u = (t − a) / (b − a) ∈ [0, 1]`.
+#[derive(Debug, Clone)]
+pub struct PolynomialBasis {
+    len: usize,
+    a: f64,
+    b: f64,
+}
+
+impl PolynomialBasis {
+    /// Creates a monomial basis of `len >= 1` functions on `[a, b]`.
+    pub fn new(a: f64, b: f64, len: usize) -> Result<Self> {
+        if !(a.is_finite() && b.is_finite()) {
+            return Err(FdaError::NonFinite);
+        }
+        if a >= b {
+            return Err(FdaError::InvalidDomain { a, b });
+        }
+        if len == 0 {
+            return Err(FdaError::InvalidBasis("polynomial basis needs len >= 1".into()));
+        }
+        Ok(PolynomialBasis { len, a, b })
+    }
+
+    /// Highest represented polynomial degree (`len − 1`).
+    pub fn degree(&self) -> usize {
+        self.len - 1
+    }
+}
+
+impl Basis for PolynomialBasis {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn domain(&self) -> (f64, f64) {
+        (self.a, self.b)
+    }
+
+    fn eval_into(&self, t: f64, deriv: usize, out: &mut [f64]) {
+        assert_eq!(out.len(), self.len, "output buffer length mismatch");
+        out.fill(0.0);
+        let t = t.clamp(self.a, self.b);
+        let scale = 1.0 / (self.b - self.a);
+        let u = (t - self.a) * scale;
+        // D^q u^d = d!/(d-q)! u^{d-q} · scale^q (chain rule)
+        let chain = scale.powi(deriv as i32);
+        for d in deriv..self.len {
+            let mut c = 1.0;
+            for j in 0..deriv {
+                c *= (d - j) as f64;
+            }
+            out[d] = c * u.powi((d - deriv) as i32) * chain;
+        }
+    }
+
+    fn penalty(&self, q: usize) -> Matrix {
+        // Integrand is a polynomial of degree ≤ 2(L−1−q); one GL rule over
+        // the full domain with L nodes is exact.
+        let l = self.len;
+        let mut r = Matrix::zeros(l, l);
+        if q >= l {
+            return r;
+        }
+        let rule = gauss_legendre_on(l.max(2), self.a, self.b);
+        let mut buf = vec![0.0; l];
+        for (&x, &w) in rule.nodes.iter().zip(&rule.weights) {
+            self.eval_into(x, q, &mut buf);
+            for i in 0..l {
+                if buf[i] == 0.0 {
+                    continue;
+                }
+                for j in 0..l {
+                    r[(i, j)] += w * buf[i] * buf[j];
+                }
+            }
+        }
+        r
+    }
+
+    fn name(&self) -> &'static str {
+        "polynomial"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validations() {
+        assert!(PolynomialBasis::new(0.0, 1.0, 0).is_err());
+        assert!(PolynomialBasis::new(1.0, 1.0, 3).is_err());
+        assert!(PolynomialBasis::new(0.0, f64::NAN, 3).is_err());
+        let b = PolynomialBasis::new(0.0, 2.0, 4).unwrap();
+        assert_eq!(b.degree(), 3);
+    }
+
+    #[test]
+    fn values_are_monomials() {
+        let b = PolynomialBasis::new(0.0, 1.0, 4).unwrap();
+        let v = b.eval(0.5, 0);
+        assert_eq!(v, vec![1.0, 0.5, 0.25, 0.125]);
+    }
+
+    #[test]
+    fn normalized_variable_respects_domain() {
+        let b = PolynomialBasis::new(2.0, 4.0, 3).unwrap();
+        let v = b.eval(3.0, 0); // u = 0.5
+        assert!((v[1] - 0.5).abs() < 1e-12);
+        assert!((v[2] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_derivative_with_chain_rule() {
+        // On [0, 2]: u = t/2, D(u²) = 2u · 1/2 = u = t/2.
+        let b = PolynomialBasis::new(0.0, 2.0, 3).unwrap();
+        let d = b.eval(1.0, 1);
+        assert_eq!(d[0], 0.0);
+        assert!((d[1] - 0.5).abs() < 1e-12);
+        assert!((d[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let b = PolynomialBasis::new(0.0, 1.0, 5).unwrap();
+        let h = 1e-6;
+        for &t in &[0.3, 0.7] {
+            let vp = b.eval(t + h, 0);
+            let vm = b.eval(t - h, 0);
+            let d = b.eval(t, 1);
+            for l in 0..5 {
+                let fd = (vp[l] - vm[l]) / (2.0 * h);
+                assert!((d[l] - fd).abs() < 1e-5 * (1.0 + d[l].abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn high_derivatives_vanish() {
+        let b = PolynomialBasis::new(0.0, 1.0, 3).unwrap();
+        assert!(b.eval(0.5, 3).iter().all(|&v| v == 0.0));
+        let r = b.penalty(3);
+        assert_eq!(r.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn penalty_q0_known_entries() {
+        // ∫₀¹ u^i u^j du = 1/(i+j+1)
+        let b = PolynomialBasis::new(0.0, 1.0, 3).unwrap();
+        let r = b.penalty(0);
+        for i in 0..3 {
+            for j in 0..3 {
+                let exact = 1.0 / (i + j + 1) as f64;
+                assert!((r[(i, j)] - exact).abs() < 1e-12, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn penalty_q2_annihilates_linears() {
+        let b = PolynomialBasis::new(0.0, 1.0, 4).unwrap();
+        let r = b.penalty(2);
+        // coefficients of a linear function: (c0, c1, 0, 0)
+        let v = r.matvec(&[3.0, -2.0, 0.0, 0.0]);
+        assert!(v.iter().all(|&x| x.abs() < 1e-12));
+    }
+}

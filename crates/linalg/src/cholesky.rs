@@ -1,0 +1,240 @@
+//! Cholesky factorization of symmetric positive-definite matrices.
+//!
+//! This is the workhorse of the penalized least-squares smoother: the system
+//! `(ΦᵀΦ + λR) α = Φᵀy` is SPD (possibly only semi-definite for λ = 0 with
+//! degenerate designs, which the jittered constructor handles).
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// A lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes the symmetric positive-definite matrix `a`.
+    ///
+    /// Only the lower triangle of `a` is read. Fails with
+    /// [`LinalgError::Singular`] if a non-positive pivot is encountered and
+    /// with [`LinalgError::NotSquare`] for rectangular input.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::NonFinite);
+        }
+        let n = a.nrows();
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            // diagonal entry
+            let mut d = a[(j, j)];
+            for k in 0..j {
+                d -= l[(j, k)] * l[(j, k)];
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return Err(LinalgError::Singular { pivot: j });
+            }
+            let dj = d.sqrt();
+            l[(j, j)] = dj;
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / dj;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Factorizes `a + jitter·I`, growing `jitter` geometrically from
+    /// `initial_jitter` until the factorization succeeds (at most 10 tries).
+    ///
+    /// Useful when `a` is SPD in exact arithmetic but borderline in floating
+    /// point (e.g. an unpenalized Gram matrix with nearly collinear columns).
+    pub fn new_jittered(a: &Matrix, initial_jitter: f64) -> Result<Self> {
+        match Cholesky::new(a) {
+            Ok(c) => return Ok(c),
+            Err(LinalgError::Singular { .. }) => {}
+            Err(e) => return Err(e),
+        }
+        let scale = a.max_abs().max(1.0);
+        let mut jitter = initial_jitter.max(f64::EPSILON) * scale;
+        for _ in 0..10 {
+            let mut aj = a.clone();
+            for i in 0..a.nrows() {
+                aj[(i, i)] += jitter;
+            }
+            match Cholesky::new(&aj) {
+                Ok(c) => return Ok(c),
+                Err(LinalgError::Singular { .. }) => jitter *= 10.0,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(LinalgError::Singular { pivot: 0 })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.nrows()
+    }
+
+    /// Solves `A x = b` given the factorization.
+    ///
+    /// # Panics
+    /// Panics if `b.len() != dim()`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "cholesky solve dimension mismatch");
+        // forward substitution L y = b
+        let mut y = b.to_vec();
+        for i in 0..n {
+            for k in 0..i {
+                y[i] -= self.l[(i, k)] * y[k];
+            }
+            y[i] /= self.l[(i, i)];
+        }
+        // backward substitution Lᵀ x = y
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                y[i] -= self.l[(k, i)] * y[k];
+            }
+            y[i] /= self.l[(i, i)];
+        }
+        y
+    }
+
+    /// Solves `A X = B` column-by-column.
+    ///
+    /// # Panics
+    /// Panics if `b.nrows() != dim()`.
+    pub fn solve_matrix(&self, b: &Matrix) -> Matrix {
+        assert_eq!(b.nrows(), self.dim(), "cholesky solve_matrix dimension mismatch");
+        let mut out = Matrix::zeros(b.nrows(), b.ncols());
+        for j in 0..b.ncols() {
+            let col = b.col(j);
+            let x = self.solve(&col);
+            for i in 0..b.nrows() {
+                out[(i, j)] = x[i];
+            }
+        }
+        out
+    }
+
+    /// Computes `A⁻¹` explicitly (needed for hat-matrix diagonals).
+    pub fn inverse(&self) -> Matrix {
+        self.solve_matrix(&Matrix::identity(self.dim()))
+    }
+
+    /// log-determinant of `A` (sum of `2 log L_ii`).
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| 2.0 * self.l[(i, i)].ln()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        Matrix::from_rows(&[
+            &[4.0, 12.0, -16.0],
+            &[12.0, 37.0, -43.0],
+            &[-16.0, -43.0, 98.0],
+        ])
+    }
+
+    #[test]
+    fn factor_known_matrix() {
+        // Classic example: L = [[2,0,0],[6,1,0],[-8,5,3]]
+        let c = Cholesky::new(&spd3()).unwrap();
+        let l = c.factor();
+        assert!((l[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!((l[(1, 0)] - 6.0).abs() < 1e-12);
+        assert!((l[(1, 1)] - 1.0).abs() < 1e-12);
+        assert!((l[(2, 0)] + 8.0).abs() < 1e-12);
+        assert!((l[(2, 1)] - 5.0).abs() < 1e-12);
+        assert!((l[(2, 2)] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction() {
+        let a = spd3();
+        let c = Cholesky::new(&a).unwrap();
+        let l = c.factor();
+        let rec = l.matmul(&l.transpose());
+        assert!(rec.sub(&a).max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn solve_roundtrip() {
+        let a = spd3();
+        let c = Cholesky::new(&a).unwrap();
+        let x_true = [1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true);
+        let x = c.solve(&b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = spd3();
+        let c = Cholesky::new(&a).unwrap();
+        let inv = c.inverse();
+        let prod = a.matmul(&inv);
+        assert!(prod.sub(&Matrix::identity(3)).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_non_spd() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(Cholesky::new(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn rejects_rectangular_and_nan() {
+        assert!(matches!(
+            Cholesky::new(&Matrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+        let a = Matrix::from_rows(&[&[f64::NAN]]);
+        assert!(matches!(Cholesky::new(&a), Err(LinalgError::NonFinite)));
+    }
+
+    #[test]
+    fn jitter_rescues_semidefinite() {
+        // rank-1 matrix, positive semi-definite but singular
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        assert!(Cholesky::new(&a).is_err());
+        let c = Cholesky::new_jittered(&a, 1e-10).unwrap();
+        assert_eq!(c.dim(), 2);
+    }
+
+    #[test]
+    fn log_det_matches_known_value() {
+        // det = (2*1*3)² = 36
+        let c = Cholesky::new(&spd3()).unwrap();
+        assert!((c.log_det() - 36.0_f64.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn solve_matrix_matches_columnwise() {
+        let a = spd3();
+        let c = Cholesky::new(&a).unwrap();
+        let b = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        let x = c.solve_matrix(&b);
+        let rec = a.matmul(&x);
+        assert!(rec.sub(&b).max_abs() < 1e-9);
+    }
+}

@@ -1,0 +1,156 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! Used for covariance analysis in depth baselines and for tests that need
+//! spectra of penalty matrices. Jacobi is slow for large matrices but simple,
+//! robust, and more than fast enough for the ≤ few-hundred sized problems in
+//! this workspace.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// Result of a symmetric eigendecomposition: `A = V diag(λ) Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues, sorted in descending order.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors as matrix columns, in the order of `values`.
+    pub vectors: Matrix,
+}
+
+/// Computes all eigenvalues/eigenvectors of a symmetric matrix by the cyclic
+/// Jacobi rotation method.
+///
+/// Only the lower triangle is trusted; the input is symmetrized first.
+/// Fails with [`LinalgError::NoConvergence`] if the off-diagonal mass does
+/// not vanish within 100 sweeps (practically unreachable for symmetric
+/// input).
+pub fn jacobi_eigen(a: &Matrix) -> Result<SymmetricEigen> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { shape: a.shape() });
+    }
+    if !a.is_finite() {
+        return Err(LinalgError::NonFinite);
+    }
+    let n = a.nrows();
+    if n == 0 {
+        return Err(LinalgError::Empty);
+    }
+    // Symmetrize defensively.
+    let mut m = Matrix::from_fn(n, n, |i, j| 0.5 * (a[(i, j)] + a[(j, i)]));
+    let mut v = Matrix::identity(n);
+    let max_sweeps = 100;
+    let tol = 1e-14 * m.max_abs().max(1.0);
+    for _sweep in 0..max_sweeps {
+        // largest off-diagonal magnitude
+        let mut off = 0.0_f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off = off.max(m[(i, j)].abs());
+            }
+        }
+        if off <= tol {
+            return Ok(sort_eigen(m, v));
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= tol {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                // stable tangent of the rotation angle
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // apply rotation J(p,q,θ) on both sides
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    Err(LinalgError::NoConvergence { algorithm: "jacobi_eigen", iterations: max_sweeps })
+}
+
+fn sort_eigen(m: Matrix, v: Matrix) -> SymmetricEigen {
+    let n = m.nrows();
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag = m.diag();
+    order.sort_by(|&i, &j| diag[j].total_cmp(&diag[i]));
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let vectors = Matrix::from_fn(n, n, |i, j| v[(i, order[j])]);
+    SymmetricEigen { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_eigen() {
+        let a = Matrix::from_diag(&[3.0, 1.0, 2.0]);
+        let e = jacobi_eigen(&a).unwrap();
+        assert_eq!(e.values, vec![3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = jacobi_eigen(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+        // eigenvector for λ=3 is ±(1,1)/√2
+        let v0 = e.vectors.col(0);
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-10);
+        assert!((v0[0] - v0[1]).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_and_orthogonality() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 1.0, -2.0],
+            &[1.0, 2.0, 0.0],
+            &[-2.0, 0.0, 3.0],
+        ]);
+        let e = jacobi_eigen(&a).unwrap();
+        let lam = Matrix::from_diag(&e.values);
+        let rec = e.vectors.matmul(&lam).matmul(&e.vectors.transpose());
+        assert!(rec.sub(&a).max_abs() < 1e-9);
+        let vtv = e.vectors.transpose().matmul(&e.vectors);
+        assert!(vtv.sub(&Matrix::identity(3)).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let a = Matrix::from_rows(&[&[5.0, 2.0], &[2.0, -1.0]]);
+        let e = jacobi_eigen(&a).unwrap();
+        assert!((e.values.iter().sum::<f64>() - a.trace()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(jacobi_eigen(&Matrix::zeros(2, 3)).is_err());
+        assert!(jacobi_eigen(&Matrix::zeros(0, 0)).is_err());
+        let nan = Matrix::from_rows(&[&[f64::NAN]]);
+        assert!(jacobi_eigen(&nan).is_err());
+    }
+}

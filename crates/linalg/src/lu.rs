@@ -1,0 +1,211 @@
+//! LU factorization with partial pivoting for general square systems.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// LU factorization `P A = L U` with partial (row) pivoting.
+///
+/// `L` (unit lower) and `U` (upper) are stored packed in a single matrix;
+/// `perm` records the row permutation and `sign` its parity (for
+/// determinants).
+#[derive(Debug, Clone)]
+pub struct Lu {
+    lu: Matrix,
+    perm: Vec<usize>,
+    sign: f64,
+}
+
+impl Lu {
+    /// Factorizes a square matrix. Fails on singular input (zero pivot
+    /// within a small relative tolerance).
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::NonFinite);
+        }
+        let n = a.nrows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        let tol = f64::EPSILON * a.max_abs().max(1.0) * n as f64;
+        for k in 0..n {
+            // pivot search
+            let mut p = k;
+            let mut best = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best <= tol {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if p != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+                perm.swap(k, p);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let ukj = lu[(k, j)];
+                    lu[(i, j)] -= factor * ukj;
+                }
+            }
+        }
+        Ok(Lu { lu, perm, sign })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.nrows()
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Panics
+    /// Panics if `b.len() != dim()`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "lu solve dimension mismatch");
+        // apply permutation
+        let mut y: Vec<f64> = self.perm.iter().map(|&i| b[i]).collect();
+        // forward substitution with unit-lower L
+        for i in 0..n {
+            for k in 0..i {
+                y[i] -= self.lu[(i, k)] * y[k];
+            }
+        }
+        // backward substitution with U
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                y[i] -= self.lu[(i, k)] * y[k];
+            }
+            y[i] /= self.lu[(i, i)];
+        }
+        y
+    }
+
+    /// Solves `A X = B` column-by-column.
+    ///
+    /// # Panics
+    /// Panics if `b.nrows() != dim()`.
+    pub fn solve_matrix(&self, b: &Matrix) -> Matrix {
+        assert_eq!(b.nrows(), self.dim(), "lu solve_matrix dimension mismatch");
+        let mut out = Matrix::zeros(b.nrows(), b.ncols());
+        for j in 0..b.ncols() {
+            let x = self.solve(&b.col(j));
+            for i in 0..b.nrows() {
+                out[(i, j)] = x[i];
+            }
+        }
+        out
+    }
+
+    /// Determinant of `A`.
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign;
+        for i in 0..self.dim() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+
+    /// Explicit inverse of `A`.
+    pub fn inverse(&self) -> Matrix {
+        self.solve_matrix(&Matrix::identity(self.dim()))
+    }
+}
+
+/// Convenience wrapper: solves `A x = b` with a fresh LU factorization.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    Ok(Lu::new(a)?.solve(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_known_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x = solve(&a, &[3.0, 5.0]).unwrap();
+        // solution: x = (4/5, 7/5)
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn det_with_permutation_sign() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let lu = Lu::new(&a).unwrap();
+        assert!((lu.det() + 1.0).abs() < 1e-12);
+        let b = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 2.0]]);
+        assert!((Lu::new(&b).unwrap().det() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = Matrix::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]);
+        let inv = Lu::new(&a).unwrap().inverse();
+        let prod = a.matmul(&inv);
+        assert!(prod.sub(&Matrix::identity(2)).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_singular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(Lu::new(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        assert!(matches!(
+            Lu::new(&Matrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn larger_random_roundtrip() {
+        // deterministic pseudo-random fill
+        let n = 12;
+        let mut seed = 42u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = next();
+            }
+            a[(i, i)] += 4.0; // diagonally dominant => invertible
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64) - 5.0).collect();
+        let b = a.matvec(&x_true);
+        let x = solve(&a, &b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Householder QR factorization and least-squares solving.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// Householder QR factorization `A = Q R` of an `m x n` matrix with `m >= n`.
+///
+/// The factorization is stored compactly: Householder vectors below the
+/// diagonal of `qr`, the upper triangle of `R` on and above it.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    qr: Matrix,
+    /// Scalar β of each Householder reflector `H = I - β v vᵀ`.
+    betas: Vec<f64>,
+}
+
+impl Qr {
+    /// Factorizes `a`. Requires `nrows >= ncols`.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(LinalgError::DimensionMismatch { op: "qr (m >= n required)", lhs: (m, n), rhs: (m, n) });
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::NonFinite);
+        }
+        let mut qr = a.clone();
+        let mut betas = Vec::with_capacity(n);
+        for k in 0..n {
+            // Build the Householder reflector annihilating qr[k+1.., k].
+            let mut norm_sq = 0.0;
+            for i in k..m {
+                norm_sq += qr[(i, k)] * qr[(i, k)];
+            }
+            let norm = norm_sq.sqrt();
+            if norm == 0.0 {
+                betas.push(0.0);
+                continue;
+            }
+            let alpha = if qr[(k, k)] >= 0.0 { -norm } else { norm };
+            // v = x - alpha e1, stored in place with v[k] implicit
+            let v0 = qr[(k, k)] - alpha;
+            // β = 2 / (vᵀv) = 2 / (‖x‖² - 2 α x₀ + α²) = 1/(α² - α x₀) … use stable form
+            let vtv = norm_sq - 2.0 * alpha * qr[(k, k)] + alpha * alpha;
+            let beta = if vtv > 0.0 { 2.0 / vtv } else { 0.0 };
+            qr[(k, k)] = v0;
+            // Apply H to the trailing columns.
+            for j in (k + 1)..n {
+                let mut s = 0.0;
+                for i in k..m {
+                    s += qr[(i, k)] * qr[(i, j)];
+                }
+                s *= beta;
+                for i in k..m {
+                    let vik = qr[(i, k)];
+                    qr[(i, j)] -= s * vik;
+                }
+            }
+            // Store R's diagonal entry; keep v below the diagonal, v0 in a
+            // temporary: we stash alpha on the diagonal and remember v0 by
+            // scaling the whole v so that v[k] = 1 (standard compact form).
+            if v0 != 0.0 {
+                for i in (k + 1)..m {
+                    qr[(i, k)] /= v0;
+                }
+            }
+            betas.push(beta * v0 * v0);
+            qr[(k, k)] = alpha;
+        }
+        Ok(Qr { qr, betas })
+    }
+
+    /// Shape `(m, n)` of the factored matrix.
+    pub fn shape(&self) -> (usize, usize) {
+        self.qr.shape()
+    }
+
+    /// The upper-triangular factor `R` (`n x n`).
+    pub fn r(&self) -> Matrix {
+        let n = self.qr.ncols();
+        let mut r = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                r[(i, j)] = self.qr[(i, j)];
+            }
+        }
+        r
+    }
+
+    /// Applies `Qᵀ` to a vector of length `m`.
+    fn apply_qt(&self, b: &[f64]) -> Vec<f64> {
+        let (m, n) = self.qr.shape();
+        let mut y = b.to_vec();
+        for k in 0..n {
+            let beta = self.betas[k];
+            if beta == 0.0 {
+                continue;
+            }
+            // v[k] = 1, v[i] stored in qr[(i,k)] for i > k
+            let mut s = y[k];
+            for i in (k + 1)..m {
+                s += self.qr[(i, k)] * y[i];
+            }
+            s *= beta;
+            y[k] -= s;
+            for i in (k + 1)..m {
+                y[i] -= s * self.qr[(i, k)];
+            }
+        }
+        y
+    }
+
+    /// Solves the least-squares problem `min ‖A x - b‖₂`.
+    ///
+    /// Fails with [`LinalgError::Singular`] if `R` has a (near-)zero
+    /// diagonal entry (rank-deficient `A`).
+    ///
+    /// # Panics
+    /// Panics if `b.len() != nrows`.
+    pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let (m, n) = self.qr.shape();
+        assert_eq!(b.len(), m, "qr solve dimension mismatch");
+        let y = self.apply_qt(b);
+        let tol = f64::EPSILON * self.qr.max_abs().max(1.0) * m as f64;
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in (i + 1)..n {
+                s -= self.qr[(i, j)] * x[j];
+            }
+            let d = self.qr[(i, i)];
+            if d.abs() <= tol {
+                return Err(LinalgError::Singular { pivot: i });
+            }
+            x[i] = s / d;
+        }
+        Ok(x)
+    }
+}
+
+/// Convenience: least-squares solve `min ‖A x − b‖` with a fresh QR.
+pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    Qr::new(a)?.solve_least_squares(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_solve_matches_lu() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x = lstsq(&a, &[3.0, 5.0]).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-10);
+        assert!((x[1] - 1.4).abs() < 1e-10);
+    }
+
+    #[test]
+    fn overdetermined_regression() {
+        // Fit y = 1 + 2 t at t = 0,1,2,3 exactly.
+        let t = [0.0, 1.0, 2.0, 3.0];
+        let a = Matrix::from_fn(4, 2, |i, j| if j == 0 { 1.0 } else { t[i] });
+        let y: Vec<f64> = t.iter().map(|x| 1.0 + 2.0 * x).collect();
+        let beta = lstsq(&a, &y).unwrap();
+        assert!((beta[0] - 1.0).abs() < 1e-10);
+        assert!((beta[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn least_squares_residual_is_orthogonal() {
+        // Noisy overdetermined system: residual must be ⟂ to the columns.
+        let a = Matrix::from_rows(&[
+            &[1.0, 0.0],
+            &[1.0, 1.0],
+            &[1.0, 2.0],
+            &[1.0, 3.0],
+        ]);
+        let b = [0.1, 1.9, 4.2, 5.8];
+        let x = lstsq(&a, &b).unwrap();
+        let fitted = a.matvec(&x);
+        let resid: Vec<f64> = b.iter().zip(&fitted).map(|(bi, fi)| bi - fi).collect();
+        let atr = a.tr_matvec(&resid);
+        for v in atr {
+            assert!(v.abs() < 1e-10, "residual not orthogonal: {v}");
+        }
+    }
+
+    #[test]
+    fn r_is_upper_triangular_and_consistent() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let qr = Qr::new(&a).unwrap();
+        let r = qr.r();
+        assert_eq!(r[(1, 0)], 0.0);
+        // ‖R‖_F == ‖A‖_F since Q is orthogonal
+        assert!((r.frobenius_norm() - a.frobenius_norm()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_underdetermined() {
+        assert!(Qr::new(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn detects_rank_deficiency() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        let qr = Qr::new(&a).unwrap();
+        assert!(matches!(
+            qr.solve_least_squares(&[1.0, 2.0, 3.0]),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_nan() {
+        let a = Matrix::from_rows(&[&[f64::NAN], &[1.0]]);
+        assert!(matches!(Qr::new(&a), Err(LinalgError::NonFinite)));
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests for the linear algebra kernels.
+
+use mfod_linalg::{cholesky::Cholesky, eigen::jacobi_eigen, lu, matrix::Matrix, qr, vector};
+use proptest::prelude::*;
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e3..1e3f64, len)
+}
+
+fn square_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-10.0..10.0f64, n * n)
+        .prop_map(move |data| Matrix::from_vec(n, n, data))
+}
+
+/// Generates an SPD matrix as `AᵀA + I`.
+fn spd_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    square_matrix(n).prop_map(move |a| {
+        let mut g = a.gram();
+        for i in 0..n {
+            g[(i, i)] += 1.0;
+        }
+        g
+    })
+}
+
+proptest! {
+    #[test]
+    fn dot_is_symmetric(a in finite_vec(8), b in finite_vec(8)) {
+        let d1 = vector::dot(&a, &b);
+        let d2 = vector::dot(&b, &a);
+        prop_assert!((d1 - d2).abs() <= 1e-9 * (1.0 + d1.abs()));
+    }
+
+    #[test]
+    fn cauchy_schwarz(a in finite_vec(6), b in finite_vec(6)) {
+        let lhs = vector::dot(&a, &b).abs();
+        let rhs = vector::norm2(&a) * vector::norm2(&b);
+        prop_assert!(lhs <= rhs * (1.0 + 1e-10) + 1e-9);
+    }
+
+    #[test]
+    fn median_between_min_and_max(a in finite_vec(9)) {
+        let m = vector::median(&a);
+        prop_assert!(m >= vector::min(&a) - 1e-12);
+        prop_assert!(m <= vector::max(&a) + 1e-12);
+    }
+
+    #[test]
+    fn median_is_translation_equivariant(a in finite_vec(7), c in -100.0..100.0f64) {
+        let shifted: Vec<f64> = a.iter().map(|x| x + c).collect();
+        let m1 = vector::median(&a) + c;
+        let m2 = vector::median(&shifted);
+        prop_assert!((m1 - m2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mad_is_translation_invariant(a in finite_vec(7), c in -100.0..100.0f64) {
+        let shifted: Vec<f64> = a.iter().map(|x| x + c).collect();
+        prop_assert!((vector::mad(&a) - vector::mad(&shifted)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transpose_is_involution(m in square_matrix(4)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_associates_with_identity(m in square_matrix(4)) {
+        let i = Matrix::identity(4);
+        let left = i.matmul(&m);
+        let right = m.matmul(&i);
+        prop_assert!(left.sub(&m).max_abs() < 1e-12);
+        prop_assert!(right.sub(&m).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn gram_is_symmetric_psd_diag(m in square_matrix(4)) {
+        let g = m.gram();
+        prop_assert!(g.asymmetry() < 1e-9);
+        for i in 0..4 {
+            prop_assert!(g[(i, i)] >= -1e-9);
+        }
+    }
+
+    #[test]
+    fn cholesky_solve_residual_small(a in spd_matrix(5), b in finite_vec(5)) {
+        let chol = Cholesky::new(&a).unwrap();
+        let x = chol.solve(&b);
+        let r = vector::sub(&a.matvec(&x), &b);
+        let scale = vector::norm2(&b).max(1.0) * a.max_abs().max(1.0);
+        prop_assert!(vector::norm2(&r) < 1e-7 * scale);
+    }
+
+    #[test]
+    fn cholesky_logdet_matches_lu_det(a in spd_matrix(4)) {
+        let chol = Cholesky::new(&a).unwrap();
+        let det = lu::Lu::new(&a).unwrap().det();
+        prop_assert!(det > 0.0);
+        prop_assert!((chol.log_det() - det.ln()).abs() < 1e-6 * (1.0 + det.ln().abs()));
+    }
+
+    #[test]
+    fn lu_solve_residual_small(a in spd_matrix(5), b in finite_vec(5)) {
+        // SPD implies invertible; LU must solve it too.
+        let x = lu::solve(&a, &b).unwrap();
+        let r = vector::sub(&a.matvec(&x), &b);
+        let scale = vector::norm2(&b).max(1.0) * a.max_abs().max(1.0);
+        prop_assert!(vector::norm2(&r) < 1e-7 * scale);
+    }
+
+    #[test]
+    fn qr_least_squares_residual_orthogonal(
+        data in prop::collection::vec(-10.0..10.0f64, 8 * 3),
+        b in finite_vec(8)
+    ) {
+        let a = Matrix::from_vec(8, 3, data);
+        if let Ok(x) = qr::lstsq(&a, &b) {
+            let fitted = a.matvec(&x);
+            let resid = vector::sub(&b, &fitted);
+            let atr = a.tr_matvec(&resid);
+            let scale = a.max_abs().max(1.0) * vector::norm2(&b).max(1.0);
+            for v in atr {
+                prop_assert!(v.abs() < 1e-7 * scale, "non-orthogonal residual {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn eigen_reconstructs(a in square_matrix(4)) {
+        // symmetrize
+        let s = Matrix::from_fn(4, 4, |i, j| 0.5 * (a[(i, j)] + a[(j, i)]));
+        let e = jacobi_eigen(&s).unwrap();
+        let lam = Matrix::from_diag(&e.values);
+        let rec = e.vectors.matmul(&lam).matmul(&e.vectors.transpose());
+        prop_assert!(rec.sub(&s).max_abs() < 1e-8 * s.max_abs().max(1.0));
+        // sorted descending
+        for w in e.values.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn ranks_are_a_permutation_average(a in finite_vec(10)) {
+        let r = vector::average_ranks(&a);
+        let sum: f64 = r.iter().sum();
+        // sum of ranks 1..=n is n(n+1)/2 regardless of ties
+        prop_assert!((sum - 55.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_monotone_in_q(a in finite_vec(9), q1 in 0.0..1.0f64, q2 in 0.0..1.0f64) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(vector::quantile(&a, lo) <= vector::quantile(&a, hi) + 1e-12);
+    }
+
+    #[test]
+    fn trapz_linearity(t_raw in prop::collection::vec(0.01..1.0f64, 5),
+                       y1 in finite_vec(6), y2 in finite_vec(6), c in -5.0..5.0f64) {
+        // build strictly increasing grid from positive increments
+        let mut t = vec![0.0];
+        for dt in t_raw { t.push(t.last().unwrap() + dt); }
+        let comb: Vec<f64> = y1.iter().zip(&y2).map(|(a, b)| a + c * b).collect();
+        let lhs = vector::trapz(&t, &comb);
+        let rhs = vector::trapz(&t, &y1) + c * vector::trapz(&t, &y2);
+        prop_assert!((lhs - rhs).abs() < 1e-8 * (1.0 + lhs.abs()));
+    }
+}

@@ -1,0 +1,222 @@
+//! The interpretable ensemble sketched in the paper's Sec. 5 (future work):
+//! train several mapping+detector pipelines — ideally one per outlier class
+//! — and average their (rank-normalized) scores. Reading the per-member
+//! contributions of a flagged sample reveals *which kind* of outlyingness
+//! it exhibits, the interpretability goal the paper states.
+
+use crate::error::MfodError;
+use crate::pipeline::{FittedPipeline, GeomOutlierPipeline};
+use crate::Result;
+use mfod_fda::RawSample;
+use mfod_linalg::Matrix;
+
+/// An (unfitted) ensemble of geometric pipelines.
+#[derive(Debug, Clone, Default)]
+pub struct MappingEnsemble {
+    members: Vec<GeomOutlierPipeline>,
+}
+
+impl MappingEnsemble {
+    /// Empty ensemble; add members with [`MappingEnsemble::with_member`].
+    pub fn new() -> Self {
+        MappingEnsemble::default()
+    }
+
+    /// Adds a member pipeline (builder style).
+    pub fn with_member(mut self, member: GeomOutlierPipeline) -> Self {
+        self.members.push(member);
+        self
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when no members were added.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Fits every member on the same training samples.
+    ///
+    /// The paper's full recipe first isolates per-class training subsets
+    /// with depth functions; fitting all members on a common set is the
+    /// degenerate-but-useful version when class-pure subsets are not
+    /// available. Use [`MappingEnsemble::fit_per_member`] for the full
+    /// recipe.
+    pub fn fit(&self, train: &[RawSample]) -> Result<FittedMappingEnsemble> {
+        if self.members.is_empty() {
+            return Err(MfodError::Pipeline("ensemble has no members".into()));
+        }
+        let fitted = self
+            .members
+            .iter()
+            .map(|m| m.fit(train))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(FittedMappingEnsemble { members: fitted })
+    }
+
+    /// Fits member `i` on `train_sets[i]` (the paper's per-outlier-class
+    /// training sets).
+    pub fn fit_per_member(&self, train_sets: &[&[RawSample]]) -> Result<FittedMappingEnsemble> {
+        if self.members.is_empty() {
+            return Err(MfodError::Pipeline("ensemble has no members".into()));
+        }
+        if train_sets.len() != self.members.len() {
+            return Err(MfodError::Pipeline(format!(
+                "{} training sets for {} members",
+                train_sets.len(),
+                self.members.len()
+            )));
+        }
+        let fitted = self
+            .members
+            .iter()
+            .zip(train_sets)
+            .map(|(m, t)| m.fit(t))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(FittedMappingEnsemble { members: fitted })
+    }
+}
+
+/// A fitted ensemble.
+pub struct FittedMappingEnsemble {
+    members: Vec<FittedPipeline>,
+}
+
+impl FittedMappingEnsemble {
+    /// Member labels (`"<detector>(<mapping>)"`), in member order.
+    pub fn member_labels(&self) -> Vec<&str> {
+        self.members.iter().map(|m| m.label()).collect()
+    }
+
+    /// Ensemble scores: the mean of rank-normalized member scores.
+    ///
+    /// Each member's raw scores are converted to average ranks within the
+    /// scored batch and rescaled to `[0, 1]`, making members with different
+    /// score scales commensurable (iForest scores live in `(0, 1]`, OCSVM
+    /// scores are signed margins). Scores are therefore *batch-relative*.
+    pub fn score(&self, samples: &[RawSample]) -> Result<Vec<f64>> {
+        Ok(self.score_decomposed(samples)?.0)
+    }
+
+    /// Ensemble scores plus the per-member normalized score matrix
+    /// (`n x members`) — read a flagged row to see which members (i.e.
+    /// which outlyingness notions) drive the decision.
+    pub fn score_decomposed(&self, samples: &[RawSample]) -> Result<(Vec<f64>, Matrix)> {
+        if samples.len() < 2 {
+            return Err(MfodError::Pipeline(
+                "ensemble scoring needs >= 2 samples (rank normalization)".into(),
+            ));
+        }
+        let n = samples.len();
+        let k = self.members.len();
+        let mut contributions = Matrix::zeros(n, k);
+        for (j, member) in self.members.iter().enumerate() {
+            let raw = member.score(samples)?;
+            let ranks = mfod_linalg::vector::average_ranks(&raw);
+            for i in 0..n {
+                contributions[(i, j)] = (ranks[i] - 1.0) / (n as f64 - 1.0);
+            }
+        }
+        let combined: Vec<f64> = (0..n)
+            .map(|i| contributions.row(i).iter().sum::<f64>() / k as f64)
+            .collect();
+        Ok((combined, contributions))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PipelineConfig;
+    use mfod_datasets::{EcgConfig, EcgSimulator};
+    use mfod_detect::IsolationForest;
+    use mfod_geometry::{Curvature, Speed};
+    use std::sync::Arc;
+
+    fn member(mapping: Arc<dyn mfod_geometry::MappingFunction>) -> GeomOutlierPipeline {
+        GeomOutlierPipeline::new(
+            PipelineConfig::fast(),
+            mapping,
+            Arc::new(IsolationForest { n_trees: 30, ..Default::default() }),
+        )
+    }
+
+    fn data() -> mfod_datasets::LabeledDataSet {
+        EcgSimulator::new(EcgConfig { m: 40, ..Default::default() })
+            .unwrap()
+            .generate(20, 5, 13)
+            .unwrap()
+            .augment_with(0, |y| y * y)
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_and_fit() {
+        let e = MappingEnsemble::new()
+            .with_member(member(Arc::new(Curvature)))
+            .with_member(member(Arc::new(Speed)));
+        assert_eq!(e.len(), 2);
+        assert!(!e.is_empty());
+        let d = data();
+        let fitted = e.fit(d.samples()).unwrap();
+        assert_eq!(
+            fitted.member_labels(),
+            vec!["iforest(curvature)", "iforest(speed)"]
+        );
+    }
+
+    #[test]
+    fn scores_are_normalized_means() {
+        let e = MappingEnsemble::new()
+            .with_member(member(Arc::new(Curvature)))
+            .with_member(member(Arc::new(Speed)));
+        let d = data();
+        let fitted = e.fit(d.samples()).unwrap();
+        let (scores, contributions) = fitted.score_decomposed(d.samples()).unwrap();
+        assert_eq!(scores.len(), d.len());
+        assert_eq!(contributions.shape(), (d.len(), 2));
+        // every contribution in [0, 1]; combined = row mean
+        for i in 0..d.len() {
+            for j in 0..2 {
+                assert!((0.0..=1.0).contains(&contributions[(i, j)]));
+            }
+            let mean = (contributions[(i, 0)] + contributions[(i, 1)]) / 2.0;
+            assert!((scores[i] - mean).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_ensemble_rejected() {
+        let e = MappingEnsemble::new();
+        assert!(e.fit(data().samples()).is_err());
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn per_member_training_sets() {
+        let e = MappingEnsemble::new()
+            .with_member(member(Arc::new(Curvature)))
+            .with_member(member(Arc::new(Speed)));
+        let d = data();
+        let half1 = d.subset(&(0..10).collect::<Vec<_>>()).unwrap();
+        let half2 = d.subset(&(10..20).collect::<Vec<_>>()).unwrap();
+        let fitted = e
+            .fit_per_member(&[half1.samples(), half2.samples()])
+            .unwrap();
+        let s = fitted.score(d.samples()).unwrap();
+        assert_eq!(s.len(), d.len());
+        // wrong number of training sets
+        assert!(e.fit_per_member(&[half1.samples()]).is_err());
+    }
+
+    #[test]
+    fn too_few_samples_for_ranking() {
+        let e = MappingEnsemble::new().with_member(member(Arc::new(Curvature)));
+        let d = data();
+        let fitted = e.fit(d.samples()).unwrap();
+        assert!(fitted.score(&d.samples()[..1]).is_err());
+    }
+}

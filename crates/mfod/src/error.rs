@@ -1,0 +1,113 @@
+//! Unified error type for the end-to-end pipeline.
+
+use std::fmt;
+
+/// Errors from any stage of the mfod pipeline.
+#[derive(Debug)]
+pub enum MfodError {
+    /// Functional representation / smoothing failure.
+    Fda(mfod_fda::FdaError),
+    /// Geometric mapping failure.
+    Geometry(mfod_geometry::GeometryError),
+    /// Depth baseline failure.
+    Depth(mfod_depth::DepthError),
+    /// Detector failure.
+    Detect(mfod_detect::DetectError),
+    /// Dataset failure.
+    Dataset(mfod_datasets::DatasetError),
+    /// Evaluation failure.
+    Eval(mfod_eval::EvalError),
+    /// Pipeline-level contract violation (e.g. inconsistent sample domains).
+    Pipeline(String),
+}
+
+impl fmt::Display for MfodError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MfodError::Fda(e) => write!(f, "smoothing: {e}"),
+            MfodError::Geometry(e) => write!(f, "mapping: {e}"),
+            MfodError::Depth(e) => write!(f, "depth baseline: {e}"),
+            MfodError::Detect(e) => write!(f, "detector: {e}"),
+            MfodError::Dataset(e) => write!(f, "dataset: {e}"),
+            MfodError::Eval(e) => write!(f, "evaluation: {e}"),
+            MfodError::Pipeline(msg) => write!(f, "pipeline: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MfodError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MfodError::Fda(e) => Some(e),
+            MfodError::Geometry(e) => Some(e),
+            MfodError::Depth(e) => Some(e),
+            MfodError::Detect(e) => Some(e),
+            MfodError::Dataset(e) => Some(e),
+            MfodError::Eval(e) => Some(e),
+            MfodError::Pipeline(_) => None,
+        }
+    }
+}
+
+impl From<mfod_fda::FdaError> for MfodError {
+    fn from(e: mfod_fda::FdaError) -> Self {
+        MfodError::Fda(e)
+    }
+}
+
+impl From<mfod_geometry::GeometryError> for MfodError {
+    fn from(e: mfod_geometry::GeometryError) -> Self {
+        MfodError::Geometry(e)
+    }
+}
+
+impl From<mfod_depth::DepthError> for MfodError {
+    fn from(e: mfod_depth::DepthError) -> Self {
+        MfodError::Depth(e)
+    }
+}
+
+impl From<mfod_detect::DetectError> for MfodError {
+    fn from(e: mfod_detect::DetectError) -> Self {
+        MfodError::Detect(e)
+    }
+}
+
+impl From<mfod_datasets::DatasetError> for MfodError {
+    fn from(e: mfod_datasets::DatasetError) -> Self {
+        MfodError::Dataset(e)
+    }
+}
+
+impl From<mfod_eval::EvalError> for MfodError {
+    fn from(e: mfod_eval::EvalError) -> Self {
+        MfodError::Eval(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: MfodError = mfod_fda::FdaError::NonFinite.into();
+        assert!(e.to_string().contains("smoothing"));
+        assert!(e.source().is_some());
+        let e: MfodError = mfod_detect::DetectError::NonFinite.into();
+        assert!(e.to_string().contains("detector"));
+        let e: MfodError = mfod_eval::EvalError::SingleClass.into();
+        assert!(e.to_string().contains("evaluation"));
+        let e = MfodError::Pipeline("domains differ".into());
+        assert!(e.to_string().contains("domains differ"));
+        assert!(e.source().is_none());
+        let e: MfodError = mfod_depth::DepthError::NonFinite.into();
+        assert!(e.to_string().contains("depth"));
+        let e: MfodError =
+            mfod_datasets::DatasetError::InvalidParameter("x".into()).into();
+        assert!(e.to_string().contains("dataset"));
+        let e: MfodError = mfod_geometry::GeometryError::NonFinite.into();
+        assert!(e.to_string().contains("mapping"));
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the end-to-end pipeline invariants.
+
+use mfod::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn fast_pipeline(seed: u64) -> GeomOutlierPipeline {
+    GeomOutlierPipeline::new(
+        PipelineConfig {
+            selector: BasisSelector { sizes: vec![8], lambdas: vec![1e-2], ..Default::default() },
+            grid_len: 30,
+            ..Default::default()
+        },
+        Arc::new(Curvature),
+        Arc::new(IsolationForest { n_trees: 25, seed, ..Default::default() }),
+    )
+}
+
+fn small_data(seed: u64) -> LabeledDataSet {
+    EcgSimulator::new(EcgConfig { m: 30, ..Default::default() })
+        .unwrap()
+        .generate(16, 4, seed)
+        .unwrap()
+        .augment_with(0, |y| y * y)
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn pipeline_scores_are_finite_and_deterministic(seed in 0u64..50) {
+        let data = small_data(seed);
+        let p = fast_pipeline(7);
+        let fitted = p.fit(data.samples()).unwrap();
+        let s1 = fitted.score(data.samples()).unwrap();
+        prop_assert!(s1.iter().all(|v| v.is_finite()));
+        let s2 = fitted.score(data.samples()).unwrap();
+        prop_assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn feature_rows_independent_of_batch(seed in 0u64..25) {
+        // mapping a sample alone or within a batch must give the same row
+        // (no cross-sample leakage in the feature stage)
+        let data = small_data(seed);
+        let p = fast_pipeline(3);
+        let all = p.features(data.samples()).unwrap();
+        let alone = p
+            .features(std::slice::from_ref(&data.samples()[2]))
+            .unwrap();
+        for j in 0..all.ncols() {
+            prop_assert!((all[(2, j)] - alone[(0, j)]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn split_then_score_auc_in_unit_interval(seed in 0u64..25) {
+        let data = small_data(seed);
+        let (train, test) = SplitConfig { train_size: 12, contamination: 0.1 }
+            .split_datasets(&data, seed)
+            .unwrap();
+        let p = fast_pipeline(1);
+        let a = p.fit_score_auc(&train, &test).unwrap();
+        prop_assert!((0.0..=1.0).contains(&a));
+    }
+
+    #[test]
+    fn baseline_scores_align_with_labels_better_than_random_on_easy_data(seed in 0u64..10) {
+        // strong amplitude outliers: Dir.out must do clearly better than 0.5
+        let data = TaxonomyConfig { m: 25, noise_std: 0.02 }
+            .generate(OutlierType::AmplitudePersistent, 25, 5, seed)
+            .unwrap();
+        let (train, test) = SplitConfig { train_size: 15, contamination: 0.1 }
+            .split_datasets(&data, seed)
+            .unwrap();
+        let b = DepthBaseline::new(Arc::new(DirOut::new()));
+        let a = b.auc(&train, &test).unwrap();
+        prop_assert!(a > 0.7, "Dir.out AUC {a} on trivially-separable data");
+    }
+
+    #[test]
+    fn ensemble_contributions_bounded(seed in 0u64..10) {
+        let data = small_data(seed);
+        let e = MappingEnsemble::new()
+            .with_member(fast_pipeline(1))
+            .with_member(GeomOutlierPipeline::new(
+                PipelineConfig {
+                    selector: BasisSelector {
+                        sizes: vec![8],
+                        lambdas: vec![1e-2],
+                        ..Default::default()
+                    },
+                    grid_len: 30,
+                    ..Default::default()
+                },
+                Arc::new(Speed),
+                Arc::new(IsolationForest { n_trees: 25, ..Default::default() }),
+            ));
+        let fitted = e.fit(data.samples()).unwrap();
+        let (combined, contributions) = fitted.score_decomposed(data.samples()).unwrap();
+        for (i, &c) in combined.iter().enumerate() {
+            prop_assert!((0.0..=1.0).contains(&c));
+            for j in 0..2 {
+                prop_assert!((0.0..=1.0).contains(&contributions[(i, j)]));
+            }
+        }
+    }
+}

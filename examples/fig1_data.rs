@@ -1,0 +1,68 @@
+//! Regenerates the paper's **Fig. 1**: 21 bivariate functional samples with
+//! one shape-persistent outlier, printed both as `(t, x1, x2)` series and as
+//! summary statistics of the `(x1, x2)` projection.
+//!
+//! ```sh
+//! cargo run --release --example fig1_data
+//! ```
+//!
+//! Pipe the output into your plotting tool of choice to reproduce the two
+//! panels; the assertions at the bottom verify the figure's defining
+//! property (the outlier is invisible channel-wise but obvious as a path).
+
+use mfod::datasets::fig1::{self, Fig1Config};
+use mfod::prelude::*;
+use std::sync::Arc;
+
+fn main() -> Result<(), MfodError> {
+    let cfg = Fig1Config::default();
+    let data = fig1::generate(&cfg, 2020)?;
+    println!("# Fig. 1 data: {} samples, outlier index = 20", data.len());
+    println!("# columns: sample, label, t, x1, x2   (every 10th grid point)");
+    for (i, (s, label)) in data
+        .samples()
+        .iter()
+        .zip(data.labels())
+        .enumerate()
+    {
+        for (j, &t) in s.t.iter().enumerate().step_by(10) {
+            println!(
+                "{i} {} {t:.3} {:+.4} {:+.4}",
+                u8::from(*label),
+                s.channels[0][j],
+                s.channels[1][j]
+            );
+        }
+    }
+
+    // The figure's point: channel ranges overlap (panel a looks innocent)…
+    let range = |v: &[f64]| {
+        let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        (lo, hi)
+    };
+    let out = &data.samples()[20];
+    println!("\n# outlier channel ranges: x1 {:?}, x2 {:?}", range(&out.channels[0]), range(&out.channels[1]));
+    println!("# inlier 0 channel ranges: x1 {:?}, x2 {:?}",
+        range(&data.samples()[0].channels[0]),
+        range(&data.samples()[0].channels[1]));
+
+    // …while the curvature mapping separates the outlier immediately.
+    let pipeline = GeomOutlierPipeline::new(
+        PipelineConfig { grid_len: 101, ..PipelineConfig::default() },
+        Arc::new(Curvature),
+        Arc::new(IsolationForest::default()),
+    );
+    let fitted = pipeline.fit(data.samples())?;
+    let scores = fitted.score(data.samples())?;
+    let top = scores
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .expect("non-empty")
+        .0;
+    println!("\n# curvature pipeline's most outlying sample: {top} (true outlier: 20)");
+    assert_eq!(top, 20, "the Fig. 1 outlier must rank first under the curvature mapping");
+    println!("# OK: shape-persistent outlier correctly isolated");
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Tour of the mapping-function family on the outlier taxonomy of Hubert
+//! et al. (Sec. 1.1): which geometric aggregation sees which outlier class?
+//!
+//! ```sh
+//! cargo run --release --example mapping_zoo
+//! ```
+
+use mfod::prelude::*;
+use std::sync::Arc;
+
+fn main() -> Result<(), MfodError> {
+    let mappings: Vec<(Arc<dyn MappingFunction>, &str)> = vec![
+        (Arc::new(Curvature), "curvature"),
+        (Arc::new(Speed), "speed"),
+        (Arc::new(Acceleration), "acceleration"),
+        (Arc::new(ArcLength), "arc-length"),
+        (Arc::new(TurningAngle), "turning-angle"),
+    ];
+
+    println!(
+        "resubstitution AUC of iForest on each mapping (rows) per outlier type (cols)\n"
+    );
+    print!("{:<14}", "");
+    for ty in OutlierType::ALL {
+        print!("{:>22}", ty.name());
+    }
+    println!();
+
+    for (mapping, name) in &mappings {
+        print!("{name:<14}");
+        for ty in OutlierType::ALL {
+            // univariate types are augmented to p=2 with the square channel
+            // so every mapping is applicable (the paper's Sec. 4.1 recipe)
+            let data = TaxonomyConfig::default().generate(ty, 80, 20, 99)?;
+            let data = if ty.dim() == 1 {
+                data.augment_with(0, |y| y * y)?
+            } else {
+                data
+            };
+            let pipeline = GeomOutlierPipeline::new(
+                PipelineConfig::default(),
+                Arc::clone(mapping),
+                Arc::new(IsolationForest::default()),
+            );
+            match pipeline.fit(data.samples()).and_then(|f| f.score(data.samples())) {
+                Ok(scores) => {
+                    let v = auc(&scores, data.labels())?;
+                    print!("{v:>22.3}");
+                }
+                Err(_) => print!("{:>22}", "n/a"),
+            }
+        }
+        println!();
+    }
+
+    println!(
+        "\nReading guide: curvature shines on correlation-mixed outliers (the\n\
+         paper's headline case); speed/acceleration track isolated magnitude\n\
+         spikes; arc length accumulates persistent amplitude deviations."
+    );
+    Ok(())
+}

@@ -1,0 +1,116 @@
+//! Cross-crate tests over the outlier-taxonomy generators: every outlier
+//! class must be detectable by at least one pipeline configuration, and the
+//! mapping ablation must show the expected specializations.
+
+use mfod::prelude::*;
+use std::sync::Arc;
+
+fn cfg(m: usize) -> PipelineConfig {
+    PipelineConfig {
+        selector: BasisSelector { sizes: vec![12], lambdas: vec![1e-2], ..Default::default() },
+        grid_len: m,
+        ..Default::default()
+    }
+}
+
+fn resub_auc(mapping: Arc<dyn MappingFunction>, data: &LabeledDataSet, m: usize) -> f64 {
+    let p = GeomOutlierPipeline::new(cfg(m), mapping, Arc::new(IsolationForest::default()));
+    let fitted = p.fit(data.samples()).unwrap();
+    let scores = fitted.score(data.samples()).unwrap();
+    auc(&scores, data.labels()).unwrap()
+}
+
+#[test]
+fn every_taxonomy_class_is_detectable() {
+    let m = 50;
+    for ty in OutlierType::ALL {
+        let data = TaxonomyConfig { m, noise_std: 0.03 }
+            .generate(ty, 60, 12, 21)
+            .unwrap();
+        let data = if ty.dim() == 1 {
+            data.augment_with(0, |y| y * y).unwrap()
+        } else {
+            data
+        };
+        // best of two complementary mappings must catch every class
+        let a_curv = resub_auc(Arc::new(Curvature), &data, m);
+        let a_speed = resub_auc(Arc::new(Speed), &data, m);
+        let best = a_curv.max(a_speed);
+        assert!(
+            best > 0.8,
+            "{}: best mapping AUC {best} (curv {a_curv}, speed {a_speed})",
+            ty.name()
+        );
+    }
+}
+
+#[test]
+fn correlation_outliers_need_the_path_view() {
+    // Correlation-mixed outliers are the motivating case: a single-channel
+    // (component) mapping must do clearly worse than the curvature mapping.
+    let m = 50;
+    let data = TaxonomyConfig { m, noise_std: 0.02 }
+        .generate(OutlierType::CorrelationMixed, 60, 12, 23)
+        .unwrap();
+    let a_curv = resub_auc(Arc::new(Curvature), &data, m);
+    let a_comp = resub_auc(Arc::new(ComponentMapping::value(0)), &data, m);
+    assert!(
+        a_curv > a_comp + 0.1,
+        "curvature {a_curv} must clearly beat channel-0-only {a_comp}"
+    );
+}
+
+#[test]
+fn speed_mapping_sees_amplitude_outliers() {
+    let m = 50;
+    let data = TaxonomyConfig { m, noise_std: 0.03 }
+        .generate(OutlierType::AmplitudePersistent, 60, 12, 25)
+        .unwrap()
+        .augment_with(0, |y| y * y)
+        .unwrap();
+    let a_speed = resub_auc(Arc::new(Speed), &data, m);
+    assert!(a_speed > 0.9, "speed on amplitude outliers: {a_speed}");
+}
+
+#[test]
+fn ecg_modes_cover_the_taxonomy() {
+    // each single-mode ECG dataset must be separable by the pipeline or a
+    // depth baseline — no degenerate mode
+    use mfod::datasets::AbnormalMode;
+    for mode in AbnormalMode::ALL {
+        let data = EcgSimulator::new(EcgConfig {
+            m: 50,
+            modes: vec![mode],
+            ..Default::default()
+        })
+        .unwrap()
+        .generate(60, 15, 27)
+        .unwrap()
+        .augment_with(0, |y| y * y)
+        .unwrap();
+        let a_curv = resub_auc(Arc::new(Curvature), &data, 50);
+        let g = DepthBaseline::gridded(&data).unwrap();
+        let a_dir = auc(&DirOut::new().score(&g).unwrap(), data.labels()).unwrap();
+        let best = a_curv.max(a_dir);
+        assert!(best > 0.6, "{}: curv {a_curv}, dirout {a_dir}", mode.name());
+    }
+}
+
+#[test]
+fn csv_roundtrip_preserves_detectability() {
+    let m = 40;
+    let data = TaxonomyConfig { m, noise_std: 0.03 }
+        .generate(OutlierType::ShapePersistent, 40, 8, 29)
+        .unwrap()
+        .augment_with(0, |y| y * y)
+        .unwrap();
+    let dir = std::env::temp_dir().join("mfod_integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("taxonomy.csv");
+    data.save_csv(&path).unwrap();
+    let loaded = LabeledDataSet::load_csv(&path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+    let a_orig = resub_auc(Arc::new(Curvature), &data, m);
+    let a_load = resub_auc(Arc::new(Curvature), &loaded, m);
+    assert!((a_orig - a_load).abs() < 1e-9, "{a_orig} vs {a_load}");
+}
