@@ -19,7 +19,11 @@ fn ecg_data() -> LabeledDataSet {
 fn bench_smoothing(c: &mut Criterion) {
     let data = ecg_data();
     let sample = data.samples()[0].clone();
-    let selector = BasisSelector { sizes: vec![16], lambdas: vec![1e-2], ..Default::default() };
+    let selector = BasisSelector {
+        sizes: vec![16],
+        lambdas: vec![1e-2],
+        ..Default::default()
+    };
     c.bench_function("smooth_one_bivariate_sample_m85", |b| {
         b.iter(|| mfod::pipeline::smooth_sample(black_box(&selector), black_box(&sample)).unwrap())
     });
@@ -31,14 +35,22 @@ fn bench_smoothing(c: &mut Criterion) {
 
 fn bench_mapping(c: &mut Criterion) {
     let data = ecg_data();
-    let selector = BasisSelector { sizes: vec![16], lambdas: vec![1e-2], ..Default::default() };
+    let selector = BasisSelector {
+        sizes: vec![16],
+        lambdas: vec![1e-2],
+        ..Default::default()
+    };
     let datum = mfod::pipeline::smooth_sample(&selector, &data.samples()[0]).unwrap();
     let grid = Grid::uniform(0.0, 1.0, 85).unwrap();
     c.bench_function("curvature_map_m85", |b| {
         b.iter(|| Curvature.map(black_box(&datum), black_box(&grid)).unwrap())
     });
     c.bench_function("curvature_eq5_map_m85", |b| {
-        b.iter(|| CurvatureEq5.map(black_box(&datum), black_box(&grid)).unwrap())
+        b.iter(|| {
+            CurvatureEq5
+                .map(black_box(&datum), black_box(&grid))
+                .unwrap()
+        })
     });
     c.bench_function("speed_map_m85", |b| {
         b.iter(|| Speed.map(black_box(&datum), black_box(&grid)).unwrap())
@@ -54,7 +66,11 @@ fn bench_detectors_on_features(c: &mut Criterion) {
     );
     let features = pipeline.features(data.samples()).unwrap();
     c.bench_function("iforest_fit_n192_d85", |b| {
-        b.iter(|| IsolationForest::default().fit(black_box(&features)).unwrap())
+        b.iter(|| {
+            IsolationForest::default()
+                .fit(black_box(&features))
+                .unwrap()
+        })
     });
     let model = IsolationForest::default().fit(&features).unwrap();
     c.bench_function("iforest_score_n192", |b| {

@@ -10,7 +10,11 @@ use std::sync::Arc;
 fn pipeline(grid_len: usize) -> GeomOutlierPipeline {
     GeomOutlierPipeline::new(
         PipelineConfig {
-            selector: BasisSelector { sizes: vec![12], lambdas: vec![1e-2], ..Default::default() },
+            selector: BasisSelector {
+                sizes: vec![12],
+                lambdas: vec![1e-2],
+                ..Default::default()
+            },
             grid_len,
             ..Default::default()
         },
@@ -20,10 +24,13 @@ fn pipeline(grid_len: usize) -> GeomOutlierPipeline {
 }
 
 fn data(n: usize, m: usize, p_extra: usize, seed: u64) -> LabeledDataSet {
-    let base = EcgSimulator::new(EcgConfig { m, ..Default::default() })
-        .unwrap()
-        .generate(n, 0, seed)
-        .unwrap();
+    let base = EcgSimulator::new(EcgConfig {
+        m,
+        ..Default::default()
+    })
+    .unwrap()
+    .generate(n, 0, seed)
+    .unwrap();
     let mut out = base.augment_with(0, |y| y * y).unwrap();
     for k in 0..p_extra {
         out = out.augment_with(0, move |y| y * (k as f64 + 2.0)).unwrap();

@@ -1,0 +1,117 @@
+//! Throughput of the online scoring subsystem: windows/sec through the
+//! `MicroBatcher` at batch sizes 1 / 16 / 128, in both scoring modes.
+//!
+//! Batch size 1 scores each window the moment it arrives (no intra-batch
+//! parallelism — the sequential baseline); larger batches trade bounded
+//! latency for parallel scoring across all cores. The `speedup` report at
+//! the end prints the measured parallel-vs-sequential ratio explicitly.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mfod::prelude::*;
+use mfod_stream::{BatchConfig, MicroBatcher, ScoringMode, StreamStats};
+use std::sync::Arc;
+use std::time::Instant;
+
+const N_WINDOWS: usize = 128;
+
+fn fixture() -> (Arc<FittedPipeline>, Vec<mfod::fda::RawSample>) {
+    let data = EcgSimulator::new(EcgConfig {
+        m: 40,
+        ..Default::default()
+    })
+    .unwrap()
+    .generate(32, 8, 99)
+    .unwrap()
+    .augment_with(0, |y| y * y)
+    .unwrap();
+    let fitted = GeomOutlierPipeline::new(
+        PipelineConfig::fast(),
+        Arc::new(Curvature),
+        Arc::new(IsolationForest {
+            n_trees: 50,
+            ..Default::default()
+        }),
+    )
+    .fit(data.samples())
+    .unwrap()
+    .into_shared();
+    // Recycle the dataset into a 128-window stream.
+    let windows: Vec<mfod::fda::RawSample> = (0..N_WINDOWS)
+        .map(|i| data.samples()[i % data.len()].clone())
+        .collect();
+    (fitted, windows)
+}
+
+fn drain(
+    fitted: &Arc<FittedPipeline>,
+    windows: &[mfod::fda::RawSample],
+    batch_size: usize,
+    mode: ScoringMode,
+) -> usize {
+    let ts = windows[0].t.clone();
+    let window_ts = matches!(mode, ScoringMode::Frozen).then_some(ts.as_slice());
+    let mut mb = MicroBatcher::new(
+        Arc::clone(fitted),
+        BatchConfig {
+            batch_size,
+            mode,
+            ..Default::default()
+        },
+        window_ts,
+        Arc::new(StreamStats::new()),
+    )
+    .unwrap();
+    let mut scored = 0;
+    for w in windows {
+        scored += mb.submit(w.clone()).unwrap().len();
+    }
+    scored + mb.flush().unwrap().len()
+}
+
+fn bench_micro_batching(c: &mut Criterion) {
+    let (fitted, windows) = fixture();
+    let mut g = c.benchmark_group("streaming");
+    g.sample_size(10)
+        .throughput(Throughput::Elements(N_WINDOWS as u64));
+    for &batch_size in &[1usize, 16, 128] {
+        g.bench_function(format!("exact/batch_{batch_size}"), |b| {
+            b.iter(|| drain(&fitted, &windows, batch_size, ScoringMode::Exact))
+        });
+    }
+    g.bench_function("frozen/batch_128", |b| {
+        b.iter(|| drain(&fitted, &windows, 128, ScoringMode::Frozen))
+    });
+    g.finish();
+}
+
+/// Explicit parallel-vs-sequential report: micro-batching at 128 must beat
+/// the batch-size-1 sequential baseline on any multicore box.
+fn report_speedup(_c: &mut Criterion) {
+    let (fitted, windows) = fixture();
+    let time = |batch_size: usize| {
+        // warm-up, then best-of-3
+        drain(&fitted, &windows, batch_size, ScoringMode::Exact);
+        (0..3)
+            .map(|_| {
+                let t0 = Instant::now();
+                let scored = drain(&fitted, &windows, batch_size, ScoringMode::Exact);
+                assert_eq!(scored, N_WINDOWS);
+                t0.elapsed()
+            })
+            .min()
+            .unwrap()
+    };
+    let sequential = time(1);
+    let parallel = time(128);
+    let ratio = sequential.as_secs_f64() / parallel.as_secs_f64();
+    println!(
+        "streaming/speedup: {N_WINDOWS} windows · sequential(batch=1) {:.1} ms · \
+         parallel(batch=128) {:.1} ms · speedup {ratio:.2}x on {} threads",
+        sequential.as_secs_f64() * 1e3,
+        parallel.as_secs_f64() * 1e3,
+        mfod::linalg::par::max_threads(),
+    );
+}
+
+criterion_group!(benches, bench_micro_batching, report_speedup);
+criterion_main!(benches);

@@ -9,7 +9,10 @@ use mfod::prelude::*;
 use std::sync::Arc;
 
 fn main() -> Result<(), MfodError> {
-    let reps: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let reps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
     let data = EcgSimulator::new(EcgConfig::default())?
         .generate(128, 64, 2020)?
         .augment_with(0, |y| y * y)?;
@@ -25,7 +28,10 @@ fn main() -> Result<(), MfodError> {
 
     let detectors: Vec<(Arc<dyn Detector>, &str)> = vec![
         (Arc::new(IsolationForest::default()), "iforest"),
-        (Arc::new(OcSvm::with_nu(0.1).map_err(MfodError::Detect)?), "ocsvm(nu=0.1)"),
+        (
+            Arc::new(OcSvm::with_nu(0.1).map_err(MfodError::Detect)?),
+            "ocsvm(nu=0.1)",
+        ),
         (Arc::new(Lof::default()), "lof(k=20)"),
         (Arc::new(Mahalanobis::default()), "mahalanobis"),
     ];
@@ -40,17 +46,26 @@ fn main() -> Result<(), MfodError> {
         print!("{:<16}", format!("{:.0}%", c * 100.0));
         for (detector, _) in &detectors {
             let summary = mfod::eval::run_repeated(reps, 38, |seed| {
-                let split = SplitConfig { train_size: 96, contamination: c }
-                    .split(&data, seed)?;
-                let labels: Vec<bool> =
-                    split.test_indices.iter().map(|&i| data.labels()[i]).collect();
+                let split = SplitConfig {
+                    train_size: 96,
+                    contamination: c,
+                }
+                .split(&data, seed)?;
+                let labels: Vec<bool> = split
+                    .test_indices
+                    .iter()
+                    .map(|&i| data.labels()[i])
+                    .collect();
                 let train_f = features.submatrix(&split.train_indices, &cols);
                 let test_f = features.submatrix(&split.test_indices, &cols);
                 let model = detector.fit(&train_f).map_err(MfodError::Detect)?;
                 let scores = model.score_batch(&test_f).map_err(MfodError::Detect)?;
                 Ok::<_, MfodError>(vec![("auc".to_string(), auc(&scores, &labels)?)])
             })?;
-            print!("{:>11.3} ±{:.3}", summary.methods[0].mean, summary.methods[0].std);
+            print!(
+                "{:>11.3} ±{:.3}",
+                summary.methods[0].mean, summary.methods[0].std
+            );
         }
         println!();
     }

@@ -18,19 +18,28 @@ fn member(mapping: Arc<dyn MappingFunction>) -> GeomOutlierPipeline {
 }
 
 fn main() -> Result<(), MfodError> {
-    let reps: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let reps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
     let data = EcgSimulator::new(EcgConfig::default())?
         .generate(128, 64, 2020)?
         .augment_with(0, |y| y * y)?;
 
     println!("Sec. 5 ensemble ablation (c = 10%, {reps} splits)\n");
     let summary = mfod::eval::run_repeated(reps, 38, |seed| {
-        let (train, test) = SplitConfig { train_size: 96, contamination: 0.10 }
-            .split_datasets(&data, seed)?;
+        let (train, test) = SplitConfig {
+            train_size: 96,
+            contamination: 0.10,
+        }
+        .split_datasets(&data, seed)?;
         let mut out = Vec::new();
         // single members
         for (mapping, name) in [
-            (Arc::new(Curvature) as Arc<dyn MappingFunction>, "curvature-only"),
+            (
+                Arc::new(Curvature) as Arc<dyn MappingFunction>,
+                "curvature-only",
+            ),
             (Arc::new(Speed), "speed-only"),
             (Arc::new(ArcLength), "arclength-only"),
         ] {
@@ -50,8 +59,11 @@ fn main() -> Result<(), MfodError> {
     println!("{}", summary.to_table("AUC"));
 
     // interpretability demo: contribution profile of the strongest outlier
-    let (train, test) = SplitConfig { train_size: 96, contamination: 0.10 }
-        .split_datasets(&data, 38)?;
+    let (train, test) = SplitConfig {
+        train_size: 96,
+        contamination: 0.10,
+    }
+    .split_datasets(&data, 38)?;
     let ensemble = MappingEnsemble::new()
         .with_member(member(Arc::new(Curvature)))
         .with_member(member(Arc::new(Speed)))
@@ -66,7 +78,11 @@ fn main() -> Result<(), MfodError> {
         .0;
     println!(
         "top outlier decomposition (test #{top}, true label {}):",
-        if test.labels()[top] { "outlier" } else { "inlier" }
+        if test.labels()[top] {
+            "outlier"
+        } else {
+            "inlier"
+        }
     );
     for (j, label) in fitted.member_labels().iter().enumerate() {
         println!("  {label:<22} contribution {:.2}", contributions[(top, j)]);

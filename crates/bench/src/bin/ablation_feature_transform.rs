@@ -11,7 +11,10 @@ use mfod::prelude::*;
 use std::sync::Arc;
 
 fn main() -> Result<(), MfodError> {
-    let reps: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let reps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
     let data = EcgSimulator::new(EcgConfig::default())?
         .generate(128, 64, 2020)?
         .augment_with(0, |y| y * y)?;
@@ -26,14 +29,23 @@ fn main() -> Result<(), MfodError> {
     println!("{:<16} {:>10} {:>8}", "transform", "AUC mean", "std");
     for (transform, name) in transforms {
         let pipeline = GeomOutlierPipeline::new(
-            PipelineConfig { transform, ..Default::default() },
+            PipelineConfig {
+                transform,
+                ..Default::default()
+            },
             Arc::new(Curvature),
             Arc::new(IsolationForest::default()),
         );
         let summary = mfod::eval::run_repeated(reps, 38, |seed| {
-            let (train, test) = SplitConfig { train_size: 96, contamination: 0.10 }
-                .split_datasets(&data, seed)?;
-            Ok::<_, MfodError>(vec![(name.to_string(), pipeline.fit_score_auc(&train, &test)?)])
+            let (train, test) = SplitConfig {
+                train_size: 96,
+                contamination: 0.10,
+            }
+            .split_datasets(&data, seed)?;
+            Ok::<_, MfodError>(vec![(
+                name.to_string(),
+                pipeline.fit_score_auc(&train, &test)?,
+            )])
         })?;
         let m = &summary.methods[0];
         println!("{name:<16} {:>10.3} {:>8.3}", m.mean, m.std);

@@ -10,7 +10,10 @@ use mfod::prelude::*;
 use std::sync::Arc;
 
 fn main() -> Result<(), MfodError> {
-    let reps: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let reps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
     let mappings: Vec<(Arc<dyn MappingFunction>, &str)> = vec![
         (Arc::new(Curvature), "curvature"),
         (Arc::new(CurvatureEq5), "curvature-eq5"),
@@ -35,8 +38,11 @@ fn main() -> Result<(), MfodError> {
             Arc::new(IsolationForest::default()),
         );
         let summary = mfod::eval::run_repeated(reps, 38, |seed| {
-            let (train, test) = SplitConfig { train_size: 96, contamination: 0.10 }
-                .split_datasets(&data, seed)?;
+            let (train, test) = SplitConfig {
+                train_size: 96,
+                contamination: 0.10,
+            }
+            .split_datasets(&data, seed)?;
             let auc_v = pipeline.fit_score_auc(&train, &test)?;
             Ok::<_, MfodError>(vec![((*name).to_string(), auc_v)])
         })?;
@@ -48,9 +54,16 @@ fn main() -> Result<(), MfodError> {
     println!("{:<22} {:>10} {:>10}", "outlier type", "curvature", "speed");
     for ty in OutlierType::ALL {
         let d = TaxonomyConfig::default().generate(ty, 80, 20, 99)?;
-        let d = if ty.dim() == 1 { d.augment_with(0, |y| y * y)? } else { d };
+        let d = if ty.dim() == 1 {
+            d.augment_with(0, |y| y * y)?
+        } else {
+            d
+        };
         let mut row = Vec::new();
-        for mapping in [Arc::new(Curvature) as Arc<dyn MappingFunction>, Arc::new(Speed)] {
+        for mapping in [
+            Arc::new(Curvature) as Arc<dyn MappingFunction>,
+            Arc::new(Speed),
+        ] {
             let p = GeomOutlierPipeline::new(
                 PipelineConfig::default(),
                 mapping,

@@ -51,16 +51,23 @@ fn main() -> Result<(), MfodError> {
     methods_header();
     for ty in OutlierType::ALL {
         let data = TaxonomyConfig::default().generate(ty, 80, 20, 41)?;
-        let data = if ty.dim() == 1 { data.augment_with(0, |y| y * y)? } else { data };
+        let data = if ty.dim() == 1 {
+            data.augment_with(0, |y| y * y)?
+        } else {
+            data
+        };
         eval_all(&data, ty.name())?;
     }
 
     println!("\nA5b: single-mode ECG abnormality classes (100 normal + 30 abnormal)\n");
     methods_header();
     for mode in AbnormalMode::ALL {
-        let data = EcgSimulator::new(EcgConfig { modes: vec![mode], ..Default::default() })?
-            .generate(100, 30, 43)?
-            .augment_with(0, |y| y * y)?;
+        let data = EcgSimulator::new(EcgConfig {
+            modes: vec![mode],
+            ..Default::default()
+        })?
+        .generate(100, 30, 43)?
+        .augment_with(0, |y| y * y)?;
         eval_all(&data, mode.name())?;
     }
     println!(

@@ -11,7 +11,10 @@ use mfod::prelude::*;
 use std::sync::Arc;
 
 fn main() -> Result<(), MfodError> {
-    let reps: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let reps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
     let data = EcgSimulator::new(EcgConfig::default())?
         .generate(128, 64, 2020)?
         .augment_with(0, |y| y * y)?;
@@ -37,8 +40,11 @@ fn main() -> Result<(), MfodError> {
                 Arc::new(IsolationForest::default()),
             );
             let summary = mfod::eval::run_repeated(reps, 38, |seed| {
-                let (train, test) = SplitConfig { train_size: 96, contamination: 0.10 }
-                    .split_datasets(&data, seed)?;
+                let (train, test) = SplitConfig {
+                    train_size: 96,
+                    contamination: 0.10,
+                }
+                .split_datasets(&data, seed)?;
                 let auc_v = pipeline.fit_score_auc(&train, &test)?;
                 Ok::<_, MfodError>(vec![("auc".to_string(), auc_v)])
             })?;
@@ -49,13 +55,19 @@ fn main() -> Result<(), MfodError> {
 
     println!("\nLOOCV ladder (paper's protocol) for reference:");
     let pipeline = GeomOutlierPipeline::new(
-        PipelineConfig { selector: BasisSelector::default(), ..Default::default() },
+        PipelineConfig {
+            selector: BasisSelector::default(),
+            ..Default::default()
+        },
         Arc::new(Curvature),
         Arc::new(IsolationForest::default()),
     );
     let summary = mfod::eval::run_repeated(reps, 38, |seed| {
-        let (train, test) = SplitConfig { train_size: 96, contamination: 0.10 }
-            .split_datasets(&data, seed)?;
+        let (train, test) = SplitConfig {
+            train_size: 96,
+            contamination: 0.10,
+        }
+        .split_datasets(&data, seed)?;
         let auc_v = pipeline.fit_score_auc(&train, &test)?;
         Ok::<_, MfodError>(vec![("auc".to_string(), auc_v)])
     })?;

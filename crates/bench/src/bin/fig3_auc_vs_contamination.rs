@@ -17,7 +17,10 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(50);
-    let cfg = Fig3Config { repetitions: reps, ..Default::default() };
+    let cfg = Fig3Config {
+        repetitions: reps,
+        ..Default::default()
+    };
     eprintln!(
         "running Fig. 3: {} contamination levels x {} repetitions \
          (n = {}, m = {}, train = {})…",

@@ -45,11 +45,31 @@ impl Wave {
 
 /// Template P-QRS-T morphology on the unit interval.
 const TEMPLATE: [Wave; 5] = [
-    Wave { amp: 0.15, center: 0.18, width: 0.035 }, // P
-    Wave { amp: -0.12, center: 0.35, width: 0.012 }, // Q
-    Wave { amp: 1.0, center: 0.40, width: 0.016 },  // R
-    Wave { amp: -0.25, center: 0.45, width: 0.014 }, // S
-    Wave { amp: 0.35, center: 0.65, width: 0.060 }, // T
+    Wave {
+        amp: 0.15,
+        center: 0.18,
+        width: 0.035,
+    }, // P
+    Wave {
+        amp: -0.12,
+        center: 0.35,
+        width: 0.012,
+    }, // Q
+    Wave {
+        amp: 1.0,
+        center: 0.40,
+        width: 0.016,
+    }, // R
+    Wave {
+        amp: -0.25,
+        center: 0.45,
+        width: 0.014,
+    }, // S
+    Wave {
+        amp: 0.35,
+        center: 0.65,
+        width: 0.060,
+    }, // T
 ];
 
 /// Index of the T wave in [`TEMPLATE`].
@@ -166,7 +186,9 @@ impl EcgSimulator {
             )));
         }
         if !(config.noise_std >= 0.0 && config.noise_std.is_finite()) {
-            return Err(DatasetError::InvalidParameter("noise_std must be >= 0".into()));
+            return Err(DatasetError::InvalidParameter(
+                "noise_std must be >= 0".into(),
+            ));
         }
         if !(0.0..0.5).contains(&config.normal_jitter) {
             return Err(DatasetError::InvalidParameter(
@@ -215,7 +237,12 @@ impl EcgSimulator {
     /// (univariate samples, labels `true` = abnormal), reproducibly from
     /// `seed`. The sample order is normals first; shuffle via
     /// [`crate::split::ContaminatedSplit`] when building experiments.
-    pub fn generate(&self, n_normal: usize, n_abnormal: usize, seed: u64) -> Result<LabeledDataSet> {
+    pub fn generate(
+        &self,
+        n_normal: usize,
+        n_abnormal: usize,
+        seed: u64,
+    ) -> Result<LabeledDataSet> {
         if n_normal + n_abnormal == 0 {
             return Err(DatasetError::InvalidParameter(
                 "need at least one sample".into(),
@@ -231,7 +258,12 @@ impl EcgSimulator {
         let mut samples = Vec::with_capacity(n_normal + n_abnormal);
         let mut labels = Vec::with_capacity(n_normal + n_abnormal);
         for _ in 0..n_normal {
-            samples.push(self.beat_sample(&grid, &self.jittered_waves(&mut rng), None, &mut rng)?);
+            samples.push(self.beat_sample(
+                &grid,
+                &self.jittered_waves(&mut rng),
+                None,
+                &mut rng,
+            )?);
             labels.push(false);
         }
         let pool = &self.config.modes;
@@ -253,12 +285,7 @@ impl EcgSimulator {
             for mode in &modes {
                 self.apply_mode(*mode, &mut waves, &mut extra, &mut rng);
             }
-            samples.push(self.beat_sample_with_extra(
-                &grid,
-                &waves,
-                &extra,
-                &mut rng,
-            )?);
+            samples.push(self.beat_sample_with_extra(&grid, &waves, &extra, &mut rng)?);
             labels.push(true);
         }
         LabeledDataSet::new(samples, labels)
@@ -367,12 +394,9 @@ impl EcgSimulator {
         let mut y: Vec<f64> = grid
             .iter()
             .map(|&t| {
-                let warped =
-                    t + warp_amp * (std::f64::consts::TAU * (t + warp_phase)).sin();
-                let clean: f64 =
-                    waves.iter().chain(extra).map(|w| w.eval(warped)).sum();
-                let wander =
-                    wander_amp * (std::f64::consts::PI * (t + wander_phase)).sin();
+                let warped = t + warp_amp * (std::f64::consts::TAU * (t + warp_phase)).sin();
+                let clean: f64 = waves.iter().chain(extra).map(|w| w.eval(warped)).sum();
+                let wander = wander_amp * (std::f64::consts::PI * (t + wander_phase)).sin();
                 gain * clean + wander + self.config.noise_std * standard_normal(rng)
             })
             .collect();
@@ -399,11 +423,21 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        assert!(EcgSimulator::new(EcgConfig { m: 4, ..Default::default() }).is_err());
-        assert!(EcgSimulator::new(EcgConfig { noise_std: -0.1, ..Default::default() }).is_err());
-        assert!(
-            EcgSimulator::new(EcgConfig { normal_jitter: 0.7, ..Default::default() }).is_err()
-        );
+        assert!(EcgSimulator::new(EcgConfig {
+            m: 4,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(EcgSimulator::new(EcgConfig {
+            noise_std: -0.1,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(EcgSimulator::new(EcgConfig {
+            normal_jitter: 0.7,
+            ..Default::default()
+        })
+        .is_err());
         assert_eq!(sim().config().m, 85);
     }
 
@@ -461,14 +495,25 @@ mod tests {
         }
         mean.iter_mut().for_each(|v| *v /= 40.0);
         let rmse = |y: &[f64]| {
-            (y.iter().zip(&mean).map(|(a, b)| (a - b) * (a - b)).sum::<f64>() / m as f64).sqrt()
+            (y.iter()
+                .zip(&mean)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                / m as f64)
+                .sqrt()
         };
-        let mean_inlier_rmse: f64 =
-            d.inlier_indices().iter().map(|&i| rmse(&d.samples()[i].channels[0])).sum::<f64>()
-                / 40.0;
-        let mean_outlier_rmse: f64 =
-            d.outlier_indices().iter().map(|&i| rmse(&d.samples()[i].channels[0])).sum::<f64>()
-                / 20.0;
+        let mean_inlier_rmse: f64 = d
+            .inlier_indices()
+            .iter()
+            .map(|&i| rmse(&d.samples()[i].channels[0]))
+            .sum::<f64>()
+            / 40.0;
+        let mean_outlier_rmse: f64 = d
+            .outlier_indices()
+            .iter()
+            .map(|&i| rmse(&d.samples()[i].channels[0]))
+            .sum::<f64>()
+            / 20.0;
         assert!(
             mean_outlier_rmse > mean_inlier_rmse * 1.5,
             "outliers {mean_outlier_rmse} vs inliers {mean_inlier_rmse}"
@@ -510,7 +555,10 @@ mod tests {
         assert!(bad(|c| c.artifact_amp = f64::NAN));
         assert!(bad(|c| c.mixed_rate = 2.0));
         // empty modes only fails at generate() time
-        let c = EcgConfig { modes: vec![], ..Default::default() };
+        let c = EcgConfig {
+            modes: vec![],
+            ..Default::default()
+        };
         assert!(EcgSimulator::new(c).unwrap().generate(1, 1, 0).is_err());
     }
 
@@ -531,7 +579,10 @@ mod tests {
                 .zip(normal)
                 .map(|(a, b)| (a - b).abs())
                 .fold(0.0f64, f64::max);
-            assert!(max_dev > 0.3, "spike missing in abnormal beat {i}: {max_dev}");
+            assert!(
+                max_dev > 0.3,
+                "spike missing in abnormal beat {i}: {max_dev}"
+            );
         }
     }
 

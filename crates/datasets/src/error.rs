@@ -84,16 +84,28 @@ mod tests {
 
     #[test]
     fn displays() {
-        assert!(DatasetError::InvalidParameter("c".into()).to_string().contains('c'));
-        assert!(DatasetError::LabelMismatch { samples: 3, labels: 2 }
+        assert!(DatasetError::InvalidParameter("c".into())
             .to_string()
-            .contains('3'));
-        assert!(DatasetError::NotEnoughSamples { what: "outliers", have: 1, need: 5 }
-            .to_string()
-            .contains("outliers"));
-        assert!(DatasetError::Parse { line: 7, message: "bad".into() }
-            .to_string()
-            .contains('7'));
+            .contains('c'));
+        assert!(DatasetError::LabelMismatch {
+            samples: 3,
+            labels: 2
+        }
+        .to_string()
+        .contains('3'));
+        assert!(DatasetError::NotEnoughSamples {
+            what: "outliers",
+            have: 1,
+            need: 5
+        }
+        .to_string()
+        .contains("outliers"));
+        assert!(DatasetError::Parse {
+            line: 7,
+            message: "bad".into()
+        }
+        .to_string()
+        .contains('7'));
         let io: DatasetError = std::io::Error::other("x").into();
         assert!(io.to_string().contains("io error"));
         let fda: DatasetError = FdaError::NonFinite.into();
@@ -101,6 +113,8 @@ mod tests {
         use std::error::Error;
         assert!(io.source().is_some());
         assert!(fda.source().is_some());
-        assert!(DatasetError::InvalidParameter("x".into()).source().is_none());
+        assert!(DatasetError::InvalidParameter("x".into())
+            .source()
+            .is_none());
     }
 }

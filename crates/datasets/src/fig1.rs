@@ -17,7 +17,6 @@ use mfod_fda::RawSample;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-
 /// Configuration of the Fig. 1 generator.
 #[derive(Debug, Clone)]
 pub struct Fig1Config {
@@ -31,7 +30,11 @@ pub struct Fig1Config {
 
 impl Default for Fig1Config {
     fn default() -> Self {
-        Fig1Config { n: 21, m: 101, noise_std: 0.02 }
+        Fig1Config {
+            n: 21,
+            m: 101,
+            noise_std: 0.02,
+        }
     }
 }
 
@@ -117,15 +120,17 @@ mod tests {
         // the outlier must NOT be a magnitude outlier: its channel ranges
         // overlap the inliers'
         let d = generate(&Fig1Config::default(), 2).unwrap();
-        let max_abs = |s: &RawSample, k: usize| {
-            s.channels[k].iter().fold(0.0f64, |m, &v| m.max(v.abs()))
-        };
+        let max_abs =
+            |s: &RawSample, k: usize| s.channels[k].iter().fold(0.0f64, |m, &v| m.max(v.abs()));
         let out = &d.samples()[20];
         for k in 0..2 {
             let out_range = max_abs(out, k);
             let inl_ranges: Vec<f64> = (0..20).map(|i| max_abs(&d.samples()[i], k)).collect();
             let max_inl = inl_ranges.iter().fold(0.0f64, |m, &v| m.max(v));
-            assert!(out_range < max_inl * 1.3, "channel {k}: {out_range} vs {max_inl}");
+            assert!(
+                out_range < max_inl * 1.3,
+                "channel {k}: {out_range} vs {max_inl}"
+            );
         }
     }
 
@@ -133,7 +138,10 @@ mod tests {
     fn outlier_path_differs_in_shape() {
         // inlier paths are near-circles: ‖(x1, x2)‖ ≈ const; the
         // figure-eight's radius collapses near its crossing point
-        let cfg = Fig1Config { noise_std: 0.0, ..Default::default() };
+        let cfg = Fig1Config {
+            noise_std: 0.0,
+            ..Default::default()
+        };
         let d = generate(&cfg, 3).unwrap();
         let radius_spread = |s: &RawSample| {
             let radii: Vec<f64> = s.channels[0]
@@ -153,8 +161,22 @@ mod tests {
 
     #[test]
     fn validation_and_reproducibility() {
-        assert!(generate(&Fig1Config { n: 1, ..Default::default() }, 0).is_err());
-        assert!(generate(&Fig1Config { m: 3, ..Default::default() }, 0).is_err());
+        assert!(generate(
+            &Fig1Config {
+                n: 1,
+                ..Default::default()
+            },
+            0
+        )
+        .is_err());
+        assert!(generate(
+            &Fig1Config {
+                m: 3,
+                ..Default::default()
+            },
+            0
+        )
+        .is_err());
         let a = generate(&Fig1Config::default(), 9).unwrap();
         let b = generate(&Fig1Config::default(), 9).unwrap();
         assert_eq!(a.samples()[5].channels, b.samples()[5].channels);

@@ -81,9 +81,9 @@ impl LabeledDataSet {
         let mut samples = Vec::with_capacity(indices.len());
         let mut labels = Vec::with_capacity(indices.len());
         for &i in indices {
-            let (s, l) = self.get(i).ok_or_else(|| {
-                DatasetError::InvalidParameter(format!("index {i} out of range"))
-            })?;
+            let (s, l) = self
+                .get(i)
+                .ok_or_else(|| DatasetError::InvalidParameter(format!("index {i} out of range")))?;
             samples.push(s.clone());
             labels.push(l);
         }
@@ -118,15 +118,16 @@ impl LabeledDataSet {
                     ))
                 })?;
                 let mean = c.iter().sum::<f64>() / c.len() as f64;
-                let var = c.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-                    / c.len() as f64;
+                let var = c.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / c.len() as f64;
                 let std = var.sqrt();
                 let scale = if std > 1e-12 { 1.0 / std } else { 1.0 };
-                let normalized: Vec<f64> =
-                    c.iter().map(|v| (v - mean) * scale).collect();
+                let normalized: Vec<f64> = c.iter().map(|v| (v - mean) * scale).collect();
                 let mut channels = s.channels.clone();
                 channels[channel] = normalized;
-                Ok(RawSample { t: s.t.clone(), channels })
+                Ok(RawSample {
+                    t: s.t.clone(),
+                    channels,
+                })
             })
             .collect::<Result<Vec<_>>>()?;
         LabeledDataSet::new(samples, self.labels.clone())
@@ -138,7 +139,11 @@ impl LabeledDataSet {
         let mut file = std::fs::File::create(path)?;
         for (s, &label) in self.samples.iter().zip(&self.labels) {
             let mut row = Vec::with_capacity(2 + s.t.len() * (1 + s.dim()));
-            row.push(if label { "1".to_string() } else { "0".to_string() });
+            row.push(if label {
+                "1".to_string()
+            } else {
+                "0".to_string()
+            });
             row.push(s.dim().to_string());
             row.extend(s.t.iter().map(|v| format!("{v:?}")));
             for c in &s.channels {
@@ -184,7 +189,7 @@ impl LabeledDataSet {
                 }
             };
             let p = parse(fields[1], "channel count")? as usize;
-            if p == 0 || (fields.len() - 2) % (p + 1) != 0 {
+            if p == 0 || !(fields.len() - 2).is_multiple_of(p + 1) {
                 return Err(DatasetError::Parse {
                     line: lineno + 1,
                     message: format!("field count {} incompatible with p = {p}", fields.len()),

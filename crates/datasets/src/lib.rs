@@ -26,9 +26,9 @@
 
 pub mod ecg;
 pub mod error;
-pub(crate) mod rngutil;
 pub mod fig1;
 pub mod labeled;
+pub(crate) mod rngutil;
 pub mod split;
 pub mod taxonomy;
 pub mod ucr;

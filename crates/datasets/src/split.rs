@@ -73,7 +73,10 @@ impl SplitConfig {
         test_indices.extend_from_slice(&inliers[n_in_train..]);
         test_indices.extend_from_slice(&outliers[n_out_train..]);
         shuffle(&mut test_indices, &mut rng);
-        Ok(ContaminatedSplit { train_indices, test_indices })
+        Ok(ContaminatedSplit {
+            train_indices,
+            test_indices,
+        })
     }
 
     /// Materializes `(train, test)` datasets for a split drawn with `seed`.
@@ -83,7 +86,10 @@ impl SplitConfig {
         seed: u64,
     ) -> Result<(LabeledDataSet, LabeledDataSet)> {
         let s = self.split(data, seed)?;
-        Ok((data.subset(&s.train_indices)?, data.subset(&s.test_indices)?))
+        Ok((
+            data.subset(&s.train_indices)?,
+            data.subset(&s.test_indices)?,
+        ))
     }
 }
 
@@ -102,9 +108,7 @@ mod tests {
     use mfod_fda::RawSample;
 
     fn dataset(n_in: usize, n_out: usize) -> LabeledDataSet {
-        let mk = |v: f64| {
-            RawSample::new(vec![0.0, 1.0], vec![vec![v, v]]).unwrap()
-        };
+        let mk = |v: f64| RawSample::new(vec![0.0, 1.0], vec![vec![v, v]]).unwrap();
         let mut samples = Vec::new();
         let mut labels = Vec::new();
         for i in 0..n_in {
@@ -122,7 +126,10 @@ mod tests {
     fn exact_contamination() {
         let data = dataset(80, 40);
         for &c in &[0.05, 0.10, 0.15, 0.20, 0.25] {
-            let cfg = SplitConfig { train_size: 60, contamination: c };
+            let cfg = SplitConfig {
+                train_size: 60,
+                contamination: c,
+            };
             let (train, test) = cfg.split_datasets(&data, 42).unwrap();
             assert_eq!(train.len(), 60);
             assert_eq!(test.len(), 60);
@@ -135,9 +142,17 @@ mod tests {
     #[test]
     fn partition_is_exact() {
         let data = dataset(30, 10);
-        let cfg = SplitConfig { train_size: 20, contamination: 0.2 };
+        let cfg = SplitConfig {
+            train_size: 20,
+            contamination: 0.2,
+        };
         let s = cfg.split(&data, 7).unwrap();
-        let mut all: Vec<usize> = s.train_indices.iter().chain(&s.test_indices).copied().collect();
+        let mut all: Vec<usize> = s
+            .train_indices
+            .iter()
+            .chain(&s.test_indices)
+            .copied()
+            .collect();
         all.sort_unstable();
         assert_eq!(all, (0..40).collect::<Vec<_>>());
     }
@@ -145,7 +160,10 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let data = dataset(50, 20);
-        let cfg = SplitConfig { train_size: 30, contamination: 0.1 };
+        let cfg = SplitConfig {
+            train_size: 30,
+            contamination: 0.1,
+        };
         let a = cfg.split(&data, 1).unwrap();
         let b = cfg.split(&data, 2).unwrap();
         assert_ne!(a.train_indices, b.train_indices);
@@ -156,27 +174,64 @@ mod tests {
     #[test]
     fn error_paths() {
         let data = dataset(10, 2);
-        assert!(SplitConfig { train_size: 0, contamination: 0.1 }.split(&data, 0).is_err());
-        assert!(SplitConfig { train_size: 12, contamination: 0.1 }.split(&data, 0).is_err());
-        assert!(SplitConfig { train_size: 5, contamination: 1.0 }.split(&data, 0).is_err());
-        assert!(SplitConfig { train_size: 5, contamination: -0.1 }.split(&data, 0).is_err());
+        assert!(SplitConfig {
+            train_size: 0,
+            contamination: 0.1
+        }
+        .split(&data, 0)
+        .is_err());
+        assert!(SplitConfig {
+            train_size: 12,
+            contamination: 0.1
+        }
+        .split(&data, 0)
+        .is_err());
+        assert!(SplitConfig {
+            train_size: 5,
+            contamination: 1.0
+        }
+        .split(&data, 0)
+        .is_err());
+        assert!(SplitConfig {
+            train_size: 5,
+            contamination: -0.1
+        }
+        .split(&data, 0)
+        .is_err());
         // requesting more outliers than available
         assert!(matches!(
-            SplitConfig { train_size: 10, contamination: 0.5 }.split(&data, 0),
-            Err(DatasetError::NotEnoughSamples { what: "outliers", .. })
+            SplitConfig {
+                train_size: 10,
+                contamination: 0.5
+            }
+            .split(&data, 0),
+            Err(DatasetError::NotEnoughSamples {
+                what: "outliers",
+                ..
+            })
         ));
         // requesting more inliers than available
         let data = dataset(3, 20);
         assert!(matches!(
-            SplitConfig { train_size: 10, contamination: 0.1 }.split(&data, 0),
-            Err(DatasetError::NotEnoughSamples { what: "inliers", .. })
+            SplitConfig {
+                train_size: 10,
+                contamination: 0.1
+            }
+            .split(&data, 0),
+            Err(DatasetError::NotEnoughSamples {
+                what: "inliers",
+                ..
+            })
         ));
     }
 
     #[test]
     fn zero_contamination_allowed() {
         let data = dataset(20, 5);
-        let cfg = SplitConfig { train_size: 10, contamination: 0.0 };
+        let cfg = SplitConfig {
+            train_size: 10,
+            contamination: 0.0,
+        };
         let (train, test) = cfg.split_datasets(&data, 3).unwrap();
         assert_eq!(train.n_outliers(), 0);
         assert_eq!(test.n_outliers(), 5);

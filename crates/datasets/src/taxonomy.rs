@@ -77,7 +77,10 @@ pub struct TaxonomyConfig {
 
 impl Default for TaxonomyConfig {
     fn default() -> Self {
-        TaxonomyConfig { m: 85, noise_std: 0.05 }
+        TaxonomyConfig {
+            m: 85,
+            noise_std: 0.05,
+        }
     }
 }
 
@@ -92,13 +95,20 @@ impl TaxonomyConfig {
         seed: u64,
     ) -> Result<LabeledDataSet> {
         if self.m < 8 {
-            return Err(DatasetError::InvalidParameter(format!("m must be >= 8, got {}", self.m)));
+            return Err(DatasetError::InvalidParameter(format!(
+                "m must be >= 8, got {}",
+                self.m
+            )));
         }
         if n_inliers + n_outliers == 0 {
-            return Err(DatasetError::InvalidParameter("need at least one sample".into()));
+            return Err(DatasetError::InvalidParameter(
+                "need at least one sample".into(),
+            ));
         }
         let mut rng = StdRng::seed_from_u64(seed);
-        let grid: Vec<f64> = (0..self.m).map(|j| j as f64 / (self.m - 1) as f64).collect();
+        let grid: Vec<f64> = (0..self.m)
+            .map(|j| j as f64 / (self.m - 1) as f64)
+            .collect();
         let mut samples = Vec::with_capacity(n_inliers + n_outliers);
         let mut labels = Vec::with_capacity(n_inliers + n_outliers);
         for _ in 0..n_inliers {
@@ -236,8 +246,13 @@ mod tests {
 
     #[test]
     fn magnitude_isolated_has_narrow_peak() {
-        let cfg = TaxonomyConfig { noise_std: 0.0, ..Default::default() };
-        let d = cfg.generate(OutlierType::MagnitudeIsolated, 1, 1, 3).unwrap();
+        let cfg = TaxonomyConfig {
+            noise_std: 0.0,
+            ..Default::default()
+        };
+        let d = cfg
+            .generate(OutlierType::MagnitudeIsolated, 1, 1, 3)
+            .unwrap();
         let inlier = &d.samples()[0].channels[0];
         let outlier = &d.samples()[1].channels[0];
         // the outlier deviates hugely at few points only
@@ -252,8 +267,13 @@ mod tests {
 
     #[test]
     fn amplitude_persistent_scales_range() {
-        let cfg = TaxonomyConfig { noise_std: 0.0, ..Default::default() };
-        let d = cfg.generate(OutlierType::AmplitudePersistent, 5, 5, 9).unwrap();
+        let cfg = TaxonomyConfig {
+            noise_std: 0.0,
+            ..Default::default()
+        };
+        let d = cfg
+            .generate(OutlierType::AmplitudePersistent, 5, 5, 9)
+            .unwrap();
         let range = |y: &[f64]| {
             y.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v))
                 - y.iter().fold(f64::INFINITY, |m, &v| m.min(v))
@@ -275,8 +295,13 @@ mod tests {
 
     #[test]
     fn correlation_mixed_marginals_similar_relationship_broken() {
-        let cfg = TaxonomyConfig { noise_std: 0.0, ..Default::default() };
-        let d = cfg.generate(OutlierType::CorrelationMixed, 1, 1, 5).unwrap();
+        let cfg = TaxonomyConfig {
+            noise_std: 0.0,
+            ..Default::default()
+        };
+        let d = cfg
+            .generate(OutlierType::CorrelationMixed, 1, 1, 5)
+            .unwrap();
         let inl = &d.samples()[0];
         let out = &d.samples()[1];
         // inlier: x2 == x1² exactly (no noise)
@@ -293,19 +318,29 @@ mod tests {
 
     #[test]
     fn shift_outlier_translates_extremum() {
-        let cfg = TaxonomyConfig { noise_std: 0.0, ..Default::default() };
+        let cfg = TaxonomyConfig {
+            noise_std: 0.0,
+            ..Default::default()
+        };
         let d = cfg.generate(OutlierType::ShiftIsolated, 1, 1, 12).unwrap();
         let argmax = |y: &[f64]| {
-            y.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0
+            y.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap()
+                .0
         };
-        let shift =
-            argmax(&d.samples()[1].channels[0]) as isize - argmax(&d.samples()[0].channels[0]) as isize;
+        let shift = argmax(&d.samples()[1].channels[0]) as isize
+            - argmax(&d.samples()[0].channels[0]) as isize;
         assert!(shift.unsigned_abs() >= 3, "peak shift {shift}");
     }
 
     #[test]
     fn parameter_validation() {
-        let cfg = TaxonomyConfig { m: 4, ..Default::default() };
+        let cfg = TaxonomyConfig {
+            m: 4,
+            ..Default::default()
+        };
         assert!(cfg.generate(OutlierType::ShapePersistent, 5, 1, 0).is_err());
         let cfg = TaxonomyConfig::default();
         assert!(cfg.generate(OutlierType::ShapePersistent, 0, 0, 0).is_err());
@@ -314,8 +349,12 @@ mod tests {
     #[test]
     fn reproducibility() {
         let cfg = TaxonomyConfig::default();
-        let a = cfg.generate(OutlierType::ShapePersistent, 3, 3, 77).unwrap();
-        let b = cfg.generate(OutlierType::ShapePersistent, 3, 3, 77).unwrap();
+        let a = cfg
+            .generate(OutlierType::ShapePersistent, 3, 3, 77)
+            .unwrap();
+        let b = cfg
+            .generate(OutlierType::ShapePersistent, 3, 3, 77)
+            .unwrap();
         assert_eq!(a.samples()[4].channels, b.samples()[4].channels);
     }
 }

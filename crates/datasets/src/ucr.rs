@@ -71,7 +71,10 @@ pub fn parse_ucr(reader: impl BufRead, outlier_label: &str) -> Result<LabeledDat
         labels.push(label_matches);
     }
     if samples.is_empty() {
-        return Err(DatasetError::Parse { line: 0, message: "file contains no samples".into() });
+        return Err(DatasetError::Parse {
+            line: 0,
+            message: "file contains no samples".into(),
+        });
     }
     LabeledDataSet::new(samples, labels)
 }
@@ -110,7 +113,7 @@ mod tests {
         assert!(parse_ucr(Cursor::new("1,0.1\n"), "-1").is_err()); // too short
         assert!(parse_ucr(Cursor::new("1,a,b,c\n"), "-1").is_err()); // bad value
         assert!(parse_ucr(Cursor::new(""), "-1").is_err()); // empty
-        // inconsistent lengths
+                                                            // inconsistent lengths
         assert!(parse_ucr(Cursor::new("1,0.0,1.0,2.0\n-1,1.0,2.0\n"), "-1").is_err());
     }
 

@@ -42,12 +42,18 @@ pub struct IntegratedDepth {
 impl IntegratedDepth {
     /// Classical integral aggregation.
     pub fn integral() -> Self {
-        IntegratedDepth { aggregation: Aggregation::Integral, projection: ProjectionConfig::default() }
+        IntegratedDepth {
+            aggregation: Aggregation::Integral,
+            projection: ProjectionConfig::default(),
+        }
     }
 
     /// Infimum aggregation.
     pub fn infimum() -> Self {
-        IntegratedDepth { aggregation: Aggregation::Infimum, projection: ProjectionConfig::default() }
+        IntegratedDepth {
+            aggregation: Aggregation::Infimum,
+            projection: ProjectionConfig::default(),
+        }
     }
 
     /// Pointwise depths for every sample: an `n x m` table (row = sample).
@@ -133,7 +139,10 @@ impl FunctionalOutlierScorer for ModifiedBandDepth {
 
     fn score(&self, data: &GriddedDataSet) -> Result<Vec<f64>> {
         if data.n() < 2 {
-            return Err(DepthError::TooFewSamples { got: data.n(), need: 2 });
+            return Err(DepthError::TooFewSamples {
+                got: data.n(),
+                need: 2,
+            });
         }
         let n = data.n();
         let mut depth = vec![0.0; n];
@@ -143,7 +152,10 @@ impl FunctionalOutlierScorer for ModifiedBandDepth {
                 depth[i] += d[i];
             }
         }
-        Ok(depth.into_iter().map(|d| 1.0 - d / data.dim() as f64).collect())
+        Ok(depth
+            .into_iter()
+            .map(|d| 1.0 - d / data.dim() as f64)
+            .collect())
     }
 }
 
@@ -181,7 +193,10 @@ impl FunctionalOutlierScorer for FraimanMuniz {
 
     fn score(&self, data: &GriddedDataSet) -> Result<Vec<f64>> {
         if data.n() < 2 {
-            return Err(DepthError::TooFewSamples { got: data.n(), need: 2 });
+            return Err(DepthError::TooFewSamples {
+                got: data.n(),
+                need: 2,
+            });
         }
         let n = data.n();
         let mut depth = vec![0.0; n];
@@ -191,7 +206,10 @@ impl FunctionalOutlierScorer for FraimanMuniz {
                 depth[i] += d[i];
             }
         }
-        Ok(depth.into_iter().map(|d| 1.0 - d / data.dim() as f64).collect())
+        Ok(depth
+            .into_iter()
+            .map(|d| 1.0 - d / data.dim() as f64)
+            .collect())
     }
 }
 
@@ -219,7 +237,12 @@ mod tests {
         let d = shifted_bundle(None);
         let s = IntegratedDepth::integral().score(&d).unwrap();
         // curve 4 (offset 0) is the central one: minimal outlyingness
-        let min_idx = s.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        let min_idx = s
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
         assert_eq!(min_idx, 4, "{s:?}");
     }
 
@@ -256,10 +279,20 @@ mod tests {
     fn mbd_ranks_center_deepest() {
         let d = shifted_bundle(None);
         let s = ModifiedBandDepth.score(&d).unwrap();
-        let min_idx = s.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        let min_idx = s
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
         assert_eq!(min_idx, 4, "{s:?}");
         // extreme offsets are the most outlying
-        let max_idx = s.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        let max_idx = s
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
         assert!(max_idx == 0 || max_idx == 8);
     }
 
@@ -329,10 +362,20 @@ mod tests {
     fn fraiman_muniz_ranks_center_deepest() {
         let d = shifted_bundle(None);
         let s = FraimanMuniz.score(&d).unwrap();
-        let min_idx = s.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        let min_idx = s
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
         assert_eq!(min_idx, 4, "{s:?}");
         // the extreme offsets are the most outlying
-        let max_idx = s.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        let max_idx = s
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
         assert!(max_idx == 0 || max_idx == 8);
         assert!(s.iter().all(|&v| (0.0..=1.0).contains(&v)));
         assert_eq!(FraimanMuniz.name(), "fraiman-muniz");

@@ -39,7 +39,9 @@ impl GriddedDataSet {
         }
         let dim = samples[0].ncols();
         if dim == 0 {
-            return Err(DepthError::ShapeMismatch("samples must have >= 1 channel".into()));
+            return Err(DepthError::ShapeMismatch(
+                "samples must have >= 1 channel".into(),
+            ));
         }
         for (i, s) in samples.iter().enumerate() {
             if s.nrows() != grid.len() || s.ncols() != dim {

@@ -240,9 +240,20 @@ mod tests {
         let n = d.n();
         // outlier is the last sample: largest ‖MO‖, and largest FO
         let mo_norm: Vec<f64> = scores.mo.iter().map(|v| vector::norm2(v)).collect();
-        let max_mo = mo_norm.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        let max_mo = mo_norm
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
         assert_eq!(max_mo, n - 1, "{mo_norm:?}");
-        let max_fo = scores.fo.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        let max_fo = scores
+            .fo
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
         assert_eq!(max_fo, n - 1);
         // a persistent magnitude shift has *low* VO relative to its MO²
         let i = n - 1;
@@ -261,9 +272,21 @@ mod tests {
         let d = bundle_with(inverted, m);
         let scores = DirOut::new().decompose(&d).unwrap();
         let n = d.n();
-        let max_vo = scores.vo.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        let max_vo = scores
+            .vo
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
         assert_eq!(max_vo, n - 1, "{:?}", scores.vo);
-        let max_fo = scores.fo.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        let max_fo = scores
+            .fo
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
         assert_eq!(max_fo, n - 1);
     }
 
@@ -278,7 +301,12 @@ mod tests {
         spiky[20] += 5.0; // narrow magnitude peak
         let d = bundle_with(spiky, m);
         let s = DirOut::new().score(&d).unwrap();
-        let max_fo = s.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        let max_fo = s
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
         assert_eq!(max_fo, d.n() - 1, "{s:?}");
     }
 
@@ -352,7 +380,12 @@ mod tests {
         samples.push(s);
         let d = GriddedDataSet::new(grid, samples).unwrap();
         let scores = DirOut::new().score(&d).unwrap();
-        let max_idx = scores.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        let max_idx = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
         assert_eq!(max_idx, 10, "{scores:?}");
         assert_eq!(DirOut::new().name(), "dir.out");
     }

@@ -53,11 +53,21 @@ mod tests {
 
     #[test]
     fn displays() {
-        assert!(DepthError::TooFewSamples { got: 1, need: 3 }.to_string().contains('3'));
-        assert!(DepthError::ShapeMismatch("p".into()).to_string().contains('p'));
-        assert!(DepthError::DegenerateScale { grid_index: 4 }.to_string().contains('4'));
-        assert!(DepthError::InvalidGrid("g".into()).to_string().contains('g'));
+        assert!(DepthError::TooFewSamples { got: 1, need: 3 }
+            .to_string()
+            .contains('3'));
+        assert!(DepthError::ShapeMismatch("p".into())
+            .to_string()
+            .contains('p'));
+        assert!(DepthError::DegenerateScale { grid_index: 4 }
+            .to_string()
+            .contains('4'));
+        assert!(DepthError::InvalidGrid("g".into())
+            .to_string()
+            .contains('g'));
         assert!(DepthError::NonFinite.to_string().contains("NaN"));
-        assert!(DepthError::InvalidParameter("x".into()).to_string().contains('x'));
+        assert!(DepthError::InvalidParameter("x".into())
+            .to_string()
+            .contains('x'));
     }
 }

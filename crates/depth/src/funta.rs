@@ -121,7 +121,10 @@ impl FunctionalOutlierScorer for Funta {
 
     fn score(&self, data: &GriddedDataSet) -> Result<Vec<f64>> {
         if data.n() < 2 {
-            return Err(DepthError::TooFewSamples { got: data.n(), need: 2 });
+            return Err(DepthError::TooFewSamples {
+                got: data.n(),
+                need: 2,
+            });
         }
         let mut scores = Vec::with_capacity(data.n());
         for i in 0..data.n() {
@@ -142,7 +145,10 @@ impl FunctionalOutlierScorer for Funta {
         queries: &GriddedDataSet,
     ) -> Result<Vec<f64>> {
         if reference.n() < 1 {
-            return Err(DepthError::TooFewSamples { got: reference.n(), need: 1 });
+            return Err(DepthError::TooFewSamples {
+                got: reference.n(),
+                need: 1,
+            });
         }
         if reference.m() != queries.m() || reference.dim() != queries.dim() {
             return Err(DepthError::ShapeMismatch(
@@ -156,13 +162,7 @@ impl FunctionalOutlierScorer for Funta {
             for k in 0..queries.dim() {
                 let mut angles = Vec::new();
                 for j in 0..reference.n() {
-                    Self::angles_between(
-                        queries.grid(),
-                        xi,
-                        reference.sample(j),
-                        k,
-                        &mut angles,
-                    );
+                    Self::angles_between(queries.grid(), xi, reference.sample(j), k, &mut angles);
                 }
                 total += self.aggregate(angles);
             }
@@ -201,7 +201,12 @@ mod tests {
     fn steep_crosser_is_most_outlying() {
         let d = crossing_bundle();
         let s = Funta::new().score(&d).unwrap();
-        let max_idx = s.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        let max_idx = s
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
         assert_eq!(max_idx, 8, "{s:?}");
         // outlyingness is in [0, 1]
         assert!(s.iter().all(|&v| (0.0..=1.0).contains(&v)));
@@ -256,7 +261,12 @@ mod tests {
         );
         let d = GriddedDataSet::from_univariate(grid, curves).unwrap();
         let s = Funta::new().score(&d).unwrap();
-        let max_idx = s.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        let max_idx = s
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
         assert_eq!(max_idx, 9, "{s:?}");
     }
 

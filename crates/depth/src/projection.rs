@@ -36,7 +36,10 @@ pub struct ProjectionConfig {
 
 impl Default for ProjectionConfig {
     fn default() -> Self {
-        ProjectionConfig { n_directions: 128, seed: 0x5EED_D1CE }
+        ProjectionConfig {
+            n_directions: 128,
+            seed: 0x5EED_D1CE,
+        }
     }
 }
 
@@ -128,7 +131,11 @@ pub fn projection_outlyingness_against(
         if mad <= 0.0 || !mad.is_finite() {
             return Err(DepthError::DegenerateScale { grid_index: 0 });
         }
-        return Ok(queries.col(0).iter().map(|&x| (x - med).abs() / mad).collect());
+        return Ok(queries
+            .col(0)
+            .iter()
+            .map(|&x| (x - med).abs() / mad)
+            .collect());
     }
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut out = vec![0.0; n_q];
@@ -189,7 +196,9 @@ fn standard_normal(rng: &mut StdRng) -> f64 {
 /// Coordinate-wise median of the rows of `cloud` — the center estimate used
 /// for the direction vector of the directional outlyingness.
 pub fn coordinate_median(cloud: &Matrix) -> Vec<f64> {
-    (0..cloud.ncols()).map(|k| vector::median(&cloud.col(k))).collect()
+    (0..cloud.ncols())
+        .map(|k| vector::median(&cloud.col(k)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -246,17 +255,25 @@ mod tests {
         let cloud = Matrix::from_rows(&refs);
         let o = projection_outlyingness(&cloud, &ProjectionConfig::default()).unwrap();
         // origin must have the smallest outlyingness, the far point the largest
-        let min_idx = o.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
-        let max_idx = o.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        let min_idx = o
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        let max_idx = o
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
         assert_eq!(min_idx, 0, "{o:?}");
         assert_eq!(max_idx, 9, "{o:?}");
     }
 
     #[test]
     fn depth_is_monotone_in_outlyingness() {
-        let rows: Vec<Vec<f64>> = (0..10)
-            .map(|i| vec![i as f64, (i as f64).sin()])
-            .collect();
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, (i as f64).sin()]).collect();
         let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
         let cloud = Matrix::from_rows(&refs);
         let cfg = ProjectionConfig::default();
@@ -271,11 +288,20 @@ mod tests {
     #[test]
     fn reproducible_with_same_seed() {
         let rows: Vec<Vec<f64>> = (0..15)
-            .map(|i| vec![(i as f64 * 0.7).sin(), (i as f64 * 1.3).cos(), i as f64 * 0.1])
+            .map(|i| {
+                vec![
+                    (i as f64 * 0.7).sin(),
+                    (i as f64 * 1.3).cos(),
+                    i as f64 * 0.1,
+                ]
+            })
             .collect();
         let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
         let cloud = Matrix::from_rows(&refs);
-        let cfg = ProjectionConfig { n_directions: 64, seed: 42 };
+        let cfg = ProjectionConfig {
+            n_directions: 64,
+            seed: 42,
+        };
         let o1 = projection_outlyingness(&cloud, &cfg).unwrap();
         let o2 = projection_outlyingness(&cloud, &cfg).unwrap();
         assert_eq!(o1, o2);

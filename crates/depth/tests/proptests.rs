@@ -5,17 +5,13 @@ use mfod_depth::projection::{
     projection_outlyingness, projection_outlyingness_against, univariate_outlyingness,
     ProjectionConfig,
 };
-use mfod_depth::{DirOut, Funta, FunctionalOutlierScorer, GriddedDataSet};
+use mfod_depth::{DirOut, FunctionalOutlierScorer, Funta, GriddedDataSet};
 use mfod_linalg::Matrix;
 use proptest::prelude::*;
 
 /// A univariate dataset of n smooth-ish curves on m grid points.
 fn curves(n: usize, m: usize) -> impl Strategy<Value = GriddedDataSet> {
-    prop::collection::vec(
-        (0.2..2.0f64, -1.0..1.0f64, -0.5..0.5f64),
-        n,
-    )
-    .prop_map(move |params| {
+    prop::collection::vec((0.2..2.0f64, -1.0..1.0f64, -0.5..0.5f64), n).prop_map(move |params| {
         let grid: Vec<f64> = (0..m).map(|j| j as f64 / (m - 1) as f64).collect();
         let values: Vec<Vec<f64>> = params
             .iter()

@@ -46,8 +46,14 @@ impl fmt::Display for DetectError {
             }
             DetectError::NonFinite => write!(f, "input contains NaN or infinite values"),
             DetectError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
-            DetectError::NoConvergence { algorithm, iterations } => {
-                write!(f, "{algorithm} did not converge after {iterations} iterations")
+            DetectError::NoConvergence {
+                algorithm,
+                iterations,
+            } => {
+                write!(
+                    f,
+                    "{algorithm} did not converge after {iterations} iterations"
+                )
             }
             DetectError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
         }
@@ -75,14 +81,24 @@ mod tests {
 
     #[test]
     fn displays() {
-        assert!(DetectError::TooFewSamples { got: 1, need: 2 }.to_string().contains('2'));
-        assert!(DetectError::DimensionMismatch { expected: 3, got: 5 }
+        assert!(DetectError::TooFewSamples { got: 1, need: 2 }
             .to_string()
-            .contains('5'));
-        assert!(DetectError::InvalidParameter("nu".into()).to_string().contains("nu"));
-        assert!(DetectError::NoConvergence { algorithm: "smo", iterations: 9 }
+            .contains('2'));
+        assert!(DetectError::DimensionMismatch {
+            expected: 3,
+            got: 5
+        }
+        .to_string()
+        .contains('5'));
+        assert!(DetectError::InvalidParameter("nu".into())
             .to_string()
-            .contains("smo"));
+            .contains("nu"));
+        assert!(DetectError::NoConvergence {
+            algorithm: "smo",
+            iterations: 9
+        }
+        .to_string()
+        .contains("smo"));
         let e: DetectError = LinalgError::Empty.into();
         assert!(e.to_string().contains("linear algebra"));
         use std::error::Error;

@@ -8,10 +8,15 @@ use mfod_linalg::{vector, Matrix};
 /// Validates a feature matrix: non-empty, finite, at least `min_rows` rows.
 pub fn validate_features(x: &Matrix, min_rows: usize) -> Result<()> {
     if x.nrows() < min_rows {
-        return Err(DetectError::TooFewSamples { got: x.nrows(), need: min_rows });
+        return Err(DetectError::TooFewSamples {
+            got: x.nrows(),
+            need: min_rows,
+        });
     }
     if x.ncols() == 0 {
-        return Err(DetectError::InvalidParameter("feature dimension is zero".into()));
+        return Err(DetectError::InvalidParameter(
+            "feature dimension is zero".into(),
+        ));
     }
     if !x.is_finite() {
         return Err(DetectError::NonFinite);
@@ -59,7 +64,10 @@ impl Standardizer {
     /// Standardizes a whole matrix into a new one.
     pub fn transform(&self, x: &Matrix) -> Result<Matrix> {
         if x.ncols() != self.dim() {
-            return Err(DetectError::DimensionMismatch { expected: self.dim(), got: x.ncols() });
+            return Err(DetectError::DimensionMismatch {
+                expected: self.dim(),
+                got: x.ncols(),
+            });
         }
         let mut out = x.clone();
         for i in 0..out.nrows() {
@@ -76,11 +84,16 @@ pub fn matrix_from_rows(rows: &[Vec<f64>]) -> Result<Matrix> {
     }
     let d = rows[0].len();
     if d == 0 {
-        return Err(DetectError::InvalidParameter("feature dimension is zero".into()));
+        return Err(DetectError::InvalidParameter(
+            "feature dimension is zero".into(),
+        ));
     }
     for r in rows {
         if r.len() != d {
-            return Err(DetectError::DimensionMismatch { expected: d, got: r.len() });
+            return Err(DetectError::DimensionMismatch {
+                expected: d,
+                got: r.len(),
+            });
         }
         if !vector::all_finite(r) {
             return Err(DetectError::NonFinite);
@@ -103,7 +116,10 @@ mod tests {
             Err(DetectError::TooFewSamples { .. })
         ));
         let bad = Matrix::from_rows(&[&[f64::NAN, 1.0]]);
-        assert!(matches!(validate_features(&bad, 1), Err(DetectError::NonFinite)));
+        assert!(matches!(
+            validate_features(&bad, 1),
+            Err(DetectError::NonFinite)
+        ));
         let empty = Matrix::zeros(3, 0);
         assert!(validate_features(&empty, 1).is_err());
     }

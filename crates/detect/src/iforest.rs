@@ -28,7 +28,11 @@ pub struct IsolationForest {
 
 impl Default for IsolationForest {
     fn default() -> Self {
-        IsolationForest { n_trees: 100, subsample: 256, seed: 0xF0_4E57 }
+        IsolationForest {
+            n_trees: 100,
+            subsample: 256,
+            seed: 0xF0_4E57,
+        }
     }
 }
 
@@ -39,9 +43,15 @@ impl IsolationForest {
             return Err(DetectError::InvalidParameter("n_trees must be >= 1".into()));
         }
         if subsample < 2 {
-            return Err(DetectError::InvalidParameter("subsample must be >= 2".into()));
+            return Err(DetectError::InvalidParameter(
+                "subsample must be >= 2".into(),
+            ));
         }
-        Ok(IsolationForest { n_trees, subsample, seed })
+        Ok(IsolationForest {
+            n_trees,
+            subsample,
+            seed,
+        })
     }
 }
 
@@ -99,7 +109,9 @@ impl Tree {
         nodes: &mut Vec<Node>,
     ) -> u32 {
         if idx.len() <= 1 || depth >= height_limit {
-            nodes.push(Node::Leaf { size: idx.len() as u32 });
+            nodes.push(Node::Leaf {
+                size: idx.len() as u32,
+            });
             return (nodes.len() - 1) as u32;
         }
         // choose a feature with non-degenerate spread; give up after d tries
@@ -122,7 +134,9 @@ impl Tree {
         }
         let Some((feature, lo, hi)) = feature else {
             // all points identical on every feature: unsplittable
-            nodes.push(Node::Leaf { size: idx.len() as u32 });
+            nodes.push(Node::Leaf {
+                size: idx.len() as u32,
+            });
             return (nodes.len() - 1) as u32;
         };
         let threshold = lo + rng.random::<f64>() * (hi - lo);
@@ -138,7 +152,9 @@ impl Tree {
         // hi > lo, except through floating-point edge cases — fall back to a
         // leaf in that case
         if split == 0 || split == idx.len() {
-            nodes.push(Node::Leaf { size: idx.len() as u32 });
+            nodes.push(Node::Leaf {
+                size: idx.len() as u32,
+            });
             return (nodes.len() - 1) as u32;
         }
         let placeholder = nodes.len();
@@ -146,7 +162,12 @@ impl Tree {
         let (left_idx, right_idx) = idx.split_at_mut(split);
         let left = Self::grow_rec(x, left_idx, depth + 1, height_limit, rng, nodes);
         let right = Self::grow_rec(x, right_idx, depth + 1, height_limit, rng, nodes);
-        nodes[placeholder] = Node::Internal { feature, threshold, left, right };
+        nodes[placeholder] = Node::Internal {
+            feature,
+            threshold,
+            left,
+            right,
+        };
         placeholder as u32
     }
 
@@ -159,8 +180,17 @@ impl Tree {
                 Node::Leaf { size } => {
                     return depth + average_path_length(*size as usize);
                 }
-                Node::Internal { feature, threshold, left, right } => {
-                    node = if x[*feature] < *threshold { *left } else { *right };
+                Node::Internal {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] < *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                     depth += 1.0;
                 }
             }
@@ -219,7 +249,10 @@ impl FittedDetector for FittedIsolationForest {
 
     fn score_one(&self, x: &[f64]) -> Result<f64> {
         if x.len() != self.dim {
-            return Err(DetectError::DimensionMismatch { expected: self.dim, got: x.len() });
+            return Err(DetectError::DimensionMismatch {
+                expected: self.dim,
+                got: x.len(),
+            });
         }
         if !mfod_linalg::vector::all_finite(x) {
             return Err(DetectError::NonFinite);
@@ -263,24 +296,49 @@ mod tests {
         let x = blob_with_outlier();
         let model = IsolationForest::default().fit(&x).unwrap();
         let scores = model.score_batch(&x).unwrap();
-        let top = scores.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        let top = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
         assert_eq!(top, 128);
         // scores live in (0, 1]
         assert!(scores.iter().all(|&s| s > 0.0 && s <= 1.0));
         // the outlier's score exceeds the typical inlier score clearly
         let inlier_mean: f64 = scores[..128].iter().sum::<f64>() / 128.0;
-        assert!(scores[128] > inlier_mean + 0.1, "{} vs {}", scores[128], inlier_mean);
+        assert!(
+            scores[128] > inlier_mean + 0.1,
+            "{} vs {}",
+            scores[128],
+            inlier_mean
+        );
     }
 
     #[test]
     fn deterministic_under_seed() {
         let x = blob_with_outlier();
-        let m1 = IsolationForest { seed: 7, ..Default::default() }.fit(&x).unwrap();
-        let m2 = IsolationForest { seed: 7, ..Default::default() }.fit(&x).unwrap();
+        let m1 = IsolationForest {
+            seed: 7,
+            ..Default::default()
+        }
+        .fit(&x)
+        .unwrap();
+        let m2 = IsolationForest {
+            seed: 7,
+            ..Default::default()
+        }
+        .fit(&x)
+        .unwrap();
         let s1 = m1.score_batch(&x).unwrap();
         let s2 = m2.score_batch(&x).unwrap();
         assert_eq!(s1, s2);
-        let m3 = IsolationForest { seed: 8, ..Default::default() }.fit(&x).unwrap();
+        let m3 = IsolationForest {
+            seed: 8,
+            ..Default::default()
+        }
+        .fit(&x)
+        .unwrap();
         let s3 = m3.score_batch(&x).unwrap();
         assert_ne!(s1, s3);
     }
@@ -321,7 +379,12 @@ mod tests {
     fn subsample_larger_than_n_is_clamped() {
         let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, (i * i) as f64]).collect();
         let x = matrix_from_rows(&rows).unwrap();
-        let model = IsolationForest { subsample: 1000, ..Default::default() }.fit(&x).unwrap();
+        let model = IsolationForest {
+            subsample: 1000,
+            ..Default::default()
+        }
+        .fit(&x)
+        .unwrap();
         let s = model.score_batch(&x).unwrap();
         assert_eq!(s.len(), 20);
         assert!(s.iter().all(|&v| v.is_finite()));

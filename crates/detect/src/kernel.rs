@@ -32,9 +32,11 @@ impl Kernel {
         match *self {
             Kernel::Linear => vector::dot(x, y),
             Kernel::Rbf { gamma } => (-gamma * vector::dist2_sq(x, y)).exp(),
-            Kernel::Polynomial { gamma, coef0, degree } => {
-                (gamma * vector::dot(x, y) + coef0).powi(degree as i32)
-            }
+            Kernel::Polynomial {
+                gamma,
+                coef0,
+                degree,
+            } => (gamma * vector::dot(x, y) + coef0).powi(degree as i32),
         }
     }
 
@@ -43,9 +45,11 @@ impl Kernel {
         match *self {
             Kernel::Linear => true,
             Kernel::Rbf { gamma } => gamma > 0.0 && gamma.is_finite(),
-            Kernel::Polynomial { gamma, coef0, degree } => {
-                gamma > 0.0 && gamma.is_finite() && coef0.is_finite() && degree >= 1
-            }
+            Kernel::Polynomial {
+                gamma,
+                coef0,
+                degree,
+            } => gamma > 0.0 && gamma.is_finite() && coef0.is_finite() && degree >= 1,
         }
     }
 }
@@ -81,11 +85,25 @@ mod tests {
 
     #[test]
     fn polynomial_kernel() {
-        let k = Kernel::Polynomial { gamma: 1.0, coef0: 1.0, degree: 2 };
+        let k = Kernel::Polynomial {
+            gamma: 1.0,
+            coef0: 1.0,
+            degree: 2,
+        };
         // (x·y + 1)² with x·y = 2 → 9
         assert_eq!(k.eval(&[1.0, 1.0], &[1.0, 1.0]), 9.0);
         assert!(k.is_valid());
-        assert!(!Kernel::Polynomial { gamma: -1.0, coef0: 0.0, degree: 2 }.is_valid());
-        assert!(!Kernel::Polynomial { gamma: 1.0, coef0: 0.0, degree: 0 }.is_valid());
+        assert!(!Kernel::Polynomial {
+            gamma: -1.0,
+            coef0: 0.0,
+            degree: 2
+        }
+        .is_valid());
+        assert!(!Kernel::Polynomial {
+            gamma: 1.0,
+            coef0: 0.0,
+            degree: 0
+        }
+        .is_valid());
     }
 }

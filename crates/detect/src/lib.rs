@@ -83,9 +83,30 @@ pub trait FittedDetector: Send + Sync {
     /// Scores every row of `data`.
     fn score_batch(&self, data: &Matrix) -> Result<Vec<f64>> {
         if data.ncols() != self.dim() {
-            return Err(DetectError::DimensionMismatch { expected: self.dim(), got: data.ncols() });
+            return Err(DetectError::DimensionMismatch {
+                expected: self.dim(),
+                got: data.ncols(),
+            });
         }
-        (0..data.nrows()).map(|i| self.score_one(data.row(i))).collect()
+        (0..data.nrows())
+            .map(|i| self.score_one(data.row(i)))
+            .collect()
+    }
+
+    /// Scores every row of `data` across all available cores.
+    ///
+    /// Rows are scored independently and reassembled in row order, so the
+    /// result is **bit-for-bit identical** to [`FittedDetector::score_batch`]
+    /// — only the wall-clock changes. This is the serving-path entry point
+    /// used by `mfod-stream`'s micro-batching.
+    fn par_score_batch(&self, data: &Matrix) -> Result<Vec<f64>> {
+        if data.ncols() != self.dim() {
+            return Err(DetectError::DimensionMismatch {
+                expected: self.dim(),
+                got: data.ncols(),
+            });
+        }
+        mfod_linalg::par::par_try_map(data.nrows(), |i| self.score_one(data.row(i)))
     }
 }
 

@@ -70,8 +70,9 @@ impl Detector for Lof {
         let n = train.nrows();
         let k = self.k.min(n - 1);
         // neighbor lists of the training points themselves
-        let neighbors: Vec<Vec<(usize, f64)>> =
-            (0..n).map(|i| knn(train, train.row(i), k, Some(i))).collect();
+        let neighbors: Vec<Vec<(usize, f64)>> = (0..n)
+            .map(|i| knn(train, train.row(i), k, Some(i)))
+            .collect();
         let k_dist: Vec<f64> = neighbors
             .iter()
             .map(|nb| nb.last().map(|&(_, d)| d).unwrap_or(0.0))
@@ -79,10 +80,7 @@ impl Detector for Lof {
         // local reachability density
         let lrd: Vec<f64> = (0..n)
             .map(|i| {
-                let sum: f64 = neighbors[i]
-                    .iter()
-                    .map(|&(j, d)| d.max(k_dist[j]))
-                    .sum();
+                let sum: f64 = neighbors[i].iter().map(|&(j, d)| d.max(k_dist[j])).sum();
                 if sum <= 0.0 {
                     f64::INFINITY // duplicated points: infinitely dense
                 } else {
@@ -90,7 +88,12 @@ impl Detector for Lof {
                 }
             })
             .collect();
-        Ok(Box::new(FittedLof { train: train.clone(), k, k_dist, lrd }))
+        Ok(Box::new(FittedLof {
+            train: train.clone(),
+            k,
+            k_dist,
+            lrd,
+        }))
     }
 }
 
@@ -101,7 +104,10 @@ impl FittedDetector for FittedLof {
 
     fn score_one(&self, x: &[f64]) -> Result<f64> {
         if x.len() != self.dim() {
-            return Err(DetectError::DimensionMismatch { expected: self.dim(), got: x.len() });
+            return Err(DetectError::DimensionMismatch {
+                expected: self.dim(),
+                got: x.len(),
+            });
         }
         if !vector::all_finite(x) {
             return Err(DetectError::NonFinite);
@@ -150,7 +156,12 @@ mod tests {
         let x = two_clusters_and_outlier();
         let model = Lof::new(10).unwrap().fit(&x).unwrap();
         let s = model.score_batch(&x).unwrap();
-        let top = s.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        let top = s
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
         assert_eq!(top, 60, "{s:?}");
         assert!(s[60] > 1.5, "LOF of isolated point: {}", s[60]);
     }

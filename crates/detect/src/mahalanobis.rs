@@ -91,7 +91,10 @@ impl FittedDetector for FittedMahalanobis {
 
     fn score_one(&self, x: &[f64]) -> Result<f64> {
         if x.len() != self.dim() {
-            return Err(DetectError::DimensionMismatch { expected: self.dim(), got: x.len() });
+            return Err(DetectError::DimensionMismatch {
+                expected: self.dim(),
+                got: x.len(),
+            });
         }
         if !vector::all_finite(x) {
             return Err(DetectError::NonFinite);
@@ -131,12 +134,7 @@ mod tests {
 
     #[test]
     fn mean_point_scores_zero() {
-        let x = matrix_from_rows(&[
-            vec![1.0, 2.0],
-            vec![3.0, 4.0],
-            vec![5.0, 0.0],
-        ])
-        .unwrap();
+        let x = matrix_from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 0.0]]).unwrap();
         let model = Mahalanobis::default().fit(&x).unwrap();
         let s = model.score_one(&[3.0, 2.0]).unwrap(); // the mean
         assert!(s < 1e-6, "score at mean: {s}");

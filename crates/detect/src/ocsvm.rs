@@ -56,7 +56,13 @@ pub struct OcSvm {
 
 impl Default for OcSvm {
     fn default() -> Self {
-        OcSvm { nu: 0.1, kernel: None, gamma: GammaSpec::Median, tol: 1e-6, max_iter: 100_000 }
+        OcSvm {
+            nu: 0.1,
+            kernel: None,
+            gamma: GammaSpec::Median,
+            tol: 1e-6,
+            max_iter: 100_000,
+        }
     }
 }
 
@@ -68,14 +74,19 @@ impl OcSvm {
                 "nu must be in (0, 1], got {nu}"
             )));
         }
-        Ok(OcSvm { nu, ..Default::default() })
+        Ok(OcSvm {
+            nu,
+            ..Default::default()
+        })
     }
 
     /// Resolves the kernel for a given training set.
     fn resolve_kernel(&self, train: &Matrix) -> Result<Kernel> {
         if let Some(k) = self.kernel {
             if !k.is_valid() {
-                return Err(DetectError::InvalidParameter(format!("invalid kernel {k:?}")));
+                return Err(DetectError::InvalidParameter(format!(
+                    "invalid kernel {k:?}"
+                )));
             }
             return Ok(k);
         }
@@ -109,7 +120,7 @@ pub fn median_heuristic_gamma(x: &Matrix) -> f64 {
     let mut c = 0usize;
     for i in 0..n {
         for j in (i + 1)..n {
-            if c % stride == 0 {
+            if c.is_multiple_of(stride) {
                 let v = vector::dist2_sq(x.row(i), x.row(j));
                 if v > 0.0 {
                     d2.push(v);
@@ -177,7 +188,10 @@ impl FittedOcSvm {
     /// Signed decision value `f(x) = Σ α K − ρ` (negative ⇒ outlier).
     pub fn decision(&self, x: &[f64]) -> Result<f64> {
         if x.len() != self.dim {
-            return Err(DetectError::DimensionMismatch { expected: self.dim, got: x.len() });
+            return Err(DetectError::DimensionMismatch {
+                expected: self.dim,
+                got: x.len(),
+            });
         }
         if !vector::all_finite(x) {
             return Err(DetectError::NonFinite);
@@ -343,7 +357,10 @@ mod tests {
         let mut rows: Vec<Vec<f64>> = (0..100)
             .map(|i| {
                 let a = i as f64 * std::f64::consts::TAU / 100.0;
-                vec![a.cos() + 0.05 * (7.0 * a).sin(), a.sin() + 0.05 * (5.0 * a).cos()]
+                vec![
+                    a.cos() + 0.05 * (7.0 * a).sin(),
+                    a.sin() + 0.05 * (5.0 * a).cos(),
+                ]
             })
             .collect();
         rows.push(vec![6.0, 6.0]);
@@ -359,7 +376,12 @@ mod tests {
         let x = ring_with_outlier();
         let model = fit_ocsvm(&x, 0.1);
         let s = model.score_batch(&x).unwrap();
-        let top = s.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        let top = s
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
         assert_eq!(top, 100, "{s:?}");
     }
 
@@ -403,7 +425,11 @@ mod tests {
         // consequence: Σα over support vectors is 1 and the fraction of
         // training points with positive score is close to the SV-bound story.
         let x = ring_with_outlier();
-        let cfg = OcSvm { nu: 0.2, tol: 1e-8, ..Default::default() };
+        let cfg = OcSvm {
+            nu: 0.2,
+            tol: 1e-8,
+            ..Default::default()
+        };
         let model = cfg.fit_concrete(&x).unwrap();
         let total_alpha: f64 = model.alpha.iter().sum();
         assert!((total_alpha - 1.0).abs() < 1e-9, "Σα = {total_alpha}");
@@ -434,7 +460,10 @@ mod tests {
         let inlier_score = fitted.score_one(&[1.0, 0.0]).unwrap();
         let outlier_score = fitted.score_one(&[8.0, -8.0]).unwrap();
         assert!(inlier_score < outlier_score);
-        assert!(outlier_score > 0.0, "far point must be flagged: {outlier_score}");
+        assert!(
+            outlier_score > 0.0,
+            "far point must be flagged: {outlier_score}"
+        );
     }
 
     #[test]
@@ -442,9 +471,17 @@ mod tests {
         let x = ring_with_outlier();
         for kernel in [
             Kernel::Linear,
-            Kernel::Polynomial { gamma: 1.0, coef0: 1.0, degree: 2 },
+            Kernel::Polynomial {
+                gamma: 1.0,
+                coef0: 1.0,
+                degree: 2,
+            },
         ] {
-            let cfg = OcSvm { kernel: Some(kernel), nu: 0.2, ..Default::default() };
+            let cfg = OcSvm {
+                kernel: Some(kernel),
+                nu: 0.2,
+                ..Default::default()
+            };
             let fitted = cfg.fit(&x).unwrap();
             let s = fitted.score_batch(&x).unwrap();
             assert!(s.iter().all(|v| v.is_finite()));
@@ -468,7 +505,10 @@ mod tests {
         assert!(OcSvm::with_nu(1.5).is_err());
         assert!(OcSvm::with_nu(1.0).is_ok());
         let x = ring_with_outlier();
-        let bad = OcSvm { kernel: Some(Kernel::Rbf { gamma: -1.0 }), ..Default::default() };
+        let bad = OcSvm {
+            kernel: Some(Kernel::Rbf { gamma: -1.0 }),
+            ..Default::default()
+        };
         assert!(bad.fit(&x).is_err());
         let cfg = OcSvm::with_nu(0.1).unwrap();
         let fitted = cfg.fit(&x).unwrap();
@@ -489,7 +529,12 @@ mod tests {
         let fitted = OcSvm::with_nu(0.2).unwrap().fit(&x).unwrap();
         let s = fitted.score_batch(&x).unwrap();
         assert!(s.iter().all(|v| v.is_finite()));
-        let top = s.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        let top = s
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
         assert_eq!(top, 60);
     }
 }

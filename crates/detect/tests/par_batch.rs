@@ -1,0 +1,81 @@
+//! `par_score_batch` must be a pure wall-clock optimization: for every
+//! detector it has to reproduce the sequential `score_batch` output
+//! bit for bit (same rows, same order, same f64 bit patterns).
+
+use mfod_detect::prelude::*;
+use mfod_linalg::Matrix;
+
+/// A deterministic two-lobe point cloud with a few far-away rows.
+fn cloud(n: usize, d: usize) -> Matrix {
+    Matrix::from_fn(n, d, |i, j| {
+        let a = (i * 37 + j * 11) as f64 * 0.618;
+        let lobe = if i % 2 == 0 { 1.5 } else { -1.5 };
+        if i % 17 == 0 {
+            lobe * 6.0 + a.sin()
+        } else {
+            lobe + a.sin() * 0.3 + (j as f64 * 0.05)
+        }
+    })
+}
+
+fn detectors() -> Vec<Box<dyn Detector>> {
+    vec![
+        Box::new(IsolationForest {
+            n_trees: 40,
+            ..Default::default()
+        }),
+        Box::new(OcSvm::default()),
+        Box::new(Lof::default()),
+        Box::new(Mahalanobis::default()),
+    ]
+}
+
+#[test]
+fn par_score_batch_matches_sequential_bit_for_bit() {
+    let train = cloud(96, 6);
+    let test = cloud(41, 6); // odd count: uneven chunking across threads
+    for det in detectors() {
+        let model = det.fit(&train).unwrap();
+        let seq = model.score_batch(&test).unwrap();
+        let par = model.par_score_batch(&test).unwrap();
+        assert_eq!(seq.len(), par.len(), "{}", det.name());
+        for (i, (s, p)) in seq.iter().zip(&par).enumerate() {
+            assert_eq!(
+                s.to_bits(),
+                p.to_bits(),
+                "{} row {i}: sequential {s} != parallel {p}",
+                det.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn par_score_batch_rejects_dimension_mismatch() {
+    let train = cloud(64, 5);
+    let model = IsolationForest::default().fit(&train).unwrap();
+    let bad = cloud(8, 4);
+    assert!(matches!(
+        model.par_score_batch(&bad),
+        Err(DetectError::DimensionMismatch {
+            expected: 5,
+            got: 4
+        })
+    ));
+}
+
+#[test]
+fn par_score_batch_handles_tiny_batches() {
+    let train = cloud(64, 3);
+    let model = Mahalanobis::default().fit(&train).unwrap();
+    for n in [1usize, 2, 3] {
+        let test = cloud(n, 3);
+        let seq = model.score_batch(&test).unwrap();
+        let par = model.par_score_batch(&test).unwrap();
+        assert_eq!(
+            seq.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+            par.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+            "n={n}"
+        );
+    }
+}

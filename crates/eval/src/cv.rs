@@ -18,7 +18,9 @@ impl KFold {
     /// Creates a splitter with `k >= 2` folds.
     pub fn new(k: usize, seed: u64) -> Result<Self> {
         if k < 2 {
-            return Err(EvalError::InvalidParameter(format!("k must be >= 2, got {k}")));
+            return Err(EvalError::InvalidParameter(format!(
+                "k must be >= 2, got {k}"
+            )));
         }
         Ok(KFold { k, seed })
     }

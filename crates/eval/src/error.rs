@@ -39,7 +39,10 @@ impl fmt::Display for EvalError {
             }
             EvalError::NonFinite => write!(f, "scores contain NaN or infinite values"),
             EvalError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
-            EvalError::RepetitionFailed { repetition, message } => {
+            EvalError::RepetitionFailed {
+                repetition,
+                message,
+            } => {
                 write!(f, "repetition {repetition} failed: {message}")
             }
         }
@@ -54,12 +57,22 @@ mod tests {
 
     #[test]
     fn displays() {
-        assert!(EvalError::LengthMismatch { scores: 3, labels: 4 }.to_string().contains('4'));
+        assert!(EvalError::LengthMismatch {
+            scores: 3,
+            labels: 4
+        }
+        .to_string()
+        .contains('4'));
         assert!(EvalError::SingleClass.to_string().contains("one class"));
         assert!(EvalError::NonFinite.to_string().contains("NaN"));
-        assert!(EvalError::InvalidParameter("k".into()).to_string().contains('k'));
-        assert!(EvalError::RepetitionFailed { repetition: 3, message: "x".into() }
+        assert!(EvalError::InvalidParameter("k".into())
             .to_string()
-            .contains('3'));
+            .contains('k'));
+        assert!(EvalError::RepetitionFailed {
+            repetition: 3,
+            message: "x".into()
+        }
+        .to_string()
+        .contains('3'));
     }
 }

@@ -7,7 +7,10 @@ use mfod_linalg::vector;
 
 fn validate(scores: &[f64], labels: &[bool]) -> Result<()> {
     if scores.len() != labels.len() {
-        return Err(EvalError::LengthMismatch { scores: scores.len(), labels: labels.len() });
+        return Err(EvalError::LengthMismatch {
+            scores: scores.len(),
+            labels: labels.len(),
+        });
     }
     if scores.iter().any(|v| v.is_nan()) {
         return Err(EvalError::NonFinite);
@@ -59,7 +62,11 @@ pub fn roc_curve(scores: &[f64], labels: &[bool]) -> Result<Vec<RocPoint>> {
     order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a])); // descending
     let n_pos = labels.iter().filter(|&&l| l).count() as f64;
     let n_neg = n as f64 - n_pos;
-    let mut curve = vec![RocPoint { fpr: 0.0, tpr: 0.0, threshold: f64::INFINITY }];
+    let mut curve = vec![RocPoint {
+        fpr: 0.0,
+        tpr: 0.0,
+        threshold: f64::INFINITY,
+    }];
     let mut tp = 0.0;
     let mut fp = 0.0;
     let mut i = 0;
@@ -74,7 +81,11 @@ pub fn roc_curve(scores: &[f64], labels: &[bool]) -> Result<Vec<RocPoint>> {
             }
             i += 1;
         }
-        curve.push(RocPoint { fpr: fp / n_neg, tpr: tp / n_pos, threshold: s });
+        curve.push(RocPoint {
+            fpr: fp / n_neg,
+            tpr: tp / n_pos,
+            threshold: s,
+        });
     }
     Ok(curve)
 }

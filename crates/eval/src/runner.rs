@@ -74,13 +74,17 @@ pub fn run_repeated<E: std::fmt::Display>(
     mut experiment: impl FnMut(u64) -> std::result::Result<Vec<(String, f64)>, E>,
 ) -> Result<RepeatedSummary> {
     if repetitions == 0 {
-        return Err(EvalError::InvalidParameter("repetitions must be >= 1".into()));
+        return Err(EvalError::InvalidParameter(
+            "repetitions must be >= 1".into(),
+        ));
     }
     let mut per_method: BTreeMap<String, Vec<f64>> = BTreeMap::new();
     for r in 0..repetitions {
-        let results = experiment(base_seed + r as u64).map_err(|e| {
-            EvalError::RepetitionFailed { repetition: r, message: e.to_string() }
-        })?;
+        let results =
+            experiment(base_seed + r as u64).map_err(|e| EvalError::RepetitionFailed {
+                repetition: r,
+                message: e.to_string(),
+            })?;
         for (name, value) in results {
             per_method.entry(name).or_default().push(value);
         }
@@ -94,10 +98,22 @@ pub fn run_repeated<E: std::fmt::Display>(
             )));
         }
         let mean = vector::mean(&values);
-        let std = if values.len() > 1 { vector::std_dev(&values) } else { 0.0 };
-        methods.push(MethodSummary { method, mean, std, values });
+        let std = if values.len() > 1 {
+            vector::std_dev(&values)
+        } else {
+            0.0
+        };
+        methods.push(MethodSummary {
+            method,
+            mean,
+            std,
+            values,
+        });
     }
-    Ok(RepeatedSummary { methods, repetitions })
+    Ok(RepeatedSummary {
+        methods,
+        repetitions,
+    })
 }
 
 #[cfg(test)]
@@ -131,7 +147,10 @@ mod tests {
             }
         })
         .unwrap_err();
-        assert!(matches!(e, EvalError::RepetitionFailed { repetition: 1, .. }));
+        assert!(matches!(
+            e,
+            EvalError::RepetitionFailed { repetition: 1, .. }
+        ));
         assert!(e.to_string().contains("boom"));
     }
 
@@ -167,8 +186,7 @@ mod tests {
 
     #[test]
     fn single_repetition_has_zero_std() {
-        let summary =
-            run_repeated::<String>(1, 5, |_| Ok(vec![("m".into(), 0.5)])).unwrap();
+        let summary = run_repeated::<String>(1, 5, |_| Ok(vec![("m".into(), 0.5)])).unwrap();
         assert_eq!(summary.get("m").unwrap().std, 0.0);
     }
 }

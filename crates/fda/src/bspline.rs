@@ -56,17 +56,18 @@ impl BSplineBasis {
             knots.push(a + (b - a) * i as f64 / (n_interior + 1) as f64);
         }
         knots.extend(std::iter::repeat_n(b, order));
-        Ok(BSplineBasis { knots, order, len, a, b })
+        Ok(BSplineBasis {
+            knots,
+            order,
+            len,
+            a,
+            b,
+        })
     }
 
     /// Creates a basis from explicit interior knots (sorted, strictly inside
     /// `(a, b)`); boundary knots are repeated `order` times.
-    pub fn with_interior_knots(
-        a: f64,
-        b: f64,
-        interior: &[f64],
-        order: usize,
-    ) -> Result<Self> {
+    pub fn with_interior_knots(a: f64, b: f64, interior: &[f64], order: usize) -> Result<Self> {
         if !a.is_finite() || !b.is_finite() || !interior.iter().all(|v| v.is_finite()) {
             return Err(FdaError::NonFinite);
         }
@@ -78,7 +79,9 @@ impl BSplineBasis {
         }
         for w in interior.windows(2) {
             if w[0] > w[1] {
-                return Err(FdaError::InvalidBasis("interior knots must be sorted".into()));
+                return Err(FdaError::InvalidBasis(
+                    "interior knots must be sorted".into(),
+                ));
             }
         }
         if interior.iter().any(|&t| t <= a || t >= b) {
@@ -91,7 +94,13 @@ impl BSplineBasis {
         knots.extend(std::iter::repeat_n(a, order));
         knots.extend_from_slice(interior);
         knots.extend(std::iter::repeat_n(b, order));
-        Ok(BSplineBasis { knots, order, len, a, b })
+        Ok(BSplineBasis {
+            knots,
+            order,
+            len,
+            a,
+            b,
+        })
     }
 
     /// Spline order `k` (polynomial degree + 1).
@@ -337,7 +346,10 @@ mod tests {
             let vals = b.eval(t, 0);
             let s: f64 = vals.iter().sum();
             assert!((s - 1.0).abs() < 1e-12, "t={t}: sum={s}");
-            assert!(vals.iter().all(|&v| v >= -1e-14), "negative basis value at t={t}");
+            assert!(
+                vals.iter().all(|&v| v >= -1e-14),
+                "negative basis value at t={t}"
+            );
         }
     }
 
@@ -477,7 +489,8 @@ mod tests {
         // R[j,m] = ∫ (Σφ)² = |domain| = 1.
         let b = cubic(8);
         let r = b.penalty(0);
-        let total: f64 = (0..8).flat_map(|i| (0..8).map(move |j| (i, j)))
+        let total: f64 = (0..8)
+            .flat_map(|i| (0..8).map(move |j| (i, j)))
             .map(|(i, j)| r[(i, j)])
             .sum();
         assert!((total - 1.0).abs() < 1e-10, "total={total}");

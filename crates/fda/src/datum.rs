@@ -22,10 +22,16 @@ impl RawCurve {
     /// Creates and validates a raw curve.
     pub fn new(t: Vec<f64>, y: Vec<f64>) -> Result<Self> {
         if t.len() != y.len() {
-            return Err(FdaError::LengthMismatch { t_len: t.len(), y_len: y.len() });
+            return Err(FdaError::LengthMismatch {
+                t_len: t.len(),
+                y_len: y.len(),
+            });
         }
         if t.len() < 2 {
-            return Err(FdaError::TooFewPoints { got: t.len(), need: 2 });
+            return Err(FdaError::TooFewPoints {
+                got: t.len(),
+                need: 2,
+            });
         }
         if !vector::all_finite(&t) || !vector::all_finite(&y) {
             return Err(FdaError::NonFinite);
@@ -73,10 +79,15 @@ impl RawSample {
     /// Creates and validates a raw multivariate sample.
     pub fn new(t: Vec<f64>, channels: Vec<Vec<f64>>) -> Result<Self> {
         if channels.is_empty() {
-            return Err(FdaError::ChannelMismatch("sample must have >= 1 channel".into()));
+            return Err(FdaError::ChannelMismatch(
+                "sample must have >= 1 channel".into(),
+            ));
         }
         if t.len() < 2 {
-            return Err(FdaError::TooFewPoints { got: t.len(), need: 2 });
+            return Err(FdaError::TooFewPoints {
+                got: t.len(),
+                need: 2,
+            });
         }
         if !vector::all_finite(&t) {
             return Err(FdaError::NonFinite);
@@ -105,7 +116,10 @@ impl RawSample {
 
     /// Wraps a univariate curve as a 1-channel sample.
     pub fn from_univariate(curve: RawCurve) -> Self {
-        RawSample { t: curve.t, channels: vec![curve.y] }
+        RawSample {
+            t: curve.t,
+            channels: vec![curve.y],
+        }
     }
 
     /// Number of channels `p`.
@@ -154,12 +168,17 @@ impl RawSample {
         }
         let mut channels = self.channels.clone();
         channels.push(derived);
-        Ok(RawSample { t: self.t.clone(), channels })
+        Ok(RawSample {
+            t: self.t.clone(),
+            channels,
+        })
     }
 
     /// Borrows channel `k` as a [`RawCurve`]-style `(t, y)` pair.
     pub fn channel(&self, k: usize) -> Option<(&[f64], &[f64])> {
-        self.channels.get(k).map(|c| (self.t.as_slice(), c.as_slice()))
+        self.channels
+            .get(k)
+            .map(|c| (self.t.as_slice(), c.as_slice()))
     }
 }
 
@@ -247,7 +266,9 @@ impl MultiFunctionalDatum {
     /// tolerance).
     pub fn new(channels: Vec<FunctionalDatum>) -> Result<Self> {
         if channels.is_empty() {
-            return Err(FdaError::ChannelMismatch("need at least one channel".into()));
+            return Err(FdaError::ChannelMismatch(
+                "need at least one channel".into(),
+            ));
         }
         let (a0, b0) = channels[0].domain();
         let tol = 1e-9 * (b0 - a0).abs().max(1.0);
@@ -264,7 +285,9 @@ impl MultiFunctionalDatum {
 
     /// Wraps a single channel.
     pub fn from_univariate(datum: FunctionalDatum) -> Self {
-        MultiFunctionalDatum { channels: vec![datum] }
+        MultiFunctionalDatum {
+            channels: vec![datum],
+        }
     }
 
     /// Number of channels `p`.

@@ -65,7 +65,10 @@ impl fmt::Display for FdaError {
             FdaError::InvalidBasis(msg) => write!(f, "invalid basis: {msg}"),
             FdaError::InvalidAbscissae(msg) => write!(f, "invalid abscissae: {msg}"),
             FdaError::LengthMismatch { t_len, y_len } => {
-                write!(f, "length mismatch: {t_len} abscissae vs {y_len} observations")
+                write!(
+                    f,
+                    "length mismatch: {t_len} abscissae vs {y_len} observations"
+                )
             }
             FdaError::ChannelMismatch(msg) => write!(f, "channel mismatch: {msg}"),
             FdaError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
@@ -95,11 +98,18 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        assert!(FdaError::InvalidDomain { a: 1.0, b: 0.0 }.to_string().contains("[1, 0]"));
-        assert!(FdaError::TooFewPoints { got: 2, need: 4 }.to_string().contains('4'));
-        assert!(FdaError::BasisTooLarge { basis_len: 10, points: 5 }
+        assert!(FdaError::InvalidDomain { a: 1.0, b: 0.0 }
             .to_string()
-            .contains("10"));
+            .contains("[1, 0]"));
+        assert!(FdaError::TooFewPoints { got: 2, need: 4 }
+            .to_string()
+            .contains('4'));
+        assert!(FdaError::BasisTooLarge {
+            basis_len: 10,
+            points: 5
+        }
+        .to_string()
+        .contains("10"));
         let e: FdaError = LinalgError::Empty.into();
         assert!(e.to_string().contains("linear algebra"));
     }

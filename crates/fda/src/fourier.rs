@@ -31,12 +31,17 @@ impl FourierBasis {
         if a >= b {
             return Err(FdaError::InvalidDomain { a, b });
         }
-        if len == 0 || len % 2 == 0 {
+        if len == 0 || len.is_multiple_of(2) {
             return Err(FdaError::InvalidBasis(format!(
                 "fourier basis size must be odd and positive, got {len}"
             )));
         }
-        Ok(FourierBasis { len, a, b, omega: std::f64::consts::TAU / (b - a) })
+        Ok(FourierBasis {
+            len,
+            a,
+            b,
+            omega: std::f64::consts::TAU / (b - a),
+        })
     }
 
     /// Fundamental angular frequency `ω = 2π / (b − a)`.
@@ -171,7 +176,10 @@ mod tests {
         for l in 1..5 {
             let h = FourierBasis::harmonic(l) as f64;
             let expect = -(h * b.omega()).powi(2) * v[l];
-            assert!((d2[l] - expect).abs() < 1e-8 * (1.0 + expect.abs()), "l={l}");
+            assert!(
+                (d2[l] - expect).abs() < 1e-8 * (1.0 + expect.abs()),
+                "l={l}"
+            );
         }
         assert_eq!(d2[0], 0.0);
     }

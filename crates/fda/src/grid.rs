@@ -19,7 +19,10 @@ impl Grid {
     /// and finiteness.
     pub fn new(points: Vec<f64>) -> Result<Self> {
         if points.len() < 2 {
-            return Err(FdaError::TooFewPoints { got: points.len(), need: 2 });
+            return Err(FdaError::TooFewPoints {
+                got: points.len(),
+                need: 2,
+            });
         }
         if !points.iter().all(|v| v.is_finite()) {
             return Err(FdaError::NonFinite);
@@ -143,10 +146,22 @@ mod tests {
 
     #[test]
     fn rejects_degenerate() {
-        assert!(matches!(Grid::uniform(1.0, 1.0, 5), Err(FdaError::InvalidDomain { .. })));
-        assert!(matches!(Grid::uniform(2.0, 1.0, 5), Err(FdaError::InvalidDomain { .. })));
-        assert!(matches!(Grid::uniform(0.0, 1.0, 1), Err(FdaError::TooFewPoints { .. })));
-        assert!(matches!(Grid::uniform(f64::NAN, 1.0, 5), Err(FdaError::NonFinite)));
+        assert!(matches!(
+            Grid::uniform(1.0, 1.0, 5),
+            Err(FdaError::InvalidDomain { .. })
+        ));
+        assert!(matches!(
+            Grid::uniform(2.0, 1.0, 5),
+            Err(FdaError::InvalidDomain { .. })
+        ));
+        assert!(matches!(
+            Grid::uniform(0.0, 1.0, 1),
+            Err(FdaError::TooFewPoints { .. })
+        ));
+        assert!(matches!(
+            Grid::uniform(f64::NAN, 1.0, 5),
+            Err(FdaError::NonFinite)
+        ));
     }
 
     #[test]

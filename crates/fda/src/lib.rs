@@ -68,7 +68,9 @@ pub use error::FdaError;
 pub use fourier::FourierBasis;
 pub use grid::Grid;
 pub use polynomial::PolynomialBasis;
-pub use smooth::{BasisSelector, FitDiagnostics, PenalizedLeastSquares, SelectionCriterion};
+pub use smooth::{
+    BasisSelector, FitDiagnostics, FrozenSmoother, PenalizedLeastSquares, SelectionCriterion,
+};
 
 /// Crate-wide `Result` alias.
 pub type Result<T> = std::result::Result<T, FdaError>;
@@ -83,6 +85,6 @@ pub mod prelude {
     pub use crate::grid::Grid;
     pub use crate::polynomial::PolynomialBasis;
     pub use crate::smooth::{
-        BasisSelector, FitDiagnostics, PenalizedLeastSquares, SelectionCriterion,
+        BasisSelector, FitDiagnostics, FrozenSmoother, PenalizedLeastSquares, SelectionCriterion,
     };
 }

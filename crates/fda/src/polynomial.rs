@@ -28,7 +28,9 @@ impl PolynomialBasis {
             return Err(FdaError::InvalidDomain { a, b });
         }
         if len == 0 {
-            return Err(FdaError::InvalidBasis("polynomial basis needs len >= 1".into()));
+            return Err(FdaError::InvalidBasis(
+                "polynomial basis needs len >= 1".into(),
+            ));
         }
         Ok(PolynomialBasis { len, a, b })
     }

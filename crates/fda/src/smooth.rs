@@ -76,18 +76,19 @@ impl PenalizedLeastSquares {
     }
 
     /// Creates a smoother sharing an existing basis.
-    pub fn with_arc(
-        basis: Arc<dyn Basis>,
-        lambda: f64,
-        penalty_order: usize,
-    ) -> Result<Self> {
+    pub fn with_arc(basis: Arc<dyn Basis>, lambda: f64, penalty_order: usize) -> Result<Self> {
         if !lambda.is_finite() || lambda < 0.0 {
             return Err(FdaError::InvalidParameter(format!(
                 "lambda must be finite and >= 0, got {lambda}"
             )));
         }
         let penalty = basis.penalty(penalty_order);
-        Ok(PenalizedLeastSquares { basis, lambda, penalty_order, penalty })
+        Ok(PenalizedLeastSquares {
+            basis,
+            lambda,
+            penalty_order,
+            penalty,
+        })
     }
 
     /// The basis used by this smoother.
@@ -105,23 +106,35 @@ impl PenalizedLeastSquares {
         self.penalty_order
     }
 
+    /// Checks that `points` observations are enough to determine this
+    /// smoother's system (`L` points for the unpenalized case, 2 otherwise).
+    fn check_point_count(&self, points: usize) -> Result<()> {
+        let l = self.basis.len();
+        let need = if self.lambda == 0.0 { l } else { 2 };
+        if points < need {
+            return Err(if self.lambda == 0.0 && points < l {
+                FdaError::BasisTooLarge {
+                    basis_len: l,
+                    points,
+                }
+            } else {
+                FdaError::TooFewPoints { got: points, need }
+            });
+        }
+        Ok(())
+    }
+
     fn validate(&self, ts: &[f64], ys: &[f64]) -> Result<()> {
         if ts.len() != ys.len() {
-            return Err(FdaError::LengthMismatch { t_len: ts.len(), y_len: ys.len() });
+            return Err(FdaError::LengthMismatch {
+                t_len: ts.len(),
+                y_len: ys.len(),
+            });
         }
         if !vector::all_finite(ts) || !vector::all_finite(ys) {
             return Err(FdaError::NonFinite);
         }
-        let l = self.basis.len();
-        let need = if self.lambda == 0.0 { l } else { 2 };
-        if ts.len() < need {
-            return Err(if self.lambda == 0.0 && ts.len() < l {
-                FdaError::BasisTooLarge { basis_len: l, points: ts.len() }
-            } else {
-                FdaError::TooFewPoints { got: ts.len(), need }
-            });
-        }
-        Ok(())
+        self.check_point_count(ts.len())
     }
 
     /// Assembles and factorizes the normal-equation matrix
@@ -179,7 +192,92 @@ impl PenalizedLeastSquares {
         let denom = (m as f64 - df).max(1e-10);
         let gcv = m as f64 * rss / (denom * denom);
         let datum = FunctionalDatum::new(Arc::clone(&self.basis), coefs)?;
-        Ok((datum, FitDiagnostics { rss, df, loocv, gcv, hat_diag }))
+        Ok((
+            datum,
+            FitDiagnostics {
+                rss,
+                df,
+                loocv,
+                gcv,
+                hat_diag,
+            },
+        ))
+    }
+}
+
+impl PenalizedLeastSquares {
+    /// Specializes this smoother to a fixed observation grid `ts`,
+    /// precomputing the solve operator `S = (ΦᵀΦ + λR_q)⁻¹ Φᵀ`.
+    ///
+    /// This is the serving-path complement of [`PenalizedLeastSquares::fit`]:
+    /// offline fitting re-assembles and re-factorizes the normal equations
+    /// for every curve, which is wasted work in a streaming system where
+    /// every incoming window is observed at the *same* times. With the
+    /// operator frozen, smoothing a new curve is a single `L×m` matrix-
+    /// vector product.
+    pub fn freeze(&self, ts: &[f64]) -> Result<FrozenSmoother> {
+        if !vector::all_finite(ts) {
+            return Err(FdaError::NonFinite);
+        }
+        self.check_point_count(ts.len())?;
+        let (phi, chol) = self.factorize(ts)?;
+        let solve_op = chol.solve_matrix(&phi.transpose());
+        Ok(FrozenSmoother {
+            basis: Arc::clone(&self.basis),
+            ts: ts.to_vec(),
+            solve_op,
+        })
+    }
+}
+
+/// A penalized least-squares smoother frozen to a fixed observation grid:
+/// coefficients of a new curve are `α = S·y` with the cached operator `S`.
+///
+/// Numerical note: `S·y` and the factorized solve of [`PenalizedLeastSquares
+/// ::fit`] agree to solver round-off (≈1e-12 relative), not bit for bit —
+/// callers that need exact parity with the offline path must refit instead.
+#[derive(Clone)]
+pub struct FrozenSmoother {
+    basis: Arc<dyn Basis>,
+    ts: Vec<f64>,
+    /// `L × m` cached solve operator.
+    solve_op: Matrix,
+}
+
+impl std::fmt::Debug for FrozenSmoother {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrozenSmoother")
+            .field("basis", &self.basis.name())
+            .field("len", &self.basis.len())
+            .field("points", &self.ts.len())
+            .finish()
+    }
+}
+
+impl FrozenSmoother {
+    /// The observation times this smoother is specialized to.
+    pub fn ts(&self) -> &[f64] {
+        &self.ts
+    }
+
+    /// The underlying basis.
+    pub fn basis(&self) -> &Arc<dyn Basis> {
+        &self.basis
+    }
+
+    /// Smooths observations taken at the frozen grid into a functional
+    /// datum. `ys` must have one value per frozen observation time.
+    pub fn smooth(&self, ys: &[f64]) -> Result<FunctionalDatum> {
+        if ys.len() != self.ts.len() {
+            return Err(FdaError::LengthMismatch {
+                t_len: self.ts.len(),
+                y_len: ys.len(),
+            });
+        }
+        if !vector::all_finite(ys) {
+            return Err(FdaError::NonFinite);
+        }
+        FunctionalDatum::new(Arc::clone(&self.basis), self.solve_op.matvec(ys))
     }
 }
 
@@ -233,6 +331,21 @@ impl Default for BasisSelector {
 }
 
 impl BasisSelector {
+    /// Rebuilds the penalized smoother corresponding to a selection
+    /// outcome `(size, lambda)` on the domain `[a, b]` — the bridge from a
+    /// recorded [`SelectionResult`] back to a reusable smoother (e.g. to
+    /// [`PenalizedLeastSquares::freeze`] it for serving).
+    pub fn smoother(
+        &self,
+        a: f64,
+        b: f64,
+        size: usize,
+        lambda: f64,
+    ) -> Result<PenalizedLeastSquares> {
+        let basis = crate::bspline::BSplineBasis::uniform(a, b, size, self.order)?;
+        PenalizedLeastSquares::new(basis, lambda, self.penalty_order)
+    }
+
     /// Selects the best B-spline fit for a single channel observed at
     /// `(ts, ys)`; the basis domain is `[min t, max t]`.
     pub fn select(&self, ts: &[f64], ys: &[f64]) -> Result<SelectionResult> {
@@ -242,10 +355,16 @@ impl BasisSelector {
             ));
         }
         if ts.len() != ys.len() {
-            return Err(FdaError::LengthMismatch { t_len: ts.len(), y_len: ys.len() });
+            return Err(FdaError::LengthMismatch {
+                t_len: ts.len(),
+                y_len: ys.len(),
+            });
         }
         if ts.len() < 2 {
-            return Err(FdaError::TooFewPoints { got: ts.len(), need: 2 });
+            return Err(FdaError::TooFewPoints {
+                got: ts.len(),
+                need: 2,
+            });
         }
         if !vector::all_finite(ts) || !vector::all_finite(ys) {
             return Err(FdaError::NonFinite);
@@ -260,11 +379,15 @@ impl BasisSelector {
             if size > ts.len() {
                 continue; // cannot LOOCV an under-determined fit
             }
-            let basis: Arc<dyn Basis> =
-                Arc::new(crate::bspline::BSplineBasis::uniform(a, b, size, self.order)?);
+            let basis: Arc<dyn Basis> = Arc::new(crate::bspline::BSplineBasis::uniform(
+                a, b, size, self.order,
+            )?);
             for &lambda in &self.lambdas {
-                let smoother =
-                    PenalizedLeastSquares::with_arc(Arc::clone(&basis), lambda, self.penalty_order)?;
+                let smoother = PenalizedLeastSquares::with_arc(
+                    Arc::clone(&basis),
+                    lambda,
+                    self.penalty_order,
+                )?;
                 let (datum, diagnostics) = match smoother.fit_with_diagnostics(ts, ys) {
                     Ok(ok) => ok,
                     // A singular candidate is skipped, not fatal: other
@@ -281,7 +404,13 @@ impl BasisSelector {
                 }
                 let better = best.as_ref().is_none_or(|b| score < b.score);
                 if better {
-                    best = Some(SelectionResult { datum, size, lambda, score, diagnostics });
+                    best = Some(SelectionResult {
+                        datum,
+                        size,
+                        lambda,
+                        score,
+                        diagnostics,
+                    });
                 }
             }
         }
@@ -317,7 +446,10 @@ mod tests {
         let ts: Vec<f64> = (0..20).map(|j| j as f64 / 19.0).collect();
         let ys: Vec<f64> = ts.iter().map(|t| 1.0 + 2.0 * t - 3.0 * t * t).collect();
         let basis = BSplineBasis::uniform(0.0, 1.0, 8, 4).unwrap();
-        let fit = PenalizedLeastSquares::new(basis, 0.0, 2).unwrap().fit(&ts, &ys).unwrap();
+        let fit = PenalizedLeastSquares::new(basis, 0.0, 2)
+            .unwrap()
+            .fit(&ts, &ys)
+            .unwrap();
         for &t in &[0.05, 0.33, 0.72, 0.95] {
             let expect = 1.0 + 2.0 * t - 3.0 * t * t;
             assert!((fit.eval(t) - expect).abs() < 1e-9, "t={t}");
@@ -332,7 +464,10 @@ mod tests {
     fn smoothing_reduces_noise() {
         let (ts, ys) = sine_data(60, 0.3);
         let basis = BSplineBasis::uniform(0.0, 1.0, 10, 4).unwrap();
-        let fit = PenalizedLeastSquares::new(basis, 1e-5, 2).unwrap().fit(&ts, &ys).unwrap();
+        let fit = PenalizedLeastSquares::new(basis, 1e-5, 2)
+            .unwrap()
+            .fit(&ts, &ys)
+            .unwrap();
         // fitted curve should be closer to the clean signal than the data
         let mut err_fit = 0.0;
         let mut err_data = 0.0;
@@ -351,7 +486,10 @@ mod tests {
         let (ts, ys) = sine_data(50, 0.0);
         let basis = BSplineBasis::uniform(0.0, 1.0, 12, 4).unwrap();
         // Penalizing the first derivative with a huge λ forces a constant.
-        let fit = PenalizedLeastSquares::new(basis, 1e9, 1).unwrap().fit(&ts, &ys).unwrap();
+        let fit = PenalizedLeastSquares::new(basis, 1e9, 1)
+            .unwrap()
+            .fit(&ts, &ys)
+            .unwrap();
         let values: Vec<f64> = ts.iter().map(|&t| fit.eval(t)).collect();
         let spread = vector::max(&values) - vector::min(&values);
         assert!(spread < 0.05, "spread {spread}");
@@ -395,7 +533,10 @@ mod tests {
         // df is between 0 and the basis size and at most m
         assert!(d.df > 0.0 && d.df <= 8.0 + 1e-9);
         // hat diag entries in [0, 1]
-        assert!(d.hat_diag.iter().all(|&h| (-1e-9..=1.0 + 1e-9).contains(&h)));
+        assert!(d
+            .hat_diag
+            .iter()
+            .all(|&h| (-1e-9..=1.0 + 1e-9).contains(&h)));
         // LOOCV >= RSS (residuals are inflated by 1/(1-h))
         assert!(d.loocv >= d.rss - 1e-12);
         assert!(d.gcv > 0.0);
@@ -414,7 +555,10 @@ mod tests {
             let s = PenalizedLeastSquares::new(basis, 0.0, 2).unwrap();
             s.fit_with_diagnostics(&ts, &ys).unwrap().1.loocv
         };
-        assert!(score(4) < score(30), "LOOCV should penalize overfitting noise");
+        assert!(
+            score(4) < score(30),
+            "LOOCV should penalize overfitting noise"
+        );
     }
 
     #[test]
@@ -448,13 +592,19 @@ mod tests {
 
     #[test]
     fn selector_error_paths() {
-        let sel = BasisSelector { sizes: vec![], ..BasisSelector::default() };
+        let sel = BasisSelector {
+            sizes: vec![],
+            ..BasisSelector::default()
+        };
         assert!(sel.select(&[0.0, 1.0], &[0.0, 1.0]).is_err());
         let sel = BasisSelector::default();
         assert!(sel.select(&[0.0], &[0.0]).is_err());
         assert!(sel.select(&[0.0, 1.0], &[0.0]).is_err());
         // all candidates too large for the data
-        let sel = BasisSelector { sizes: vec![50], ..BasisSelector::default() };
+        let sel = BasisSelector {
+            sizes: vec![50],
+            ..BasisSelector::default()
+        };
         assert!(sel.select(&[0.0, 0.5, 1.0], &[0.0, 1.0, 0.0]).is_err());
     }
 
@@ -471,6 +621,74 @@ mod tests {
     }
 
     #[test]
+    fn frozen_smoother_matches_fit() {
+        let (ts, ys) = sine_data(50, 0.2);
+        let basis = BSplineBasis::uniform(0.0, 1.0, 10, 4).unwrap();
+        let s = PenalizedLeastSquares::new(basis, 1e-4, 2).unwrap();
+        let offline = s.fit(&ts, &ys).unwrap();
+        let frozen = s.freeze(&ts).unwrap();
+        assert_eq!(frozen.ts().len(), 50);
+        assert_eq!(frozen.basis().len(), 10);
+        assert!(format!("{frozen:?}").contains("FrozenSmoother"));
+        let online = frozen.smooth(&ys).unwrap();
+        for (a, b) in offline.coefs().iter().zip(online.coefs()) {
+            assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()), "{a} vs {b}");
+        }
+        // A second curve through the same operator.
+        let ys2: Vec<f64> = ts
+            .iter()
+            .map(|&t| (std::f64::consts::TAU * t).cos())
+            .collect();
+        let offline2 = s.fit(&ts, &ys2).unwrap();
+        let online2 = frozen.smooth(&ys2).unwrap();
+        for (a, b) in offline2.coefs().iter().zip(online2.coefs()) {
+            assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()));
+        }
+    }
+
+    #[test]
+    fn frozen_smoother_rejects_bad_inputs() {
+        let (ts, _) = sine_data(30, 0.0);
+        let basis = BSplineBasis::uniform(0.0, 1.0, 8, 4).unwrap();
+        let s = PenalizedLeastSquares::new(basis, 1e-4, 2).unwrap();
+        assert!(matches!(
+            s.freeze(&[0.0, f64::NAN]),
+            Err(FdaError::NonFinite)
+        ));
+        let frozen = s.freeze(&ts).unwrap();
+        assert!(matches!(
+            frozen.smooth(&[1.0, 2.0]),
+            Err(FdaError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            frozen.smooth(&vec![f64::NAN; 30]),
+            Err(FdaError::NonFinite)
+        ));
+        // λ = 0 with too few points for the basis must refuse to freeze.
+        let basis = BSplineBasis::uniform(0.0, 1.0, 10, 4).unwrap();
+        let s0 = PenalizedLeastSquares::new(basis, 0.0, 2).unwrap();
+        assert!(matches!(
+            s0.freeze(&[0.0, 0.5, 1.0]),
+            Err(FdaError::BasisTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn selector_smoother_roundtrip() {
+        let (ts, ys) = sine_data(40, 0.1);
+        let sel = BasisSelector::default();
+        let r = sel.select(&ts, &ys).unwrap();
+        let rebuilt = sel.smoother(0.0, 1.0, r.size, r.lambda).unwrap();
+        assert_eq!(rebuilt.basis().len(), r.size);
+        assert_eq!(rebuilt.lambda(), r.lambda);
+        // Refitting with the rebuilt smoother reproduces the selected curve.
+        let refit = rebuilt.fit(&ts, &ys).unwrap();
+        for (a, b) in refit.coefs().iter().zip(r.datum.coefs()) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
     fn fourier_basis_recovers_periodic_signal() {
         use crate::fourier::FourierBasis;
         // y = 2 sin(2πt) + cos(4πt), exactly representable with 5 Fourier fns
@@ -479,15 +697,17 @@ mod tests {
         let ys: Vec<f64> = ts
             .iter()
             .map(|&t| {
-                2.0 * (std::f64::consts::TAU * t).sin()
-                    + (2.0 * std::f64::consts::TAU * t).cos()
+                2.0 * (std::f64::consts::TAU * t).sin() + (2.0 * std::f64::consts::TAU * t).cos()
             })
             .collect();
         let basis = FourierBasis::new(0.0, 1.0, 5).unwrap();
-        let fit = PenalizedLeastSquares::new(basis, 0.0, 2).unwrap().fit(&ts, &ys).unwrap();
+        let fit = PenalizedLeastSquares::new(basis, 0.0, 2)
+            .unwrap()
+            .fit(&ts, &ys)
+            .unwrap();
         for &t in &[0.1, 0.35, 0.62, 0.9] {
-            let expect = 2.0 * (std::f64::consts::TAU * t).sin()
-                + (2.0 * std::f64::consts::TAU * t).cos();
+            let expect =
+                2.0 * (std::f64::consts::TAU * t).sin() + (2.0 * std::f64::consts::TAU * t).cos();
             assert!((fit.eval(t) - expect).abs() < 1e-9, "t={t}");
         }
         // analytic derivative: 4π cos(2πt) − 4π sin(4πt)... checked at one point
@@ -508,7 +728,10 @@ mod tests {
             .map(|j| ((j as f64 * 37.7).sin() * 1713.7).fract() - 0.5)
             .collect();
         let basis = FourierBasis::new(0.0, 1.0, 9).unwrap();
-        let fit = PenalizedLeastSquares::new(basis, 10.0, 2).unwrap().fit(&ts, &ys).unwrap();
+        let fit = PenalizedLeastSquares::new(basis, 10.0, 2)
+            .unwrap()
+            .fit(&ts, &ys)
+            .unwrap();
         let coefs = fit.coefs();
         // the top harmonic pair (indices 7, 8) must be far smaller than the
         // first pair (indices 1, 2)

@@ -47,10 +47,12 @@ impl MappingFunction for ComponentMapping {
     }
 
     fn map(&self, datum: &MultiFunctionalDatum, grid: &Grid) -> Result<Vec<f64>> {
-        let channel = datum.channel(self.channel).ok_or(GeometryError::ChannelOutOfRange {
-            channel: self.channel,
-            dim: datum.dim(),
-        })?;
+        let channel = datum
+            .channel(self.channel)
+            .ok_or(GeometryError::ChannelOutOfRange {
+                channel: self.channel,
+                dim: datum.dim(),
+            })?;
         let out = channel.eval_grid_deriv(grid, self.deriv);
         if !vector::all_finite(&out) {
             return Err(GeometryError::NonFinite);

@@ -134,7 +134,13 @@ impl MappingFunction for RadiusOfCurvature {
         let kappa = Curvature.map(datum, grid)?;
         Ok(kappa
             .into_iter()
-            .map(|k| if k < SPEED_EPS { 1.0 / SPEED_EPS } else { 1.0 / k })
+            .map(|k| {
+                if k < SPEED_EPS {
+                    1.0 / SPEED_EPS
+                } else {
+                    1.0 / k
+                }
+            })
             .collect())
     }
 }

@@ -34,7 +34,10 @@ impl fmt::Display for GeometryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GeometryError::DimensionUnsupported { mapping, need, got } => {
-                write!(f, "mapping {mapping} needs dimension {need}, datum has {got}")
+                write!(
+                    f,
+                    "mapping {mapping} needs dimension {need}, datum has {got}"
+                )
             }
             GeometryError::ChannelOutOfRange { channel, dim } => {
                 write!(f, "channel {channel} out of range for p = {dim}")
@@ -66,7 +69,11 @@ mod tests {
 
     #[test]
     fn displays() {
-        let e = GeometryError::DimensionUnsupported { mapping: "torsion", need: 3, got: 2 };
+        let e = GeometryError::DimensionUnsupported {
+            mapping: "torsion",
+            need: 3,
+            got: 2,
+        };
         assert!(e.to_string().contains("torsion"));
         let e = GeometryError::ChannelOutOfRange { channel: 5, dim: 2 };
         assert!(e.to_string().contains('5'));

@@ -263,7 +263,10 @@ mod tests {
         let grid = Grid::uniform(0.0, 1.0, 101).unwrap();
         let th = TurningAngle.map(&circle(1.0), &grid).unwrap();
         let total = th[100] - th[0];
-        assert!((total.abs() - std::f64::consts::TAU).abs() < 1e-6, "total {total}");
+        assert!(
+            (total.abs() - std::f64::consts::TAU).abs() < 1e-6,
+            "total {total}"
+        );
         for w in th.windows(2) {
             assert!((w[1] - w[0]).abs() < 0.2, "jump {}", (w[1] - w[0]).abs());
         }
@@ -287,7 +290,10 @@ mod tests {
         let datum = line(3.0, 4.0);
         let q = SrvfNorm.map(&datum, &grid).unwrap();
         // ‖X′‖ = 5 everywhere ⇒ ‖q‖ = √5
-        assert!(q.iter().all(|&v| (v - 5.0f64.sqrt()).abs() < 1e-10), "{q:?}");
+        assert!(
+            q.iter().all(|&v| (v - 5.0f64.sqrt()).abs() < 1e-10),
+            "{q:?}"
+        );
         // circle of radius r: speed 2πr ⇒ √(2πr)
         let q = SrvfNorm.map(&circle(2.0), &grid).unwrap();
         let expect = (std::f64::consts::TAU * 2.0).sqrt();

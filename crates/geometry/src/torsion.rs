@@ -125,7 +125,11 @@ mod tests {
         let tau = Torsion.map(&datum, &grid).unwrap();
         for (i, t) in grid.iter().enumerate() {
             let expect = 3.0 / (9.0 * t.powi(4) + 9.0 * t * t + 1.0);
-            assert!((tau[i] - expect).abs() < 1e-8, "t={t}: {} vs {expect}", tau[i]);
+            assert!(
+                (tau[i] - expect).abs() < 1e-8,
+                "t={t}: {} vs {expect}",
+                tau[i]
+            );
         }
     }
 }

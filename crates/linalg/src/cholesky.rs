@@ -118,7 +118,11 @@ impl Cholesky {
     /// # Panics
     /// Panics if `b.nrows() != dim()`.
     pub fn solve_matrix(&self, b: &Matrix) -> Matrix {
-        assert_eq!(b.nrows(), self.dim(), "cholesky solve_matrix dimension mismatch");
+        assert_eq!(
+            b.nrows(),
+            self.dim(),
+            "cholesky solve_matrix dimension mismatch"
+        );
         let mut out = Matrix::zeros(b.nrows(), b.ncols());
         for j in 0..b.ncols() {
             let col = b.col(j);
@@ -199,7 +203,10 @@ mod tests {
     #[test]
     fn rejects_non_spd() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
-        assert!(matches!(Cholesky::new(&a), Err(LinalgError::Singular { .. })));
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::Singular { .. })
+        ));
     }
 
     #[test]

@@ -87,7 +87,10 @@ pub fn jacobi_eigen(a: &Matrix) -> Result<SymmetricEigen> {
             }
         }
     }
-    Err(LinalgError::NoConvergence { algorithm: "jacobi_eigen", iterations: max_sweeps })
+    Err(LinalgError::NoConvergence {
+        algorithm: "jacobi_eigen",
+        iterations: max_sweeps,
+    })
 }
 
 fn sort_eigen(m: Matrix, v: Matrix) -> SymmetricEigen {
@@ -126,11 +129,7 @@ mod tests {
 
     #[test]
     fn reconstruction_and_orthogonality() {
-        let a = Matrix::from_rows(&[
-            &[4.0, 1.0, -2.0],
-            &[1.0, 2.0, 0.0],
-            &[-2.0, 0.0, 3.0],
-        ]);
+        let a = Matrix::from_rows(&[&[4.0, 1.0, -2.0], &[1.0, 2.0, 0.0], &[-2.0, 0.0, 3.0]]);
         let e = jacobi_eigen(&a).unwrap();
         let lam = Matrix::from_diag(&e.values);
         let rec = e.vectors.matmul(&lam).matmul(&e.vectors.transpose());

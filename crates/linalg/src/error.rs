@@ -50,10 +50,19 @@ impl fmt::Display for LinalgError {
                 write!(f, "matrix is {}x{} but must be square", shape.0, shape.1)
             }
             LinalgError::Singular { pivot } => {
-                write!(f, "matrix is singular or not positive definite at pivot {pivot}")
+                write!(
+                    f,
+                    "matrix is singular or not positive definite at pivot {pivot}"
+                )
             }
-            LinalgError::NoConvergence { algorithm, iterations } => {
-                write!(f, "{algorithm} did not converge after {iterations} iterations")
+            LinalgError::NoConvergence {
+                algorithm,
+                iterations,
+            } => {
+                write!(
+                    f,
+                    "{algorithm} did not converge after {iterations} iterations"
+                )
             }
             LinalgError::NonFinite => write!(f, "input contains NaN or infinite values"),
             LinalgError::Empty => write!(f, "input is empty"),
@@ -69,14 +78,21 @@ mod tests {
 
     #[test]
     fn display_formats_are_informative() {
-        let e = LinalgError::DimensionMismatch { op: "matmul", lhs: (2, 3), rhs: (4, 5) };
+        let e = LinalgError::DimensionMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
         assert!(e.to_string().contains("matmul"));
         assert!(e.to_string().contains("2x3"));
         let e = LinalgError::NotSquare { shape: (2, 3) };
         assert!(e.to_string().contains("square"));
         let e = LinalgError::Singular { pivot: 7 };
         assert!(e.to_string().contains('7'));
-        let e = LinalgError::NoConvergence { algorithm: "jacobi", iterations: 100 };
+        let e = LinalgError::NoConvergence {
+            algorithm: "jacobi",
+            iterations: 100,
+        };
         assert!(e.to_string().contains("jacobi"));
         assert!(LinalgError::NonFinite.to_string().contains("NaN"));
         assert!(LinalgError::Empty.to_string().contains("empty"));

@@ -41,6 +41,7 @@ pub mod eigen;
 pub mod error;
 pub mod lu;
 pub mod matrix;
+pub mod par;
 pub mod qr;
 pub mod quadrature;
 pub mod vector;

@@ -20,12 +20,20 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a `rows x cols` matrix filled with `value`.
     pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
-        Matrix { rows, cols, data: vec![value; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates the `n x n` identity matrix.
@@ -60,7 +68,11 @@ impl Matrix {
             assert_eq!(r.len(), cols, "all rows must have the same length");
             data.extend_from_slice(r);
         }
-        Matrix { rows: rows.len(), cols, data }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Builds a matrix by evaluating `f(i, j)` at every position.
@@ -168,7 +180,8 @@ impl Matrix {
     /// Panics if inner dimensions do not match; use [`Matrix::checked_matmul`]
     /// for a fallible variant.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        self.checked_matmul(other).expect("matmul dimension mismatch")
+        self.checked_matmul(other)
+            .expect("matmul dimension mismatch")
     }
 
     /// Fallible matrix product.
@@ -264,7 +277,11 @@ impl Matrix {
             .zip(&other.data)
             .map(|(a, b)| a + b)
             .collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Element-wise difference `self - other`.
@@ -279,13 +296,21 @@ impl Matrix {
             .zip(&other.data)
             .map(|(a, b)| a - b)
             .collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Returns `self` scaled by `s`.
     pub fn scale(&self, s: f64) -> Matrix {
         let data = self.data.iter().map(|a| a * s).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// In-place `self += s * other`.

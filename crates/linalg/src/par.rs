@@ -1,0 +1,131 @@
+//! Deterministic data parallelism on std scoped threads.
+//!
+//! The workspace builds without external crates, so this module provides
+//! the small slice of a rayon-style API the hot paths need: map an index
+//! range across threads in contiguous chunks and reassemble the results
+//! **in order**. Chunked splitting keeps per-item results exactly where a
+//! sequential loop would put them, which is what lets callers (batch
+//! scoring, micro-batching) guarantee bit-for-bit parity with their
+//! sequential counterparts.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads the helpers will use (the `available_parallelism`
+/// of the machine, with a safe fallback of 1).
+pub fn max_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every index in `0..n` and collects the results in index
+/// order, splitting the range into contiguous chunks across up to
+/// [`max_threads`] threads.
+///
+/// Falls back to a plain sequential loop when `n < 2` or only one thread
+/// is available, so small batches pay no thread-spawn cost.
+pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    match par_try_map(n, |i| Ok::<T, Never>(f(i))) {
+        Ok(v) => v,
+        Err(never) => match never {},
+    }
+}
+
+/// Fallible [`par_map`]: reports the first error **in index order**. Note
+/// that running chunks are not cancelled — every worker finishes its range
+/// before the error is returned, so this is deterministic-error selection,
+/// not fail-fast. On success the output is identical — element for element
+/// — to the sequential `(0..n).map(f).collect()`.
+pub fn par_try_map<T, E, F>(n: usize, f: F) -> Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
+    let threads = max_threads().min(n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    // Contiguous chunks, sized to within one item of each other.
+    let base = n / threads;
+    let extra = n % threads;
+    let mut bounds = Vec::with_capacity(threads + 1);
+    let mut start = 0usize;
+    bounds.push(0);
+    for t in 0..threads {
+        start += base + usize::from(t < extra);
+        bounds.push(start);
+    }
+
+    let chunk_results: Vec<Result<Vec<T>, E>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let (lo, hi) = (bounds[t], bounds[t + 1]);
+                let f = &f;
+                scope.spawn(move || (lo..hi).map(f).collect::<Result<Vec<T>, E>>())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par worker panicked"))
+            .collect()
+    });
+
+    let mut out = Vec::with_capacity(n);
+    for chunk in chunk_results {
+        out.extend(chunk?);
+    }
+    Ok(out)
+}
+
+/// Uninhabited error type used to reuse the fallible path for the
+/// infallible one.
+enum Never {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_map() {
+        for n in [0usize, 1, 2, 7, 64, 1000] {
+            let seq: Vec<u64> = (0..n)
+                .map(|i| (i as u64).wrapping_mul(0x9E37) >> 3)
+                .collect();
+            let par = par_map(n, |i| (i as u64).wrapping_mul(0x9E37) >> 3);
+            assert_eq!(seq, par, "n={n}");
+        }
+    }
+
+    #[test]
+    fn error_propagates() {
+        let r: Result<Vec<usize>, String> = par_try_map(100, |i| {
+            if i == 63 {
+                Err(format!("boom {i}"))
+            } else {
+                Ok(i)
+            }
+        });
+        assert_eq!(r.unwrap_err(), "boom 63");
+        let ok: Result<Vec<usize>, String> = par_try_map(100, Ok);
+        assert_eq!(ok.unwrap(), (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn first_error_in_index_order_wins() {
+        // Errors at indices 10 and 90 land in different chunks on any
+        // thread count; the reassembly order guarantees index 10 reports.
+        let r: Result<Vec<usize>, usize> =
+            par_try_map(100, |i| if i == 10 || i == 90 { Err(i) } else { Ok(i) });
+        assert_eq!(r.unwrap_err(), 10);
+    }
+
+    #[test]
+    fn reports_at_least_one_thread() {
+        assert!(max_threads() >= 1);
+    }
+}

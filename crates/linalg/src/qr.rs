@@ -20,7 +20,11 @@ impl Qr {
     pub fn new(a: &Matrix) -> Result<Self> {
         let (m, n) = a.shape();
         if m < n {
-            return Err(LinalgError::DimensionMismatch { op: "qr (m >= n required)", lhs: (m, n), rhs: (m, n) });
+            return Err(LinalgError::DimensionMismatch {
+                op: "qr (m >= n required)",
+                lhs: (m, n),
+                rhs: (m, n),
+            });
         }
         if !a.is_finite() {
             return Err(LinalgError::NonFinite);
@@ -170,12 +174,7 @@ mod tests {
     #[test]
     fn least_squares_residual_is_orthogonal() {
         // Noisy overdetermined system: residual must be ⟂ to the columns.
-        let a = Matrix::from_rows(&[
-            &[1.0, 0.0],
-            &[1.0, 1.0],
-            &[1.0, 2.0],
-            &[1.0, 3.0],
-        ]);
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]);
         let b = [0.1, 1.9, 4.2, 5.8];
         let x = lstsq(&a, &b).unwrap();
         let fitted = a.matvec(&x);

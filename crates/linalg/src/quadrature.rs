@@ -138,7 +138,11 @@ mod tests {
             let rule = gauss_legendre(n);
             for d in 0..(2 * n) {
                 let approx = rule.integrate(|x| x.powi(d as i32));
-                let exact = if d % 2 == 1 { 0.0 } else { 2.0 / (d as f64 + 1.0) };
+                let exact = if d % 2 == 1 {
+                    0.0
+                } else {
+                    2.0 / (d as f64 + 1.0)
+                };
                 assert!(
                     (approx - exact).abs() < 1e-12,
                     "n={n} degree={d}: {approx} vs {exact}"

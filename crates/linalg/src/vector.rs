@@ -105,24 +105,18 @@ pub fn std_dev(a: &[f64]) -> f64 {
 
 /// Minimum value; `NaN` for empty input. NaN entries are ignored.
 pub fn min(a: &[f64]) -> f64 {
-    a.iter().copied().filter(|v| !v.is_nan()).fold(f64::NAN, |m, v| {
-        if m.is_nan() || v < m {
-            v
-        } else {
-            m
-        }
-    })
+    a.iter()
+        .copied()
+        .filter(|v| !v.is_nan())
+        .fold(f64::NAN, |m, v| if m.is_nan() || v < m { v } else { m })
 }
 
 /// Maximum value; `NaN` for empty input. NaN entries are ignored.
 pub fn max(a: &[f64]) -> f64 {
-    a.iter().copied().filter(|v| !v.is_nan()).fold(f64::NAN, |m, v| {
-        if m.is_nan() || v > m {
-            v
-        } else {
-            m
-        }
-    })
+    a.iter()
+        .copied()
+        .filter(|v| !v.is_nan())
+        .fold(f64::NAN, |m, v| if m.is_nan() || v > m { v } else { m })
 }
 
 /// Median (average of the two central order statistics for even length);

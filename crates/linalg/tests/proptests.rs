@@ -8,8 +8,7 @@ fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
 }
 
 fn square_matrix(n: usize) -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(-10.0..10.0f64, n * n)
-        .prop_map(move |data| Matrix::from_vec(n, n, data))
+    prop::collection::vec(-10.0..10.0f64, n * n).prop_map(move |data| Matrix::from_vec(n, n, data))
 }
 
 /// Generates an SPD matrix as `AᵀA + I`.

@@ -24,7 +24,9 @@ pub struct DepthBaseline {
 
 impl std::fmt::Debug for DepthBaseline {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DepthBaseline").field("scorer", &self.scorer.name()).finish()
+        f.debug_struct("DepthBaseline")
+            .field("scorer", &self.scorer.name())
+            .finish()
     }
 }
 
@@ -68,11 +70,7 @@ impl DepthBaseline {
     /// Scores the test samples against the training reference (the paper's
     /// protocol: methods are fit on the — possibly contaminated — training
     /// set) and returns test scores (higher = more outlying) in test order.
-    pub fn score_test(
-        &self,
-        train: &LabeledDataSet,
-        test: &LabeledDataSet,
-    ) -> Result<Vec<f64>> {
+    pub fn score_test(&self, train: &LabeledDataSet, test: &LabeledDataSet) -> Result<Vec<f64>> {
         let train_g = Self::gridded(train)?;
         let test_g = Self::gridded(test)?;
         Ok(self.scorer.score_against(&train_g, &test_g)?)
@@ -92,9 +90,12 @@ mod tests {
     use mfod_depth::{DirOut, Funta};
 
     fn shape_data() -> LabeledDataSet {
-        TaxonomyConfig { m: 40, noise_std: 0.03 }
-            .generate(OutlierType::ShapePersistent, 40, 10, 11)
-            .unwrap()
+        TaxonomyConfig {
+            m: 40,
+            noise_std: 0.03,
+        }
+        .generate(OutlierType::ShapePersistent, 40, 10, 11)
+        .unwrap()
     }
 
     #[test]
@@ -111,7 +112,10 @@ mod tests {
     #[test]
     fn funta_baseline_detects_shape_outliers() {
         let data = shape_data();
-        let split = SplitConfig { train_size: 25, contamination: 0.08 };
+        let split = SplitConfig {
+            train_size: 25,
+            contamination: 0.08,
+        };
         let (train, test) = split.split_datasets(&data, 3).unwrap();
         let b = DepthBaseline::new(Arc::new(Funta::new()));
         assert_eq!(b.name(), "funta");
@@ -121,10 +125,16 @@ mod tests {
 
     #[test]
     fn dirout_baseline_runs() {
-        let data = TaxonomyConfig { m: 30, noise_std: 0.03 }
-            .generate(OutlierType::MagnitudeIsolated, 40, 10, 5)
-            .unwrap();
-        let split = SplitConfig { train_size: 25, contamination: 0.08 };
+        let data = TaxonomyConfig {
+            m: 30,
+            noise_std: 0.03,
+        }
+        .generate(OutlierType::MagnitudeIsolated, 40, 10, 5)
+        .unwrap();
+        let split = SplitConfig {
+            train_size: 25,
+            contamination: 0.08,
+        };
         let (train, test) = split.split_datasets(&data, 1).unwrap();
         let b = DepthBaseline::new(Arc::new(DirOut::new()));
         let auc = b.auc(&train, &test).unwrap();
@@ -135,7 +145,10 @@ mod tests {
     #[test]
     fn score_order_matches_test_order() {
         let data = shape_data();
-        let split = SplitConfig { train_size: 30, contamination: 0.1 };
+        let split = SplitConfig {
+            train_size: 30,
+            contamination: 0.1,
+        };
         let (train, test) = split.split_datasets(&data, 9).unwrap();
         let b = DepthBaseline::new(Arc::new(Funta::new()));
         let s = b.score_test(&train, &test).unwrap();

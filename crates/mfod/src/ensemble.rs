@@ -140,17 +140,23 @@ mod tests {
         GeomOutlierPipeline::new(
             PipelineConfig::fast(),
             mapping,
-            Arc::new(IsolationForest { n_trees: 30, ..Default::default() }),
+            Arc::new(IsolationForest {
+                n_trees: 30,
+                ..Default::default()
+            }),
         )
     }
 
     fn data() -> mfod_datasets::LabeledDataSet {
-        EcgSimulator::new(EcgConfig { m: 40, ..Default::default() })
-            .unwrap()
-            .generate(20, 5, 13)
-            .unwrap()
-            .augment_with(0, |y| y * y)
-            .unwrap()
+        EcgSimulator::new(EcgConfig {
+            m: 40,
+            ..Default::default()
+        })
+        .unwrap()
+        .generate(20, 5, 13)
+        .unwrap()
+        .augment_with(0, |y| y * y)
+        .unwrap()
     }
 
     #[test]

@@ -104,8 +104,7 @@ mod tests {
         assert!(e.source().is_none());
         let e: MfodError = mfod_depth::DepthError::NonFinite.into();
         assert!(e.to_string().contains("depth"));
-        let e: MfodError =
-            mfod_datasets::DatasetError::InvalidParameter("x".into()).into();
+        let e: MfodError = mfod_datasets::DatasetError::InvalidParameter("x".into()).into();
         assert!(e.to_string().contains("dataset"));
         let e: MfodError = mfod_geometry::GeometryError::NonFinite.into();
         assert!(e.to_string().contains("mapping"));

@@ -23,7 +23,7 @@ use crate::pipeline::{GeomOutlierPipeline, PipelineConfig};
 use crate::tune::NuTuner;
 use crate::Result;
 use mfod_datasets::{EcgConfig, EcgSimulator, LabeledDataSet, SplitConfig};
-use mfod_depth::{DirOut, Funta, FunctionalOutlierScorer};
+use mfod_depth::{DirOut, FunctionalOutlierScorer, Funta};
 use mfod_detect::features::Standardizer;
 use mfod_detect::{Detector, IsolationForest, OcSvm};
 use mfod_eval::{run_repeated, RepeatedSummary};
@@ -87,10 +87,19 @@ impl Fig3Config {
             train_size: 30,
             n_normal: 40,
             n_abnormal: 20,
-            ecg: EcgConfig { m: 40, ..Default::default() },
+            ecg: EcgConfig {
+                m: 40,
+                ..Default::default()
+            },
             pipeline: PipelineConfig::fast(),
-            iforest: IsolationForest { n_trees: 50, ..Default::default() },
-            nu_tuner: NuTuner { folds: 3, ..Default::default() },
+            iforest: IsolationForest {
+                n_trees: 50,
+                ..Default::default()
+            },
+            nu_tuner: NuTuner {
+                folds: 3,
+                ..Default::default()
+            },
             ..Default::default()
         }
     }
@@ -132,11 +141,17 @@ pub fn run_fig3_on(cfg: &Fig3Config, data: &LabeledDataSet) -> Result<Vec<Fig3Ro
 
     let mut rows = Vec::with_capacity(cfg.contamination_levels.len());
     for &c in &cfg.contamination_levels {
-        let split_cfg = SplitConfig { train_size: cfg.train_size, contamination: c };
+        let split_cfg = SplitConfig {
+            train_size: cfg.train_size,
+            contamination: c,
+        };
         let summary = run_repeated(cfg.repetitions, cfg.split_seed, |seed| {
             let split = split_cfg.split(data, seed).map_err(MfodError::from)?;
-            let test_labels: Vec<bool> =
-                split.test_indices.iter().map(|&i| data.labels()[i]).collect();
+            let test_labels: Vec<bool> = split
+                .test_indices
+                .iter()
+                .map(|&i| data.labels()[i])
+                .collect();
             let train_f = features.submatrix(&split.train_indices, &all_cols);
             let test_f = features.submatrix(&split.test_indices, &all_cols);
 
@@ -164,14 +179,19 @@ pub fn run_fig3_on(cfg: &Fig3Config, data: &LabeledDataSet) -> Result<Vec<Fig3Ro
             // depth baselines, fit on the training reference (so that
             // training contamination affects them exactly as it affects the
             // detector-based pipelines)
-            let train_g = gridded.subset(&split.train_indices).map_err(MfodError::from)?;
-            let test_g = gridded.subset(&split.test_indices).map_err(MfodError::from)?;
-            let funta_scores =
-                funta.score_against(&train_g, &test_g).map_err(MfodError::from)?;
-            let funta_auc =
-                mfod_eval::auc(&funta_scores, &test_labels).map_err(MfodError::from)?;
-            let dirout_scores =
-                dirout.score_against(&train_g, &test_g).map_err(MfodError::from)?;
+            let train_g = gridded
+                .subset(&split.train_indices)
+                .map_err(MfodError::from)?;
+            let test_g = gridded
+                .subset(&split.test_indices)
+                .map_err(MfodError::from)?;
+            let funta_scores = funta
+                .score_against(&train_g, &test_g)
+                .map_err(MfodError::from)?;
+            let funta_auc = mfod_eval::auc(&funta_scores, &test_labels).map_err(MfodError::from)?;
+            let dirout_scores = dirout
+                .score_against(&train_g, &test_g)
+                .map_err(MfodError::from)?;
             let dirout_auc =
                 mfod_eval::auc(&dirout_scores, &test_labels).map_err(MfodError::from)?;
 
@@ -182,7 +202,10 @@ pub fn run_fig3_on(cfg: &Fig3Config, data: &LabeledDataSet) -> Result<Vec<Fig3Ro
                 ("Dir.out".to_string(), dirout_auc),
             ])
         })?;
-        rows.push(Fig3Row { contamination: c, summary });
+        rows.push(Fig3Row {
+            contamination: c,
+            summary,
+        });
     }
     Ok(rows)
 }
@@ -255,7 +278,10 @@ mod tests {
             train_size: 40,
             n_normal: 60,
             n_abnormal: 30,
-            ecg: EcgConfig { m: 50, ..Default::default() },
+            ecg: EcgConfig {
+                m: 50,
+                ..Default::default()
+            },
             pipeline: PipelineConfig {
                 selector: mfod_fda::BasisSelector {
                     sizes: vec![12],
@@ -265,8 +291,14 @@ mod tests {
                 grid_len: 50,
                 ..Default::default()
             },
-            iforest: IsolationForest { n_trees: 100, ..Default::default() },
-            nu_tuner: NuTuner { folds: 3, ..Default::default() },
+            iforest: IsolationForest {
+                n_trees: 100,
+                ..Default::default()
+            },
+            nu_tuner: NuTuner {
+                folds: 3,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let rows = run_fig3(&cfg).unwrap();

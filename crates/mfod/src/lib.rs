@@ -62,6 +62,7 @@ pub mod ensemble;
 pub mod error;
 pub mod experiment;
 pub mod pipeline;
+pub mod serving;
 pub mod tune;
 
 pub use baselines::DepthBaseline;
@@ -69,6 +70,7 @@ pub use ensemble::{FittedMappingEnsemble, MappingEnsemble};
 pub use error::MfodError;
 pub use experiment::{Fig3Config, Fig3Row};
 pub use pipeline::{FeatureTransform, FittedPipeline, GeomOutlierPipeline, PipelineConfig};
+pub use serving::FrozenScorer;
 pub use tune::NuTuner;
 
 /// Crate-wide `Result` alias.
@@ -92,11 +94,12 @@ pub mod prelude {
     pub use crate::pipeline::{
         FeatureTransform, FittedPipeline, GeomOutlierPipeline, PipelineConfig,
     };
+    pub use crate::serving::FrozenScorer;
     pub use crate::tune::NuTuner;
     pub use mfod_datasets::{
         EcgConfig, EcgSimulator, LabeledDataSet, OutlierType, SplitConfig, TaxonomyConfig,
     };
-    pub use mfod_depth::{DirOut, Funta, FunctionalOutlierScorer, GriddedDataSet};
+    pub use mfod_depth::{DirOut, FunctionalOutlierScorer, Funta, GriddedDataSet};
     pub use mfod_detect::prelude::*;
     pub use mfod_eval::{auc, roc_curve};
     pub use mfod_fda::prelude::*;

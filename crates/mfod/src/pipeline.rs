@@ -36,7 +36,7 @@ impl FeatureTransform {
     /// Applies the transform in place. For [`FeatureTransform::Winsorize`],
     /// `cap` must be the training-set quantile (computed by the caller so
     /// that test-time transforms reuse the training cap).
-    fn apply(&self, data: &mut [f64], cap: Option<f64>) {
+    pub(crate) fn apply(&self, data: &mut [f64], cap: Option<f64>) {
         match *self {
             FeatureTransform::None => {}
             FeatureTransform::Log1p => {
@@ -86,7 +86,11 @@ impl Default for PipelineConfig {
         // meaningful roughness penalty; use a custom `selector` to
         // reproduce the pure-LOOCV protocol.
         PipelineConfig {
-            selector: BasisSelector { sizes: vec![16], lambdas: vec![1e-2], ..Default::default() },
+            selector: BasisSelector {
+                sizes: vec![16],
+                lambdas: vec![1e-2],
+                ..Default::default()
+            },
             grid_len: 85,
             transform: FeatureTransform::Log1p,
         }
@@ -99,7 +103,10 @@ impl PipelineConfig {
     /// shorter evaluation grid.
     pub fn fast() -> Self {
         PipelineConfig {
-            selector: BasisSelector { sizes: vec![6, 8], ..BasisSelector::default() },
+            selector: BasisSelector {
+                sizes: vec![6, 8],
+                ..BasisSelector::default()
+            },
             grid_len: 40,
             ..Default::default()
         }
@@ -149,7 +156,11 @@ impl GeomOutlierPipeline {
         mapping: Arc<dyn MappingFunction>,
         detector: Arc<dyn Detector>,
     ) -> Self {
-        GeomOutlierPipeline { config, mapping, detector }
+        GeomOutlierPipeline {
+            config,
+            mapping,
+            detector,
+        }
     }
 
     /// `"<detector>(<mapping>)"`, e.g. `"iforest(curvature)"` — the naming
@@ -163,34 +174,50 @@ impl GeomOutlierPipeline {
         smooth_sample(&self.config.selector, sample)
     }
 
+    /// Shared smoothing + mapping loop: validates the configuration, the
+    /// common observation domain and consistent channel counts, returning
+    /// the raw feature matrix together with the per-channel `(size, λ)`
+    /// selection votes accumulated across the batch.
+    fn raw_features_votes(&self, samples: &[RawSample]) -> Result<(Matrix, Vec<SelectionVotes>)> {
+        self.config.validate()?;
+        if samples.is_empty() {
+            return Err(MfodError::Pipeline("no samples supplied".into()));
+        }
+        let (a0, b0) = samples[0].domain();
+        let dim = samples[0].dim();
+        let grid = Grid::uniform(a0, b0, self.config.grid_len)?;
+        let mut out = Matrix::zeros(samples.len(), grid.len());
+        let mut votes: Vec<SelectionVotes> = vec![SelectionVotes::new(); dim];
+        for (i, s) in samples.iter().enumerate() {
+            let (a, b) = s.domain();
+            if !domains_match((a0, b0), (a, b)) {
+                return Err(MfodError::Pipeline(format!(
+                    "sample {i} domain [{a}, {b}] differs from [{a0}, {b0}]"
+                )));
+            }
+            if s.dim() != dim {
+                return Err(MfodError::Pipeline(format!(
+                    "sample {i} has {} channels, expected {dim}",
+                    s.dim()
+                )));
+            }
+            let (datum, selections) = smooth_sample_with_selection(&self.config.selector, s)?;
+            for (k, sel) in selections.iter().enumerate() {
+                *votes[k].entry((sel.0, sel.1.to_bits())).or_insert(0) += 1;
+            }
+            let mapped = self.mapping.map(&datum, &grid)?;
+            out.row_mut(i).copy_from_slice(&mapped);
+        }
+        Ok((out, votes))
+    }
+
     /// Smooths and maps a batch into the *raw* (untransformed) feature
     /// matrix: row `i` is the mapped UFD of sample `i` on the common grid.
     ///
     /// All samples must share the same observation domain (the paper's
     /// setting: a common interval `T`).
     pub fn raw_features(&self, samples: &[RawSample]) -> Result<Matrix> {
-        self.config.validate()?;
-        if samples.is_empty() {
-            return Err(MfodError::Pipeline("no samples supplied".into()));
-        }
-        let (a0, b0) = samples[0].domain();
-        for (i, s) in samples.iter().enumerate() {
-            let (a, b) = s.domain();
-            let tol = 1e-9 * (b0 - a0).abs().max(1.0);
-            if (a - a0).abs() > tol || (b - b0).abs() > tol {
-                return Err(MfodError::Pipeline(format!(
-                    "sample {i} domain [{a}, {b}] differs from [{a0}, {b0}]"
-                )));
-            }
-        }
-        let grid = Grid::uniform(a0, b0, self.config.grid_len)?;
-        let mut out = Matrix::zeros(samples.len(), grid.len());
-        for (i, s) in samples.iter().enumerate() {
-            let datum = self.smooth_sample(s)?;
-            let mapped = self.mapping.map(&datum, &grid)?;
-            out.row_mut(i).copy_from_slice(&mapped);
-        }
-        Ok(out)
+        Ok(self.raw_features_votes(samples)?.0)
     }
 
     /// Like [`GeomOutlierPipeline::raw_features`] with the configured
@@ -213,8 +240,29 @@ impl GeomOutlierPipeline {
     }
 
     /// Fits the detector on the mapped training samples.
+    ///
+    /// Besides training the detector, this records the per-channel basis
+    /// selection that won most often across the training set — the frozen
+    /// serving path ([`crate::serving::FrozenScorer`]) reuses that
+    /// selection instead of re-running cross-validation per sample.
     pub fn fit(&self, train: &[RawSample]) -> Result<FittedPipeline> {
-        let mut features = self.raw_features(train)?;
+        let (mut features, votes) = self.raw_features_votes(train)?;
+        let selected = votes
+            .into_iter()
+            .map(|v| {
+                let ((size, lambda_bits), _) = v
+                    .into_iter()
+                    .max_by_key(|&((size, bits), count)| {
+                        // most votes; ties broken deterministically toward
+                        // the smoother candidate — fewer basis functions,
+                        // then the larger penalty λ (λ ≥ 0, so its bit
+                        // pattern orders like the value)
+                        (count, std::cmp::Reverse(size), bits)
+                    })
+                    .expect("at least one training sample voted");
+                (size, f64::from_bits(lambda_bits))
+            })
+            .collect();
         let cap = self.winsorize_cap(&features);
         self.config.transform.apply(features.as_mut_slice(), cap);
         let model = self.detector.fit(&features)?;
@@ -225,15 +273,12 @@ impl GeomOutlierPipeline {
             label: self.label(),
             winsorize_cap: cap,
             domain: train[0].domain(),
+            selected,
         })
     }
 
     /// Convenience: fit on `train`, score `test`, return the test AUC.
-    pub fn fit_score_auc(
-        &self,
-        train: &LabeledDataSet,
-        test: &LabeledDataSet,
-    ) -> Result<f64> {
+    pub fn fit_score_auc(&self, train: &LabeledDataSet, test: &LabeledDataSet) -> Result<f64> {
         let fitted = self.fit(train.samples())?;
         let scores = fitted.score(test.samples())?;
         Ok(mfod_eval::auc(&scores, test.labels())?)
@@ -250,23 +295,58 @@ impl GeomOutlierPipeline {
     }
 }
 
+/// Per-channel tally of `(basis size, λ-bits)` selections across a
+/// training batch.
+type SelectionVotes = std::collections::HashMap<(usize, u64), usize>;
+
+/// Numerical tolerance for comparing observation times against the domain
+/// `[a, b]` — shared by every domain check in the crate so the exact and
+/// frozen paths can never drift apart.
+pub(crate) fn domain_tol(a: f64, b: f64) -> f64 {
+    1e-9 * (b - a).abs().max(1.0)
+}
+
+/// Whether observation domain `got` matches `expected` up to
+/// [`domain_tol`].
+pub(crate) fn domains_match(expected: (f64, f64), got: (f64, f64)) -> bool {
+    let (a0, b0) = expected;
+    let (a, b) = got;
+    let tol = domain_tol(a0, b0);
+    (a - a0).abs() <= tol && (b - b0).abs() <= tol
+}
+
 /// Smooths every channel of a raw sample with cross-validated B-spline
 /// selection (the paper's Sec. 4.1 procedure), shared by the pipeline and
 /// its fitted form.
-pub fn smooth_sample(
+pub fn smooth_sample(selector: &BasisSelector, sample: &RawSample) -> Result<MultiFunctionalDatum> {
+    Ok(smooth_sample_with_selection(selector, sample)?.0)
+}
+
+/// Like [`smooth_sample`], additionally reporting the winning
+/// `(basis size, λ)` per channel so callers can persist the selection
+/// (the fit path records it for the frozen serving mode).
+pub fn smooth_sample_with_selection(
     selector: &BasisSelector,
     sample: &RawSample,
-) -> Result<MultiFunctionalDatum> {
+) -> Result<(MultiFunctionalDatum, Vec<(usize, f64)>)> {
     let mut channels = Vec::with_capacity(sample.dim());
+    let mut selections = Vec::with_capacity(sample.dim());
     for k in 0..sample.dim() {
         let (ts, ys) = sample.channel(k).expect("validated channel index");
         let fit = selector.select(ts, ys)?;
+        selections.push((fit.size, fit.lambda));
         channels.push(fit.datum);
     }
-    Ok(MultiFunctionalDatum::new(channels)?)
+    Ok((MultiFunctionalDatum::new(channels)?, selections))
 }
 
 /// A fitted pipeline, ready to score unseen raw samples.
+///
+/// This is the first-class serving artifact of the workspace: it owns the
+/// trained basis selection, the feature-transform state (e.g. the training
+/// winsorization cap) and the fitted detector, and it is `Send + Sync`, so
+/// a single `Arc<FittedPipeline>` can be shared across every scoring
+/// thread of an online system (see the `mfod-stream` crate).
 pub struct FittedPipeline {
     config: PipelineConfig,
     mapping: Arc<dyn MappingFunction>,
@@ -279,11 +359,16 @@ pub struct FittedPipeline {
     /// from a different domain (their grid features would not be
     /// commensurable with the training features).
     domain: (f64, f64),
+    /// Per-channel `(basis size, λ)` selected most often across the
+    /// training set — the selection the frozen serving path reuses.
+    selected: Vec<(usize, f64)>,
 }
 
 impl std::fmt::Debug for FittedPipeline {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("FittedPipeline").field("label", &self.label).finish()
+        f.debug_struct("FittedPipeline")
+            .field("label", &self.label)
+            .finish()
     }
 }
 
@@ -293,28 +378,117 @@ impl FittedPipeline {
         &self.label
     }
 
-    /// Scores raw samples; **higher = more outlying**.
-    pub fn score(&self, samples: &[RawSample]) -> Result<Vec<f64>> {
+    /// The pipeline configuration the model was fitted under.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// The mapping stage.
+    pub fn mapping(&self) -> &Arc<dyn MappingFunction> {
+        &self.mapping
+    }
+
+    /// The fitted detector.
+    pub fn detector(&self) -> &dyn FittedDetector {
+        self.model.as_ref()
+    }
+
+    /// Observation domain the model was trained on.
+    pub fn domain(&self) -> (f64, f64) {
+        self.domain
+    }
+
+    /// Whether samples observed on `domain` would pass this pipeline's
+    /// scoring domain check (the training domain, up to the crate's
+    /// numerical tolerance). Serving layers use this to reject a
+    /// misconfigured stream at construction instead of on the first batch.
+    pub fn accepts_domain(&self, domain: (f64, f64)) -> bool {
+        domains_match(self.domain, domain)
+    }
+
+    /// Training-set winsorization cap, when the transform is
+    /// [`FeatureTransform::Winsorize`].
+    pub fn winsorize_cap(&self) -> Option<f64> {
+        self.winsorize_cap
+    }
+
+    /// Per-channel `(basis size, λ)` chosen most often across the training
+    /// set (one entry per input channel).
+    pub fn selected_bases(&self) -> &[(usize, f64)] {
+        &self.selected
+    }
+
+    /// Wraps the artifact for sharing across scoring threads.
+    pub fn into_shared(self) -> Arc<Self> {
+        Arc::new(self)
+    }
+
+    fn check_domain(&self, samples: &[RawSample]) -> Result<Grid> {
         if samples.is_empty() {
             return Err(MfodError::Pipeline("no samples supplied".into()));
         }
-        let (a, b) = samples[0].domain();
         let (a0, b0) = self.domain;
-        let tol = 1e-9 * (b0 - a0).abs().max(1.0);
-        if (a - a0).abs() > tol || (b - b0).abs() > tol {
-            return Err(MfodError::Pipeline(format!(
-                "scoring domain [{a}, {b}] differs from the training domain [{a0}, {b0}]"
-            )));
+        let dim = self.selected.len();
+        for (i, s) in samples.iter().enumerate() {
+            let (a, b) = s.domain();
+            if !domains_match((a0, b0), (a, b)) {
+                return Err(MfodError::Pipeline(format!(
+                    "sample {i} scoring domain [{a}, {b}] differs from the training domain \
+                     [{a0}, {b0}]"
+                )));
+            }
+            if s.dim() != dim {
+                return Err(MfodError::Pipeline(format!(
+                    "sample {i} has {} channels, pipeline was trained on {dim}",
+                    s.dim()
+                )));
+            }
         }
-        let grid = Grid::uniform(a, b, self.config.grid_len)?;
-        let mut scores = Vec::with_capacity(samples.len());
-        for s in samples {
-            let datum = smooth_sample(&self.config.selector, s)?;
-            let mut mapped = self.mapping.map(&datum, &grid)?;
-            self.config.transform.apply(&mut mapped, self.winsorize_cap);
-            scores.push(self.model.score_one(&mapped)?);
+        let (a, b) = samples[0].domain();
+        Ok(Grid::uniform(a, b, self.config.grid_len)?)
+    }
+
+    /// The fully transformed feature vector of one sample on `grid` —
+    /// the exact quantity handed to the detector.
+    fn feature_row(&self, sample: &RawSample, grid: &Grid) -> Result<Vec<f64>> {
+        let datum = smooth_sample(&self.config.selector, sample)?;
+        let mut mapped = self.mapping.map(&datum, grid)?;
+        self.config.transform.apply(&mut mapped, self.winsorize_cap);
+        Ok(mapped)
+    }
+
+    /// Smooths, maps and transforms raw samples into the detector's
+    /// feature matrix, reusing the training-time transform state.
+    pub fn features(&self, samples: &[RawSample]) -> Result<Matrix> {
+        let grid = self.check_domain(samples)?;
+        let mut out = Matrix::zeros(samples.len(), grid.len());
+        for (i, s) in samples.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(&self.feature_row(s, &grid)?);
         }
-        Ok(scores)
+        Ok(out)
+    }
+
+    /// Scores raw samples; **higher = more outlying**.
+    pub fn score(&self, samples: &[RawSample]) -> Result<Vec<f64>> {
+        let features = self.features(samples)?;
+        Ok(self.model.score_batch(&features)?)
+    }
+
+    /// Scores raw samples across all available cores.
+    ///
+    /// Smoothing, mapping and detector scoring are all per-sample
+    /// computations, so parallelizing over samples reproduces
+    /// [`FittedPipeline::score`] bit for bit — this is the micro-batching
+    /// entry point of `mfod-stream`.
+    pub fn par_score(&self, samples: &[RawSample]) -> Result<Vec<f64>> {
+        let grid = self.check_domain(samples)?;
+        let rows =
+            mfod_linalg::par::par_try_map(samples.len(), |i| self.feature_row(&samples[i], &grid))?;
+        let mut features = Matrix::zeros(samples.len(), grid.len());
+        for (i, row) in rows.iter().enumerate() {
+            features.row_mut(i).copy_from_slice(row);
+        }
+        Ok(self.model.par_score_batch(&features)?)
     }
 
     /// Scores a single raw sample.
@@ -331,19 +505,25 @@ mod tests {
     use mfod_geometry::{Curvature, Speed};
 
     fn ecg_bivariate(n_norm: usize, n_abn: usize, seed: u64) -> LabeledDataSet {
-        EcgSimulator::new(EcgConfig { m: 40, ..Default::default() })
-            .unwrap()
-            .generate(n_norm, n_abn, seed)
-            .unwrap()
-            .augment_with(0, |y| y * y)
-            .unwrap()
+        EcgSimulator::new(EcgConfig {
+            m: 40,
+            ..Default::default()
+        })
+        .unwrap()
+        .generate(n_norm, n_abn, seed)
+        .unwrap()
+        .augment_with(0, |y| y * y)
+        .unwrap()
     }
 
     fn fast_pipeline() -> GeomOutlierPipeline {
         GeomOutlierPipeline::new(
             PipelineConfig::fast(),
             Arc::new(Curvature),
-            Arc::new(IsolationForest { n_trees: 50, ..Default::default() }),
+            Arc::new(IsolationForest {
+                n_trees: 50,
+                ..Default::default()
+            }),
         )
     }
 
@@ -368,7 +548,10 @@ mod tests {
     #[test]
     fn fit_and_score_end_to_end() {
         let data = ecg_bivariate(36, 12, 5);
-        let split = SplitConfig { train_size: 24, contamination: 0.1 };
+        let split = SplitConfig {
+            train_size: 24,
+            contamination: 0.1,
+        };
         let (train, test) = split.split_datasets(&data, 1).unwrap();
         let p = fast_pipeline();
         let auc = p.fit_score_auc(&train, &test).unwrap();
@@ -388,6 +571,54 @@ mod tests {
     }
 
     #[test]
+    fn fitted_pipeline_is_shareable() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FittedPipeline>();
+        assert_send_sync::<Arc<FittedPipeline>>();
+        let data = ecg_bivariate(10, 2, 13);
+        let shared = fast_pipeline().fit(data.samples()).unwrap().into_shared();
+        assert_eq!(shared.selected_bases().len(), 2);
+        assert!(shared
+            .selected_bases()
+            .iter()
+            .all(|&(size, l)| size >= 4 && l >= 0.0));
+        let (a, b) = shared.domain();
+        assert!(a < b);
+        assert_eq!(shared.detector().dim(), shared.config().grid_len);
+        assert!(shared.winsorize_cap().is_none());
+        // Concurrent scoring through one shared artifact.
+        let scores = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let shared = Arc::clone(&shared);
+                    let samples = data.samples();
+                    scope.spawn(move || shared.score(samples).unwrap())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
+        });
+        assert_eq!(scores[0], scores[1]);
+        assert_eq!(scores[1], scores[2]);
+    }
+
+    #[test]
+    fn par_score_is_bit_identical_to_score() {
+        let data = ecg_bivariate(18, 5, 17);
+        let fitted = fast_pipeline().fit(data.samples()).unwrap();
+        let seq = fitted.score(data.samples()).unwrap();
+        let par = fitted.par_score(data.samples()).unwrap();
+        assert_eq!(
+            seq.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+            par.iter().map(|s| s.to_bits()).collect::<Vec<_>>()
+        );
+        let f = fitted.features(data.samples()).unwrap();
+        assert_eq!(f.shape(), (23, 40));
+    }
+
+    #[test]
     fn rejects_empty_and_mismatched_domains() {
         let p = fast_pipeline();
         assert!(matches!(p.features(&[]), Err(MfodError::Pipeline(_))));
@@ -398,6 +629,21 @@ mod tests {
         assert!(matches!(p.features(&samples), Err(MfodError::Pipeline(_))));
         let fitted = p.fit(ecg_bivariate(8, 0, 2).samples()).unwrap();
         assert!(fitted.score(&[]).is_err());
+    }
+
+    #[test]
+    fn fit_rejects_inconsistent_channel_counts() {
+        let data = ecg_bivariate(4, 0, 21);
+        let mut samples = data.samples().to_vec();
+        // strip the second channel from one sample
+        samples[2] =
+            RawSample::new(samples[2].t.clone(), vec![samples[2].channels[0].clone()]).unwrap();
+        let p = fast_pipeline();
+        assert!(matches!(p.fit(&samples), Err(MfodError::Pipeline(_))));
+        assert!(matches!(
+            p.raw_features(&samples),
+            Err(MfodError::Pipeline(_))
+        ));
     }
 
     #[test]
@@ -417,12 +663,12 @@ mod tests {
 
     #[test]
     fn invalid_grid_config_rejected() {
-        let cfg = PipelineConfig { grid_len: 2, ..PipelineConfig::fast() };
-        let p = GeomOutlierPipeline::new(
-            cfg,
-            Arc::new(Speed),
-            Arc::new(IsolationForest::default()),
-        );
+        let cfg = PipelineConfig {
+            grid_len: 2,
+            ..PipelineConfig::fast()
+        };
+        let p =
+            GeomOutlierPipeline::new(cfg, Arc::new(Speed), Arc::new(IsolationForest::default()));
         let data = ecg_bivariate(4, 0, 1);
         assert!(p.features(data.samples()).is_err());
     }
@@ -433,7 +679,10 @@ mod tests {
         let p = GeomOutlierPipeline::new(
             PipelineConfig::fast(),
             Arc::new(Speed),
-            Arc::new(IsolationForest { n_trees: 30, ..Default::default() }),
+            Arc::new(IsolationForest {
+                n_trees: 30,
+                ..Default::default()
+            }),
         );
         assert_eq!(p.label(), "iforest(speed)");
         let fitted = p.fit(data.samples()).unwrap();

@@ -1,0 +1,267 @@
+//! Frozen serving path: score new samples against the *training-time*
+//! basis selection with cached smoothing operators.
+//!
+//! [`crate::FittedPipeline::score`] re-runs cross-validated basis
+//! selection for every incoming sample — faithful to the paper's offline
+//! protocol, but wasteful in a streaming system where (a) the selection
+//! was already paid for at fit time and (b) every incoming window is
+//! observed at the same timestamps. A [`FrozenScorer`] removes both costs:
+//! it rebuilds the per-channel smoother that won the training-time vote
+//! (see [`crate::FittedPipeline::selected_bases`]) and freezes its solve
+//! operator to the fixed observation grid, making smoothing a single
+//! matrix–vector product per channel.
+//!
+//! Trade-off: scores agree with the exact path only up to the difference
+//! between per-sample re-selection and the frozen training selection (plus
+//! solver round-off). Callers that need bit-for-bit parity with
+//! [`crate::FittedPipeline::score`] — e.g. replaying an offline experiment
+//! — should use the exact path; callers serving high-throughput traffic
+//! use this one.
+
+use crate::error::MfodError;
+use crate::pipeline::FittedPipeline;
+use crate::Result;
+use mfod_fda::{FrozenSmoother, Grid, MultiFunctionalDatum, RawSample};
+use mfod_linalg::Matrix;
+use std::sync::Arc;
+
+/// A [`FittedPipeline`] specialized to a fixed observation grid.
+#[derive(Clone)]
+pub struct FrozenScorer {
+    pipeline: Arc<FittedPipeline>,
+    /// One frozen smoother per input channel.
+    smoothers: Vec<FrozenSmoother>,
+    /// Common evaluation grid of the mapped features.
+    grid: Grid,
+    /// Observation times the smoothers are frozen to.
+    ts: Vec<f64>,
+}
+
+impl std::fmt::Debug for FrozenScorer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrozenScorer")
+            .field("label", &self.pipeline.label())
+            .field("channels", &self.smoothers.len())
+            .field("points", &self.ts.len())
+            .finish()
+    }
+}
+
+impl FrozenScorer {
+    /// Freezes `pipeline` to samples observed at times `ts` (which must
+    /// span the training domain — the winning bases are defined on it).
+    pub fn new(pipeline: Arc<FittedPipeline>, ts: &[f64]) -> Result<Self> {
+        if ts.len() < 2 {
+            return Err(MfodError::Pipeline(format!(
+                "need at least 2 observation times, got {}",
+                ts.len()
+            )));
+        }
+        let (a, b) = pipeline.domain();
+        let tol = crate::pipeline::domain_tol(a, b);
+        for &t in ts {
+            if t < a - tol || t > b + tol {
+                return Err(MfodError::Pipeline(format!(
+                    "observation time {t} outside the training domain [{a}, {b}]"
+                )));
+            }
+        }
+        let selector = &pipeline.config().selector;
+        let smoothers = pipeline
+            .selected_bases()
+            .iter()
+            .map(|&(size, lambda)| Ok(selector.smoother(a, b, size, lambda)?.freeze(ts)?))
+            .collect::<Result<Vec<_>>>()?;
+        if smoothers.is_empty() {
+            return Err(MfodError::Pipeline(
+                "pipeline recorded no channel selection".into(),
+            ));
+        }
+        let grid = Grid::uniform(a, b, pipeline.config().grid_len)?;
+        Ok(FrozenScorer {
+            pipeline,
+            smoothers,
+            grid,
+            ts: ts.to_vec(),
+        })
+    }
+
+    /// The underlying fitted pipeline.
+    pub fn pipeline(&self) -> &Arc<FittedPipeline> {
+        &self.pipeline
+    }
+
+    /// The observation times this scorer accepts.
+    pub fn ts(&self) -> &[f64] {
+        &self.ts
+    }
+
+    fn check_sample(&self, sample: &RawSample) -> Result<()> {
+        if sample.dim() != self.smoothers.len() {
+            return Err(MfodError::Pipeline(format!(
+                "sample has {} channels, pipeline was trained on {}",
+                sample.dim(),
+                self.smoothers.len()
+            )));
+        }
+        if sample.t.len() != self.ts.len() {
+            return Err(MfodError::Pipeline(format!(
+                "sample observed at {} times, scorer frozen to {}",
+                sample.t.len(),
+                self.ts.len()
+            )));
+        }
+        let (a, b) = self.pipeline.domain();
+        let tol = crate::pipeline::domain_tol(a, b);
+        for (got, want) in sample.t.iter().zip(&self.ts) {
+            if (got - want).abs() > tol {
+                return Err(MfodError::Pipeline(format!(
+                    "sample observation time {got} differs from frozen time {want}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The transformed feature vector of one sample through the frozen
+    /// smoothing operators.
+    fn feature_row(&self, sample: &RawSample) -> Result<Vec<f64>> {
+        self.check_sample(sample)?;
+        let channels = self
+            .smoothers
+            .iter()
+            .enumerate()
+            .map(|(k, s)| Ok(s.smooth(&sample.channels[k])?))
+            .collect::<Result<Vec<_>>>()?;
+        let datum = MultiFunctionalDatum::new(channels)?;
+        let mut mapped = self.pipeline.mapping().map(&datum, &self.grid)?;
+        self.pipeline
+            .config()
+            .transform
+            .apply(&mut mapped, self.pipeline.winsorize_cap());
+        Ok(mapped)
+    }
+
+    /// Scores raw samples through the frozen path; **higher = more
+    /// outlying**.
+    pub fn score(&self, samples: &[RawSample]) -> Result<Vec<f64>> {
+        if samples.is_empty() {
+            return Err(MfodError::Pipeline("no samples supplied".into()));
+        }
+        let mut features = Matrix::zeros(samples.len(), self.grid.len());
+        for (i, s) in samples.iter().enumerate() {
+            features.row_mut(i).copy_from_slice(&self.feature_row(s)?);
+        }
+        Ok(self.pipeline.detector().score_batch(&features)?)
+    }
+
+    /// Parallel [`FrozenScorer::score`] (bit-for-bit identical to it).
+    pub fn par_score(&self, samples: &[RawSample]) -> Result<Vec<f64>> {
+        if samples.is_empty() {
+            return Err(MfodError::Pipeline("no samples supplied".into()));
+        }
+        let rows = mfod_linalg::par::par_try_map(samples.len(), |i| self.feature_row(&samples[i]))?;
+        let mut features = Matrix::zeros(samples.len(), self.grid.len());
+        for (i, row) in rows.iter().enumerate() {
+            features.row_mut(i).copy_from_slice(row);
+        }
+        Ok(self.pipeline.detector().par_score_batch(&features)?)
+    }
+
+    /// Scores a single sample.
+    pub fn score_one(&self, sample: &RawSample) -> Result<f64> {
+        Ok(self.score(std::slice::from_ref(sample))?[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{GeomOutlierPipeline, PipelineConfig};
+    use mfod_datasets::{EcgConfig, EcgSimulator};
+    use mfod_detect::IsolationForest;
+    use mfod_eval::auc;
+    use mfod_geometry::Curvature;
+
+    fn fitted() -> (Arc<FittedPipeline>, mfod_datasets::LabeledDataSet, Vec<f64>) {
+        let data = EcgSimulator::new(EcgConfig {
+            m: 40,
+            ..Default::default()
+        })
+        .unwrap()
+        .generate(24, 6, 11)
+        .unwrap()
+        .augment_with(0, |y| y * y)
+        .unwrap();
+        let ts = data.samples()[0].t.clone();
+        let pipeline = GeomOutlierPipeline::new(
+            PipelineConfig::fast(),
+            Arc::new(Curvature),
+            Arc::new(IsolationForest {
+                n_trees: 50,
+                ..Default::default()
+            }),
+        );
+        (
+            pipeline.fit(data.samples()).unwrap().into_shared(),
+            data,
+            ts,
+        )
+    }
+
+    #[test]
+    fn frozen_scores_track_exact_scores() {
+        let (fitted, data, ts) = fitted();
+        let frozen = FrozenScorer::new(Arc::clone(&fitted), &ts).unwrap();
+        assert!(format!("{frozen:?}").contains("iforest"));
+        assert_eq!(frozen.ts().len(), 40);
+        let exact = fitted.score(data.samples()).unwrap();
+        let fast = frozen.score(data.samples()).unwrap();
+        // Same detector, same mapping, same transform — only the smoothing
+        // differs (frozen training selection vs per-sample re-selection).
+        // The scores must preserve the anomaly signal.
+        let auc_exact = auc(&exact, data.labels()).unwrap();
+        let auc_fast = auc(&fast, data.labels()).unwrap();
+        assert!(auc_fast > 0.6, "frozen AUC {auc_fast} (exact {auc_exact})");
+        assert!(
+            (auc_exact - auc_fast).abs() < 0.25,
+            "frozen path diverged: {auc_fast} vs {auc_exact}"
+        );
+    }
+
+    #[test]
+    fn frozen_par_score_is_bit_identical_to_frozen_score() {
+        let (fitted, data, ts) = fitted();
+        let frozen = FrozenScorer::new(fitted, &ts).unwrap();
+        let seq = frozen.score(data.samples()).unwrap();
+        let par = frozen.par_score(data.samples()).unwrap();
+        assert_eq!(
+            seq.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+            par.iter().map(|s| s.to_bits()).collect::<Vec<_>>()
+        );
+        let one = frozen.score_one(&data.samples()[5]).unwrap();
+        assert_eq!(one.to_bits(), seq[5].to_bits());
+    }
+
+    #[test]
+    fn frozen_rejects_mismatched_inputs() {
+        let (fitted, data, ts) = fitted();
+        assert!(FrozenScorer::new(Arc::clone(&fitted), &[0.0]).is_err());
+        assert!(FrozenScorer::new(Arc::clone(&fitted), &[0.0, 99.0]).is_err());
+        let frozen = FrozenScorer::new(fitted, &ts).unwrap();
+        assert!(frozen.score(&[]).is_err());
+        // wrong number of observation times
+        let s = &data.samples()[0];
+        let short = RawSample::new(
+            s.t[..20].to_vec(),
+            s.channels.iter().map(|c| c[..20].to_vec()).collect(),
+        )
+        .unwrap();
+        assert!(frozen.score(std::slice::from_ref(&short)).is_err());
+        // shifted observation times
+        let shifted = RawSample::new(s.t.iter().map(|t| t + 0.01).collect(), s.channels.clone());
+        if let Ok(shifted) = shifted {
+            assert!(frozen.score(std::slice::from_ref(&shifted)).is_err());
+        }
+    }
+}

@@ -29,7 +29,11 @@ pub struct NuTuner {
 
 impl Default for NuTuner {
     fn default() -> Self {
-        NuTuner { candidates: vec![0.02, 0.05, 0.1, 0.15, 0.2, 0.3], folds: 5, seed: 0x7E57 }
+        NuTuner {
+            candidates: vec![0.02, 0.05, 0.1, 0.15, 0.2, 0.3],
+            folds: 5,
+            seed: 0x7E57,
+        }
     }
 }
 
@@ -53,7 +57,9 @@ impl NuTuner {
         }
         for &nu in &self.candidates {
             if !(0.0 < nu && nu <= 1.0) {
-                return Err(MfodError::Pipeline(format!("candidate ν {nu} out of (0, 1]")));
+                return Err(MfodError::Pipeline(format!(
+                    "candidate ν {nu} out of (0, 1]"
+                )));
             }
         }
         let n = train.nrows();
@@ -66,7 +72,10 @@ impl NuTuner {
             let mut total = 0usize;
             for (tr, va) in &folds {
                 let tr_m = train.submatrix(tr, &cols);
-                let cfg = OcSvm { nu, ..template.clone() };
+                let cfg = OcSvm {
+                    nu,
+                    ..template.clone()
+                };
                 let model = cfg.fit_concrete(&tr_m)?;
                 for &i in va {
                     // score > 0 ⟺ decision f(x) < 0 ⟺ flagged as outlier
@@ -84,7 +93,11 @@ impl NuTuner {
             .copied()
             .min_by(|a, b| a.1.total_cmp(&b.1))
             .expect("non-empty candidates");
-        Ok(NuSelection { nu, objective, profile })
+        Ok(NuSelection {
+            nu,
+            objective,
+            profile,
+        })
     }
 
     /// Tunes ν and fits the final model on the full training set with it.
@@ -94,7 +107,10 @@ impl NuTuner {
         train: &Matrix,
     ) -> Result<(NuSelection, Box<dyn FittedDetector>)> {
         let selection = self.tune(template, train)?;
-        let cfg = OcSvm { nu: selection.nu, ..template.clone() };
+        let cfg = OcSvm {
+            nu: selection.nu,
+            ..template.clone()
+        };
         let model = cfg.fit_concrete(train)?;
         Ok((selection, Box::new(model)))
     }
@@ -133,13 +149,24 @@ mod tests {
             sel.nu
         );
         assert_eq!(sel.profile.len(), 6);
-        assert!(sel.objective <= sel.profile.iter().map(|p| p.1).fold(f64::INFINITY, f64::min) + 1e-12);
+        assert!(
+            sel.objective
+                <= sel
+                    .profile
+                    .iter()
+                    .map(|p| p.1)
+                    .fold(f64::INFINITY, f64::min)
+                    + 1e-12
+        );
     }
 
     #[test]
     fn tune_and_fit_scores_outliers_high() {
         let x = contaminated(80, 0.1, 10.0);
-        let tuner = NuTuner { folds: 4, ..Default::default() };
+        let tuner = NuTuner {
+            folds: 4,
+            ..Default::default()
+        };
         let (sel, model) = tuner.tune_and_fit(&OcSvm::default(), &x).unwrap();
         assert!(sel.nu > 0.0);
         let inlier = model.score_one(&[1.0, 0.0]).unwrap();
@@ -150,11 +177,20 @@ mod tests {
     #[test]
     fn validation_errors() {
         let x = contaminated(30, 0.1, 5.0);
-        let t = NuTuner { candidates: vec![], ..Default::default() };
+        let t = NuTuner {
+            candidates: vec![],
+            ..Default::default()
+        };
         assert!(t.tune(&OcSvm::default(), &x).is_err());
-        let t = NuTuner { candidates: vec![1.5], ..Default::default() };
+        let t = NuTuner {
+            candidates: vec![1.5],
+            ..Default::default()
+        };
         assert!(t.tune(&OcSvm::default(), &x).is_err());
-        let t = NuTuner { folds: 1, ..Default::default() };
+        let t = NuTuner {
+            folds: 1,
+            ..Default::default()
+        };
         assert!(t.tune(&OcSvm::default(), &x).is_err());
     }
 
@@ -177,7 +213,12 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(template.name(), "ocsvm");
-        let sel = NuTuner { folds: 3, ..Default::default() }.tune(&template, &x).unwrap();
+        let sel = NuTuner {
+            folds: 3,
+            ..Default::default()
+        }
+        .tune(&template, &x)
+        .unwrap();
         assert!(sel.nu > 0.0);
     }
 }

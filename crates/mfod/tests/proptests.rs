@@ -7,22 +7,33 @@ use std::sync::Arc;
 fn fast_pipeline(seed: u64) -> GeomOutlierPipeline {
     GeomOutlierPipeline::new(
         PipelineConfig {
-            selector: BasisSelector { sizes: vec![8], lambdas: vec![1e-2], ..Default::default() },
+            selector: BasisSelector {
+                sizes: vec![8],
+                lambdas: vec![1e-2],
+                ..Default::default()
+            },
             grid_len: 30,
             ..Default::default()
         },
         Arc::new(Curvature),
-        Arc::new(IsolationForest { n_trees: 25, seed, ..Default::default() }),
+        Arc::new(IsolationForest {
+            n_trees: 25,
+            seed,
+            ..Default::default()
+        }),
     )
 }
 
 fn small_data(seed: u64) -> LabeledDataSet {
-    EcgSimulator::new(EcgConfig { m: 30, ..Default::default() })
-        .unwrap()
-        .generate(16, 4, seed)
-        .unwrap()
-        .augment_with(0, |y| y * y)
-        .unwrap()
+    EcgSimulator::new(EcgConfig {
+        m: 30,
+        ..Default::default()
+    })
+    .unwrap()
+    .generate(16, 4, seed)
+    .unwrap()
+    .augment_with(0, |y| y * y)
+    .unwrap()
 }
 
 proptest! {

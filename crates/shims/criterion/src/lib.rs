@@ -1,0 +1,298 @@
+//! Offline stand-in for the subset of the `criterion` API this workspace's
+//! benches use: `criterion_group!` / `criterion_main!`, `Criterion`,
+//! benchmark groups with `sample_size` / `throughput`, and `Bencher::iter`
+//! / `iter_batched`.
+//!
+//! The statistics are deliberately simple — per sample it times a
+//! calibrated batch of iterations and reports min / mean / max over the
+//! samples (plus elements-per-second when a [`Throughput`] is set). No
+//! plots, no persistence, no outlier analysis.
+
+#![forbid(unsafe_code)]
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How `iter_batched` amortizes setup (accepted for API compatibility; the
+/// shim always materializes one input per iteration up front).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Work-rate unit attached to a benchmark.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Runs one timed batch of `iters` iterations per call.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, called `iters` times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over inputs built by `setup`; setup cost is excluded
+    /// from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let inputs: Vec<I> = (0..self.iters).map(|_| setup()).collect();
+        let start = Instant::now();
+        for input in inputs {
+            std_black_box(routine(input));
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    sample_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Far leaner than upstream (100 samples × 3 s): these benches run
+        // in CI-sized containers.
+        Criterion {
+            sample_size: 10,
+            sample_budget: Duration::from_millis(50),
+        }
+    }
+}
+
+impl Criterion {
+    /// Builder-style sample-size override (matches
+    /// `Criterion::default().sample_size(n)` upstream).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Builder-style per-sample measurement budget.
+    pub fn measurement_time(mut self, budget: Duration) -> Self {
+        self.sample_budget = budget;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks a single function with default settings.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let samples = self.sample_size;
+        let budget = self.sample_budget;
+        run_benchmark(&id.into(), samples, budget, None, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    criterion: &'c Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Attaches a throughput so results also report a work rate.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks one function within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into());
+        run_benchmark(
+            &label,
+            self.sample_size,
+            self.criterion.sample_budget,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; the shim prints
+    /// eagerly, so this only consumes the group).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark(
+    label: &str,
+    samples: usize,
+    budget: Duration,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Calibration pass: one iteration, used to pick a batch size that
+    // fills the per-sample budget.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let iters = (budget.as_nanos() / per_iter.as_nanos()).clamp(1, 10_000_000) as u64;
+
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        b.iters = iters;
+        f(&mut b);
+        per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    per_iter_ns.sort_by(f64::total_cmp);
+    let min = per_iter_ns[0];
+    let max = per_iter_ns[per_iter_ns.len() - 1];
+    let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("  thrpt: {:>11}/s", si(n as f64 * 1e9 / mean)),
+        Throughput::Bytes(n) => format!("  thrpt: {:>10}B/s", si(n as f64 * 1e9 / mean)),
+    });
+    println!(
+        "{label:<44} time: [{} {} {}]{}",
+        fmt_ns(min),
+        fmt_ns(mean),
+        fmt_ns(max),
+        rate.unwrap_or_default()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn si(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.2}G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.2}M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.2}k", x / 1e3)
+    } else {
+        format!("{x:.1}")
+    }
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion {
+            sample_size: 3,
+            sample_budget: Duration::from_micros(200),
+        };
+        c.bench_function("smoke_iter", |b| b.iter(|| black_box(3u64).pow(7)));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2).throughput(Throughput::Elements(4));
+        g.bench_function("smoke_batched", |b| {
+            b.iter_batched(
+                || vec![1.0f64; 16],
+                |v| v.iter().sum::<f64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn formatting_covers_scales() {
+        assert!(fmt_ns(12.0).contains("ns"));
+        assert!(fmt_ns(1.2e4).contains("µs"));
+        assert!(fmt_ns(3.4e7).contains("ms"));
+        assert!(fmt_ns(2.1e9).contains('s'));
+        assert_eq!(si(1.5e3), "1.50k");
+        assert!(si(2.5e6).ends_with('M'));
+        assert!(si(3.5e9).ends_with('G'));
+        assert_eq!(si(12.0), "12.0");
+    }
+}

@@ -1,0 +1,428 @@
+//! Parallel micro-batching: accumulate windows, score them together.
+//!
+//! Scoring a window costs one smoothing + mapping + detector pass; doing
+//! that per window serializes the whole stream. The [`MicroBatcher`]
+//! trades a bounded amount of latency (at most `batch_size − 1` windows,
+//! or `max_delay` wall-clock) for the right to score a batch across all
+//! cores at once.
+
+use crate::error::StreamError;
+use crate::stats::StreamStats;
+use crate::Result;
+use mfod::{FittedPipeline, FrozenScorer};
+use mfod_fda::RawSample;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Which smoothing path the batcher scores through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScoringMode {
+    /// Per-sample cross-validated re-selection — bit-for-bit identical to
+    /// the offline [`FittedPipeline::score`] on the same windows.
+    #[default]
+    Exact,
+    /// Frozen training-time basis selection with cached smoothing
+    /// operators ([`FrozenScorer`]) — the high-throughput serving path;
+    /// scores agree with `Exact` up to the selection difference.
+    Frozen,
+}
+
+/// Micro-batching policy.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Score as soon as this many windows are pending.
+    pub batch_size: usize,
+    /// Also score when the oldest pending window has waited this long
+    /// (checked on submission; streams stalled forever should call
+    /// [`MicroBatcher::flush`]).
+    pub max_delay: Option<Duration>,
+    /// Smoothing path (see [`ScoringMode`]).
+    pub mode: ScoringMode,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            batch_size: 16,
+            max_delay: None,
+            mode: ScoringMode::Exact,
+        }
+    }
+}
+
+/// A scored window: `seq` is the 0-based submission index, so callers can
+/// join scores back to their windows across flush boundaries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredWindow {
+    /// Submission sequence number (0-based, gap-free).
+    pub seq: u64,
+    /// Outlyingness score; **higher = more outlying**.
+    pub score: f64,
+}
+
+/// Accumulates windows and scores them in parallel through a shared
+/// [`FittedPipeline`].
+///
+/// Invariants, property-tested in `tests/proptests.rs`:
+/// * every submitted window is scored exactly once;
+/// * results preserve submission order within and across flushes;
+/// * `seq` numbers are consecutive from 0.
+pub struct MicroBatcher {
+    pipeline: Arc<FittedPipeline>,
+    frozen: Option<FrozenScorer>,
+    config: BatchConfig,
+    stats: Arc<StreamStats>,
+    pending: Vec<RawSample>,
+    next_seq: u64,
+    oldest_pending: Option<Instant>,
+}
+
+impl std::fmt::Debug for MicroBatcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MicroBatcher")
+            .field("label", &self.pipeline.label())
+            .field("batch_size", &self.config.batch_size)
+            .field("mode", &self.config.mode)
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+impl MicroBatcher {
+    /// Creates a batcher scoring through `pipeline`.
+    ///
+    /// For [`ScoringMode::Frozen`], `window_ts` (the observation times of
+    /// every incoming window) must be provided so the frozen operators can
+    /// be built once, up front.
+    pub fn new(
+        pipeline: Arc<FittedPipeline>,
+        config: BatchConfig,
+        window_ts: Option<&[f64]>,
+        stats: Arc<StreamStats>,
+    ) -> Result<Self> {
+        if config.batch_size == 0 {
+            return Err(StreamError::Config("batch_size must be >= 1".into()));
+        }
+        let frozen = match config.mode {
+            ScoringMode::Exact => None,
+            ScoringMode::Frozen => {
+                let ts = window_ts.ok_or_else(|| {
+                    StreamError::Config("frozen mode needs the window observation times".into())
+                })?;
+                Some(FrozenScorer::new(Arc::clone(&pipeline), ts)?)
+            }
+        };
+        Ok(MicroBatcher {
+            pipeline,
+            frozen,
+            config,
+            stats,
+            pending: Vec::new(),
+            next_seq: 0,
+            oldest_pending: None,
+        })
+    }
+
+    /// The batching policy.
+    pub fn config(&self) -> &BatchConfig {
+        &self.config
+    }
+
+    /// The shared pipeline this batcher scores through.
+    pub(crate) fn pipeline(&self) -> &Arc<FittedPipeline> {
+        &self.pipeline
+    }
+
+    /// The frozen scorer, when running in [`ScoringMode::Frozen`].
+    pub(crate) fn frozen(&self) -> Option<&FrozenScorer> {
+        self.frozen.as_ref()
+    }
+
+    /// Windows waiting for the next flush.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Removes and returns every pending window **without scoring them**,
+    /// advancing the sequence counter past them so later scores stay
+    /// aligned with submission order. This is the recovery path after a
+    /// failed [`MicroBatcher::flush`]: inspect the returned windows,
+    /// resubmit the good ones.
+    pub fn take_pending(&mut self) -> Vec<RawSample> {
+        self.oldest_pending = None;
+        let batch = std::mem::take(&mut self.pending);
+        self.next_seq += batch.len() as u64;
+        batch
+    }
+
+    /// Submits one window. Returns the scores released by this submission:
+    /// empty unless the batch filled up (or `max_delay` expired), in which
+    /// case every pending window is scored and returned in submission
+    /// order.
+    pub fn submit(&mut self, window: RawSample) -> Result<Vec<ScoredWindow>> {
+        if self.pending.is_empty() {
+            self.oldest_pending = Some(Instant::now());
+        }
+        self.pending.push(window);
+        let full = self.pending.len() >= self.config.batch_size;
+        let expired = match (self.config.max_delay, self.oldest_pending) {
+            (Some(limit), Some(oldest)) => oldest.elapsed() >= limit,
+            _ => false,
+        };
+        if full || expired {
+            self.flush()
+        } else {
+            Ok(Vec::new())
+        }
+    }
+
+    /// Scores every pending window now (end-of-stream or latency-critical
+    /// paths). Safe to call with nothing pending.
+    ///
+    /// On a scoring error the batch stays pending — nothing is dropped and
+    /// sequence numbers stay aligned with submission order, so the caller
+    /// can retry (or drain and inspect the offending windows).
+    pub fn flush(&mut self) -> Result<Vec<ScoredWindow>> {
+        if self.pending.is_empty() {
+            return Ok(Vec::new());
+        }
+        let batch = std::mem::take(&mut self.pending);
+        let started = Instant::now();
+        let result = match (&self.config.mode, &self.frozen) {
+            (ScoringMode::Exact, _) => self.pipeline.par_score(&batch).map_err(Into::into),
+            (ScoringMode::Frozen, Some(frozen)) => frozen.par_score(&batch).map_err(Into::into),
+            (ScoringMode::Frozen, None) => unreachable!("checked at construction"),
+        };
+        let scores = match result {
+            Ok(scores) => scores,
+            Err(e) => {
+                self.pending = batch;
+                return Err(e);
+            }
+        };
+        self.oldest_pending = None;
+        let elapsed = started.elapsed();
+        self.stats.record_batch(batch.len() as u64, elapsed);
+        let first_seq = self.next_seq;
+        self.next_seq += batch.len() as u64;
+        Ok(scores
+            .into_iter()
+            .enumerate()
+            .map(|(i, score)| ScoredWindow {
+                seq: first_seq + i as u64,
+                score,
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfod::{GeomOutlierPipeline, PipelineConfig};
+    use mfod_detect::IsolationForest;
+    use mfod_geometry::Curvature;
+
+    fn tiny_pipeline() -> (Arc<FittedPipeline>, Vec<RawSample>, Vec<f64>) {
+        let m = 24;
+        let ts: Vec<f64> = (0..m).map(|j| j as f64 / (m - 1) as f64).collect();
+        let mk = |phase: f64, amp: f64| {
+            let y: Vec<f64> = ts
+                .iter()
+                .map(|&t| amp * (std::f64::consts::TAU * (t + phase)).sin())
+                .collect();
+            let y2: Vec<f64> = y.iter().map(|v| v * v).collect();
+            RawSample::new(ts.clone(), vec![y, y2]).unwrap()
+        };
+        let train: Vec<RawSample> = (0..12)
+            .map(|i| mk(i as f64 * 0.01, 1.0 + 0.02 * i as f64))
+            .collect();
+        let pipeline = GeomOutlierPipeline::new(
+            PipelineConfig {
+                selector: mfod_fda::BasisSelector {
+                    sizes: vec![6],
+                    lambdas: vec![1e-4],
+                    ..Default::default()
+                },
+                grid_len: 16,
+                ..Default::default()
+            },
+            Arc::new(Curvature),
+            Arc::new(IsolationForest {
+                n_trees: 20,
+                ..Default::default()
+            }),
+        );
+        let fitted = pipeline.fit(&train).unwrap().into_shared();
+        (fitted, train, ts)
+    }
+
+    #[test]
+    fn flushes_exactly_at_batch_size() {
+        let (fitted, windows, _) = tiny_pipeline();
+        let stats = Arc::new(StreamStats::new());
+        let mut b = MicroBatcher::new(
+            fitted,
+            BatchConfig {
+                batch_size: 5,
+                ..Default::default()
+            },
+            None,
+            Arc::clone(&stats),
+        )
+        .unwrap();
+        let mut released = Vec::new();
+        for w in windows.iter().cloned() {
+            released.extend(b.submit(w).unwrap());
+        }
+        // 12 windows, batch 5 → flushes at 5 and 10, 2 pending
+        assert_eq!(released.len(), 10);
+        assert_eq!(b.pending(), 2);
+        released.extend(b.flush().unwrap());
+        assert_eq!(released.len(), 12);
+        let seqs: Vec<u64> = released.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, (0..12).collect::<Vec<_>>());
+        assert!(released.iter().all(|r| r.score.is_finite()));
+        let snap = stats.snapshot();
+        assert_eq!(snap.windows, 12);
+        assert_eq!(snap.batches, 3);
+        assert!(b.flush().unwrap().is_empty());
+    }
+
+    #[test]
+    fn batched_scores_match_offline_scores() {
+        let (fitted, windows, _) = tiny_pipeline();
+        let offline = fitted.score(&windows).unwrap();
+        let stats = Arc::new(StreamStats::new());
+        let mut b = MicroBatcher::new(
+            Arc::clone(&fitted),
+            BatchConfig {
+                batch_size: 7,
+                ..Default::default()
+            },
+            None,
+            stats,
+        )
+        .unwrap();
+        let mut scored = Vec::new();
+        for w in windows.iter().cloned() {
+            scored.extend(b.submit(w).unwrap());
+        }
+        scored.extend(b.flush().unwrap());
+        assert_eq!(scored.len(), offline.len());
+        for (s, o) in scored.iter().zip(&offline) {
+            assert_eq!(s.score.to_bits(), o.to_bits(), "seq {}", s.seq);
+        }
+    }
+
+    #[test]
+    fn frozen_mode_scores_through_frozen_operators() {
+        let (fitted, windows, ts) = tiny_pipeline();
+        let stats = Arc::new(StreamStats::new());
+        let mut b = MicroBatcher::new(
+            Arc::clone(&fitted),
+            BatchConfig {
+                batch_size: 4,
+                mode: ScoringMode::Frozen,
+                ..Default::default()
+            },
+            Some(&ts),
+            stats,
+        )
+        .unwrap();
+        let mut scored = Vec::new();
+        for w in windows.iter().cloned() {
+            scored.extend(b.submit(w).unwrap());
+        }
+        scored.extend(b.flush().unwrap());
+        assert_eq!(scored.len(), windows.len());
+        assert!(scored.iter().all(|r| r.score.is_finite()));
+        // Frozen construction without ts must fail.
+        assert!(MicroBatcher::new(
+            fitted,
+            BatchConfig {
+                mode: ScoringMode::Frozen,
+                ..Default::default()
+            },
+            None,
+            Arc::new(StreamStats::new()),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn max_delay_forces_early_flush() {
+        let (fitted, windows, _) = tiny_pipeline();
+        let mut b = MicroBatcher::new(
+            fitted,
+            BatchConfig {
+                batch_size: 1000,
+                max_delay: Some(Duration::ZERO),
+                ..Default::default()
+            },
+            None,
+            Arc::new(StreamStats::new()),
+        )
+        .unwrap();
+        // With a zero delay budget every submission flushes immediately.
+        let r1 = b.submit(windows[0].clone()).unwrap();
+        assert_eq!(r1.len(), 1);
+        let r2 = b.submit(windows[1].clone()).unwrap();
+        assert_eq!(r2.len(), 1);
+        assert_eq!(r2[0].seq, 1);
+    }
+
+    #[test]
+    fn failed_flush_keeps_the_batch_and_seq_alignment() {
+        let (fitted, windows, ts) = tiny_pipeline();
+        let mut b = MicroBatcher::new(
+            fitted,
+            BatchConfig {
+                batch_size: 100,
+                ..Default::default()
+            },
+            None,
+            Arc::new(StreamStats::new()),
+        )
+        .unwrap();
+        assert!(b.submit(windows[0].clone()).unwrap().is_empty());
+        assert!(b.submit(windows[1].clone()).unwrap().is_empty());
+        // A window from a foreign domain poisons the batch.
+        let foreign = RawSample::new(
+            ts.iter().map(|t| t * 5.0).collect(),
+            windows[0].channels.clone(),
+        )
+        .unwrap();
+        assert!(b.submit(foreign).unwrap().is_empty());
+        // Scoring fails, but nothing is dropped.
+        assert!(b.flush().is_err());
+        assert_eq!(b.pending(), 3);
+        // Recovery: drain the poisoned batch (consuming seqs 0..3) and
+        // resubmit the good windows — their scores land on fresh seqs.
+        let drained = b.take_pending();
+        assert_eq!(drained.len(), 3);
+        assert_eq!(b.pending(), 0);
+        for w in &drained[..2] {
+            assert!(b.submit(w.clone()).unwrap().is_empty());
+        }
+        let rescored = b.flush().unwrap();
+        assert_eq!(rescored.len(), 2);
+        assert_eq!(rescored[0].seq, 3);
+        assert_eq!(rescored[1].seq, 4);
+    }
+
+    #[test]
+    fn zero_batch_size_rejected() {
+        let (fitted, _, _) = tiny_pipeline();
+        assert!(MicroBatcher::new(
+            fitted,
+            BatchConfig {
+                batch_size: 0,
+                ..Default::default()
+            },
+            None,
+            Arc::new(StreamStats::new()),
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,114 @@
+//! Score → alarm calibration.
+//!
+//! Detectors emit raw outlyingness scores on arbitrary scales; a serving
+//! system needs a binary decision. Following the paper's contamination-
+//! rate framing (the training set is assumed to contain a known fraction
+//! of outliers), the threshold is the empirical `1 − contamination`
+//! quantile of the *training* scores: anything scoring above what the
+//! cleanest `1 − contamination` share of training data scored is flagged.
+
+use crate::error::StreamError;
+use crate::Result;
+use mfod::FittedPipeline;
+use mfod_fda::RawSample;
+use mfod_linalg::vector;
+
+/// Converts raw outlyingness scores into binary alarms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThresholdCalibrator {
+    threshold: f64,
+    contamination: f64,
+}
+
+impl ThresholdCalibrator {
+    /// Calibrates from already-computed training scores.
+    pub fn from_scores(train_scores: &[f64], contamination: f64) -> Result<Self> {
+        if train_scores.is_empty() {
+            return Err(StreamError::Config("no training scores supplied".into()));
+        }
+        if !vector::all_finite(train_scores) {
+            return Err(StreamError::Config("training scores must be finite".into()));
+        }
+        if !(0.0..1.0).contains(&contamination) || contamination <= 0.0 {
+            return Err(StreamError::Config(format!(
+                "contamination must be in (0, 1), got {contamination}"
+            )));
+        }
+        let threshold = vector::quantile(train_scores, 1.0 - contamination);
+        Ok(ThresholdCalibrator {
+            threshold,
+            contamination,
+        })
+    }
+
+    /// Calibrates by scoring the training samples through `fitted`'s
+    /// **exact** path — the right calibration for
+    /// [`crate::ScoringMode::Exact`]. A `Frozen`-mode scorer produces a
+    /// (slightly) different score distribution; calibrate it with
+    /// [`ThresholdCalibrator::fit_frozen`] instead, so the realized alarm
+    /// rate tracks the requested contamination.
+    pub fn fit(fitted: &FittedPipeline, train: &[RawSample], contamination: f64) -> Result<Self> {
+        let scores = fitted.par_score(train)?;
+        Self::from_scores(&scores, contamination)
+    }
+
+    /// Calibrates against the **frozen** serving path: the threshold is
+    /// the contamination quantile of the training scores exactly as the
+    /// [`mfod::FrozenScorer`] produces them — the right calibration for
+    /// [`crate::ScoringMode::Frozen`].
+    pub fn fit_frozen(
+        frozen: &mfod::FrozenScorer,
+        train: &[RawSample],
+        contamination: f64,
+    ) -> Result<Self> {
+        let scores = frozen.par_score(train)?;
+        Self::from_scores(&scores, contamination)
+    }
+
+    /// The calibrated score threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The contamination rate used for calibration.
+    pub fn contamination(&self) -> f64 {
+        self.contamination
+    }
+
+    /// Whether `score` crosses the alarm threshold.
+    pub fn is_alarm(&self, score: f64) -> bool {
+        score > self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_threshold_flags_the_tail() {
+        let scores: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let c = ThresholdCalibrator::from_scores(&scores, 0.10).unwrap();
+        assert!((c.contamination() - 0.10).abs() < 1e-12);
+        // ~10% of training scores exceed the threshold
+        let alarms = scores.iter().filter(|&&s| c.is_alarm(s)).count();
+        assert!((8..=12).contains(&alarms), "alarms {alarms}");
+        assert!(c.is_alarm(1e9));
+        assert!(!c.is_alarm(-1.0));
+        assert!(
+            c.threshold() > 85.0 && c.threshold() < 95.0,
+            "{}",
+            c.threshold()
+        );
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(ThresholdCalibrator::from_scores(&[], 0.1).is_err());
+        assert!(ThresholdCalibrator::from_scores(&[1.0, f64::NAN], 0.1).is_err());
+        assert!(ThresholdCalibrator::from_scores(&[1.0, 2.0], 0.0).is_err());
+        assert!(ThresholdCalibrator::from_scores(&[1.0, 2.0], 1.0).is_err());
+        assert!(ThresholdCalibrator::from_scores(&[1.0, 2.0], -0.2).is_err());
+        assert!(ThresholdCalibrator::from_scores(&[1.0, 2.0], 1.7).is_err());
+    }
+}

@@ -1,0 +1,414 @@
+//! The end-to-end online scorer: observations in, calibrated verdicts out.
+
+use crate::batch::{BatchConfig, MicroBatcher, ScoredWindow};
+use crate::calibrate::ThresholdCalibrator;
+use crate::stats::{StatsSnapshot, StreamStats};
+use crate::window::{WindowBuffer, WindowConfig};
+use crate::Result;
+use mfod::FittedPipeline;
+use std::sync::Arc;
+
+/// Full streaming configuration: window geometry + batching policy.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Sliding-window geometry.
+    pub window: WindowConfig,
+    /// Micro-batching policy.
+    pub batch: BatchConfig,
+}
+
+/// A scored window with its calibrated verdict.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Verdict {
+    /// Window sequence number (0-based, gap-free).
+    pub seq: u64,
+    /// Raw outlyingness score; **higher = more outlying**.
+    pub score: f64,
+    /// Whether the calibrated threshold flags this window (always `false`
+    /// when the scorer is uncalibrated).
+    pub is_outlier: bool,
+}
+
+/// Composes [`WindowBuffer`] → [`MicroBatcher`] → [`ThresholdCalibrator`]
+/// behind a single push-based interface, sharing one `Arc<FittedPipeline>`
+/// across all scoring threads.
+pub struct OnlineScorer {
+    buffer: WindowBuffer,
+    batcher: MicroBatcher,
+    calibrator: Option<ThresholdCalibrator>,
+    stats: Arc<StreamStats>,
+}
+
+impl std::fmt::Debug for OnlineScorer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OnlineScorer")
+            .field("window_len", &self.buffer.config().window_len)
+            .field("stride", &self.buffer.config().stride)
+            .field("batcher", &self.batcher)
+            .field("calibrated", &self.calibrator.is_some())
+            .finish()
+    }
+}
+
+impl OnlineScorer {
+    /// Builds an uncalibrated scorer (verdicts report `is_outlier: false`;
+    /// use [`OnlineScorer::with_calibrator`] or
+    /// [`OnlineScorer::calibrate`] for alarms).
+    pub fn new(pipeline: Arc<FittedPipeline>, config: StreamConfig) -> Result<Self> {
+        // Fail at construction, not on the first batch: a window geometry
+        // the pipeline would reject wedges the stream otherwise.
+        if let (Some(&first), Some(&last)) = (config.window.ts.first(), config.window.ts.last()) {
+            if !pipeline.accepts_domain((first, last)) {
+                let (a, b) = pipeline.domain();
+                return Err(crate::error::StreamError::Config(format!(
+                    "window ts span [{first}, {last}] differs from the pipeline's training \
+                     domain [{a}, {b}]"
+                )));
+            }
+        }
+        let trained_channels = pipeline.selected_bases().len();
+        if config.window.channels != trained_channels {
+            return Err(crate::error::StreamError::Config(format!(
+                "window is configured for {} channels, pipeline was trained on {}",
+                config.window.channels, trained_channels
+            )));
+        }
+        let stats = Arc::new(StreamStats::new());
+        let batcher = MicroBatcher::new(
+            pipeline,
+            config.batch.clone(),
+            Some(&config.window.ts),
+            Arc::clone(&stats),
+        )?;
+        let buffer = WindowBuffer::new(config.window)?;
+        Ok(OnlineScorer {
+            buffer,
+            batcher,
+            calibrator: None,
+            stats,
+        })
+    }
+
+    /// Attaches a pre-built calibrator.
+    pub fn with_calibrator(mut self, calibrator: ThresholdCalibrator) -> Self {
+        self.calibrator = Some(calibrator);
+        self
+    }
+
+    /// Calibrates the alarm threshold from training scores (see
+    /// [`ThresholdCalibrator::from_scores`]).
+    ///
+    /// The scores must come from the same scoring path this scorer serves
+    /// — for [`crate::ScoringMode::Frozen`] prefer
+    /// [`OnlineScorer::calibrate_from_samples`], which guarantees that.
+    pub fn calibrate(&mut self, train_scores: &[f64], contamination: f64) -> Result<()> {
+        self.calibrator = Some(ThresholdCalibrator::from_scores(
+            train_scores,
+            contamination,
+        )?);
+        Ok(())
+    }
+
+    /// Calibrates by scoring `train` through the **same path this scorer
+    /// serves** (exact or frozen), so the threshold always matches the
+    /// score distribution of the verdicts it will emit.
+    pub fn calibrate_from_samples(
+        &mut self,
+        train: &[mfod_fda::RawSample],
+        contamination: f64,
+    ) -> Result<()> {
+        let calibrator = match self.batcher.frozen() {
+            Some(frozen) => ThresholdCalibrator::fit_frozen(frozen, train, contamination)?,
+            None => ThresholdCalibrator::fit(self.batcher.pipeline(), train, contamination)?,
+        };
+        self.calibrator = Some(calibrator);
+        Ok(())
+    }
+
+    /// The calibrator, if any.
+    pub fn calibrator(&self) -> Option<&ThresholdCalibrator> {
+        self.calibrator.as_ref()
+    }
+
+    /// Ingests one multichannel observation; returns the verdicts released
+    /// by any micro-batch this observation completed.
+    pub fn push(&mut self, obs: &[f64]) -> Result<Vec<Verdict>> {
+        let window = self.buffer.push(obs)?;
+        // Count only after validation, so the counter agrees with
+        // `WindowBuffer::observations` when pushes are rejected.
+        self.stats.record_observation();
+        match window {
+            None => Ok(Vec::new()),
+            Some(window) => {
+                let scored = self.batcher.submit(window)?;
+                Ok(self.apply_calibration(scored))
+            }
+        }
+    }
+
+    /// Flushes every pending window (end of stream).
+    pub fn finish(&mut self) -> Result<Vec<Verdict>> {
+        let scored = self.batcher.flush()?;
+        Ok(self.apply_calibration(scored))
+    }
+
+    /// Counter snapshot (throughput, latency, alarm counts).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Windows buffered but not yet scored.
+    pub fn pending_windows(&self) -> usize {
+        self.batcher.pending()
+    }
+
+    /// Removes every pending window without scoring it (see
+    /// [`MicroBatcher::take_pending`]) — the recovery path when a flush
+    /// keeps failing on a poisoned window. Sequence numbers of the drained
+    /// windows are consumed, keeping later verdicts aligned with
+    /// submission order.
+    pub fn take_pending(&mut self) -> Vec<mfod_fda::RawSample> {
+        self.batcher.take_pending()
+    }
+
+    fn apply_calibration(&self, scored: Vec<ScoredWindow>) -> Vec<Verdict> {
+        let verdicts: Vec<Verdict> = scored
+            .into_iter()
+            .map(|s| Verdict {
+                seq: s.seq,
+                score: s.score,
+                is_outlier: self
+                    .calibrator
+                    .map(|c| c.is_alarm(s.score))
+                    .unwrap_or(false),
+            })
+            .collect();
+        let alarms = verdicts.iter().filter(|v| v.is_outlier).count() as u64;
+        if alarms > 0 {
+            self.stats.record_alarms(alarms);
+        }
+        verdicts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::ScoringMode;
+    use mfod::{GeomOutlierPipeline, PipelineConfig};
+    use mfod_detect::IsolationForest;
+    use mfod_fda::RawSample;
+    use mfod_geometry::Curvature;
+
+    fn setup() -> (Arc<FittedPipeline>, Vec<RawSample>, Vec<f64>) {
+        let m = 24;
+        let ts: Vec<f64> = (0..m).map(|j| j as f64 / (m - 1) as f64).collect();
+        let mk = |phase: f64, amp: f64| {
+            let y: Vec<f64> = ts
+                .iter()
+                .map(|&t| amp * (std::f64::consts::TAU * (t + phase)).sin())
+                .collect();
+            let y2: Vec<f64> = y.iter().map(|v| v * v).collect();
+            RawSample::new(ts.clone(), vec![y, y2]).unwrap()
+        };
+        let train: Vec<RawSample> = (0..10)
+            .map(|i| mk(i as f64 * 0.01, 1.0 + 0.02 * i as f64))
+            .collect();
+        let pipeline = GeomOutlierPipeline::new(
+            PipelineConfig {
+                selector: mfod_fda::BasisSelector {
+                    sizes: vec![6],
+                    lambdas: vec![1e-4],
+                    ..Default::default()
+                },
+                grid_len: 16,
+                ..Default::default()
+            },
+            Arc::new(Curvature),
+            Arc::new(IsolationForest {
+                n_trees: 20,
+                ..Default::default()
+            }),
+        );
+        let fitted = pipeline.fit(&train).unwrap().into_shared();
+        (fitted, train, ts)
+    }
+
+    #[test]
+    fn end_to_end_push_finish() {
+        let (fitted, train, ts) = setup();
+        let train_scores = fitted.score(&train).unwrap();
+        let config = StreamConfig {
+            window: WindowConfig::tumbling(ts.clone(), 2),
+            batch: BatchConfig {
+                batch_size: 3,
+                ..Default::default()
+            },
+        };
+        let mut scorer = OnlineScorer::new(Arc::clone(&fitted), config).unwrap();
+        scorer.calibrate(&train_scores, 0.2).unwrap();
+        assert!(scorer.calibrator().is_some());
+        assert!(format!("{scorer:?}").contains("OnlineScorer"));
+
+        // Stream the training samples back through, observation by
+        // observation.
+        let mut verdicts = Vec::new();
+        for sample in &train {
+            for j in 0..sample.t.len() {
+                let obs = [sample.channels[0][j], sample.channels[1][j]];
+                verdicts.extend(scorer.push(&obs).unwrap());
+            }
+        }
+        verdicts.extend(scorer.finish().unwrap());
+        assert_eq!(verdicts.len(), train.len());
+        assert_eq!(scorer.pending_windows(), 0);
+
+        // Verdict scores must equal the offline scores of the same curves.
+        for (v, offline) in verdicts.iter().zip(&train_scores) {
+            assert_eq!(v.score.to_bits(), offline.to_bits(), "seq {}", v.seq);
+        }
+        // Calibration at 20% flags the highest-scoring ~20% of training.
+        let alarms = verdicts.iter().filter(|v| v.is_outlier).count();
+        assert!((1..=3).contains(&alarms), "alarms {alarms}");
+        let snap = scorer.stats();
+        assert_eq!(snap.observations, (train.len() * ts.len()) as u64);
+        assert_eq!(snap.windows, train.len() as u64);
+        assert_eq!(snap.alarms, alarms as u64);
+        assert!(snap.windows_per_sec().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn construction_rejects_mismatched_stream_geometry() {
+        let (fitted, _, ts) = setup();
+        // window span differs from the training domain
+        let stretched: Vec<f64> = ts.iter().map(|t| t * 2.0).collect();
+        let err = OnlineScorer::new(
+            Arc::clone(&fitted),
+            StreamConfig {
+                window: WindowConfig::tumbling(stretched, 2),
+                batch: BatchConfig::default(),
+            },
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("training"), "{err}");
+        // wrong channel count for the trained pipeline
+        let err = OnlineScorer::new(
+            Arc::clone(&fitted),
+            StreamConfig {
+                window: WindowConfig::tumbling(ts.clone(), 3),
+                batch: BatchConfig::default(),
+            },
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("channels"), "{err}");
+    }
+
+    #[test]
+    fn calibrate_from_samples_follows_the_serving_mode() {
+        let (fitted, train, ts) = setup();
+        // Exact mode: matches an explicit exact-path calibration.
+        let mut exact = OnlineScorer::new(
+            Arc::clone(&fitted),
+            StreamConfig {
+                window: WindowConfig::tumbling(ts.clone(), 2),
+                batch: BatchConfig::default(),
+            },
+        )
+        .unwrap();
+        exact.calibrate_from_samples(&train, 0.2).unwrap();
+        let reference = ThresholdCalibrator::fit(&fitted, &train, 0.2).unwrap();
+        assert_eq!(
+            exact.calibrator().unwrap().threshold().to_bits(),
+            reference.threshold().to_bits()
+        );
+        // Frozen mode: matches a frozen-path calibration.
+        let mut frozen = OnlineScorer::new(
+            Arc::clone(&fitted),
+            StreamConfig {
+                window: WindowConfig::tumbling(ts.clone(), 2),
+                batch: BatchConfig {
+                    mode: ScoringMode::Frozen,
+                    ..Default::default()
+                },
+            },
+        )
+        .unwrap();
+        frozen.calibrate_from_samples(&train, 0.2).unwrap();
+        let frozen_ref = mfod::FrozenScorer::new(Arc::clone(&fitted), &ts).unwrap();
+        let reference = ThresholdCalibrator::fit_frozen(&frozen_ref, &train, 0.2).unwrap();
+        assert_eq!(
+            frozen.calibrator().unwrap().threshold().to_bits(),
+            reference.threshold().to_bits()
+        );
+    }
+
+    #[test]
+    fn take_pending_drains_without_scoring() {
+        let (fitted, train, ts) = setup();
+        let mut scorer = OnlineScorer::new(
+            fitted,
+            StreamConfig {
+                window: WindowConfig::tumbling(ts.clone(), 2),
+                batch: BatchConfig {
+                    batch_size: 100,
+                    ..Default::default()
+                },
+            },
+        )
+        .unwrap();
+        for j in 0..ts.len() {
+            scorer
+                .push(&[train[0].channels[0][j], train[0].channels[1][j]])
+                .unwrap();
+        }
+        assert_eq!(scorer.pending_windows(), 1);
+        let drained = scorer.take_pending();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(scorer.pending_windows(), 0);
+        assert!(scorer.finish().unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejected_pushes_do_not_inflate_counters() {
+        let (fitted, train, ts) = setup();
+        let mut scorer = OnlineScorer::new(
+            fitted,
+            StreamConfig {
+                window: WindowConfig::tumbling(ts, 2),
+                batch: BatchConfig::default(),
+            },
+        )
+        .unwrap();
+        assert!(scorer.push(&[1.0]).is_err()); // wrong channel count
+        assert!(scorer.push(&[1.0, f64::NAN]).is_err()); // non-finite
+        assert_eq!(scorer.stats().observations, 0);
+        scorer
+            .push(&[train[0].channels[0][0], train[0].channels[1][0]])
+            .unwrap();
+        assert_eq!(scorer.stats().observations, 1);
+    }
+
+    #[test]
+    fn uncalibrated_never_alarms() {
+        let (fitted, train, ts) = setup();
+        let config = StreamConfig {
+            window: WindowConfig::tumbling(ts, 2),
+            batch: BatchConfig {
+                batch_size: 1,
+                mode: ScoringMode::Frozen,
+                ..Default::default()
+            },
+        };
+        let mut scorer = OnlineScorer::new(fitted, config).unwrap();
+        let mut verdicts = Vec::new();
+        for sample in &train[..3] {
+            for j in 0..sample.t.len() {
+                let obs = [sample.channels[0][j], sample.channels[1][j]];
+                verdicts.extend(scorer.push(&obs).unwrap());
+            }
+        }
+        assert_eq!(verdicts.len(), 3);
+        assert!(verdicts.iter().all(|v| !v.is_outlier));
+        assert!(verdicts.iter().all(|v| v.score.is_finite()));
+    }
+}

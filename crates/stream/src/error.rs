@@ -1,0 +1,63 @@
+//! Error type of the online scoring subsystem.
+
+use std::fmt;
+
+/// Errors raised by the streaming layer.
+#[derive(Debug)]
+pub enum StreamError {
+    /// Invalid streaming configuration (window geometry, batch sizing, …).
+    Config(String),
+    /// An observation does not fit the configured stream shape.
+    Ingest(String),
+    /// The underlying pipeline rejected or failed on a window.
+    Pipeline(mfod::MfodError),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Config(msg) => write!(f, "stream config: {msg}"),
+            StreamError::Ingest(msg) => write!(f, "stream ingest: {msg}"),
+            // No prefix: the MfodError Display already names its stage
+            // ("pipeline: …"), and doubling it reads badly.
+            StreamError::Pipeline(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Pipeline(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mfod::MfodError> for StreamError {
+    fn from(e: mfod::MfodError) -> Self {
+        StreamError::Pipeline(e)
+    }
+}
+
+impl From<mfod_fda::FdaError> for StreamError {
+    fn from(e: mfod_fda::FdaError) -> Self {
+        StreamError::Pipeline(mfod::MfodError::from(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_and_source() {
+        let c = StreamError::Config("bad".into());
+        assert!(c.to_string().contains("bad"));
+        assert!(c.source().is_none());
+        let p = StreamError::from(mfod::MfodError::Pipeline("boom".into()));
+        assert!(p.to_string().contains("boom"));
+        assert!(p.source().is_some());
+    }
+}

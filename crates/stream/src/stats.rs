@@ -1,0 +1,126 @@
+//! Running throughput / latency counters for the scoring engine.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Lock-free counters shared by the streaming components. All methods are
+/// callable concurrently; readers see a consistent-enough snapshot for
+/// monitoring purposes (no cross-counter atomicity is promised).
+#[derive(Debug, Default)]
+pub struct StreamStats {
+    observations: AtomicU64,
+    windows: AtomicU64,
+    batches: AtomicU64,
+    alarms: AtomicU64,
+    scoring_nanos: AtomicU64,
+}
+
+/// A point-in-time copy of [`StreamStats`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatsSnapshot {
+    /// Raw multichannel observations ingested.
+    pub observations: u64,
+    /// Windows scored.
+    pub windows: u64,
+    /// Micro-batches flushed.
+    pub batches: u64,
+    /// Windows whose score crossed the calibrated threshold.
+    pub alarms: u64,
+    /// Total wall-clock time spent scoring micro-batches end to end
+    /// (smoothing → mapping → transform → detector; in Exact mode the
+    /// per-sample cross-validated smoothing dominates).
+    pub scoring_time: Duration,
+}
+
+impl StatsSnapshot {
+    /// Mean scored windows per second of scoring time (`None` before the
+    /// first batch lands).
+    pub fn windows_per_sec(&self) -> Option<f64> {
+        let secs = self.scoring_time.as_secs_f64();
+        (secs > 0.0 && self.windows > 0).then(|| self.windows as f64 / secs)
+    }
+
+    /// Mean scoring latency per window (`None` before the first batch).
+    pub fn mean_latency(&self) -> Option<Duration> {
+        // Divide in u128 nanos: a `Duration / u32` would truncate the
+        // window count on very long-lived streams (≥ 2³² windows).
+        (self.windows > 0).then(|| {
+            Duration::from_nanos((self.scoring_time.as_nanos() / self.windows as u128) as u64)
+        })
+    }
+}
+
+impl StreamStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_observation(&self) {
+        self.observations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_batch(&self, windows: u64, elapsed: Duration) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.windows.fetch_add(windows, Ordering::Relaxed);
+        self.scoring_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_alarms(&self, alarms: u64) {
+        self.alarms.fetch_add(alarms, Ordering::Relaxed);
+    }
+
+    /// Copies the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            observations: self.observations.load(Ordering::Relaxed),
+            windows: self.windows.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            alarms: self.alarms.load(Ordering::Relaxed),
+            scoring_time: Duration::from_nanos(self.scoring_nanos.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = StreamStats::new();
+        assert_eq!(s.snapshot().windows_per_sec(), None);
+        assert_eq!(s.snapshot().mean_latency(), None);
+        s.record_observation();
+        s.record_observation();
+        s.record_batch(8, Duration::from_millis(4));
+        s.record_alarms(2);
+        s.record_batch(8, Duration::from_millis(4));
+        let snap = s.snapshot();
+        assert_eq!(snap.observations, 2);
+        assert_eq!(snap.windows, 16);
+        assert_eq!(snap.batches, 2);
+        assert_eq!(snap.alarms, 2);
+        assert_eq!(snap.scoring_time, Duration::from_millis(8));
+        let wps = snap.windows_per_sec().unwrap();
+        assert!((wps - 2000.0).abs() < 1.0, "wps {wps}");
+        assert_eq!(snap.mean_latency().unwrap(), Duration::from_micros(500));
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        let s = StreamStats::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        s.record_batch(1, Duration::from_nanos(10));
+                    }
+                });
+            }
+        });
+        assert_eq!(s.snapshot().windows, 4000);
+        assert_eq!(s.snapshot().batches, 4000);
+    }
+}

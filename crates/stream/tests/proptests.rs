@@ -1,0 +1,161 @@
+//! Property-based tests of the streaming invariants: window geometry,
+//! stride accounting, and no window dropped or duplicated across
+//! micro-batch flushes.
+
+use mfod::prelude::*;
+use mfod_fda::RawSample;
+use mfod_stream::{BatchConfig, MicroBatcher, StreamStats, WindowBuffer, WindowConfig};
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+
+fn window_cfg(window_len: usize, stride: usize, channels: usize) -> WindowConfig {
+    let ts = (0..window_len)
+        .map(|j| j as f64 / (window_len - 1) as f64)
+        .collect();
+    WindowConfig {
+        window_len,
+        stride,
+        channels,
+        ts,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn window_buffer_emits_exact_slices(
+        window_len in 2usize..16,
+        stride in 1usize..20,
+        channels in 1usize..4,
+        n_obs in 0usize..200,
+    ) {
+        let mut buf = WindowBuffer::new(window_cfg(window_len, stride, channels)).unwrap();
+        let mut emitted = Vec::new();
+        for i in 0..n_obs {
+            // channel k at time i carries the value 1000·k + i, making
+            // provenance of every window entry checkable
+            let obs: Vec<f64> = (0..channels).map(|k| (1000 * k + i) as f64).collect();
+            if let Some(w) = buf.push(&obs).unwrap() {
+                emitted.push(w);
+            }
+        }
+        // expected number of complete windows
+        let expected = if n_obs >= window_len {
+            (n_obs - window_len) / stride + 1
+        } else {
+            0
+        };
+        prop_assert_eq!(emitted.len(), expected);
+        prop_assert_eq!(buf.windows_emitted(), expected as u64);
+        prop_assert_eq!(buf.observations(), n_obs as u64);
+        // window w covers observations [w·stride, w·stride + window_len)
+        for (w_idx, w) in emitted.iter().enumerate() {
+            prop_assert_eq!(w.dim(), channels);
+            let start = w_idx * stride;
+            for k in 0..channels {
+                let (ts, ys) = w.channel(k).unwrap();
+                prop_assert_eq!(ys.len(), window_len);
+                prop_assert_eq!(ts.len(), window_len);
+                for (j, &y) in ys.iter().enumerate() {
+                    prop_assert_eq!(y as usize, 1000 * k + start + j,
+                        "window {} channel {} slot {}", w_idx, k, j);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn micro_batcher_never_drops_or_duplicates(
+        batch_size in 1usize..12,
+        n_windows in 0usize..30,
+        flush_every in 1usize..15,
+    ) {
+        let (fitted, windows) = shared_fixture();
+        let mut b = MicroBatcher::new(
+            Arc::clone(fitted),
+            BatchConfig { batch_size, ..Default::default() },
+            None,
+            Arc::new(StreamStats::new()),
+        )
+        .unwrap();
+        let mut released = Vec::new();
+        for (i, w) in windows.iter().take(n_windows).enumerate() {
+            released.extend(b.submit(w.clone()).unwrap());
+            // interleave explicit flushes to stress the boundary logic
+            if (i + 1) % flush_every == 0 {
+                released.extend(b.flush().unwrap());
+            }
+        }
+        released.extend(b.flush().unwrap());
+        prop_assert_eq!(b.pending(), 0);
+        // every submitted window scored exactly once, in order
+        let n = n_windows.min(windows.len());
+        prop_assert_eq!(released.len(), n);
+        for (i, r) in released.iter().enumerate() {
+            prop_assert_eq!(r.seq, i as u64);
+            prop_assert!(r.score.is_finite());
+        }
+        // scores are a function of the window alone, not of the batching:
+        // window i must always receive its offline score
+        let offline = offline_scores();
+        for r in &released {
+            prop_assert_eq!(
+                r.score.to_bits(),
+                offline[r.seq as usize].to_bits(),
+                "window {} score drifted under batch_size {} flush_every {}",
+                r.seq, batch_size, flush_every
+            );
+        }
+    }
+}
+
+/// One shared fitted pipeline + window set: proptest re-enters the test
+/// body per case, and refitting a pipeline per case would dominate the
+/// run time.
+fn shared_fixture() -> &'static (Arc<FittedPipeline>, Vec<RawSample>) {
+    static FIXTURE: OnceLock<(Arc<FittedPipeline>, Vec<RawSample>)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let m = 20;
+        let ts: Vec<f64> = (0..m).map(|j| j as f64 / (m - 1) as f64).collect();
+        let mk = |i: usize| {
+            let y: Vec<f64> = ts
+                .iter()
+                .map(|&t| {
+                    (1.0 + 0.01 * i as f64) * (std::f64::consts::TAU * (t + 0.005 * i as f64)).sin()
+                })
+                .collect();
+            let y2: Vec<f64> = y.iter().map(|v| v * v).collect();
+            RawSample::new(ts.clone(), vec![y, y2]).unwrap()
+        };
+        let train: Vec<RawSample> = (0..30).map(mk).collect();
+        let fitted = GeomOutlierPipeline::new(
+            PipelineConfig {
+                selector: mfod_fda::BasisSelector {
+                    sizes: vec![6],
+                    lambdas: vec![1e-4],
+                    ..Default::default()
+                },
+                grid_len: 12,
+                ..Default::default()
+            },
+            Arc::new(Curvature),
+            Arc::new(IsolationForest {
+                n_trees: 15,
+                ..Default::default()
+            }),
+        )
+        .fit(&train)
+        .unwrap()
+        .into_shared();
+        (fitted, train)
+    })
+}
+
+fn offline_scores() -> &'static Vec<f64> {
+    static SCORES: OnceLock<Vec<f64>> = OnceLock::new();
+    SCORES.get_or_init(|| {
+        let (fitted, windows) = shared_fixture();
+        fitted.score(windows).unwrap()
+    })
+}

@@ -11,14 +11,20 @@ use std::sync::Arc;
 
 fn main() -> Result<(), MfodError> {
     let contamination = 0.10;
-    println!("== ECG outlier detection at c = {:.0}% ==\n", contamination * 100.0);
+    println!(
+        "== ECG outlier detection at c = {:.0}% ==\n",
+        contamination * 100.0
+    );
 
     // ECG200 stand-in, augmented with the squared series (Sec. 4.1).
     let data = EcgSimulator::new(EcgConfig::default())?
         .generate(128, 64, 2020)?
         .augment_with(0, |y| y * y)?;
-    let (train, test) =
-        SplitConfig { train_size: 96, contamination }.split_datasets(&data, 1)?;
+    let (train, test) = SplitConfig {
+        train_size: 96,
+        contamination,
+    }
+    .split_datasets(&data, 1)?;
 
     // --- geometric pipelines -------------------------------------------
     let for_pipeline = GeomOutlierPipeline::new(
@@ -33,10 +39,14 @@ fn main() -> Result<(), MfodError> {
     // (Sec. 4.3), on standardized curvature features.
     let features_train = for_pipeline.features(train.samples())?;
     let features_test = for_pipeline.features(test.samples())?;
-    let standardizer = mfod::detect::features::Standardizer::fit(&features_train)
+    let standardizer =
+        mfod::detect::features::Standardizer::fit(&features_train).map_err(MfodError::Detect)?;
+    let train_z = standardizer
+        .transform(&features_train)
         .map_err(MfodError::Detect)?;
-    let train_z = standardizer.transform(&features_train).map_err(MfodError::Detect)?;
-    let test_z = standardizer.transform(&features_test).map_err(MfodError::Detect)?;
+    let test_z = standardizer
+        .transform(&features_test)
+        .map_err(MfodError::Detect)?;
     let tuner = NuTuner::default();
     let (selection, ocsvm) = tuner.tune_and_fit(&OcSvm::default(), &train_z)?;
     let scores = ocsvm.score_batch(&test_z).map_err(MfodError::Detect)?;
@@ -70,7 +80,11 @@ fn main() -> Result<(), MfodError> {
     let fitted = ensemble.fit(train.samples())?;
     let (combined, contributions) = fitted.score_decomposed(test.samples())?;
     let auc_ens = auc(&combined, test.labels())?;
-    println!("{:<18} AUC = {auc_ens:.3}   (members: {:?})", "ensemble", fitted.member_labels());
+    println!(
+        "{:<18} AUC = {auc_ens:.3}   (members: {:?})",
+        "ensemble",
+        fitted.member_labels()
+    );
 
     // interpretability: which member drives the top-ranked outlier?
     let top = combined

@@ -19,12 +19,7 @@ fn main() -> Result<(), MfodError> {
     let data = fig1::generate(&cfg, 2020)?;
     println!("# Fig. 1 data: {} samples, outlier index = 20", data.len());
     println!("# columns: sample, label, t, x1, x2   (every 10th grid point)");
-    for (i, (s, label)) in data
-        .samples()
-        .iter()
-        .zip(data.labels())
-        .enumerate()
-    {
+    for (i, (s, label)) in data.samples().iter().zip(data.labels()).enumerate() {
         for (j, &t) in s.t.iter().enumerate().step_by(10) {
             println!(
                 "{i} {} {t:.3} {:+.4} {:+.4}",
@@ -42,14 +37,23 @@ fn main() -> Result<(), MfodError> {
         (lo, hi)
     };
     let out = &data.samples()[20];
-    println!("\n# outlier channel ranges: x1 {:?}, x2 {:?}", range(&out.channels[0]), range(&out.channels[1]));
-    println!("# inlier 0 channel ranges: x1 {:?}, x2 {:?}",
+    println!(
+        "\n# outlier channel ranges: x1 {:?}, x2 {:?}",
+        range(&out.channels[0]),
+        range(&out.channels[1])
+    );
+    println!(
+        "# inlier 0 channel ranges: x1 {:?}, x2 {:?}",
         range(&data.samples()[0].channels[0]),
-        range(&data.samples()[0].channels[1]));
+        range(&data.samples()[0].channels[1])
+    );
 
     // …while the curvature mapping separates the outlier immediately.
     let pipeline = GeomOutlierPipeline::new(
-        PipelineConfig { grid_len: 101, ..PipelineConfig::default() },
+        PipelineConfig {
+            grid_len: 101,
+            ..PipelineConfig::default()
+        },
         Arc::new(Curvature),
         Arc::new(IsolationForest::default()),
     );
@@ -62,7 +66,10 @@ fn main() -> Result<(), MfodError> {
         .expect("non-empty")
         .0;
     println!("\n# curvature pipeline's most outlying sample: {top} (true outlier: 20)");
-    assert_eq!(top, 20, "the Fig. 1 outlier must rank first under the curvature mapping");
+    assert_eq!(
+        top, 20,
+        "the Fig. 1 outlier must rank first under the curvature mapping"
+    );
     println!("# OK: shape-persistent outlier correctly isolated");
     Ok(())
 }

@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let late = kappa[18]; // t = 0.9: strong bend
     println!("\n# κ(0.1) = {early:.5} (large tangent circle)");
     println!("# κ(0.9) = {late:.5} (small tangent circle)");
-    assert!(late > early * 3.0, "curvature must grow sharply along this path");
+    assert!(
+        late > early * 3.0,
+        "curvature must grow sharply along this path"
+    );
 
     // Analytic cross-check at t where y = t⁴: κ = |y''| / (1 + y'²)^{3/2}.
     for &t in &[0.25f64, 0.5, 0.75] {

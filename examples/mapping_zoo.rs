@@ -17,9 +17,7 @@ fn main() -> Result<(), MfodError> {
         (Arc::new(TurningAngle), "turning-angle"),
     ];
 
-    println!(
-        "resubstitution AUC of iForest on each mapping (rows) per outlier type (cols)\n"
-    );
+    println!("resubstitution AUC of iForest on each mapping (rows) per outlier type (cols)\n");
     print!("{:<14}", "");
     for ty in OutlierType::ALL {
         print!("{:>22}", ty.name());
@@ -42,7 +40,10 @@ fn main() -> Result<(), MfodError> {
                 Arc::clone(mapping),
                 Arc::new(IsolationForest::default()),
             );
-            match pipeline.fit(data.samples()).and_then(|f| f.score(data.samples())) {
+            match pipeline
+                .fit(data.samples())
+                .and_then(|f| f.score(data.samples()))
+            {
                 Ok(scores) => {
                     let v = auc(&scores, data.labels())?;
                     print!("{v:>22.3}");

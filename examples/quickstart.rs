@@ -23,7 +23,10 @@ fn main() -> Result<(), MfodError> {
     );
 
     // 2. Train/test split with 10% training contamination.
-    let split = SplitConfig { train_size: 96, contamination: 0.10 };
+    let split = SplitConfig {
+        train_size: 96,
+        contamination: 0.10,
+    };
     let (train, test) = split.split_datasets(&data, 7)?;
     println!(
         "train: {} samples ({} outliers); test: {} samples ({} outliers)",
@@ -56,7 +59,11 @@ fn main() -> Result<(), MfodError> {
         println!(
             "  score {:.3}  true label: {}",
             scores[i],
-            if test.labels()[i] { "outlier" } else { "inlier" }
+            if test.labels()[i] {
+                "outlier"
+            } else {
+                "inlier"
+            }
         );
     }
     Ok(())

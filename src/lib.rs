@@ -1,0 +1,9 @@
+//! Facade crate for the `mfod` workspace: re-exports the batch pipeline
+//! ([`mfod`]) and the online scoring subsystem ([`mfod_stream`]) so the
+//! repository-level examples and integration tests have a single anchor.
+//!
+//! The actual library code lives in `crates/` — see `crates/README.md` for
+//! the dependency diagram.
+
+pub use mfod;
+pub use mfod_stream;

@@ -10,17 +10,26 @@ fn dirout_catches_magnitude_but_funta_does_not() {
     // FUNTA only reacts to crossing-angle (shape) information; a pure
     // magnitude outlier that exits the bundle entirely is invisible to it
     // (Sec. 1.2: FUNTA "is only focused on shape persistent outliers").
-    let data = TaxonomyConfig { m: 40, noise_std: 0.02 }
-        .generate(OutlierType::AmplitudePersistent, 40, 8, 3)
-        .unwrap();
-    let (train, test) = SplitConfig { train_size: 24, contamination: 0.08 }
-        .split_datasets(&data, 1)
-        .unwrap();
+    let data = TaxonomyConfig {
+        m: 40,
+        noise_std: 0.02,
+    }
+    .generate(OutlierType::AmplitudePersistent, 40, 8, 3)
+    .unwrap();
+    let (train, test) = SplitConfig {
+        train_size: 24,
+        contamination: 0.08,
+    }
+    .split_datasets(&data, 1)
+    .unwrap();
     let dirout = DepthBaseline::new(Arc::new(DirOut::new()));
     let funta = DepthBaseline::new(Arc::new(Funta::new()));
     let auc_dirout = dirout.auc(&train, &test).unwrap();
     let auc_funta = funta.auc(&train, &test).unwrap();
-    assert!(auc_dirout > 0.9, "Dir.out on amplitude outliers: {auc_dirout}");
+    assert!(
+        auc_dirout > 0.9,
+        "Dir.out on amplitude outliers: {auc_dirout}"
+    );
     assert!(
         auc_dirout > auc_funta,
         "Dir.out {auc_dirout} should beat FUNTA {auc_funta} on magnitude outliers"
@@ -29,12 +38,18 @@ fn dirout_catches_magnitude_but_funta_does_not() {
 
 #[test]
 fn funta_sees_shape_outliers() {
-    let data = TaxonomyConfig { m: 40, noise_std: 0.02 }
-        .generate(OutlierType::ShapePersistent, 40, 8, 5)
-        .unwrap();
-    let (train, test) = SplitConfig { train_size: 24, contamination: 0.08 }
-        .split_datasets(&data, 2)
-        .unwrap();
+    let data = TaxonomyConfig {
+        m: 40,
+        noise_std: 0.02,
+    }
+    .generate(OutlierType::ShapePersistent, 40, 8, 5)
+    .unwrap();
+    let (train, test) = SplitConfig {
+        train_size: 24,
+        contamination: 0.08,
+    }
+    .split_datasets(&data, 2)
+    .unwrap();
     let funta = DepthBaseline::new(Arc::new(Funta::new()));
     let auc_funta = funta.auc(&train, &test).unwrap();
     assert!(auc_funta > 0.85, "FUNTA on shape outliers: {auc_funta}");
@@ -44,16 +59,26 @@ fn funta_sees_shape_outliers() {
 fn curvature_beats_baselines_on_correlation_outliers() {
     // The paper's headline case (issue (3) of Sec. 1.2): outliers caused by
     // abnormal correlation between the channels, invisible channel-wise.
-    let data = TaxonomyConfig { m: 50, noise_std: 0.02 }
-        .generate(OutlierType::CorrelationMixed, 50, 12, 7)
-        .unwrap();
-    let (train, test) = SplitConfig { train_size: 30, contamination: 0.10 }
-        .split_datasets(&data, 3)
-        .unwrap();
+    let data = TaxonomyConfig {
+        m: 50,
+        noise_std: 0.02,
+    }
+    .generate(OutlierType::CorrelationMixed, 50, 12, 7)
+    .unwrap();
+    let (train, test) = SplitConfig {
+        train_size: 30,
+        contamination: 0.10,
+    }
+    .split_datasets(&data, 3)
+    .unwrap();
 
     let pipeline = GeomOutlierPipeline::new(
         PipelineConfig {
-            selector: BasisSelector { sizes: vec![12], lambdas: vec![1e-2], ..Default::default() },
+            selector: BasisSelector {
+                sizes: vec![12],
+                lambdas: vec![1e-2],
+                ..Default::default()
+            },
             grid_len: 50,
             ..Default::default()
         },
@@ -61,12 +86,19 @@ fn curvature_beats_baselines_on_correlation_outliers() {
         Arc::new(IsolationForest::default()),
     );
     let auc_curv = pipeline.fit_score_auc(&train, &test).unwrap();
-    assert!(auc_curv > 0.85, "curvature on correlation outliers: {auc_curv}");
+    assert!(
+        auc_curv > 0.85,
+        "curvature on correlation outliers: {auc_curv}"
+    );
     // the same detector on a single channel must do clearly worse: the
     // outlyingness lives in the *relationship* between the channels
     let single = GeomOutlierPipeline::new(
         PipelineConfig {
-            selector: BasisSelector { sizes: vec![12], lambdas: vec![1e-2], ..Default::default() },
+            selector: BasisSelector {
+                sizes: vec![12],
+                lambdas: vec![1e-2],
+                ..Default::default()
+            },
             grid_len: 50,
             ..Default::default()
         },
@@ -83,12 +115,18 @@ fn curvature_beats_baselines_on_correlation_outliers() {
 #[test]
 fn reference_scoring_matches_joint_scoring_direction() {
     // Both protocols must agree on who the outliers are in easy settings.
-    let data = TaxonomyConfig { m: 30, noise_std: 0.02 }
-        .generate(OutlierType::MagnitudeIsolated, 30, 6, 11)
-        .unwrap();
-    let (train, test) = SplitConfig { train_size: 18, contamination: 0.1 }
-        .split_datasets(&data, 4)
-        .unwrap();
+    let data = TaxonomyConfig {
+        m: 30,
+        noise_std: 0.02,
+    }
+    .generate(OutlierType::MagnitudeIsolated, 30, 6, 11)
+    .unwrap();
+    let (train, test) = SplitConfig {
+        train_size: 18,
+        contamination: 0.1,
+    }
+    .split_datasets(&data, 4)
+    .unwrap();
     let train_g = DepthBaseline::gridded(&train).unwrap();
     let test_g = DepthBaseline::gridded(&test).unwrap();
     let dirout = DirOut::new();
@@ -99,7 +137,10 @@ fn reference_scoring_matches_joint_scoring_direction() {
     let via_joint = &joint_scores[train_g.n()..];
     let auc_ref = auc(&via_reference, test.labels()).unwrap();
     let auc_joint = auc(via_joint, test.labels()).unwrap();
-    assert!(auc_ref > 0.85 && auc_joint > 0.85, "ref {auc_ref}, joint {auc_joint}");
+    assert!(
+        auc_ref > 0.85 && auc_joint > 0.85,
+        "ref {auc_ref}, joint {auc_joint}"
+    );
 }
 
 #[test]
@@ -107,23 +148,32 @@ fn contamination_degrades_baseline_reference() {
     // With the training set as reference, heavy contamination inflates the
     // pointwise MAD and shrinks outlier scores — Dir.out's AUC at c = 25%
     // must not exceed its AUC at c = 5% by any meaningful margin.
-    let data = EcgSimulator::new(EcgConfig { m: 50, ..Default::default() })
-        .unwrap()
-        .generate(80, 40, 13)
-        .unwrap()
-        .augment_with(0, |y| y * y)
-        .unwrap();
+    let data = EcgSimulator::new(EcgConfig {
+        m: 50,
+        ..Default::default()
+    })
+    .unwrap()
+    .generate(80, 40, 13)
+    .unwrap()
+    .augment_with(0, |y| y * y)
+    .unwrap();
     let dirout = DepthBaseline::new(Arc::new(DirOut::new()));
     let mut auc_low = 0.0;
     let mut auc_high = 0.0;
     for seed in 0..3u64 {
-        let (tr, te) = SplitConfig { train_size: 60, contamination: 0.05 }
-            .split_datasets(&data, seed)
-            .unwrap();
+        let (tr, te) = SplitConfig {
+            train_size: 60,
+            contamination: 0.05,
+        }
+        .split_datasets(&data, seed)
+        .unwrap();
         auc_low += dirout.auc(&tr, &te).unwrap();
-        let (tr, te) = SplitConfig { train_size: 60, contamination: 0.25 }
-            .split_datasets(&data, seed)
-            .unwrap();
+        let (tr, te) = SplitConfig {
+            train_size: 60,
+            contamination: 0.25,
+        }
+        .split_datasets(&data, seed)
+        .unwrap();
         auc_high += dirout.auc(&tr, &te).unwrap();
     }
     assert!(
@@ -135,9 +185,12 @@ fn contamination_degrades_baseline_reference() {
 #[test]
 fn modified_band_depth_as_extra_baseline() {
     use mfod::depth::aggregate::ModifiedBandDepth;
-    let data = TaxonomyConfig { m: 30, noise_std: 0.02 }
-        .generate(OutlierType::AmplitudePersistent, 40, 8, 17)
-        .unwrap();
+    let data = TaxonomyConfig {
+        m: 30,
+        noise_std: 0.02,
+    }
+    .generate(OutlierType::AmplitudePersistent, 40, 8, 17)
+    .unwrap();
     let g = DepthBaseline::gridded(&data).unwrap();
     let scores = ModifiedBandDepth.score(&g).unwrap();
     let auc_v = auc(&scores, data.labels()).unwrap();
@@ -149,12 +202,23 @@ fn infimum_aggregation_beats_integral_on_isolated_outliers() {
     // Issue (2) of Sec. 1.2: the integral masks isolated outliers; the
     // infimum is the fix. Verified end-to-end on taxonomy data.
     use mfod::depth::aggregate::IntegratedDepth;
-    let data = TaxonomyConfig { m: 40, noise_std: 0.02 }
-        .generate(OutlierType::MagnitudeIsolated, 50, 10, 19)
-        .unwrap();
+    let data = TaxonomyConfig {
+        m: 40,
+        noise_std: 0.02,
+    }
+    .generate(OutlierType::MagnitudeIsolated, 50, 10, 19)
+    .unwrap();
     let g = DepthBaseline::gridded(&data).unwrap();
-    let auc_inf = auc(&IntegratedDepth::infimum().score(&g).unwrap(), data.labels()).unwrap();
-    let auc_int = auc(&IntegratedDepth::integral().score(&g).unwrap(), data.labels()).unwrap();
+    let auc_inf = auc(
+        &IntegratedDepth::infimum().score(&g).unwrap(),
+        data.labels(),
+    )
+    .unwrap();
+    let auc_int = auc(
+        &IntegratedDepth::integral().score(&g).unwrap(),
+        data.labels(),
+    )
+    .unwrap();
     assert!(
         auc_inf >= auc_int - 0.02,
         "infimum {auc_inf} should be >= integral {auc_int} on isolated outliers"

@@ -39,22 +39,32 @@ fn experiment_is_reproducible() {
 #[test]
 fn external_data_entrypoint() {
     // run_fig3_on accepts pre-built (e.g. real ECG200) data.
-    let data = EcgSimulator::new(EcgConfig { m: 30, ..Default::default() })
-        .unwrap()
-        .generate(40, 20, 5)
-        .unwrap()
-        .augment_with(0, |y| y * y)
-        .unwrap();
+    let data = EcgSimulator::new(EcgConfig {
+        m: 30,
+        ..Default::default()
+    })
+    .unwrap()
+    .generate(40, 20, 5)
+    .unwrap()
+    .augment_with(0, |y| y * y)
+    .unwrap();
     let cfg = Fig3Config {
         contamination_levels: vec![0.10],
         repetitions: 2,
         train_size: 30,
         pipeline: PipelineConfig {
-            selector: BasisSelector { sizes: vec![10], lambdas: vec![1e-2], ..Default::default() },
+            selector: BasisSelector {
+                sizes: vec![10],
+                lambdas: vec![1e-2],
+                ..Default::default()
+            },
             grid_len: 30,
             ..Default::default()
         },
-        nu_tuner: NuTuner { folds: 3, ..Default::default() },
+        nu_tuner: NuTuner {
+            folds: 3,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let rows = run_fig3_on(&cfg, &data).unwrap();
@@ -72,13 +82,23 @@ fn geometric_methods_competitive_at_moderate_scale() {
         train_size: 60,
         n_normal: 80,
         n_abnormal: 40,
-        ecg: EcgConfig { m: 60, ..Default::default() },
+        ecg: EcgConfig {
+            m: 60,
+            ..Default::default()
+        },
         pipeline: PipelineConfig {
-            selector: BasisSelector { sizes: vec![14], lambdas: vec![1e-2], ..Default::default() },
+            selector: BasisSelector {
+                sizes: vec![14],
+                lambdas: vec![1e-2],
+                ..Default::default()
+            },
             grid_len: 60,
             ..Default::default()
         },
-        nu_tuner: NuTuner { folds: 3, ..Default::default() },
+        nu_tuner: NuTuner {
+            folds: 3,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let rows = run_fig3(&cfg).unwrap();
@@ -87,7 +107,10 @@ fn geometric_methods_competitive_at_moderate_scale() {
     let funta = s.get("FUNTA").unwrap().mean;
     let dirout = s.get("Dir.out").unwrap().mean;
     assert!(ifor > funta, "iFor(Curvmap) {ifor} must beat FUNTA {funta}");
-    assert!(ifor > dirout - 0.08, "iFor(Curvmap) {ifor} vs Dir.out {dirout}");
+    assert!(
+        ifor > dirout - 0.08,
+        "iFor(Curvmap) {ifor} vs Dir.out {dirout}"
+    );
     assert!(ifor > 0.85, "iFor(Curvmap) {ifor}");
 }
 

@@ -5,18 +5,25 @@ use mfod::prelude::*;
 use std::sync::Arc;
 
 fn ecg_data(seed: u64) -> LabeledDataSet {
-    EcgSimulator::new(EcgConfig { m: 50, ..Default::default() })
-        .unwrap()
-        .generate(60, 30, seed)
-        .unwrap()
-        .augment_with(0, |y| y * y)
-        .unwrap()
+    EcgSimulator::new(EcgConfig {
+        m: 50,
+        ..Default::default()
+    })
+    .unwrap()
+    .generate(60, 30, seed)
+    .unwrap()
+    .augment_with(0, |y| y * y)
+    .unwrap()
 }
 
 fn pipeline(detector: Arc<dyn Detector>) -> GeomOutlierPipeline {
     GeomOutlierPipeline::new(
         PipelineConfig {
-            selector: BasisSelector { sizes: vec![12], lambdas: vec![1e-2], ..Default::default() },
+            selector: BasisSelector {
+                sizes: vec![12],
+                lambdas: vec![1e-2],
+                ..Default::default()
+            },
             grid_len: 50,
             ..Default::default()
         },
@@ -28,9 +35,12 @@ fn pipeline(detector: Arc<dyn Detector>) -> GeomOutlierPipeline {
 #[test]
 fn curvature_iforest_detects_ecg_outliers() {
     let data = ecg_data(11);
-    let (train, test) = SplitConfig { train_size: 45, contamination: 0.10 }
-        .split_datasets(&data, 3)
-        .unwrap();
+    let (train, test) = SplitConfig {
+        train_size: 45,
+        contamination: 0.10,
+    }
+    .split_datasets(&data, 3)
+    .unwrap();
     let p = pipeline(Arc::new(IsolationForest::default()));
     let auc_v = p.fit_score_auc(&train, &test).unwrap();
     assert!(auc_v > 0.8, "iFor(Curvmap) AUC {auc_v}");
@@ -39,9 +49,12 @@ fn curvature_iforest_detects_ecg_outliers() {
 #[test]
 fn curvature_ocsvm_detects_ecg_outliers() {
     let data = ecg_data(13);
-    let (train, test) = SplitConfig { train_size: 45, contamination: 0.10 }
-        .split_datasets(&data, 5)
-        .unwrap();
+    let (train, test) = SplitConfig {
+        train_size: 45,
+        contamination: 0.10,
+    }
+    .split_datasets(&data, 5)
+    .unwrap();
     let p = pipeline(Arc::new(OcSvm::with_nu(0.1).unwrap()));
     let auc_v = p.fit_score_auc(&train, &test).unwrap();
     assert!(auc_v > 0.75, "OCSVM(Curvmap) AUC {auc_v}");
@@ -52,19 +65,18 @@ fn pipeline_beats_raw_feature_detector() {
     // The geometric representation should beat iForest applied directly to
     // the raw measurement vectors of the same samples.
     let data = ecg_data(17);
-    let (train, test) = SplitConfig { train_size: 45, contamination: 0.10 }
-        .split_datasets(&data, 7)
-        .unwrap();
+    let (train, test) = SplitConfig {
+        train_size: 45,
+        contamination: 0.10,
+    }
+    .split_datasets(&data, 7)
+    .unwrap();
     let p = pipeline(Arc::new(IsolationForest::default()));
     let auc_geom = p.fit_score_auc(&train, &test).unwrap();
 
     // raw features: concatenated channel values
     let raw = |set: &LabeledDataSet| {
-        let rows: Vec<Vec<f64>> = set
-            .samples()
-            .iter()
-            .map(|s| s.channels.concat())
-            .collect();
+        let rows: Vec<Vec<f64>> = set.samples().iter().map(|s| s.channels.concat()).collect();
         mfod::detect::features::matrix_from_rows(&rows).unwrap()
     };
     let model = IsolationForest::default().fit(&raw(&train)).unwrap();
@@ -80,7 +92,10 @@ fn pipeline_beats_raw_feature_detector() {
 #[test]
 fn scores_are_deterministic_given_seeds() {
     let data = ecg_data(19);
-    let p = pipeline(Arc::new(IsolationForest { seed: 1234, ..Default::default() }));
+    let p = pipeline(Arc::new(IsolationForest {
+        seed: 1234,
+        ..Default::default()
+    }));
     let f1 = p.fit(data.samples()).unwrap();
     let f2 = p.fit(data.samples()).unwrap();
     let s1 = f1.score(data.samples()).unwrap();
@@ -95,9 +110,12 @@ fn robustness_across_contamination_levels() {
     let data = ecg_data(23);
     let p = pipeline(Arc::new(IsolationForest::default()));
     for c in [0.05, 0.15, 0.25] {
-        let (train, test) = SplitConfig { train_size: 45, contamination: c }
-            .split_datasets(&data, 9)
-            .unwrap();
+        let (train, test) = SplitConfig {
+            train_size: 45,
+            contamination: c,
+        }
+        .split_datasets(&data, 9)
+        .unwrap();
         let auc_v = p.fit_score_auc(&train, &test).unwrap();
         assert!(auc_v > 0.75, "c = {c}: AUC {auc_v}");
     }
@@ -117,11 +135,18 @@ fn mapped_features_are_finite_and_shaped() {
 #[test]
 fn ensemble_end_to_end() {
     let data = ecg_data(31);
-    let (train, test) = SplitConfig { train_size: 45, contamination: 0.10 }
-        .split_datasets(&data, 11)
-        .unwrap();
+    let (train, test) = SplitConfig {
+        train_size: 45,
+        contamination: 0.10,
+    }
+    .split_datasets(&data, 11)
+    .unwrap();
     let cfg = PipelineConfig {
-        selector: BasisSelector { sizes: vec![12], lambdas: vec![1e-2], ..Default::default() },
+        selector: BasisSelector {
+            sizes: vec![12],
+            lambdas: vec![1e-2],
+            ..Default::default()
+        },
         grid_len: 50,
         ..Default::default()
     };

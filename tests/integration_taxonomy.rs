@@ -7,7 +7,11 @@ use std::sync::Arc;
 
 fn cfg(m: usize) -> PipelineConfig {
     PipelineConfig {
-        selector: BasisSelector { sizes: vec![12], lambdas: vec![1e-2], ..Default::default() },
+        selector: BasisSelector {
+            sizes: vec![12],
+            lambdas: vec![1e-2],
+            ..Default::default()
+        },
         grid_len: m,
         ..Default::default()
     }
