@@ -1,0 +1,141 @@
+//! Sequential-vs-pool speedups for the **fit-side** hot paths that now run
+//! on the persistent worker pool: random-projection outlyingness
+//! (`mfod-depth`), isolation-forest tree growing (`mfod-detect`) and
+//! per-fold cross-validation (`mfod-eval`).
+//!
+//! The sequential baseline is an explicit 1-thread [`Pool`], which takes
+//! exactly the inline code path, so the comparison isolates chunked
+//! fan-out from pool bookkeeping. The `speedup` report at the end prints
+//! measured ratios and asserts the parallel results are **bit-for-bit**
+//! equal to the sequential ones — on a single-core container the ratios
+//! hover around 1.0 by construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mfod::depth::projection::{projection_outlyingness_on, ProjectionConfig};
+use mfod::detect::prelude::*;
+use mfod::eval::cv::par_eval_folds;
+use mfod::eval::KFold;
+use mfod::linalg::par::{max_threads, Pool};
+use mfod::linalg::Matrix;
+use std::time::{Duration, Instant};
+
+/// Deterministic anisotropic cloud with a sprinkling of far-away rows.
+fn cloud(n: usize, p: usize) -> Matrix {
+    Matrix::from_fn(n, p, |i, j| {
+        let a = (i * 31 + j * 7) as f64 * 0.377;
+        let base = a.sin() * (1.0 + j as f64 * 0.4) + (i as f64 * 0.01);
+        if i % 23 == 0 {
+            base + 8.0
+        } else {
+            base
+        }
+    })
+}
+
+fn projection_work(pool: &Pool, x: &Matrix) -> Vec<f64> {
+    let cfg = ProjectionConfig {
+        n_directions: 96,
+        seed: 17,
+    };
+    projection_outlyingness_on(pool, x, &cfg).unwrap().scores
+}
+
+fn iforest_work(pool: &Pool, x: &Matrix) -> Vec<f64> {
+    let forest = IsolationForest {
+        n_trees: 120,
+        subsample: 128,
+        seed: 5,
+    };
+    let model = forest.fit_on(pool, x).unwrap();
+    model.score_batch(x).unwrap()
+}
+
+fn cv_work(pool: &Pool, x: &Matrix) -> Vec<f64> {
+    let folds = KFold::new(6, 9).unwrap().folds(x.nrows()).unwrap();
+    let cols: Vec<usize> = (0..x.ncols()).collect();
+    par_eval_folds(pool, &folds, |_, tr, va| {
+        let model = Mahalanobis::default().fit(&x.submatrix(tr, &cols))?;
+        let mut mean = 0.0;
+        for &i in va {
+            mean += model.score_one(x.row(i))?;
+        }
+        Ok::<_, mfod::detect::DetectError>(mean / va.len() as f64)
+    })
+    .unwrap()
+}
+
+fn bench_fit_paths(c: &mut Criterion) {
+    let x = cloud(192, 6);
+    let seq = Pool::with_threads(1);
+    let pooled = Pool::with_threads(max_threads());
+    let mut g = c.benchmark_group("fit");
+    g.sample_size(10);
+    g.bench_function("projection/sequential", |b| {
+        b.iter(|| projection_work(&seq, &x))
+    });
+    g.bench_function(format!("projection/pool_{}", pooled.threads()), |b| {
+        b.iter(|| projection_work(&pooled, &x))
+    });
+    g.bench_function("iforest/sequential", |b| b.iter(|| iforest_work(&seq, &x)));
+    g.bench_function(format!("iforest/pool_{}", pooled.threads()), |b| {
+        b.iter(|| iforest_work(&pooled, &x))
+    });
+    g.bench_function("cv_folds/sequential", |b| b.iter(|| cv_work(&seq, &x)));
+    g.bench_function(format!("cv_folds/pool_{}", pooled.threads()), |b| {
+        b.iter(|| cv_work(&pooled, &x))
+    });
+    g.finish();
+}
+
+/// A fit path under measurement: `(name, seq-or-pool runner)`.
+type FitPath<'a> = (&'a str, &'a dyn Fn(&Pool, &Matrix) -> Vec<f64>);
+
+/// Explicit sequential-vs-pool report (best of 3), with a bit-for-bit
+/// parity check on every path.
+fn report_speedup(_c: &mut Criterion) {
+    let x = cloud(192, 6);
+    let seq = Pool::with_threads(1);
+    let pooled = Pool::with_threads(max_threads());
+    let time = |pool: &Pool, work: &dyn Fn(&Pool, &Matrix) -> Vec<f64>| -> Duration {
+        work(pool, &x); // warm-up
+        (0..3)
+            .map(|_| {
+                let t0 = Instant::now();
+                let out = work(pool, &x);
+                assert!(!out.is_empty());
+                t0.elapsed()
+            })
+            .min()
+            .unwrap()
+    };
+    let paths: [FitPath; 3] = [
+        ("projection-depth fit", &projection_work),
+        ("iforest fit", &iforest_work),
+        ("cv fold eval", &cv_work),
+    ];
+    for (name, work) in paths {
+        let a = work(&seq, &x);
+        let b = work(&pooled, &x);
+        assert_eq!(a.len(), b.len(), "{name}");
+        for (i, (s, p)) in a.iter().zip(&b).enumerate() {
+            assert_eq!(
+                s.to_bits(),
+                p.to_bits(),
+                "{name} row {i}: sequential {s} != pooled {p}"
+            );
+        }
+        let t_seq = time(&seq, work);
+        let t_pool = time(&pooled, work);
+        let ratio = t_seq.as_secs_f64() / t_pool.as_secs_f64();
+        println!(
+            "fit/speedup: {name} · sequential {:.1} ms · pool({} threads) {:.1} ms · \
+             speedup {ratio:.2}x · outputs bit-identical",
+            t_seq.as_secs_f64() * 1e3,
+            pooled.threads(),
+            t_pool.as_secs_f64() * 1e3,
+        );
+    }
+}
+
+criterion_group!(benches, bench_fit_paths, report_speedup);
+criterion_main!(benches);

@@ -84,6 +84,22 @@ fn bench_micro_batching(c: &mut Criterion) {
     g.finish();
 }
 
+/// Per-call overhead of the persistent worker pool: a cheap map whose cost
+/// under the previous scoped-thread implementation was dominated by the
+/// per-call thread spawn and join. With long-lived workers this measures
+/// only queueing and chunk bookkeeping.
+fn bench_pool_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("par");
+    g.sample_size(10);
+    g.bench_function("par_map/4096_cheap", |b| {
+        b.iter(|| mfod::linalg::par::par_map(4096, |i| (i as f64).sqrt()))
+    });
+    g.bench_function("par_map/64_cheap", |b| {
+        b.iter(|| mfod::linalg::par::par_map(64, |i| (i as f64).sqrt()))
+    });
+    g.finish();
+}
+
 /// Explicit parallel-vs-sequential report: micro-batching at 128 must beat
 /// the batch-size-1 sequential baseline on any multicore box.
 fn report_speedup(_c: &mut Criterion) {
@@ -113,5 +129,10 @@ fn report_speedup(_c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench_micro_batching, report_speedup);
+criterion_group!(
+    benches,
+    bench_micro_batching,
+    bench_pool_overhead,
+    report_speedup
+);
 criterion_main!(benches);

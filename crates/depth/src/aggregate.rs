@@ -63,7 +63,8 @@ impl IntegratedDepth {
         let mut table = vec![vec![0.0; m]; n];
         for j in 0..m {
             let cloud = data.point_cloud(j);
-            let o = projection_outlyingness(&cloud, &self.projection)?;
+            let o = projection_outlyingness(&cloud, &self.projection)
+                .map_err(|e| e.at_grid_point(j))?;
             for i in 0..n {
                 table[i][j] = 1.0 / (1.0 + o[i]);
             }

@@ -21,7 +21,7 @@
 //! components separately, which [`DirOutScores`] exposes).
 
 use crate::dataset::GriddedDataSet;
-use crate::projection::{coordinate_median, projection_outlyingness, ProjectionConfig};
+use crate::projection::{coordinate_median, projection_outlyingness_full, ProjectionConfig};
 use crate::{FunctionalOutlierScorer, Result};
 use mfod_linalg::vector;
 
@@ -48,9 +48,13 @@ impl DirOut {
         let span = grid[m - 1] - grid[0];
         // pointwise directional outlyingness, O[i][j] ∈ R^p flattened
         let mut o = vec![vec![0.0; m * p]; n];
+        let mut degenerate_directions = 0usize;
         for j in 0..m {
             let cloud = data.point_cloud(j);
-            let magnitude = projection_outlyingness(&cloud, &self.projection)?;
+            let outcome = projection_outlyingness_full(&cloud, &self.projection)
+                .map_err(|e| e.at_grid_point(j))?;
+            degenerate_directions += outcome.degenerate_directions;
+            let magnitude = outcome.scores;
             let center = coordinate_median(&cloud);
             for i in 0..n {
                 let x = cloud.row(i);
@@ -91,7 +95,12 @@ impl DirOut {
             vo.push(vo_i);
             fo.push(fo_i);
         }
-        Ok(DirOutScores { mo, vo, fo })
+        Ok(DirOutScores {
+            mo,
+            vo,
+            fo,
+            degenerate_directions,
+        })
     }
 }
 
@@ -104,6 +113,11 @@ pub struct DirOutScores {
     pub vo: Vec<f64>,
     /// Combined functional outlyingness `‖MO‖² + VO` per sample.
     pub fo: Vec<f64>,
+    /// Projection directions skipped as degenerate, summed over all grid
+    /// points — a quality signal: when it approaches
+    /// `m × (n_directions + p)` the effective direction budget has
+    /// collapsed and the supremum is estimated from very few directions.
+    pub degenerate_directions: usize,
 }
 
 impl DirOutScores {
@@ -141,14 +155,18 @@ impl DirOut {
         let grid = queries.grid();
         let span = grid[m - 1] - grid[0];
         let mut o = vec![vec![0.0; m * p]; n];
+        let mut degenerate_directions = 0usize;
         for j in 0..m {
             let ref_cloud = reference.point_cloud(j);
             let query_cloud = queries.point_cloud(j);
-            let magnitude = crate::projection::projection_outlyingness_against(
+            let outcome = crate::projection::projection_outlyingness_against_full(
                 &ref_cloud,
                 &query_cloud,
                 &self.projection,
-            )?;
+            )
+            .map_err(|e| e.at_grid_point(j))?;
+            degenerate_directions += outcome.degenerate_directions;
+            let magnitude = outcome.scores;
             let center = coordinate_median(&ref_cloud);
             for i in 0..n {
                 let x = query_cloud.row(i);
@@ -187,7 +205,12 @@ impl DirOut {
             vo.push(vo_i);
             fo.push(fo_i);
         }
-        Ok(DirOutScores { mo, vo, fo })
+        Ok(DirOutScores {
+            mo,
+            vo,
+            fo,
+            degenerate_directions,
+        })
     }
 }
 

@@ -21,11 +21,38 @@ pub enum DepthError {
     /// A scale estimate degenerated to zero, making outlyingness undefined
     /// (e.g. more than half the observations identical at some point).
     DegenerateScale {
-        /// Grid index at which it happened.
+        /// What was being scaled when the MAD collapsed (the point set, a
+        /// projection direction, …).
+        context: String,
+    },
+    /// Every projection direction degenerated (zero MAD along each one),
+    /// so projection outlyingness is undefined — the cloud is concentrated
+    /// on too few distinct points.
+    DegenerateDirections {
+        /// Directions attempted (random draws plus coordinate axes).
+        attempted: usize,
+    },
+    /// A pointwise computation failed at a specific grid point.
+    AtGridPoint {
+        /// Index of the grid point at which the failure occurred.
         grid_index: usize,
+        /// The underlying failure.
+        source: Box<DepthError>,
     },
     /// Invalid method parameter.
     InvalidParameter(String),
+}
+
+impl DepthError {
+    /// Wraps this error with the grid point at which it occurred, so
+    /// pointwise scorers (Dir.out, FUNTA) report *where* along the domain
+    /// a depth computation collapsed instead of a context-free failure.
+    pub fn at_grid_point(self, grid_index: usize) -> DepthError {
+        DepthError::AtGridPoint {
+            grid_index,
+            source: Box::new(self),
+        }
+    }
 }
 
 impl fmt::Display for DepthError {
@@ -37,15 +64,32 @@ impl fmt::Display for DepthError {
             DepthError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
             DepthError::NonFinite => write!(f, "input contains NaN or infinite values"),
             DepthError::InvalidGrid(msg) => write!(f, "invalid grid: {msg}"),
-            DepthError::DegenerateScale { grid_index } => {
-                write!(f, "degenerate scale (zero MAD) at grid index {grid_index}")
+            DepthError::DegenerateScale { context } => {
+                write!(f, "degenerate scale (zero MAD): {context}")
+            }
+            DepthError::DegenerateDirections { attempted } => {
+                write!(
+                    f,
+                    "all {attempted} projection directions degenerated (zero MAD); \
+                     the cloud is concentrated on too few distinct points"
+                )
+            }
+            DepthError::AtGridPoint { grid_index, source } => {
+                write!(f, "at grid index {grid_index}: {source}")
             }
             DepthError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
         }
     }
 }
 
-impl std::error::Error for DepthError {}
+impl std::error::Error for DepthError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DepthError::AtGridPoint { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -59,9 +103,14 @@ mod tests {
         assert!(DepthError::ShapeMismatch("p".into())
             .to_string()
             .contains('p'));
-        assert!(DepthError::DegenerateScale { grid_index: 4 }
+        assert!(DepthError::DegenerateScale {
+            context: "reference set".into()
+        }
+        .to_string()
+        .contains("reference set"));
+        assert!(DepthError::DegenerateDirections { attempted: 132 }
             .to_string()
-            .contains('4'));
+            .contains("132"));
         assert!(DepthError::InvalidGrid("g".into())
             .to_string()
             .contains('g'));
@@ -69,5 +118,19 @@ mod tests {
         assert!(DepthError::InvalidParameter("x".into())
             .to_string()
             .contains('x'));
+    }
+
+    #[test]
+    fn grid_context_wraps_and_exposes_the_source() {
+        let inner = DepthError::DegenerateScale {
+            context: "projection of the reference cloud".into(),
+        };
+        let wrapped = inner.clone().at_grid_point(17);
+        let msg = wrapped.to_string();
+        assert!(msg.contains("grid index 17"), "{msg}");
+        assert!(msg.contains("projection of the reference cloud"), "{msg}");
+        let source = std::error::Error::source(&wrapped).expect("source preserved");
+        assert_eq!(source.to_string(), inner.to_string());
+        assert!(std::error::Error::source(&inner).is_none());
     }
 }

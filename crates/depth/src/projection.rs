@@ -1,10 +1,19 @@
 //! Projection-depth primitives: Stahel–Donoho outlyingness in 1-D (exact)
 //! and in `R^p` via random directions, as used by the directional
 //! outlyingness baseline (Zuo 2003; Dai & Genton 2019).
+//!
+//! The random-direction approximation is the fit-side hot path of the
+//! Dir.out baseline (one call per grid point), so the per-direction work
+//! — project the cloud, take the median and MAD, fold the normalized
+//! residuals into the running maximum — fans out across the worker pool
+//! of [`mfod_linalg::par`]. The RNG-drawn direction stream is generated
+//! **sequentially before** the fan-out, and the per-direction maxima are
+//! folded back **in direction order**, so the scores are bit-for-bit
+//! identical to the plain sequential loop at any thread count.
 
 use crate::error::DepthError;
 use crate::Result;
-use mfod_linalg::{vector, Matrix};
+use mfod_linalg::{par, vector, Matrix};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -19,7 +28,9 @@ pub fn univariate_outlyingness(points: &[f64]) -> Result<Vec<f64>> {
     let med = vector::median(points);
     let mad = vector::mad_raw(points);
     if mad <= 0.0 || !mad.is_finite() {
-        return Err(DepthError::DegenerateScale { grid_index: 0 });
+        return Err(DepthError::DegenerateScale {
+            context: format!("MAD of the {}-point univariate set is zero", points.len()),
+        });
     }
     Ok(points.iter().map(|&x| (x - med).abs() / mad).collect())
 }
@@ -43,6 +54,25 @@ impl Default for ProjectionConfig {
     }
 }
 
+/// Projection-outlyingness scores together with the direction budget that
+/// produced them.
+///
+/// Degenerate directions (zero MAD of the projected reference cloud, or a
+/// random draw too short to normalize) are skipped silently by the score
+/// computation; this bookkeeping lets callers observe when the *effective*
+/// direction budget collapses well below [`ProjectionConfig::n_directions`]
+/// — the approximation quality degrades long before every direction dies
+/// and the computation turns into a hard error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProjectionOutcome {
+    /// Outlyingness per scored point; **higher = more outlying**.
+    pub scores: Vec<f64>,
+    /// Directions that contributed to the supremum (positive finite MAD).
+    pub used_directions: usize,
+    /// Directions skipped because they degenerated.
+    pub degenerate_directions: usize,
+}
+
 /// Approximates the projection outlyingness
 /// `O(x) = sup_u |uᵀx − med(uᵀZ)| / MAD(uᵀZ)` of every row of `cloud`
 /// (an `n x p` matrix) by maximizing over random unit directions plus the
@@ -50,72 +80,76 @@ impl Default for ProjectionConfig {
 ///
 /// For `p = 1` the exact univariate computation is used. Degenerate
 /// directions (zero MAD) are skipped; if *every* direction degenerates the
-/// cloud is concentrated and an error is returned.
+/// cloud is concentrated and [`DepthError::DegenerateDirections`] is
+/// returned. Runs on the global worker pool; see
+/// [`projection_outlyingness_full`] for the direction diagnostics and
+/// [`projection_outlyingness_on`] for an explicit pool.
 pub fn projection_outlyingness(cloud: &Matrix, config: &ProjectionConfig) -> Result<Vec<f64>> {
-    let n = cloud.nrows();
-    let p = cloud.ncols();
-    if n == 0 {
+    projection_outlyingness_full(cloud, config).map(|outcome| outcome.scores)
+}
+
+/// [`projection_outlyingness`] with the degenerate-direction diagnostics.
+pub fn projection_outlyingness_full(
+    cloud: &Matrix,
+    config: &ProjectionConfig,
+) -> Result<ProjectionOutcome> {
+    projection_outlyingness_on(par::global(), cloud, config)
+}
+
+/// [`projection_outlyingness_full`] on an explicit worker pool. The output
+/// is bit-for-bit identical for every pool size ([`par::Pool::with_threads`]
+/// with 1 thread reproduces the sequential loop exactly).
+pub fn projection_outlyingness_on(
+    pool: &par::Pool,
+    cloud: &Matrix,
+    config: &ProjectionConfig,
+) -> Result<ProjectionOutcome> {
+    if cloud.nrows() == 0 {
         return Err(DepthError::TooFewSamples { got: 0, need: 1 });
     }
-    if p == 1 {
-        return univariate_outlyingness(&cloud.col(0));
+    if cloud.ncols() == 1 {
+        return Ok(ProjectionOutcome {
+            scores: univariate_outlyingness(&cloud.col(0))?,
+            used_directions: 1,
+            degenerate_directions: 0,
+        });
     }
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut out = vec![0.0; n];
-    let mut any_valid = false;
-    let mut proj = vec![0.0; n];
-    let mut dir = vec![0.0; p];
-    let total = config.n_directions + p;
-    for d in 0..total {
-        if d < p {
-            // coordinate axes first: cheap and often informative
-            dir.fill(0.0);
-            dir[d] = 1.0;
-        } else {
-            // isotropic Gaussian direction, normalized
-            for v in dir.iter_mut() {
-                *v = standard_normal(&mut rng);
-            }
-            if vector::normalize(&mut dir, 1e-12) <= 1e-12 {
-                continue;
-            }
-        }
-        for (i, pr) in proj.iter_mut().enumerate() {
-            *pr = vector::dot(cloud.row(i), &dir);
-        }
-        let med = vector::median(&proj);
-        let mad = vector::mad_raw(&proj);
-        if mad <= 1e-300 || !mad.is_finite() {
-            continue;
-        }
-        any_valid = true;
-        for (o, &pr) in out.iter_mut().zip(proj.iter()) {
-            let v = (pr - med).abs() / mad;
-            if v > *o {
-                *o = v;
-            }
-        }
-    }
-    if !any_valid {
-        return Err(DepthError::DegenerateScale { grid_index: 0 });
-    }
-    Ok(out)
+    outlyingness_over_directions(pool, cloud, None, config)
 }
 
 /// Approximates the projection outlyingness of each row of `queries`
 /// **with respect to the `reference` cloud**: the median and MAD of every
 /// direction's projections are estimated from `reference` only, so query
 /// points do not influence the location/scale estimates (the train/test
-/// protocol).
+/// protocol). Runs on the global worker pool.
 pub fn projection_outlyingness_against(
     reference: &Matrix,
     queries: &Matrix,
     config: &ProjectionConfig,
 ) -> Result<Vec<f64>> {
+    projection_outlyingness_against_full(reference, queries, config).map(|outcome| outcome.scores)
+}
+
+/// [`projection_outlyingness_against`] with the degenerate-direction
+/// diagnostics.
+pub fn projection_outlyingness_against_full(
+    reference: &Matrix,
+    queries: &Matrix,
+    config: &ProjectionConfig,
+) -> Result<ProjectionOutcome> {
+    projection_outlyingness_against_on(par::global(), reference, queries, config)
+}
+
+/// [`projection_outlyingness_against_full`] on an explicit worker pool.
+pub fn projection_outlyingness_against_on(
+    pool: &par::Pool,
+    reference: &Matrix,
+    queries: &Matrix,
+    config: &ProjectionConfig,
+) -> Result<ProjectionOutcome> {
     let n_ref = reference.nrows();
-    let n_q = queries.nrows();
     let p = reference.ncols();
-    if n_ref == 0 || n_q == 0 {
+    if n_ref == 0 || queries.nrows() == 0 {
         return Err(DepthError::TooFewSamples { got: 0, need: 1 });
     }
     if queries.ncols() != p {
@@ -129,52 +163,141 @@ pub fn projection_outlyingness_against(
         let med = vector::median(&refs);
         let mad = vector::mad_raw(&refs);
         if mad <= 0.0 || !mad.is_finite() {
-            return Err(DepthError::DegenerateScale { grid_index: 0 });
+            return Err(DepthError::DegenerateScale {
+                context: format!("MAD of the {n_ref}-point univariate reference set is zero"),
+            });
         }
-        return Ok(queries
-            .col(0)
-            .iter()
-            .map(|&x| (x - med).abs() / mad)
-            .collect());
+        return Ok(ProjectionOutcome {
+            scores: queries
+                .col(0)
+                .iter()
+                .map(|&x| (x - med).abs() / mad)
+                .collect(),
+            used_directions: 1,
+            degenerate_directions: 0,
+        });
     }
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut out = vec![0.0; n_q];
-    let mut any_valid = false;
-    let mut proj_ref = vec![0.0; n_ref];
-    let mut dir = vec![0.0; p];
+    outlyingness_over_directions(pool, reference, Some(queries), config)
+}
+
+/// Shared direction loop behind the joint and against variants: location
+/// and scale come from `reference`; scores are computed for `queries`
+/// when given, else for `reference` itself.
+///
+/// Stage 1 draws the direction stream sequentially (identical RNG
+/// consumption to the historical sequential loop), stage 2 fans the
+/// project + median + MAD work per direction across `pool`, stage 3 folds
+/// the per-direction residuals into the supremum in direction order.
+fn outlyingness_over_directions(
+    pool: &par::Pool,
+    reference: &Matrix,
+    queries: Option<&Matrix>,
+    config: &ProjectionConfig,
+) -> Result<ProjectionOutcome> {
+    let n_ref = reference.nrows();
+    let p = reference.ncols();
+    let n_out = queries.map_or(n_ref, Matrix::nrows);
     let total = config.n_directions + p;
+
+    // Stage 1 (sequential): the direction stream. Axes first, then random
+    // unit vectors; draws that fail to normalize are counted as degenerate
+    // but still consume the same RNG values they always did.
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut dirs: Vec<Vec<f64>> = Vec::with_capacity(total);
+    let mut degenerate = 0usize;
+    let mut dir = vec![0.0; p];
     for d in 0..total {
         if d < p {
+            // coordinate axes first: cheap and often informative
             dir.fill(0.0);
             dir[d] = 1.0;
         } else {
+            // isotropic Gaussian direction, normalized
             for v in dir.iter_mut() {
                 *v = standard_normal(&mut rng);
             }
             if vector::normalize(&mut dir, 1e-12) <= 1e-12 {
+                degenerate += 1;
                 continue;
             }
         }
-        for (pr, i) in proj_ref.iter_mut().zip(0..n_ref) {
-            *pr = vector::dot(reference.row(i), &dir);
+        dirs.push(dir.clone());
+    }
+
+    // Stage 2 (parallel): contiguous blocks of directions, each folding
+    // its residuals into a per-block partial supremum as it goes, so the
+    // transient memory is O(blocks × n) rather than O(directions × n).
+    let n_dirs = dirs.len();
+    let n_blocks = pool.threads().min(n_dirs).max(1);
+    let (base, extra) = (n_dirs / n_blocks, n_dirs % n_blocks);
+    let mut bounds = Vec::with_capacity(n_blocks + 1);
+    let mut start = 0usize;
+    bounds.push(0);
+    for b in 0..n_blocks {
+        start += base + usize::from(b < extra);
+        bounds.push(start);
+    }
+    let blocks: Vec<(Vec<f64>, usize, usize)> = pool.map(n_blocks, |b| {
+        let mut partial = vec![0.0; n_out];
+        let mut used = 0usize;
+        let mut block_degenerate = 0usize;
+        let mut proj_ref = vec![0.0; n_ref];
+        for u in &dirs[bounds[b]..bounds[b + 1]] {
+            for (i, pr) in proj_ref.iter_mut().enumerate() {
+                *pr = vector::dot(reference.row(i), u);
+            }
+            let med = vector::median(&proj_ref);
+            let mad = vector::mad_raw(&proj_ref);
+            if mad <= 1e-300 || !mad.is_finite() {
+                block_degenerate += 1;
+                continue;
+            }
+            used += 1;
+            match queries {
+                None => {
+                    for (o, &pr) in partial.iter_mut().zip(proj_ref.iter()) {
+                        let v = (pr - med).abs() / mad;
+                        if v > *o {
+                            *o = v;
+                        }
+                    }
+                }
+                Some(q) => {
+                    for (i, o) in partial.iter_mut().enumerate() {
+                        let v = (vector::dot(q.row(i), u) - med).abs() / mad;
+                        if v > *o {
+                            *o = v;
+                        }
+                    }
+                }
+            }
         }
-        let med = vector::median(&proj_ref);
-        let mad = vector::mad_raw(&proj_ref);
-        if mad <= 1e-300 || !mad.is_finite() {
-            continue;
-        }
-        any_valid = true;
-        for (i, o) in out.iter_mut().enumerate() {
-            let v = (vector::dot(queries.row(i), &dir) - med).abs() / mad;
+        (partial, used, block_degenerate)
+    });
+
+    // Stage 3 (sequential): merge the block partials in block (= direction)
+    // order. The strictly-greater max update over the nonnegative finite
+    // residuals is associative, so the blocked fold is bit-for-bit
+    // identical to the one-direction-at-a-time sequential loop.
+    let mut out = vec![0.0; n_out];
+    let mut used = 0usize;
+    for (partial, block_used, block_degenerate) in blocks {
+        used += block_used;
+        degenerate += block_degenerate;
+        for (o, &v) in out.iter_mut().zip(partial.iter()) {
             if v > *o {
                 *o = v;
             }
         }
     }
-    if !any_valid {
-        return Err(DepthError::DegenerateScale { grid_index: 0 });
+    if used == 0 {
+        return Err(DepthError::DegenerateDirections { attempted: total });
     }
-    Ok(out)
+    Ok(ProjectionOutcome {
+        scores: out,
+        used_directions: used,
+        degenerate_directions: degenerate,
+    })
 }
 
 /// Projection depth `PD(x) = 1 / (1 + O(x))` for every row of `cloud`.
@@ -308,12 +431,83 @@ mod tests {
     }
 
     #[test]
+    fn pool_sizes_agree_bit_for_bit() {
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| {
+                vec![
+                    (i as f64 * 0.31).sin(),
+                    (i as f64 * 0.77).cos(),
+                    (i as f64 * 0.13).tan().atan(),
+                    i as f64 * 0.05,
+                ]
+            })
+            .collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let cloud = Matrix::from_rows(&refs);
+        let queries = Matrix::from_rows(&refs[..7]);
+        let cfg = ProjectionConfig {
+            n_directions: 48,
+            seed: 9,
+        };
+        let p1 = par::Pool::with_threads(1);
+        let p8 = par::Pool::with_threads(8);
+        let seq = projection_outlyingness_on(&p1, &cloud, &cfg).unwrap();
+        let par8 = projection_outlyingness_on(&p8, &cloud, &cfg).unwrap();
+        let global = projection_outlyingness_full(&cloud, &cfg).unwrap();
+        assert_eq!(seq, par8);
+        assert_eq!(seq, global);
+        for (a, b) in seq.scores.iter().zip(&par8.scores) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let seq_q = projection_outlyingness_against_on(&p1, &cloud, &queries, &cfg).unwrap();
+        let par_q = projection_outlyingness_against_on(&p8, &cloud, &queries, &cfg).unwrap();
+        assert_eq!(seq_q, par_q);
+        assert_eq!(
+            seq_q,
+            projection_outlyingness_against_full(&cloud, &queries, &cfg).unwrap()
+        );
+    }
+
+    #[test]
+    fn direction_budget_is_accounted() {
+        let rows: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64, (i as f64).cos()]).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let cloud = Matrix::from_rows(&refs);
+        let cfg = ProjectionConfig {
+            n_directions: 32,
+            seed: 5,
+        };
+        let outcome = projection_outlyingness_full(&cloud, &cfg).unwrap();
+        // a generic cloud degenerates along no direction
+        assert_eq!(outcome.used_directions, cfg.n_directions + 2);
+        assert_eq!(outcome.degenerate_directions, 0);
+
+        // A rank-1 cloud (all points on the line y = x) keeps only the
+        // directions with a component along the line: the two axes survive,
+        // but any direction orthogonal to (1, 1) degenerates. With random
+        // directions almost surely none is exactly orthogonal, so this
+        // cloud still uses every direction — instead, collapse one
+        // coordinate to force axis-aligned degeneracy.
+        let rows: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64, 3.0]).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let flat = Matrix::from_rows(&refs);
+        let outcome = projection_outlyingness_full(&flat, &cfg).unwrap();
+        // the y axis projects every point to 3.0: zero MAD, degenerate
+        assert!(outcome.degenerate_directions >= 1, "{outcome:?}");
+        assert_eq!(
+            outcome.used_directions + outcome.degenerate_directions,
+            cfg.n_directions + 2
+        );
+    }
+
+    #[test]
     fn degenerate_cloud_errors() {
         let cloud = Matrix::filled(6, 2, 3.0); // all points identical
-        assert!(matches!(
-            projection_outlyingness(&cloud, &ProjectionConfig::default()),
-            Err(DepthError::DegenerateScale { .. })
-        ));
+        let err = projection_outlyingness(&cloud, &ProjectionConfig::default()).unwrap_err();
+        assert!(
+            matches!(err, DepthError::DegenerateDirections { attempted } if attempted == 130),
+            "{err:?}"
+        );
     }
 
     #[test]

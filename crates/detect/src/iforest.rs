@@ -11,7 +11,7 @@
 use crate::error::DetectError;
 use crate::features::validate_features;
 use crate::{Detector, FittedDetector, Result};
-use mfod_linalg::Matrix;
+use mfod_linalg::{par, Matrix};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -51,6 +51,43 @@ impl IsolationForest {
             n_trees,
             subsample,
             seed,
+        })
+    }
+
+    /// Fits the forest on an explicit worker pool (tests and benchmarks;
+    /// [`Detector::fit`] uses the global pool).
+    ///
+    /// A master RNG seeded with `self.seed` draws one sub-seed per tree
+    /// **sequentially**, so each tree's subsample and growth are a pure
+    /// function of `(seed, tree index)` — trees are independent and can be
+    /// grown on any number of threads with a bit-for-bit identical forest.
+    pub fn fit_on(&self, pool: &par::Pool, train: &Matrix) -> Result<FittedIsolationForest> {
+        validate_features(train, 2)?;
+        if self.n_trees == 0 || self.subsample < 2 {
+            return Err(DetectError::InvalidParameter(
+                "n_trees must be >= 1 and subsample >= 2".into(),
+            ));
+        }
+        let n = train.nrows();
+        let psi = self.subsample.min(n);
+        let height_limit = (psi as f64).log2().ceil() as usize;
+        let mut master = StdRng::seed_from_u64(self.seed);
+        let tree_seeds: Vec<u64> = (0..self.n_trees).map(|_| master.random::<u64>()).collect();
+        let trees = pool.map(self.n_trees, |t| {
+            let mut rng = StdRng::seed_from_u64(tree_seeds[t]);
+            // partial Fisher–Yates: the first psi entries become the subsample
+            let mut candidates: Vec<usize> = (0..n).collect();
+            for i in 0..psi {
+                let j = rng.random_range(i..n);
+                candidates.swap(i, j);
+            }
+            let mut idx = candidates[..psi].to_vec();
+            Tree::grow(train, &mut idx, height_limit, &mut rng)
+        });
+        Ok(FittedIsolationForest {
+            trees,
+            dim: train.ncols(),
+            c_psi: average_path_length(psi).max(f64::MIN_POSITIVE),
         })
     }
 }
@@ -213,32 +250,7 @@ impl Detector for IsolationForest {
     }
 
     fn fit(&self, train: &Matrix) -> Result<Box<dyn FittedDetector>> {
-        validate_features(train, 2)?;
-        if self.n_trees == 0 || self.subsample < 2 {
-            return Err(DetectError::InvalidParameter(
-                "n_trees must be >= 1 and subsample >= 2".into(),
-            ));
-        }
-        let n = train.nrows();
-        let psi = self.subsample.min(n);
-        let height_limit = (psi as f64).log2().ceil() as usize;
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut trees = Vec::with_capacity(self.n_trees);
-        let mut pool: Vec<usize> = (0..n).collect();
-        for _ in 0..self.n_trees {
-            // partial Fisher–Yates: the first psi entries become the subsample
-            for i in 0..psi {
-                let j = rng.random_range(i..n);
-                pool.swap(i, j);
-            }
-            let mut idx = pool[..psi].to_vec();
-            trees.push(Tree::grow(train, &mut idx, height_limit, &mut rng));
-        }
-        Ok(Box::new(FittedIsolationForest {
-            trees,
-            dim: train.ncols(),
-            c_psi: average_path_length(psi).max(f64::MIN_POSITIVE),
-        }))
+        Ok(Box::new(self.fit_on(par::global(), train)?))
     }
 }
 
@@ -373,6 +385,25 @@ mod tests {
         assert!(model.score_one(&[f64::NAN, 0.0, 0.0]).is_err());
         assert_eq!(model.dim(), 3);
         assert_eq!(IsolationForest::default().name(), "iforest");
+    }
+
+    #[test]
+    fn fit_is_bit_identical_across_pool_sizes() {
+        let x = blob_with_outlier();
+        let cfg = IsolationForest {
+            n_trees: 30,
+            ..Default::default()
+        };
+        let m1 = cfg.fit_on(&par::Pool::with_threads(1), &x).unwrap();
+        let m8 = cfg.fit_on(&par::Pool::with_threads(8), &x).unwrap();
+        let global = cfg.fit(&x).unwrap();
+        let s1 = m1.score_batch(&x).unwrap();
+        let s8 = m8.score_batch(&x).unwrap();
+        let sg = global.score_batch(&x).unwrap();
+        for i in 0..s1.len() {
+            assert_eq!(s1[i].to_bits(), s8[i].to_bits(), "row {i}");
+            assert_eq!(s1[i].to_bits(), sg[i].to_bits(), "row {i}");
+        }
     }
 
     #[test]

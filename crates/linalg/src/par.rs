@@ -1,17 +1,58 @@
-//! Deterministic data parallelism on std scoped threads.
+//! Deterministic data parallelism on a **persistent worker pool**.
 //!
 //! The workspace builds without external crates, so this module provides
 //! the small slice of a rayon-style API the hot paths need: map an index
 //! range across threads in contiguous chunks and reassemble the results
 //! **in order**. Chunked splitting keeps per-item results exactly where a
 //! sequential loop would put them, which is what lets callers (batch
-//! scoring, micro-batching) guarantee bit-for-bit parity with their
-//! sequential counterparts.
+//! scoring, micro-batching, parallel fitting) guarantee bit-for-bit
+//! parity with their sequential counterparts.
+//!
+//! ## Runtime model
+//!
+//! A [`Pool`] owns long-lived worker threads fed from one shared FIFO
+//! queue. The free functions [`par_map`] / [`par_try_map`] run on a
+//! global pool that is lazily created on first use and sized to
+//! [`max_threads`], so every call site in the workspace shares one set of
+//! workers and pays **no thread-spawn cost per call** — the price that
+//! previously made small micro-batches as expensive as large ones.
+//! [`Pool::with_threads`] builds an explicitly sized private pool for
+//! tests and benchmarks.
+//!
+//! ## Determinism contract
+//!
+//! For a pure `f`, `pool.try_map(n, f)` returns exactly
+//! `(0..n).map(f).collect()` — element for element, bit for bit —
+//! regardless of the pool's thread count, because every index is mapped
+//! independently and chunk results are reassembled in index order. The
+//! *first* failure in index order wins (running chunks are not cancelled,
+//! so this is deterministic-error selection, not fail-fast).
+//!
+//! ## Panic behavior
+//!
+//! A panicking closure does not poison the pool: the worker catches the
+//! unwind, the remaining chunks finish, and the **original panic payload**
+//! is re-raised on the calling thread via [`std::panic::resume_unwind`].
+//! When both a panic and an `Err` occur, the one in the earlier chunk
+//! (lower index range) is reported, matching what a sequential loop would
+//! have hit first.
+//!
+//! ## Nesting
+//!
+//! Calls may nest (a mapped closure may itself call [`par_map`], even on
+//! the same pool): a thread that is waiting for its chunks to finish
+//! helps execute queued tasks instead of blocking, so the pool cannot
+//! deadlock on dependency cycles between waiters and queued work.
 
+use std::any::Any;
+use std::collections::VecDeque;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
 
-/// Number of worker threads the helpers will use (the `available_parallelism`
-/// of the machine, with a safe fallback of 1).
+/// Number of worker threads the global pool uses (the
+/// `available_parallelism` of the machine, with a safe fallback of 1).
 pub fn max_threads() -> usize {
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
@@ -19,67 +60,362 @@ pub fn max_threads() -> usize {
 }
 
 /// Applies `f` to every index in `0..n` and collects the results in index
-/// order, splitting the range into contiguous chunks across up to
-/// [`max_threads`] threads.
+/// order, splitting the range into contiguous chunks across the global
+/// pool's threads.
 ///
 /// Falls back to a plain sequential loop when `n < 2` or only one thread
-/// is available, so small batches pay no thread-spawn cost.
+/// is available, so small batches pay no synchronization cost.
 pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    match par_try_map(n, |i| Ok::<T, Never>(f(i))) {
-        Ok(v) => v,
-        Err(never) => match never {},
-    }
+    global().map(n, f)
 }
 
-/// Fallible [`par_map`]: reports the first error **in index order**. Note
-/// that running chunks are not cancelled — every worker finishes its range
-/// before the error is returned, so this is deterministic-error selection,
-/// not fail-fast. On success the output is identical — element for element
-/// — to the sequential `(0..n).map(f).collect()`.
+/// Fallible [`par_map`] on the global pool: reports the first error **in
+/// index order**. On success the output is identical — element for
+/// element — to the sequential `(0..n).map(f).collect()`.
 pub fn par_try_map<T, E, F>(n: usize, f: F) -> Result<Vec<T>, E>
 where
     T: Send,
     E: Send,
     F: Fn(usize) -> Result<T, E> + Sync,
 {
-    let threads = max_threads().min(n);
-    if threads <= 1 {
-        return (0..n).map(f).collect();
-    }
-    // Contiguous chunks, sized to within one item of each other.
-    let base = n / threads;
-    let extra = n % threads;
-    let mut bounds = Vec::with_capacity(threads + 1);
-    let mut start = 0usize;
-    bounds.push(0);
-    for t in 0..threads {
-        start += base + usize::from(t < extra);
-        bounds.push(start);
-    }
+    global().try_map(n, f)
+}
 
-    let chunk_results: Vec<Result<Vec<T>, E>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                let (lo, hi) = (bounds[t], bounds[t + 1]);
-                let f = &f;
-                scope.spawn(move || (lo..hi).map(f).collect::<Result<Vec<T>, E>>())
+/// The process-wide pool shared by [`par_map`] / [`par_try_map`], created
+/// on first use with [`max_threads`] threads.
+pub fn global() -> &'static Pool {
+    static GLOBAL: OnceLock<Pool> = OnceLock::new();
+    GLOBAL.get_or_init(|| Pool::with_threads(max_threads()))
+}
+
+/// A task queued on the pool. Tasks are built exclusively by
+/// [`Pool::try_map`], which catches unwinds inside the task body, so a
+/// task never propagates a panic into a worker's run loop.
+type Task = Box<dyn FnOnce() + Send>;
+
+struct Queue {
+    tasks: VecDeque<Task>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    /// Signalled when a task is queued or shutdown begins.
+    work_ready: Condvar,
+}
+
+impl Shared {
+    fn pop(&self) -> Option<Task> {
+        self.queue.lock().unwrap().tasks.pop_front()
+    }
+}
+
+/// A persistent, deterministic worker pool.
+///
+/// `Pool::with_threads(k)` keeps `k − 1` background workers; the thread
+/// calling [`Pool::map`] / [`Pool::try_map`] always executes the first
+/// chunk itself, so a map call uses at most `k` threads in total and a
+/// 1-thread pool is exactly the sequential loop. Workers are joined when
+/// the pool is dropped.
+pub struct Pool {
+    shared: &'static Shared,
+    threads: usize,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("threads", &self.threads)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl Pool {
+    /// Creates a pool that runs maps on up to `threads` threads (clamped
+    /// to at least 1). `with_threads(1)` spawns no workers and runs every
+    /// map sequentially on the caller — handy as the reference point in
+    /// determinism tests and benchmarks.
+    pub fn with_threads(threads: usize) -> Pool {
+        let threads = threads.max(1);
+        // The shared state is leaked so worker threads can borrow it with
+        // a 'static lifetime without reference counting in the hot path;
+        // a pool is either global (never dropped) or a long-lived test /
+        // bench fixture, so the one-off leak per pool is deliberate.
+        let shared: &'static Shared = Box::leak(Box::new(Shared {
+            queue: Mutex::new(Queue {
+                tasks: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+        }));
+        let workers = (1..threads)
+            .map(|i| {
+                std::thread::Builder::new()
+                    .name(format!("mfod-par-{i}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("failed to spawn pool worker")
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("par worker panicked"))
-            .collect()
-    });
-
-    let mut out = Vec::with_capacity(n);
-    for chunk in chunk_results {
-        out.extend(chunk?);
+        Pool {
+            shared,
+            threads,
+            workers,
+        }
     }
-    Ok(out)
+
+    /// The maximum number of threads a map call on this pool can use
+    /// (including the calling thread).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every index in `0..n`, collecting results in index
+    /// order — bit-for-bit identical to `(0..n).map(f).collect()`.
+    pub fn map<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        match self.try_map(n, |i| Ok::<T, Never>(f(i))) {
+            Ok(v) => v,
+            Err(never) => match never {},
+        }
+    }
+
+    /// Fallible [`Pool::map`]: reports the first error **in index order**.
+    /// Running chunks are not cancelled — every chunk finishes before the
+    /// error is returned, so error selection is deterministic. A panic in
+    /// `f` is re-raised on the calling thread with its original payload
+    /// once all chunks have finished; the pool stays usable afterwards.
+    pub fn try_map<T, E, F>(&self, n: usize, f: F) -> Result<Vec<T>, E>
+    where
+        T: Send,
+        E: Send,
+        F: Fn(usize) -> Result<T, E> + Sync,
+    {
+        let chunks = self.threads.min(n);
+        if chunks <= 1 {
+            return (0..n).map(f).collect();
+        }
+        // Contiguous chunks, sized to within one item of each other.
+        let mut bounds = Vec::with_capacity(chunks + 1);
+        let (base, extra) = (n / chunks, n % chunks);
+        let mut start = 0usize;
+        bounds.push(0);
+        for c in 0..chunks {
+            start += base + usize::from(c < extra);
+            bounds.push(start);
+        }
+
+        let outcomes: Vec<Mutex<Option<ChunkOutcome<T, E>>>> =
+            (0..chunks).map(|_| Mutex::new(None)).collect();
+        let latch = Latch::new(chunks - 1);
+        let run_chunk = |c: usize| -> ChunkOutcome<T, E> {
+            let (lo, hi) = (bounds[c], bounds[c + 1]);
+            match catch_unwind(AssertUnwindSafe(|| {
+                (lo..hi).map(&f).collect::<Result<Vec<T>, E>>()
+            })) {
+                Ok(Ok(items)) => ChunkOutcome::Items(items),
+                Ok(Err(e)) => ChunkOutcome::Error(e),
+                Err(payload) => ChunkOutcome::Panicked(payload),
+            }
+        };
+
+        {
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (1..chunks)
+                .map(|c| {
+                    let outcomes = &outcomes;
+                    let latch = &latch;
+                    let run_chunk = &run_chunk;
+                    Box::new(move || {
+                        // The guard counts down even if writing the
+                        // outcome were to unwind, so the waiter can never
+                        // hang on a lost count.
+                        let _guard = CountdownGuard(latch);
+                        let outcome = run_chunk(c);
+                        *lock_recovering(&outcomes[c]) = Some(outcome);
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            // SAFETY: the erased tasks borrow `f`, `bounds`, `outcomes`
+            // and `latch` from this stack frame. Every task decrements
+            // `latch` exactly once (via `CountdownGuard`), and this call
+            // does not return — not even by unwinding, because
+            // `run_chunk(0)` catches panics — until `help_until` has
+            // observed the latch at zero, i.e. until every task has
+            // finished running and dropped its borrows.
+            unsafe { self.inject_scoped(tasks) };
+        }
+        let first = run_chunk(0);
+        self.help_until(&latch);
+
+        // All chunks have finished; walk them in index order so the first
+        // failure a sequential loop would have hit is the one reported.
+        // Chunk 0's outcome lives on this stack, the rest in the slots.
+        let drained = std::iter::once(first).chain(outcomes.into_iter().skip(1).map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .expect("pool chunk finished without reporting an outcome")
+        }));
+        let mut out = Vec::with_capacity(n);
+        for outcome in drained {
+            match outcome {
+                ChunkOutcome::Items(items) => out.extend(items),
+                ChunkOutcome::Error(e) => return Err(e),
+                ChunkOutcome::Panicked(payload) => resume_unwind(payload),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Queues lifetime-erased tasks for the workers.
+    ///
+    /// # Safety
+    ///
+    /// The caller must not return (or unwind) until every injected task
+    /// has finished executing, since the tasks may borrow from its stack.
+    unsafe fn inject_scoped<'env>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        let mut queue = self.shared.queue.lock().unwrap();
+        for task in tasks {
+            // SAFETY: lifetime erasure only — see the function contract.
+            let task: Task = unsafe {
+                std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(
+                    task,
+                )
+            };
+            queue.tasks.push_back(task);
+        }
+        drop(queue);
+        self.shared.work_ready.notify_all();
+    }
+
+    /// Waits for `latch` to reach zero, executing queued tasks in the
+    /// meantime so that nested map calls cannot deadlock: every waiter is
+    /// also a worker while there is work to take.
+    fn help_until(&self, latch: &Latch) {
+        loop {
+            if latch.is_done() {
+                return;
+            }
+            match self.shared.pop() {
+                Some(task) => run_task(task),
+                // Queue drained: our chunks are running on other threads;
+                // block until they count the latch down.
+                None => {
+                    if latch.wait_done() {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().unwrap();
+            queue.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &'static Shared) {
+    loop {
+        let task = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if let Some(task) = queue.tasks.pop_front() {
+                    break task;
+                }
+                if queue.shutdown {
+                    return;
+                }
+                queue = shared.work_ready.wait(queue).unwrap();
+            }
+        };
+        run_task(task);
+    }
+}
+
+/// Runs one task; by construction tasks catch their own unwinds, but the
+/// extra `catch_unwind` guarantees a worker (or a helping waiter) can
+/// never be torn down by a job, whatever a future task type does.
+fn run_task(task: Task) {
+    let _ = catch_unwind(AssertUnwindSafe(task));
+}
+
+/// Locks a mutex, recovering the data if a previous holder panicked (the
+/// slots only ever hold plain data, so poisoning carries no invariant).
+fn lock_recovering<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Result of one contiguous chunk.
+enum ChunkOutcome<T, E> {
+    Items(Vec<T>),
+    Error(E),
+    Panicked(Box<dyn Any + Send>),
+}
+
+/// Counts outstanding chunk tasks; waiters block on `done`.
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Latch {
+        Latch {
+            remaining: Mutex::new(count),
+            done: Condvar::new(),
+        }
+    }
+
+    fn count_down(&self) {
+        let mut remaining = lock_recovering(&self.remaining);
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        *lock_recovering(&self.remaining) == 0
+    }
+
+    /// Blocks until the latch is done **or** the wait is interrupted by a
+    /// queue wake-up race; returns whether the latch is done.
+    fn wait_done(&self) -> bool {
+        let mut remaining = lock_recovering(&self.remaining);
+        while *remaining != 0 {
+            remaining = match self.done.wait(remaining) {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+        true
+    }
+}
+
+struct CountdownGuard<'a>(&'a Latch);
+
+impl Drop for CountdownGuard<'_> {
+    fn drop(&mut self) {
+        self.0.count_down();
+    }
 }
 
 /// Uninhabited error type used to reuse the fallible path for the
@@ -119,13 +455,122 @@ mod tests {
     fn first_error_in_index_order_wins() {
         // Errors at indices 10 and 90 land in different chunks on any
         // thread count; the reassembly order guarantees index 10 reports.
+        let pool = Pool::with_threads(4);
         let r: Result<Vec<usize>, usize> =
-            par_try_map(100, |i| if i == 10 || i == 90 { Err(i) } else { Ok(i) });
+            pool.try_map(100, |i| if i == 10 || i == 90 { Err(i) } else { Ok(i) });
         assert_eq!(r.unwrap_err(), 10);
     }
 
     #[test]
     fn reports_at_least_one_thread() {
         assert!(max_threads() >= 1);
+        assert!(global().threads() >= 1);
+    }
+
+    #[test]
+    fn explicit_pools_agree_with_each_other_and_sequential() {
+        let work = |i: usize| ((i as f64) * 0.6180339887).sin().to_bits();
+        let seq: Vec<u64> = (0..257).map(work).collect();
+        for threads in [1usize, 2, 3, 8] {
+            let pool = Pool::with_threads(threads);
+            assert_eq!(pool.threads(), threads);
+            assert_eq!(pool.map(257, work), seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_calls() {
+        let pool = Pool::with_threads(4);
+        for round in 0..200usize {
+            let out = pool.map(round % 37, |i| i * round);
+            assert_eq!(out, (0..round % 37).map(|i| i * round).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn panic_payload_reaches_the_caller_and_pool_survives() {
+        let pool = Pool::with_threads(4);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.map(64, |i| {
+                if i == 40 {
+                    std::panic::panic_any(String::from("custom payload 40"));
+                }
+                i
+            })
+        }))
+        .expect_err("the worker panic must surface on the caller");
+        let payload = caught
+            .downcast::<String>()
+            .expect("original payload type preserved");
+        assert_eq!(*payload, "custom payload 40");
+        // The pool is not poisoned: subsequent maps still work on every
+        // worker.
+        for _ in 0..10 {
+            assert_eq!(pool.map(64, |i| i + 1), (1..=64).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn earliest_chunk_failure_wins_across_kinds() {
+        let pool = Pool::with_threads(4);
+        // Error in an early chunk beats a panic in a late chunk (that is
+        // what a sequential loop would have hit first).
+        let r: Result<Vec<usize>, &str> = pool.try_map(100, |i| {
+            if i == 5 {
+                Err("early error")
+            } else if i == 95 {
+                panic!("late panic");
+            } else {
+                Ok(i)
+            }
+        });
+        assert_eq!(r.unwrap_err(), "early error");
+        // And an early panic beats a late error.
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let _: Result<Vec<usize>, &str> = pool.try_map(100, |i| {
+                if i == 5 {
+                    panic!("early panic");
+                } else if i == 95 {
+                    Err("late error")
+                } else {
+                    Ok(i)
+                }
+            });
+        }))
+        .expect_err("the early panic must win");
+        let msg = caught.downcast::<&str>().expect("payload is the &str");
+        assert_eq!(*msg, "early panic");
+    }
+
+    #[test]
+    fn sequential_path_panics_transparently() {
+        // n < 2 runs inline; the panic must still carry the payload.
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            par_map(1, |_| -> usize { std::panic::panic_any(7usize) })
+        }))
+        .expect_err("inline panic propagates");
+        assert_eq!(*caught.downcast::<usize>().unwrap(), 7);
+    }
+
+    #[test]
+    fn nested_maps_on_the_same_pool_do_not_deadlock() {
+        let pool = Pool::with_threads(2);
+        let out = pool.map(4, |i| pool.map(4, move |j| i * 10 + j));
+        let expected: Vec<Vec<usize>> = (0..4)
+            .map(|i| (0..4).map(|j| i * 10 + j).collect())
+            .collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn global_functions_use_one_shared_pool() {
+        // Nested global calls exercise the help-while-waiting path on the
+        // machine's real pool.
+        let out = par_try_map(8, |i| {
+            Ok::<_, String>(par_map(8, move |j| i + j).iter().sum::<usize>())
+        })
+        .unwrap();
+        let expected: Vec<usize> = (0..8).map(|i| (0..8).map(|j| i + j).sum()).collect();
+        assert_eq!(out, expected);
     }
 }

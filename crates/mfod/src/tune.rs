@@ -13,8 +13,8 @@
 use crate::error::MfodError;
 use crate::Result;
 use mfod_detect::{FittedDetector, OcSvm};
-use mfod_eval::KFold;
-use mfod_linalg::Matrix;
+use mfod_eval::{cv::par_eval_folds, KFold};
+use mfod_linalg::{par, Matrix};
 
 /// ν tuner configuration.
 #[derive(Debug, Clone)]
@@ -68,23 +68,30 @@ impl NuTuner {
         let cols: Vec<usize> = (0..train.ncols()).collect();
         let mut profile = Vec::with_capacity(self.candidates.len());
         for &nu in &self.candidates {
-            let mut flagged = 0usize;
-            let mut total = 0usize;
-            for (tr, va) in &folds {
-                let tr_m = train.submatrix(tr, &cols);
-                let cfg = OcSvm {
-                    nu,
-                    ..template.clone()
-                };
-                let model = cfg.fit_concrete(&tr_m)?;
-                for &i in va {
-                    // score > 0 ⟺ decision f(x) < 0 ⟺ flagged as outlier
-                    if model.score_one(train.row(i))? > 0.0 {
-                        flagged += 1;
+            // Folds are fitted and scored independently, so each candidate
+            // evaluates its folds across the worker pool; the flagged
+            // counts are summed in fold order (integer sums, so the
+            // objective is identical to the sequential loop's).
+            let fold_counts: Vec<(usize, usize)> =
+                par_eval_folds(par::global(), &folds, |_, tr, va| {
+                    let tr_m = train.submatrix(tr, &cols);
+                    let cfg = OcSvm {
+                        nu,
+                        ..template.clone()
+                    };
+                    let model = cfg.fit_concrete(&tr_m)?;
+                    let mut flagged = 0usize;
+                    for &i in va {
+                        // score > 0 ⟺ decision f(x) < 0 ⟺ flagged as outlier
+                        if model.score_one(train.row(i))? > 0.0 {
+                            flagged += 1;
+                        }
                     }
-                    total += 1;
-                }
-            }
+                    Ok::<_, MfodError>((flagged, va.len()))
+                })?;
+            let (flagged, total) = fold_counts
+                .iter()
+                .fold((0usize, 0usize), |(f, t), &(cf, ct)| (f + cf, t + ct));
             let fraction = flagged as f64 / total.max(1) as f64;
             profile.push((nu, (fraction - nu).abs()));
         }

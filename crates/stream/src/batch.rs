@@ -219,42 +219,10 @@ impl MicroBatcher {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mfod::{GeomOutlierPipeline, PipelineConfig};
-    use mfod_detect::IsolationForest;
-    use mfod_geometry::Curvature;
+    use crate::fixture::{sine_pipeline, FixtureConfig};
 
     fn tiny_pipeline() -> (Arc<FittedPipeline>, Vec<RawSample>, Vec<f64>) {
-        let m = 24;
-        let ts: Vec<f64> = (0..m).map(|j| j as f64 / (m - 1) as f64).collect();
-        let mk = |phase: f64, amp: f64| {
-            let y: Vec<f64> = ts
-                .iter()
-                .map(|&t| amp * (std::f64::consts::TAU * (t + phase)).sin())
-                .collect();
-            let y2: Vec<f64> = y.iter().map(|v| v * v).collect();
-            RawSample::new(ts.clone(), vec![y, y2]).unwrap()
-        };
-        let train: Vec<RawSample> = (0..12)
-            .map(|i| mk(i as f64 * 0.01, 1.0 + 0.02 * i as f64))
-            .collect();
-        let pipeline = GeomOutlierPipeline::new(
-            PipelineConfig {
-                selector: mfod_fda::BasisSelector {
-                    sizes: vec![6],
-                    lambdas: vec![1e-4],
-                    ..Default::default()
-                },
-                grid_len: 16,
-                ..Default::default()
-            },
-            Arc::new(Curvature),
-            Arc::new(IsolationForest {
-                n_trees: 20,
-                ..Default::default()
-            }),
-        );
-        let fitted = pipeline.fit(&train).unwrap().into_shared();
-        (fitted, train, ts)
+        sine_pipeline(&FixtureConfig::default())
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! Shared pipeline fixtures for this crate's tests and benches.
+//!
+//! Only compiled with the `fixtures` feature, which the crate's own
+//! dev-dependency turns on — unit tests reach it as `crate::fixture`,
+//! integration tests as `mfod_stream::fixture`. One fitted pipeline
+//! builder lives here instead of five copy-pasted setups.
+
+use mfod::prelude::*;
+use mfod_fda::RawSample;
+use std::sync::Arc;
+
+/// Shape of the deterministic two-channel sine-bundle fixture.
+#[derive(Debug, Clone)]
+pub struct FixtureConfig {
+    /// Training curves.
+    pub n_samples: usize,
+    /// Observations per curve.
+    pub m: usize,
+    /// Isolation-forest size.
+    pub n_trees: usize,
+    /// Pipeline evaluation-grid length.
+    pub grid_len: usize,
+}
+
+impl Default for FixtureConfig {
+    fn default() -> Self {
+        FixtureConfig {
+            n_samples: 12,
+            m: 24,
+            n_trees: 20,
+            grid_len: 16,
+        }
+    }
+}
+
+/// Builds the standard streaming test fixture: `n_samples` two-channel
+/// curves (a slowly drifting sine and its square, so the channels are
+/// correlated the way the paper's ECG augmentation is), a fast
+/// curvature + isolation-forest pipeline fitted on them, and the shared
+/// observation times.
+///
+/// Returns `(fitted pipeline, training windows, observation times)`.
+pub fn sine_pipeline(config: &FixtureConfig) -> (Arc<FittedPipeline>, Vec<RawSample>, Vec<f64>) {
+    let m = config.m;
+    let ts: Vec<f64> = (0..m).map(|j| j as f64 / (m - 1) as f64).collect();
+    let mk = |i: usize| {
+        let phase = i as f64 * 0.01;
+        let amp = 1.0 + 0.02 * i as f64;
+        let y: Vec<f64> = ts
+            .iter()
+            .map(|&t| amp * (std::f64::consts::TAU * (t + phase)).sin())
+            .collect();
+        let y2: Vec<f64> = y.iter().map(|v| v * v).collect();
+        RawSample::new(ts.clone(), vec![y, y2]).unwrap()
+    };
+    let train: Vec<RawSample> = (0..config.n_samples).map(mk).collect();
+    let fitted = GeomOutlierPipeline::new(
+        PipelineConfig {
+            selector: mfod_fda::BasisSelector {
+                sizes: vec![6],
+                lambdas: vec![1e-4],
+                ..Default::default()
+            },
+            grid_len: config.grid_len,
+            ..Default::default()
+        },
+        Arc::new(Curvature),
+        Arc::new(IsolationForest {
+            n_trees: config.n_trees,
+            ..Default::default()
+        }),
+    )
+    .fit(&train)
+    .unwrap()
+    .into_shared();
+    (fitted, train, ts)
+}
+
+/// Simulated-ECG train/test split used by the end-to-end acceptance
+/// tests: 42 normal + 14 abnormal beats augmented to bivariate MFD,
+/// split 28/28 with 10% training contamination.
+pub fn ecg_split() -> (LabeledDataSet, LabeledDataSet) {
+    let data = EcgSimulator::new(EcgConfig {
+        m: 40,
+        ..Default::default()
+    })
+    .unwrap()
+    .generate(42, 14, 2020)
+    .unwrap()
+    .augment_with(0, |y| y * y)
+    .unwrap();
+    let split = SplitConfig {
+        train_size: 28,
+        contamination: 0.1,
+    };
+    split.split_datasets(&data, 3).unwrap()
+}
+
+/// Fits the acceptance-test pipeline (fast config, curvature mapping,
+/// 60-tree forest) on an ECG training split from [`ecg_split`].
+pub fn ecg_fitted(train: &LabeledDataSet) -> Arc<FittedPipeline> {
+    GeomOutlierPipeline::new(
+        PipelineConfig::fast(),
+        Arc::new(Curvature),
+        Arc::new(IsolationForest {
+            n_trees: 60,
+            ..Default::default()
+        }),
+    )
+    .fit(train.samples())
+    .unwrap()
+    .into_shared()
+}

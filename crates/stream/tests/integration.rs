@@ -4,43 +4,11 @@
 //! and require the streamed scores to be **identical** (bit for bit) to
 //! the offline `score`/`score_batch` on the same windows.
 
-use mfod::prelude::*;
-use mfod_datasets::{EcgConfig, EcgSimulator, SplitConfig};
+use mfod_stream::fixture::{ecg_fitted as fit, ecg_split};
 use mfod_stream::{
     BatchConfig, OnlineScorer, ScoringMode, StreamConfig, ThresholdCalibrator, WindowConfig,
 };
 use std::sync::Arc;
-
-fn ecg_split() -> (mfod_datasets::LabeledDataSet, mfod_datasets::LabeledDataSet) {
-    let data = EcgSimulator::new(EcgConfig {
-        m: 40,
-        ..Default::default()
-    })
-    .unwrap()
-    .generate(42, 14, 2020)
-    .unwrap()
-    .augment_with(0, |y| y * y)
-    .unwrap();
-    let split = SplitConfig {
-        train_size: 28,
-        contamination: 0.1,
-    };
-    split.split_datasets(&data, 3).unwrap()
-}
-
-fn fit(train: &mfod_datasets::LabeledDataSet) -> Arc<FittedPipeline> {
-    GeomOutlierPipeline::new(
-        PipelineConfig::fast(),
-        Arc::new(Curvature),
-        Arc::new(IsolationForest {
-            n_trees: 60,
-            ..Default::default()
-        }),
-    )
-    .fit(train.samples())
-    .unwrap()
-    .into_shared()
-}
 
 /// Streams every observation of `samples` through `scorer`, returning all
 /// released verdicts (including the final flush).

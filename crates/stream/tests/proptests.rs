@@ -4,6 +4,7 @@
 
 use mfod::prelude::*;
 use mfod_fda::RawSample;
+use mfod_stream::fixture::{sine_pipeline, FixtureConfig};
 use mfod_stream::{BatchConfig, MicroBatcher, StreamStats, WindowBuffer, WindowConfig};
 use proptest::prelude::*;
 use std::sync::{Arc, OnceLock};
@@ -116,38 +117,12 @@ proptest! {
 fn shared_fixture() -> &'static (Arc<FittedPipeline>, Vec<RawSample>) {
     static FIXTURE: OnceLock<(Arc<FittedPipeline>, Vec<RawSample>)> = OnceLock::new();
     FIXTURE.get_or_init(|| {
-        let m = 20;
-        let ts: Vec<f64> = (0..m).map(|j| j as f64 / (m - 1) as f64).collect();
-        let mk = |i: usize| {
-            let y: Vec<f64> = ts
-                .iter()
-                .map(|&t| {
-                    (1.0 + 0.01 * i as f64) * (std::f64::consts::TAU * (t + 0.005 * i as f64)).sin()
-                })
-                .collect();
-            let y2: Vec<f64> = y.iter().map(|v| v * v).collect();
-            RawSample::new(ts.clone(), vec![y, y2]).unwrap()
-        };
-        let train: Vec<RawSample> = (0..30).map(mk).collect();
-        let fitted = GeomOutlierPipeline::new(
-            PipelineConfig {
-                selector: mfod_fda::BasisSelector {
-                    sizes: vec![6],
-                    lambdas: vec![1e-4],
-                    ..Default::default()
-                },
-                grid_len: 12,
-                ..Default::default()
-            },
-            Arc::new(Curvature),
-            Arc::new(IsolationForest {
-                n_trees: 15,
-                ..Default::default()
-            }),
-        )
-        .fit(&train)
-        .unwrap()
-        .into_shared();
+        let (fitted, train, _ts) = sine_pipeline(&FixtureConfig {
+            n_samples: 30,
+            m: 20,
+            n_trees: 15,
+            grid_len: 12,
+        });
         (fitted, train)
     })
 }

@@ -1,0 +1,91 @@
+//! The parallel runtime must be a pure wall-clock optimization: fitted
+//! models and pipeline scores have to be **bit-for-bit identical** no
+//! matter how many pool threads fit or score them, and a panicking job
+//! must neither poison the global pool nor lose its payload.
+
+use mfod::depth::projection::{
+    projection_outlyingness_full, projection_outlyingness_on, ProjectionConfig,
+};
+use mfod::detect::prelude::*;
+use mfod::linalg::par::{self, Pool};
+use mfod::linalg::Matrix;
+use mfod_stream::fixture::{ecg_fitted, ecg_split};
+
+fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what} row {i}: {x} != {y}");
+    }
+}
+
+#[test]
+fn fitted_pipeline_scores_are_identical_across_pool_sizes() {
+    let (train, test) = ecg_split();
+    // The pipeline's detector (isolation forest) is fitted on the global
+    // pool; two fits of the same config must agree with each other all
+    // the way through scoring.
+    let a = ecg_fitted(&train);
+    let b = ecg_fitted(&train);
+    let scores_a = a.score(test.samples()).unwrap();
+    let scores_b = b.score(test.samples()).unwrap();
+    assert_bits_eq(&scores_a, &scores_b, "refit through global pool");
+    // Parallel scoring reproduces sequential scoring on the same artifact.
+    let par_scores = a.par_score(test.samples()).unwrap();
+    assert_bits_eq(&scores_a, &par_scores, "par_score vs score");
+}
+
+#[test]
+fn iforest_fit_on_explicit_pools_matches_global_fit() {
+    let x = Matrix::from_fn(120, 5, |i, j| {
+        ((i * 13 + j * 5) as f64 * 0.41).sin() + if i % 19 == 0 { 6.0 } else { 0.0 }
+    });
+    let forest = IsolationForest {
+        n_trees: 50,
+        subsample: 64,
+        seed: 3,
+    };
+    let seq = forest.fit_on(&Pool::with_threads(1), &x).unwrap();
+    let wide = forest.fit_on(&Pool::with_threads(8), &x).unwrap();
+    let global = forest.fit(&x).unwrap();
+    let s_seq = seq.score_batch(&x).unwrap();
+    assert_bits_eq(&s_seq, &wide.score_batch(&x).unwrap(), "1 vs 8 threads");
+    assert_bits_eq(&s_seq, &global.score_batch(&x).unwrap(), "1 vs global");
+}
+
+#[test]
+fn projection_fit_is_identical_across_pool_sizes() {
+    let x = Matrix::from_fn(64, 4, |i, j| {
+        ((i * 7 + j * 3) as f64 * 0.23).cos() * (j + 1) as f64
+    });
+    let cfg = ProjectionConfig {
+        n_directions: 64,
+        seed: 21,
+    };
+    let seq = projection_outlyingness_on(&Pool::with_threads(1), &x, &cfg).unwrap();
+    let wide = projection_outlyingness_on(&Pool::with_threads(8), &x, &cfg).unwrap();
+    let global = projection_outlyingness_full(&x, &cfg).unwrap();
+    assert_bits_eq(&seq.scores, &wide.scores, "projection 1 vs 8 threads");
+    assert_bits_eq(&seq.scores, &global.scores, "projection 1 vs global");
+    assert_eq!(seq.used_directions, wide.used_directions);
+    assert_eq!(seq.degenerate_directions, wide.degenerate_directions);
+}
+
+#[test]
+fn panicking_job_propagates_its_payload_and_spares_the_pool() {
+    let caught = std::panic::catch_unwind(|| {
+        par::par_map(32, |i| {
+            if i == 17 {
+                std::panic::panic_any("original payload");
+            }
+            i
+        })
+    })
+    .expect_err("panic must reach the caller");
+    assert_eq!(
+        *caught.downcast::<&str>().expect("payload preserved"),
+        "original payload"
+    );
+    // The global pool survives: real work still runs after the panic.
+    let out = par::par_map(64, |i| i * 2);
+    assert_eq!(out, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+}
