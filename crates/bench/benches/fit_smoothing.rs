@@ -1,0 +1,203 @@
+//! Fit-time basis-selection throughput: the grid-cached
+//! [`SelectionPlan`] against the uncached per-curve ladder, sequentially
+//! and fanned out over the worker pool.
+//!
+//! The workload is ECG-sized (m = 85 observations, the ECG200 grid) with
+//! a realistic `(size, λ)` ladder. Three paths are measured on identical
+//! curves:
+//!
+//! * **uncached** — `BasisSelector::select` per curve: re-assembles the
+//!   design matrix, re-factorizes the normal equations and re-derives the
+//!   hat diagonal for every (curve × candidate);
+//! * **cached** — one [`BasisSelector::plan`] for the shared grid, then
+//!   `SelectionPlan::select` per curve (an O(mL) pass per candidate);
+//! * **cached+pool** — the cached path fanned over the persistent worker
+//!   pool, as `mfod::pipeline` fit does per (sample × channel).
+//!
+//! Every path is asserted **bit-for-bit identical** (winner, score,
+//! coefficients) before anything is timed, and the full-mode run asserts
+//! the ≥ 5× cached-vs-uncached speedup contract. The speedup report is
+//! also written to `BENCH_fit.json` (override the path with
+//! `MFOD_BENCH_JSON`) as a baseline artifact for future perf PRs.
+
+use criterion::{criterion_group, criterion_main, is_test_mode, Criterion};
+use mfod::fda::{BasisSelector, SelectionPlan, SelectionResult};
+use mfod::linalg::par::{max_threads, Pool};
+use std::time::{Duration, Instant};
+
+/// ECG200 grid length.
+const M: usize = 85;
+
+fn ladder() -> BasisSelector {
+    BasisSelector {
+        sizes: vec![6, 8, 10, 12],
+        lambdas: vec![1e-8, 1e-4, 1e-2],
+        ..BasisSelector::default()
+    }
+}
+
+/// Deterministic beat-like curves on one shared grid.
+fn workload(n_curves: usize) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let ts: Vec<f64> = (0..M).map(|j| j as f64 / (M - 1) as f64).collect();
+    let curves = (0..n_curves)
+        .map(|i| {
+            ts.iter()
+                .enumerate()
+                .map(|(j, &t)| {
+                    let noise =
+                        ((j as f64 * 12.9898 + i as f64 * 78.233).sin() * 43758.5453).fract() - 0.5;
+                    (std::f64::consts::TAU * t).sin()
+                        + 0.4 * (2.0 * std::f64::consts::TAU * t + i as f64 * 0.3).cos()
+                        + 0.15 * noise
+                })
+                .collect()
+        })
+        .collect();
+    (ts, curves)
+}
+
+fn select_uncached(sel: &BasisSelector, ts: &[f64], curves: &[Vec<f64>]) -> Vec<SelectionResult> {
+    curves
+        .iter()
+        .map(|ys| sel.select(ts, ys).unwrap())
+        .collect()
+}
+
+fn select_cached(plan: &SelectionPlan, curves: &[Vec<f64>]) -> Vec<SelectionResult> {
+    curves.iter().map(|ys| plan.select(ys).unwrap()).collect()
+}
+
+fn select_cached_on(
+    pool: &Pool,
+    plan: &SelectionPlan,
+    curves: &[Vec<f64>],
+) -> Vec<SelectionResult> {
+    pool.try_map(curves.len(), |i| plan.select(&curves[i]))
+        .unwrap()
+}
+
+fn assert_selections_bit_equal(a: &[SelectionResult], b: &[SelectionResult], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.size, y.size, "{what} curve {i}: winner size");
+        assert_eq!(
+            x.lambda.to_bits(),
+            y.lambda.to_bits(),
+            "{what} curve {i}: winner lambda"
+        );
+        assert_eq!(
+            x.score.to_bits(),
+            y.score.to_bits(),
+            "{what} curve {i}: score"
+        );
+        for (ca, cb) in x.datum.coefs().iter().zip(y.datum.coefs()) {
+            assert_eq!(ca.to_bits(), cb.to_bits(), "{what} curve {i}: coefficient");
+        }
+    }
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let n_curves = if is_test_mode() { 8 } else { 32 };
+    let (ts, curves) = workload(n_curves);
+    let sel = ladder();
+    let plan = sel.plan(&ts).unwrap();
+    let pool = Pool::with_threads(max_threads());
+    let mut g = c.benchmark_group("selection");
+    if !is_test_mode() {
+        g.sample_size(10);
+    }
+    g.throughput(criterion::Throughput::Elements(n_curves as u64));
+    g.bench_function("uncached", |b| {
+        b.iter(|| select_uncached(&sel, &ts, &curves))
+    });
+    g.bench_function("cached", |b| b.iter(|| select_cached(&plan, &curves)));
+    g.bench_function(format!("cached_pool_{}", pool.threads()), |b| {
+        b.iter(|| select_cached_on(&pool, &plan, &curves))
+    });
+    g.finish();
+}
+
+/// Explicit cached-vs-uncached and sequential-vs-pool report (best of 3)
+/// with the bit-parity and full-mode speedup contracts, plus the
+/// `BENCH_fit.json` baseline artifact.
+fn report_speedup(_c: &mut Criterion) {
+    let smoke = is_test_mode();
+    let n_curves = if smoke { 8 } else { 64 };
+    let (ts, curves) = workload(n_curves);
+    let sel = ladder();
+    let plan = sel.plan(&ts).unwrap();
+    let pool = Pool::with_threads(max_threads());
+
+    // Parity before timing: all three paths bit-identical.
+    let uncached = select_uncached(&sel, &ts, &curves);
+    let cached = select_cached(&plan, &curves);
+    let pooled = select_cached_on(&pool, &plan, &curves);
+    assert_selections_bit_equal(&uncached, &cached, "cached vs uncached");
+    assert_selections_bit_equal(&uncached, &pooled, "pooled vs uncached");
+
+    let reps = if smoke { 1 } else { 3 };
+    let time = |work: &dyn Fn() -> Vec<SelectionResult>| -> Duration {
+        work(); // warm-up
+        (0..reps)
+            .map(|_| {
+                let t0 = Instant::now();
+                assert_eq!(work().len(), n_curves);
+                t0.elapsed()
+            })
+            .min()
+            .unwrap()
+    };
+    let t_uncached = time(&|| select_uncached(&sel, &ts, &curves));
+    let t_cached = time(&|| select_cached(&plan, &curves));
+    let t_pool = time(&|| select_cached_on(&pool, &plan, &curves));
+
+    let cached_speedup = t_uncached.as_secs_f64() / t_cached.as_secs_f64();
+    let pool_speedup = t_cached.as_secs_f64() / t_pool.as_secs_f64();
+    println!(
+        "fit/speedup: selection m={M} curves={n_curves} candidates={} · \
+         uncached {:.2} ms · cached {:.2} ms ({cached_speedup:.1}x) · \
+         cached+pool({} threads) {:.2} ms ({pool_speedup:.2}x over cached) · \
+         outputs bit-identical",
+        plan.candidate_count(),
+        t_uncached.as_secs_f64() * 1e3,
+        t_cached.as_secs_f64() * 1e3,
+        pool.threads(),
+        t_pool.as_secs_f64() * 1e3,
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"fit_smoothing\",\n  \"grid_len\": {M},\n  \
+         \"curves\": {n_curves},\n  \"candidates\": {},\n  \
+         \"uncached_ms\": {:.4},\n  \"cached_ms\": {:.4},\n  \
+         \"cached_pool_ms\": {:.4},\n  \"pool_threads\": {},\n  \
+         \"cached_speedup\": {:.3},\n  \"pool_speedup\": {:.3},\n  \
+         \"parity\": \"bit-identical\",\n  \"smoke\": {smoke}\n}}\n",
+        plan.candidate_count(),
+        t_uncached.as_secs_f64() * 1e3,
+        t_cached.as_secs_f64() * 1e3,
+        t_pool.as_secs_f64() * 1e3,
+        pool.threads(),
+        cached_speedup,
+        pool_speedup,
+    );
+    let path = std::env::var("MFOD_BENCH_JSON").unwrap_or_else(|_| "BENCH_fit.json".to_string());
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("fit_smoothing: could not write {path}: {e}");
+    } else {
+        println!("fit/speedup: baseline written to {path}");
+    }
+
+    // The selection cache removes an O(L³ + mL²) re-derivation per
+    // (curve × candidate); anything under 5× would mean the plan stopped
+    // caching. Timing asserts are skipped in smoke mode, where the tiny
+    // workload makes wall-clock ratios meaningless.
+    if !smoke {
+        assert!(
+            cached_speedup >= 5.0,
+            "cached selection must be >= 5x the uncached path, measured {cached_speedup:.2}x"
+        );
+    }
+}
+
+criterion_group!(benches, bench_selection, report_speedup);
+criterion_main!(benches);

@@ -19,7 +19,6 @@ fn main() -> Result<(), MfodError> {
         (Arc::new(IntegratedDepth::infimum()), "infimum"),
         (Arc::new(ModifiedBandDepth), "mbd"),
         (Arc::new(FraimanMuniz), "fraiman-muniz"),
-        (Arc::new(DirOut::new()), "dir.out"),
         (Arc::new(Funta::new()), "funta"),
     ];
     println!("A4: depth aggregation per outlier class (AUC, n = 80 + 20)\n");
@@ -27,10 +26,17 @@ fn main() -> Result<(), MfodError> {
     for (_, name) in &scorers {
         print!("{name:>14}");
     }
-    println!();
+    // Dir.out sits outside the generic scorer list: its single
+    // decomposition feeds both the AUC column (printed last) and the
+    // direction-budget health block, so the degenerate stats describe the
+    // exact run behind the printed AUC.
+    println!("{:>14}", "dir.out");
+    let dirout = DirOut::new();
+    let mut dirout_health: Vec<(&str, String)> = Vec::new();
     for ty in OutlierType::ALL {
         let data = TaxonomyConfig::default().generate(ty, 80, 20, 77)?;
         let gridded = DepthBaseline::gridded(&data)?;
+        let decomposed = dirout.decompose(&gridded);
         print!("{:<22}", ty.name());
         for (scorer, _) in &scorers {
             match scorer.score(&gridded) {
@@ -38,11 +44,35 @@ fn main() -> Result<(), MfodError> {
                 Err(_) => print!("{:>14}", "n/a"),
             }
         }
-        println!();
+        match &decomposed {
+            Ok(d) => println!("{:>14.3}", auc(&d.fo, data.labels())?),
+            Err(_) => println!("{:>14}", "n/a"),
+        }
+        dirout_health.push((
+            ty.name(),
+            match &decomposed {
+                Ok(d) => {
+                    let pct = 100.0 * d.degenerate_directions as f64
+                        / d.attempted_directions.max(1) as f64;
+                    format!(
+                        "{} / {} ({pct:.2}% degenerate)",
+                        d.degenerate_directions, d.attempted_directions
+                    )
+                }
+                Err(_) => "n/a (decomposition failed)".into(),
+            },
+        ));
+    }
+    println!("\ndir.out direction budget (degenerate / attempted):");
+    for (name, health) in &dirout_health {
+        println!("  {name:<20} {health}");
     }
     println!(
         "\nReading guide: 'infimum' should dominate 'integral' on the\n\
-         magnitude-isolated row (masking effect, paper Sec. 1.2 issue (2))."
+         magnitude-isolated row (masking effect, paper Sec. 1.2 issue (2)).\n\
+         A large degenerate share means the dir.out supremum was estimated\n\
+         from far fewer directions than configured — read its column with\n\
+         suspicion."
     );
     Ok(())
 }

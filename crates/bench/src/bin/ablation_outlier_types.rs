@@ -14,8 +14,8 @@ use std::sync::Arc;
 
 fn methods_header() {
     println!(
-        "{:<22} {:>14} {:>14} {:>10} {:>10}",
-        "dataset", "iFor(Curvmap)", "OCSVM(Curvmap)", "Dir.out", "FUNTA"
+        "{:<22} {:>14} {:>14} {:>10} {:>10}  {:>18}",
+        "dataset", "iFor(Curvmap)", "OCSVM(Curvmap)", "Dir.out", "FUNTA", "dir.out degen"
     );
 }
 
@@ -33,14 +33,21 @@ fn eval_all(data: &LabeledDataSet, label: &str) -> Result<(), MfodError> {
         let p = GeomOutlierPipeline::new(PipelineConfig::default(), Arc::new(Curvature), detector);
         row.push(p.fit_score_auc(&train, &test)?);
     }
-    for scorer in [
-        Arc::new(DirOut::new()) as Arc<dyn FunctionalOutlierScorer>,
-        Arc::new(Funta::new()),
-    ] {
-        row.push(DepthBaseline::new(scorer).auc(&train, &test)?);
-    }
+    // Dir.out: one decomposition feeds both the AUC and the
+    // direction-budget health column, so the health stats describe the
+    // exact run behind the AUC.
+    let dirout = DirOut::new();
+    let train_g = DepthBaseline::gridded(&train)?;
+    let test_g = DepthBaseline::gridded(&test)?;
+    let decomposed = dirout.decompose_against(&train_g, &test_g)?;
+    row.push(auc(&decomposed.fo, test.labels()).map_err(MfodError::from)?);
+    let health = format!(
+        "{} / {}",
+        decomposed.degenerate_directions, decomposed.attempted_directions
+    );
+    row.push(DepthBaseline::new(Arc::new(Funta::new())).auc(&train, &test)?);
     println!(
-        "{label:<22} {:>14.3} {:>14.3} {:>10.3} {:>10.3}",
+        "{label:<22} {:>14.3} {:>14.3} {:>10.3} {:>10.3}  {health:>18}",
         row[0], row[1], row[2], row[3]
     );
     Ok(())

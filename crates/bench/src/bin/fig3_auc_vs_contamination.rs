@@ -36,7 +36,7 @@ fn main() {
 
     println!("{}", format_fig3(&rows));
 
-    // machine-readable block
+    // machine-readable blocks
     println!("# CSV: contamination,method,auc_mean,auc_std");
     for row in &rows {
         for m in &row.summary.methods {
@@ -45,5 +45,12 @@ fn main() {
                 row.contamination, m.method, m.mean, m.std
             );
         }
+    }
+    println!("# CSV: contamination,dirout_degenerate,dirout_direction_budget");
+    for row in &rows {
+        println!(
+            "{:.2},{},{}",
+            row.contamination, row.dirout_degenerate, row.dirout_direction_budget
+        );
     }
 }

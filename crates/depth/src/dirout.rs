@@ -19,11 +19,19 @@
 //! combined into the **functional outlyingness** `FO = ‖MO‖² + VO` used as
 //! the ranking score (Dai & Genton eq. (5); their MS-plot reads the two
 //! components separately, which [`DirOutScores`] exposes).
+//!
+//! Both the outer per-grid-point cloud-scoring loop and the per-direction
+//! work inside each grid point run on the worker pool of
+//! [`mfod_linalg::par`], with per-point blocks reassembled in grid order —
+//! scores are bit-for-bit identical at any pool size.
 
 use crate::dataset::GriddedDataSet;
-use crate::projection::{coordinate_median, projection_outlyingness_full, ProjectionConfig};
+use crate::projection::{
+    coordinate_median, projection_outlyingness_against_on, projection_outlyingness_on,
+    ProjectionConfig,
+};
 use crate::{FunctionalOutlierScorer, Result};
-use mfod_linalg::vector;
+use mfod_linalg::{par, vector, Matrix};
 
 /// The directional-outlyingness scorer.
 #[derive(Debug, Clone, Default)]
@@ -40,66 +48,30 @@ impl DirOut {
     }
 
     /// Full decomposition: per-sample `MO` vectors, `VO` and `FO` values.
+    /// Runs on the global worker pool; see [`DirOut::decompose_on`].
     pub fn decompose(&self, data: &GriddedDataSet) -> Result<DirOutScores> {
-        let n = data.n();
-        let m = data.m();
-        let p = data.dim();
-        let grid = data.grid();
-        let span = grid[m - 1] - grid[0];
-        // pointwise directional outlyingness, O[i][j] ∈ R^p flattened
-        let mut o = vec![vec![0.0; m * p]; n];
-        let mut degenerate_directions = 0usize;
-        for j in 0..m {
+        self.decompose_on(par::global(), data)
+    }
+
+    /// [`DirOut::decompose`] on an explicit worker pool.
+    ///
+    /// Every grid point's point cloud is scored independently (the RNG
+    /// direction stream is re-seeded per grid point), so the outer grid
+    /// loop fans out across `pool` and the per-point blocks are
+    /// reassembled in grid order — scores are bit-for-bit identical at
+    /// any pool size, and the first failing grid point in grid order is
+    /// the one reported, exactly as in the sequential loop.
+    pub fn decompose_on(&self, pool: &par::Pool, data: &GriddedDataSet) -> Result<DirOutScores> {
+        let dims = Dims {
+            n: data.n(),
+            m: data.m(),
+            p: data.dim(),
+        };
+        decompose_pointwise_on(pool, dims, data.grid(), |j| {
             let cloud = data.point_cloud(j);
-            let outcome = projection_outlyingness_full(&cloud, &self.projection)
+            let outcome = projection_outlyingness_on(pool, &cloud, &self.projection)
                 .map_err(|e| e.at_grid_point(j))?;
-            degenerate_directions += outcome.degenerate_directions;
-            let magnitude = outcome.scores;
-            let center = coordinate_median(&cloud);
-            for i in 0..n {
-                let x = cloud.row(i);
-                let mut dir: Vec<f64> = x.iter().zip(&center).map(|(a, c)| a - c).collect();
-                let norm = vector::normalize(&mut dir, 1e-12);
-                if norm <= 1e-12 {
-                    // the point sits exactly at the center: zero outlyingness
-                    dir.iter_mut().for_each(|d| *d = 0.0);
-                }
-                for k in 0..p {
-                    o[i][j * p + k] = magnitude[i] * dir[k];
-                }
-            }
-        }
-        // aggregate over t with the trapezoid rule, normalized by |T|
-        let mut mo = Vec::with_capacity(n);
-        let mut vo = Vec::with_capacity(n);
-        let mut fo = Vec::with_capacity(n);
-        for oi in &o {
-            let mut mo_i = vec![0.0; p];
-            for (k, mo_ik) in mo_i.iter_mut().enumerate() {
-                let series: Vec<f64> = (0..m).map(|j| oi[j * p + k]).collect();
-                *mo_ik = vector::trapz(grid, &series) / span;
-            }
-            let dev: Vec<f64> = (0..m)
-                .map(|j| {
-                    (0..p)
-                        .map(|k| {
-                            let d = oi[j * p + k] - mo_i[k];
-                            d * d
-                        })
-                        .sum::<f64>()
-                })
-                .collect();
-            let vo_i = vector::trapz(grid, &dev) / span;
-            let fo_i = vector::dot(&mo_i, &mo_i) + vo_i;
-            mo.push(mo_i);
-            vo.push(vo_i);
-            fo.push(fo_i);
-        }
-        Ok(DirOutScores {
-            mo,
-            vo,
-            fo,
-            degenerate_directions,
+            Ok(oriented_block(&outcome, &cloud, &cloud))
         })
     }
 }
@@ -115,9 +87,16 @@ pub struct DirOutScores {
     pub fo: Vec<f64>,
     /// Projection directions skipped as degenerate, summed over all grid
     /// points — a quality signal: when it approaches
-    /// `m × (n_directions + p)` the effective direction budget has
-    /// collapsed and the supremum is estimated from very few directions.
+    /// [`DirOutScores::attempted_directions`] the effective direction
+    /// budget has collapsed and the supremum is estimated from very few
+    /// directions.
     pub degenerate_directions: usize,
+    /// Projection directions attempted across all grid points
+    /// (`used + degenerate`, as reported by the projection layer per grid
+    /// point) — the denominator for
+    /// [`DirOutScores::degenerate_directions`] when reporting
+    /// direction-budget collapse.
+    pub attempted_directions: usize,
 }
 
 impl DirOutScores {
@@ -138,9 +117,21 @@ impl DirOut {
     /// MO/VO/FO of each `queries` sample with location/scale estimated from
     /// `reference` only (the train/test protocol: training contamination
     /// inflates the reference MAD and genuinely degrades the method, as the
-    /// paper's Fig. 3 probes).
+    /// paper's Fig. 3 probes). Runs on the global worker pool; see
+    /// [`DirOut::decompose_against_on`].
     pub fn decompose_against(
         &self,
+        reference: &GriddedDataSet,
+        queries: &GriddedDataSet,
+    ) -> Result<DirOutScores> {
+        self.decompose_against_on(par::global(), reference, queries)
+    }
+
+    /// [`DirOut::decompose_against`] on an explicit worker pool, with the
+    /// same grid-order determinism contract as [`DirOut::decompose_on`].
+    pub fn decompose_against_on(
+        &self,
+        pool: &par::Pool,
         reference: &GriddedDataSet,
         queries: &GriddedDataSet,
     ) -> Result<DirOutScores> {
@@ -149,69 +140,130 @@ impl DirOut {
                 "reference and queries must share grid and channels".into(),
             ));
         }
-        let n = queries.n();
-        let m = queries.m();
-        let p = queries.dim();
-        let grid = queries.grid();
-        let span = grid[m - 1] - grid[0];
-        let mut o = vec![vec![0.0; m * p]; n];
-        let mut degenerate_directions = 0usize;
-        for j in 0..m {
+        let dims = Dims {
+            n: queries.n(),
+            m: queries.m(),
+            p: queries.dim(),
+        };
+        decompose_pointwise_on(pool, dims, queries.grid(), |j| {
             let ref_cloud = reference.point_cloud(j);
             let query_cloud = queries.point_cloud(j);
-            let outcome = crate::projection::projection_outlyingness_against_full(
+            let outcome = projection_outlyingness_against_on(
+                pool,
                 &ref_cloud,
                 &query_cloud,
                 &self.projection,
             )
             .map_err(|e| e.at_grid_point(j))?;
-            degenerate_directions += outcome.degenerate_directions;
-            let magnitude = outcome.scores;
-            let center = coordinate_median(&ref_cloud);
-            for i in 0..n {
-                let x = query_cloud.row(i);
-                let mut dir: Vec<f64> = x.iter().zip(&center).map(|(a, c)| a - c).collect();
-                let norm = vector::normalize(&mut dir, 1e-12);
-                if norm <= 1e-12 {
-                    dir.iter_mut().for_each(|d| *d = 0.0);
-                }
-                for k in 0..p {
-                    o[i][j * p + k] = magnitude[i] * dir[k];
-                }
-            }
-        }
-        let mut mo = Vec::with_capacity(n);
-        let mut vo = Vec::with_capacity(n);
-        let mut fo = Vec::with_capacity(n);
-        for oi in &o {
-            let mut mo_i = vec![0.0; p];
-            for (k, mo_ik) in mo_i.iter_mut().enumerate() {
-                let series: Vec<f64> = (0..m).map(|j| oi[j * p + k]).collect();
-                *mo_ik = vector::trapz(grid, &series) / span;
-            }
-            let dev: Vec<f64> = (0..m)
-                .map(|j| {
-                    (0..p)
-                        .map(|k| {
-                            let d = oi[j * p + k] - mo_i[k];
-                            d * d
-                        })
-                        .sum::<f64>()
-                })
-                .collect();
-            let vo_i = vector::trapz(grid, &dev) / span;
-            let fo_i = vector::dot(&mo_i, &mo_i) + vo_i;
-            mo.push(mo_i);
-            vo.push(vo_i);
-            fo.push(fo_i);
-        }
-        Ok(DirOutScores {
-            mo,
-            vo,
-            fo,
-            degenerate_directions,
+            Ok(oriented_block(&outcome, &ref_cloud, &query_cloud))
         })
     }
+}
+
+/// Problem sizes shared by the decompose drivers.
+#[derive(Clone, Copy)]
+struct Dims {
+    /// Scored samples.
+    n: usize,
+    /// Grid points.
+    m: usize,
+    /// Channels.
+    p: usize,
+}
+
+/// Per-grid-point result: the flattened `n × p` oriented-outlyingness
+/// block plus the direction bookkeeping, accumulated in grid order.
+type PointBlock = (Vec<f64>, usize, usize);
+
+/// Orients pointwise outlyingness magnitudes at one grid point: each
+/// scored row of `queries` gets `O_pd(x_i) · v_i` with `v_i` the unit
+/// vector from the `reference` cloud's coordinate-wise median to the
+/// point. The outcome's degenerate and attempted (`used + degenerate`)
+/// direction counts ride along for grid-order accumulation.
+fn oriented_block(
+    outcome: &crate::projection::ProjectionOutcome,
+    reference: &Matrix,
+    queries: &Matrix,
+) -> PointBlock {
+    let magnitude = &outcome.scores;
+    let n = queries.nrows();
+    let p = queries.ncols();
+    let center = coordinate_median(reference);
+    let mut block = vec![0.0; n * p];
+    for i in 0..n {
+        let x = queries.row(i);
+        let mut dir: Vec<f64> = x.iter().zip(&center).map(|(a, c)| a - c).collect();
+        let norm = vector::normalize(&mut dir, 1e-12);
+        if norm <= 1e-12 {
+            // the point sits exactly at the center: zero outlyingness
+            dir.iter_mut().for_each(|d| *d = 0.0);
+        }
+        for k in 0..p {
+            block[i * p + k] = magnitude[i] * dir[k];
+        }
+    }
+    (
+        block,
+        outcome.degenerate_directions,
+        outcome.used_directions + outcome.degenerate_directions,
+    )
+}
+
+/// Shared driver of both decompositions: fans `per_point` (the pointwise
+/// cloud scoring at grid index `j`, returning the oriented `n × p` block
+/// and a degenerate-direction count) out over `pool`, reassembles the
+/// blocks in grid order, and aggregates over `t` with the trapezoid rule
+/// normalized by `|T|`.
+fn decompose_pointwise_on(
+    pool: &par::Pool,
+    dims: Dims,
+    grid: &[f64],
+    per_point: impl Fn(usize) -> Result<PointBlock> + Sync,
+) -> Result<DirOutScores> {
+    let Dims { n, m, p } = dims;
+    let span = grid[m - 1] - grid[0];
+    let blocks = pool.try_map(m, per_point)?;
+    let mut degenerate_directions = 0usize;
+    let mut attempted_directions = 0usize;
+    for (_, degenerate, attempted) in &blocks {
+        degenerate_directions += degenerate;
+        attempted_directions += attempted;
+    }
+    // Aggregate straight off the per-point blocks — sample i's value at
+    // grid point j, channel k is blocks[j].0[i*p + k] — so no transposed
+    // copy of the O(n·m·p) oriented-outlyingness tensor is materialized.
+    let mut mo = Vec::with_capacity(n);
+    let mut vo = Vec::with_capacity(n);
+    let mut fo = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut mo_i = vec![0.0; p];
+        for (k, mo_ik) in mo_i.iter_mut().enumerate() {
+            let series: Vec<f64> = (0..m).map(|j| blocks[j].0[i * p + k]).collect();
+            *mo_ik = vector::trapz(grid, &series) / span;
+        }
+        let dev: Vec<f64> = (0..m)
+            .map(|j| {
+                (0..p)
+                    .map(|k| {
+                        let d = blocks[j].0[i * p + k] - mo_i[k];
+                        d * d
+                    })
+                    .sum::<f64>()
+            })
+            .collect();
+        let vo_i = vector::trapz(grid, &dev) / span;
+        let fo_i = vector::dot(&mo_i, &mo_i) + vo_i;
+        mo.push(mo_i);
+        vo.push(vo_i);
+        fo.push(fo_i);
+    }
+    Ok(DirOutScores {
+        mo,
+        vo,
+        fo,
+        degenerate_directions,
+        attempted_directions,
+    })
 }
 
 impl FunctionalOutlierScorer for DirOut {
@@ -369,6 +421,52 @@ mod tests {
     }
 
     #[test]
+    fn grid_loop_is_identical_across_pool_sizes() {
+        let m = 30;
+        let grid: Vec<f64> = (0..m).map(|j| j as f64 / (m - 1) as f64).collect();
+        let shifted: Vec<f64> = grid
+            .iter()
+            .map(|&t| (std::f64::consts::TAU * t).sin() + 2.0)
+            .collect();
+        let d = bundle_with(shifted, m);
+        let scorer = DirOut::new();
+        let seq = scorer
+            .decompose_on(&par::Pool::with_threads(1), &d)
+            .unwrap();
+        let wide = scorer
+            .decompose_on(&par::Pool::with_threads(8), &d)
+            .unwrap();
+        let global = scorer.decompose(&d).unwrap();
+        for other in [&wide, &global] {
+            assert_eq!(seq.degenerate_directions, other.degenerate_directions);
+            assert_eq!(seq.attempted_directions, other.attempted_directions);
+            for (a, b) in seq.fo.iter().zip(&other.fo) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for (a, b) in seq.vo.iter().zip(&other.vo) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for (ma, mb) in seq.mo.iter().zip(&other.mo) {
+                for (a, b) in ma.iter().zip(mb) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
+        // the against variant too: reference = first 10 curves
+        let reference = d.subset(&(0..10).collect::<Vec<_>>()).unwrap();
+        let seq_q = scorer
+            .decompose_against_on(&par::Pool::with_threads(1), &reference, &d)
+            .unwrap();
+        let wide_q = scorer
+            .decompose_against_on(&par::Pool::with_threads(8), &reference, &d)
+            .unwrap();
+        assert_eq!(seq_q.degenerate_directions, wide_q.degenerate_directions);
+        for (a, b) in seq_q.fo.iter().zip(&wide_q.fo) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
     fn scores_nonnegative_and_finite() {
         let m = 25;
         let grid: Vec<f64> = (0..m).map(|j| j as f64 / (m - 1) as f64).collect();
@@ -377,6 +475,9 @@ mod tests {
         let scores = DirOut::new().decompose(&d).unwrap();
         assert!(scores.fo.iter().all(|&v| v >= 0.0 && v.is_finite()));
         assert!(scores.vo.iter().all(|&v| v >= 0.0 && v.is_finite()));
+        // univariate clouds take the exact path: one direction per point
+        assert_eq!(scores.attempted_directions, m);
+        assert_eq!(scores.degenerate_directions, 0);
     }
 
     #[test]

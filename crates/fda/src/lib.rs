@@ -23,6 +23,8 @@
 //! * [`polynomial`] — monomial bases (mostly for testing and tiny problems).
 //! * [`smooth`] — the penalized least-squares smoother, LOOCV/GCV
 //!   diagnostics and automatic basis-size/λ selection.
+//! * [`selcache`] — grid-cached selection plans: the y-independent part of
+//!   the selection ladder precomputed once per shared observation grid.
 //! * [`datum`] — fitted single- and multi-channel functional data
 //!   ([`datum::FunctionalDatum`], [`datum::MultiFunctionalDatum`]) and raw
 //!   measurement containers ([`datum::RawCurve`], [`datum::RawSample`]).
@@ -59,6 +61,7 @@ pub mod error;
 pub mod fourier;
 pub mod grid;
 pub mod polynomial;
+pub mod selcache;
 pub mod smooth;
 
 pub use basis::Basis;
@@ -68,8 +71,10 @@ pub use error::FdaError;
 pub use fourier::FourierBasis;
 pub use grid::Grid;
 pub use polynomial::PolynomialBasis;
+pub use selcache::SelectionPlan;
 pub use smooth::{
     BasisSelector, FitDiagnostics, FrozenSmoother, PenalizedLeastSquares, SelectionCriterion,
+    SelectionResult,
 };
 
 /// Crate-wide `Result` alias.
@@ -84,7 +89,9 @@ pub mod prelude {
     pub use crate::fourier::FourierBasis;
     pub use crate::grid::Grid;
     pub use crate::polynomial::PolynomialBasis;
+    pub use crate::selcache::SelectionPlan;
     pub use crate::smooth::{
         BasisSelector, FitDiagnostics, FrozenSmoother, PenalizedLeastSquares, SelectionCriterion,
+        SelectionResult,
     };
 }

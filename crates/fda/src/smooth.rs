@@ -17,6 +17,7 @@
 use crate::basis::Basis;
 use crate::datum::FunctionalDatum;
 use crate::error::FdaError;
+use crate::selcache::SelectionPlan;
 use crate::Result;
 use mfod_linalg::{vector, Cholesky, Matrix};
 use std::sync::Arc;
@@ -139,7 +140,7 @@ impl PenalizedLeastSquares {
 
     /// Assembles and factorizes the normal-equation matrix
     /// `M = ΦᵀΦ + λ R_q`, returning `(Φ, chol(M))`.
-    fn factorize(&self, ts: &[f64]) -> Result<(Matrix, Cholesky)> {
+    pub(crate) fn factorize(&self, ts: &[f64]) -> Result<(Matrix, Cholesky)> {
         let phi = self.basis.design_matrix(ts, 0);
         let mut m = phi.gram();
         if self.lambda > 0.0 {
@@ -168,40 +169,60 @@ impl PenalizedLeastSquares {
         self.validate(ts, ys)?;
         let (phi, chol) = self.factorize(ts)?;
         let coefs = chol.solve(&phi.tr_matvec(ys));
-        let m = ts.len();
-        // hat diagonal: h_jj = φ_jᵀ M⁻¹ φ_j
-        let minv = chol.inverse();
-        let mut hat_diag = Vec::with_capacity(m);
-        for j in 0..m {
-            let row = phi.row(j);
-            let mrow = minv.matvec(row);
-            hat_diag.push(vector::dot(row, &mrow));
-        }
-        let fitted = phi.matvec(&coefs);
-        let mut rss = 0.0;
-        let mut loocv = 0.0;
-        for j in 0..m {
-            let r = ys[j] - fitted[j];
-            rss += r * r;
-            // guard h -> 1 (exact interpolation at that point)
-            let denom = (1.0 - hat_diag[j]).max(1e-10);
-            let lr = r / denom;
-            loocv += lr * lr;
-        }
+        let hat_diag = hat_diagonal(&phi, &chol);
         let df: f64 = hat_diag.iter().sum();
-        let denom = (m as f64 - df).max(1e-10);
-        let gcv = m as f64 * rss / (denom * denom);
+        let fitted = phi.matvec(&coefs);
+        let diagnostics = diagnostics_from(ys, &fitted, hat_diag, df);
         let datum = FunctionalDatum::new(Arc::clone(&self.basis), coefs)?;
-        Ok((
-            datum,
-            FitDiagnostics {
-                rss,
-                df,
-                loocv,
-                gcv,
-                hat_diag,
-            },
-        ))
+        Ok((datum, diagnostics))
+    }
+}
+
+/// Diagonal of the hat matrix `H = Φ M⁻¹ Φᵀ` without forming `M⁻¹`:
+/// `h_jj = φ_jᵀ (LLᵀ)⁻¹ φ_j = ‖L⁻¹ φ_j‖²`, one O(L²) forward substitution
+/// per observation instead of the former O(L³) explicit inverse.
+///
+/// Shared by [`PenalizedLeastSquares::fit_with_diagnostics`] and the
+/// y-independent precomputation of [`crate::selcache::SelectionPlan`], so
+/// the planned and unplanned selection paths produce bit-identical
+/// diagnostics.
+pub(crate) fn hat_diagonal(phi: &Matrix, chol: &Cholesky) -> Vec<f64> {
+    (0..phi.nrows())
+        .map(|j| {
+            let z = chol.solve_lower(phi.row(j));
+            vector::dot(&z, &z)
+        })
+        .collect()
+}
+
+/// RSS / LOOCV / GCV from a fit's residuals and (possibly precomputed)
+/// hat diagonal. `df` must be the sum of `hat_diag` (cached by the
+/// selection plan; recomputed by the direct path with the same sum).
+pub(crate) fn diagnostics_from(
+    ys: &[f64],
+    fitted: &[f64],
+    hat_diag: Vec<f64>,
+    df: f64,
+) -> FitDiagnostics {
+    let m = ys.len();
+    let mut rss = 0.0;
+    let mut loocv = 0.0;
+    for j in 0..m {
+        let r = ys[j] - fitted[j];
+        rss += r * r;
+        // guard h -> 1 (exact interpolation at that point)
+        let denom = (1.0 - hat_diag[j]).max(1e-10);
+        let lr = r / denom;
+        loocv += lr * lr;
+    }
+    let denom = (m as f64 - df).max(1e-10);
+    let gcv = m as f64 * rss / (denom * denom);
+    FitDiagnostics {
+        rss,
+        df,
+        loocv,
+        gcv,
+        hat_diag,
     }
 }
 
@@ -284,7 +305,7 @@ impl FrozenSmoother {
 /// Cross-validated selection of the B-spline basis size (and optionally λ),
 /// mirroring the paper's per-sample, per-channel leave-one-out procedure
 /// (Sec. 4.1).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BasisSelector {
     /// Candidate basis sizes `L` (each must be >= `order`).
     pub sizes: Vec<usize>,
@@ -348,6 +369,13 @@ impl BasisSelector {
 
     /// Selects the best B-spline fit for a single channel observed at
     /// `(ts, ys)`; the basis domain is `[min t, max t]`.
+    ///
+    /// Internally this builds a single-use [`SelectionPlan`] — callers
+    /// that score many curves on one shared grid should build the plan
+    /// once with [`BasisSelector::plan`] and reuse it: the per-candidate
+    /// design matrix, factorization and hat diagonal are y-independent,
+    /// and a reused plan returns bit-identical results at a fraction of
+    /// the cost.
     pub fn select(&self, ts: &[f64], ys: &[f64]) -> Result<SelectionResult> {
         if self.sizes.is_empty() || self.lambdas.is_empty() {
             return Err(FdaError::InvalidParameter(
@@ -360,63 +388,37 @@ impl BasisSelector {
                 y_len: ys.len(),
             });
         }
-        if ts.len() < 2 {
-            return Err(FdaError::TooFewPoints {
-                got: ts.len(),
-                need: 2,
-            });
-        }
+        // Reject non-finite measurements before the plan's per-candidate
+        // precompute: an O(m) scan instead of a wasted ladder build.
         if !vector::all_finite(ts) || !vector::all_finite(ys) {
             return Err(FdaError::NonFinite);
         }
-        let a = vector::min(ts);
-        let b = vector::max(ts);
-        if a >= b {
-            return Err(FdaError::InvalidDomain { a, b });
+        SelectionPlan::build(self, ts)?.select(ys)
+    }
+
+    /// Precomputes the y-independent part of [`BasisSelector::select`] for
+    /// the observation grid `ts` (see [`SelectionPlan`]).
+    pub fn plan(&self, ts: &[f64]) -> Result<SelectionPlan> {
+        SelectionPlan::build(self, ts)
+    }
+
+    /// [`BasisSelector::select`] through a cached [`SelectionPlan`] when
+    /// it covers this selector and grid, with a per-sample fallback to the
+    /// uncached path when it does not (e.g. a batch mixing observation
+    /// grids). Both paths return bit-identical [`SelectionResult`]s.
+    pub fn select_with_plan(
+        &self,
+        plan: &SelectionPlan,
+        ts: &[f64],
+        ys: &[f64],
+    ) -> Result<SelectionResult> {
+        if plan.covers(self, ts) {
+            // covers() guarantees ts matches the plan's grid, so
+            // plan.select's own length/finiteness validation applies.
+            plan.select(ys)
+        } else {
+            self.select(ts, ys)
         }
-        let mut best: Option<SelectionResult> = None;
-        for &size in &self.sizes {
-            if size > ts.len() {
-                continue; // cannot LOOCV an under-determined fit
-            }
-            let basis: Arc<dyn Basis> = Arc::new(crate::bspline::BSplineBasis::uniform(
-                a, b, size, self.order,
-            )?);
-            for &lambda in &self.lambdas {
-                let smoother = PenalizedLeastSquares::with_arc(
-                    Arc::clone(&basis),
-                    lambda,
-                    self.penalty_order,
-                )?;
-                let (datum, diagnostics) = match smoother.fit_with_diagnostics(ts, ys) {
-                    Ok(ok) => ok,
-                    // A singular candidate is skipped, not fatal: other
-                    // (smaller or more penalized) candidates may be fine.
-                    Err(FdaError::Linalg(_)) => continue,
-                    Err(e) => return Err(e),
-                };
-                let score = match self.criterion {
-                    SelectionCriterion::Loocv => diagnostics.loocv,
-                    SelectionCriterion::Gcv => diagnostics.gcv,
-                };
-                if !score.is_finite() {
-                    continue;
-                }
-                let better = best.as_ref().is_none_or(|b| score < b.score);
-                if better {
-                    best = Some(SelectionResult {
-                        datum,
-                        size,
-                        lambda,
-                        score,
-                        diagnostics,
-                    });
-                }
-            }
-        }
-        best.ok_or_else(|| {
-            FdaError::InvalidParameter("no selector candidate produced a valid fit".into())
-        })
     }
 }
 

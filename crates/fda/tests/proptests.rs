@@ -138,6 +138,85 @@ proptest! {
     }
 
     #[test]
+    fn planned_selection_bit_matches_unplanned_on_shared_grids(
+        m in 20usize..=60,
+        jitter in 0.0..0.4f64,
+        freq in 0.5..3.0f64,
+        curves in prop::collection::vec(prop::collection::vec(-0.5..0.5f64, 60), 3),
+    ) {
+        // A shared (possibly non-uniform) grid, three curves through one
+        // plan: winner, score and coefficients must be bit-identical to
+        // the uncached per-curve ladder.
+        let ts: Vec<f64> = (0..m)
+            .map(|j| {
+                let u = j as f64 / (m - 1) as f64;
+                u + jitter * 0.4 * (u * (1.0 - u)) * (j as f64 * 2.3).sin()
+            })
+            .collect();
+        let sel = BasisSelector {
+            sizes: vec![5, 7, 9],
+            lambdas: vec![1e-8, 1e-3],
+            ..BasisSelector::default()
+        };
+        let plan = sel.plan(&ts).unwrap();
+        for noise in &curves {
+            let ys: Vec<f64> = ts
+                .iter()
+                .zip(noise)
+                .map(|(&t, &n)| (std::f64::consts::TAU * freq * t).sin() + n)
+                .collect();
+            let unplanned = sel.select(&ts, &ys).unwrap();
+            let planned = plan.select(&ys).unwrap();
+            prop_assert_eq!(unplanned.size, planned.size);
+            prop_assert_eq!(unplanned.lambda.to_bits(), planned.lambda.to_bits());
+            prop_assert_eq!(unplanned.score.to_bits(), planned.score.to_bits());
+            prop_assert_eq!(unplanned.datum.coefs().len(), planned.datum.coefs().len());
+            for (a, b) in unplanned.datum.coefs().iter().zip(planned.datum.coefs()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            prop_assert_eq!(
+                unplanned.diagnostics.loocv.to_bits(),
+                planned.diagnostics.loocv.to_bits()
+            );
+            prop_assert_eq!(
+                unplanned.diagnostics.gcv.to_bits(),
+                planned.diagnostics.gcv.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_grid_batches_fall_back_per_sample(
+        m_plan in 20usize..=40,
+        m_other in 20usize..=40,
+        warp in 0.05..0.5f64,
+    ) {
+        // A plan built on one grid must route curves from any other grid
+        // through the uncached fallback with identical results — the
+        // batch-with-heterogeneous-grids scenario of the pipeline fit.
+        let grid_a: Vec<f64> = (0..m_plan).map(|j| j as f64 / (m_plan - 1) as f64).collect();
+        let grid_b: Vec<f64> = (0..m_other)
+            .map(|j| (j as f64 / (m_other - 1) as f64).powf(1.0 + warp))
+            .collect();
+        let sel = BasisSelector::default();
+        let plan = sel.plan(&grid_a).unwrap();
+        let same_len_and_bits = grid_a.len() == grid_b.len()
+            && grid_a.iter().zip(&grid_b).all(|(a, b)| a.to_bits() == b.to_bits());
+        prop_assert_eq!(plan.same_grid(&grid_b), same_len_and_bits);
+        let ys: Vec<f64> = grid_b
+            .iter()
+            .map(|&t| (std::f64::consts::TAU * t).cos() + 0.1 * (9.0 * t).sin())
+            .collect();
+        let direct = sel.select(&grid_b, &ys).unwrap();
+        let via_plan = sel.select_with_plan(&plan, &grid_b, &ys).unwrap();
+        prop_assert_eq!(direct.size, via_plan.size);
+        prop_assert_eq!(direct.score.to_bits(), via_plan.score.to_bits());
+        for (a, b) in direct.datum.coefs().iter().zip(via_plan.datum.coefs()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
     fn multivariate_grid_eval_matches_pointwise(
         slope1 in -5.0..5.0f64,
         slope2 in -5.0..5.0f64,

@@ -134,9 +134,32 @@ impl Cholesky {
         out
     }
 
-    /// Computes `A⁻¹` explicitly (needed for hat-matrix diagonals).
+    /// Computes `A⁻¹` explicitly.
+    ///
+    /// Quadratic forms `bᵀA⁻¹b` (e.g. hat-matrix diagonals) are cheaper
+    /// and more stable via [`Cholesky::solve_lower`]:
+    /// `bᵀ(LLᵀ)⁻¹b = ‖L⁻¹b‖²`, one forward substitution instead of a full
+    /// O(n³) inverse.
     pub fn inverse(&self) -> Matrix {
         self.solve_matrix(&Matrix::identity(self.dim()))
+    }
+
+    /// Solves the lower-triangular half-system `L y = b` by forward
+    /// substitution (`A = L Lᵀ`), in O(n²).
+    ///
+    /// # Panics
+    /// Panics if `b.len() != dim()`.
+    pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "cholesky solve_lower dimension mismatch");
+        let mut y = b.to_vec();
+        for i in 0..n {
+            for k in 0..i {
+                y[i] -= self.l[(i, k)] * y[k];
+            }
+            y[i] /= self.l[(i, i)];
+        }
+        y
     }
 
     /// log-determinant of `A` (sum of `2 log L_ii`).
@@ -198,6 +221,22 @@ mod tests {
         let inv = c.inverse();
         let prod = a.matmul(&inv);
         assert!(prod.sub(&Matrix::identity(3)).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve_lower_matches_quadratic_form() {
+        let a = spd3();
+        let c = Cholesky::new(&a).unwrap();
+        // L y = b by construction: L yᵀy = ‖L⁻¹b‖² = bᵀ A⁻¹ b
+        let b = [1.0, -2.0, 0.5];
+        let y = c.solve_lower(&b);
+        let rec = c.factor().matvec(&y);
+        for (ri, bi) in rec.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-12);
+        }
+        let quad: f64 = y.iter().map(|v| v * v).sum();
+        let direct = crate::vector::dot(&b, &c.solve(&b));
+        assert!((quad - direct).abs() < 1e-9 * (1.0 + direct.abs()));
     }
 
     #[test]

@@ -13,11 +13,26 @@
 //! A [`Pool`] owns long-lived worker threads fed from one shared FIFO
 //! queue. The free functions [`par_map`] / [`par_try_map`] run on a
 //! global pool that is lazily created on first use and sized to
-//! [`max_threads`], so every call site in the workspace shares one set of
-//! workers and pays **no thread-spawn cost per call** — the price that
-//! previously made small micro-batches as expensive as large ones.
+//! [`configured_threads`], so every call site in the workspace shares one
+//! set of workers and pays **no thread-spawn cost per call** — the price
+//! that previously made small micro-batches as expensive as large ones.
 //! [`Pool::with_threads`] builds an explicitly sized private pool for
 //! tests and benchmarks.
+//!
+//! ## Global pool sizing
+//!
+//! The global pool's thread count is resolved once, at first use, with
+//! this precedence:
+//!
+//! 1. [`Pool::global_with_config`], when called before any other global
+//!    pool use (first initializer wins);
+//! 2. the `MFOD_THREADS` environment variable ([`THREADS_ENV`]), when set
+//!    to a positive integer — malformed or zero values fall through;
+//! 3. [`max_threads`] (`available_parallelism`).
+//!
+//! `MFOD_THREADS=1` turns every global-pool call site into the exact
+//! sequential loop — useful for debugging and for pinning serving
+//! deployments that co-locate other CPU-bound work.
 //!
 //! ## Determinism contract
 //!
@@ -51,12 +66,42 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
-/// Number of worker threads the global pool uses (the
-/// `available_parallelism` of the machine, with a safe fallback of 1).
+/// Environment variable overriding the global pool's thread count.
+pub const THREADS_ENV: &str = "MFOD_THREADS";
+
+/// Hardware thread budget of the machine (`available_parallelism`, with a
+/// safe fallback of 1).
 pub fn max_threads() -> usize {
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// Thread count the global pool will be created with, resolving the
+/// sizing precedence (highest first):
+///
+/// 1. an explicit [`Pool::global_with_config`] call that wins the
+///    first-use race (this function only covers the next two tiers);
+/// 2. the [`THREADS_ENV`] (`MFOD_THREADS`) environment variable, when set
+///    to a positive integer — malformed or zero values are ignored;
+/// 3. [`max_threads`] (`available_parallelism`).
+pub fn configured_threads() -> usize {
+    std::env::var(THREADS_ENV)
+        .ok()
+        .as_deref()
+        .and_then(threads_from_env)
+        .unwrap_or_else(max_threads)
+}
+
+/// Parses an `MFOD_THREADS`-style value: a positive integer (surrounding
+/// whitespace tolerated). Returns `None` — meaning "fall back" — for
+/// anything else, so a typo degrades to the hardware default instead of
+/// crashing pool creation.
+fn threads_from_env(raw: &str) -> Option<usize> {
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n),
+        _ => None,
+    }
 }
 
 /// Applies `f` to every index in `0..n` and collects the results in index
@@ -85,11 +130,14 @@ where
     global().try_map(n, f)
 }
 
+static GLOBAL: OnceLock<Pool> = OnceLock::new();
+
 /// The process-wide pool shared by [`par_map`] / [`par_try_map`], created
-/// on first use with [`max_threads`] threads.
+/// on first use with [`configured_threads`] threads (the `MFOD_THREADS`
+/// environment variable when set, `available_parallelism` otherwise).
+/// [`Pool::global_with_config`] can pin an explicit size before first use.
 pub fn global() -> &'static Pool {
-    static GLOBAL: OnceLock<Pool> = OnceLock::new();
-    GLOBAL.get_or_init(|| Pool::with_threads(max_threads()))
+    GLOBAL.get_or_init(|| Pool::with_threads(configured_threads()))
 }
 
 /// A task queued on the pool. Tasks are built exclusively by
@@ -173,6 +221,20 @@ impl Pool {
     /// (including the calling thread).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Initializes the global pool with an explicit thread count,
+    /// returning the global pool either way.
+    ///
+    /// Sizing precedence: the **first** initializer of the global pool
+    /// wins, so a `global_with_config` call that runs before any
+    /// [`par_map`] / [`par_try_map`] / [`global`] use pins the size;
+    /// afterwards the request is ignored and the existing pool is
+    /// returned (check [`Pool::threads`] on the result). When the pool is
+    /// instead created lazily, the `MFOD_THREADS` environment variable
+    /// applies, then `available_parallelism` — see [`configured_threads`].
+    pub fn global_with_config(threads: usize) -> &'static Pool {
+        GLOBAL.get_or_init(|| Pool::with_threads(threads.max(1)))
     }
 
     /// Applies `f` to every index in `0..n`, collecting results in index
@@ -464,7 +526,31 @@ mod tests {
     #[test]
     fn reports_at_least_one_thread() {
         assert!(max_threads() >= 1);
+        assert!(configured_threads() >= 1);
         assert!(global().threads() >= 1);
+    }
+
+    #[test]
+    fn env_thread_values_parse_leniently() {
+        assert_eq!(threads_from_env("4"), Some(4));
+        assert_eq!(threads_from_env(" 16 "), Some(16));
+        assert_eq!(threads_from_env("1"), Some(1));
+        // zero, negatives, junk and empty all fall back
+        assert_eq!(threads_from_env("0"), None);
+        assert_eq!(threads_from_env("-2"), None);
+        assert_eq!(threads_from_env("many"), None);
+        assert_eq!(threads_from_env(""), None);
+        assert_eq!(threads_from_env("4.5"), None);
+    }
+
+    #[test]
+    fn global_with_config_returns_the_one_global_pool() {
+        // Whoever initialized the global pool first (this call or an
+        // earlier lazy use), both handles must be the same pool.
+        let configured = Pool::global_with_config(3);
+        let lazy = global();
+        assert!(std::ptr::eq(configured, lazy));
+        assert!(configured.threads() >= 1);
     }
 
     #[test]

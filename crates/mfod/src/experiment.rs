@@ -113,6 +113,16 @@ pub struct Fig3Row {
     pub contamination: f64,
     /// AUC mean ± std per method.
     pub summary: RepeatedSummary,
+    /// `Dir.out` projection directions that degenerated (zero MAD of the
+    /// projected reference cloud), summed over the level's repetitions —
+    /// the direction-budget collapse signal of
+    /// [`mfod_depth::dirout::DirOutScores::degenerate_directions`].
+    pub dirout_degenerate: usize,
+    /// Total `Dir.out` directions attempted across the level's
+    /// repetitions, as reported by the projection layer
+    /// ([`mfod_depth::dirout::DirOutScores::attempted_directions`]); the
+    /// denominator for [`Fig3Row::dirout_degenerate`].
+    pub dirout_direction_budget: usize,
 }
 
 /// Runs the full Fig. 3 experiment.
@@ -145,6 +155,8 @@ pub fn run_fig3_on(cfg: &Fig3Config, data: &LabeledDataSet) -> Result<Vec<Fig3Ro
             train_size: cfg.train_size,
             contamination: c,
         };
+        let mut dirout_degenerate = 0usize;
+        let mut dirout_direction_budget = 0usize;
         let summary = run_repeated(cfg.repetitions, cfg.split_seed, |seed| {
             let split = split_cfg.split(data, seed).map_err(MfodError::from)?;
             let test_labels: Vec<bool> = split
@@ -190,10 +202,12 @@ pub fn run_fig3_on(cfg: &Fig3Config, data: &LabeledDataSet) -> Result<Vec<Fig3Ro
                 .map_err(MfodError::from)?;
             let funta_auc = mfod_eval::auc(&funta_scores, &test_labels).map_err(MfodError::from)?;
             let dirout_scores = dirout
-                .score_against(&train_g, &test_g)
+                .decompose_against(&train_g, &test_g)
                 .map_err(MfodError::from)?;
+            dirout_degenerate += dirout_scores.degenerate_directions;
+            dirout_direction_budget += dirout_scores.attempted_directions;
             let dirout_auc =
-                mfod_eval::auc(&dirout_scores, &test_labels).map_err(MfodError::from)?;
+                mfod_eval::auc(&dirout_scores.fo, &test_labels).map_err(MfodError::from)?;
 
             Ok::<_, MfodError>(vec![
                 ("iFor(Curvmap)".to_string(), ifor_auc),
@@ -205,6 +219,8 @@ pub fn run_fig3_on(cfg: &Fig3Config, data: &LabeledDataSet) -> Result<Vec<Fig3Ro
         rows.push(Fig3Row {
             contamination: c,
             summary,
+            dirout_degenerate,
+            dirout_direction_budget,
         });
     }
     Ok(rows)
@@ -229,6 +245,24 @@ pub fn format_fig3(rows: &[Fig3Row]) -> String {
             }
         }
         out.push('\n');
+    }
+    // Direction-budget health of the Dir.out baseline: a large degenerate
+    // share means the projection supremum was estimated from far fewer
+    // directions than configured and its AUC column should be read with
+    // suspicion.
+    out.push_str("\nDir.out direction budget (degenerate / attempted):\n");
+    for row in rows {
+        let pct = if row.dirout_direction_budget == 0 {
+            0.0
+        } else {
+            100.0 * row.dirout_degenerate as f64 / row.dirout_direction_budget as f64
+        };
+        out.push_str(&format!(
+            "{:>5.0}%  {} / {} ({pct:.2}% degenerate)\n",
+            row.contamination * 100.0,
+            row.dirout_degenerate,
+            row.dirout_direction_budget,
+        ));
     }
     out
 }
@@ -267,6 +301,11 @@ mod tests {
         assert!(text.contains("Dir.out"));
         assert!(text.contains("10%"));
         assert!(text.contains("25%"));
+        assert!(text.contains("direction budget"));
+        for row in &rows {
+            assert!(row.dirout_direction_budget > 0);
+            assert!(row.dirout_degenerate <= row.dirout_direction_budget);
+        }
     }
 
     #[test]

@@ -5,8 +5,9 @@ use crate::error::MfodError;
 use crate::Result;
 use mfod_datasets::LabeledDataSet;
 use mfod_detect::{Detector, FittedDetector};
-use mfod_fda::{BasisSelector, Grid, MultiFunctionalDatum, RawSample};
+use mfod_fda::{BasisSelector, Grid, MultiFunctionalDatum, RawSample, SelectionPlan};
 use mfod_geometry::MappingFunction;
+use mfod_linalg::par::{self, Pool};
 use mfod_linalg::Matrix;
 use std::sync::Arc;
 
@@ -178,7 +179,19 @@ impl GeomOutlierPipeline {
     /// common observation domain and consistent channel counts, returning
     /// the raw feature matrix together with the per-channel `(size, λ)`
     /// selection votes accumulated across the batch.
-    fn raw_features_votes(&self, samples: &[RawSample]) -> Result<(Matrix, Vec<SelectionVotes>)> {
+    ///
+    /// One [`SelectionPlan`] is built per channel group — all channels of
+    /// a sample share its abscissae, so the first sample's grid plans the
+    /// whole batch — and the per-(sample × channel) basis selection fans
+    /// out over `pool`. Rows are reassembled in sample order and every
+    /// sample observed on a different grid falls back to the uncached
+    /// per-sample selection, so the output is bit-for-bit identical to
+    /// the sequential unplanned loop at any pool size.
+    fn raw_features_votes_on(
+        &self,
+        pool: &Pool,
+        samples: &[RawSample],
+    ) -> Result<(Matrix, Vec<SelectionVotes>)> {
         self.config.validate()?;
         if samples.is_empty() {
             return Err(MfodError::Pipeline("no samples supplied".into()));
@@ -186,9 +199,12 @@ impl GeomOutlierPipeline {
         let (a0, b0) = samples[0].domain();
         let dim = samples[0].dim();
         let grid = Grid::uniform(a0, b0, self.config.grid_len)?;
-        let mut out = Matrix::zeros(samples.len(), grid.len());
-        let mut votes: Vec<SelectionVotes> = vec![SelectionVotes::new(); dim];
-        for (i, s) in samples.iter().enumerate() {
+        // A plan that fails to build is not fatal here: the per-sample
+        // fallback reproduces (and correctly attributes) the error on the
+        // first sample it affects.
+        let plan = self.config.selector.plan(&samples[0].t).ok();
+        let rows = pool.try_map(samples.len(), |i| {
+            let s = &samples[i];
             let (a, b) = s.domain();
             if !domains_match((a0, b0), (a, b)) {
                 return Err(MfodError::Pipeline(format!(
@@ -201,12 +217,18 @@ impl GeomOutlierPipeline {
                     s.dim()
                 )));
             }
-            let (datum, selections) = smooth_sample_with_selection(&self.config.selector, s)?;
+            let (datum, selections) =
+                smooth_sample_with_plan(&self.config.selector, plan.as_ref(), s)?;
+            let mapped = self.mapping.map(&datum, &grid)?;
+            Ok((mapped, selections))
+        })?;
+        let mut out = Matrix::zeros(samples.len(), grid.len());
+        let mut votes: Vec<SelectionVotes> = vec![SelectionVotes::new(); dim];
+        for (i, (mapped, selections)) in rows.into_iter().enumerate() {
+            out.row_mut(i).copy_from_slice(&mapped);
             for (k, sel) in selections.iter().enumerate() {
                 *votes[k].entry((sel.0, sel.1.to_bits())).or_insert(0) += 1;
             }
-            let mapped = self.mapping.map(&datum, &grid)?;
-            out.row_mut(i).copy_from_slice(&mapped);
         }
         Ok((out, votes))
     }
@@ -215,16 +237,27 @@ impl GeomOutlierPipeline {
     /// matrix: row `i` is the mapped UFD of sample `i` on the common grid.
     ///
     /// All samples must share the same observation domain (the paper's
-    /// setting: a common interval `T`).
+    /// setting: a common interval `T`). Runs on the global worker pool;
+    /// see [`GeomOutlierPipeline::raw_features_on`].
     pub fn raw_features(&self, samples: &[RawSample]) -> Result<Matrix> {
-        Ok(self.raw_features_votes(samples)?.0)
+        self.raw_features_on(par::global(), samples)
+    }
+
+    /// [`GeomOutlierPipeline::raw_features`] on an explicit worker pool.
+    pub fn raw_features_on(&self, pool: &Pool, samples: &[RawSample]) -> Result<Matrix> {
+        Ok(self.raw_features_votes_on(pool, samples)?.0)
     }
 
     /// Like [`GeomOutlierPipeline::raw_features`] with the configured
     /// [`FeatureTransform`] applied (the winsorize cap, if any, comes from
     /// this same batch).
     pub fn features(&self, samples: &[RawSample]) -> Result<Matrix> {
-        let mut f = self.raw_features(samples)?;
+        self.features_on(par::global(), samples)
+    }
+
+    /// [`GeomOutlierPipeline::features`] on an explicit worker pool.
+    pub fn features_on(&self, pool: &Pool, samples: &[RawSample]) -> Result<Matrix> {
+        let mut f = self.raw_features_on(pool, samples)?;
         let cap = self.winsorize_cap(&f);
         self.config.transform.apply(f.as_mut_slice(), cap);
         Ok(f)
@@ -245,8 +278,18 @@ impl GeomOutlierPipeline {
     /// selection that won most often across the training set — the frozen
     /// serving path ([`crate::serving::FrozenScorer`]) reuses that
     /// selection instead of re-running cross-validation per sample.
+    ///
+    /// The smoothing stage builds one [`SelectionPlan`] per channel group
+    /// and fans the per-(sample × channel) selection out over the global
+    /// worker pool; see [`GeomOutlierPipeline::fit_on`] for an explicit
+    /// pool. Fitted artifacts are bit-for-bit identical at any pool size.
     pub fn fit(&self, train: &[RawSample]) -> Result<FittedPipeline> {
-        let (mut features, votes) = self.raw_features_votes(train)?;
+        self.fit_on(par::global(), train)
+    }
+
+    /// [`GeomOutlierPipeline::fit`] on an explicit worker pool.
+    pub fn fit_on(&self, pool: &Pool, train: &[RawSample]) -> Result<FittedPipeline> {
+        let (mut features, votes) = self.raw_features_votes_on(pool, train)?;
         let selected = votes
             .into_iter()
             .map(|v| {
@@ -329,11 +372,27 @@ pub fn smooth_sample_with_selection(
     selector: &BasisSelector,
     sample: &RawSample,
 ) -> Result<(MultiFunctionalDatum, Vec<(usize, f64)>)> {
+    smooth_sample_with_plan(selector, None, sample)
+}
+
+/// [`smooth_sample_with_selection`] through an optional cached
+/// [`SelectionPlan`]: channels of samples observed on the plan's grid are
+/// selected against the precomputed ladder (one O(mL) pass per candidate
+/// instead of a fresh O(L³) factorization), anything else falls back to
+/// the uncached per-sample path. Results are bit-identical either way.
+pub fn smooth_sample_with_plan(
+    selector: &BasisSelector,
+    plan: Option<&SelectionPlan>,
+    sample: &RawSample,
+) -> Result<(MultiFunctionalDatum, Vec<(usize, f64)>)> {
     let mut channels = Vec::with_capacity(sample.dim());
     let mut selections = Vec::with_capacity(sample.dim());
     for k in 0..sample.dim() {
         let (ts, ys) = sample.channel(k).expect("validated channel index");
-        let fit = selector.select(ts, ys)?;
+        let fit = match plan {
+            Some(plan) => selector.select_with_plan(plan, ts, ys)?,
+            None => selector.select(ts, ys)?,
+        };
         selections.push((fit.size, fit.lambda));
         channels.push(fit.datum);
     }
@@ -450,20 +509,34 @@ impl FittedPipeline {
 
     /// The fully transformed feature vector of one sample on `grid` —
     /// the exact quantity handed to the detector.
-    fn feature_row(&self, sample: &RawSample, grid: &Grid) -> Result<Vec<f64>> {
-        let datum = smooth_sample(&self.config.selector, sample)?;
+    fn feature_row(
+        &self,
+        sample: &RawSample,
+        grid: &Grid,
+        plan: Option<&SelectionPlan>,
+    ) -> Result<Vec<f64>> {
+        let (datum, _) = smooth_sample_with_plan(&self.config.selector, plan, sample)?;
         let mut mapped = self.mapping.map(&datum, grid)?;
         self.config.transform.apply(&mut mapped, self.winsorize_cap);
         Ok(mapped)
+    }
+
+    /// Builds the per-batch selection plan for scoring: one plan on the
+    /// first sample's grid, shared by every sample observed on it (the
+    /// others fall back per sample inside the selector).
+    fn scoring_plan(&self, samples: &[RawSample]) -> Option<SelectionPlan> {
+        self.config.selector.plan(&samples[0].t).ok()
     }
 
     /// Smooths, maps and transforms raw samples into the detector's
     /// feature matrix, reusing the training-time transform state.
     pub fn features(&self, samples: &[RawSample]) -> Result<Matrix> {
         let grid = self.check_domain(samples)?;
+        let plan = self.scoring_plan(samples);
         let mut out = Matrix::zeros(samples.len(), grid.len());
         for (i, s) in samples.iter().enumerate() {
-            out.row_mut(i).copy_from_slice(&self.feature_row(s, &grid)?);
+            out.row_mut(i)
+                .copy_from_slice(&self.feature_row(s, &grid, plan.as_ref())?);
         }
         Ok(out)
     }
@@ -482,8 +555,10 @@ impl FittedPipeline {
     /// entry point of `mfod-stream`.
     pub fn par_score(&self, samples: &[RawSample]) -> Result<Vec<f64>> {
         let grid = self.check_domain(samples)?;
-        let rows =
-            mfod_linalg::par::par_try_map(samples.len(), |i| self.feature_row(&samples[i], &grid))?;
+        let plan = self.scoring_plan(samples);
+        let rows = mfod_linalg::par::par_try_map(samples.len(), |i| {
+            self.feature_row(&samples[i], &grid, plan.as_ref())
+        })?;
         let mut features = Matrix::zeros(samples.len(), grid.len());
         for (i, row) in rows.iter().enumerate() {
             features.row_mut(i).copy_from_slice(row);
@@ -616,6 +691,66 @@ mod tests {
         );
         let f = fitted.features(data.samples()).unwrap();
         assert_eq!(f.shape(), (23, 40));
+    }
+
+    #[test]
+    fn fit_is_bit_identical_across_pool_sizes() {
+        let data = ecg_bivariate(20, 6, 11);
+        let (train, test) = SplitConfig {
+            train_size: 16,
+            contamination: 0.1,
+        }
+        .split_datasets(&data, 2)
+        .unwrap();
+        let p = fast_pipeline();
+        let fitted: Vec<_> = [1usize, 2, 8]
+            .iter()
+            .map(|&k| p.fit_on(&Pool::with_threads(k), train.samples()).unwrap())
+            .collect();
+        let reference = fitted[0].score(test.samples()).unwrap();
+        for f in &fitted[1..] {
+            assert_eq!(f.selected_bases(), fitted[0].selected_bases());
+            let scores = f.score(test.samples()).unwrap();
+            assert_eq!(
+                reference.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+                scores.iter().map(|s| s.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_grid_batch_matches_unplanned_per_sample_path() {
+        // One sample on a perturbed (same-domain) grid: the plan built from
+        // sample 0 cannot cover it, so it must take the per-sample fallback
+        // — and the whole batch must still equal the fully unplanned loop.
+        let data = ecg_bivariate(8, 2, 19);
+        let mut samples = data.samples().to_vec();
+        let mut warped = samples[4].t.clone();
+        let last = warped.len() - 1;
+        for t in &mut warped[1..last] {
+            *t += 1e-4 * (*t * 37.0).sin().abs();
+        }
+        samples[4] = RawSample::new(warped, samples[4].channels.clone()).unwrap();
+        let p = fast_pipeline();
+        let planned = p.raw_features(&samples).unwrap();
+        // hand-rolled unplanned reference loop
+        let (a, b) = samples[0].domain();
+        let grid = Grid::uniform(a, b, p.config().grid_len).unwrap();
+        for (i, s) in samples.iter().enumerate() {
+            let (datum, _) = smooth_sample_with_selection(&p.config().selector, s).unwrap();
+            let mapped = p.mapping().map(&datum, &grid).unwrap();
+            for (j, v) in mapped.iter().enumerate() {
+                assert_eq!(
+                    planned[(i, j)].to_bits(),
+                    v.to_bits(),
+                    "sample {i} grid point {j}"
+                );
+            }
+        }
+        // fitting the mixed batch works and scores deterministically
+        let f1 = p.fit(&samples).unwrap();
+        let f2 = p.fit(&samples).unwrap();
+        assert_eq!(f1.selected_bases(), f2.selected_bases());
     }
 
     #[test]

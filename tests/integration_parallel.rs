@@ -9,7 +9,9 @@ use mfod::depth::projection::{
 use mfod::detect::prelude::*;
 use mfod::linalg::par::{self, Pool};
 use mfod::linalg::Matrix;
+use mfod::prelude::{Curvature, DirOut, GeomOutlierPipeline, PipelineConfig};
 use mfod_stream::fixture::{ecg_fitted, ecg_split};
+use std::sync::Arc;
 
 fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
     assert_eq!(a.len(), b.len(), "{what}: length mismatch");
@@ -32,6 +34,63 @@ fn fitted_pipeline_scores_are_identical_across_pool_sizes() {
     // Parallel scoring reproduces sequential scoring on the same artifact.
     let par_scores = a.par_score(test.samples()).unwrap();
     assert_bits_eq(&scores_a, &par_scores, "par_score vs score");
+}
+
+#[test]
+fn pipeline_fit_is_identical_across_pool_sizes() {
+    // The grid-cached selection engine fans per-(sample × channel) basis
+    // selection out over the pool; fitted artifacts and scores must be
+    // bit-for-bit identical at pool sizes 1 / 2 / 8 and on the global
+    // pool.
+    let (train, test) = ecg_split();
+    let pipeline = GeomOutlierPipeline::new(
+        PipelineConfig::fast(),
+        Arc::new(Curvature),
+        Arc::new(IsolationForest {
+            n_trees: 60,
+            ..Default::default()
+        }),
+    );
+    let fitted: Vec<_> = [1usize, 2, 8]
+        .iter()
+        .map(|&k| {
+            pipeline
+                .fit_on(&Pool::with_threads(k), train.samples())
+                .unwrap()
+        })
+        .collect();
+    let global = pipeline.fit(train.samples()).unwrap();
+    let reference = fitted[0].score(test.samples()).unwrap();
+    for (what, f) in [("2 threads", &fitted[1]), ("8 threads", &fitted[2])] {
+        assert_eq!(f.selected_bases(), fitted[0].selected_bases(), "{what}");
+        assert_bits_eq(&f.score(test.samples()).unwrap(), &reference, what);
+    }
+    assert_eq!(global.selected_bases(), fitted[0].selected_bases());
+    assert_bits_eq(&global.score(test.samples()).unwrap(), &reference, "global");
+    // feature extraction too, through the explicit-pool entry point
+    let f_seq = pipeline
+        .features_on(&Pool::with_threads(1), train.samples())
+        .unwrap();
+    let f_wide = pipeline
+        .features_on(&Pool::with_threads(8), train.samples())
+        .unwrap();
+    assert_bits_eq(f_seq.as_slice(), f_wide.as_slice(), "features 1 vs 8");
+}
+
+#[test]
+fn dirout_grid_fanout_is_identical_across_pool_sizes() {
+    let (train, _) = ecg_split();
+    let gridded = mfod::DepthBaseline::gridded(&train).unwrap();
+    let scorer = DirOut::new();
+    let seq = scorer
+        .decompose_on(&Pool::with_threads(1), &gridded)
+        .unwrap();
+    let wide = scorer
+        .decompose_on(&Pool::with_threads(8), &gridded)
+        .unwrap();
+    assert_bits_eq(&seq.fo, &wide.fo, "dirout FO 1 vs 8 threads");
+    assert_bits_eq(&seq.vo, &wide.vo, "dirout VO 1 vs 8 threads");
+    assert_eq!(seq.degenerate_directions, wide.degenerate_directions);
 }
 
 #[test]
