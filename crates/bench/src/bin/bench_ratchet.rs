@@ -1,0 +1,172 @@
+//! Fit-throughput ratchet: compares a freshly emitted `BENCH_fit.json`
+//! against the checked-in baseline and fails on a regression.
+//!
+//! `benches/fit_smoothing.rs` writes a flat JSON report with per-run
+//! wall-clock numbers for the cached (production fit path) and uncached
+//! selection loops. Raw wall-clock is not comparable across machines
+//! (the checked-in baseline and a CI runner are different hardware), so
+//! the enforced metric is **hardware-normalized**: the cached-vs-uncached
+//! speedup measured within one run, where the uncached loop acts as the
+//! machine's own denominator. The gates, in order:
+//!
+//! 1. the bit-parity field must report `bit-identical`;
+//! 2. the cached speedup must not drop more than the tolerance below the
+//!    baseline's speedup (the fit-throughput ratchet);
+//! 3. in full mode, the absolute ≥5× cache contract must hold.
+//!
+//! Absolute curves-per-millisecond numbers are always printed for both
+//! files and enforced only when `MFOD_RATCHET_ABS=1` (same-machine
+//! comparisons, e.g. a perf investigation against yesterday's artifact).
+//!
+//! Usage: `bench_ratchet <baseline.json> <current.json>`
+//!
+//! Environment:
+//! * `MFOD_RATCHET_TOL` — allowed fractional drop (default `0.20`,
+//!   i.e. fail on >20% regression);
+//! * `MFOD_RATCHET_ABS` — set to `1` to also enforce the absolute
+//!   throughput floor.
+//!
+//! Refresh `crates/bench/baselines/BENCH_fit.baseline.json` from the CI
+//! `BENCH_fit` artifact after intentional perf changes so the ratchet
+//! keeps teeth.
+
+use std::process::ExitCode;
+
+/// Minimal extractor for the flat JSON `fit_smoothing` emits: finds
+/// `"key":` and parses the literal after it. Good enough for a file this
+//  crate writes itself; anything unparseable fails the ratchet loudly.
+fn field<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let start = json.find(&needle)? + needle.len();
+    let rest = json[start..].trim_start();
+    let end = rest.find([',', '\n', '}'])?;
+    Some(rest[..end].trim())
+}
+
+fn number(json: &str, key: &str, path: &str) -> Result<f64, String> {
+    field(json, key)
+        .and_then(|v| v.trim_matches('"').parse::<f64>().ok())
+        .ok_or_else(|| format!("{path}: missing or non-numeric field \"{key}\""))
+}
+
+fn text(json: &str, key: &str, path: &str) -> Result<String, String> {
+    field(json, key)
+        .map(|v| v.trim_matches('"').to_string())
+        .ok_or_else(|| format!("{path}: missing field \"{key}\""))
+}
+
+struct Report {
+    curves: f64,
+    cached_ms: f64,
+    uncached_ms: f64,
+    cached_speedup: f64,
+    parity: String,
+    smoke: String,
+}
+
+impl Report {
+    fn load(path: &str) -> Result<Self, String> {
+        let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        Ok(Report {
+            curves: number(&json, "curves", path)?,
+            cached_ms: number(&json, "cached_ms", path)?,
+            uncached_ms: number(&json, "uncached_ms", path)?,
+            cached_speedup: number(&json, "cached_speedup", path)?,
+            parity: text(&json, "parity", path)?,
+            smoke: text(&json, "smoke", path)?,
+        })
+    }
+
+    /// Curves smoothed per millisecond through the cached fit path.
+    fn cached_throughput(&self) -> f64 {
+        self.curves / self.cached_ms.max(1e-9)
+    }
+
+    fn uncached_throughput(&self) -> f64 {
+        self.curves / self.uncached_ms.max(1e-9)
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, baseline_path, current_path] = args.as_slice() else {
+        return Err(format!(
+            "usage: {} <baseline.json> <current.json>",
+            args.first().map(String::as_str).unwrap_or("bench_ratchet")
+        ));
+    };
+    let tolerance = std::env::var("MFOD_RATCHET_TOL")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|t| (0.0..1.0).contains(t))
+        .unwrap_or(0.20);
+
+    let baseline = Report::load(baseline_path)?;
+    let current = Report::load(current_path)?;
+
+    if current.parity != "bit-identical" {
+        return Err(format!(
+            "{current_path}: parity gate reports '{}', expected 'bit-identical'",
+            current.parity
+        ));
+    }
+
+    // Primary, hardware-normalized gate: the cached-vs-uncached speedup.
+    let speedup_floor = baseline.cached_speedup * (1.0 - tolerance);
+    println!(
+        "ratchet: cached speedup {:.1}x vs baseline {:.1}x (floor {:.1}x at {:.0}% \
+         tolerance; baseline smoke={}, current smoke={})",
+        current.cached_speedup,
+        baseline.cached_speedup,
+        speedup_floor,
+        tolerance * 100.0,
+        baseline.smoke,
+        current.smoke,
+    );
+    let base = baseline.cached_throughput();
+    let now = current.cached_throughput();
+    println!(
+        "ratchet: cached {now:.2} vs baseline {base:.2} curves/ms; uncached {:.2} vs \
+         baseline {:.2} curves/ms (absolute numbers informational unless \
+         MFOD_RATCHET_ABS=1 — different machines tick differently)",
+        current.uncached_throughput(),
+        baseline.uncached_throughput(),
+    );
+    if current.cached_speedup < speedup_floor {
+        return Err(format!(
+            "fit-throughput regression: cached speedup {:.2}x is more than {:.0}% below \
+             the baseline {:.2}x",
+            current.cached_speedup,
+            tolerance * 100.0,
+            baseline.cached_speedup
+        ));
+    }
+    // The cache contract itself: losing the ≥5x cached-vs-uncached edge
+    // means the plan stopped caching, whatever the absolute clock says.
+    if current.smoke != "true" && current.cached_speedup < 5.0 {
+        return Err(format!(
+            "cached selection speedup collapsed to {:.2}x (contract: >= 5x)",
+            current.cached_speedup
+        ));
+    }
+    let enforce_abs = std::env::var("MFOD_RATCHET_ABS").is_ok_and(|v| v == "1");
+    if enforce_abs && now < base * (1.0 - tolerance) {
+        return Err(format!(
+            "absolute fit-throughput regression: {now:.2} curves/ms is more than \
+             {:.0}% below the baseline {base:.2}",
+            tolerance * 100.0
+        ));
+    }
+    println!("ratchet: OK");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("bench_ratchet: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

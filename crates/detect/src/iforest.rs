@@ -108,7 +108,7 @@ fn average_path_length(n: usize) -> f64 {
 
 /// One node of an isolation tree, arena-allocated.
 #[derive(Debug, Clone)]
-enum Node {
+pub(crate) enum Node {
     Internal {
         feature: usize,
         threshold: f64,
@@ -124,8 +124,8 @@ enum Node {
 }
 
 #[derive(Debug, Clone)]
-struct Tree {
-    nodes: Vec<Node>,
+pub(crate) struct Tree {
+    pub(crate) nodes: Vec<Node>,
 }
 
 impl Tree {
@@ -238,10 +238,10 @@ impl Tree {
 /// A fitted isolation forest.
 #[derive(Debug, Clone)]
 pub struct FittedIsolationForest {
-    trees: Vec<Tree>,
-    dim: usize,
+    pub(crate) trees: Vec<Tree>,
+    pub(crate) dim: usize,
     /// Normalization constant `c(ψ_effective)`.
-    c_psi: f64,
+    pub(crate) c_psi: f64,
 }
 
 impl Detector for IsolationForest {
@@ -272,6 +272,12 @@ impl FittedDetector for FittedIsolationForest {
         let mean_path: f64 =
             self.trees.iter().map(|t| t.path_length(x)).sum::<f64>() / self.trees.len() as f64;
         Ok(2.0_f64.powf(-mean_path / self.c_psi))
+    }
+
+    fn snapshot(&self) -> Option<crate::snapshot::DetectorSnapshot> {
+        Some(crate::snapshot::DetectorSnapshot::IsolationForest(
+            self.clone(),
+        ))
     }
 }
 

@@ -48,6 +48,7 @@ pub mod kernel;
 pub mod lof;
 pub mod mahalanobis;
 pub mod ocsvm;
+pub mod snapshot;
 
 pub use error::DetectError;
 pub use iforest::IsolationForest;
@@ -55,6 +56,7 @@ pub use kernel::Kernel;
 pub use lof::Lof;
 pub use mahalanobis::Mahalanobis;
 pub use ocsvm::{GammaSpec, OcSvm};
+pub use snapshot::DetectorSnapshot;
 
 use mfod_linalg::Matrix;
 
@@ -108,6 +110,18 @@ pub trait FittedDetector: Send + Sync {
         }
         mfod_linalg::par::par_try_map(data.nrows(), |i| self.score_one(data.row(i)))
     }
+
+    /// The concrete snapshot form of this fitted model, when it supports
+    /// persistence (see `mfod-persist` and [`snapshot::DetectorSnapshot`]).
+    ///
+    /// The four detectors shipped by this crate all return `Some`; the
+    /// default is `None`, so a custom detector cannot silently write a
+    /// model it could never restore — serialization layers surface the
+    /// `None` as a typed error at snapshot time. Implementations must
+    /// guarantee the restored model scores **bit-for-bit identically**.
+    fn snapshot(&self) -> Option<DetectorSnapshot> {
+        None
+    }
 }
 
 /// Convenient glob-import surface.
@@ -118,5 +132,6 @@ pub mod prelude {
     pub use crate::lof::Lof;
     pub use crate::mahalanobis::Mahalanobis;
     pub use crate::ocsvm::{GammaSpec, OcSvm};
+    pub use crate::snapshot::DetectorSnapshot;
     pub use crate::{Detector, FittedDetector};
 }

@@ -37,12 +37,12 @@ impl Lof {
 /// k-distances and local reachability densities.
 #[derive(Debug, Clone)]
 pub struct FittedLof {
-    train: Matrix,
-    k: usize,
+    pub(crate) train: Matrix,
+    pub(crate) k: usize,
     /// k-distance of every training point.
-    k_dist: Vec<f64>,
+    pub(crate) k_dist: Vec<f64>,
     /// local reachability density of every training point.
-    lrd: Vec<f64>,
+    pub(crate) lrd: Vec<f64>,
 }
 
 /// Indices and distances of the `k` nearest rows of `train` to `x`
@@ -132,6 +132,10 @@ impl FittedDetector for FittedLof {
             return Ok(f64::MAX.sqrt());
         }
         Ok(mean_neighbor_lrd / lrd_x)
+    }
+
+    fn snapshot(&self) -> Option<crate::snapshot::DetectorSnapshot> {
+        Some(crate::snapshot::DetectorSnapshot::Lof(self.clone()))
     }
 }
 

@@ -26,8 +26,8 @@ impl Default for Mahalanobis {
 /// (ridged) covariance.
 #[derive(Debug, Clone)]
 pub struct FittedMahalanobis {
-    mean: Vec<f64>,
-    chol: Cholesky,
+    pub(crate) mean: Vec<f64>,
+    pub(crate) chol: Cholesky,
 }
 
 impl Detector for Mahalanobis {
@@ -102,6 +102,10 @@ impl FittedDetector for FittedMahalanobis {
         let diff = vector::sub(x, &self.mean);
         let solved = self.chol.solve(&diff);
         Ok(vector::dot(&diff, &solved).max(0.0).sqrt())
+    }
+
+    fn snapshot(&self) -> Option<crate::snapshot::DetectorSnapshot> {
+        Some(crate::snapshot::DetectorSnapshot::Mahalanobis(self.clone()))
     }
 }
 

@@ -23,7 +23,20 @@ use crate::error::DetectError;
 use crate::features::validate_features;
 use crate::kernel::Kernel;
 use crate::{Detector, FittedDetector, Result};
+use mfod_linalg::par::{self, Pool};
 use mfod_linalg::{vector, Matrix};
+
+/// Training sizes below this run the SMO scans sequentially: per-iteration
+/// pool dispatch only pays off once the O(n) pair search and gradient
+/// update dominate the synchronization cost.
+const SMO_PAR_MIN: usize = 512;
+
+/// Fixed chunk length for the parallel SMO scans. The chunk grid depends
+/// only on `n` — never on the pool's thread count — so per-chunk partial
+/// results and their in-order reduction are identical at any pool size,
+/// which is what makes the parallel fit **bit-for-bit** equal to the
+/// sequential one.
+const SMO_CHUNK: usize = 256;
 
 /// How the RBF bandwidth γ is chosen when the kernel is not given
 /// explicitly.
@@ -157,16 +170,16 @@ pub fn scale_gamma(x: &Matrix) -> f64 {
 /// A fitted one-class SVM.
 #[derive(Debug, Clone)]
 pub struct FittedOcSvm {
-    kernel: Kernel,
+    pub(crate) kernel: Kernel,
     /// Support vectors (rows).
-    support: Matrix,
+    pub(crate) support: Matrix,
     /// Dual coefficients of the support vectors.
-    alpha: Vec<f64>,
+    pub(crate) alpha: Vec<f64>,
     /// Offset ρ.
-    rho: f64,
-    dim: usize,
+    pub(crate) rho: f64,
+    pub(crate) dim: usize,
     /// Fraction of training points that ended up support vectors.
-    sv_fraction: f64,
+    pub(crate) sv_fraction: f64,
 }
 
 impl FittedOcSvm {
@@ -204,10 +217,89 @@ impl FittedOcSvm {
     }
 }
 
+/// Per-chunk partial result of the maximal-violating-pair scan.
+#[derive(Clone, Copy)]
+struct PairScan {
+    i_up: usize,
+    g_up: f64,
+    j_low: usize,
+    g_low: f64,
+}
+
+impl PairScan {
+    fn empty() -> Self {
+        PairScan {
+            i_up: usize::MAX,
+            g_up: f64::INFINITY,
+            j_low: usize::MAX,
+            g_low: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Scans `lo..hi` with the exact strict comparisons of the sequential
+    /// loop, so the chunk winner is the *earliest* index attaining the
+    /// chunk extremum — the property the in-order reduction relies on.
+    fn scan(lo: usize, hi: usize, g: &[f64], alpha: &[f64], c: f64, eps_box: f64) -> Self {
+        let mut p = PairScan::empty();
+        for t in lo..hi {
+            if alpha[t] < c - eps_box && g[t] < p.g_up {
+                p.g_up = g[t];
+                p.i_up = t;
+            }
+            if alpha[t] > eps_box && g[t] > p.g_low {
+                p.g_low = g[t];
+                p.j_low = t;
+            }
+        }
+        p
+    }
+
+    /// Folds a later chunk into `self` with the same strict comparisons:
+    /// an exact tie keeps the earlier chunk's index, exactly as one
+    /// sequential left-to-right scan would.
+    fn merge(&mut self, later: &PairScan) {
+        if later.g_up < self.g_up {
+            self.g_up = later.g_up;
+            self.i_up = later.i_up;
+        }
+        if later.g_low > self.g_low {
+            self.g_low = later.g_low;
+            self.j_low = later.j_low;
+        }
+    }
+}
+
 impl OcSvm {
     /// Fits and returns the concrete model (exposing ρ, support vectors and
-    /// the SV fraction, which the ν-tuning in `mfod-eval` inspects).
+    /// the SV fraction, which the ν-tuning in `mfod-eval` inspects), on
+    /// the global worker pool — see [`OcSvm::fit_concrete_on`].
     pub fn fit_concrete(&self, train: &Matrix) -> Result<FittedOcSvm> {
+        self.fit_concrete_on(par::global(), train)
+    }
+
+    /// [`OcSvm::fit_concrete`] on an explicit worker pool.
+    ///
+    /// The Gram matrix assembles one upper-triangular row stripe per
+    /// training point across the pool, and for `n >= 512` the SMO pair
+    /// search and gradient update fan out over fixed-size 256-element
+    /// chunks. Every parallel path reduces its partial
+    /// results in index order with the same strict comparisons as the
+    /// sequential loop, so the fitted model — support vectors, dual
+    /// coefficients, ρ — is **bit-for-bit identical** at any pool size.
+    pub fn fit_concrete_on(&self, pool: &Pool, train: &Matrix) -> Result<FittedOcSvm> {
+        self.fit_concrete_with(pool, train, SMO_PAR_MIN)
+    }
+
+    /// Implementation with an explicit parallelism threshold so tests can
+    /// pin both the chunked (`par_min = 0`) and the sequential
+    /// (`par_min = usize::MAX`) inner loops onto the same problem and
+    /// assert bit parity between them.
+    fn fit_concrete_with(
+        &self,
+        pool: &Pool,
+        train: &Matrix,
+        par_min: usize,
+    ) -> Result<FittedOcSvm> {
         validate_features(train, 2)?;
         if !(0.0 < self.nu && self.nu <= 1.0) {
             return Err(DetectError::InvalidParameter(format!(
@@ -218,13 +310,34 @@ impl OcSvm {
         let n = train.nrows();
         let kernel = self.resolve_kernel(train)?;
         let c = 1.0 / (self.nu * n as f64);
-        // Gram matrix (n is a few hundred in this workspace's experiments).
+        // Gram matrix: upper-triangular row stripes, mirrored afterwards.
+        // Stripe i costs n − i kernel evaluations, so contiguous chunks of
+        // stripes would be badly imbalanced; pairing stripe k with stripe
+        // n−1−k makes every map item cost n + 1 evaluations. Each entry
+        // is still the same single kernel evaluation the sequential
+        // assembly performed.
+        let stripe = |i: usize| {
+            let row_i = train.row(i);
+            (i..n)
+                .map(|j| kernel.eval(row_i, train.row(j)))
+                .collect::<Vec<f64>>()
+        };
+        let pairs = pool.map(n.div_ceil(2), |k| {
+            let mirror = n - 1 - k;
+            (stripe(k), (mirror > k).then(|| stripe(mirror)))
+        });
         let mut q = Matrix::zeros(n, n);
-        for i in 0..n {
-            for j in i..n {
-                let v = kernel.eval(train.row(i), train.row(j));
+        let mut fill = |i: usize, s: Vec<f64>| {
+            for (off, v) in s.into_iter().enumerate() {
+                let j = i + off;
                 q[(i, j)] = v;
                 q[(j, i)] = v;
+            }
+        };
+        for (k, (first, second)) in pairs.into_iter().enumerate() {
+            fill(k, first);
+            if let Some(s) = second {
+                fill(n - 1 - k, s);
             }
         }
         // Feasible start: fill ⌊1/C⌋ entries at the box bound, remainder on
@@ -241,22 +354,25 @@ impl OcSvm {
         let mut g = q.matvec(&alpha);
         let mut iterations = 0;
         let eps_box = c * 1e-12;
+        let chunked = n >= par_min;
+        let chunks = n.div_ceil(SMO_CHUNK);
         loop {
             // maximal violating pair
-            let mut i_up = usize::MAX;
-            let mut g_up = f64::INFINITY;
-            let mut j_low = usize::MAX;
-            let mut g_low = f64::NEG_INFINITY;
-            for t in 0..n {
-                if alpha[t] < c - eps_box && g[t] < g_up {
-                    g_up = g[t];
-                    i_up = t;
+            let pair = if chunked {
+                let partials = pool.map(chunks, |ch| {
+                    let lo = ch * SMO_CHUNK;
+                    let hi = (lo + SMO_CHUNK).min(n);
+                    PairScan::scan(lo, hi, &g, &alpha, c, eps_box)
+                });
+                let mut acc = PairScan::empty();
+                for p in &partials {
+                    acc.merge(p);
                 }
-                if alpha[t] > eps_box && g[t] > g_low {
-                    g_low = g[t];
-                    j_low = t;
-                }
-            }
+                acc
+            } else {
+                PairScan::scan(0, n, &g, &alpha, c, eps_box)
+            };
+            let (i_up, g_up, j_low, g_low) = (pair.i_up, pair.g_up, pair.j_low, pair.g_low);
             if i_up == usize::MAX || j_low == usize::MAX || g_low - g_up < self.tol {
                 break;
             }
@@ -277,8 +393,25 @@ impl OcSvm {
             }
             alpha[i] += delta;
             alpha[j] -= delta;
-            for t in 0..n {
-                g[t] += delta * (q[(t, i)] - q[(t, j)]);
+            // rank-one gradient update: every element is an independent
+            // `g[t] + δ(Q_ti − Q_tj)`, so chunked evaluation reproduces
+            // the in-place loop exactly
+            if chunked {
+                let updates = pool.map(chunks, |ch| {
+                    let lo = ch * SMO_CHUNK;
+                    let hi = (lo + SMO_CHUNK).min(n);
+                    (lo..hi)
+                        .map(|t| g[t] + delta * (q[(t, i)] - q[(t, j)]))
+                        .collect::<Vec<f64>>()
+                });
+                for (ch, seg) in updates.into_iter().enumerate() {
+                    let lo = ch * SMO_CHUNK;
+                    g[lo..lo + seg.len()].copy_from_slice(&seg);
+                }
+            } else {
+                for t in 0..n {
+                    g[t] += delta * (q[(t, i)] - q[(t, j)]);
+                }
             }
         }
         // ρ: average decision value over free support vectors; fall back to
@@ -345,6 +478,10 @@ impl FittedDetector for FittedOcSvm {
     fn score_one(&self, x: &[f64]) -> Result<f64> {
         // outlyingness = ρ − Σ α K = −f(x)
         Ok(-self.decision(x)?)
+    }
+
+    fn snapshot(&self) -> Option<crate::snapshot::DetectorSnapshot> {
+        Some(crate::snapshot::DetectorSnapshot::OcSvm(self.clone()))
     }
 }
 
@@ -516,6 +653,82 @@ mod tests {
         assert!(fitted.score_one(&[f64::NAN, 1.0]).is_err());
         assert_eq!(cfg.name(), "ocsvm");
         assert_eq!(fitted.dim(), 2);
+    }
+
+    fn assert_fits_bit_equal(a: &FittedOcSvm, b: &FittedOcSvm, what: &str) {
+        assert_eq!(a.dim, b.dim, "{what}: dim");
+        assert_eq!(a.rho.to_bits(), b.rho.to_bits(), "{what}: rho");
+        assert_eq!(a.alpha.len(), b.alpha.len(), "{what}: support count");
+        for (i, (x, y)) in a.alpha.iter().zip(&b.alpha).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: alpha {i}");
+        }
+        for (x, y) in a.support.as_slice().iter().zip(b.support.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: support vector entry");
+        }
+        assert_eq!(
+            a.sv_fraction.to_bits(),
+            b.sv_fraction.to_bits(),
+            "{what}: sv fraction"
+        );
+    }
+
+    #[test]
+    fn chunked_smo_is_bit_identical_to_sequential() {
+        // Force both inner-loop implementations onto the same problem:
+        // par_min = 0 runs every scan chunked, par_min = MAX never does.
+        let x = ring_with_outlier();
+        let cfg = OcSvm::with_nu(0.2).unwrap();
+        let pool = Pool::with_threads(4);
+        let chunked = cfg.fit_concrete_with(&pool, &x, 0).unwrap();
+        let sequential = cfg.fit_concrete_with(&pool, &x, usize::MAX).unwrap();
+        assert_fits_bit_equal(&chunked, &sequential, "chunked vs sequential");
+    }
+
+    #[test]
+    fn fit_is_bit_identical_across_pool_sizes() {
+        let x = ring_with_outlier();
+        let cfg = OcSvm::with_nu(0.15).unwrap();
+        // chunked path pinned on at every pool size, including the global
+        let reference = cfg
+            .fit_concrete_with(&Pool::with_threads(1), &x, 0)
+            .unwrap();
+        for threads in [2usize, 3, 8] {
+            let fitted = cfg
+                .fit_concrete_with(&Pool::with_threads(threads), &x, 0)
+                .unwrap();
+            assert_fits_bit_equal(&fitted, &reference, &format!("{threads} threads"));
+        }
+        let global = cfg.fit_concrete(&x).unwrap();
+        assert_fits_bit_equal(&global, &reference, "global pool");
+        // and the scores a served model would produce agree bit for bit
+        let s1 = FittedDetector::score_batch(&reference, &x).unwrap();
+        let s2 = FittedDetector::score_batch(&global, &x).unwrap();
+        for (a, b) in s1.iter().zip(&s2) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn chunked_smo_spanning_many_chunks_matches_sequential() {
+        // > 2 chunks (n > 512) so cross-chunk reduction order is exercised
+        // with real chunk counts, including an uneven tail chunk.
+        let rows: Vec<Vec<f64>> = (0..541)
+            .map(|i| {
+                let a = i as f64 * 0.117;
+                vec![a.sin() + 0.01 * (13.0 * a).cos(), a.cos()]
+            })
+            .collect();
+        let x = matrix_from_rows(&rows).unwrap();
+        let cfg = OcSvm {
+            nu: 0.1,
+            max_iter: 200_000,
+            ..Default::default()
+        };
+        let pool = Pool::with_threads(4);
+        // n >= SMO_PAR_MIN: the default threshold engages the chunked path
+        let default_path = cfg.fit_concrete_on(&pool, &x).unwrap();
+        let sequential = cfg.fit_concrete_with(&pool, &x, usize::MAX).unwrap();
+        assert_fits_bit_equal(&default_path, &sequential, "large-n default path");
     }
 
     #[test]

@@ -40,6 +40,19 @@ pub trait Basis: Send + Sync {
         "basis"
     }
 
+    /// The concrete snapshot form of this basis, when it supports
+    /// persistence (see `mfod-persist`).
+    ///
+    /// The default is `None`: a custom basis simply cannot be written to
+    /// a model snapshot until it opts in, and callers surface that as a
+    /// typed error at snapshot time ([`crate::snapshot::snapshot_basis`])
+    /// rather than silently dropping state. Implementations must return a
+    /// snapshot whose [`crate::snapshot::BasisSnapshot::restore`] yields
+    /// a basis that evaluates **bit-identically** to `self`.
+    fn snapshot(&self) -> Option<crate::snapshot::BasisSnapshot> {
+        None
+    }
+
     /// Evaluates the `deriv`-th derivative of all basis functions at `t`
     /// into a fresh vector.
     fn eval(&self, t: f64, deriv: usize) -> Vec<f64> {

@@ -304,6 +304,17 @@ impl Basis for BSplineBasis {
     fn name(&self) -> &'static str {
         "bspline"
     }
+
+    fn snapshot(&self) -> Option<crate::snapshot::BasisSnapshot> {
+        // Boundary knots are implied by (a, b, order); the interior knots
+        // are the stored state with_interior_knots rebuilds exactly.
+        Some(crate::snapshot::BasisSnapshot::BSpline {
+            a: self.a,
+            b: self.b,
+            order: self.order,
+            interior: self.knots[self.order..self.len].to_vec(),
+        })
+    }
 }
 
 #[cfg(test)]

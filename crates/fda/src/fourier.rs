@@ -103,6 +103,14 @@ impl Basis for FourierBasis {
     fn name(&self) -> &'static str {
         "fourier"
     }
+
+    fn snapshot(&self) -> Option<crate::snapshot::BasisSnapshot> {
+        Some(crate::snapshot::BasisSnapshot::Fourier {
+            a: self.a,
+            b: self.b,
+            len: self.len,
+        })
+    }
 }
 
 /// Numerically verifies orthonormality of a basis on its domain by composite

@@ -63,6 +63,7 @@ pub mod grid;
 pub mod polynomial;
 pub mod selcache;
 pub mod smooth;
+pub mod snapshot;
 
 pub use basis::Basis;
 pub use bspline::BSplineBasis;
@@ -76,6 +77,7 @@ pub use smooth::{
     BasisSelector, FitDiagnostics, FrozenSmoother, PenalizedLeastSquares, SelectionCriterion,
     SelectionResult,
 };
+pub use snapshot::{BasisSnapshot, FrozenSmootherSnapshot};
 
 /// Crate-wide `Result` alias.
 pub type Result<T> = std::result::Result<T, FdaError>;
@@ -94,4 +96,5 @@ pub mod prelude {
         BasisSelector, FitDiagnostics, FrozenSmoother, PenalizedLeastSquares, SelectionCriterion,
         SelectionResult,
     };
+    pub use crate::snapshot::{BasisSnapshot, FrozenSmootherSnapshot};
 }

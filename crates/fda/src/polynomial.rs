@@ -94,6 +94,14 @@ impl Basis for PolynomialBasis {
     fn name(&self) -> &'static str {
         "polynomial"
     }
+
+    fn snapshot(&self) -> Option<crate::snapshot::BasisSnapshot> {
+        Some(crate::snapshot::BasisSnapshot::Polynomial {
+            a: self.a,
+            b: self.b,
+            len: self.len,
+        })
+    }
 }
 
 #[cfg(test)]

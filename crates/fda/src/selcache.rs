@@ -230,6 +230,79 @@ impl SelectionPlan {
     }
 }
 
+/// Capacity of the process-wide plan cache. Plans are a few hundred
+/// kilobytes for ECG-sized ladders; a serving process sees a handful of
+/// distinct `(selector, grid)` pairs, so a small LRU covers them all.
+const PLAN_CACHE_CAPACITY: usize = 16;
+
+/// One cache slot: the `(selector, grid)` key hash and the shared plan.
+type CachedPlan = (u64, Arc<SelectionPlan>);
+
+/// LRU order: front = most recently used.
+type PlanLru = std::collections::VecDeque<CachedPlan>;
+
+/// Process-wide LRU of built selection plans, keyed by the FNV hash of
+/// the selector fingerprint and the grid bit patterns. Hash collisions
+/// are harmless: every hit re-checks [`SelectionPlan::covers`] before
+/// the plan is returned.
+static PLAN_CACHE: std::sync::OnceLock<std::sync::Mutex<PlanLru>> = std::sync::OnceLock::new();
+
+/// Stable cache key of a `(selector, grid)` pair: the selector
+/// configuration and every abscissa hashed by bit pattern, reusing the
+/// snapshot subsystem's FNV hasher so grid identity means the same thing
+/// here and on disk.
+fn plan_cache_key(selector: &BasisSelector, ts: &[f64]) -> u64 {
+    let mut h = mfod_persist::Fnv1a::new();
+    h.update_usize(selector.sizes.len());
+    for &s in &selector.sizes {
+        h.update_usize(s);
+    }
+    h.update_f64s(&selector.lambdas);
+    h.update_usize(selector.order);
+    h.update_usize(selector.penalty_order);
+    h.update_u64(match selector.criterion {
+        SelectionCriterion::Loocv => 0,
+        SelectionCriterion::Gcv => 1,
+    });
+    h.update_f64s(ts);
+    h.finish()
+}
+
+impl BasisSelector {
+    /// [`BasisSelector::plan`] through the process-wide plan cache:
+    /// repeated `fit` calls on the same grid (e.g. the Fig. 3 repetition
+    /// loops, or per-batch scoring plans) reuse one built ladder instead
+    /// of re-deriving it per call.
+    ///
+    /// The returned plan is shared ([`Arc`]) and immutable; since a plan
+    /// produces bit-identical selections wherever it is reused, caching
+    /// cannot change any result. Build errors are not cached — a failing
+    /// `(selector, grid)` pair fails identically on every call.
+    pub fn plan_shared(&self, ts: &[f64]) -> Result<Arc<SelectionPlan>> {
+        let key = plan_cache_key(self, ts);
+        let cache = PLAN_CACHE.get_or_init(Default::default);
+        {
+            let mut lru = cache.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some(pos) = lru
+                .iter()
+                .position(|(k, plan)| *k == key && plan.covers(self, ts))
+            {
+                let hit = lru.remove(pos).expect("position came from iter");
+                let plan = Arc::clone(&hit.1);
+                lru.push_front(hit);
+                return Ok(plan);
+            }
+        }
+        // Build outside the lock: plan assembly is the expensive part and
+        // a racing duplicate build is merely wasted work, never wrong.
+        let plan = Arc::new(SelectionPlan::build(self, ts)?);
+        let mut lru = cache.lock().unwrap_or_else(|p| p.into_inner());
+        lru.push_front((key, Arc::clone(&plan)));
+        lru.truncate(PLAN_CACHE_CAPACITY);
+        Ok(plan)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -370,6 +443,33 @@ mod tests {
             Err(FdaError::InvalidParameter(_))
         ));
         assert!(sel.select(&ts, &[0.0, 1.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn plan_shared_reuses_one_plan_per_grid() {
+        // a grid unique to this test so parallel tests cannot evict it
+        let ts: Vec<f64> = (0..41).map(|j| (j as f64 / 40.0).powf(1.000_173)).collect();
+        let sel = BasisSelector::default();
+        let p1 = sel.plan_shared(&ts).unwrap();
+        let p2 = sel.plan_shared(&ts).unwrap();
+        assert!(Arc::ptr_eq(&p1, &p2), "second call must hit the cache");
+        // a different grid or selector misses
+        let other: Vec<f64> = ts.iter().map(|t| t + 1e-9).collect();
+        let p3 = sel.plan_shared(&other).unwrap();
+        assert!(!Arc::ptr_eq(&p1, &p3));
+        let gcv = BasisSelector {
+            criterion: SelectionCriterion::Gcv,
+            ..BasisSelector::default()
+        };
+        let p4 = gcv.plan_shared(&ts).unwrap();
+        assert!(!Arc::ptr_eq(&p1, &p4));
+        // cached plans select bit-identically to a fresh uncached build
+        let ys: Vec<f64> = ts.iter().map(|&t| (5.0 * t).sin()).collect();
+        let cached = p2.select(&ys).unwrap();
+        let fresh = sel.select(&ts, &ys).unwrap();
+        assert_results_bit_equal(&cached, &fresh);
+        // build errors surface unchanged
+        assert!(sel.plan_shared(&[0.0]).is_err());
     }
 
     #[test]

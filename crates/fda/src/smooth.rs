@@ -276,6 +276,38 @@ impl std::fmt::Debug for FrozenSmoother {
 }
 
 impl FrozenSmoother {
+    /// Rebuilds a frozen smoother from snapshot parts, re-validating the
+    /// shape invariants the freeze path guarantees (`solve_op` is
+    /// `L × m` for `L` basis functions and `m` observation times).
+    pub(crate) fn from_parts(
+        basis: Arc<dyn Basis>,
+        ts: Vec<f64>,
+        solve_op: Matrix,
+    ) -> Result<Self> {
+        if !vector::all_finite(&ts) {
+            return Err(FdaError::NonFinite);
+        }
+        if solve_op.shape() != (basis.len(), ts.len()) {
+            return Err(FdaError::InvalidParameter(format!(
+                "frozen solve operator is {}x{}, expected {}x{}",
+                solve_op.nrows(),
+                solve_op.ncols(),
+                basis.len(),
+                ts.len()
+            )));
+        }
+        Ok(FrozenSmoother {
+            basis,
+            ts,
+            solve_op,
+        })
+    }
+
+    /// The cached solve operator (snapshot serialization).
+    pub(crate) fn solve_op(&self) -> &Matrix {
+        &self.solve_op
+    }
+
     /// The observation times this smoother is specialized to.
     pub fn ts(&self) -> &[f64] {
         &self.ts

@@ -46,6 +46,13 @@ impl MappingFunction for ComponentMapping {
         "component"
     }
 
+    fn snapshot(&self) -> Option<crate::snapshot::MappingSnapshot> {
+        Some(crate::snapshot::MappingSnapshot::Component {
+            channel: self.channel,
+            deriv: self.deriv,
+        })
+    }
+
     fn map(&self, datum: &MultiFunctionalDatum, grid: &Grid) -> Result<Vec<f64>> {
         let channel = datum
             .channel(self.channel)

@@ -51,6 +51,10 @@ impl MappingFunction for Curvature {
         "curvature"
     }
 
+    fn snapshot(&self) -> Option<crate::snapshot::MappingSnapshot> {
+        Some(crate::snapshot::MappingSnapshot::Curvature)
+    }
+
     fn min_dim(&self) -> usize {
         2
     }
@@ -82,6 +86,10 @@ pub struct CurvatureEq5;
 impl MappingFunction for CurvatureEq5 {
     fn name(&self) -> &'static str {
         "curvature-eq5"
+    }
+
+    fn snapshot(&self) -> Option<crate::snapshot::MappingSnapshot> {
+        Some(crate::snapshot::MappingSnapshot::CurvatureEq5)
     }
 
     fn min_dim(&self) -> usize {
@@ -123,6 +131,10 @@ pub struct RadiusOfCurvature;
 impl MappingFunction for RadiusOfCurvature {
     fn name(&self) -> &'static str {
         "radius-of-curvature"
+    }
+
+    fn snapshot(&self) -> Option<crate::snapshot::MappingSnapshot> {
+        Some(crate::snapshot::MappingSnapshot::RadiusOfCurvature)
     }
 
     fn min_dim(&self) -> usize {

@@ -23,6 +23,14 @@ pub enum GeometryError {
         /// Number of channels.
         dim: usize,
     },
+    /// The mapping implementation does not support an optional capability
+    /// (e.g. persistence snapshots for a custom user mapping).
+    Unsupported {
+        /// Name of the mapping.
+        mapping: &'static str,
+        /// The unsupported capability.
+        what: &'static str,
+    },
     /// The mapped values are not finite (degenerate geometry not covered by
     /// the documented conventions).
     NonFinite,
@@ -41,6 +49,9 @@ impl fmt::Display for GeometryError {
             }
             GeometryError::ChannelOutOfRange { channel, dim } => {
                 write!(f, "channel {channel} out of range for p = {dim}")
+            }
+            GeometryError::Unsupported { mapping, what } => {
+                write!(f, "mapping {mapping} does not support {what}")
             }
             GeometryError::NonFinite => write!(f, "mapping produced non-finite values"),
             GeometryError::Fda(e) => write!(f, "functional representation failure: {e}"),
@@ -77,6 +88,11 @@ mod tests {
         assert!(e.to_string().contains("torsion"));
         let e = GeometryError::ChannelOutOfRange { channel: 5, dim: 2 };
         assert!(e.to_string().contains('5'));
+        let e = GeometryError::Unsupported {
+            mapping: "custom",
+            what: "snapshots",
+        };
+        assert!(e.to_string().contains("snapshots"));
         let e: GeometryError = FdaError::NonFinite.into();
         assert!(e.to_string().contains("functional"));
         use std::error::Error;

@@ -20,6 +20,10 @@ impl MappingFunction for Speed {
         "speed"
     }
 
+    fn snapshot(&self) -> Option<crate::snapshot::MappingSnapshot> {
+        Some(crate::snapshot::MappingSnapshot::Speed)
+    }
+
     fn map(&self, datum: &MultiFunctionalDatum, grid: &Grid) -> Result<Vec<f64>> {
         self.check_dim(datum)?;
         let out: Vec<f64> = grid
@@ -43,6 +47,10 @@ impl MappingFunction for LogSpeed {
         "log-speed"
     }
 
+    fn snapshot(&self) -> Option<crate::snapshot::MappingSnapshot> {
+        Some(crate::snapshot::MappingSnapshot::LogSpeed)
+    }
+
     fn map(&self, datum: &MultiFunctionalDatum, grid: &Grid) -> Result<Vec<f64>> {
         let speed = Speed.map(datum, grid)?;
         Ok(speed.into_iter().map(|s| (s + SPEED_EPS).ln()).collect())
@@ -59,6 +67,10 @@ impl MappingFunction for ArcLength {
         "arc-length"
     }
 
+    fn snapshot(&self) -> Option<crate::snapshot::MappingSnapshot> {
+        Some(crate::snapshot::MappingSnapshot::ArcLength)
+    }
+
     fn map(&self, datum: &MultiFunctionalDatum, grid: &Grid) -> Result<Vec<f64>> {
         let speed = Speed.map(datum, grid)?;
         Ok(vector::cumtrapz(grid.points(), &speed))
@@ -72,6 +84,10 @@ pub struct Acceleration;
 impl MappingFunction for Acceleration {
     fn name(&self) -> &'static str {
         "acceleration"
+    }
+
+    fn snapshot(&self) -> Option<crate::snapshot::MappingSnapshot> {
+        Some(crate::snapshot::MappingSnapshot::Acceleration)
     }
 
     fn map(&self, datum: &MultiFunctionalDatum, grid: &Grid) -> Result<Vec<f64>> {
@@ -103,6 +119,10 @@ impl MappingFunction for SrvfNorm {
         "srvf-norm"
     }
 
+    fn snapshot(&self) -> Option<crate::snapshot::MappingSnapshot> {
+        Some(crate::snapshot::MappingSnapshot::SrvfNorm)
+    }
+
     fn map(&self, datum: &MultiFunctionalDatum, grid: &Grid) -> Result<Vec<f64>> {
         let speed = Speed.map(datum, grid)?;
         Ok(speed.into_iter().map(f64::sqrt).collect())
@@ -118,6 +138,10 @@ pub struct TurningAngle;
 impl MappingFunction for TurningAngle {
     fn name(&self) -> &'static str {
         "turning-angle"
+    }
+
+    fn snapshot(&self) -> Option<crate::snapshot::MappingSnapshot> {
+        Some(crate::snapshot::MappingSnapshot::TurningAngle)
     }
 
     fn min_dim(&self) -> usize {

@@ -46,6 +46,7 @@ pub mod curvature;
 pub mod error;
 pub mod kinematics;
 pub mod mapping;
+pub mod snapshot;
 pub mod torsion;
 
 pub use component::ComponentMapping;
@@ -53,6 +54,7 @@ pub use curvature::{Curvature, CurvatureEq5, RadiusOfCurvature};
 pub use error::GeometryError;
 pub use kinematics::{Acceleration, ArcLength, LogSpeed, Speed, SrvfNorm, TurningAngle};
 pub use mapping::MappingFunction;
+pub use snapshot::{snapshot_mapping, MappingSnapshot};
 pub use torsion::Torsion;
 
 /// Crate-wide `Result` alias.
@@ -65,5 +67,6 @@ pub mod prelude {
     pub use crate::error::GeometryError;
     pub use crate::kinematics::{Acceleration, ArcLength, LogSpeed, Speed, SrvfNorm, TurningAngle};
     pub use crate::mapping::MappingFunction;
+    pub use crate::snapshot::{snapshot_mapping, MappingSnapshot};
     pub use crate::torsion::Torsion;
 }

@@ -32,6 +32,18 @@ pub trait MappingFunction: Send + Sync {
     /// Evaluates the mapped univariate function at every grid point.
     fn map(&self, datum: &MultiFunctionalDatum, grid: &Grid) -> Result<Vec<f64>>;
 
+    /// The concrete snapshot form of this mapping, when it supports
+    /// persistence (see `mfod-persist`).
+    ///
+    /// The default is `None`: a custom mapping cannot be written into a
+    /// model snapshot until it opts in, surfaced as a typed error at
+    /// snapshot time ([`crate::snapshot::snapshot_mapping`]). An
+    /// implementation must guarantee that restoring the returned snapshot
+    /// yields a mapping that computes **bit-identically** to `self`.
+    fn snapshot(&self) -> Option<crate::snapshot::MappingSnapshot> {
+        None
+    }
+
     /// Validates the datum dimension against `min_dim`/`max_dim`.
     fn check_dim(&self, datum: &MultiFunctionalDatum) -> Result<()> {
         let p = datum.dim();

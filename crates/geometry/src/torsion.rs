@@ -36,6 +36,10 @@ impl MappingFunction for Torsion {
         "torsion"
     }
 
+    fn snapshot(&self) -> Option<crate::snapshot::MappingSnapshot> {
+        Some(crate::snapshot::MappingSnapshot::Torsion)
+    }
+
     fn min_dim(&self) -> usize {
         3
     }

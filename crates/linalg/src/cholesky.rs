@@ -78,6 +78,36 @@ impl Cholesky {
         Err(LinalgError::Singular { pivot: 0 })
     }
 
+    /// Rebuilds a factorization from a previously computed lower factor
+    /// `L` (e.g. one restored from a model snapshot), validating that it
+    /// is square, finite, strictly lower-triangular (zeros above the
+    /// diagonal) and has positive pivots — exactly the invariants
+    /// [`Cholesky::new`] guarantees, so every solve on the rebuilt
+    /// factorization is bit-for-bit identical to one on the original.
+    pub fn from_factor(l: Matrix) -> Result<Self> {
+        if !l.is_square() {
+            return Err(LinalgError::NotSquare { shape: l.shape() });
+        }
+        if !l.is_finite() {
+            return Err(LinalgError::NonFinite);
+        }
+        for i in 0..l.nrows() {
+            if l[(i, i)] <= 0.0 {
+                return Err(LinalgError::InvalidFactor {
+                    reason: "Cholesky factor needs strictly positive diagonal entries",
+                });
+            }
+            for j in (i + 1)..l.ncols() {
+                if l[(i, j)] != 0.0 {
+                    return Err(LinalgError::InvalidFactor {
+                        reason: "Cholesky factor must be lower-triangular",
+                    });
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
     /// The lower-triangular factor `L`.
     pub fn factor(&self) -> &Matrix {
         &self.l
@@ -191,6 +221,35 @@ mod tests {
         assert!((l[(2, 0)] + 8.0).abs() < 1e-12);
         assert!((l[(2, 1)] - 5.0).abs() < 1e-12);
         assert!((l[(2, 2)] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_factor_roundtrip_and_validation() {
+        let c = Cholesky::new(&spd3()).unwrap();
+        let rebuilt = Cholesky::from_factor(c.factor().clone()).unwrap();
+        let b = [1.0, -2.0, 0.5];
+        let x1 = c.solve(&b);
+        let x2 = rebuilt.solve(&b);
+        for (a, b) in x1.iter().zip(&x2) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // invalid factors are rejected with typed errors
+        assert!(matches!(
+            Cholesky::from_factor(Matrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+        assert!(matches!(
+            Cholesky::from_factor(Matrix::from_rows(&[&[1.0, 0.0], &[0.0, f64::NAN]])),
+            Err(LinalgError::NonFinite)
+        ));
+        assert!(matches!(
+            Cholesky::from_factor(Matrix::from_rows(&[&[1.0, 0.5], &[0.0, 1.0]])),
+            Err(LinalgError::InvalidFactor { .. })
+        ));
+        assert!(matches!(
+            Cholesky::from_factor(Matrix::from_rows(&[&[1.0, 0.0], &[0.5, 0.0]])),
+            Err(LinalgError::InvalidFactor { .. })
+        ));
     }
 
     #[test]

@@ -32,6 +32,12 @@ pub enum LinalgError {
         /// Number of iterations performed.
         iterations: usize,
     },
+    /// A reconstructed factorization (e.g. restored from a snapshot) does
+    /// not satisfy the factor's structural invariants.
+    InvalidFactor {
+        /// Which invariant was violated.
+        reason: &'static str,
+    },
     /// Input contained NaN or infinite entries.
     NonFinite,
     /// The input was empty where a non-empty input is required.
@@ -64,6 +70,9 @@ impl fmt::Display for LinalgError {
                     "{algorithm} did not converge after {iterations} iterations"
                 )
             }
+            LinalgError::InvalidFactor { reason } => {
+                write!(f, "invalid factorization factor: {reason}")
+            }
             LinalgError::NonFinite => write!(f, "input contains NaN or infinite values"),
             LinalgError::Empty => write!(f, "input is empty"),
         }
@@ -94,6 +103,10 @@ mod tests {
             iterations: 100,
         };
         assert!(e.to_string().contains("jacobi"));
+        let e = LinalgError::InvalidFactor {
+            reason: "not lower-triangular",
+        };
+        assert!(e.to_string().contains("lower-triangular"));
         assert!(LinalgError::NonFinite.to_string().contains("NaN"));
         assert!(LinalgError::Empty.to_string().contains("empty"));
     }

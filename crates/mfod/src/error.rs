@@ -17,6 +17,8 @@ pub enum MfodError {
     Dataset(mfod_datasets::DatasetError),
     /// Evaluation failure.
     Eval(mfod_eval::EvalError),
+    /// Model snapshot failure (encoding, decoding, io or registry).
+    Persist(mfod_persist::PersistError),
     /// Pipeline-level contract violation (e.g. inconsistent sample domains).
     Pipeline(String),
 }
@@ -30,6 +32,7 @@ impl fmt::Display for MfodError {
             MfodError::Detect(e) => write!(f, "detector: {e}"),
             MfodError::Dataset(e) => write!(f, "dataset: {e}"),
             MfodError::Eval(e) => write!(f, "evaluation: {e}"),
+            MfodError::Persist(e) => write!(f, "snapshot: {e}"),
             MfodError::Pipeline(msg) => write!(f, "pipeline: {msg}"),
         }
     }
@@ -44,6 +47,7 @@ impl std::error::Error for MfodError {
             MfodError::Detect(e) => Some(e),
             MfodError::Dataset(e) => Some(e),
             MfodError::Eval(e) => Some(e),
+            MfodError::Persist(e) => Some(e),
             MfodError::Pipeline(_) => None,
         }
     }
@@ -85,6 +89,12 @@ impl From<mfod_eval::EvalError> for MfodError {
     }
 }
 
+impl From<mfod_persist::PersistError> for MfodError {
+    fn from(e: mfod_persist::PersistError) -> Self {
+        MfodError::Persist(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,5 +118,8 @@ mod tests {
         assert!(e.to_string().contains("dataset"));
         let e: MfodError = mfod_geometry::GeometryError::NonFinite.into();
         assert!(e.to_string().contains("mapping"));
+        let e: MfodError = mfod_persist::PersistError::MissingSection { id: 1 }.into();
+        assert!(e.to_string().contains("snapshot"));
+        assert!(e.source().is_some());
     }
 }

@@ -63,6 +63,7 @@ pub mod error;
 pub mod experiment;
 pub mod pipeline;
 pub mod serving;
+pub mod snapshot;
 pub mod tune;
 
 pub use baselines::DepthBaseline;
@@ -71,6 +72,7 @@ pub use error::MfodError;
 pub use experiment::{Fig3Config, Fig3Row};
 pub use pipeline::{FeatureTransform, FittedPipeline, GeomOutlierPipeline, PipelineConfig};
 pub use serving::FrozenScorer;
+pub use snapshot::{FrozenScorerSnapshot, PipelineSnapshot};
 pub use tune::NuTuner;
 
 /// Crate-wide `Result` alias.
@@ -84,6 +86,7 @@ pub use mfod_eval as eval;
 pub use mfod_fda as fda;
 pub use mfod_geometry as geometry;
 pub use mfod_linalg as linalg;
+pub use mfod_persist as persist;
 
 /// Everything a typical user needs, in one import.
 pub mod prelude {
@@ -95,6 +98,7 @@ pub mod prelude {
         FeatureTransform, FittedPipeline, GeomOutlierPipeline, PipelineConfig,
     };
     pub use crate::serving::FrozenScorer;
+    pub use crate::snapshot::{FrozenScorerSnapshot, PipelineSnapshot};
     pub use crate::tune::NuTuner;
     pub use mfod_datasets::{
         EcgConfig, EcgSimulator, LabeledDataSet, OutlierType, SplitConfig, TaxonomyConfig,

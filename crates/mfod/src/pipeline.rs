@@ -113,7 +113,10 @@ impl PipelineConfig {
         }
     }
 
-    fn validate(&self) -> Result<()> {
+    /// Config invariants shared by the fit path and snapshot restore
+    /// (`crate::snapshot`): a restored pipeline must never be in a state
+    /// the fit path would have rejected.
+    pub(crate) fn validate(&self) -> Result<()> {
         if self.grid_len < 4 {
             return Err(MfodError::Pipeline(format!(
                 "grid_len must be >= 4, got {}",
@@ -201,8 +204,10 @@ impl GeomOutlierPipeline {
         let grid = Grid::uniform(a0, b0, self.config.grid_len)?;
         // A plan that fails to build is not fatal here: the per-sample
         // fallback reproduces (and correctly attributes) the error on the
-        // first sample it affects.
-        let plan = self.config.selector.plan(&samples[0].t).ok();
+        // first sample it affects. `plan_shared` consults the process-wide
+        // plan cache, so repeated fits on one grid (e.g. the Fig. 3
+        // repetition loops) reuse a single built ladder.
+        let plan = self.config.selector.plan_shared(&samples[0].t).ok();
         let rows = pool.try_map(samples.len(), |i| {
             let s = &samples[i];
             let (a, b) = s.domain();
@@ -218,7 +223,7 @@ impl GeomOutlierPipeline {
                 )));
             }
             let (datum, selections) =
-                smooth_sample_with_plan(&self.config.selector, plan.as_ref(), s)?;
+                smooth_sample_with_plan(&self.config.selector, plan.as_deref(), s)?;
             let mapped = self.mapping.map(&datum, &grid)?;
             Ok((mapped, selections))
         })?;
@@ -432,6 +437,28 @@ impl std::fmt::Debug for FittedPipeline {
 }
 
 impl FittedPipeline {
+    /// Reassembles a fitted pipeline from restored snapshot parts
+    /// (`crate::snapshot` validates the parts before calling this).
+    pub(crate) fn from_snapshot_parts(
+        config: PipelineConfig,
+        mapping: Arc<dyn MappingFunction>,
+        model: Box<dyn FittedDetector>,
+        label: String,
+        winsorize_cap: Option<f64>,
+        domain: (f64, f64),
+        selected: Vec<(usize, f64)>,
+    ) -> Self {
+        FittedPipeline {
+            config,
+            mapping,
+            model,
+            label,
+            winsorize_cap,
+            domain,
+            selected,
+        }
+    }
+
     /// The `"<detector>(<mapping>)"` label.
     pub fn label(&self) -> &str {
         &self.label
@@ -523,9 +550,11 @@ impl FittedPipeline {
 
     /// Builds the per-batch selection plan for scoring: one plan on the
     /// first sample's grid, shared by every sample observed on it (the
-    /// others fall back per sample inside the selector).
-    fn scoring_plan(&self, samples: &[RawSample]) -> Option<SelectionPlan> {
-        self.config.selector.plan(&samples[0].t).ok()
+    /// others fall back per sample inside the selector). Served batches
+    /// arrive on one fixed grid, so the process-wide plan cache behind
+    /// `plan_shared` turns this into a lookup after the first batch.
+    fn scoring_plan(&self, samples: &[RawSample]) -> Option<std::sync::Arc<SelectionPlan>> {
+        self.config.selector.plan_shared(&samples[0].t).ok()
     }
 
     /// Smooths, maps and transforms raw samples into the detector's
@@ -536,7 +565,7 @@ impl FittedPipeline {
         let mut out = Matrix::zeros(samples.len(), grid.len());
         for (i, s) in samples.iter().enumerate() {
             out.row_mut(i)
-                .copy_from_slice(&self.feature_row(s, &grid, plan.as_ref())?);
+                .copy_from_slice(&self.feature_row(s, &grid, plan.as_deref())?);
         }
         Ok(out)
     }
@@ -557,7 +586,7 @@ impl FittedPipeline {
         let grid = self.check_domain(samples)?;
         let plan = self.scoring_plan(samples);
         let rows = mfod_linalg::par::par_try_map(samples.len(), |i| {
-            self.feature_row(&samples[i], &grid, plan.as_ref())
+            self.feature_row(&samples[i], &grid, plan.as_deref())
         })?;
         let mut features = Matrix::zeros(samples.len(), grid.len());
         for (i, row) in rows.iter().enumerate() {

@@ -1,0 +1,513 @@
+//! Snapshot forms of the serving artifacts: [`FittedPipeline`] and
+//! [`FrozenScorer`].
+//!
+//! A fitted pipeline owns two trait objects (the mapping and the fitted
+//! detector); its snapshot replaces both with the concrete tagged unions
+//! from `mfod-geometry` / `mfod-detect`. Restoring re-runs the domain
+//! validation the fit path enforced, rebuilds the trait objects, and
+//! re-checks cross-field consistency (detector dimension vs grid length,
+//! stored label vs stage names, winsorize state vs the transform) so a
+//! tampered-but-checksummed file still fails with a typed error.
+//!
+//! **Bit-exactness.** All numeric state travels as raw bit patterns, and
+//! both scoring paths are pure functions of that state, so a reloaded
+//! pipeline scores **bit-for-bit identically** to the in-memory
+//! original — on the exact path (per-sample re-selection runs the same
+//! fp ops on the same selector configuration) and on the frozen path
+//! (the scorer's smoothing operators are re-derived deterministically
+//! from the restored selection; see [`FrozenScorerSnapshot`]).
+
+use crate::error::MfodError;
+use crate::pipeline::{FeatureTransform, FittedPipeline, PipelineConfig};
+use crate::serving::FrozenScorer;
+use crate::Result;
+use mfod_detect::DetectorSnapshot;
+use mfod_fda::BasisSelector;
+use mfod_geometry::{snapshot_mapping, MappingSnapshot};
+use mfod_persist::{Decode, Decoder, Encode, Encoder, PersistError, Restorable, Snapshot};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Artifact-kind tag of [`PipelineSnapshot`] files.
+pub const KIND_FITTED_PIPELINE: u32 = 1;
+/// Artifact-kind tag of [`FrozenScorerSnapshot`] files.
+pub const KIND_FROZEN_SCORER: u32 = 2;
+/// Artifact-kind tag reserved by `mfod-stream` for calibrator files.
+pub const KIND_THRESHOLD_CALIBRATOR: u32 = 3;
+
+impl Encode for FeatureTransform {
+    fn encode(&self, w: &mut Encoder) {
+        match *self {
+            FeatureTransform::None => w.put_u8(0),
+            FeatureTransform::Log1p => w.put_u8(1),
+            FeatureTransform::SignedSqrt => w.put_u8(2),
+            FeatureTransform::Winsorize(q) => {
+                w.put_u8(3);
+                w.put_f64(q);
+            }
+        }
+    }
+}
+
+impl Decode for FeatureTransform {
+    fn decode(r: &mut Decoder<'_>) -> mfod_persist::Result<Self> {
+        Ok(match r.take_u8()? {
+            0 => FeatureTransform::None,
+            1 => FeatureTransform::Log1p,
+            2 => FeatureTransform::SignedSqrt,
+            3 => FeatureTransform::Winsorize(r.take_f64()?),
+            tag => {
+                return Err(PersistError::UnknownTag {
+                    what: "feature transform",
+                    tag: u32::from(tag),
+                })
+            }
+        })
+    }
+}
+
+impl Encode for PipelineConfig {
+    fn encode(&self, w: &mut Encoder) {
+        self.selector.encode(w);
+        w.put_usize(self.grid_len);
+        self.transform.encode(w);
+    }
+}
+
+impl Decode for PipelineConfig {
+    fn decode(r: &mut Decoder<'_>) -> mfod_persist::Result<Self> {
+        Ok(PipelineConfig {
+            selector: BasisSelector::decode(r)?,
+            grid_len: r.take_usize()?,
+            transform: FeatureTransform::decode(r)?,
+        })
+    }
+}
+
+/// The on-disk form of a [`FittedPipeline`].
+#[derive(Debug, Clone)]
+pub struct PipelineSnapshot {
+    /// Smoothing/mapping configuration the model was fitted under.
+    pub config: PipelineConfig,
+    /// Concrete form of the mapping stage.
+    pub mapping: MappingSnapshot,
+    /// Concrete form of the fitted detector.
+    pub detector: DetectorSnapshot,
+    /// The `"<detector>(<mapping>)"` label.
+    pub label: String,
+    /// Training-set winsorization cap, when the transform winsorizes.
+    pub winsorize_cap: Option<f64>,
+    /// Observation domain the model was trained on.
+    pub domain: (f64, f64),
+    /// Per-channel `(basis size, λ)` winning selection.
+    pub selected: Vec<(usize, f64)>,
+}
+
+impl Encode for PipelineSnapshot {
+    fn encode(&self, w: &mut Encoder) {
+        self.config.encode(w);
+        self.mapping.encode(w);
+        self.detector.encode(w);
+        self.label.encode(w);
+        self.winsorize_cap.encode(w);
+        w.put_f64(self.domain.0);
+        w.put_f64(self.domain.1);
+        self.selected.encode(w);
+    }
+}
+
+impl Decode for PipelineSnapshot {
+    fn decode(r: &mut Decoder<'_>) -> mfod_persist::Result<Self> {
+        Ok(PipelineSnapshot {
+            config: PipelineConfig::decode(r)?,
+            mapping: MappingSnapshot::decode(r)?,
+            detector: DetectorSnapshot::decode(r)?,
+            label: String::decode(r)?,
+            winsorize_cap: Option::decode(r)?,
+            domain: (r.take_f64()?, r.take_f64()?),
+            selected: Vec::decode(r)?,
+        })
+    }
+}
+
+impl Snapshot for PipelineSnapshot {
+    const KIND: u32 = KIND_FITTED_PIPELINE;
+    const NAME: &'static str = "fitted-pipeline";
+}
+
+impl PipelineSnapshot {
+    /// Rebuilds the live pipeline, re-validating every cross-field
+    /// invariant the fit path established.
+    pub fn restore(self) -> Result<FittedPipeline> {
+        // the fit path's own config validation (grid_len floor, winsorize
+        // quantile range) — a snapshot must not resurrect a config the
+        // fit path would have rejected
+        self.config.validate()?;
+        let (a, b) = self.domain;
+        if !(a.is_finite() && b.is_finite() && a < b) {
+            return Err(MfodError::Pipeline(format!(
+                "snapshot domain [{a}, {b}] is not a valid interval"
+            )));
+        }
+        if self.selected.is_empty() {
+            return Err(MfodError::Pipeline(
+                "snapshot records no per-channel selection".into(),
+            ));
+        }
+        let mapping = self.mapping.restore();
+        let expected_label = format!("{}({})", self.detector.name(), mapping.name());
+        if self.label != expected_label {
+            return Err(MfodError::Pipeline(format!(
+                "snapshot label '{}' disagrees with its stages '{expected_label}'",
+                self.label
+            )));
+        }
+        match self.config.transform {
+            FeatureTransform::Winsorize(_) => {
+                if !self.winsorize_cap.is_some_and(f64::is_finite) {
+                    return Err(MfodError::Pipeline(
+                        "winsorizing snapshot is missing a finite training cap".into(),
+                    ));
+                }
+            }
+            _ => {
+                if self.winsorize_cap.is_some() {
+                    return Err(MfodError::Pipeline(
+                        "non-winsorizing snapshot carries a winsorize cap".into(),
+                    ));
+                }
+            }
+        }
+        let model = self.detector.into_fitted();
+        if model.dim() != self.config.grid_len {
+            return Err(MfodError::Pipeline(format!(
+                "snapshot detector expects {} features, grid length is {}",
+                model.dim(),
+                self.config.grid_len
+            )));
+        }
+        Ok(FittedPipeline::from_snapshot_parts(
+            self.config,
+            mapping,
+            model,
+            self.label,
+            self.winsorize_cap,
+            self.domain,
+            self.selected,
+        ))
+    }
+}
+
+impl Restorable for FittedPipeline {
+    type Snapshot = PipelineSnapshot;
+
+    fn restore(snapshot: PipelineSnapshot) -> std::result::Result<Self, String> {
+        snapshot.restore().map_err(|e| e.to_string())
+    }
+}
+
+impl FittedPipeline {
+    /// Converts this pipeline into its persistable snapshot form.
+    ///
+    /// Fails with a typed error when either trait-object stage (a custom
+    /// mapping or detector) does not implement its snapshot hook.
+    pub fn snapshot(&self) -> Result<PipelineSnapshot> {
+        let mapping = snapshot_mapping(self.mapping().as_ref())?;
+        let detector = self.detector().snapshot().ok_or_else(|| {
+            MfodError::Pipeline(format!(
+                "detector of pipeline '{}' does not support snapshots",
+                self.label()
+            ))
+        })?;
+        Ok(PipelineSnapshot {
+            config: self.config().clone(),
+            mapping,
+            detector,
+            label: self.label().to_string(),
+            winsorize_cap: self.winsorize_cap(),
+            domain: self.domain(),
+            selected: self.selected_bases().to_vec(),
+        })
+    }
+
+    /// Snapshots this pipeline and writes it to `path` atomically.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        Ok(mfod_persist::save(&self.snapshot()?, path)?)
+    }
+
+    /// Loads a pipeline saved with [`FittedPipeline::save`], re-running
+    /// all restore validation. The result scores bit-identically to the
+    /// pipeline that was saved.
+    pub fn load(path: &Path) -> Result<FittedPipeline> {
+        mfod_persist::load::<PipelineSnapshot>(path)?.restore()
+    }
+}
+
+/// The on-disk form of a [`FrozenScorer`].
+///
+/// Only the pipeline and the frozen observation times are stored: the
+/// per-channel smoothing operators are re-derived by
+/// [`FrozenScorer::new`] on restore, which is deterministic — the same
+/// floating-point assembly on the same restored selection — so the
+/// restored scorer's operators, and therefore its scores, are
+/// bit-identical to the original's. (The operators themselves can be
+/// persisted standalone via `mfod_fda::FrozenSmootherSnapshot`.)
+#[derive(Debug, Clone)]
+pub struct FrozenScorerSnapshot {
+    /// The underlying fitted pipeline.
+    pub pipeline: PipelineSnapshot,
+    /// Observation times the scorer is frozen to.
+    pub ts: Vec<f64>,
+}
+
+impl Encode for FrozenScorerSnapshot {
+    fn encode(&self, w: &mut Encoder) {
+        self.pipeline.encode(w);
+        self.ts.encode(w);
+    }
+}
+
+impl Decode for FrozenScorerSnapshot {
+    fn decode(r: &mut Decoder<'_>) -> mfod_persist::Result<Self> {
+        Ok(FrozenScorerSnapshot {
+            pipeline: PipelineSnapshot::decode(r)?,
+            ts: Vec::decode(r)?,
+        })
+    }
+}
+
+impl Snapshot for FrozenScorerSnapshot {
+    const KIND: u32 = KIND_FROZEN_SCORER;
+    const NAME: &'static str = "frozen-scorer";
+}
+
+impl FrozenScorerSnapshot {
+    /// Rebuilds the live scorer (pipeline restore validation plus the
+    /// freeze-time checks of [`FrozenScorer::new`]).
+    pub fn restore(self) -> Result<FrozenScorer> {
+        FrozenScorer::new(Arc::new(self.pipeline.restore()?), &self.ts)
+    }
+}
+
+impl Restorable for FrozenScorer {
+    type Snapshot = FrozenScorerSnapshot;
+
+    fn restore(snapshot: FrozenScorerSnapshot) -> std::result::Result<Self, String> {
+        snapshot.restore().map_err(|e| e.to_string())
+    }
+}
+
+impl FrozenScorer {
+    /// Converts this scorer into its persistable snapshot form.
+    pub fn snapshot(&self) -> Result<FrozenScorerSnapshot> {
+        Ok(FrozenScorerSnapshot {
+            pipeline: self.pipeline().snapshot()?,
+            ts: self.ts().to_vec(),
+        })
+    }
+
+    /// Snapshots this scorer and writes it to `path` atomically.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        Ok(mfod_persist::save(&self.snapshot()?, path)?)
+    }
+
+    /// Loads a scorer saved with [`FrozenScorer::save`].
+    pub fn load(path: &Path) -> Result<FrozenScorer> {
+        mfod_persist::load::<FrozenScorerSnapshot>(path)?.restore()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::GeomOutlierPipeline;
+    use mfod_datasets::{EcgConfig, EcgSimulator, LabeledDataSet};
+    use mfod_detect::{IsolationForest, OcSvm};
+    use mfod_geometry::{Curvature, Speed};
+
+    fn ecg(n_norm: usize, n_abn: usize, seed: u64) -> LabeledDataSet {
+        EcgSimulator::new(EcgConfig {
+            m: 32,
+            ..Default::default()
+        })
+        .unwrap()
+        .generate(n_norm, n_abn, seed)
+        .unwrap()
+        .augment_with(0, |y| y * y)
+        .unwrap()
+    }
+
+    fn fitted(data: &LabeledDataSet) -> FittedPipeline {
+        GeomOutlierPipeline::new(
+            PipelineConfig::fast(),
+            Arc::new(Curvature),
+            Arc::new(IsolationForest {
+                n_trees: 20,
+                ..Default::default()
+            }),
+        )
+        .fit(data.samples())
+        .unwrap()
+    }
+
+    fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: length");
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: score {i}");
+        }
+    }
+
+    #[test]
+    fn pipeline_roundtrip_scores_bit_identically() {
+        let data = ecg(14, 4, 5);
+        let pipeline = fitted(&data);
+        let bytes = mfod_persist::to_bytes(&pipeline.snapshot().unwrap());
+        let snap: PipelineSnapshot = mfod_persist::from_bytes(&bytes).unwrap();
+        let restored = snap.restore().unwrap();
+        assert_eq!(restored.label(), pipeline.label());
+        assert_eq!(restored.domain(), pipeline.domain());
+        assert_eq!(restored.selected_bases(), pipeline.selected_bases());
+        let a = pipeline.score(data.samples()).unwrap();
+        let b = restored.score(data.samples()).unwrap();
+        assert_bits_eq(&a, &b, "exact path");
+        let pa = pipeline.par_score(data.samples()).unwrap();
+        let pb = restored.par_score(data.samples()).unwrap();
+        assert_bits_eq(&pa, &pb, "parallel exact path");
+    }
+
+    #[test]
+    fn pipeline_reencode_is_byte_identical() {
+        let data = ecg(10, 2, 9);
+        let pipeline = fitted(&data);
+        let bytes = mfod_persist::to_bytes(&pipeline.snapshot().unwrap());
+        let snap: PipelineSnapshot = mfod_persist::from_bytes(&bytes).unwrap();
+        assert_eq!(mfod_persist::to_bytes(&snap), bytes);
+        // and a restored pipeline re-snapshots to the same bytes again
+        let restored = snap.restore().unwrap();
+        assert_eq!(mfod_persist::to_bytes(&restored.snapshot().unwrap()), bytes);
+    }
+
+    #[test]
+    fn frozen_scorer_roundtrip_scores_bit_identically() {
+        let data = ecg(14, 4, 7);
+        let ts = data.samples()[0].t.clone();
+        let pipeline = Arc::new(fitted(&data));
+        let frozen = FrozenScorer::new(Arc::clone(&pipeline), &ts).unwrap();
+        let bytes = mfod_persist::to_bytes(&frozen.snapshot().unwrap());
+        let restored = mfod_persist::from_bytes::<FrozenScorerSnapshot>(&bytes)
+            .unwrap()
+            .restore()
+            .unwrap();
+        let a = frozen.score(data.samples()).unwrap();
+        let b = restored.score(data.samples()).unwrap();
+        assert_bits_eq(&a, &b, "frozen path");
+    }
+
+    #[test]
+    fn save_load_file_helpers() {
+        let dir = std::env::temp_dir().join(format!("mfod-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = ecg(10, 3, 3);
+        let pipeline = fitted(&data);
+        let path = dir.join("pipeline.mfod");
+        pipeline.save(&path).unwrap();
+        let restored = FittedPipeline::load(&path).unwrap();
+        assert_bits_eq(
+            &pipeline.score(data.samples()).unwrap(),
+            &restored.score(data.samples()).unwrap(),
+            "file roundtrip",
+        );
+        let ts = data.samples()[0].t.clone();
+        let frozen = FrozenScorer::new(Arc::new(pipeline), &ts).unwrap();
+        let fpath = dir.join("frozen.mfod");
+        frozen.save(&fpath).unwrap();
+        let frestored = FrozenScorer::load(&fpath).unwrap();
+        assert_bits_eq(
+            &frozen.score(data.samples()).unwrap(),
+            &frestored.score(data.samples()).unwrap(),
+            "frozen file roundtrip",
+        );
+        // loading the wrong artifact kind is typed
+        assert!(matches!(
+            FrozenScorer::load(&path),
+            Err(MfodError::Persist(PersistError::WrongKind { .. }))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ocsvm_pipeline_roundtrips_too() {
+        let data = ecg(12, 3, 11);
+        let pipeline = GeomOutlierPipeline::new(
+            PipelineConfig::fast(),
+            Arc::new(Speed),
+            Arc::new(OcSvm::with_nu(0.2).unwrap()),
+        )
+        .fit(data.samples())
+        .unwrap();
+        let bytes = mfod_persist::to_bytes(&pipeline.snapshot().unwrap());
+        let restored = mfod_persist::from_bytes::<PipelineSnapshot>(&bytes)
+            .unwrap()
+            .restore()
+            .unwrap();
+        assert_bits_eq(
+            &pipeline.score(data.samples()).unwrap(),
+            &restored.score(data.samples()).unwrap(),
+            "ocsvm(speed)",
+        );
+    }
+
+    #[test]
+    fn tampered_cross_field_state_is_rejected() {
+        let data = ecg(10, 2, 13);
+        let pipeline = fitted(&data);
+        let snap = pipeline.snapshot().unwrap();
+        // inconsistent label
+        let mut bad = snap.clone();
+        bad.label = "lof(torsion)".into();
+        assert!(matches!(bad.restore(), Err(MfodError::Pipeline(_))));
+        // spurious winsorize cap under a non-winsorizing transform
+        let mut bad = snap.clone();
+        bad.winsorize_cap = Some(1.0);
+        assert!(matches!(bad.restore(), Err(MfodError::Pipeline(_))));
+        // inverted domain
+        let mut bad = snap.clone();
+        bad.domain = (1.0, 0.0);
+        assert!(matches!(bad.restore(), Err(MfodError::Pipeline(_))));
+        // empty channel selection
+        let mut bad = snap.clone();
+        bad.selected.clear();
+        assert!(matches!(bad.restore(), Err(MfodError::Pipeline(_))));
+        // grid length no longer matching the detector's feature dim
+        let mut bad = snap.clone();
+        bad.config.grid_len += 1;
+        assert!(matches!(bad.restore(), Err(MfodError::Pipeline(_))));
+        // a config the fit path would reject (grid_len floor)
+        let mut bad = snap.clone();
+        bad.config.grid_len = 3;
+        assert!(matches!(bad.restore(), Err(MfodError::Pipeline(_))));
+        // an out-of-range winsorize quantile fails config validation even
+        // with a superficially consistent cap
+        let mut bad = snap;
+        bad.config.transform = FeatureTransform::Winsorize(5.0);
+        bad.winsorize_cap = Some(1.0);
+        assert!(matches!(bad.restore(), Err(MfodError::Pipeline(_))));
+    }
+
+    #[test]
+    fn truncated_and_corrupted_pipeline_bytes_are_typed() {
+        let data = ecg(10, 2, 17);
+        let pipeline = fitted(&data);
+        let bytes = mfod_persist::to_bytes(&pipeline.snapshot().unwrap());
+        for n in [0, 4, 16, bytes.len() / 2, bytes.len() - 1] {
+            assert!(mfod_persist::from_bytes::<PipelineSnapshot>(&bytes[..n]).is_err());
+        }
+        let mut corrupt = bytes.clone();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0x01;
+        assert!(matches!(
+            mfod_persist::from_bytes::<PipelineSnapshot>(&corrupt),
+            Err(PersistError::ChecksumMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,446 @@
+//! The snapshot container: magic, format version, artifact kind, section
+//! table, payload, CRC-32 trailer.
+//!
+//! ## Layout (all integers little-endian)
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "MFOD"
+//! 4       4     format version (u32, currently 1)
+//! 8       4     artifact kind  (u32, see [`Snapshot::KIND`])
+//! 12      4     section count  (u32)
+//! 16      20·k  section table: k × { id: u32, offset: u64, len: u64 }
+//! …       n     payload (concatenated section bodies)
+//! end−4   4     CRC-32 (IEEE) over every preceding byte
+//! ```
+//!
+//! Section offsets are relative to the payload start and are validated
+//! against the payload bounds before any section is handed to a decoder.
+//!
+//! ## Versioning policy
+//!
+//! The version is bumped when the container layout or any section wire
+//! format changes incompatibly. Readers accept only versions
+//! `<=` [`FORMAT_VERSION`] and fail on newer files with
+//! [`PersistError::UnsupportedVersion`] — old binaries never misread new
+//! snapshots. Additive evolution (new optional sections) does not bump
+//! the version: unknown section ids are ignored by readers, and decoders
+//! treat a missing optional section as its default.
+
+use crate::error::PersistError;
+use crate::wire::{Decode, Decoder, Encode, Encoder};
+use crate::Result;
+use std::path::Path;
+
+/// Snapshot file magic.
+pub const MAGIC: [u8; 4] = *b"MFOD";
+
+/// Newest container version this build reads and the version it writes.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Conventional file extension for snapshot files.
+pub const SNAPSHOT_EXT: &str = "mfod";
+
+/// Section id for the single-section body written by [`to_bytes`].
+pub const SECTION_BODY: u32 = 1;
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) of `bytes`.
+///
+/// Bitwise implementation — snapshots are model-sized (kilobytes to a few
+/// megabytes), so a lookup table is not worth the code.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// A typed artifact with a stable on-disk identity.
+///
+/// `KIND` distinguishes artifact families inside the shared container
+/// (a pipeline file fed to a calibrator loader fails with
+/// [`PersistError::WrongKind`] instead of garbage), and `NAME` labels the
+/// artifact in diagnostics.
+pub trait Snapshot: Encode + Decode {
+    /// Artifact-kind tag stored in the header.
+    const KIND: u32;
+    /// Human-readable artifact name for error messages.
+    const NAME: &'static str;
+}
+
+/// Builds a multi-section snapshot.
+#[derive(Debug)]
+pub struct SnapshotWriter {
+    kind: u32,
+    sections: Vec<(u32, Vec<u8>)>,
+}
+
+impl SnapshotWriter {
+    /// Starts a snapshot of the given artifact kind.
+    pub fn new(kind: u32) -> Self {
+        SnapshotWriter {
+            kind,
+            sections: Vec::new(),
+        }
+    }
+
+    /// Appends a section, encoding its body with `f`.
+    pub fn section(&mut self, id: u32, f: impl FnOnce(&mut Encoder)) {
+        let mut enc = Encoder::new();
+        f(&mut enc);
+        self.sections.push((id, enc.into_bytes()));
+    }
+
+    /// Serializes the container: header, table, payload, CRC trailer.
+    pub fn finish(self) -> Vec<u8> {
+        let mut out = Encoder::new();
+        out.put_bytes(&MAGIC);
+        out.put_u32(FORMAT_VERSION);
+        out.put_u32(self.kind);
+        out.put_u32(self.sections.len() as u32);
+        let mut offset = 0u64;
+        for (id, body) in &self.sections {
+            out.put_u32(*id);
+            out.put_u64(offset);
+            out.put_u64(body.len() as u64);
+            offset += body.len() as u64;
+        }
+        for (_, body) in &self.sections {
+            out.put_bytes(body);
+        }
+        let mut bytes = out.into_bytes();
+        let crc = crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        bytes
+    }
+}
+
+/// Parsed view over a snapshot byte buffer with the header, CRC and
+/// section bounds already validated.
+#[derive(Debug)]
+pub struct SnapshotReader<'a> {
+    kind: u32,
+    version: u32,
+    /// `(id, body)` in file order.
+    sections: Vec<(u32, &'a [u8])>,
+}
+
+impl<'a> SnapshotReader<'a> {
+    /// Validates magic, version, CRC and section bounds.
+    pub fn parse(bytes: &'a [u8]) -> Result<Self> {
+        // trailer first: without an intact CRC nothing else is trusted
+        if bytes.len() < MAGIC.len() + 4 {
+            return Err(PersistError::Truncated {
+                context: "snapshot header",
+                needed: MAGIC.len() + 4,
+                available: bytes.len(),
+            });
+        }
+        let got: [u8; 4] = bytes[..4].try_into().expect("4 bytes");
+        if got != MAGIC {
+            return Err(PersistError::BadMagic { got });
+        }
+        let (body, trailer) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_le_bytes(trailer.try_into().expect("4 bytes"));
+        let computed = crc32(body);
+        if stored != computed {
+            return Err(PersistError::ChecksumMismatch { stored, computed });
+        }
+        let mut r = Decoder::new(&body[4..]);
+        let version = r.take_u32()?;
+        if version > FORMAT_VERSION {
+            return Err(PersistError::UnsupportedVersion {
+                got: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let kind = r.take_u32()?;
+        let count = r.take_u32()? as usize;
+        // Each table entry is 20 bytes; reject counts the buffer cannot hold.
+        if count.checked_mul(20).is_none_or(|n| n > r.remaining()) {
+            return Err(PersistError::Truncated {
+                context: "section table",
+                needed: count.saturating_mul(20),
+                available: r.remaining(),
+            });
+        }
+        let mut table = Vec::with_capacity(count);
+        for _ in 0..count {
+            let id = r.take_u32()?;
+            let offset = r.take_usize()?;
+            let len = r.take_usize()?;
+            table.push((id, offset, len));
+        }
+        let payload = r.take_bytes(r.remaining(), "payload")?;
+        let mut sections = Vec::with_capacity(count);
+        for (id, offset, len) in table {
+            let end = offset
+                .checked_add(len)
+                .ok_or_else(|| PersistError::Malformed(format!("section {id} bounds overflow")))?;
+            if end > payload.len() {
+                return Err(PersistError::Truncated {
+                    context: "section body",
+                    needed: end,
+                    available: payload.len(),
+                });
+            }
+            sections.push((id, &payload[offset..end]));
+        }
+        Ok(SnapshotReader {
+            kind,
+            version,
+            sections,
+        })
+    }
+
+    /// Artifact kind from the header.
+    pub fn kind(&self) -> u32 {
+        self.kind
+    }
+
+    /// Container version the file was written with.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Ids of every section present, in file order.
+    pub fn section_ids(&self) -> Vec<u32> {
+        self.sections.iter().map(|&(id, _)| id).collect()
+    }
+
+    /// Decoder over a required section's body.
+    pub fn section(&self, id: u32) -> Result<Decoder<'a>> {
+        self.sections
+            .iter()
+            .find(|&&(sid, _)| sid == id)
+            .map(|&(_, body)| Decoder::new(body))
+            .ok_or(PersistError::MissingSection { id })
+    }
+}
+
+/// Encodes `value` into a complete single-section snapshot byte buffer.
+pub fn to_bytes<T: Snapshot>(value: &T) -> Vec<u8> {
+    let mut w = SnapshotWriter::new(T::KIND);
+    w.section(SECTION_BODY, |enc| value.encode(enc));
+    w.finish()
+}
+
+/// Decodes a [`to_bytes`]-shaped snapshot, validating container
+/// integrity, artifact kind and exact body consumption.
+pub fn from_bytes<T: Snapshot>(bytes: &[u8]) -> Result<T> {
+    let reader = SnapshotReader::parse(bytes)?;
+    if reader.kind() != T::KIND {
+        return Err(PersistError::WrongKind {
+            got: reader.kind(),
+            expected: T::KIND,
+        });
+    }
+    let mut dec = reader.section(SECTION_BODY)?;
+    let value = T::decode(&mut dec)?;
+    dec.finish()?;
+    Ok(value)
+}
+
+/// Writes `bytes` to `path` atomically: the data lands in a sibling
+/// temporary file first and is renamed into place, so a reader (or the
+/// [`crate::registry::ModelRegistry`] directory scan) never observes a
+/// half-written snapshot.
+pub fn save_bytes(path: &Path, bytes: &[u8]) -> Result<()> {
+    let io = |source| PersistError::Io {
+        path: path.to_path_buf(),
+        source,
+    };
+    let tmp = path.with_extension("mfod.tmp");
+    std::fs::write(&tmp, bytes).map_err(io)?;
+    std::fs::rename(&tmp, path).map_err(io)
+}
+
+/// Saves `value` as a snapshot file (atomic write, see [`save_bytes`]).
+pub fn save<T: Snapshot>(value: &T, path: &Path) -> Result<()> {
+    save_bytes(path, &to_bytes(value))
+}
+
+/// Loads a snapshot file written by [`save`].
+pub fn load<T: Snapshot>(path: &Path) -> Result<T> {
+    let bytes = std::fs::read(path).map_err(|source| PersistError::Io {
+        path: path.to_path_buf(),
+        source,
+    })?;
+    from_bytes(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Blob {
+        xs: Vec<f64>,
+        tag: String,
+    }
+
+    impl Encode for Blob {
+        fn encode(&self, w: &mut Encoder) {
+            self.xs.encode(w);
+            self.tag.encode(w);
+        }
+    }
+
+    impl Decode for Blob {
+        fn decode(r: &mut Decoder<'_>) -> Result<Self> {
+            Ok(Blob {
+                xs: Vec::decode(r)?,
+                tag: String::decode(r)?,
+            })
+        }
+    }
+
+    impl Snapshot for Blob {
+        const KIND: u32 = 0xB10B;
+        const NAME: &'static str = "blob";
+    }
+
+    fn blob() -> Blob {
+        Blob {
+            xs: vec![1.0, -0.0, f64::NAN, 2.5e-308],
+            tag: "hello".into(),
+        }
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // standard check value for "123456789"
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip_and_reencode_identical() {
+        let b = blob();
+        let bytes = to_bytes(&b);
+        let back: Blob = from_bytes(&bytes).unwrap();
+        assert_eq!(back.tag, b.tag);
+        let rebits: Vec<u64> = back.xs.iter().map(|v| v.to_bits()).collect();
+        let bits: Vec<u64> = b.xs.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits, rebits);
+        assert_eq!(to_bytes(&back), bytes, "re-encode must be byte-identical");
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let mut bytes = to_bytes(&blob());
+        bytes[0] = b'X';
+        assert!(matches!(
+            from_bytes::<Blob>(&bytes),
+            Err(PersistError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let mut bytes = to_bytes(&blob());
+        bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
+        // fix the CRC so the version check (not the checksum) fires
+        let n = bytes.len();
+        let crc = crc32(&bytes[..n - 4]);
+        bytes[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            from_bytes::<Blob>(&bytes),
+            Err(PersistError::UnsupportedVersion { got: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_kind_rejected() {
+        #[derive(Debug)]
+        struct Other;
+        impl Encode for Other {
+            fn encode(&self, _w: &mut Encoder) {}
+        }
+        impl Decode for Other {
+            fn decode(_r: &mut Decoder<'_>) -> Result<Self> {
+                Ok(Other)
+            }
+        }
+        impl Snapshot for Other {
+            const KIND: u32 = 0x07E4;
+            const NAME: &'static str = "other";
+        }
+        let bytes = to_bytes(&blob());
+        assert!(matches!(
+            from_bytes::<Other>(&bytes),
+            Err(PersistError::WrongKind { .. })
+        ));
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_caught() {
+        let bytes = to_bytes(&blob());
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x40;
+            assert!(
+                from_bytes::<Blob>(&corrupt).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_typed() {
+        let bytes = to_bytes(&blob());
+        for n in 0..bytes.len() {
+            assert!(
+                from_bytes::<Blob>(&bytes[..n]).is_err(),
+                "truncation to {n} bytes went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_section_is_typed() {
+        let w = SnapshotWriter::new(Blob::KIND);
+        let bytes = w.finish(); // zero sections
+        let reader = SnapshotReader::parse(&bytes).unwrap();
+        assert_eq!(reader.version(), FORMAT_VERSION);
+        assert!(reader.section_ids().is_empty());
+        assert!(matches!(
+            reader.section(SECTION_BODY),
+            Err(PersistError::MissingSection { id: SECTION_BODY })
+        ));
+    }
+
+    #[test]
+    fn unknown_extra_sections_are_ignored() {
+        let b = blob();
+        let mut w = SnapshotWriter::new(Blob::KIND);
+        w.section(SECTION_BODY, |enc| b.encode(enc));
+        w.section(0xFFFF, |enc| enc.put_u64(123)); // future addition
+        let bytes = w.finish();
+        let back: Blob = from_bytes(&bytes).unwrap();
+        assert_eq!(back.tag, b.tag);
+    }
+
+    #[test]
+    fn file_roundtrip_is_atomic_and_typed_on_io_error() {
+        let dir = std::env::temp_dir().join(format!("mfod-persist-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("blob.mfod");
+        let b = blob();
+        save(&b, &path).unwrap();
+        assert!(!path.with_extension("mfod.tmp").exists());
+        let back: Blob = load(&path).unwrap();
+        assert_eq!(back.tag, b.tag);
+        let missing = dir.join("missing.mfod");
+        assert!(matches!(
+            load::<Blob>(&missing),
+            Err(PersistError::Io { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,77 @@
+//! # mfod-persist
+//!
+//! Versioned, checksummed, deterministic **binary model snapshots** and
+//! the hot-swap serving registry — the fit-once / serve-many layer of the
+//! workspace. No registry crate (serde, bincode) is reachable in this
+//! environment, so the format is hand-rolled and owned end to end.
+//!
+//! * [`wire`] — little-endian primitives and the [`Encode`]/[`Decode`]
+//!   trait pair. `f64`s travel as raw IEEE-754 bit patterns, so
+//!   round-trips are **bit-exact** (including `-0.0` and NaN payloads);
+//!   every read is bounds-checked and length fields are validated before
+//!   allocation, so untrusted bytes produce typed errors, never panics.
+//! * [`mod@format`] — the container: `MFOD` magic, format version, artifact
+//!   kind, section table, CRC-32 trailer ([`Snapshot`],
+//!   [`to_bytes`]/[`from_bytes`], atomic [`save`]/[`load`]).
+//! * [`registry`] — [`ModelRegistry`]: directory loading and atomic
+//!   hot-swap of the active `Arc<T>` under live traffic
+//!   ([`Restorable`] bridges decoded snapshots back to live artifacts).
+//! * [`hash`] — stable FNV-1a hashing of byte and `f64`-bit content,
+//!   shared with `mfod-fda`'s grid-keyed selection-plan cache.
+//!
+//! Downstream crates implement [`Encode`]/[`Decode`] for their own types
+//! (`Matrix` is covered here since `mfod-linalg` sits below this crate)
+//! and declare top-level artifacts via [`Snapshot`] + [`Restorable`]:
+//! `FittedPipeline` and `FrozenScorer` in `mfod`, `ThresholdCalibrator`
+//! in `mfod-stream`.
+//!
+//! ```
+//! use mfod_persist::prelude::*;
+//!
+//! #[derive(PartialEq, Debug)]
+//! struct Mean(f64);
+//!
+//! impl Encode for Mean {
+//!     fn encode(&self, w: &mut Encoder) { w.put_f64(self.0) }
+//! }
+//! impl Decode for Mean {
+//!     fn decode(r: &mut Decoder<'_>) -> mfod_persist::Result<Self> {
+//!         Ok(Mean(r.take_f64()?))
+//!     }
+//! }
+//! impl Snapshot for Mean {
+//!     const KIND: u32 = 42;
+//!     const NAME: &'static str = "mean";
+//! }
+//!
+//! let bytes = to_bytes(&Mean(1.25));
+//! assert_eq!(from_bytes::<Mean>(&bytes).unwrap(), Mean(1.25));
+//! assert!(from_bytes::<Mean>(&bytes[..bytes.len() - 1]).is_err());
+//! ```
+
+pub mod error;
+pub mod format;
+pub mod hash;
+pub mod registry;
+pub mod wire;
+
+pub use error::PersistError;
+pub use format::{
+    crc32, from_bytes, load, save, save_bytes, to_bytes, Snapshot, SnapshotReader, SnapshotWriter,
+    FORMAT_VERSION, MAGIC, SECTION_BODY, SNAPSHOT_EXT,
+};
+pub use hash::{fnv1a64, hash_f64s, Fnv1a};
+pub use registry::{DirLoadReport, ModelRegistry, Restorable};
+pub use wire::{Decode, Decoder, Encode, Encoder};
+
+/// Crate-wide `Result` alias.
+pub type Result<T> = std::result::Result<T, PersistError>;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::error::PersistError;
+    pub use crate::format::{from_bytes, load, save, to_bytes, Snapshot};
+    pub use crate::hash::{fnv1a64, hash_f64s, Fnv1a};
+    pub use crate::registry::{DirLoadReport, ModelRegistry, Restorable};
+    pub use crate::wire::{Decode, Decoder, Encode, Encoder};
+}

@@ -1,0 +1,415 @@
+//! The serving-side model registry: load snapshot files, validate them,
+//! and atomically hot-swap the active model under live traffic.
+//!
+//! A [`ModelRegistry`] owns one *active* `Arc<T>` slot. Scoring threads
+//! call [`ModelRegistry::active`] per batch — a read-lock plus an `Arc`
+//! clone, never blocked by a concurrent install for longer than the swap
+//! of one pointer — while an operator (or a watcher thread) installs new
+//! generations with [`ModelRegistry::install`], [`load_file`] or
+//! [`load_dir`]. In-flight batches keep scoring against the `Arc` they
+//! already cloned; the swap is torn-batch-free by construction.
+//!
+//! Files are untrusted: anything malformed (bad magic, future version,
+//! truncation, checksum mismatch, wrong artifact kind, failed restore
+//! validation) is rejected with a typed [`PersistError`] and the active
+//! model is left untouched.
+//!
+//! [`load_file`]: ModelRegistry::load_file
+//! [`load_dir`]: ModelRegistry::load_dir
+
+use crate::error::PersistError;
+use crate::format::{from_bytes, Snapshot, SNAPSHOT_EXT};
+use crate::Result;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// A live artifact that can be rebuilt from its snapshot form.
+///
+/// The snapshot type carries the raw decoded state; `restore` re-runs the
+/// domain validation and rebuilds any derived structures (trait objects,
+/// cached operators). Splitting the two keeps [`crate::wire::Decode`]
+/// infallible with respect to *domain* rules — wire errors and domain
+/// errors stay distinct.
+pub trait Restorable: Sized {
+    /// The on-disk form of this artifact.
+    type Snapshot: Snapshot;
+
+    /// Rebuilds the live artifact; the error string is wrapped in
+    /// [`PersistError::Restore`].
+    fn restore(snapshot: Self::Snapshot) -> std::result::Result<Self, String>;
+}
+
+/// Outcome of a [`ModelRegistry::load_dir`] sweep.
+#[derive(Debug)]
+pub struct DirLoadReport {
+    /// The file that became active, with its new generation number.
+    pub installed: Option<(PathBuf, u64)>,
+    /// The newest valid file byte-matched the currently active install,
+    /// so the sweep was a no-op (generation unchanged) — the steady
+    /// state of a polling watcher loop.
+    pub unchanged: Option<PathBuf>,
+    /// Files that failed validation, each with its typed error.
+    pub rejected: Vec<(PathBuf, PersistError)>,
+    /// Candidate snapshot files considered (sorted by file name).
+    pub considered: usize,
+}
+
+/// An atomically hot-swappable slot holding the active model generation.
+pub struct ModelRegistry<T> {
+    active: RwLock<Option<Arc<T>>>,
+    generation: AtomicU64,
+    /// FNV-1a of the snapshot bytes behind the active model, when it was
+    /// installed from bytes — lets [`ModelRegistry::load_dir`] skip
+    /// re-decoding (and spuriously re-installing) an unchanged file on
+    /// every watcher poll. `None` after a direct [`ModelRegistry::install`].
+    active_bytes_hash: std::sync::Mutex<Option<u64>>,
+}
+
+impl<T> std::fmt::Debug for ModelRegistry<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelRegistry")
+            .field("loaded", &self.active().is_some())
+            .field("generation", &self.generation())
+            .finish()
+    }
+}
+
+impl<T> Default for ModelRegistry<T> {
+    fn default() -> Self {
+        ModelRegistry {
+            active: RwLock::new(None),
+            generation: AtomicU64::new(0),
+            active_bytes_hash: std::sync::Mutex::new(None),
+        }
+    }
+}
+
+impl<T> ModelRegistry<T> {
+    /// An empty registry (no active model yet).
+    pub fn new() -> Self {
+        ModelRegistry::default()
+    }
+
+    /// The active model, if any — a cheap `Arc` clone; callers hold it
+    /// for the duration of one batch so a concurrent swap can never tear
+    /// a batch across two models.
+    pub fn active(&self) -> Option<Arc<T>> {
+        self.active
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+
+    /// Monotone counter incremented by every successful install; 0 means
+    /// nothing was ever installed.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Atomically replaces the active model, returning the new generation
+    /// number. The previous model is dropped when its last in-flight
+    /// batch finishes.
+    pub fn install(&self, model: Arc<T>) -> u64 {
+        self.install_hashed(model, None)
+    }
+
+    fn install_hashed(&self, model: Arc<T>, bytes_hash: Option<u64>) -> u64 {
+        // Take both locks in a fixed order so a concurrent load_dir's
+        // hash check can never observe a hash newer than the slot.
+        let mut slot = self.active.write().unwrap_or_else(|p| p.into_inner());
+        *self
+            .active_bytes_hash
+            .lock()
+            .unwrap_or_else(|p| p.into_inner()) = bytes_hash;
+        *slot = Some(model);
+        self.generation.fetch_add(1, Ordering::AcqRel) + 1
+    }
+}
+
+impl<T: Restorable> ModelRegistry<T> {
+    /// Decodes, restores and installs a snapshot byte buffer.
+    pub fn install_bytes(&self, bytes: &[u8]) -> Result<u64> {
+        let snapshot = from_bytes::<T::Snapshot>(bytes)?;
+        let model = T::restore(snapshot).map_err(PersistError::Restore)?;
+        Ok(self.install_hashed(Arc::new(model), Some(crate::hash::fnv1a64(bytes))))
+    }
+
+    /// Loads one snapshot file and hot-swaps it in. The active model is
+    /// untouched when the file fails any validation step.
+    pub fn load_file(&self, path: &Path) -> Result<u64> {
+        let bytes = std::fs::read(path).map_err(|source| PersistError::Io {
+            path: path.to_path_buf(),
+            source,
+        })?;
+        self.install_bytes(&bytes)
+    }
+
+    /// Scans `dir` for `*.mfod` snapshots and installs the newest valid
+    /// one, where "newest" is the lexicographically greatest file name —
+    /// write snapshots with sortable names (e.g. zero-padded generation
+    /// numbers or RFC-3339 timestamps) to get last-writer-wins.
+    ///
+    /// Invalid files are skipped with their typed errors collected in the
+    /// report; they never unseat the active model.
+    ///
+    /// Re-running `load_dir` on an interval (a polling watcher) is the
+    /// intended deployment loop, so an unchanged winner is a no-op: when
+    /// the newest valid file's bytes hash-match the bytes behind the
+    /// active install, the sweep skips decode/restore entirely, reports
+    /// the file in [`DirLoadReport::unchanged`] and leaves the
+    /// generation counter alone — `generation()` then counts real model
+    /// changes, not polls.
+    pub fn load_dir(&self, dir: &Path) -> Result<DirLoadReport> {
+        let entries = std::fs::read_dir(dir).map_err(|source| PersistError::Io {
+            path: dir.to_path_buf(),
+            source,
+        })?;
+        let mut files: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().and_then(|e| e.to_str()) == Some(SNAPSHOT_EXT))
+            .collect();
+        files.sort();
+        let considered = files.len();
+        let mut rejected = Vec::new();
+        let mut installed = None;
+        let mut unchanged = None;
+        // newest first; the first valid file wins
+        for path in files.into_iter().rev() {
+            let bytes = match std::fs::read(&path) {
+                Ok(bytes) => bytes,
+                Err(source) => {
+                    rejected.push((
+                        path.clone(),
+                        PersistError::Io {
+                            path: path.clone(),
+                            source,
+                        },
+                    ));
+                    continue;
+                }
+            };
+            let hash = crate::hash::fnv1a64(&bytes);
+            let active_hash = *self
+                .active_bytes_hash
+                .lock()
+                .unwrap_or_else(|p| p.into_inner());
+            if active_hash == Some(hash) {
+                unchanged = Some(path);
+                break;
+            }
+            match self.install_bytes(&bytes) {
+                Ok(generation) => {
+                    installed = Some((path, generation));
+                    break;
+                }
+                Err(e) => rejected.push((path, e)),
+            }
+        }
+        Ok(DirLoadReport {
+            installed,
+            unchanged,
+            rejected,
+            considered,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{save, to_bytes};
+    use crate::wire::{Decode, Decoder, Encode, Encoder};
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct WeightsSnapshot {
+        w: Vec<f64>,
+    }
+
+    impl Encode for WeightsSnapshot {
+        fn encode(&self, w: &mut Encoder) {
+            self.w.encode(w);
+        }
+    }
+
+    impl Decode for WeightsSnapshot {
+        fn decode(r: &mut Decoder<'_>) -> Result<Self> {
+            Ok(WeightsSnapshot { w: Vec::decode(r)? })
+        }
+    }
+
+    impl Snapshot for WeightsSnapshot {
+        const KIND: u32 = 0x77;
+        const NAME: &'static str = "weights";
+    }
+
+    /// A "live" model whose restore validates finiteness.
+    #[derive(Debug, PartialEq)]
+    struct Weights {
+        w: Vec<f64>,
+    }
+
+    impl Restorable for Weights {
+        type Snapshot = WeightsSnapshot;
+        fn restore(s: WeightsSnapshot) -> std::result::Result<Self, String> {
+            if !s.w.iter().all(|v| v.is_finite()) {
+                return Err("weights must be finite".into());
+            }
+            Ok(Weights { w: s.w })
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mfod-registry-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn empty_registry_has_no_active_model() {
+        let reg: ModelRegistry<Weights> = ModelRegistry::new();
+        assert!(reg.active().is_none());
+        assert_eq!(reg.generation(), 0);
+        assert!(format!("{reg:?}").contains("generation"));
+    }
+
+    #[test]
+    fn install_swaps_and_bumps_generation() {
+        let reg: ModelRegistry<Weights> = ModelRegistry::new();
+        let g1 = reg.install(Arc::new(Weights { w: vec![1.0] }));
+        assert_eq!(g1, 1);
+        let held = reg.active().unwrap(); // an in-flight batch's handle
+        let g2 = reg.install(Arc::new(Weights { w: vec![2.0] }));
+        assert_eq!(g2, 2);
+        // the in-flight handle still sees the old model; new callers the new
+        assert_eq!(held.w, vec![1.0]);
+        assert_eq!(reg.active().unwrap().w, vec![2.0]);
+    }
+
+    #[test]
+    fn install_bytes_validates_and_restores() {
+        let reg: ModelRegistry<Weights> = ModelRegistry::new();
+        let ok = to_bytes(&WeightsSnapshot { w: vec![3.0, 4.0] });
+        reg.install_bytes(&ok).unwrap();
+        assert_eq!(reg.active().unwrap().w, vec![3.0, 4.0]);
+        // domain validation runs on restore
+        let bad = to_bytes(&WeightsSnapshot {
+            w: vec![f64::INFINITY],
+        });
+        assert!(matches!(
+            reg.install_bytes(&bad),
+            Err(PersistError::Restore(_))
+        ));
+        // wire corruption is typed and leaves the active model alone
+        let mut corrupt = ok.clone();
+        let n = corrupt.len();
+        corrupt[n / 2] ^= 0xFF;
+        assert!(reg.install_bytes(&corrupt).is_err());
+        assert_eq!(reg.active().unwrap().w, vec![3.0, 4.0]);
+        assert_eq!(reg.generation(), 1);
+    }
+
+    #[test]
+    fn load_dir_prefers_newest_valid_and_reports_rejects() {
+        let dir = tmpdir("dir");
+        save(&WeightsSnapshot { w: vec![1.0] }, &dir.join("gen-001.mfod")).unwrap();
+        save(&WeightsSnapshot { w: vec![2.0] }, &dir.join("gen-002.mfod")).unwrap();
+        // newest file is corrupt: the registry must fall back to gen-002
+        let mut corrupt = to_bytes(&WeightsSnapshot { w: vec![9.0] });
+        let n = corrupt.len();
+        corrupt[n - 1] ^= 0xAA;
+        std::fs::write(dir.join("gen-003.mfod"), &corrupt).unwrap();
+        // non-snapshot files are ignored entirely
+        std::fs::write(dir.join("README.txt"), b"not a model").unwrap();
+
+        let reg: ModelRegistry<Weights> = ModelRegistry::new();
+        let report = reg.load_dir(&dir).unwrap();
+        assert_eq!(report.considered, 3);
+        assert_eq!(report.rejected.len(), 1);
+        assert!(report.rejected[0].0.ends_with("gen-003.mfod"));
+        let (winner, generation) = report.installed.as_ref().unwrap();
+        assert!(winner.ends_with("gen-002.mfod"));
+        assert_eq!(*generation, 1);
+        assert_eq!(reg.active().unwrap().w, vec![2.0]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_dir_skips_unchanged_active_bytes() {
+        let dir = tmpdir("unchanged");
+        save(&WeightsSnapshot { w: vec![1.0] }, &dir.join("gen-001.mfod")).unwrap();
+        let reg: ModelRegistry<Weights> = ModelRegistry::new();
+        let first = reg.load_dir(&dir).unwrap();
+        assert!(first.installed.is_some());
+        assert!(first.unchanged.is_none());
+        assert_eq!(reg.generation(), 1);
+        // watcher steady state: same file, same bytes → no-op
+        for _ in 0..3 {
+            let poll = reg.load_dir(&dir).unwrap();
+            assert!(poll.installed.is_none());
+            assert!(poll
+                .unchanged
+                .as_ref()
+                .is_some_and(|p| p.ends_with("gen-001.mfod")));
+            assert_eq!(reg.generation(), 1, "polls must not bump the generation");
+        }
+        // a genuinely new file still swaps
+        save(&WeightsSnapshot { w: vec![2.0] }, &dir.join("gen-002.mfod")).unwrap();
+        let swap = reg.load_dir(&dir).unwrap();
+        assert!(swap.installed.is_some());
+        assert_eq!(reg.generation(), 2);
+        // a direct install (no bytes) clears the hash, so the next poll
+        // conservatively re-installs from disk rather than assuming
+        reg.install(Arc::new(Weights { w: vec![9.0] }));
+        assert_eq!(reg.generation(), 3);
+        let poll = reg.load_dir(&dir).unwrap();
+        assert!(poll.installed.is_some());
+        assert_eq!(reg.generation(), 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_dir_with_no_valid_files_installs_nothing() {
+        let dir = tmpdir("empty");
+        std::fs::write(dir.join("junk.mfod"), b"garbage").unwrap();
+        let reg: ModelRegistry<Weights> = ModelRegistry::new();
+        let report = reg.load_dir(&dir).unwrap();
+        assert!(report.installed.is_none());
+        assert_eq!(report.rejected.len(), 1);
+        assert!(reg.active().is_none());
+        // a missing directory is a typed io error
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert!(matches!(reg.load_dir(&dir), Err(PersistError::Io { .. })));
+    }
+
+    #[test]
+    fn concurrent_readers_during_swaps_never_tear() {
+        let reg: Arc<ModelRegistry<Weights>> = Arc::new(ModelRegistry::new());
+        reg.install(Arc::new(Weights { w: vec![0.0; 4] }));
+        std::thread::scope(|scope| {
+            let writer = {
+                let reg = Arc::clone(&reg);
+                scope.spawn(move || {
+                    for g in 1..50u64 {
+                        reg.install(Arc::new(Weights {
+                            w: vec![g as f64; 4],
+                        }));
+                    }
+                })
+            };
+            for _ in 0..4 {
+                let reg = Arc::clone(&reg);
+                scope.spawn(move || {
+                    for _ in 0..200 {
+                        let m = reg.active().unwrap();
+                        // a model is always internally consistent
+                        assert!(m.w.iter().all(|&v| v == m.w[0]));
+                    }
+                });
+            }
+            writer.join().unwrap();
+        });
+        assert_eq!(reg.generation(), 50);
+    }
+}

@@ -1,0 +1,160 @@
+//! Property tests for the snapshot wire format and container.
+//!
+//! The two contracts under test:
+//!
+//! 1. **Bit-exact round-trips** — for arbitrary payloads (including NaN
+//!    bit patterns, `-0.0`, subnormals), `encode → decode → re-encode`
+//!    reproduces the original bytes exactly.
+//! 2. **No panic on untrusted bytes** — arbitrary truncation and byte
+//!    corruption of a valid snapshot always yield a typed
+//!    [`PersistError`], never a panic, wrong value or unbounded
+//!    allocation.
+
+use mfod_linalg::Matrix;
+use mfod_persist::{
+    from_bytes, to_bytes, Decode, Decoder, Encode, Encoder, PersistError, Snapshot,
+};
+use proptest::prelude::*;
+
+/// A payload exercising every wire primitive at once.
+#[derive(Debug, Clone, PartialEq)]
+struct Mixed {
+    xs: Vec<f64>,
+    shape: (usize, usize),
+    matrix: Matrix,
+    tag: String,
+    flag: bool,
+    maybe: Option<f64>,
+}
+
+impl Encode for Mixed {
+    fn encode(&self, w: &mut Encoder) {
+        self.xs.encode(w);
+        self.shape.encode(w);
+        self.matrix.encode(w);
+        self.tag.encode(w);
+        self.flag.encode(w);
+        self.maybe.encode(w);
+    }
+}
+
+impl Decode for Mixed {
+    fn decode(r: &mut Decoder<'_>) -> mfod_persist::Result<Self> {
+        Ok(Mixed {
+            xs: Vec::decode(r)?,
+            shape: <(usize, usize)>::decode(r)?,
+            matrix: Matrix::decode(r)?,
+            tag: String::decode(r)?,
+            flag: bool::decode(r)?,
+            maybe: Option::decode(r)?,
+        })
+    }
+}
+
+impl Snapshot for Mixed {
+    const KIND: u32 = 0x4D49;
+    const NAME: &'static str = "mixed";
+}
+
+/// Builds a deterministic payload from fuzzable scalars. Raw `u64` bits
+/// reinterpreted as `f64` cover NaNs, infinities, subnormals and both
+/// zeros — exactly the values a lossy text format would mangle.
+fn mixed_from(bits: Vec<u64>, rows: usize, cols: usize, tag: String, flag: bool) -> Mixed {
+    let xs: Vec<f64> = bits.iter().map(|&b| f64::from_bits(b)).collect();
+    let data: Vec<f64> = (0..rows * cols)
+        .map(|i| f64::from_bits(bits[i % bits.len().max(1)].wrapping_mul(i as u64 | 1)))
+        .collect();
+    Mixed {
+        maybe: xs.first().copied(),
+        matrix: Matrix::from_vec(rows, cols, data),
+        shape: (rows, cols),
+        xs,
+        tag,
+        flag,
+    }
+}
+
+fn bits_of(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn roundtrip_is_bit_exact_and_reencode_is_byte_identical(
+        bits in proptest::collection::vec(proptest::arbitrary::any::<u64>(), 1..40),
+        rows in 1usize..8,
+        cols in 1usize..8,
+        flag in proptest::arbitrary::any::<bool>(),
+    ) {
+        let original = mixed_from(bits, rows, cols, String::from("κ-payload"), flag);
+        let bytes = to_bytes(&original);
+        let decoded: Mixed = from_bytes(&bytes).unwrap();
+        // bit-exact field round-trips
+        prop_assert_eq!(bits_of(&original.xs), bits_of(&decoded.xs));
+        prop_assert_eq!(
+            bits_of(original.matrix.as_slice()),
+            bits_of(decoded.matrix.as_slice())
+        );
+        prop_assert_eq!(original.matrix.shape(), decoded.matrix.shape());
+        prop_assert_eq!(&original.tag, &decoded.tag);
+        prop_assert_eq!(original.flag, decoded.flag);
+        prop_assert_eq!(
+            original.maybe.map(f64::to_bits),
+            decoded.maybe.map(f64::to_bits)
+        );
+        // re-encoding the decoded value reproduces the file byte for byte
+        prop_assert_eq!(to_bytes(&decoded), bytes);
+    }
+
+    #[test]
+    fn truncation_never_panics_and_always_errors(
+        bits in proptest::collection::vec(proptest::arbitrary::any::<u64>(), 1..16),
+        cut_permille in 0usize..1000,
+    ) {
+        let original = mixed_from(bits, 2, 3, String::from("t"), true);
+        let bytes = to_bytes(&original);
+        let cut = cut_permille * bytes.len() / 1000;
+        let result = from_bytes::<Mixed>(&bytes[..cut]);
+        prop_assert!(result.is_err(), "truncation to {} bytes decoded", cut);
+    }
+
+    #[test]
+    fn byte_corruption_never_panics_and_never_decodes_silently(
+        bits in proptest::collection::vec(proptest::arbitrary::any::<u64>(), 1..16),
+        at_permille in 0usize..1000,
+        flip in 1u32..256,
+    ) {
+        let flip = flip as u8;
+        let original = mixed_from(bits, 3, 2, String::from("c"), false);
+        let mut bytes = to_bytes(&original);
+        let at = at_permille * (bytes.len() - 1) / 1000;
+        bytes[at] ^= flip;
+        // every single-byte corruption is caught (CRC-32 detects all
+        // 1-byte errors; header errors are typed before the CRC check)
+        let result = from_bytes::<Mixed>(&bytes);
+        prop_assert!(result.is_err(), "corrupt byte {} (xor {:#x}) decoded", at, flip);
+    }
+
+    #[test]
+    fn random_garbage_is_rejected_with_typed_errors(
+        words in proptest::collection::vec(proptest::arbitrary::any::<u32>(), 0..50),
+    ) {
+        let garbage: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        match from_bytes::<Mixed>(&garbage) {
+            Ok(_) => prop_assert!(false, "garbage decoded as a snapshot"),
+            Err(
+                PersistError::BadMagic { .. }
+                | PersistError::Truncated { .. }
+                | PersistError::ChecksumMismatch { .. }
+                | PersistError::UnsupportedVersion { .. }
+                | PersistError::WrongKind { .. }
+                | PersistError::Malformed(_)
+                | PersistError::MissingSection { .. }
+                | PersistError::UnknownTag { .. },
+            ) => {}
+            Err(e) => prop_assert!(false, "unexpected error family: {e}"),
+        }
+    }
+}

@@ -81,6 +81,51 @@ impl ThresholdCalibrator {
     }
 }
 
+impl mfod_persist::Encode for ThresholdCalibrator {
+    fn encode(&self, w: &mut mfod_persist::Encoder) {
+        w.put_f64(self.threshold);
+        w.put_f64(self.contamination);
+    }
+}
+
+impl mfod_persist::Decode for ThresholdCalibrator {
+    fn decode(r: &mut mfod_persist::Decoder<'_>) -> mfod_persist::Result<Self> {
+        let threshold = r.take_f64()?;
+        let contamination = r.take_f64()?;
+        // same domain rules `from_scores` enforces at calibration time
+        if !threshold.is_finite() {
+            return Err(mfod_persist::PersistError::Malformed(format!(
+                "calibrator threshold {threshold} is not finite"
+            )));
+        }
+        if !(contamination > 0.0 && contamination < 1.0) {
+            return Err(mfod_persist::PersistError::Malformed(format!(
+                "calibrator contamination {contamination} outside (0, 1)"
+            )));
+        }
+        Ok(ThresholdCalibrator {
+            threshold,
+            contamination,
+        })
+    }
+}
+
+impl mfod_persist::Snapshot for ThresholdCalibrator {
+    const KIND: u32 = mfod::snapshot::KIND_THRESHOLD_CALIBRATOR;
+    const NAME: &'static str = "threshold-calibrator";
+}
+
+/// A calibrator restores as itself — the snapshot *is* the state — which
+/// lets a [`mfod_persist::ModelRegistry`] hot-swap recalibrated alarm
+/// thresholds independently of the (much larger) pipeline snapshots.
+impl mfod_persist::Restorable for ThresholdCalibrator {
+    type Snapshot = ThresholdCalibrator;
+
+    fn restore(snapshot: ThresholdCalibrator) -> std::result::Result<Self, String> {
+        Ok(snapshot)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,6 +145,44 @@ mod tests {
             "{}",
             c.threshold()
         );
+    }
+
+    #[test]
+    fn snapshot_roundtrip_and_registry_hot_swap() {
+        let scores: Vec<f64> = (0..50).map(|i| (i as f64 * 0.739).sin() * 3.0).collect();
+        let cal = ThresholdCalibrator::from_scores(&scores, 0.08).unwrap();
+        let bytes = mfod_persist::to_bytes(&cal);
+        let back: ThresholdCalibrator = mfod_persist::from_bytes(&bytes).unwrap();
+        assert_eq!(cal.threshold().to_bits(), back.threshold().to_bits());
+        assert_eq!(
+            cal.contamination().to_bits(),
+            back.contamination().to_bits()
+        );
+        assert_eq!(mfod_persist::to_bytes(&back), bytes);
+        // registry swap: a recalibration replaces the active thresholds
+        let registry = mfod_persist::ModelRegistry::<ThresholdCalibrator>::new();
+        registry.install_bytes(&bytes).unwrap();
+        let recal = ThresholdCalibrator::from_scores(&scores, 0.25).unwrap();
+        registry
+            .install_bytes(&mfod_persist::to_bytes(&recal))
+            .unwrap();
+        assert_eq!(registry.generation(), 2);
+        assert_eq!(
+            registry.active().unwrap().threshold().to_bits(),
+            recal.threshold().to_bits()
+        );
+        // tampered contamination fails decode with a typed error
+        let bad = {
+            let mut w = mfod_persist::Encoder::new();
+            w.put_f64(1.0);
+            w.put_f64(1.5);
+            w.into_bytes()
+        };
+        let mut r = mfod_persist::Decoder::new(&bad);
+        assert!(matches!(
+            <ThresholdCalibrator as mfod_persist::Decode>::decode(&mut r),
+            Err(mfod_persist::PersistError::Malformed(_))
+        ));
     }
 
     #[test]
