@@ -1,22 +1,26 @@
-//! Fit-throughput ratchet: compares a freshly emitted `BENCH_fit.json`
-//! against the checked-in baseline and fails on a regression.
+//! Perf ratchet: compares a freshly emitted bench JSON against the
+//! checked-in baseline and fails on a regression. Dispatches on the
+//! report's `"bench"` field:
 //!
-//! `benches/fit_smoothing.rs` writes a flat JSON report with per-run
-//! wall-clock numbers for the cached (production fit path) and uncached
-//! selection loops. Raw wall-clock is not comparable across machines
-//! (the checked-in baseline and a CI runner are different hardware), so
-//! the enforced metric is **hardware-normalized**: the cached-vs-uncached
-//! speedup measured within one run, where the uncached loop acts as the
-//! machine's own denominator. The gates, in order:
+//! * **`fit_smoothing`** (`BENCH_fit.json`) — the grid-cached selection
+//!   engine. Raw wall-clock is not comparable across machines (the
+//!   checked-in baseline and a CI runner are different hardware), so the
+//!   enforced metric is **hardware-normalized**: the cached-vs-uncached
+//!   speedup measured within one run, where the uncached loop acts as
+//!   the machine's own denominator. Gates, in order: the bit-parity
+//!   field; the cached speedup within tolerance of the baseline's; the
+//!   absolute ≥5× cache contract in full mode. Absolute
+//!   curves-per-millisecond numbers are printed for both files and
+//!   enforced only when `MFOD_RATCHET_ABS=1`.
 //!
-//! 1. the bit-parity field must report `bit-identical`;
-//! 2. the cached speedup must not drop more than the tolerance below the
-//!    baseline's speedup (the fit-throughput ratchet);
-//! 3. in full mode, the absolute ≥5× cache contract must hold.
-//!
-//! Absolute curves-per-millisecond numbers are always printed for both
-//! files and enforced only when `MFOD_RATCHET_ABS=1` (same-machine
-//! comparisons, e.g. a perf investigation against yesterday's artifact).
+//! * **`pool_throughput`** (`BENCH_pool.json`) — the work-stealing
+//!   scheduler. Gates: the bit-parity field always; on machines with
+//!   real parallelism (`hw_threads ≥ 4`) and in full mode, the
+//!   straggler-workload speedup of stealing over the contiguous
+//!   schedule must hold the absolute ≥1.3× contract *and* stay within
+//!   tolerance of the baseline's measured speedup. A baseline recorded
+//!   on a single-core box contributes no relative floor (its ratio is
+//!   noise around 1.0) — the absolute contract still has teeth there.
 //!
 //! Usage: `bench_ratchet <baseline.json> <current.json>`
 //!
@@ -24,17 +28,16 @@
 //! * `MFOD_RATCHET_TOL` — allowed fractional drop (default `0.20`,
 //!   i.e. fail on >20% regression);
 //! * `MFOD_RATCHET_ABS` — set to `1` to also enforce the absolute
-//!   throughput floor.
+//!   fit-throughput floor (same-machine comparisons).
 //!
-//! Refresh `crates/bench/baselines/BENCH_fit.baseline.json` from the CI
-//! `BENCH_fit` artifact after intentional perf changes so the ratchet
-//! keeps teeth.
+//! Refresh `crates/bench/baselines/*.baseline.json` from the CI
+//! artifacts after intentional perf changes so the ratchet keeps teeth.
 
 use std::process::ExitCode;
 
-/// Minimal extractor for the flat JSON `fit_smoothing` emits: finds
-/// `"key":` and parses the literal after it. Good enough for a file this
-//  crate writes itself; anything unparseable fails the ratchet loudly.
+/// Minimal extractor for the flat JSON the benches emit: finds
+/// `"key":` and parses the literal after it. Good enough for files this
+/// crate writes itself; anything unparseable fails the ratchet loudly.
 fn field<'a>(json: &'a str, key: &str) -> Option<&'a str> {
     let needle = format!("\"{key}\":");
     let start = json.find(&needle)? + needle.len();
@@ -55,25 +58,46 @@ fn text(json: &str, key: &str, path: &str) -> Result<String, String> {
         .ok_or_else(|| format!("{path}: missing field \"{key}\""))
 }
 
-struct Report {
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn tolerance() -> f64 {
+    std::env::var("MFOD_RATCHET_TOL")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|t| (0.0..1.0).contains(t))
+        .unwrap_or(0.20)
+}
+
+fn check_parity(json: &str, path: &str) -> Result<(), String> {
+    let parity = text(json, "parity", path)?;
+    if parity != "bit-identical" {
+        return Err(format!(
+            "{path}: parity gate reports '{parity}', expected 'bit-identical'"
+        ));
+    }
+    Ok(())
+}
+
+// ---- fit_smoothing -----------------------------------------------------
+
+struct FitReport {
     curves: f64,
     cached_ms: f64,
     uncached_ms: f64,
     cached_speedup: f64,
-    parity: String,
     smoke: String,
 }
 
-impl Report {
-    fn load(path: &str) -> Result<Self, String> {
-        let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-        Ok(Report {
-            curves: number(&json, "curves", path)?,
-            cached_ms: number(&json, "cached_ms", path)?,
-            uncached_ms: number(&json, "uncached_ms", path)?,
-            cached_speedup: number(&json, "cached_speedup", path)?,
-            parity: text(&json, "parity", path)?,
-            smoke: text(&json, "smoke", path)?,
+impl FitReport {
+    fn load(json: &str, path: &str) -> Result<Self, String> {
+        Ok(FitReport {
+            curves: number(json, "curves", path)?,
+            cached_ms: number(json, "cached_ms", path)?,
+            uncached_ms: number(json, "uncached_ms", path)?,
+            cached_speedup: number(json, "cached_speedup", path)?,
+            smoke: text(json, "smoke", path)?,
         })
     }
 
@@ -87,34 +111,21 @@ impl Report {
     }
 }
 
-fn run() -> Result<(), String> {
-    let args: Vec<String> = std::env::args().collect();
-    let [_, baseline_path, current_path] = args.as_slice() else {
-        return Err(format!(
-            "usage: {} <baseline.json> <current.json>",
-            args.first().map(String::as_str).unwrap_or("bench_ratchet")
-        ));
-    };
-    let tolerance = std::env::var("MFOD_RATCHET_TOL")
-        .ok()
-        .and_then(|v| v.parse::<f64>().ok())
-        .filter(|t| (0.0..1.0).contains(t))
-        .unwrap_or(0.20);
-
-    let baseline = Report::load(baseline_path)?;
-    let current = Report::load(current_path)?;
-
-    if current.parity != "bit-identical" {
-        return Err(format!(
-            "{current_path}: parity gate reports '{}', expected 'bit-identical'",
-            current.parity
-        ));
-    }
+fn ratchet_fit(
+    baseline_json: &str,
+    baseline_path: &str,
+    current_json: &str,
+    current_path: &str,
+) -> Result<(), String> {
+    let tolerance = tolerance();
+    let baseline = FitReport::load(baseline_json, baseline_path)?;
+    let current = FitReport::load(current_json, current_path)?;
+    check_parity(current_json, current_path)?;
 
     // Primary, hardware-normalized gate: the cached-vs-uncached speedup.
     let speedup_floor = baseline.cached_speedup * (1.0 - tolerance);
     println!(
-        "ratchet: cached speedup {:.1}x vs baseline {:.1}x (floor {:.1}x at {:.0}% \
+        "ratchet[fit]: cached speedup {:.1}x vs baseline {:.1}x (floor {:.1}x at {:.0}% \
          tolerance; baseline smoke={}, current smoke={})",
         current.cached_speedup,
         baseline.cached_speedup,
@@ -126,7 +137,7 @@ fn run() -> Result<(), String> {
     let base = baseline.cached_throughput();
     let now = current.cached_throughput();
     println!(
-        "ratchet: cached {now:.2} vs baseline {base:.2} curves/ms; uncached {:.2} vs \
+        "ratchet[fit]: cached {now:.2} vs baseline {base:.2} curves/ms; uncached {:.2} vs \
          baseline {:.2} curves/ms (absolute numbers informational unless \
          MFOD_RATCHET_ABS=1 — different machines tick differently)",
         current.uncached_throughput(),
@@ -156,6 +167,96 @@ fn run() -> Result<(), String> {
              {:.0}% below the baseline {base:.2}",
             tolerance * 100.0
         ));
+    }
+    Ok(())
+}
+
+// ---- pool_throughput ---------------------------------------------------
+
+/// Hardware-thread floor below which a measured scheduler ratio is noise
+/// (must match `benches/pool_throughput.rs`).
+const POOL_MIN_HW_THREADS: f64 = 4.0;
+
+/// The absolute straggler contract of the stealing scheduler.
+const POOL_SPEEDUP_FLOOR: f64 = 1.3;
+
+fn ratchet_pool(
+    baseline_json: &str,
+    baseline_path: &str,
+    current_json: &str,
+    current_path: &str,
+) -> Result<(), String> {
+    let tolerance = tolerance();
+    check_parity(current_json, current_path)?;
+    let current_speedup = number(current_json, "straggler_speedup", current_path)?;
+    let current_hw = number(current_json, "hw_threads", current_path)?;
+    let current_smoke = text(current_json, "smoke", current_path)?;
+    let base_speedup = number(baseline_json, "straggler_speedup", baseline_path)?;
+    let base_hw = number(baseline_json, "hw_threads", baseline_path)?;
+    let base_smoke = text(baseline_json, "smoke", baseline_path)?;
+
+    // A single-core baseline measured ~1.0x by construction, and a
+    // smoke-mode baseline's ratio is single-rep noise on a tiny
+    // workload; only a full-mode baseline with real parallelism
+    // contributes a relative floor.
+    let relative_floor = if base_hw >= POOL_MIN_HW_THREADS && base_smoke != "true" {
+        base_speedup * (1.0 - tolerance)
+    } else {
+        0.0
+    };
+    let floor = relative_floor.max(POOL_SPEEDUP_FLOOR);
+    println!(
+        "ratchet[pool]: straggler speedup {current_speedup:.2}x on {current_hw:.0} hw \
+         threads vs baseline {base_speedup:.2}x on {base_hw:.0} (enforced floor \
+         {floor:.2}x; current smoke={current_smoke})",
+    );
+    if current_smoke == "true" {
+        println!("ratchet[pool]: smoke-mode report — wall-clock gates skipped");
+        return Ok(());
+    }
+    if current_hw < POOL_MIN_HW_THREADS {
+        println!(
+            "ratchet[pool]: {current_hw:.0} hardware thread(s) — schedulers time-slice \
+             one core identically, wall-clock gates skipped (parity gate passed)"
+        );
+        return Ok(());
+    }
+    if current_speedup < floor {
+        return Err(format!(
+            "pool-scheduling regression: straggler speedup {current_speedup:.2}x is below \
+             the enforced floor {floor:.2}x (absolute contract {POOL_SPEEDUP_FLOOR}x, \
+             baseline {base_speedup:.2}x at {:.0}% tolerance)",
+            tolerance * 100.0
+        ));
+    }
+    Ok(())
+}
+
+// ---- driver ------------------------------------------------------------
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, baseline_path, current_path] = args.as_slice() else {
+        return Err(format!(
+            "usage: {} <baseline.json> <current.json>",
+            args.first().map(String::as_str).unwrap_or("bench_ratchet")
+        ));
+    };
+    let baseline_json = read(baseline_path)?;
+    let current_json = read(current_path)?;
+    let kind = text(&current_json, "bench", current_path)?;
+    let baseline_kind = text(&baseline_json, "bench", baseline_path)?;
+    if kind != baseline_kind {
+        return Err(format!(
+            "bench kind mismatch: baseline is '{baseline_kind}', current is '{kind}'"
+        ));
+    }
+    match kind.as_str() {
+        "fit_smoothing" => ratchet_fit(&baseline_json, baseline_path, &current_json, current_path)?,
+        "pool_throughput" => {
+            ratchet_pool(&baseline_json, baseline_path, &current_json, current_path)?
+        }
+        other => return Err(format!("{current_path}: unknown bench kind '{other}'")),
     }
     println!("ratchet: OK");
     Ok(())

@@ -227,8 +227,13 @@ fn outlyingness_over_directions(
     // Stage 2 (parallel): contiguous blocks of directions, each folding
     // its residuals into a per-block partial supremum as it goes, so the
     // transient memory is O(blocks × n) rather than O(directions × n).
+    // The block count follows the pool's stealing granularity
+    // (`task_chunks`, i.e. split-factor × threads) instead of the thread
+    // count, so a block whose directions all degenerate early cannot
+    // leave its thread idle while another grinds through expensive ones —
+    // idle threads steal the remaining blocks.
     let n_dirs = dirs.len();
-    let n_blocks = pool.threads().min(n_dirs).max(1);
+    let n_blocks = pool.task_chunks(n_dirs).max(1);
     let (base, extra) = (n_dirs / n_blocks, n_dirs % n_blocks);
     let mut bounds = Vec::with_capacity(n_blocks + 1);
     let mut start = 0usize;

@@ -61,6 +61,14 @@ impl IsolationForest {
     /// **sequentially**, so each tree's subsample and growth are a pure
     /// function of `(seed, tree index)` — trees are independent and can be
     /// grown on any number of threads with a bit-for-bit identical forest.
+    ///
+    /// Tree growth is the workspace's canonical *straggler* workload —
+    /// tree cost varies with the random split depths, so a contiguous
+    /// per-thread partition of the forest leaves threads idle behind the
+    /// one that drew the deep trees. The pool's work-stealing scheduler
+    /// splits the forest into fine index-ordered sub-chunks instead;
+    /// whichever thread finishes its cheap trees steals the next chunk
+    /// (`benches/pool_throughput.rs` measures the effect).
     pub fn fit_on(&self, pool: &par::Pool, train: &Matrix) -> Result<FittedIsolationForest> {
         validate_features(train, 2)?;
         if self.n_trees == 0 || self.subsample < 2 {

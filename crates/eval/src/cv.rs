@@ -77,11 +77,13 @@ impl KFold {
 }
 
 /// Evaluates `eval(fold_index, train, val)` over pre-computed `folds` on
-/// an explicit worker pool, one task per fold, collecting results **in
-/// fold order** — the parallel drop-in for
-/// `folds.iter().enumerate().map(…).collect()`. Error selection is
-/// deterministic: the earliest failing fold wins, exactly as in the
-/// sequential loop.
+/// an explicit worker pool, collecting results **in fold order** — the
+/// parallel drop-in for `folds.iter().enumerate().map(…).collect()`.
+/// Error selection is deterministic: the earliest failing fold wins,
+/// exactly as in the sequential loop. Folds of unequal cost (they fit on
+/// different training subsets) ride the pool's work-stealing scheduler,
+/// so a cheap fold's thread steals the next one instead of idling behind
+/// an expensive fold.
 pub fn par_eval_folds<T, E, F>(
     pool: &par::Pool,
     folds: &[(Vec<usize>, Vec<usize>)],

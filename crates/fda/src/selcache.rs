@@ -35,8 +35,8 @@ use crate::basis::Basis;
 use crate::datum::FunctionalDatum;
 use crate::error::FdaError;
 use crate::smooth::{
-    diagnostics_from, hat_diagonal, BasisSelector, PenalizedLeastSquares, SelectionCriterion,
-    SelectionResult,
+    fit_scores, hat_diagonal, BasisSelector, FitDiagnostics, PenalizedLeastSquares,
+    SelectionCriterion, SelectionResult,
 };
 use crate::Result;
 use mfod_linalg::{vector, Cholesky, Matrix};
@@ -187,6 +187,16 @@ impl SelectionPlan {
     /// Selects the best candidate for one curve of measurements taken at
     /// the plan's grid — bit-identical to `selector.select(ts, ys)` on
     /// the grid the plan was built for.
+    ///
+    /// The ladder sweep reuses three scratch buffers (`Φᵀy`,
+    /// coefficients, fitted values) across candidates and defers the
+    /// winner's datum and diagnostics materialization to the end, so
+    /// steady-state per-curve selection — the exact-mode streaming hot
+    /// path, one call per (window × channel) — performs no per-candidate
+    /// allocations. The floating-point operations, their order, the
+    /// per-candidate coefficient-finiteness validation and the
+    /// strict-improvement winner rule are unchanged, so results stay
+    /// bit-for-bit identical to the allocating sweep.
     pub fn select(&self, ys: &[f64]) -> Result<SelectionResult> {
         if ys.len() != self.ts.len() {
             return Err(FdaError::LengthMismatch {
@@ -197,35 +207,59 @@ impl SelectionPlan {
         if !vector::all_finite(ys) {
             return Err(FdaError::NonFinite);
         }
-        let mut best: Option<SelectionResult> = None;
-        for cand in &self.candidates {
+        let mut xty = Vec::new();
+        let mut coefs = Vec::new();
+        let mut fitted = Vec::new();
+        let mut best_coefs = Vec::new();
+        // (candidate index, score, rss, loocv, gcv) of the running winner
+        let mut best: Option<(usize, f64, f64, f64, f64)> = None;
+        for (ci, cand) in self.candidates.iter().enumerate() {
             // α = (ΦᵀΦ + λR)⁻¹ Φᵀy through the cached factorization: the
             // identical solve the uncached fit performs, minus the O(L³)
             // re-factorization and O(mL²) hat-diagonal work per curve.
-            let coefs = cand.chol.solve(&cand.phi.tr_matvec(ys));
-            let fitted = cand.phi.matvec(&coefs);
-            let datum = FunctionalDatum::new(Arc::clone(&cand.basis), coefs)?;
-            let diagnostics = diagnostics_from(ys, &fitted, cand.hat_diag.clone(), cand.df);
+            cand.phi.tr_matvec_into(ys, &mut xty);
+            cand.chol.solve_into(&xty, &mut coefs);
+            // the coefficient validation `FunctionalDatum::new` performs,
+            // at the same point in the sweep (the length always matches
+            // the basis by construction)
+            if !vector::all_finite(&coefs) {
+                return Err(FdaError::NonFinite);
+            }
+            cand.phi.matvec_into(&coefs, &mut fitted);
+            let (rss, loocv, gcv) = fit_scores(ys, &fitted, &cand.hat_diag, cand.df);
             let score = match self.selector.criterion {
-                SelectionCriterion::Loocv => diagnostics.loocv,
-                SelectionCriterion::Gcv => diagnostics.gcv,
+                SelectionCriterion::Loocv => loocv,
+                SelectionCriterion::Gcv => gcv,
             };
             if !score.is_finite() {
                 continue;
             }
-            let better = best.as_ref().is_none_or(|b| score < b.score);
+            let better = best.as_ref().is_none_or(|&(_, b, _, _, _)| score < b);
             if better {
-                best = Some(SelectionResult {
-                    datum,
-                    size: cand.size,
-                    lambda: cand.lambda,
-                    score,
-                    diagnostics,
-                });
+                best = Some((ci, score, rss, loocv, gcv));
+                best_coefs.clear();
+                best_coefs.extend_from_slice(&coefs);
             }
         }
-        best.ok_or_else(|| {
-            FdaError::InvalidParameter("no selector candidate produced a valid fit".into())
+        let Some((ci, score, rss, loocv, gcv)) = best else {
+            return Err(FdaError::InvalidParameter(
+                "no selector candidate produced a valid fit".into(),
+            ));
+        };
+        let cand = &self.candidates[ci];
+        let datum = FunctionalDatum::new(Arc::clone(&cand.basis), best_coefs)?;
+        Ok(SelectionResult {
+            datum,
+            size: cand.size,
+            lambda: cand.lambda,
+            score,
+            diagnostics: FitDiagnostics {
+                rss,
+                df: cand.df,
+                loocv,
+                gcv,
+                hat_diag: cand.hat_diag.clone(),
+            },
         })
     }
 }

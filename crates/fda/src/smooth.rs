@@ -179,31 +179,35 @@ impl PenalizedLeastSquares {
 }
 
 /// Diagonal of the hat matrix `H = Φ M⁻¹ Φᵀ` without forming `M⁻¹`:
-/// `h_jj = φ_jᵀ (LLᵀ)⁻¹ φ_j = ‖L⁻¹ φ_j‖²`, one O(L²) forward substitution
-/// per observation instead of the former O(L³) explicit inverse.
+/// `h_jj = φ_jᵀ (LLᵀ)⁻¹ φ_j = ‖L⁻¹ φ_j‖²`, computed for **all**
+/// observations in one fused forward-substitution sweep
+/// ([`Cholesky::solve_lower_multi`] on `Φᵀ`) — `L` streams from memory
+/// once per hat diagonal instead of once per observation. Per
+/// observation the operations (ascending-order subtractions, one
+/// division per row, ascending-order sum of squares) are identical to
+/// the former per-column `solve_lower` + dot loop, so the diagonal is
+/// bit-for-bit unchanged.
 ///
 /// Shared by [`PenalizedLeastSquares::fit_with_diagnostics`] and the
 /// y-independent precomputation of [`crate::selcache::SelectionPlan`], so
 /// the planned and unplanned selection paths produce bit-identical
 /// diagnostics.
 pub(crate) fn hat_diagonal(phi: &Matrix, chol: &Cholesky) -> Vec<f64> {
-    (0..phi.nrows())
-        .map(|j| {
-            let z = chol.solve_lower(phi.row(j));
-            vector::dot(&z, &z)
-        })
-        .collect()
+    let z = chol.solve_lower_multi(phi.transpose());
+    let mut h = vec![0.0; phi.nrows()];
+    for i in 0..z.nrows() {
+        for (hj, &v) in h.iter_mut().zip(z.row(i)) {
+            *hj += v * v;
+        }
+    }
+    h
 }
 
-/// RSS / LOOCV / GCV from a fit's residuals and (possibly precomputed)
-/// hat diagonal. `df` must be the sum of `hat_diag` (cached by the
-/// selection plan; recomputed by the direct path with the same sum).
-pub(crate) fn diagnostics_from(
-    ys: &[f64],
-    fitted: &[f64],
-    hat_diag: Vec<f64>,
-    df: f64,
-) -> FitDiagnostics {
+/// RSS / LOOCV / GCV scores of a fit from its residuals and (possibly
+/// precomputed) hat diagonal, without materializing a [`FitDiagnostics`]
+/// — the allocation-free scoring pass [`crate::selcache::SelectionPlan`]
+/// runs once per ladder candidate. `df` must be the sum of `hat_diag`.
+pub(crate) fn fit_scores(ys: &[f64], fitted: &[f64], hat_diag: &[f64], df: f64) -> (f64, f64, f64) {
     let m = ys.len();
     let mut rss = 0.0;
     let mut loocv = 0.0;
@@ -217,6 +221,19 @@ pub(crate) fn diagnostics_from(
     }
     let denom = (m as f64 - df).max(1e-10);
     let gcv = m as f64 * rss / (denom * denom);
+    (rss, loocv, gcv)
+}
+
+/// RSS / LOOCV / GCV from a fit's residuals and (possibly precomputed)
+/// hat diagonal. `df` must be the sum of `hat_diag` (cached by the
+/// selection plan; recomputed by the direct path with the same sum).
+pub(crate) fn diagnostics_from(
+    ys: &[f64],
+    fitted: &[f64],
+    hat_diag: Vec<f64>,
+    df: f64,
+) -> FitDiagnostics {
+    let (rss, loocv, gcv) = fit_scores(ys, fitted, &hat_diag, df);
     FitDiagnostics {
         rss,
         df,

@@ -123,16 +123,23 @@ impl Cholesky {
     /// # Panics
     /// Panics if `b.len() != dim()`.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut y = Vec::new();
+        self.solve_into(b, &mut y);
+        y
+    }
+
+    /// [`Cholesky::solve`] into a caller-owned buffer (cleared and
+    /// refilled), so repeated solves — e.g. one per selection-ladder
+    /// candidate per curve — reuse a single allocation.
+    ///
+    /// # Panics
+    /// Panics if `b.len() != dim()`.
+    pub fn solve_into(&self, b: &[f64], y: &mut Vec<f64>) {
         let n = self.dim();
         assert_eq!(b.len(), n, "cholesky solve dimension mismatch");
-        // forward substitution L y = b
-        let mut y = b.to_vec();
-        for i in 0..n {
-            for k in 0..i {
-                y[i] -= self.l[(i, k)] * y[k];
-            }
-            y[i] /= self.l[(i, i)];
-        }
+        y.clear();
+        y.extend_from_slice(b);
+        self.forward_sub(y);
         // backward substitution Lᵀ x = y
         for i in (0..n).rev() {
             for k in (i + 1)..n {
@@ -140,7 +147,22 @@ impl Cholesky {
             }
             y[i] /= self.l[(i, i)];
         }
-        y
+    }
+
+    /// In-place forward substitution `L y = y`, walking each factor row
+    /// as a contiguous slice (the same subtractions in the same ascending
+    /// order as indexed access).
+    fn forward_sub(&self, y: &mut [f64]) {
+        let n = self.dim();
+        let data = self.l.as_slice();
+        for i in 0..n {
+            let row = &data[i * n..i * n + i];
+            let mut yi = y[i];
+            for (k, &lik) in row.iter().enumerate() {
+                yi -= lik * y[k];
+            }
+            y[i] = yi / data[i * n + i];
+        }
     }
 
     /// Solves `A X = B` column-by-column.
@@ -180,14 +202,70 @@ impl Cholesky {
     /// # Panics
     /// Panics if `b.len() != dim()`.
     pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+        let mut y = Vec::new();
+        self.solve_lower_into(b, &mut y);
+        y
+    }
+
+    /// [`Cholesky::solve_lower`] into a caller-owned buffer (cleared and
+    /// refilled).
+    ///
+    /// # Panics
+    /// Panics if `b.len() != dim()`.
+    pub fn solve_lower_into(&self, b: &[f64], y: &mut Vec<f64>) {
+        assert_eq!(
+            b.len(),
+            self.dim(),
+            "cholesky solve_lower dimension mismatch"
+        );
+        y.clear();
+        y.extend_from_slice(b);
+        self.forward_sub(y);
+    }
+
+    /// Solves `L Y = B` for **every column of `B` in one fused sweep**:
+    /// the forward substitution walks the factor rows once, applying each
+    /// `L_ik` to a whole row of right-hand sides, so `L` is streamed from
+    /// memory once per sweep instead of once per column.
+    ///
+    /// Per column the operations — subtractions in ascending `k` order,
+    /// then one division — are identical to [`Cholesky::solve_lower`] on
+    /// that column, so the result is bit-for-bit the column-by-column
+    /// loop. This is the kernel behind hat-matrix diagonals
+    /// (`h_jj = ‖L⁻¹φ_j‖²` for all observations at once).
+    ///
+    /// Takes `b` by value and solves **in place** in its buffer — callers
+    /// that build the right-hand sides fresh (e.g. a transposed design
+    /// matrix) hand the matrix over without a second full-size copy;
+    /// clone at the call site to keep the original.
+    ///
+    /// # Panics
+    /// Panics if `b.nrows() != dim()`.
+    pub fn solve_lower_multi(&self, b: Matrix) -> Matrix {
         let n = self.dim();
-        assert_eq!(b.len(), n, "cholesky solve_lower dimension mismatch");
-        let mut y = b.to_vec();
+        assert_eq!(
+            b.nrows(),
+            n,
+            "cholesky solve_lower_multi dimension mismatch"
+        );
+        let mut y = b;
+        let width = y.ncols();
+        let data = self.l.as_slice();
         for i in 0..n {
-            for k in 0..i {
-                y[i] -= self.l[(i, k)] * y[k];
+            let lrow = &data[i * n..i * n + i];
+            // split so row i is mutable while rows 0..i are read
+            let (solved, rest) = y.as_mut_slice().split_at_mut(i * width);
+            let yrow = &mut rest[..width];
+            for (k, &lik) in lrow.iter().enumerate() {
+                let yk = &solved[k * width..(k + 1) * width];
+                for (yi, &ykc) in yrow.iter_mut().zip(yk) {
+                    *yi -= lik * ykc;
+                }
             }
-            y[i] /= self.l[(i, i)];
+            let d = data[i * n + i];
+            for yi in yrow.iter_mut() {
+                *yi /= d;
+            }
         }
         y
     }
@@ -331,6 +409,31 @@ mod tests {
         // det = (2*1*3)² = 36
         let c = Cholesky::new(&spd3()).unwrap();
         assert!((c.log_det() - 36.0_f64.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn solve_lower_multi_is_bit_identical_to_columnwise() {
+        let c = Cholesky::new(&spd3()).unwrap();
+        // 5 columns exercise both the blocked width and odd shapes
+        let b = Matrix::from_fn(3, 5, |i, j| ((i * 7 + j * 3) as f64 * 0.37).sin());
+        let fused = c.solve_lower_multi(b.clone());
+        for j in 0..b.ncols() {
+            let col = c.solve_lower(&b.col(j));
+            for i in 0..3 {
+                assert_eq!(
+                    fused[(i, j)].to_bits(),
+                    col[i].to_bits(),
+                    "column {j} row {i}"
+                );
+            }
+        }
+        // the into-variants reuse buffers without changing results
+        let mut buf = vec![9.0; 17];
+        c.solve_lower_into(&b.col(2), &mut buf);
+        assert_eq!(buf, c.solve_lower(&b.col(2)));
+        let mut buf2 = Vec::new();
+        c.solve_into(&b.col(1), &mut buf2);
+        assert_eq!(buf2, c.solve(&b.col(1)));
     }
 
     #[test]

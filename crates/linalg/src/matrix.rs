@@ -184,7 +184,16 @@ impl Matrix {
             .expect("matmul dimension mismatch")
     }
 
-    /// Fallible matrix product.
+    /// Fallible matrix product — a register-blocked i-k-j kernel.
+    ///
+    /// Four output rows are accumulated per pass, so each row of `other`
+    /// is loaded from memory once per *four* rows of `self` instead of
+    /// once per row, and the four independent accumulation chains give
+    /// the CPU instruction-level parallelism. Every output element is
+    /// still accumulated by exactly one `+= a·b` per `k`, in ascending
+    /// `k` order, with zero `a` entries skipped per row — the identical
+    /// floating-point operations of the unblocked kernel, so results are
+    /// bit-for-bit unchanged.
     pub fn checked_matmul(&self, other: &Matrix) -> Result<Matrix> {
         if self.cols != other.rows {
             return Err(LinalgError::DimensionMismatch {
@@ -193,34 +202,111 @@ impl Matrix {
                 rhs: other.shape(),
             });
         }
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        // i-k-j loop order: the inner loop walks contiguous rows of `other`
-        // and `out`, which is considerably faster than the naive i-j-k order.
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(i, k)];
+        let (m, kk, nn) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, nn);
+        if m == 0 || kk == 0 || nn == 0 {
+            return Ok(out);
+        }
+        let mut out_rows = out.data.chunks_exact_mut(nn);
+        let mut i = 0;
+        while i + 4 <= m {
+            let (o0, o1, o2, o3) = (
+                out_rows.next().expect("row count"),
+                out_rows.next().expect("row count"),
+                out_rows.next().expect("row count"),
+                out_rows.next().expect("row count"),
+            );
+            let (r0, r1, r2, r3) = (
+                self.row(i),
+                self.row(i + 1),
+                self.row(i + 2),
+                self.row(i + 3),
+            );
+            for k in 0..kk {
+                let (a0, a1, a2, a3) = (r0[k], r1[k], r2[k], r3[k]);
+                let brow = other.row(k);
+                if a0 != 0.0 && a1 != 0.0 && a2 != 0.0 && a3 != 0.0 {
+                    // dense fast path: one load of `brow[j]` feeds four
+                    // separate accumulations (one add per output, as in
+                    // the scalar kernel)
+                    for (j, &b) in brow.iter().enumerate() {
+                        o0[j] += a0 * b;
+                        o1[j] += a1 * b;
+                        o2[j] += a2 * b;
+                        o3[j] += a3 * b;
+                    }
+                } else {
+                    // preserve the per-row zero skip exactly
+                    for (a, o) in [
+                        (a0, &mut *o0),
+                        (a1, &mut *o1),
+                        (a2, &mut *o2),
+                        (a3, &mut *o3),
+                    ] {
+                        if a != 0.0 {
+                            crate::vector::axpy(a, brow, o);
+                        }
+                    }
+                }
+            }
+            i += 4;
+        }
+        for (o, row) in out_rows.by_ref().zip(i..m) {
+            let r = self.row(row);
+            for k in 0..kk {
+                let a = r[k];
                 if a == 0.0 {
                     continue;
                 }
-                let orow = other.row(k);
-                let out_row = out.row_mut(i);
-                for (o, &b) in out_row.iter_mut().zip(orow.iter()) {
-                    *o += a * b;
-                }
+                crate::vector::axpy(a, other.row(k), o);
             }
         }
         Ok(out)
     }
 
-    /// Matrix-vector product `self * v`.
+    /// Matrix-vector product `self * v` — a register-blocked kernel: four
+    /// rows share each load of `v`, each row's dot product still
+    /// accumulating sequentially in ascending column order, so the result
+    /// is bit-identical to a per-row [`crate::vector::dot`] loop.
     ///
     /// # Panics
     /// Panics if `v.len() != ncols`.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.matvec_into(v, &mut out);
+        out
+    }
+
+    /// [`Matrix::matvec`] into a caller-owned buffer (cleared and
+    /// refilled), so steady-state batch scoring reuses one allocation.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != ncols`.
+    pub fn matvec_into(&self, v: &[f64], out: &mut Vec<f64>) {
         assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
-        (0..self.rows)
-            .map(|i| crate::vector::dot(self.row(i), v))
-            .collect()
+        out.clear();
+        out.reserve(self.rows);
+        let mut i = 0;
+        while i + 4 <= self.rows {
+            let (r0, r1, r2, r3) = (
+                self.row(i),
+                self.row(i + 1),
+                self.row(i + 2),
+                self.row(i + 3),
+            );
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+            for (k, &vk) in v.iter().enumerate() {
+                s0 += r0[k] * vk;
+                s1 += r1[k] * vk;
+                s2 += r2[k] * vk;
+                s3 += r3[k] * vk;
+            }
+            out.extend_from_slice(&[s0, s1, s2, s3]);
+            i += 4;
+        }
+        for row in i..self.rows {
+            out.push(crate::vector::dot(self.row(row), v));
+        }
     }
 
     /// Transposed matrix-vector product `selfᵀ * v`.
@@ -228,8 +314,20 @@ impl Matrix {
     /// # Panics
     /// Panics if `v.len() != nrows`.
     pub fn tr_matvec(&self, v: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.tr_matvec_into(v, &mut out);
+        out
+    }
+
+    /// [`Matrix::tr_matvec`] into a caller-owned buffer (cleared and
+    /// refilled).
+    ///
+    /// # Panics
+    /// Panics if `v.len() != nrows`.
+    pub fn tr_matvec_into(&self, v: &[f64], out: &mut Vec<f64>) {
         assert_eq!(v.len(), self.rows, "tr_matvec dimension mismatch");
-        let mut out = vec![0.0; self.cols];
+        out.clear();
+        out.resize(self.cols, 0.0);
         for i in 0..self.rows {
             let vi = v[i];
             if vi == 0.0 {
@@ -239,25 +337,32 @@ impl Matrix {
                 *o += vi * a;
             }
         }
-        out
     }
 
-    /// Computes the Gram matrix `selfᵀ * self` exploiting symmetry.
+    /// Computes the Gram matrix `selfᵀ * self` exploiting symmetry (only
+    /// the upper triangle is accumulated, then mirrored) and the zero
+    /// patterns of banded designs such as B-spline evaluations (zero row
+    /// entries contribute nothing and are skipped).
     pub fn gram(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.cols);
+        let n = self.cols;
+        let mut out = Matrix::zeros(n, n);
         for i in 0..self.rows {
             let r = self.row(i);
-            for j in 0..self.cols {
+            for j in 0..n {
                 let a = r[j];
                 if a == 0.0 {
                     continue;
                 }
-                for k in j..self.cols {
-                    out[(j, k)] += a * r[k];
+                // contiguous row-slice accumulation over k in j..n — the
+                // same adds in the same order as indexed access, without
+                // re-deriving `j*n + k` per element
+                let orow = &mut out.data[j * n + j..(j + 1) * n];
+                for (o, &rk) in orow.iter_mut().zip(&r[j..]) {
+                    *o += a * rk;
                 }
             }
         }
-        for j in 0..self.cols {
+        for j in 0..n {
             for k in 0..j {
                 out[(j, k)] = out[(k, j)];
             }
@@ -492,6 +597,62 @@ mod tests {
         let explicit = a.transpose().matmul(&a);
         assert!(g.sub(&explicit).max_abs() < 1e-12);
         assert!(g.asymmetry() == 0.0);
+    }
+
+    #[test]
+    fn blocked_kernels_are_bit_identical_to_scalar_reference() {
+        // The register-blocked matmul/matvec must execute the identical
+        // floating-point operations as the unblocked i-k-j kernel with
+        // per-row zero skips — including shapes that exercise the 4-row
+        // blocks, the remainder rows, and zero entries (B-spline designs
+        // are banded, so the skip path is the common case).
+        for &(m, k, n) in &[(1, 3, 2), (4, 4, 4), (5, 3, 7), (9, 6, 5), (12, 8, 1)] {
+            let a = Matrix::from_fn(m, k, |i, j| {
+                if (i + 2 * j) % 3 == 0 {
+                    0.0
+                } else {
+                    ((i * 31 + j * 17) as f64 * 0.61).sin()
+                }
+            });
+            let b = Matrix::from_fn(k, n, |i, j| ((i * 13 + j * 7) as f64 * 0.37).cos());
+            // scalar reference: i-k-j with the per-row zero skip
+            let mut reference = Matrix::zeros(m, n);
+            for i in 0..m {
+                for kk in 0..k {
+                    let av = a[(i, kk)];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    for j in 0..n {
+                        reference[(i, j)] += av * b[(kk, j)];
+                    }
+                }
+            }
+            let blocked = a.matmul(&b);
+            for i in 0..m {
+                for j in 0..n {
+                    assert_eq!(
+                        blocked[(i, j)].to_bits(),
+                        reference[(i, j)].to_bits(),
+                        "matmul ({m}x{k})·({k}x{n}) at ({i},{j})"
+                    );
+                }
+            }
+            // matvec: per-row sequential dot is the reference
+            let v: Vec<f64> = (0..k).map(|j| ((j * 5) as f64 * 0.29).sin()).collect();
+            let blocked_v = a.matvec(&v);
+            for i in 0..m {
+                assert_eq!(
+                    blocked_v[i].to_bits(),
+                    crate::vector::dot(a.row(i), &v).to_bits(),
+                    "matvec row {i}"
+                );
+            }
+            // and the into-variant reuses a dirty buffer unchanged
+            let mut buf = vec![99.0; 2];
+            a.matvec_into(&v, &mut buf);
+            assert_eq!(buf, blocked_v);
+        }
     }
 
     #[test]

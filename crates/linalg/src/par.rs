@@ -1,21 +1,43 @@
-//! Deterministic data parallelism on a **persistent worker pool**.
+//! Deterministic data parallelism on a **persistent worker pool** with
+//! fine-grained, index-ordered task splitting and work stealing.
 //!
 //! The workspace builds without external crates, so this module provides
 //! the small slice of a rayon-style API the hot paths need: map an index
-//! range across threads in contiguous chunks and reassemble the results
-//! **in order**. Chunked splitting keeps per-item results exactly where a
-//! sequential loop would put them, which is what lets callers (batch
-//! scoring, micro-batching, parallel fitting) guarantee bit-for-bit
-//! parity with their sequential counterparts.
+//! range across threads and reassemble the results **in order**.
+//!
+//! ## Scheduling model
+//!
+//! Every map call pre-splits its index range `0..n` into small contiguous
+//! **sub-chunks** — many more than there are threads — and pushes them
+//! onto one shared deque in index order. Idle workers (and the calling
+//! thread, while it waits) steal the next sub-chunk from the front of the
+//! deque, so a thread that lands on cheap items immediately pulls more
+//! work while a thread stuck on an expensive item keeps only that one
+//! sub-chunk. This is what keeps unbalanced workloads — variable-depth
+//! isolation-forest trees, CV folds of different cost, mixed-grid
+//! selection fan-outs — from straggling on the one thread whose
+//! contiguous share happened to contain the expensive items.
+//!
+//! The **split factor** (sub-chunks per thread per job) is derived purely
+//! from the item count and the pool size — never from timing — so the
+//! schedule is a pure function of `(n, threads, split)`:
+//!
+//! ```text
+//! sub_chunks(n) = min(n, threads × split)      // split = MFOD_SPLIT or 8
+//! ```
+//!
+//! [`Pool::try_map_contiguous`] keeps the previous one-chunk-per-thread
+//! schedule; it has the lowest per-item overhead and is the reference
+//! point `benches/pool_throughput.rs` measures the stealing scheduler
+//! against.
 //!
 //! ## Runtime model
 //!
-//! A [`Pool`] owns long-lived worker threads fed from one shared FIFO
-//! queue. The free functions [`par_map`] / [`par_try_map`] run on a
-//! global pool that is lazily created on first use and sized to
+//! A [`Pool`] owns long-lived worker threads fed from one shared deque.
+//! The free functions [`par_map`] / [`par_try_map`] run on a global pool
+//! that is lazily created on first use and sized to
 //! [`configured_threads`], so every call site in the workspace shares one
-//! set of workers and pays **no thread-spawn cost per call** — the price
-//! that previously made small micro-batches as expensive as large ones.
+//! set of workers and pays **no thread-spawn cost per call**.
 //! [`Pool::with_threads`] builds an explicitly sized private pool for
 //! tests and benchmarks.
 //!
@@ -31,33 +53,36 @@
 //! 3. [`max_threads`] (`available_parallelism`).
 //!
 //! `MFOD_THREADS=1` turns every global-pool call site into the exact
-//! sequential loop — useful for debugging and for pinning serving
-//! deployments that co-locate other CPU-bound work.
+//! sequential loop. The split factor is resolved the same way from
+//! `MFOD_SPLIT` ([`SPLIT_ENV`]) at pool creation; [`Pool::with_config`]
+//! pins it explicitly.
 //!
 //! ## Determinism contract
 //!
 //! For a pure `f`, `pool.try_map(n, f)` returns exactly
 //! `(0..n).map(f).collect()` — element for element, bit for bit —
-//! regardless of the pool's thread count, because every index is mapped
-//! independently and chunk results are reassembled in index order. The
-//! *first* failure in index order wins (running chunks are not cancelled,
-//! so this is deterministic-error selection, not fail-fast).
+//! regardless of the pool's thread count **and** split factor, because
+//! every index is mapped independently and sub-chunk results are
+//! reassembled strictly in index order. Which thread stole which
+//! sub-chunk affects wall-clock time only, never the output. The *first*
+//! failure in index order wins (running sub-chunks are not cancelled, so
+//! this is deterministic-error selection, not fail-fast).
 //!
 //! ## Panic behavior
 //!
-//! A panicking closure does not poison the pool: the worker catches the
-//! unwind, the remaining chunks finish, and the **original panic payload**
-//! is re-raised on the calling thread via [`std::panic::resume_unwind`].
-//! When both a panic and an `Err` occur, the one in the earlier chunk
-//! (lower index range) is reported, matching what a sequential loop would
-//! have hit first.
+//! A panicking closure does not poison the pool: the stealing worker
+//! catches the unwind, the remaining sub-chunks finish, and the
+//! **original panic payload** is re-raised on the calling thread via
+//! [`std::panic::resume_unwind`]. When both a panic and an `Err` occur,
+//! the one in the earlier sub-chunk (lower index range) is reported,
+//! matching what a sequential loop would have hit first.
 //!
 //! ## Nesting
 //!
 //! Calls may nest (a mapped closure may itself call [`par_map`], even on
-//! the same pool): a thread that is waiting for its chunks to finish
-//! helps execute queued tasks instead of blocking, so the pool cannot
-//! deadlock on dependency cycles between waiters and queued work.
+//! the same pool): a thread that is waiting for its sub-chunks to finish
+//! steals queued tasks instead of blocking, so the pool cannot deadlock
+//! on dependency cycles between waiters and queued work.
 
 use std::any::Any;
 use std::collections::VecDeque;
@@ -68,6 +93,21 @@ use std::thread::JoinHandle;
 
 /// Environment variable overriding the global pool's thread count.
 pub const THREADS_ENV: &str = "MFOD_THREADS";
+
+/// Environment variable overriding the scheduler's split factor: the
+/// number of steal-able sub-chunks created **per thread** per map call.
+/// Larger values balance rougher workloads at slightly higher queue
+/// overhead; `MFOD_SPLIT=1` reproduces the contiguous one-chunk-per-thread
+/// schedule. Malformed or zero values fall back to [`DEFAULT_SPLIT`].
+pub const SPLIT_ENV: &str = "MFOD_SPLIT";
+
+/// Default sub-chunks per thread per job. Eight keeps the largest
+/// sub-chunk at ~1/(8·threads) of the work — small enough that one
+/// expensive straggler item cannot hold more than its own sub-chunk
+/// hostage, large enough that queue traffic stays negligible next to the
+/// per-item work of the workspace's fan-outs (tree growth, fold fits,
+/// per-sample selection ladders).
+pub const DEFAULT_SPLIT: usize = 8;
 
 /// Hardware thread budget of the machine (`available_parallelism`, with a
 /// safe fallback of 1).
@@ -89,15 +129,26 @@ pub fn configured_threads() -> usize {
     std::env::var(THREADS_ENV)
         .ok()
         .as_deref()
-        .and_then(threads_from_env)
+        .and_then(positive_from_env)
         .unwrap_or_else(max_threads)
 }
 
-/// Parses an `MFOD_THREADS`-style value: a positive integer (surrounding
-/// whitespace tolerated). Returns `None` — meaning "fall back" — for
-/// anything else, so a typo degrades to the hardware default instead of
-/// crashing pool creation.
-fn threads_from_env(raw: &str) -> Option<usize> {
+/// Split factor the global pool will be created with: the [`SPLIT_ENV`]
+/// (`MFOD_SPLIT`) environment variable when set to a positive integer,
+/// [`DEFAULT_SPLIT`] otherwise.
+pub fn configured_split() -> usize {
+    std::env::var(SPLIT_ENV)
+        .ok()
+        .as_deref()
+        .and_then(positive_from_env)
+        .unwrap_or(DEFAULT_SPLIT)
+}
+
+/// Parses an `MFOD_THREADS` / `MFOD_SPLIT`-style value: a positive
+/// integer (surrounding whitespace tolerated). Returns `None` — meaning
+/// "fall back" — for anything else, so a typo degrades to the default
+/// instead of crashing pool creation.
+fn positive_from_env(raw: &str) -> Option<usize> {
     match raw.trim().parse::<usize>() {
         Ok(n) if n >= 1 => Some(n),
         _ => None,
@@ -105,8 +156,8 @@ fn threads_from_env(raw: &str) -> Option<usize> {
 }
 
 /// Applies `f` to every index in `0..n` and collects the results in index
-/// order, splitting the range into contiguous chunks across the global
-/// pool's threads.
+/// order, splitting the range into steal-able sub-chunks across the
+/// global pool's threads.
 ///
 /// Falls back to a plain sequential loop when `n < 2` or only one thread
 /// is available, so small batches pay no synchronization cost.
@@ -134,7 +185,8 @@ static GLOBAL: OnceLock<Pool> = OnceLock::new();
 
 /// The process-wide pool shared by [`par_map`] / [`par_try_map`], created
 /// on first use with [`configured_threads`] threads (the `MFOD_THREADS`
-/// environment variable when set, `available_parallelism` otherwise).
+/// environment variable when set, `available_parallelism` otherwise) and
+/// the [`configured_split`] split factor.
 /// [`Pool::global_with_config`] can pin an explicit size before first use.
 pub fn global() -> &'static Pool {
     GLOBAL.get_or_init(|| Pool::with_threads(configured_threads()))
@@ -162,16 +214,18 @@ impl Shared {
     }
 }
 
-/// A persistent, deterministic worker pool.
+/// A persistent, deterministic worker pool with a work-stealing
+/// scheduler (see the module docs).
 ///
 /// `Pool::with_threads(k)` keeps `k − 1` background workers; the thread
-/// calling [`Pool::map`] / [`Pool::try_map`] always executes the first
-/// chunk itself, so a map call uses at most `k` threads in total and a
-/// 1-thread pool is exactly the sequential loop. Workers are joined when
-/// the pool is dropped.
+/// calling [`Pool::map`] / [`Pool::try_map`] steals sub-chunks alongside
+/// them, so a map call uses at most `k` threads in total and a 1-thread
+/// pool is exactly the sequential loop. Workers are joined when the pool
+/// is dropped.
 pub struct Pool {
     shared: &'static Shared,
     threads: usize,
+    split: usize,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -179,6 +233,7 @@ impl std::fmt::Debug for Pool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Pool")
             .field("threads", &self.threads)
+            .field("split", &self.split)
             .field("workers", &self.workers.len())
             .finish()
     }
@@ -186,10 +241,18 @@ impl std::fmt::Debug for Pool {
 
 impl Pool {
     /// Creates a pool that runs maps on up to `threads` threads (clamped
-    /// to at least 1). `with_threads(1)` spawns no workers and runs every
-    /// map sequentially on the caller — handy as the reference point in
+    /// to at least 1) with the [`configured_split`] split factor.
+    /// `with_threads(1)` spawns no workers and runs every map
+    /// sequentially on the caller — handy as the reference point in
     /// determinism tests and benchmarks.
     pub fn with_threads(threads: usize) -> Pool {
+        Pool::with_config(threads, configured_split())
+    }
+
+    /// Creates a pool with an explicit thread count **and** split factor
+    /// (both clamped to at least 1). `split = 1` reproduces the
+    /// contiguous one-chunk-per-thread schedule on every map call.
+    pub fn with_config(threads: usize, split: usize) -> Pool {
         let threads = threads.max(1);
         // The shared state is leaked so worker threads can borrow it with
         // a 'static lifetime without reference counting in the hot path;
@@ -213,6 +276,7 @@ impl Pool {
         Pool {
             shared,
             threads,
+            split: split.max(1),
             workers,
         }
     }
@@ -221,6 +285,29 @@ impl Pool {
     /// (including the calling thread).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The split factor: steal-able sub-chunks created per thread per map
+    /// call (never derived from timing — see the module docs).
+    pub fn split(&self) -> usize {
+        self.split
+    }
+
+    /// The number of index-ordered sub-chunks a map over `n` items is
+    /// pre-split into: `min(n, threads × split)` (0 for an empty range,
+    /// 1 on a single-thread pool).
+    ///
+    /// Public so that callers which fold per-block partial results
+    /// *manually* (e.g. the projection-depth supremum) can match the
+    /// scheduler's granularity and inherit its straggler resistance.
+    pub fn task_chunks(&self, n: usize) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        if self.threads == 1 {
+            return 1;
+        }
+        n.min(self.threads.saturating_mul(self.split))
     }
 
     /// Initializes the global pool with an explicit thread count,
@@ -250,22 +337,63 @@ impl Pool {
         }
     }
 
-    /// Fallible [`Pool::map`]: reports the first error **in index order**.
-    /// Running chunks are not cancelled — every chunk finishes before the
-    /// error is returned, so error selection is deterministic. A panic in
-    /// `f` is re-raised on the calling thread with its original payload
-    /// once all chunks have finished; the pool stays usable afterwards.
+    /// Infallible [`Pool::try_map_contiguous`].
+    pub fn map_contiguous<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        match self.try_map_contiguous(n, |i| Ok::<T, Never>(f(i))) {
+            Ok(v) => v,
+            Err(never) => match never {},
+        }
+    }
+
+    /// Fallible [`Pool::map`] on the stealing scheduler: the range is
+    /// pre-split into [`Pool::task_chunks`] index-ordered sub-chunks that
+    /// idle threads steal from a shared deque. Reports the first error
+    /// **in index order**. Running sub-chunks are not cancelled — every
+    /// sub-chunk finishes before the error is returned, so error
+    /// selection is deterministic. A panic in `f` is re-raised on the
+    /// calling thread with its original payload once all sub-chunks have
+    /// finished; the pool stays usable afterwards.
     pub fn try_map<T, E, F>(&self, n: usize, f: F) -> Result<Vec<T>, E>
     where
         T: Send,
         E: Send,
         F: Fn(usize) -> Result<T, E> + Sync,
     {
-        let chunks = self.threads.min(n);
-        if chunks <= 1 {
+        self.try_map_chunked(n, self.task_chunks(n), f)
+    }
+
+    /// Fallible map on the **contiguous** schedule: one chunk per thread,
+    /// the PR-2 scheduler. Lowest per-item overhead; optimal for uniform
+    /// per-item cost, straggles on unbalanced workloads (see
+    /// `benches/pool_throughput.rs`). Output and error selection are
+    /// identical to [`Pool::try_map`] — only wall-clock behavior differs.
+    pub fn try_map_contiguous<T, E, F>(&self, n: usize, f: F) -> Result<Vec<T>, E>
+    where
+        T: Send,
+        E: Send,
+        F: Fn(usize) -> Result<T, E> + Sync,
+    {
+        self.try_map_chunked(n, self.threads.min(n), f)
+    }
+
+    /// The shared map driver: splits `0..n` into `chunks` contiguous
+    /// sub-chunks (sized to within one item of each other), queues all
+    /// but the first on the shared deque, runs the first inline, then
+    /// steals until every sub-chunk has finished, and reassembles the
+    /// per-chunk outcomes in index order.
+    fn try_map_chunked<T, E, F>(&self, n: usize, chunks: usize, f: F) -> Result<Vec<T>, E>
+    where
+        T: Send,
+        E: Send,
+        F: Fn(usize) -> Result<T, E> + Sync,
+    {
+        if chunks <= 1 || self.threads == 1 {
             return (0..n).map(f).collect();
         }
-        // Contiguous chunks, sized to within one item of each other.
         let mut bounds = Vec::with_capacity(chunks + 1);
         let (base, extra) = (n / chunks, n % chunks);
         let mut start = 0usize;
@@ -317,9 +445,10 @@ impl Pool {
         let first = run_chunk(0);
         self.help_until(&latch);
 
-        // All chunks have finished; walk them in index order so the first
-        // failure a sequential loop would have hit is the one reported.
-        // Chunk 0's outcome lives on this stack, the rest in the slots.
+        // All sub-chunks have finished; walk them in index order so the
+        // first failure a sequential loop would have hit is the one
+        // reported. Chunk 0's outcome lives on this stack, the rest in
+        // the slots.
         let drained = std::iter::once(first).chain(outcomes.into_iter().skip(1).map(|slot| {
             slot.into_inner()
                 .unwrap_or_else(|poisoned| poisoned.into_inner())
@@ -357,7 +486,7 @@ impl Pool {
         self.shared.work_ready.notify_all();
     }
 
-    /// Waits for `latch` to reach zero, executing queued tasks in the
+    /// Waits for `latch` to reach zero, stealing queued tasks in the
     /// meantime so that nested map calls cannot deadlock: every waiter is
     /// also a worker while there is work to take.
     fn help_until(&self, latch: &Latch) {
@@ -367,8 +496,8 @@ impl Pool {
             }
             match self.shared.pop() {
                 Some(task) => run_task(task),
-                // Queue drained: our chunks are running on other threads;
-                // block until they count the latch down.
+                // Queue drained: our sub-chunks are running on other
+                // threads; block until they count the latch down.
                 None => {
                     if latch.wait_done() {
                         return;
@@ -411,7 +540,7 @@ fn worker_loop(shared: &'static Shared) {
 }
 
 /// Runs one task; by construction tasks catch their own unwinds, but the
-/// extra `catch_unwind` guarantees a worker (or a helping waiter) can
+/// extra `catch_unwind` guarantees a worker (or a stealing waiter) can
 /// never be torn down by a job, whatever a future task type does.
 fn run_task(task: Task) {
     let _ = catch_unwind(AssertUnwindSafe(task));
@@ -425,14 +554,14 @@ fn lock_recovering<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
         .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
-/// Result of one contiguous chunk.
+/// Result of one contiguous sub-chunk.
 enum ChunkOutcome<T, E> {
     Items(Vec<T>),
     Error(E),
     Panicked(Box<dyn Any + Send>),
 }
 
-/// Counts outstanding chunk tasks; waiters block on `done`.
+/// Counts outstanding sub-chunk tasks; waiters block on `done`.
 struct Latch {
     remaining: Mutex<usize>,
     done: Condvar,
@@ -515,11 +644,14 @@ mod tests {
 
     #[test]
     fn first_error_in_index_order_wins() {
-        // Errors at indices 10 and 90 land in different chunks on any
+        // Errors at indices 10 and 90 land in different sub-chunks on any
         // thread count; the reassembly order guarantees index 10 reports.
         let pool = Pool::with_threads(4);
         let r: Result<Vec<usize>, usize> =
             pool.try_map(100, |i| if i == 10 || i == 90 { Err(i) } else { Ok(i) });
+        assert_eq!(r.unwrap_err(), 10);
+        let r: Result<Vec<usize>, usize> =
+            pool.try_map_contiguous(100, |i| if i == 10 || i == 90 { Err(i) } else { Ok(i) });
         assert_eq!(r.unwrap_err(), 10);
     }
 
@@ -527,20 +659,39 @@ mod tests {
     fn reports_at_least_one_thread() {
         assert!(max_threads() >= 1);
         assert!(configured_threads() >= 1);
+        assert!(configured_split() >= 1);
         assert!(global().threads() >= 1);
+        assert!(global().split() >= 1);
     }
 
     #[test]
-    fn env_thread_values_parse_leniently() {
-        assert_eq!(threads_from_env("4"), Some(4));
-        assert_eq!(threads_from_env(" 16 "), Some(16));
-        assert_eq!(threads_from_env("1"), Some(1));
+    fn env_values_parse_leniently() {
+        assert_eq!(positive_from_env("4"), Some(4));
+        assert_eq!(positive_from_env(" 16 "), Some(16));
+        assert_eq!(positive_from_env("1"), Some(1));
         // zero, negatives, junk and empty all fall back
-        assert_eq!(threads_from_env("0"), None);
-        assert_eq!(threads_from_env("-2"), None);
-        assert_eq!(threads_from_env("many"), None);
-        assert_eq!(threads_from_env(""), None);
-        assert_eq!(threads_from_env("4.5"), None);
+        assert_eq!(positive_from_env("0"), None);
+        assert_eq!(positive_from_env("-2"), None);
+        assert_eq!(positive_from_env("many"), None);
+        assert_eq!(positive_from_env(""), None);
+        assert_eq!(positive_from_env("4.5"), None);
+    }
+
+    #[test]
+    fn task_chunks_is_a_pure_function_of_shape() {
+        let pool = Pool::with_config(4, 8);
+        assert_eq!(pool.split(), 8);
+        // capped by the item count…
+        assert_eq!(pool.task_chunks(3), 3);
+        // …and by threads × split
+        assert_eq!(pool.task_chunks(1000), 32);
+        assert_eq!(pool.task_chunks(0), 0);
+        // a 1-thread pool never splits
+        let seq = Pool::with_config(1, 8);
+        assert_eq!(seq.task_chunks(1000), 1);
+        // split = 1 is the contiguous schedule
+        let contiguous = Pool::with_config(4, 1);
+        assert_eq!(contiguous.task_chunks(1000), 4);
     }
 
     #[test]
@@ -558,10 +709,35 @@ mod tests {
         let work = |i: usize| ((i as f64) * 0.6180339887).sin().to_bits();
         let seq: Vec<u64> = (0..257).map(work).collect();
         for threads in [1usize, 2, 3, 8] {
-            let pool = Pool::with_threads(threads);
-            assert_eq!(pool.threads(), threads);
-            assert_eq!(pool.map(257, work), seq, "threads={threads}");
+            for split in [1usize, 2, 8, 33] {
+                let pool = Pool::with_config(threads, split);
+                assert_eq!(pool.threads(), threads);
+                assert_eq!(pool.map(257, work), seq, "threads={threads} split={split}");
+                assert_eq!(pool.map_contiguous(257, work), seq, "threads={threads}");
+            }
         }
+    }
+
+    #[test]
+    fn unbalanced_items_are_bit_identical_to_sequential() {
+        // Exponential per-item cost: the last items dominate, exactly the
+        // shape the stealing scheduler exists for. The *output* must not
+        // care which thread stole what.
+        let work = |i: usize| {
+            let iters = 1usize << (i % 11);
+            let mut acc = i as f64 + 0.5;
+            for _ in 0..iters {
+                acc = (acc * 1.000_000_1).sin().mul_add(0.5, acc * 0.5);
+            }
+            acc.to_bits()
+        };
+        let seq: Vec<u64> = (0..200).map(work).collect();
+        for threads in [2usize, 4, 8] {
+            let pool = Pool::with_threads(threads);
+            assert_eq!(pool.map(200, work), seq, "threads={threads}");
+            assert_eq!(pool.map_contiguous(200, work), seq, "threads={threads}");
+        }
+        assert_eq!(par_map(200, work), seq, "global pool");
     }
 
     #[test]
@@ -599,8 +775,8 @@ mod tests {
     #[test]
     fn earliest_chunk_failure_wins_across_kinds() {
         let pool = Pool::with_threads(4);
-        // Error in an early chunk beats a panic in a late chunk (that is
-        // what a sequential loop would have hit first).
+        // Error in an early sub-chunk beats a panic in a late one (that
+        // is what a sequential loop would have hit first).
         let r: Result<Vec<usize>, &str> = pool.try_map(100, |i| {
             if i == 5 {
                 Err("early error")
@@ -650,8 +826,8 @@ mod tests {
 
     #[test]
     fn global_functions_use_one_shared_pool() {
-        // Nested global calls exercise the help-while-waiting path on the
-        // machine's real pool.
+        // Nested global calls exercise the steal-while-waiting path on
+        // the machine's real pool.
         let out = par_try_map(8, |i| {
             Ok::<_, String>(par_map(8, move |j| i + j).iter().sum::<usize>())
         })

@@ -164,3 +164,106 @@ proptest! {
         prop_assert!((lhs - rhs).abs() < 1e-8 * (1.0 + lhs.abs()));
     }
 }
+
+// ---- work-stealing scheduler invariants --------------------------------
+//
+// The scheduler splits every map into fine index-ordered sub-chunks that
+// idle threads steal; these properties pin the determinism contract on
+// exactly the workload shape stealing exists for — wildly unbalanced
+// per-item cost — across pool sizes 1/2/8 and the global pool, and the
+// panic-payload round-trip while other sub-chunks are mid-steal.
+
+use mfod_linalg::par::{self, Pool};
+
+/// Deliberately unbalanced work: item `i` burns `2^(i % spread)`
+/// iterations of floating-point churn (exponential cost profile), then
+/// returns a value that depends on every iteration — so any scheduling
+/// bug that reorders, drops or duplicates an item changes the bits.
+fn exponential_cost_item(i: usize, spread: u32, salt: f64) -> u64 {
+    let iters = 1u32 << (i as u32 % spread);
+    let mut acc = salt + i as f64;
+    for k in 0..iters {
+        acc = (acc * 1.000_000_3 + k as f64 * 1e-9)
+            .sin()
+            .mul_add(0.5, acc * 0.5);
+    }
+    acc.to_bits()
+}
+
+proptest! {
+    #[test]
+    fn stolen_maps_are_bit_identical_to_sequential(
+        n in 1usize..120,
+        spread in 1u32..12,
+        salt in -10.0..10.0f64,
+    ) {
+        let work = |i: usize| exponential_cost_item(i, spread, salt);
+        let sequential: Vec<u64> = (0..n).map(work).collect();
+        for threads in [1usize, 2, 8] {
+            let pool = Pool::with_threads(threads);
+            prop_assert_eq!(&pool.map(n, work), &sequential);
+            // the contiguous schedule must agree too — scheduling is a
+            // wall-clock decision, never an output decision
+            prop_assert_eq!(&pool.map_contiguous(n, work), &sequential);
+        }
+        prop_assert_eq!(&par::par_map(n, work), &sequential);
+    }
+
+    #[test]
+    fn split_factor_never_changes_outputs(
+        n in 1usize..80,
+        split in 1usize..20,
+        spread in 1u32..10,
+    ) {
+        let work = |i: usize| exponential_cost_item(i, spread, 0.25);
+        let sequential: Vec<u64> = (0..n).map(work).collect();
+        let pool = Pool::with_config(4, split);
+        prop_assert_eq!(&pool.map(n, work), &sequential);
+    }
+
+    #[test]
+    fn earliest_error_wins_under_stealing(
+        n in 2usize..100,
+        bad_a in 0usize..100,
+        bad_b in 0usize..100,
+        spread in 1u32..8,
+    ) {
+        let (bad_a, bad_b) = (bad_a % n, bad_b % n);
+        let first_bad = bad_a.min(bad_b);
+        let work = |i: usize| -> Result<u64, usize> {
+            let bits = exponential_cost_item(i, spread, 1.5);
+            if i == bad_a || i == bad_b { Err(i) } else { Ok(bits) }
+        };
+        for threads in [2usize, 8] {
+            let pool = Pool::with_threads(threads);
+            let got = pool.try_map(n, work);
+            prop_assert_eq!(got.unwrap_err(), first_bad, "threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn panic_payload_round_trips_under_stealing(
+        n in 2usize..80,
+        victim in 0usize..80,
+        payload in 0u64..1_000_000,
+        spread in 1u32..8,
+    ) {
+        let victim = victim % n;
+        let pool = Pool::with_threads(8);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.map(n, |i| {
+                let bits = exponential_cost_item(i, spread, -0.75);
+                if i == victim {
+                    std::panic::panic_any(payload);
+                }
+                bits
+            })
+        }))
+        .expect_err("the panic must surface on the caller");
+        prop_assert_eq!(*caught.downcast::<u64>().expect("payload type"), payload);
+        // the pool survives the panicked job
+        let n_after = n.min(16);
+        let after = pool.map(n_after, |i| i * 3);
+        prop_assert_eq!(after, (0..n_after).map(|i| i * 3).collect::<Vec<_>>());
+    }
+}

@@ -86,6 +86,18 @@ pub struct FittedMappingEnsemble {
 }
 
 impl FittedMappingEnsemble {
+    /// Reassembles an ensemble from restored members (`crate::snapshot`
+    /// validates each member and the non-empty invariant before calling
+    /// this).
+    pub(crate) fn from_members(members: Vec<FittedPipeline>) -> Self {
+        FittedMappingEnsemble { members }
+    }
+
+    /// The fitted member pipelines, in member order.
+    pub fn members(&self) -> &[FittedPipeline] {
+        &self.members
+    }
+
     /// Member labels (`"<detector>(<mapping>)"`), in member order.
     pub fn member_labels(&self) -> Vec<&str> {
         self.members.iter().map(|m| m.label()).collect()

@@ -72,7 +72,7 @@ pub use error::MfodError;
 pub use experiment::{Fig3Config, Fig3Row};
 pub use pipeline::{FeatureTransform, FittedPipeline, GeomOutlierPipeline, PipelineConfig};
 pub use serving::FrozenScorer;
-pub use snapshot::{FrozenScorerSnapshot, PipelineSnapshot};
+pub use snapshot::{EnsembleSnapshot, FrozenScorerSnapshot, PipelineSnapshot};
 pub use tune::NuTuner;
 
 /// Crate-wide `Result` alias.
@@ -98,7 +98,7 @@ pub mod prelude {
         FeatureTransform, FittedPipeline, GeomOutlierPipeline, PipelineConfig,
     };
     pub use crate::serving::FrozenScorer;
-    pub use crate::snapshot::{FrozenScorerSnapshot, PipelineSnapshot};
+    pub use crate::snapshot::{EnsembleSnapshot, FrozenScorerSnapshot, PipelineSnapshot};
     pub use crate::tune::NuTuner;
     pub use mfod_datasets::{
         EcgConfig, EcgSimulator, LabeledDataSet, OutlierType, SplitConfig, TaxonomyConfig,

@@ -354,6 +354,27 @@ pub(crate) fn domain_tol(a: f64, b: f64) -> f64 {
     1e-9 * (b - a).abs().max(1.0)
 }
 
+/// Assembles an `n × m` feature matrix by appending the row `produce(i)`
+/// yields for each sample into one flat buffer sized for the whole batch
+/// up front — no zero-fill pass, no intermediate per-sample matrix.
+/// Shared by the exact ([`FittedPipeline`]) and frozen
+/// (`crate::serving::FrozenScorer`) batch-assembly paths so the idiom
+/// cannot drift between them.
+pub(crate) fn assemble_features<R, E>(
+    n: usize,
+    m: usize,
+    mut produce: impl FnMut(usize) -> std::result::Result<R, E>,
+) -> std::result::Result<Matrix, E>
+where
+    R: AsRef<[f64]>,
+{
+    let mut data = Vec::with_capacity(n * m);
+    for i in 0..n {
+        data.extend_from_slice(produce(i)?.as_ref());
+    }
+    Ok(Matrix::from_vec(n, m, data))
+}
+
 /// Whether observation domain `got` matches `expected` up to
 /// [`domain_tol`].
 pub(crate) fn domains_match(expected: (f64, f64), got: (f64, f64)) -> bool {
@@ -559,15 +580,19 @@ impl FittedPipeline {
 
     /// Smooths, maps and transforms raw samples into the detector's
     /// feature matrix, reusing the training-time transform state.
+    ///
+    /// The matrix is assembled by appending each feature row into one
+    /// flat buffer sized for the whole batch up front — no zero-fill
+    /// pass, no per-sample intermediate matrix — and the per-sample
+    /// selection itself runs through the grid plan's scratch-reusing
+    /// sweep, so steady-state micro-batch scoring performs no
+    /// per-candidate allocations (see `SelectionPlan::select`).
     pub fn features(&self, samples: &[RawSample]) -> Result<Matrix> {
         let grid = self.check_domain(samples)?;
         let plan = self.scoring_plan(samples);
-        let mut out = Matrix::zeros(samples.len(), grid.len());
-        for (i, s) in samples.iter().enumerate() {
-            out.row_mut(i)
-                .copy_from_slice(&self.feature_row(s, &grid, plan.as_deref())?);
-        }
-        Ok(out)
+        assemble_features(samples.len(), grid.len(), |i| {
+            self.feature_row(&samples[i], &grid, plan.as_deref())
+        })
     }
 
     /// Scores raw samples; **higher = more outlying**.
@@ -588,10 +613,8 @@ impl FittedPipeline {
         let rows = mfod_linalg::par::par_try_map(samples.len(), |i| {
             self.feature_row(&samples[i], &grid, plan.as_deref())
         })?;
-        let mut features = Matrix::zeros(samples.len(), grid.len());
-        for (i, row) in rows.iter().enumerate() {
-            features.row_mut(i).copy_from_slice(row);
-        }
+        let features =
+            assemble_features(samples.len(), grid.len(), |i| Ok::<_, MfodError>(&rows[i]))?;
         Ok(self.model.par_score_batch(&features)?)
     }
 

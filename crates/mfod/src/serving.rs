@@ -22,7 +22,6 @@ use crate::error::MfodError;
 use crate::pipeline::FittedPipeline;
 use crate::Result;
 use mfod_fda::{FrozenSmoother, Grid, MultiFunctionalDatum, RawSample};
-use mfod_linalg::Matrix;
 use std::sync::Arc;
 
 /// A [`FittedPipeline`] specialized to a fixed observation grid.
@@ -148,10 +147,9 @@ impl FrozenScorer {
         if samples.is_empty() {
             return Err(MfodError::Pipeline("no samples supplied".into()));
         }
-        let mut features = Matrix::zeros(samples.len(), self.grid.len());
-        for (i, s) in samples.iter().enumerate() {
-            features.row_mut(i).copy_from_slice(&self.feature_row(s)?);
-        }
+        let features = crate::pipeline::assemble_features(samples.len(), self.grid.len(), |i| {
+            self.feature_row(&samples[i])
+        })?;
         Ok(self.pipeline.detector().score_batch(&features)?)
     }
 
@@ -161,10 +159,9 @@ impl FrozenScorer {
             return Err(MfodError::Pipeline("no samples supplied".into()));
         }
         let rows = mfod_linalg::par::par_try_map(samples.len(), |i| self.feature_row(&samples[i]))?;
-        let mut features = Matrix::zeros(samples.len(), self.grid.len());
-        for (i, row) in rows.iter().enumerate() {
-            features.row_mut(i).copy_from_slice(row);
-        }
+        let features = crate::pipeline::assemble_features(samples.len(), self.grid.len(), |i| {
+            Ok::<_, MfodError>(&rows[i])
+        })?;
         Ok(self.pipeline.detector().par_score_batch(&features)?)
     }
 

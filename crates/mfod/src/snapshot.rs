@@ -17,6 +17,7 @@
 //! (the scorer's smoothing operators are re-derived deterministically
 //! from the restored selection; see [`FrozenScorerSnapshot`]).
 
+use crate::ensemble::FittedMappingEnsemble;
 use crate::error::MfodError;
 use crate::pipeline::{FeatureTransform, FittedPipeline, PipelineConfig};
 use crate::serving::FrozenScorer;
@@ -34,6 +35,8 @@ pub const KIND_FITTED_PIPELINE: u32 = 1;
 pub const KIND_FROZEN_SCORER: u32 = 2;
 /// Artifact-kind tag reserved by `mfod-stream` for calibrator files.
 pub const KIND_THRESHOLD_CALIBRATOR: u32 = 3;
+/// Artifact-kind tag of [`EnsembleSnapshot`] files.
+pub const KIND_MAPPING_ENSEMBLE: u32 = 4;
 
 impl Encode for FeatureTransform {
     fn encode(&self, w: &mut Encoder) {
@@ -317,6 +320,93 @@ impl FrozenScorer {
     }
 }
 
+/// The on-disk form of a [`FittedMappingEnsemble`]
+/// (`crate::ensemble`): one [`PipelineSnapshot`] per member, in member
+/// order.
+///
+/// The *unfitted* [`crate::MappingEnsemble`] carries unfitted detector
+/// trait objects with no configuration codec, so — like everywhere else
+/// in the persistence subsystem — it is the **fitted** serving artifact
+/// that persists: a restored ensemble scores without refitting any
+/// member, which is exactly the restart cost the ROADMAP called out.
+#[derive(Debug, Clone)]
+pub struct EnsembleSnapshot {
+    /// Member snapshots, in member order.
+    pub members: Vec<PipelineSnapshot>,
+}
+
+impl Encode for EnsembleSnapshot {
+    fn encode(&self, w: &mut Encoder) {
+        self.members.encode(w);
+    }
+}
+
+impl Decode for EnsembleSnapshot {
+    fn decode(r: &mut Decoder<'_>) -> mfod_persist::Result<Self> {
+        Ok(EnsembleSnapshot {
+            members: Vec::decode(r)?,
+        })
+    }
+}
+
+impl Snapshot for EnsembleSnapshot {
+    const KIND: u32 = KIND_MAPPING_ENSEMBLE;
+    const NAME: &'static str = "mapping-ensemble";
+}
+
+impl EnsembleSnapshot {
+    /// Rebuilds the live ensemble, running every member's full restore
+    /// validation plus the ensemble's own invariant (at least one
+    /// member, exactly like [`crate::MappingEnsemble::fit`] enforces).
+    pub fn restore(self) -> Result<FittedMappingEnsemble> {
+        if self.members.is_empty() {
+            return Err(MfodError::Pipeline(
+                "ensemble snapshot has no members".into(),
+            ));
+        }
+        let members = self
+            .members
+            .into_iter()
+            .map(PipelineSnapshot::restore)
+            .collect::<Result<Vec<_>>>()?;
+        Ok(FittedMappingEnsemble::from_members(members))
+    }
+}
+
+impl Restorable for FittedMappingEnsemble {
+    type Snapshot = EnsembleSnapshot;
+
+    fn restore(snapshot: EnsembleSnapshot) -> std::result::Result<Self, String> {
+        snapshot.restore().map_err(|e| e.to_string())
+    }
+}
+
+impl FittedMappingEnsemble {
+    /// Converts this ensemble into its persistable snapshot form; fails
+    /// with a typed error if any member's stage lacks a snapshot hook.
+    pub fn snapshot(&self) -> Result<EnsembleSnapshot> {
+        Ok(EnsembleSnapshot {
+            members: self
+                .members()
+                .iter()
+                .map(FittedPipeline::snapshot)
+                .collect::<Result<Vec<_>>>()?,
+        })
+    }
+
+    /// Snapshots this ensemble and writes it to `path` atomically.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        Ok(mfod_persist::save(&self.snapshot()?, path)?)
+    }
+
+    /// Loads an ensemble saved with [`FittedMappingEnsemble::save`],
+    /// re-running all member restore validation. The result scores
+    /// bit-identically to the ensemble that was saved.
+    pub fn load(path: &Path) -> Result<FittedMappingEnsemble> {
+        mfod_persist::load::<EnsembleSnapshot>(path)?.restore()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -454,6 +544,95 @@ mod tests {
             &pipeline.score(data.samples()).unwrap(),
             &restored.score(data.samples()).unwrap(),
             "ocsvm(speed)",
+        );
+    }
+
+    #[test]
+    fn ensemble_roundtrip_scores_bit_identically() {
+        use crate::ensemble::MappingEnsemble;
+        let data = ecg(14, 4, 23);
+        let member = |mapping: Arc<dyn mfod_geometry::MappingFunction>| {
+            GeomOutlierPipeline::new(
+                PipelineConfig::fast(),
+                mapping,
+                Arc::new(IsolationForest {
+                    n_trees: 20,
+                    ..Default::default()
+                }),
+            )
+        };
+        let fitted = MappingEnsemble::new()
+            .with_member(member(Arc::new(Curvature)))
+            .with_member(member(Arc::new(Speed)))
+            .fit(data.samples())
+            .unwrap();
+        let bytes = mfod_persist::to_bytes(&fitted.snapshot().unwrap());
+        let snap: EnsembleSnapshot = mfod_persist::from_bytes(&bytes).unwrap();
+        assert_eq!(snap.members.len(), 2);
+        let restored = snap.restore().unwrap();
+        assert_eq!(restored.member_labels(), fitted.member_labels());
+        // no member refits on restore, and the scores are bit-identical
+        let (a, contrib_a) = fitted.score_decomposed(data.samples()).unwrap();
+        let (b, contrib_b) = restored.score_decomposed(data.samples()).unwrap();
+        assert_bits_eq(&a, &b, "ensemble scores");
+        assert_eq!(contrib_a, contrib_b);
+        // re-encode is byte-identical
+        assert_eq!(mfod_persist::to_bytes(&restored.snapshot().unwrap()), bytes);
+        // file helpers + wrong-kind rejection
+        let dir = std::env::temp_dir().join(format!("mfod-ens-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ensemble.mfod");
+        fitted.save(&path).unwrap();
+        let from_file = crate::ensemble::FittedMappingEnsemble::load(&path).unwrap();
+        assert_bits_eq(
+            &a,
+            &from_file.score(data.samples()).unwrap(),
+            "ensemble file roundtrip",
+        );
+        assert!(matches!(
+            FittedPipeline::load(&path),
+            Err(MfodError::Persist(PersistError::WrongKind { .. }))
+        ));
+        // empty member list is rejected
+        assert!(matches!(
+            EnsembleSnapshot { members: vec![] }.restore(),
+            Err(MfodError::Pipeline(_))
+        ));
+        // a tampered member fails the member's own restore validation
+        let mut bad: EnsembleSnapshot = mfod_persist::from_bytes(&bytes).unwrap();
+        bad.members[1].label = "lof(torsion)".into();
+        assert!(matches!(bad.restore(), Err(MfodError::Pipeline(_))));
+        // corruption/truncation is typed, never a panic
+        for n in [0, 7, bytes.len() / 2, bytes.len() - 1] {
+            assert!(mfod_persist::from_bytes::<EnsembleSnapshot>(&bytes[..n]).is_err());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ensemble_registry_hot_swap() {
+        use crate::ensemble::{FittedMappingEnsemble, MappingEnsemble};
+        use mfod_persist::ModelRegistry;
+        let data = ecg(12, 3, 29);
+        let fitted = MappingEnsemble::new()
+            .with_member(GeomOutlierPipeline::new(
+                PipelineConfig::fast(),
+                Arc::new(Curvature),
+                Arc::new(IsolationForest {
+                    n_trees: 15,
+                    ..Default::default()
+                }),
+            ))
+            .fit(data.samples())
+            .unwrap();
+        let reg: ModelRegistry<FittedMappingEnsemble> = ModelRegistry::new();
+        reg.install_bytes(&mfod_persist::to_bytes(&fitted.snapshot().unwrap()))
+            .unwrap();
+        let active = reg.active().unwrap();
+        assert_bits_eq(
+            &fitted.score(data.samples()).unwrap(),
+            &active.score(data.samples()).unwrap(),
+            "registry-restored ensemble",
         );
     }
 

@@ -61,7 +61,7 @@ pub use format::{
     FORMAT_VERSION, MAGIC, SECTION_BODY, SNAPSHOT_EXT,
 };
 pub use hash::{fnv1a64, hash_f64s, Fnv1a};
-pub use registry::{DirLoadReport, ModelRegistry, Restorable};
+pub use registry::{DirLoadReport, ModelRegistry, Restorable, WatchHandle};
 pub use wire::{Decode, Decoder, Encode, Encoder};
 
 /// Crate-wide `Result` alias.
@@ -72,6 +72,6 @@ pub mod prelude {
     pub use crate::error::PersistError;
     pub use crate::format::{from_bytes, load, save, to_bytes, Snapshot};
     pub use crate::hash::{fnv1a64, hash_f64s, Fnv1a};
-    pub use crate::registry::{DirLoadReport, ModelRegistry, Restorable};
+    pub use crate::registry::{DirLoadReport, ModelRegistry, Restorable, WatchHandle};
     pub use crate::wire::{Decode, Decoder, Encode, Encoder};
 }

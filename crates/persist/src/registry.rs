@@ -22,7 +22,8 @@ use crate::format::{from_bytes, Snapshot, SNAPSHOT_EXT};
 use crate::Result;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::Duration;
 
 /// A live artifact that can be rebuilt from its snapshot form.
 ///
@@ -215,6 +216,118 @@ impl<T: Restorable> ModelRegistry<T> {
     }
 }
 
+/// Shared stop flag of a [`WatchHandle`]: the watcher thread waits on the
+/// condvar between polls, so a stop request interrupts the sleep
+/// immediately instead of after the current interval.
+type StopSignal = Arc<(Mutex<bool>, Condvar)>;
+
+/// Handle to a background directory watcher started by
+/// [`ModelRegistry::watch_dir`]. Dropping the handle (or calling
+/// [`WatchHandle::stop`]) signals the watcher thread and joins it.
+pub struct WatchHandle {
+    stop: StopSignal,
+    polls: Arc<AtomicU64>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WatchHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WatchHandle")
+            .field("polls", &self.polls())
+            .field("running", &self.thread.is_some())
+            .finish()
+    }
+}
+
+impl WatchHandle {
+    /// Number of completed `load_dir` sweeps so far (hash-skipped no-op
+    /// polls included; read [`ModelRegistry::generation`] for how many of
+    /// them actually deployed a new model).
+    pub fn polls(&self) -> u64 {
+        self.polls.load(Ordering::Acquire)
+    }
+
+    /// Signals the watcher to stop and joins its thread. Any poll already
+    /// in flight finishes first; a sleeping watcher wakes immediately.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        let Some(thread) = self.thread.take() else {
+            return;
+        };
+        let (flag, signal) = &*self.stop;
+        *flag.lock().unwrap_or_else(|p| p.into_inner()) = true;
+        signal.notify_all();
+        let _ = thread.join();
+    }
+}
+
+impl Drop for WatchHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl<T: Restorable + Send + Sync + 'static> ModelRegistry<T> {
+    /// Starts a background thread that re-runs
+    /// [`ModelRegistry::load_dir`] on `dir` every `interval` — the
+    /// push-free deployment loop: an operator drops a new `*.mfod`
+    /// snapshot into the directory and the next poll hot-swaps it in,
+    /// with no registry call from the serving path.
+    ///
+    /// Polling is cheap in the steady state: an unchanged newest file
+    /// hash-matches the active install and the sweep skips
+    /// decode/restore entirely ([`DirLoadReport::unchanged`]), so
+    /// `generation()` keeps counting real deployments, not polls. Sweep
+    /// errors (e.g. the directory briefly missing during a deploy) are
+    /// swallowed and retried on the next tick — a watcher must survive
+    /// transient filesystem states; malformed snapshot *files* were
+    /// already non-fatal per the `load_dir` contract.
+    ///
+    /// The first poll runs immediately. The returned [`WatchHandle`]
+    /// owns the thread: dropping it stops the watcher.
+    pub fn watch_dir(self: &Arc<Self>, dir: impl Into<PathBuf>, interval: Duration) -> WatchHandle {
+        let dir = dir.into();
+        let registry = Arc::clone(self);
+        let stop: StopSignal = Arc::new((Mutex::new(false), Condvar::new()));
+        let polls = Arc::new(AtomicU64::new(0));
+        let thread = {
+            let stop = Arc::clone(&stop);
+            let polls = Arc::clone(&polls);
+            std::thread::Builder::new()
+                .name("mfod-registry-watch".into())
+                .spawn(move || {
+                    let (flag, signal) = &*stop;
+                    loop {
+                        let _ = registry.load_dir(&dir);
+                        polls.fetch_add(1, Ordering::AcqRel);
+                        let mut stopped = flag.lock().unwrap_or_else(|p| p.into_inner());
+                        while !*stopped {
+                            let (guard, timeout) = signal
+                                .wait_timeout(stopped, interval)
+                                .unwrap_or_else(|p| p.into_inner());
+                            stopped = guard;
+                            if timeout.timed_out() {
+                                break;
+                            }
+                        }
+                        if *stopped {
+                            return;
+                        }
+                    }
+                })
+                .expect("failed to spawn registry watcher")
+        };
+        WatchHandle {
+            stop,
+            polls,
+            thread: Some(thread),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -381,6 +494,54 @@ mod tests {
         // a missing directory is a typed io error
         std::fs::remove_dir_all(&dir).unwrap();
         assert!(matches!(reg.load_dir(&dir), Err(PersistError::Io { .. })));
+    }
+
+    #[test]
+    fn watcher_hot_swaps_new_snapshots_and_stops_cleanly() {
+        let dir = tmpdir("watch");
+        save(&WeightsSnapshot { w: vec![1.0] }, &dir.join("gen-001.mfod")).unwrap();
+        let reg: Arc<ModelRegistry<Weights>> = Arc::new(ModelRegistry::new());
+        let handle = reg.watch_dir(&dir, Duration::from_millis(5));
+        // the first (immediate) poll installs generation 1
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while reg.generation() < 1 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(reg.generation(), 1, "watcher must install the snapshot");
+        assert_eq!(reg.active().unwrap().w, vec![1.0]);
+        // steady-state polls are hash-skipped no-ops
+        let polled = handle.polls();
+        while handle.polls() < polled + 3 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(reg.generation(), 1, "no-op polls must not bump generation");
+        // a new snapshot lands: the next poll hot-swaps, hands-free
+        save(&WeightsSnapshot { w: vec![2.0] }, &dir.join("gen-002.mfod")).unwrap();
+        while reg.generation() < 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(reg.generation(), 2, "watcher must pick up the new file");
+        assert_eq!(reg.active().unwrap().w, vec![2.0]);
+        assert!(format!("{handle:?}").contains("polls"));
+        // stop joins; no further polls land afterwards
+        handle.stop();
+        let polls_after_stop = {
+            // re-create a handle-less count by watching generation: a
+            // third snapshot must NOT be installed once stopped
+            save(&WeightsSnapshot { w: vec![3.0] }, &dir.join("gen-003.mfod")).unwrap();
+            std::thread::sleep(Duration::from_millis(30));
+            reg.generation()
+        };
+        assert_eq!(polls_after_stop, 2, "a stopped watcher must not swap");
+        // a watcher on a missing directory survives and keeps polling
+        let missing = dir.join("not-there");
+        let lost = reg.watch_dir(&missing, Duration::from_millis(5));
+        while lost.polls() < 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(lost.polls() >= 2, "sweep errors must not kill the watcher");
+        drop(lost); // drop also stops
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

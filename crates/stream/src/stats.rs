@@ -48,6 +48,15 @@ impl StatsSnapshot {
             Duration::from_nanos((self.scoring_time.as_nanos() / self.windows as u128) as u64)
         })
     }
+
+    /// Mean windows per flushed micro-batch (`None` before the first
+    /// batch) — the knob the scoring fan-out scales with: each batch is
+    /// split across the worker pool, so larger effective batches give
+    /// the work-stealing scheduler more sub-chunks to balance and
+    /// [`StatsSnapshot::windows_per_sec`] directly observes the win.
+    pub fn mean_batch_size(&self) -> Option<f64> {
+        (self.batches > 0).then(|| self.windows as f64 / self.batches as f64)
+    }
 }
 
 impl StreamStats {
@@ -106,6 +115,8 @@ mod tests {
         let wps = snap.windows_per_sec().unwrap();
         assert!((wps - 2000.0).abs() < 1.0, "wps {wps}");
         assert_eq!(snap.mean_latency().unwrap(), Duration::from_micros(500));
+        assert_eq!(snap.mean_batch_size(), Some(8.0));
+        assert_eq!(StreamStats::new().snapshot().mean_batch_size(), None);
     }
 
     #[test]

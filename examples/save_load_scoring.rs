@@ -84,14 +84,27 @@ fn main() {
         fit_time.as_secs_f64() / load_time.as_secs_f64().max(1e-9)
     );
 
-    // ---- watcher steady state: unchanged files are a no-op -----------
-    // A polling watcher re-runs load_dir on an interval; when nothing new
-    // landed, the sweep hash-matches the active bytes and skips the
-    // decode + restore + swap entirely.
-    let report = registry.load_dir(&dir).unwrap();
-    assert!(report.installed.is_none() && report.unchanged.is_some());
+    // ---- background watcher: polls are no-ops until a file changes ---
+    // `watch_dir` re-runs load_dir on an interval from its own thread;
+    // when nothing new landed, the sweep hash-matches the active bytes
+    // and skips the decode + restore + swap entirely, so hot-swap needs
+    // no operator call at all — just drop a file in the directory.
+    let registry = Arc::new(registry);
+    let watcher = registry.watch_dir(&dir, std::time::Duration::from_millis(10));
+    let polls_before = watcher.polls();
+    let deadline = Instant::now() + std::time::Duration::from_secs(30);
+    while watcher.polls() < polls_before + 2 {
+        assert!(
+            Instant::now() < deadline,
+            "watcher stopped polling within 30s"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
     assert_eq!(registry.generation(), 1);
-    println!("watcher poll: no new snapshot → no-op (generation still 1)");
+    println!(
+        "watcher: {} no-op polls, no new snapshot → generation still 1",
+        watcher.polls()
+    );
 
     // ---- serve, hot-swapping mid-stream ------------------------------
     // First half of the "stream" scores against the reloaded generation;
@@ -101,8 +114,8 @@ fn main() {
     let first_half = in_flight.score(&test.samples()[..half]).unwrap();
 
     // An operator drops a genuinely new generation in (a refit with a
-    // smaller forest) and the registry swaps it atomically — the
-    // in-flight handle is untouched.
+    // smaller forest); the *watcher* notices and swaps it atomically —
+    // the in-flight handle is untouched and nobody called the registry.
     let gen2 = GeomOutlierPipeline::new(
         PipelineConfig::fast(),
         Arc::new(Curvature),
@@ -115,12 +128,21 @@ fn main() {
     .unwrap();
     let snapshot: PipelineSnapshot = gen2.snapshot().unwrap();
     mfod::persist::save(&snapshot, &dir.join("model-002.mfod")).unwrap();
-    let report = registry.load_dir(&dir).unwrap();
-    let (winner, generation) = report.installed.expect("second generation must load");
+    let deadline = Instant::now() + std::time::Duration::from_secs(30);
+    while registry.generation() < 2 {
+        assert!(
+            Instant::now() < deadline,
+            "watcher failed to install model-002 within 30s"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
     println!(
-        "hot-swap: generation {generation} now active ({})",
-        winner.display()
+        "hot-swap: generation {} now active, installed by the watcher \
+         (poll #{}) with no operator call",
+        registry.generation(),
+        watcher.polls()
     );
+    watcher.stop();
 
     // The in-flight stream finishes on the generation it started with…
     let second_half = in_flight.score(&test.samples()[half..]).unwrap();
