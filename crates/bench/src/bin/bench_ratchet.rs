@@ -22,6 +22,13 @@
 //!   on a single-core box contributes no relative floor (its ratio is
 //!   noise around 1.0) — the absolute contract still has teeth there.
 //!
+//! * **`obs_overhead`** (`BENCH_obs.json`) — the `mfod-obs`
+//!   zero-cost-when-disabled contract. Gates: the bit-parity field
+//!   always; in full mode the measured disabled-hook overhead must stay
+//!   ≤2%. The ceiling is absolute — a disabled hook costs the same
+//!   atomic load on every machine — so no hardware-relative floor
+//!   applies.
+//!
 //! Usage: `bench_ratchet <baseline.json> <current.json>`
 //!
 //! Environment:
@@ -232,6 +239,44 @@ fn ratchet_pool(
     Ok(())
 }
 
+// ---- obs_overhead ------------------------------------------------------
+
+/// The absolute disabled-path overhead contract, in percent (must match
+/// `benches/obs_overhead.rs`).
+const OBS_OVERHEAD_CEILING_PCT: f64 = 2.0;
+
+fn ratchet_obs(
+    baseline_json: &str,
+    baseline_path: &str,
+    current_json: &str,
+    current_path: &str,
+) -> Result<(), String> {
+    check_parity(current_json, current_path)?;
+    let current_pct = number(current_json, "overhead_pct", current_path)?;
+    let current_smoke = text(current_json, "smoke", current_path)?;
+    let base_pct = number(baseline_json, "overhead_pct", baseline_path)?;
+    let base_smoke = text(baseline_json, "smoke", baseline_path)?;
+    println!(
+        "ratchet[obs]: disabled-path hook overhead {current_pct:+.2}% vs baseline \
+         {base_pct:+.2}% (ceiling {OBS_OVERHEAD_CEILING_PCT}%; baseline smoke={base_smoke}, \
+         current smoke={current_smoke})"
+    );
+    if current_smoke == "true" {
+        println!("ratchet[obs]: smoke-mode report — wall-clock gate skipped (parity gate passed)");
+        return Ok(());
+    }
+    // The overhead contract is absolute — a disabled hook costs the same
+    // atomic load on every machine, so no hardware-relative floor is
+    // needed. Negative values are timing noise in the caller's favour.
+    if current_pct > OBS_OVERHEAD_CEILING_PCT {
+        return Err(format!(
+            "observability regression: disabled-path hook overhead {current_pct:.2}% \
+             exceeds the {OBS_OVERHEAD_CEILING_PCT}% ceiling"
+        ));
+    }
+    Ok(())
+}
+
 // ---- driver ------------------------------------------------------------
 
 fn run() -> Result<(), String> {
@@ -256,6 +301,7 @@ fn run() -> Result<(), String> {
         "pool_throughput" => {
             ratchet_pool(&baseline_json, baseline_path, &current_json, current_path)?
         }
+        "obs_overhead" => ratchet_obs(&baseline_json, baseline_path, &current_json, current_path)?,
         other => return Err(format!("{current_path}: unknown bench kind '{other}'")),
     }
     println!("ratchet: OK");

@@ -271,6 +271,13 @@ impl FunctionalOutlierScorer for DirOut {
         "dir.out"
     }
 
+    fn snapshot(&self) -> Option<crate::DepthScorerSnapshot> {
+        Some(crate::DepthScorerSnapshot::DirOut {
+            n_directions: self.projection.n_directions,
+            seed: self.projection.seed,
+        })
+    }
+
     fn score(&self, data: &GriddedDataSet) -> Result<Vec<f64>> {
         Ok(self.decompose(data)?.fo)
     }

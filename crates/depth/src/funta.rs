@@ -119,6 +119,10 @@ impl FunctionalOutlierScorer for Funta {
         }
     }
 
+    fn snapshot(&self) -> Option<crate::DepthScorerSnapshot> {
+        Some(crate::DepthScorerSnapshot::Funta { trim: self.trim })
+    }
+
     fn score(&self, data: &GriddedDataSet) -> Result<Vec<f64>> {
         if data.n() < 2 {
             return Err(DepthError::TooFewSamples {

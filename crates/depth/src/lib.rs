@@ -29,11 +29,13 @@ pub mod dirout;
 pub mod error;
 pub mod funta;
 pub mod projection;
+pub mod snapshot;
 
 pub use dataset::GriddedDataSet;
 pub use dirout::{DirOut, DirOutScores};
 pub use error::DepthError;
 pub use funta::Funta;
+pub use snapshot::DepthScorerSnapshot;
 
 /// Crate-wide `Result` alias.
 pub type Result<T> = std::result::Result<T, DepthError>;
@@ -65,5 +67,12 @@ pub trait FunctionalOutlierScorer: Send + Sync {
         let joint = reference.concat(queries)?;
         let scores = self.score(&joint)?;
         Ok(scores[reference.n()..].to_vec())
+    }
+
+    /// The scorer's persistable configuration, when it supports
+    /// snapshots. Defaults to `None` so custom scorers stay valid;
+    /// [`Funta`] and [`DirOut`] override it.
+    fn snapshot(&self) -> Option<DepthScorerSnapshot> {
+        None
     }
 }

@@ -312,9 +312,13 @@ impl BasisSelector {
     /// produces bit-identical selections wherever it is reused, caching
     /// cannot change any result. Build errors are not cached — a failing
     /// `(selector, grid)` pair fails identically on every call.
+    ///
+    /// With `MFOD_OBS=1` (see `mfod-obs`) the cache reports hit / miss /
+    /// eviction counts and plan-build latency to the global recorder.
     pub fn plan_shared(&self, ts: &[f64]) -> Result<Arc<SelectionPlan>> {
         let key = plan_cache_key(self, ts);
         let cache = PLAN_CACHE.get_or_init(Default::default);
+        let obs = mfod_obs::active();
         {
             let mut lru = cache.lock().unwrap_or_else(|p| p.into_inner());
             if let Some(pos) = lru
@@ -324,15 +328,29 @@ impl BasisSelector {
                 let hit = lru.remove(pos).expect("position came from iter");
                 let plan = Arc::clone(&hit.1);
                 lru.push_front(hit);
+                if let Some(m) = obs {
+                    m.plan_cache_hits.add(1);
+                }
                 return Ok(plan);
             }
         }
         // Build outside the lock: plan assembly is the expensive part and
         // a racing duplicate build is merely wasted work, never wrong.
+        let built_at = obs.map(|_| std::time::Instant::now());
         let plan = Arc::new(SelectionPlan::build(self, ts)?);
+        if let (Some(m), Some(t)) = (obs, built_at) {
+            m.plan_cache_misses.add(1);
+            m.plan_build.record_duration(t.elapsed());
+        }
         let mut lru = cache.lock().unwrap_or_else(|p| p.into_inner());
         lru.push_front((key, Arc::clone(&plan)));
-        lru.truncate(PLAN_CACHE_CAPACITY);
+        let over = lru.len().saturating_sub(PLAN_CACHE_CAPACITY);
+        if over > 0 {
+            if let Some(m) = obs {
+                m.plan_cache_evictions.add(over as u64);
+            }
+            lru.truncate(PLAN_CACHE_CAPACITY);
+        }
         Ok(plan)
     }
 }

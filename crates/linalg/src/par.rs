@@ -83,6 +83,18 @@
 //! the same pool): a thread that is waiting for its sub-chunks to finish
 //! steals queued tasks instead of blocking, so the pool cannot deadlock
 //! on dependency cycles between waiters and queued work.
+//!
+//! ## Observability
+//!
+//! With `MFOD_OBS=1` (see `mfod-obs`), every map call records per-map
+//! and per-sub-chunk telemetry into the global recorder: map count,
+//! sub-chunks queued, how many queued sub-chunks the *caller* stole back
+//! versus how many pool workers ran, and queue-wait / run-time
+//! histograms per sub-chunk. Disabled (the default), each site costs one
+//! relaxed atomic load and a predictable branch — no clocks, no
+//! counters — and the schedule itself is never consulted, so enabling
+//! observability cannot change any mapped result (the determinism
+//! contract above is independent of the recorder state).
 
 use std::any::Any;
 use std::collections::VecDeque;
@@ -394,6 +406,11 @@ impl Pool {
         if chunks <= 1 || self.threads == 1 {
             return (0..n).map(f).collect();
         }
+        let obs = mfod_obs::active();
+        if let Some(m) = obs {
+            m.pool_maps.add(1);
+            m.pool_chunks_queued.add((chunks - 1) as u64);
+        }
         let mut bounds = Vec::with_capacity(chunks + 1);
         let (base, extra) = (n / chunks, n % chunks);
         let mut start = 0usize;
@@ -418,6 +435,9 @@ impl Pool {
         };
 
         {
+            // Only resolved when the recorder is on; the disabled path
+            // never reads a clock.
+            let queued_at = obs.map(|_| std::time::Instant::now());
             let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (1..chunks)
                 .map(|c| {
                     let outcomes = &outcomes;
@@ -428,7 +448,14 @@ impl Pool {
                         // outcome were to unwind, so the waiter can never
                         // hang on a lost count.
                         let _guard = CountdownGuard(latch);
+                        if let (Some(m), Some(t)) = (obs, queued_at) {
+                            m.pool_queue_wait.record_duration(t.elapsed());
+                        }
+                        let started = obs.map(|_| std::time::Instant::now());
                         let outcome = run_chunk(c);
+                        if let (Some(m), Some(t)) = (obs, started) {
+                            m.pool_chunk_run.record_duration(t.elapsed());
+                        }
                         *lock_recovering(&outcomes[c]) = Some(outcome);
                     }) as Box<dyn FnOnce() + Send + '_>
                 })
@@ -442,7 +469,11 @@ impl Pool {
             // finished running and dropped its borrows.
             unsafe { self.inject_scoped(tasks) };
         }
+        let started = obs.map(|_| std::time::Instant::now());
         let first = run_chunk(0);
+        if let (Some(m), Some(t)) = (obs, started) {
+            m.pool_chunk_run.record_duration(t.elapsed());
+        }
         self.help_until(&latch);
 
         // All sub-chunks have finished; walk them in index order so the
@@ -495,7 +526,12 @@ impl Pool {
                 return;
             }
             match self.shared.pop() {
-                Some(task) => run_task(task),
+                Some(task) => {
+                    if let Some(m) = mfod_obs::active() {
+                        m.pool_caller_steals.add(1);
+                    }
+                    run_task(task)
+                }
                 // Queue drained: our sub-chunks are running on other
                 // threads; block until they count the latch down.
                 None => {
@@ -535,6 +571,9 @@ fn worker_loop(shared: &'static Shared) {
                 queue = shared.work_ready.wait(queue).unwrap();
             }
         };
+        if let Some(m) = mfod_obs::active() {
+            m.pool_worker_runs.add(1);
+        }
         run_task(task);
     }
 }

@@ -66,7 +66,7 @@ pub mod serving;
 pub mod snapshot;
 pub mod tune;
 
-pub use baselines::DepthBaseline;
+pub use baselines::{DepthBaseline, DepthBaselineSnapshot, FittedDepthBaseline};
 pub use ensemble::{FittedMappingEnsemble, MappingEnsemble};
 pub use error::MfodError;
 pub use experiment::{Fig3Config, Fig3Row};
@@ -90,7 +90,7 @@ pub use mfod_persist as persist;
 
 /// Everything a typical user needs, in one import.
 pub mod prelude {
-    pub use crate::baselines::DepthBaseline;
+    pub use crate::baselines::{DepthBaseline, DepthBaselineSnapshot, FittedDepthBaseline};
     pub use crate::ensemble::{FittedMappingEnsemble, MappingEnsemble};
     pub use crate::error::MfodError;
     pub use crate::experiment::{Fig3Config, Fig3Row};

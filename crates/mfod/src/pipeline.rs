@@ -294,7 +294,10 @@ impl GeomOutlierPipeline {
 
     /// [`GeomOutlierPipeline::fit`] on an explicit worker pool.
     pub fn fit_on(&self, pool: &Pool, train: &[RawSample]) -> Result<FittedPipeline> {
-        let (mut features, votes) = self.raw_features_votes_on(pool, train)?;
+        let (mut features, votes) = {
+            let _span = mfod_obs::SpanTimer::start(mfod_obs::Phase::FitFeatures);
+            self.raw_features_votes_on(pool, train)?
+        };
         let selected = votes
             .into_iter()
             .map(|v| {
@@ -313,7 +316,10 @@ impl GeomOutlierPipeline {
             .collect();
         let cap = self.winsorize_cap(&features);
         self.config.transform.apply(features.as_mut_slice(), cap);
-        let model = self.detector.fit(&features)?;
+        let model = {
+            let _span = mfod_obs::SpanTimer::start(mfod_obs::Phase::FitDetector);
+            self.detector.fit(&features)?
+        };
         Ok(FittedPipeline {
             config: self.config.clone(),
             mapping: Arc::clone(&self.mapping),
@@ -588,6 +594,7 @@ impl FittedPipeline {
     /// sweep, so steady-state micro-batch scoring performs no
     /// per-candidate allocations (see `SelectionPlan::select`).
     pub fn features(&self, samples: &[RawSample]) -> Result<Matrix> {
+        let _span = mfod_obs::SpanTimer::start(mfod_obs::Phase::ScoreFeatures);
         let grid = self.check_domain(samples)?;
         let plan = self.scoring_plan(samples);
         assemble_features(samples.len(), grid.len(), |i| {
@@ -598,6 +605,7 @@ impl FittedPipeline {
     /// Scores raw samples; **higher = more outlying**.
     pub fn score(&self, samples: &[RawSample]) -> Result<Vec<f64>> {
         let features = self.features(samples)?;
+        let _span = mfod_obs::SpanTimer::start(mfod_obs::Phase::ScoreDetector);
         Ok(self.model.score_batch(&features)?)
     }
 
@@ -608,13 +616,16 @@ impl FittedPipeline {
     /// [`FittedPipeline::score`] bit for bit — this is the micro-batching
     /// entry point of `mfod-stream`.
     pub fn par_score(&self, samples: &[RawSample]) -> Result<Vec<f64>> {
-        let grid = self.check_domain(samples)?;
-        let plan = self.scoring_plan(samples);
-        let rows = mfod_linalg::par::par_try_map(samples.len(), |i| {
-            self.feature_row(&samples[i], &grid, plan.as_deref())
-        })?;
-        let features =
-            assemble_features(samples.len(), grid.len(), |i| Ok::<_, MfodError>(&rows[i]))?;
+        let features = {
+            let _span = mfod_obs::SpanTimer::start(mfod_obs::Phase::ScoreFeatures);
+            let grid = self.check_domain(samples)?;
+            let plan = self.scoring_plan(samples);
+            let rows = mfod_linalg::par::par_try_map(samples.len(), |i| {
+                self.feature_row(&samples[i], &grid, plan.as_deref())
+            })?;
+            assemble_features(samples.len(), grid.len(), |i| Ok::<_, MfodError>(&rows[i]))?
+        };
+        let _span = mfod_obs::SpanTimer::start(mfod_obs::Phase::ScoreDetector);
         Ok(self.model.par_score_batch(&features)?)
     }
 

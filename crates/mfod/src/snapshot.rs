@@ -37,6 +37,8 @@ pub const KIND_FROZEN_SCORER: u32 = 2;
 pub const KIND_THRESHOLD_CALIBRATOR: u32 = 3;
 /// Artifact-kind tag of [`EnsembleSnapshot`] files.
 pub const KIND_MAPPING_ENSEMBLE: u32 = 4;
+/// Artifact-kind tag of [`crate::baselines::DepthBaselineSnapshot`] files.
+pub const KIND_DEPTH_BASELINE: u32 = 5;
 
 impl Encode for FeatureTransform {
     fn encode(&self, w: &mut Encoder) {

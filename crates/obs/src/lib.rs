@@ -1,0 +1,51 @@
+//! Workspace-wide runtime observability: lock-free counters and gauges,
+//! log-bucketed latency histograms, and lightweight span timers behind a
+//! process-wide [`Recorder`] that costs one relaxed atomic load and a
+//! predictable branch when disabled.
+//!
+//! # Design
+//!
+//! The crate is split in two layers:
+//!
+//! * **Primitives** ([`Counter`], [`Gauge`], [`Histogram`]) are plain
+//!   lock-free types with no enable gate. Components that always want
+//!   their own counters (e.g. `StreamStats` in `mfod-stream`) embed them
+//!   directly.
+//! * **The global [`Recorder`]** owns one static [`Metrics`] bundle with a
+//!   named slot for every instrumented subsystem (pool, plan cache,
+//!   stream, registry, pipeline phases). Hot paths gate on
+//!   [`active`]`()` — `None` unless observability is enabled — so the
+//!   disabled path never touches a clock or an atomic counter.
+//!
+//! # Enabling
+//!
+//! Observability is off by default. Turn it on with the environment
+//! variable `MFOD_OBS=1` (read once, lazily), or programmatically with
+//! [`Recorder::install`] (tests use this to toggle at runtime; it
+//! overrides the environment). With `MFOD_OBS_JSON=<path>` set, a
+//! [`json_dump_guard`] writes the full [`MetricsSnapshot`] as JSON to
+//! `<path>` when dropped; [`Recorder::dump_json`] does the same on
+//! demand.
+//!
+//! # Determinism
+//!
+//! Histogram bucket boundaries are fixed powers of two, so for a fixed
+//! sequence of recorded values the snapshot — buckets, count, sum, max,
+//! and every quantile — is bit-for-bit reproducible. Wall-clock derived
+//! values (latencies) vary run to run, but the *structure* of a snapshot
+//! and all count-derived fields do not. Instrumentation never influences
+//! computed results: enabling the recorder changes only what is counted,
+//! never what is scored (guarded by bit-parity tests in the workspace
+//! facade).
+
+mod metrics;
+mod recorder;
+mod span;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, HIST_BUCKETS};
+pub use recorder::{
+    active, json_dump_guard, JsonDumpGuard, MetricsSnapshot, PhaseSnapshot, PlanCacheSnapshot,
+    PoolSnapshot, Recorder, RegistrySnapshot, StreamObsSnapshot, ENV_OBS, ENV_OBS_JSON,
+};
+pub use recorder::{Metrics, PhaseSlots};
+pub use span::{Phase, SpanTimer};

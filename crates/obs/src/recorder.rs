@@ -1,0 +1,807 @@
+//! The process-wide recorder: one static bundle of named metric slots,
+//! an enable gate resolved from `MFOD_OBS`, ordered snapshots with
+//! `diff`, a hand-rolled JSON dump and a human-readable report.
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use crate::span::Phase;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::Duration;
+
+/// Environment variable that enables the recorder when set to `1`.
+pub const ENV_OBS: &str = "MFOD_OBS";
+/// Environment variable naming the JSON dump path used by
+/// [`json_dump_guard`] and honoured by [`Recorder::dump_json_to_env`].
+pub const ENV_OBS_JSON: &str = "MFOD_OBS_JSON";
+
+/// Per-phase histogram array (exclusive nanoseconds per span).
+pub type PhaseSlots = [Histogram; Phase::COUNT];
+
+/// Every metric slot the workspace records into, grouped by subsystem.
+/// All slots are const-initialised so the whole bundle lives in one
+/// `static` with zero startup cost.
+#[derive(Debug)]
+pub struct Metrics {
+    // -- mfod_linalg::par::Pool ---------------------------------------
+    /// Parallel map operations issued.
+    pub pool_maps: Counter,
+    /// Sub-chunks handed to the shared injector (excludes the chunk the
+    /// caller runs inline).
+    pub pool_chunks_queued: Counter,
+    /// Queued sub-chunks the *caller* stole back while helping.
+    pub pool_caller_steals: Counter,
+    /// Queued sub-chunks executed by pool workers.
+    pub pool_worker_runs: Counter,
+    /// Nanoseconds a sub-chunk waited between injection and execution.
+    pub pool_queue_wait: Histogram,
+    /// Nanoseconds a sub-chunk spent executing.
+    pub pool_chunk_run: Histogram,
+
+    // -- SelectionPlan cache (mfod_fda) -------------------------------
+    /// Plan-cache lookups that reused a cached plan.
+    pub plan_cache_hits: Counter,
+    /// Plan-cache lookups that had to build a plan.
+    pub plan_cache_misses: Counter,
+    /// Plans evicted by the LRU capacity bound.
+    pub plan_cache_evictions: Counter,
+    /// Nanoseconds spent building selection plans (misses only).
+    pub plan_build: Histogram,
+
+    // -- MicroBatcher / OnlineScorer (mfod_stream) --------------------
+    /// Micro-batches flushed because the batch filled up.
+    pub stream_flush_full: Counter,
+    /// Micro-batches flushed because `max_delay` expired.
+    pub stream_flush_expired: Counter,
+    /// Micro-batches flushed by an explicit `finish`.
+    pub stream_flush_manual: Counter,
+    /// Pending windows dropped (drained unscored) via `take_pending`.
+    pub stream_window_drops: Counter,
+    /// Nanoseconds from the oldest pending window's arrival to its
+    /// flush (batch assembly latency).
+    pub stream_batch_assembly: Histogram,
+    /// Nanoseconds spent scoring one micro-batch end to end.
+    pub stream_batch_score: Histogram,
+
+    // -- ModelRegistry / watch_dir (mfod_persist) ---------------------
+    /// Successful model swaps (`install_*`).
+    pub registry_swaps: Counter,
+    /// Generation of the most recently installed model.
+    pub registry_generation: Gauge,
+    /// Directory sweeps executed (`load_dir`).
+    pub registry_sweeps: Counter,
+    /// Snapshot files rejected across sweeps.
+    pub registry_rejected: Counter,
+    /// Files skipped as byte-identical to the active model.
+    pub registry_unchanged: Counter,
+    /// Nanoseconds per directory sweep.
+    pub registry_sweep_time: Histogram,
+
+    // -- Pipeline phases (mfod) ---------------------------------------
+    /// Exclusive nanoseconds per pipeline phase, indexed by
+    /// [`Phase::index`].
+    pub phases: PhaseSlots,
+}
+
+impl Metrics {
+    const fn new() -> Self {
+        Metrics {
+            pool_maps: Counter::new(),
+            pool_chunks_queued: Counter::new(),
+            pool_caller_steals: Counter::new(),
+            pool_worker_runs: Counter::new(),
+            pool_queue_wait: Histogram::new(),
+            pool_chunk_run: Histogram::new(),
+            plan_cache_hits: Counter::new(),
+            plan_cache_misses: Counter::new(),
+            plan_cache_evictions: Counter::new(),
+            plan_build: Histogram::new(),
+            stream_flush_full: Counter::new(),
+            stream_flush_expired: Counter::new(),
+            stream_flush_manual: Counter::new(),
+            stream_window_drops: Counter::new(),
+            stream_batch_assembly: Histogram::new(),
+            stream_batch_score: Histogram::new(),
+            registry_swaps: Counter::new(),
+            registry_generation: Gauge::new(),
+            registry_sweeps: Counter::new(),
+            registry_rejected: Counter::new(),
+            registry_unchanged: Counter::new(),
+            registry_sweep_time: Histogram::new(),
+            phases: [const { Histogram::new() }; Phase::COUNT],
+        }
+    }
+
+    fn reset(&self) {
+        self.pool_maps.reset();
+        self.pool_chunks_queued.reset();
+        self.pool_caller_steals.reset();
+        self.pool_worker_runs.reset();
+        self.pool_queue_wait.reset();
+        self.pool_chunk_run.reset();
+        self.plan_cache_hits.reset();
+        self.plan_cache_misses.reset();
+        self.plan_cache_evictions.reset();
+        self.plan_build.reset();
+        self.stream_flush_full.reset();
+        self.stream_flush_expired.reset();
+        self.stream_flush_manual.reset();
+        self.stream_window_drops.reset();
+        self.stream_batch_assembly.reset();
+        self.stream_batch_score.reset();
+        self.registry_swaps.reset();
+        self.registry_generation.reset();
+        self.registry_sweeps.reset();
+        self.registry_rejected.reset();
+        self.registry_unchanged.reset();
+        self.registry_sweep_time.reset();
+        for h in &self.phases {
+            h.reset();
+        }
+    }
+}
+
+static METRICS: Metrics = Metrics::new();
+
+const GATE_UNSET: u8 = 0;
+const GATE_ON: u8 = 1;
+const GATE_OFF: u8 = 2;
+
+static GATE: AtomicU8 = AtomicU8::new(GATE_UNSET);
+
+/// The process-wide recorder facade. All state is static; the type only
+/// namespaces the API.
+#[derive(Debug)]
+pub struct Recorder;
+
+impl Recorder {
+    /// Whether recording is enabled. The first call resolves
+    /// [`ENV_OBS`] (`MFOD_OBS=1`); afterwards this is a single relaxed
+    /// load plus a predictable branch — the entire disabled-path cost.
+    #[inline]
+    pub fn enabled() -> bool {
+        match GATE.load(Ordering::Relaxed) {
+            GATE_ON => true,
+            GATE_OFF => false,
+            _ => {
+                let on = std::env::var(ENV_OBS).is_ok_and(|v| v == "1");
+                GATE.store(if on { GATE_ON } else { GATE_OFF }, Ordering::Relaxed);
+                on
+            }
+        }
+    }
+
+    /// Forces the gate on or off, overriding the environment. Tests use
+    /// this to toggle recording at runtime (e.g. the bit-parity and
+    /// overhead checks).
+    pub fn install(enabled: bool) {
+        GATE.store(if enabled { GATE_ON } else { GATE_OFF }, Ordering::Relaxed);
+    }
+
+    /// Unconditional access to the metric slots (reads, tests, span
+    /// recording). Hot paths should gate through [`active`] instead.
+    #[inline]
+    pub fn metrics() -> &'static Metrics {
+        &METRICS
+    }
+
+    /// Zeroes every metric slot. Snapshots taken before a reset are
+    /// unaffected (they are plain copies).
+    pub fn reset() {
+        METRICS.reset();
+    }
+
+    /// Copies every slot into an ordered, diffable snapshot.
+    pub fn snapshot() -> MetricsSnapshot {
+        MetricsSnapshot::capture(&METRICS)
+    }
+
+    /// Writes the current snapshot as JSON to `path`.
+    pub fn dump_json(path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, Self::snapshot().to_json())
+    }
+
+    /// Writes the current snapshot to the path named by
+    /// [`ENV_OBS_JSON`], if set. Returns the path written.
+    pub fn dump_json_to_env() -> std::io::Result<Option<PathBuf>> {
+        match std::env::var_os(ENV_OBS_JSON) {
+            Some(p) if !p.is_empty() => {
+                let path = PathBuf::from(p);
+                Self::dump_json(&path)?;
+                Ok(Some(path))
+            }
+            _ => Ok(None),
+        }
+    }
+}
+
+/// Gate for hot-path instrumentation: `Some(&Metrics)` only when the
+/// recorder is enabled, so disabled call sites cost one load + branch
+/// and never construct an `Instant`.
+///
+/// ```
+/// if let Some(obs) = mfod_obs::active() {
+///     obs.pool_maps.add(1);
+/// }
+/// ```
+#[inline]
+pub fn active() -> Option<&'static Metrics> {
+    Recorder::enabled().then_some(&METRICS)
+}
+
+/// RAII guard returned by [`json_dump_guard`]: on drop, writes the
+/// final snapshot to the [`ENV_OBS_JSON`] path (if set). Dump errors
+/// are swallowed — telemetry must never panic a shutdown path.
+#[derive(Debug)]
+pub struct JsonDumpGuard(());
+
+impl Drop for JsonDumpGuard {
+    fn drop(&mut self) {
+        let _ = Recorder::dump_json_to_env();
+    }
+}
+
+/// Creates a guard that dumps the metrics JSON on drop (typically held
+/// for the lifetime of `main`).
+pub fn json_dump_guard() -> JsonDumpGuard {
+    JsonDumpGuard(())
+}
+
+// ---------------------------------------------------------------------
+// Snapshot
+// ---------------------------------------------------------------------
+
+/// Pool metric snapshot (see the matching [`Metrics`] fields).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PoolSnapshot {
+    pub maps: u64,
+    pub chunks_queued: u64,
+    pub caller_steals: u64,
+    pub worker_runs: u64,
+    pub queue_wait: HistogramSnapshot,
+    pub chunk_run: HistogramSnapshot,
+}
+
+impl PoolSnapshot {
+    /// Fraction of queued sub-chunks the caller stole back (`None`
+    /// until something was queued).
+    pub fn caller_steal_share(&self) -> Option<f64> {
+        (self.chunks_queued > 0).then(|| self.caller_steals as f64 / self.chunks_queued as f64)
+    }
+}
+
+/// Selection-plan cache snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PlanCacheSnapshot {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub build: HistogramSnapshot,
+}
+
+impl PlanCacheSnapshot {
+    /// Hit rate over all lookups (`None` before the first lookup).
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        (total > 0).then(|| self.hits as f64 / total as f64)
+    }
+}
+
+/// Streaming micro-batcher snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StreamObsSnapshot {
+    pub flush_full: u64,
+    pub flush_expired: u64,
+    pub flush_manual: u64,
+    pub window_drops: u64,
+    pub batch_assembly: HistogramSnapshot,
+    pub batch_score: HistogramSnapshot,
+}
+
+/// Model-registry snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RegistrySnapshot {
+    pub swaps: u64,
+    pub generation: u64,
+    pub sweeps: u64,
+    pub rejected: u64,
+    pub unchanged: u64,
+    pub sweep_time: HistogramSnapshot,
+}
+
+/// One pipeline phase's exclusive-time histogram, labelled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseSnapshot {
+    pub phase: Phase,
+    pub exclusive: HistogramSnapshot,
+}
+
+/// A point-in-time copy of every recorder slot. Field order is fixed
+/// and mirrors [`Metrics`], so two snapshots of the same run are
+/// directly comparable and [`MetricsSnapshot::diff`] is well defined.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    pub pool: PoolSnapshot,
+    pub plan_cache: PlanCacheSnapshot,
+    pub stream: StreamObsSnapshot,
+    pub registry: RegistrySnapshot,
+    /// Indexed by [`Phase::index`], in [`Phase::ALL`] order.
+    pub phases: Vec<PhaseSnapshot>,
+}
+
+impl MetricsSnapshot {
+    fn capture(m: &Metrics) -> MetricsSnapshot {
+        MetricsSnapshot {
+            pool: PoolSnapshot {
+                maps: m.pool_maps.get(),
+                chunks_queued: m.pool_chunks_queued.get(),
+                caller_steals: m.pool_caller_steals.get(),
+                worker_runs: m.pool_worker_runs.get(),
+                queue_wait: m.pool_queue_wait.snapshot(),
+                chunk_run: m.pool_chunk_run.snapshot(),
+            },
+            plan_cache: PlanCacheSnapshot {
+                hits: m.plan_cache_hits.get(),
+                misses: m.plan_cache_misses.get(),
+                evictions: m.plan_cache_evictions.get(),
+                build: m.plan_build.snapshot(),
+            },
+            stream: StreamObsSnapshot {
+                flush_full: m.stream_flush_full.get(),
+                flush_expired: m.stream_flush_expired.get(),
+                flush_manual: m.stream_flush_manual.get(),
+                window_drops: m.stream_window_drops.get(),
+                batch_assembly: m.stream_batch_assembly.snapshot(),
+                batch_score: m.stream_batch_score.snapshot(),
+            },
+            registry: RegistrySnapshot {
+                swaps: m.registry_swaps.get(),
+                generation: m.registry_generation.get(),
+                sweeps: m.registry_sweeps.get(),
+                rejected: m.registry_rejected.get(),
+                unchanged: m.registry_unchanged.get(),
+                sweep_time: m.registry_sweep_time.snapshot(),
+            },
+            phases: Phase::ALL
+                .iter()
+                .map(|&p| PhaseSnapshot {
+                    phase: p,
+                    exclusive: m.phases[p.index()].snapshot(),
+                })
+                .collect(),
+        }
+    }
+
+    /// What happened since `earlier`: counters and histogram buckets
+    /// subtract (saturating); the generation gauge and histogram maxima
+    /// keep the later value.
+    pub fn diff(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            pool: PoolSnapshot {
+                maps: self.pool.maps.saturating_sub(earlier.pool.maps),
+                chunks_queued: self
+                    .pool
+                    .chunks_queued
+                    .saturating_sub(earlier.pool.chunks_queued),
+                caller_steals: self
+                    .pool
+                    .caller_steals
+                    .saturating_sub(earlier.pool.caller_steals),
+                worker_runs: self
+                    .pool
+                    .worker_runs
+                    .saturating_sub(earlier.pool.worker_runs),
+                queue_wait: self.pool.queue_wait.diff(&earlier.pool.queue_wait),
+                chunk_run: self.pool.chunk_run.diff(&earlier.pool.chunk_run),
+            },
+            plan_cache: PlanCacheSnapshot {
+                hits: self.plan_cache.hits.saturating_sub(earlier.plan_cache.hits),
+                misses: self
+                    .plan_cache
+                    .misses
+                    .saturating_sub(earlier.plan_cache.misses),
+                evictions: self
+                    .plan_cache
+                    .evictions
+                    .saturating_sub(earlier.plan_cache.evictions),
+                build: self.plan_cache.build.diff(&earlier.plan_cache.build),
+            },
+            stream: StreamObsSnapshot {
+                flush_full: self
+                    .stream
+                    .flush_full
+                    .saturating_sub(earlier.stream.flush_full),
+                flush_expired: self
+                    .stream
+                    .flush_expired
+                    .saturating_sub(earlier.stream.flush_expired),
+                flush_manual: self
+                    .stream
+                    .flush_manual
+                    .saturating_sub(earlier.stream.flush_manual),
+                window_drops: self
+                    .stream
+                    .window_drops
+                    .saturating_sub(earlier.stream.window_drops),
+                batch_assembly: self
+                    .stream
+                    .batch_assembly
+                    .diff(&earlier.stream.batch_assembly),
+                batch_score: self.stream.batch_score.diff(&earlier.stream.batch_score),
+            },
+            registry: RegistrySnapshot {
+                swaps: self.registry.swaps.saturating_sub(earlier.registry.swaps),
+                generation: self.registry.generation,
+                sweeps: self.registry.sweeps.saturating_sub(earlier.registry.sweeps),
+                rejected: self
+                    .registry
+                    .rejected
+                    .saturating_sub(earlier.registry.rejected),
+                unchanged: self
+                    .registry
+                    .unchanged
+                    .saturating_sub(earlier.registry.unchanged),
+                sweep_time: self.registry.sweep_time.diff(&earlier.registry.sweep_time),
+            },
+            phases: self
+                .phases
+                .iter()
+                .zip(&earlier.phases)
+                .map(|(now, then)| PhaseSnapshot {
+                    phase: now.phase,
+                    exclusive: now.exclusive.diff(&then.exclusive),
+                })
+                .collect(),
+        }
+    }
+
+    /// Serialises the snapshot as a stable, hand-rolled JSON object
+    /// (no external dependency; field order matches the struct).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n  \"pool\": {");
+        push_u64(&mut out, "maps", self.pool.maps, true);
+        push_u64(&mut out, "chunks_queued", self.pool.chunks_queued, false);
+        push_u64(&mut out, "caller_steals", self.pool.caller_steals, false);
+        push_u64(&mut out, "worker_runs", self.pool.worker_runs, false);
+        push_hist(&mut out, "queue_wait_ns", &self.pool.queue_wait);
+        push_hist(&mut out, "chunk_run_ns", &self.pool.chunk_run);
+        out.push_str("},\n  \"plan_cache\": {");
+        push_u64(&mut out, "hits", self.plan_cache.hits, true);
+        push_u64(&mut out, "misses", self.plan_cache.misses, false);
+        push_u64(&mut out, "evictions", self.plan_cache.evictions, false);
+        push_hist(&mut out, "build_ns", &self.plan_cache.build);
+        out.push_str("},\n  \"stream\": {");
+        push_u64(&mut out, "flush_full", self.stream.flush_full, true);
+        push_u64(&mut out, "flush_expired", self.stream.flush_expired, false);
+        push_u64(&mut out, "flush_manual", self.stream.flush_manual, false);
+        push_u64(&mut out, "window_drops", self.stream.window_drops, false);
+        push_hist(&mut out, "batch_assembly_ns", &self.stream.batch_assembly);
+        push_hist(&mut out, "batch_score_ns", &self.stream.batch_score);
+        out.push_str("},\n  \"registry\": {");
+        push_u64(&mut out, "swaps", self.registry.swaps, true);
+        push_u64(&mut out, "generation", self.registry.generation, false);
+        push_u64(&mut out, "sweeps", self.registry.sweeps, false);
+        push_u64(&mut out, "rejected", self.registry.rejected, false);
+        push_u64(&mut out, "unchanged", self.registry.unchanged, false);
+        push_hist(&mut out, "sweep_ns", &self.registry.sweep_time);
+        out.push_str("},\n  \"phases\": {");
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    \"{}\": ", p.phase.name());
+            hist_json(&mut out, &p.exclusive);
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Renders a human-readable multi-section report (what
+    /// `examples/observability.rs` prints).
+    pub fn format_report(&self) -> String {
+        let mut r = String::with_capacity(2048);
+        r.push_str("== mfod-obs report ==\n");
+
+        let p = &self.pool;
+        let share = p
+            .caller_steal_share()
+            .map(|s| format!("{:.1}%", 100.0 * s))
+            .unwrap_or_else(|| "n/a".into());
+        let _ = writeln!(
+            r,
+            "pool       {} maps · {} sub-chunks queued · {} caller steals ({share} share) · {} worker runs",
+            p.maps, p.chunks_queued, p.caller_steals, p.worker_runs
+        );
+        hist_line(&mut r, "  queue wait", &p.queue_wait);
+        hist_line(&mut r, "  chunk run ", &p.chunk_run);
+
+        let c = &self.plan_cache;
+        let rate = c
+            .hit_rate()
+            .map(|h| format!("{:.1}%", 100.0 * h))
+            .unwrap_or_else(|| "n/a".into());
+        let _ = writeln!(
+            r,
+            "plan cache {} hits / {} misses (hit rate {rate}) · {} evictions",
+            c.hits, c.misses, c.evictions
+        );
+        hist_line(&mut r, "  plan build", &c.build);
+
+        let s = &self.stream;
+        let _ = writeln!(
+            r,
+            "stream     flushes: {} full / {} expired / {} manual · {} window drops",
+            s.flush_full, s.flush_expired, s.flush_manual, s.window_drops
+        );
+        hist_line(&mut r, "  assembly  ", &s.batch_assembly);
+        hist_line(&mut r, "  batch lat ", &s.batch_score);
+
+        let g = &self.registry;
+        let _ = writeln!(
+            r,
+            "registry   generation {} · {} swaps · {} sweeps · {} rejected · {} unchanged",
+            g.generation, g.swaps, g.sweeps, g.rejected, g.unchanged
+        );
+        hist_line(&mut r, "  sweep     ", &g.sweep_time);
+
+        r.push_str("phases (exclusive time)\n");
+        for ph in &self.phases {
+            hist_line(&mut r, &format!("  {:<14}", ph.phase.name()), &ph.exclusive);
+        }
+        r
+    }
+}
+
+fn push_u64(out: &mut String, key: &str, v: u64, first: bool) {
+    if !first {
+        out.push(',');
+    }
+    let _ = write!(out, "\n    \"{key}\": {v}");
+}
+
+fn push_hist(out: &mut String, key: &str, h: &HistogramSnapshot) {
+    let _ = write!(out, ",\n    \"{key}\": ");
+    hist_json(out, h);
+}
+
+fn hist_json(out: &mut String, h: &HistogramSnapshot) {
+    let q = |p: f64| h.quantile(p).unwrap_or(0);
+    let _ = write!(
+        out,
+        "{{\"count\": {}, \"sum\": {}, \"max\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"buckets\": [",
+        h.count,
+        h.sum,
+        h.max,
+        q(0.50),
+        q(0.95),
+        q(0.99)
+    );
+    // Trailing zero buckets are elided (the decoder implies them),
+    // keeping dumps compact while staying a plain JSON array.
+    let last = h.buckets.iter().rposition(|&b| b > 0).map_or(0, |i| i + 1);
+    for (i, b) in h.buckets[..last].iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{b}");
+    }
+    out.push_str("]}");
+}
+
+fn hist_line(r: &mut String, label: &str, h: &HistogramSnapshot) {
+    if h.count == 0 {
+        let _ = writeln!(r, "{label}  (no samples)");
+        return;
+    }
+    let q = |p: f64| fmt_nanos(h.quantile(p).unwrap_or(0));
+    let _ = writeln!(
+        r,
+        "{label}  n={:<6} p50 {} · p95 {} · p99 {} · max {}",
+        h.count,
+        q(0.50),
+        q(0.95),
+        q(0.99),
+        fmt_nanos(h.max)
+    );
+}
+
+/// Formats a nanosecond value with a readable unit.
+fn fmt_nanos(ns: u64) -> String {
+    let d = Duration::from_nanos(ns);
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", d.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanTimer;
+    use std::sync::Mutex;
+
+    /// Serialises tests that mutate the global gate or metrics.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn install_overrides_and_gates_active() {
+        let _g = locked();
+        Recorder::install(false);
+        assert!(active().is_none());
+        Recorder::install(true);
+        assert!(active().is_some());
+        assert!(Recorder::enabled());
+        Recorder::install(false);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_and_diff() {
+        let _g = locked();
+        Recorder::install(true);
+        Recorder::reset();
+        let m = Recorder::metrics();
+        m.pool_maps.add(2);
+        m.plan_cache_hits.add(3);
+        m.plan_cache_misses.add(1);
+        m.registry_generation.set(7);
+        m.stream_batch_score.record(1_500);
+        let early = Recorder::snapshot();
+        m.pool_maps.add(5);
+        m.stream_batch_score.record(3_000);
+        let late = Recorder::snapshot();
+        let d = late.diff(&early);
+        assert_eq!(d.pool.maps, 5);
+        assert_eq!(d.plan_cache.hits, 0);
+        assert_eq!(d.registry.generation, 7);
+        assert_eq!(d.stream.batch_score.count, 1);
+        assert_eq!(early.plan_cache.hit_rate(), Some(0.75));
+        Recorder::reset();
+        Recorder::install(false);
+    }
+
+    #[test]
+    fn spans_record_exclusive_time() {
+        let _g = locked();
+        Recorder::install(true);
+        Recorder::reset();
+        {
+            let _outer = SpanTimer::start(Phase::FitFeatures);
+            std::thread::sleep(Duration::from_millis(4));
+            {
+                let _inner = SpanTimer::start(Phase::FitDetector);
+                std::thread::sleep(Duration::from_millis(4));
+            }
+        }
+        let snap = Recorder::snapshot();
+        let outer = &snap.phases[Phase::FitFeatures.index()].exclusive;
+        let inner = &snap.phases[Phase::FitDetector.index()].exclusive;
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 1);
+        // The outer span's exclusive time excludes the inner span, so
+        // both should be ~4ms — in particular the outer must be below
+        // the 8ms total (sleep granularity leaves plenty of headroom).
+        assert!(inner.sum >= 3_000_000, "inner {}ns", inner.sum);
+        assert!(outer.sum >= 3_000_000, "outer {}ns", outer.sum);
+        assert!(
+            outer.sum < 7_000_000,
+            "outer kept child time: {}ns",
+            outer.sum
+        );
+        Recorder::reset();
+        Recorder::install(false);
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _g = locked();
+        Recorder::install(false);
+        Recorder::reset();
+        {
+            let _span = SpanTimer::start(Phase::ScoreDetector);
+        }
+        assert_eq!(
+            Recorder::snapshot().phases[Phase::ScoreDetector.index()]
+                .exclusive
+                .count,
+            0
+        );
+    }
+
+    #[test]
+    fn json_and_report_contain_all_sections() {
+        let _g = locked();
+        Recorder::install(true);
+        Recorder::reset();
+        let m = Recorder::metrics();
+        m.pool_caller_steals.add(4);
+        m.pool_chunks_queued.add(8);
+        m.stream_batch_score.record(2_000_000);
+        m.registry_generation.set(3);
+        let snap = Recorder::snapshot();
+        let json = snap.to_json();
+        for key in [
+            "\"pool\"",
+            "\"plan_cache\"",
+            "\"stream\"",
+            "\"registry\"",
+            "\"phases\"",
+            "\"caller_steals\": 4",
+            "\"generation\": 3",
+            "\"p50\"",
+            "\"buckets\"",
+            "\"fit-features\"",
+        ] {
+            assert!(json.contains(key), "JSON missing {key}:\n{json}");
+        }
+        let report = snap.format_report();
+        for needle in [
+            "pool",
+            "caller steals",
+            "50.0% share",
+            "plan cache",
+            "stream",
+            "batch lat",
+            "registry   generation 3",
+            "phases",
+        ] {
+            assert!(
+                report.contains(needle),
+                "report missing {needle}:\n{report}"
+            );
+        }
+        Recorder::reset();
+        Recorder::install(false);
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_for_fixed_sequence() {
+        let _g = locked();
+        let run = || {
+            Recorder::install(true);
+            Recorder::reset();
+            let m = Recorder::metrics();
+            for v in [3u64, 17, 1_024, 0, 999_999] {
+                m.pool_queue_wait.record(v);
+                m.stream_batch_assembly.record(v * 2);
+            }
+            m.pool_maps.add(5);
+            let snap = Recorder::snapshot();
+            Recorder::reset();
+            Recorder::install(false);
+            snap
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn dump_json_writes_file() {
+        let _g = locked();
+        let dir = std::env::temp_dir().join("mfod_obs_test_dump");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.json");
+        Recorder::dump_json(&path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with('{') && body.trim_end().ends_with('}'));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fmt_nanos_units() {
+        assert_eq!(fmt_nanos(750), "750ns");
+        assert_eq!(fmt_nanos(1_500), "1.5µs");
+        assert_eq!(fmt_nanos(2_500_000), "2.5ms");
+        assert_eq!(fmt_nanos(1_500_000_000), "1.50s");
+    }
+}

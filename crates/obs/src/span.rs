@@ -1,0 +1,137 @@
+//! Lightweight span timers: a thread-local span stack that attributes
+//! *exclusive* wall time (total minus time spent in child spans) to a
+//! fixed set of pipeline phases.
+
+use crate::recorder::Recorder;
+use std::cell::RefCell;
+use std::time::Instant;
+
+/// The instrumented pipeline phases. A fixed enum keeps span recording
+/// allocation-free and the snapshot layout stable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Fit-time feature construction: smoothing, basis selection and
+    /// geometric mapping fan-out over the training samples.
+    FitFeatures,
+    /// Fitting the outlier detector on the assembled feature matrix.
+    FitDetector,
+    /// Score-time feature construction (smoothing + mapping of incoming
+    /// samples).
+    ScoreFeatures,
+    /// Scoring the assembled features with the fitted detector.
+    ScoreDetector,
+}
+
+impl Phase {
+    /// Number of phases (length of the per-phase histogram array).
+    pub const COUNT: usize = 4;
+
+    /// All phases in snapshot order.
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::FitFeatures,
+        Phase::FitDetector,
+        Phase::ScoreFeatures,
+        Phase::ScoreDetector,
+    ];
+
+    /// Stable snapshot/report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::FitFeatures => "fit-features",
+            Phase::FitDetector => "fit-detector",
+            Phase::ScoreFeatures => "score-features",
+            Phase::ScoreDetector => "score-detector",
+        }
+    }
+
+    /// Slot index into [`crate::Metrics::phases`] (and
+    /// `MetricsSnapshot::phases`), in [`Phase::ALL`] order.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+struct SpanFrame {
+    /// Nanoseconds spent in already-finished child spans, subtracted
+    /// from this span's total to get its exclusive time.
+    child_nanos: u64,
+}
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<SpanFrame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An RAII span: created with [`SpanTimer::start`], it records the
+/// phase's *exclusive* elapsed time into the global recorder when
+/// dropped. When the recorder is disabled, `start` touches no clock and
+/// `drop` is a no-op — the guard is just a `None`.
+///
+/// Spans must nest (LIFO), which scoped guards guarantee; the stack is
+/// per thread, so spans on pool workers don't interleave with the
+/// caller's.
+#[must_use = "a span records on drop; binding it to `_` drops immediately"]
+#[derive(Debug)]
+pub struct SpanTimer {
+    armed: Option<(Phase, Instant)>,
+}
+
+impl SpanTimer {
+    /// Opens a span for `phase` if the recorder is enabled.
+    #[inline]
+    pub fn start(phase: Phase) -> SpanTimer {
+        if !Recorder::enabled() {
+            return SpanTimer { armed: None };
+        }
+        SPAN_STACK.with(|s| s.borrow_mut().push(SpanFrame { child_nanos: 0 }));
+        SpanTimer {
+            armed: Some((phase, Instant::now())),
+        }
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        let Some((phase, started)) = self.armed.take() else {
+            return;
+        };
+        let total = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let child = SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let child = stack.pop().map(|f| f.child_nanos).unwrap_or(0);
+            if let Some(parent) = stack.last_mut() {
+                parent.child_nanos = parent.child_nanos.saturating_add(total);
+            }
+            child
+        });
+        Recorder::metrics().phases[phase.index()].record(total.saturating_sub(child));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_names_and_order_are_stable() {
+        assert_eq!(Phase::ALL.len(), Phase::COUNT);
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+        assert_eq!(Phase::FitFeatures.name(), "fit-features");
+        assert_eq!(Phase::ScoreDetector.name(), "score-detector");
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        // Runs without the global test lock: a disabled span touches
+        // neither the stack nor the metrics.
+        let before = SPAN_STACK.with(|s| s.borrow().len());
+        {
+            let _span = SpanTimer {
+                armed: None, // simulate Recorder disabled
+            };
+        }
+        assert_eq!(SPAN_STACK.with(|s| s.borrow().len()), before);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the log-bucket histogram invariants: edge
+//! monotonicity, count conservation under merge, quantile ordering, and
+//! snapshot determinism for fixed event sequences.
+
+use mfod_obs::{Histogram, HistogramSnapshot, HIST_BUCKETS};
+use proptest::prelude::*;
+
+fn values() -> impl Strategy<Value = Vec<u64>> {
+    // Mix tiny, mid-range and huge magnitudes so all bucket regions are
+    // exercised (plain uniform u64 would almost never land below 2^32).
+    prop::collection::vec(
+        (0u32..64u32, 0u64..1024u64).prop_map(|(shift, off)| (1u64 << shift).wrapping_add(off)),
+        0..200,
+    )
+}
+
+fn snapshot_of(vals: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in vals {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #[test]
+    fn count_equals_bucket_sum(vals in values()) {
+        let s = snapshot_of(&vals);
+        prop_assert_eq!(s.count, vals.len() as u64);
+        prop_assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+    }
+
+    #[test]
+    fn max_and_sum_match_inputs(vals in values()) {
+        let s = snapshot_of(&vals);
+        prop_assert_eq!(s.max, vals.iter().copied().max().unwrap_or(0));
+        let sum: u64 = vals.iter().fold(0u64, |a, &v| a.wrapping_add(v));
+        prop_assert_eq!(s.sum, sum);
+    }
+
+    #[test]
+    fn merge_conserves_counts(a in values(), b in values()) {
+        let (sa, sb) = (snapshot_of(&a), snapshot_of(&b));
+        let m = sa.merge(&sb);
+        prop_assert_eq!(m.count, sa.count + sb.count);
+        prop_assert_eq!(m.buckets.iter().sum::<u64>(), m.count);
+        for i in 0..HIST_BUCKETS {
+            prop_assert_eq!(m.buckets[i], sa.buckets[i] + sb.buckets[i]);
+        }
+        prop_assert_eq!(m.max, sa.max.max(sb.max));
+        // Merge is commutative.
+        prop_assert_eq!(&m, &sb.merge(&sa));
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_p(vals in values(), ps in prop::collection::vec(0.0f64..=1.0, 2..12)) {
+        let s = snapshot_of(&vals);
+        prop_assume!(s.count > 0);
+        let mut sorted = ps.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut last = None;
+        for p in sorted {
+            let q = s.quantile(p).unwrap();
+            if let Some(prev) = last {
+                prop_assert!(q >= prev, "q({p}) = {q} < {prev}");
+            }
+            last = Some(q);
+        }
+    }
+
+    #[test]
+    fn quantile_upper_bounds_true_quantile(vals in values()) {
+        prop_assume!(!vals.is_empty());
+        let s = snapshot_of(&vals);
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        for &(p, _) in &[(0.5, ()), (0.95, ()), (0.99, ()), (1.0, ())] {
+            let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let truth = sorted[rank - 1];
+            let q = s.quantile(p).unwrap();
+            prop_assert!(q >= truth, "q({p}) = {q} below true quantile {truth}");
+            // The bucket edge over-estimates by at most 2x (log2 buckets).
+            prop_assert!(q == 0 || q / 2 <= truth, "q({p}) = {q} more than 2x {truth}");
+        }
+    }
+
+    #[test]
+    fn snapshots_are_deterministic(vals in values()) {
+        let a = snapshot_of(&vals);
+        let b = snapshot_of(&vals);
+        prop_assert_eq!(&a, &b);
+        // Order-independence: bucket counts are a multiset property.
+        let mut rev = vals.clone();
+        rev.reverse();
+        let c = snapshot_of(&rev);
+        prop_assert_eq!(&a.buckets[..], &c.buckets[..]);
+        prop_assert_eq!(a.count, c.count);
+        prop_assert_eq!(a.max, c.max);
+    }
+
+    #[test]
+    fn diff_of_prefix_recovers_suffix(vals in values(), split in 0usize..200) {
+        let cut = split.min(vals.len());
+        let early = snapshot_of(&vals[..cut]);
+        let all = snapshot_of(&vals);
+        let d = all.diff(&early);
+        let suffix = snapshot_of(&vals[cut..]);
+        prop_assert_eq!(d.count, suffix.count);
+        prop_assert_eq!(&d.buckets[..], &suffix.buckets[..]);
+    }
+}

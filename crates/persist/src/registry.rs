@@ -124,7 +124,12 @@ impl<T> ModelRegistry<T> {
             .lock()
             .unwrap_or_else(|p| p.into_inner()) = bytes_hash;
         *slot = Some(model);
-        self.generation.fetch_add(1, Ordering::AcqRel) + 1
+        let generation = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
+        if let Some(m) = mfod_obs::active() {
+            m.registry_swaps.add(1);
+            m.registry_generation.set(generation);
+        }
+        generation
     }
 }
 
@@ -162,6 +167,22 @@ impl<T: Restorable> ModelRegistry<T> {
     /// generation counter alone — `generation()` then counts real model
     /// changes, not polls.
     pub fn load_dir(&self, dir: &Path) -> Result<DirLoadReport> {
+        let obs = mfod_obs::active();
+        let sweep_started = obs.map(|_| std::time::Instant::now());
+        let report = self.load_dir_inner(dir);
+        if let (Some(m), Some(t)) = (obs, sweep_started) {
+            m.registry_sweeps.add(1);
+            m.registry_sweep_time.record_duration(t.elapsed());
+            if let Ok(report) = &report {
+                m.registry_rejected.add(report.rejected.len() as u64);
+                m.registry_unchanged
+                    .add(u64::from(report.unchanged.is_some()));
+            }
+        }
+        report
+    }
+
+    fn load_dir_inner(&self, dir: &Path) -> Result<DirLoadReport> {
         let entries = std::fs::read_dir(dir).map_err(|source| PersistError::Io {
             path: dir.to_path_buf(),
             source,

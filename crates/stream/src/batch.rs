@@ -50,6 +50,18 @@ impl Default for BatchConfig {
     }
 }
 
+/// Why a flush happened — reported to the global recorder (`mfod-obs`)
+/// per flushed batch when `MFOD_OBS=1`.
+#[derive(Debug, Clone, Copy)]
+enum FlushReason {
+    /// The batch reached `batch_size`.
+    Full,
+    /// The oldest pending window exceeded `max_delay`.
+    Expired,
+    /// An explicit [`MicroBatcher::flush`] (incl. end-of-stream finish).
+    Manual,
+}
+
 /// A scored window: `seq` is the 0-based submission index, so callers can
 /// join scores back to their windows across flush boundaries.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -152,6 +164,9 @@ impl MicroBatcher {
         self.oldest_pending = None;
         let batch = std::mem::take(&mut self.pending);
         self.next_seq += batch.len() as u64;
+        if let Some(m) = mfod_obs::active() {
+            m.stream_window_drops.add(batch.len() as u64);
+        }
         batch
     }
 
@@ -170,7 +185,11 @@ impl MicroBatcher {
             _ => false,
         };
         if full || expired {
-            self.flush()
+            self.flush_with_reason(if full {
+                FlushReason::Full
+            } else {
+                FlushReason::Expired
+            })
         } else {
             Ok(Vec::new())
         }
@@ -183,9 +202,20 @@ impl MicroBatcher {
     /// sequence numbers stay aligned with submission order, so the caller
     /// can retry (or drain and inspect the offending windows).
     pub fn flush(&mut self) -> Result<Vec<ScoredWindow>> {
+        self.flush_with_reason(FlushReason::Manual)
+    }
+
+    fn flush_with_reason(&mut self, reason: FlushReason) -> Result<Vec<ScoredWindow>> {
         if self.pending.is_empty() {
             return Ok(Vec::new());
         }
+        let obs = mfod_obs::active();
+        // Batch assembly latency: how long the oldest window waited from
+        // submission to the start of this flush.
+        let assembly = match (obs, self.oldest_pending) {
+            (Some(_), Some(oldest)) => Some(oldest.elapsed()),
+            _ => None,
+        };
         let batch = std::mem::take(&mut self.pending);
         let started = Instant::now();
         let result = match (&self.config.mode, &self.frozen) {
@@ -203,6 +233,17 @@ impl MicroBatcher {
         self.oldest_pending = None;
         let elapsed = started.elapsed();
         self.stats.record_batch(batch.len() as u64, elapsed);
+        if let Some(m) = obs {
+            match reason {
+                FlushReason::Full => m.stream_flush_full.add(1),
+                FlushReason::Expired => m.stream_flush_expired.add(1),
+                FlushReason::Manual => m.stream_flush_manual.add(1),
+            }
+            if let Some(a) = assembly {
+                m.stream_batch_assembly.record_duration(a);
+            }
+            m.stream_batch_score.record_duration(elapsed);
+        }
         let first_seq = self.next_seq;
         self.next_seq += batch.len() as u64;
         Ok(scores

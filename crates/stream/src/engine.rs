@@ -1,4 +1,17 @@
 //! The end-to-end online scorer: observations in, calibrated verdicts out.
+//!
+//! # Observability
+//!
+//! The scorer always maintains its per-instance [`StreamStats`] view
+//! (counter snapshot via [`OnlineScorer::stats`], per-batch latency
+//! quantiles via [`OnlineScorer::latency_snapshot`]). Additionally, with
+//! the environment variable `MFOD_OBS=1` the streaming layer reports to
+//! the process-wide `mfod-obs` recorder: flush reasons (batch-full /
+//! max-delay-expired / manual), window-drop counts from `take_pending`,
+//! batch assembly latency and per-batch scoring latency. Set
+//! `MFOD_OBS_JSON=<path>` to dump the recorder's full
+//! `MetricsSnapshot` as JSON (see `examples/observability.rs`).
+//! Instrumentation never changes scores — only what gets counted.
 
 use crate::batch::{BatchConfig, MicroBatcher, ScoredWindow};
 use crate::calibrate::ThresholdCalibrator;
@@ -155,6 +168,14 @@ impl OnlineScorer {
     /// Counter snapshot (throughput, latency, alarm counts).
     pub fn stats(&self) -> StatsSnapshot {
         self.stats.snapshot()
+    }
+
+    /// Per-batch scoring-latency histogram of this scorer (see
+    /// [`StreamStats::latency_snapshot`]): p50/p95/p99 via
+    /// [`mfod_obs::HistogramSnapshot::quantile_duration`], `None` before
+    /// the first flushed batch.
+    pub fn latency_snapshot(&self) -> mfod_obs::HistogramSnapshot {
+        self.stats.latency_snapshot()
     }
 
     /// Windows buffered but not yet scored.

@@ -1,6 +1,13 @@
 //! Running throughput / latency counters for the scoring engine.
+//!
+//! Since the observability layer landed, [`StreamStats`] is a thin view
+//! over `mfod-obs` primitives: the counters are [`mfod_obs::Counter`]s
+//! and per-batch scoring latency additionally feeds a per-instance
+//! [`mfod_obs::Histogram`], so p50/p95/p99 latency is available from
+//! [`StreamStats::latency_snapshot`] without enabling the global
+//! recorder. The public [`StatsSnapshot`] shape is unchanged.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use mfod_obs::{Counter, Histogram, HistogramSnapshot};
 use std::time::Duration;
 
 /// Lock-free counters shared by the streaming components. All methods are
@@ -8,14 +15,22 @@ use std::time::Duration;
 /// monitoring purposes (no cross-counter atomicity is promised).
 #[derive(Debug, Default)]
 pub struct StreamStats {
-    observations: AtomicU64,
-    windows: AtomicU64,
-    batches: AtomicU64,
-    alarms: AtomicU64,
-    scoring_nanos: AtomicU64,
+    observations: Counter,
+    windows: Counter,
+    batches: Counter,
+    alarms: Counter,
+    scoring_nanos: Counter,
+    /// Per-batch end-to-end scoring latency in nanoseconds (one sample
+    /// per flushed micro-batch).
+    latency: Histogram,
 }
 
 /// A point-in-time copy of [`StreamStats`].
+///
+/// Ratio accessors ([`StatsSnapshot::windows_per_sec`],
+/// [`StatsSnapshot::mean_latency`], [`StatsSnapshot::mean_batch_size`])
+/// uniformly return `None` until the first micro-batch has flushed —
+/// there is no zero-sentinel path.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StatsSnapshot {
     /// Raw multichannel observations ingested.
@@ -66,29 +81,40 @@ impl StreamStats {
     }
 
     pub(crate) fn record_observation(&self) {
-        self.observations.fetch_add(1, Ordering::Relaxed);
+        self.observations.add(1);
     }
 
     pub(crate) fn record_batch(&self, windows: u64, elapsed: Duration) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
-        self.windows.fetch_add(windows, Ordering::Relaxed);
+        self.batches.add(1);
+        self.windows.add(windows);
         self.scoring_nanos
-            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+            .add(elapsed.as_nanos().min(u64::MAX as u128) as u64);
+        self.latency.record_duration(elapsed);
     }
 
     pub(crate) fn record_alarms(&self, alarms: u64) {
-        self.alarms.fetch_add(alarms, Ordering::Relaxed);
+        self.alarms.add(alarms);
     }
 
     /// Copies the counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
-            observations: self.observations.load(Ordering::Relaxed),
-            windows: self.windows.load(Ordering::Relaxed),
-            batches: self.batches.load(Ordering::Relaxed),
-            alarms: self.alarms.load(Ordering::Relaxed),
-            scoring_time: Duration::from_nanos(self.scoring_nanos.load(Ordering::Relaxed)),
+            observations: self.observations.get(),
+            windows: self.windows.get(),
+            batches: self.batches.get(),
+            alarms: self.alarms.get(),
+            scoring_time: Duration::from_nanos(self.scoring_nanos.get()),
         }
+    }
+
+    /// The per-batch scoring-latency histogram (one sample per flushed
+    /// micro-batch). Quantiles come from
+    /// [`HistogramSnapshot::quantile_duration`]; like the mean-style
+    /// accessors they return `None` until the first batch has flushed.
+    /// Always populated — this histogram is per-instance and does not
+    /// require `MFOD_OBS=1`.
+    pub fn latency_snapshot(&self) -> HistogramSnapshot {
+        self.latency.snapshot()
     }
 }
 
@@ -120,6 +146,39 @@ mod tests {
     }
 
     #[test]
+    fn empty_stats_have_no_ratios_or_quantiles() {
+        // The documented empty path: every derived accessor is `None`
+        // (never a zero sentinel) before the first flushed batch, even
+        // when observations have already been ingested.
+        let s = StreamStats::new();
+        s.record_observation();
+        let snap = s.snapshot();
+        assert_eq!(snap.observations, 1);
+        assert_eq!(snap.windows_per_sec(), None);
+        assert_eq!(snap.mean_latency(), None);
+        assert_eq!(snap.mean_batch_size(), None);
+        let lat = s.latency_snapshot();
+        assert_eq!(lat.count, 0);
+        assert_eq!(lat.quantile_duration(0.5), None);
+        assert_eq!(lat.quantile_duration(0.99), None);
+        assert_eq!(lat.mean(), None);
+    }
+
+    #[test]
+    fn latency_histogram_tracks_batches() {
+        let s = StreamStats::new();
+        s.record_batch(4, Duration::from_micros(100));
+        s.record_batch(4, Duration::from_micros(900));
+        let lat = s.latency_snapshot();
+        assert_eq!(lat.count, 2);
+        let p50 = lat.quantile_duration(0.5).unwrap();
+        let p99 = lat.quantile_duration(0.99).unwrap();
+        assert!(p50 <= p99);
+        assert!(p99 >= Duration::from_micros(900), "p99 {p99:?}");
+        assert_eq!(lat.max, Duration::from_micros(900).as_nanos() as u64);
+    }
+
+    #[test]
     fn concurrent_recording_is_safe() {
         let s = StreamStats::new();
         std::thread::scope(|scope| {
@@ -133,5 +192,6 @@ mod tests {
         });
         assert_eq!(s.snapshot().windows, 4000);
         assert_eq!(s.snapshot().batches, 4000);
+        assert_eq!(s.latency_snapshot().count, 4000);
     }
 }

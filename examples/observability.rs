@@ -1,0 +1,108 @@
+//! Runtime introspection demo: fit the pipeline, score it in parallel,
+//! hot-swap it through a serving registry and stream a test split — all
+//! with the `mfod-obs` recorder on — then print the metrics report.
+//!
+//! Run with: `MFOD_OBS=1 cargo run --release --example observability`
+//! (the example force-enables the recorder when `MFOD_OBS` is unset, so
+//! it is useful standalone; `MFOD_OBS=0` keeps it off to demonstrate
+//! the disabled path). Set `MFOD_OBS_JSON=metrics.json` to additionally
+//! dump the raw snapshot as JSON on exit.
+
+use mfod::persist::ModelRegistry;
+use mfod::prelude::*;
+use mfod_obs::{json_dump_guard, Recorder};
+use mfod_stream::{BatchConfig, OnlineScorer, StreamConfig, WindowConfig};
+use std::sync::Arc;
+
+fn main() {
+    // Honour an explicit MFOD_OBS setting; default to on for the demo.
+    Recorder::install(std::env::var(mfod_obs::ENV_OBS).map_or(true, |v| v == "1"));
+    let _dump = json_dump_guard();
+
+    // A single-core machine never engages the work-stealing pool (and so
+    // records no pool metrics); nudge the demo onto the parallel path
+    // unless the user pinned a thread count themselves.
+    if std::env::var_os(mfod::linalg::par::THREADS_ENV).is_none() {
+        std::env::set_var(mfod::linalg::par::THREADS_ENV, "2");
+    }
+
+    // ---- offline: fit once (span-traced fit phases) -------------------
+    let data = EcgSimulator::new(EcgConfig {
+        m: 40,
+        ..Default::default()
+    })
+    .unwrap()
+    .generate(48, 16, 2020)
+    .unwrap()
+    .augment_with(0, |y| y * y)
+    .unwrap();
+    let split = SplitConfig {
+        train_size: 32,
+        contamination: 0.1,
+    };
+    let (train, test) = split.split_datasets(&data, 1).unwrap();
+
+    let fitted = GeomOutlierPipeline::new(
+        PipelineConfig::fast(),
+        Arc::new(Curvature),
+        Arc::new(IsolationForest {
+            n_trees: 60,
+            ..Default::default()
+        }),
+    )
+    .fit(train.samples())
+    .unwrap()
+    .into_shared();
+
+    // Parallel scoring exercises the work-stealing pool and the
+    // selection-plan cache.
+    let train_scores = fitted.par_score(train.samples()).unwrap();
+    println!(
+        "fitted {} on {} training beats",
+        fitted.label(),
+        train.len()
+    );
+
+    // ---- serving: hot-swap through the model registry -----------------
+    let registry: ModelRegistry<FittedPipeline> = ModelRegistry::new();
+    let generation = registry
+        .install_bytes(&mfod::persist::to_bytes(&fitted.snapshot().unwrap()))
+        .unwrap();
+    println!("installed pipeline snapshot as generation {generation}");
+
+    // ---- online: stream the test split --------------------------------
+    let ts = test.samples()[0].t.clone();
+    let mut scorer = OnlineScorer::new(
+        Arc::clone(&fitted),
+        StreamConfig {
+            window: WindowConfig::tumbling(ts, 2),
+            batch: BatchConfig {
+                batch_size: 8,
+                ..Default::default()
+            },
+        },
+    )
+    .unwrap();
+    scorer.calibrate(&train_scores, 0.2).unwrap();
+    let mut verdicts = Vec::new();
+    for beat in test.samples() {
+        for j in 0..beat.t.len() {
+            let obs = [beat.channels[0][j], beat.channels[1][j]];
+            verdicts.extend(scorer.push(&obs).unwrap());
+        }
+    }
+    verdicts.extend(scorer.finish().unwrap());
+    println!(
+        "streamed {} beats into {} scored windows ({} alarms)\n",
+        test.len(),
+        verdicts.len(),
+        verdicts.iter().filter(|v| v.is_outlier).count(),
+    );
+
+    // ---- report --------------------------------------------------------
+    if Recorder::enabled() {
+        println!("{}", Recorder::snapshot().format_report());
+    } else {
+        println!("recorder disabled (MFOD_OBS=0): nothing was recorded");
+    }
+}

@@ -1,0 +1,188 @@
+//! The observability contract: instrumentation is a pure *observer*.
+//! Scores must be bit-for-bit identical with the recorder on and off,
+//! the pool counters must satisfy their conservation law, and the
+//! disabled path must record nothing at all.
+
+use mfod::linalg::par::Pool;
+use mfod::persist::ModelRegistry;
+use mfod::prelude::*;
+use mfod_obs::{Phase, Recorder};
+use mfod_stream::fixture::{ecg_fitted, ecg_split, sine_pipeline, FixtureConfig};
+use mfod_stream::{BatchConfig, OnlineScorer, StreamConfig, WindowConfig};
+use std::sync::{Arc, Mutex};
+
+/// The recorder is process-global; tests that toggle it must not
+/// interleave.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what} row {i}: {x} != {y}");
+    }
+}
+
+/// Fits, batch-scores (both paths) and streams the ECG fixture,
+/// returning every floating-point output the run produces.
+fn full_run() -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let (train, test) = ecg_split();
+    let fitted = ecg_fitted(&train);
+    let exact = fitted.score(test.samples()).unwrap();
+    let par = fitted.par_score(test.samples()).unwrap();
+    let train_scores = fitted.par_score(train.samples()).unwrap();
+    let ts = test.samples()[0].t.clone();
+    let mut scorer = OnlineScorer::new(
+        Arc::clone(&fitted),
+        StreamConfig {
+            window: WindowConfig::tumbling(ts, 2),
+            batch: BatchConfig {
+                batch_size: 4,
+                ..Default::default()
+            },
+        },
+    )
+    .unwrap();
+    scorer.calibrate(&train_scores, 0.2).unwrap();
+    let mut stream_scores = Vec::new();
+    for beat in test.samples() {
+        for j in 0..beat.t.len() {
+            let obs = [beat.channels[0][j], beat.channels[1][j]];
+            stream_scores.extend(scorer.push(&obs).unwrap().into_iter().map(|v| v.score));
+        }
+    }
+    stream_scores.extend(scorer.finish().unwrap().into_iter().map(|v| v.score));
+    (exact, par, stream_scores)
+}
+
+#[test]
+fn scores_are_bit_identical_with_obs_on_and_off() {
+    let _g = locked();
+    Recorder::install(false);
+    let (exact_off, par_off, stream_off) = full_run();
+    Recorder::install(true);
+    Recorder::reset();
+    let (exact_on, par_on, stream_on) = full_run();
+    Recorder::install(false);
+    assert_bits_eq(&exact_off, &exact_on, "exact path");
+    assert_bits_eq(&par_off, &par_on, "parallel path");
+    assert_bits_eq(&stream_off, &stream_on, "streaming path");
+}
+
+#[test]
+fn pool_counters_satisfy_conservation() {
+    let _g = locked();
+    Recorder::install(true);
+    let pool = Pool::with_threads(3);
+    let before = Recorder::snapshot();
+    let n = 4096;
+    for _ in 0..5 {
+        let out = pool.map(n, |i| i as u64 * 3);
+        assert_eq!(out[n - 1], (n as u64 - 1) * 3);
+    }
+    let d = Recorder::snapshot().diff(&before);
+    Recorder::install(false);
+    assert_eq!(d.pool.maps, 5);
+    assert!(d.pool.chunks_queued > 0, "multi-chunk maps must queue work");
+    // Every queued sub-chunk is executed exactly once — either stolen
+    // back by the caller while helping, or run by a pool worker.
+    assert_eq!(
+        d.pool.caller_steals + d.pool.worker_runs,
+        d.pool.chunks_queued,
+        "steals {} + runs {} != queued {}",
+        d.pool.caller_steals,
+        d.pool.worker_runs,
+        d.pool.chunks_queued
+    );
+    // Queue wait is recorded per queued sub-chunk; run time also covers
+    // the chunk the caller executes inline (one per map).
+    assert_eq!(d.pool.queue_wait.count, d.pool.chunks_queued);
+    assert_eq!(d.pool.chunk_run.count, d.pool.chunks_queued + d.pool.maps);
+}
+
+#[test]
+fn disabled_recorder_records_nothing() {
+    let _g = locked();
+    Recorder::install(false);
+    Recorder::reset();
+    let (train, test) = ecg_split();
+    let fitted = ecg_fitted(&train);
+    fitted.par_score(test.samples()).unwrap();
+    let pool = Pool::with_threads(2);
+    pool.map(1000, |i| i + 1);
+    let snap = Recorder::snapshot();
+    assert_eq!(snap.pool.maps, 0);
+    assert_eq!(snap.pool.chunks_queued, 0);
+    assert_eq!(snap.plan_cache.hits + snap.plan_cache.misses, 0);
+    assert!(snap.phases.iter().all(|p| p.exclusive.count == 0));
+}
+
+#[test]
+fn live_run_populates_every_report_section() {
+    let _g = locked();
+    Recorder::install(true);
+    Recorder::reset();
+    let (fitted, train, ts) = sine_pipeline(&FixtureConfig::default());
+    let train_scores = fitted.par_score(&train).unwrap();
+    let mut scorer = OnlineScorer::new(
+        Arc::clone(&fitted),
+        StreamConfig {
+            window: WindowConfig::tumbling(ts.clone(), 2),
+            batch: BatchConfig {
+                batch_size: 3,
+                ..Default::default()
+            },
+        },
+    )
+    .unwrap();
+    scorer.calibrate(&train_scores, 0.25).unwrap();
+    for s in &train {
+        for j in 0..s.t.len() {
+            scorer.push(&[s.channels[0][j], s.channels[1][j]]).unwrap();
+        }
+    }
+    scorer.finish().unwrap();
+    let registry: ModelRegistry<FittedPipeline> = ModelRegistry::new();
+    registry
+        .install_bytes(&mfod::persist::to_bytes(&fitted.snapshot().unwrap()))
+        .unwrap();
+    let snap = Recorder::snapshot();
+    Recorder::install(false);
+
+    // fit + scoring phases were traced
+    assert!(snap.phases[Phase::FitFeatures.index()].exclusive.count >= 1);
+    assert!(snap.phases[Phase::FitDetector.index()].exclusive.count >= 1);
+    assert!(snap.phases[Phase::ScoreFeatures.index()].exclusive.count >= 1);
+    assert!(snap.phases[Phase::ScoreDetector.index()].exclusive.count >= 1);
+    // the plan cache saw the scoring lookups
+    assert!(snap.plan_cache.hits + snap.plan_cache.misses > 0);
+    // the stream flushed micro-batches and measured their latency
+    let flushes = snap.stream.flush_full + snap.stream.flush_expired + snap.stream.flush_manual;
+    assert!(flushes > 0, "no micro-batch flushes recorded");
+    assert_eq!(snap.stream.batch_score.count, flushes);
+    assert!(snap.stream.batch_score.quantile(0.99).is_some());
+    // the registry swap bumped the generation gauge
+    assert_eq!(snap.registry.swaps, 1);
+    assert_eq!(snap.registry.generation, 1);
+
+    // and both renderings carry the headline numbers
+    let report = snap.format_report();
+    for needle in [
+        "pool",
+        "plan cache",
+        "hit rate",
+        "registry   generation 1",
+        "p95",
+    ] {
+        assert!(
+            report.contains(needle),
+            "report missing {needle}:\n{report}"
+        );
+    }
+    let json = snap.to_json();
+    assert!(json.contains("\"generation\": 1"));
+    assert!(json.contains("\"p99\""));
+}
