@@ -1,9 +1,10 @@
-//! Shared pipeline fixtures for this crate's tests and benches.
+//! Deterministic fitted-pipeline fixtures.
 //!
-//! Only compiled with the `fixtures` feature, which the crate's own
-//! dev-dependency turns on — unit tests reach it as `crate::fixture`,
-//! integration tests as `mfod_stream::fixture`. One fitted pipeline
-//! builder lives here instead of five copy-pasted setups.
+//! One fitted-pipeline builder for the streaming tests/benches and one
+//! ECG acceptance split, shared by every crate that needs a realistic
+//! model without re-tuning its own. Formerly `mfod_stream::fixture`
+//! behind that crate's `fixtures` feature; promoted here so persist,
+//! obs and bench code can reuse it without feature plumbing.
 
 use mfod::prelude::*;
 use mfod_fda::RawSample;

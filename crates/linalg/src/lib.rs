@@ -44,6 +44,7 @@ pub mod matrix;
 pub mod par;
 pub mod qr;
 pub mod quadrature;
+pub mod shared;
 pub mod vector;
 
 pub use cholesky::Cholesky;
@@ -51,6 +52,7 @@ pub use error::LinalgError;
 pub use lu::Lu;
 pub use matrix::Matrix;
 pub use qr::Qr;
+pub use shared::{SharedF64s, SharedOwner};
 
 /// Workspace-wide `Result` alias for linear algebra operations.
 pub type Result<T> = std::result::Result<T, LinalgError>;

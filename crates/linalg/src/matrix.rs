@@ -1,20 +1,55 @@
 //! Row-major dense `f64` matrix.
 
 use crate::error::LinalgError;
+use crate::shared::SharedF64s;
 use crate::Result;
 use std::fmt;
 use std::ops::{Index, IndexMut};
+
+/// Backing storage of a [`Matrix`]: either the usual owned vector or a
+/// read-only shared view kept alive by an external owner (a mapped model
+/// snapshot). All read paths treat both identically; any mutating entry
+/// point first converts a shared payload into an owned copy
+/// (copy-on-write), so shared storage is never written through.
+#[derive(Clone, Debug)]
+enum Storage {
+    Owned(Vec<f64>),
+    Shared(SharedF64s),
+}
+
+impl Storage {
+    #[inline]
+    fn as_slice(&self) -> &[f64] {
+        match self {
+            Storage::Owned(v) => v,
+            Storage::Shared(s) => s.as_slice(),
+        }
+    }
+}
 
 /// A dense, row-major matrix of `f64` values.
 ///
 /// Sized for the moderate problems in this workspace (smoothing systems,
 /// kernel matrices); all operations are straightforward O(n³)-style loops
 /// arranged for cache-friendly row-major traversal.
-#[derive(Clone, PartialEq)]
+///
+/// The payload is usually an owned `Vec<f64>`, but a matrix can also
+/// borrow read-only storage from a reference-counted owner
+/// ([`Matrix::from_shared`]) — the zero-copy path used when model
+/// snapshots are decoded straight out of a memory-mapped file. Shared
+/// matrices behave identically on every read path and transparently
+/// copy-on-write on the first mutation.
+#[derive(Clone)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
-    data: Vec<f64>,
+    data: Storage,
+}
+
+impl PartialEq for Matrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows && self.cols == other.cols && self.as_slice() == other.as_slice()
+    }
 }
 
 impl Matrix {
@@ -23,7 +58,7 @@ impl Matrix {
         Matrix {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            data: Storage::Owned(vec![0.0; rows * cols]),
         }
     }
 
@@ -32,7 +67,7 @@ impl Matrix {
         Matrix {
             rows,
             cols,
-            data: vec![value; rows * cols],
+            data: Storage::Owned(vec![value; rows * cols]),
         }
     }
 
@@ -51,7 +86,47 @@ impl Matrix {
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
         assert_eq!(data.len(), rows * cols, "data length must equal rows*cols");
-        Matrix { rows, cols, data }
+        Matrix {
+            rows,
+            cols,
+            data: Storage::Owned(data),
+        }
+    }
+
+    /// Builds a matrix over shared read-only storage — the zero-copy
+    /// constructor for payloads served directly out of a mapped snapshot.
+    /// Reads go straight to the shared memory; the first mutation copies
+    /// the payload into owned storage.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_shared(rows: usize, cols: usize, data: SharedF64s) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length must equal rows*cols");
+        Matrix {
+            rows,
+            cols,
+            data: Storage::Shared(data),
+        }
+    }
+
+    /// Whether the payload currently borrows shared storage (true until
+    /// the first mutation of a [`Matrix::from_shared`] matrix).
+    #[inline]
+    pub fn is_borrowed(&self) -> bool {
+        matches!(self.data, Storage::Shared(_))
+    }
+
+    /// Mutable access to the owned payload, converting shared storage
+    /// into an owned copy first (copy-on-write).
+    #[inline]
+    fn data_mut(&mut self) -> &mut Vec<f64> {
+        if let Storage::Shared(s) = &self.data {
+            self.data = Storage::Owned(s.as_slice().to_vec());
+        }
+        match &mut self.data {
+            Storage::Owned(v) => v,
+            Storage::Shared(_) => unreachable!("just converted to owned"),
+        }
     }
 
     /// Builds a matrix from row slices. All rows must share a length.
@@ -71,7 +146,7 @@ impl Matrix {
         Matrix {
             rows: rows.len(),
             cols,
-            data,
+            data: Storage::Owned(data),
         }
     }
 
@@ -83,7 +158,7 @@ impl Matrix {
                 data.push(f(i, j));
             }
         }
-        Matrix { rows, cols, data }
+        Matrix::from_vec(rows, cols, data)
     }
 
     /// Builds a diagonal matrix from the given diagonal entries.
@@ -123,27 +198,28 @@ impl Matrix {
     /// Borrow the underlying row-major data.
     #[inline]
     pub fn as_slice(&self) -> &[f64] {
-        &self.data
+        self.data.as_slice()
     }
 
     /// Mutably borrow the underlying row-major data.
     #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [f64] {
-        &mut self.data
+        self.data_mut()
     }
 
     /// Borrow row `i` as a slice.
     #[inline]
     pub fn row(&self, i: usize) -> &[f64] {
         debug_assert!(i < self.rows);
-        &self.data[i * self.cols..(i + 1) * self.cols]
+        &self.data.as_slice()[i * self.cols..(i + 1) * self.cols]
     }
 
     /// Mutably borrow row `i` as a slice.
     #[inline]
     pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
         debug_assert!(i < self.rows);
-        &mut self.data[i * self.cols..(i + 1) * self.cols]
+        let cols = self.cols;
+        &mut self.data_mut()[i * cols..(i + 1) * cols]
     }
 
     /// Copies column `j` into a new vector.
@@ -207,7 +283,7 @@ impl Matrix {
         if m == 0 || kk == 0 || nn == 0 {
             return Ok(out);
         }
-        let mut out_rows = out.data.chunks_exact_mut(nn);
+        let mut out_rows = out.as_mut_slice().chunks_exact_mut(nn);
         let mut i = 0;
         while i + 4 <= m {
             let (o0, o1, o2, o3) = (
@@ -356,7 +432,7 @@ impl Matrix {
                 // contiguous row-slice accumulation over k in j..n — the
                 // same adds in the same order as indexed access, without
                 // re-deriving `j*n + k` per element
-                let orow = &mut out.data[j * n + j..(j + 1) * n];
+                let orow = &mut out.as_mut_slice()[j * n + j..(j + 1) * n];
                 for (o, &rk) in orow.iter_mut().zip(&r[j..]) {
                     *o += a * rk;
                 }
@@ -377,16 +453,12 @@ impl Matrix {
     pub fn add(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.shape(), other.shape(), "add shape mismatch");
         let data = self
-            .data
+            .as_slice()
             .iter()
-            .zip(&other.data)
+            .zip(other.as_slice())
             .map(|(a, b)| a + b)
             .collect();
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data,
-        }
+        Matrix::from_vec(self.rows, self.cols, data)
     }
 
     /// Element-wise difference `self - other`.
@@ -396,26 +468,18 @@ impl Matrix {
     pub fn sub(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.shape(), other.shape(), "sub shape mismatch");
         let data = self
-            .data
+            .as_slice()
             .iter()
-            .zip(&other.data)
+            .zip(other.as_slice())
             .map(|(a, b)| a - b)
             .collect();
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data,
-        }
+        Matrix::from_vec(self.rows, self.cols, data)
     }
 
     /// Returns `self` scaled by `s`.
     pub fn scale(&self, s: f64) -> Matrix {
-        let data = self.data.iter().map(|a| a * s).collect();
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data,
-        }
+        let data = self.as_slice().iter().map(|a| a * s).collect();
+        Matrix::from_vec(self.rows, self.cols, data)
     }
 
     /// In-place `self += s * other`.
@@ -424,24 +488,24 @@ impl Matrix {
     /// Panics if shapes differ.
     pub fn axpy(&mut self, s: f64, other: &Matrix) {
         assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
+        for (a, b) in self.data_mut().iter_mut().zip(other.as_slice()) {
             *a += s * b;
         }
     }
 
     /// Maximum absolute entry (∞-norm of the flattened data); 0 for empty.
     pub fn max_abs(&self) -> f64 {
-        self.data.iter().fold(0.0_f64, |m, &v| m.max(v.abs()))
+        self.as_slice().iter().fold(0.0_f64, |m, &v| m.max(v.abs()))
     }
 
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f64 {
-        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+        self.as_slice().iter().map(|v| v * v).sum::<f64>().sqrt()
     }
 
     /// True when every entry is finite.
     pub fn is_finite(&self) -> bool {
-        self.data.iter().all(|v| v.is_finite())
+        self.as_slice().iter().all(|v| v.is_finite())
     }
 
     /// Maximum absolute asymmetry `max |A_ij - A_ji|`; 0 for square symmetric.
@@ -477,7 +541,7 @@ impl Index<(usize, usize)> for Matrix {
     #[inline]
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
         debug_assert!(i < self.rows && j < self.cols, "index out of bounds");
-        &self.data[i * self.cols + j]
+        &self.data.as_slice()[i * self.cols + j]
     }
 }
 
@@ -485,7 +549,8 @@ impl IndexMut<(usize, usize)> for Matrix {
     #[inline]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
         debug_assert!(i < self.rows && j < self.cols, "index out of bounds");
-        &mut self.data[i * self.cols + j]
+        let idx = i * self.cols + j;
+        &mut self.data_mut()[idx]
     }
 }
 
@@ -700,5 +765,65 @@ mod tests {
         let s = format!("{m:?}");
         assert!(s.contains("Matrix 10x10"));
         assert!(s.contains('…'));
+    }
+
+    fn shared_copy(m: &Matrix) -> Matrix {
+        let owner = std::sync::Arc::new(m.as_slice().to_vec());
+        let (ptr, len) = (owner.as_ptr(), owner.len());
+        // SAFETY: the Arc'd Vec is never mutated and outlives the view.
+        let view = unsafe { crate::SharedF64s::from_raw_parts(owner, ptr, len) };
+        Matrix::from_shared(m.nrows(), m.ncols(), view)
+    }
+
+    #[test]
+    fn shared_matrix_kernels_match_owned_bit_for_bit() {
+        let a = Matrix::from_fn(7, 5, |i, j| ((i * 31 + j * 17) as f64).sin());
+        let b = Matrix::from_fn(5, 6, |i, j| ((i * 13 + j * 7) as f64).cos());
+        let (sa, sb) = (shared_copy(&a), shared_copy(&b));
+        assert!(sa.is_borrowed() && sb.is_borrowed());
+
+        let eager = a.matmul(&b);
+        let lazy = sa.matmul(&sb);
+        for (x, y) in eager.as_slice().iter().zip(lazy.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        let v: Vec<f64> = (0..5).map(|k| k as f64 - 2.0).collect();
+        for (x, y) in a.matvec(&v).iter().zip(sa.matvec(&v)) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for (x, y) in a.gram().as_slice().iter().zip(sa.gram().as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(a.frobenius_norm().to_bits(), sa.frobenius_norm().to_bits());
+        assert_eq!(a.transpose(), sa.transpose());
+        assert_eq!(a.row(3), sa.row(3));
+        assert_eq!(a[(2, 4)], sa[(2, 4)]);
+    }
+
+    #[test]
+    fn shared_matrix_copies_on_first_write() {
+        let m = Matrix::from_fn(3, 3, |i, j| (i + j) as f64);
+        let mut s = shared_copy(&m);
+        assert!(s.is_borrowed());
+        s[(1, 1)] = 99.0;
+        assert!(!s.is_borrowed(), "mutation must detach from shared storage");
+        assert_eq!(s[(1, 1)], 99.0);
+        assert_eq!(m[(1, 1)], 2.0, "the original owner is untouched");
+
+        let mut t = shared_copy(&m);
+        t.axpy(2.0, &m);
+        assert!(!t.is_borrowed());
+        assert_eq!(t[(2, 2)], 12.0);
+    }
+
+    #[test]
+    fn equality_spans_storage_tiers() {
+        let m = Matrix::from_fn(4, 2, |i, j| (i * 2 + j) as f64);
+        let s = shared_copy(&m);
+        assert_eq!(m, s);
+        assert_eq!(s, s.clone());
+        let mut w = s.clone();
+        w[(0, 0)] += 1.0;
+        assert_ne!(m, w);
     }
 }

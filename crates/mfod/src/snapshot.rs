@@ -246,6 +246,16 @@ impl FittedPipeline {
     pub fn load(path: &Path) -> Result<FittedPipeline> {
         mfod_persist::load::<PipelineSnapshot>(path)?.restore()
     }
+
+    /// Loads a pipeline by memory-mapping the snapshot file: identical
+    /// validation and bit-identical scores to [`FittedPipeline::load`],
+    /// with large matrix payloads (detector weights, smoothing systems)
+    /// served zero-copy out of the mapping instead of copied at install.
+    /// The restored pipeline owns the keep-alive handles, so the mapping
+    /// lives exactly as long as the pipeline's views into it.
+    pub fn load_mapped(path: &Path) -> Result<FittedPipeline> {
+        mfod_persist::load_mapped::<PipelineSnapshot>(path)?.restore()
+    }
 }
 
 /// The on-disk form of a [`FrozenScorer`].
@@ -319,6 +329,13 @@ impl FrozenScorer {
     /// Loads a scorer saved with [`FrozenScorer::save`].
     pub fn load(path: &Path) -> Result<FrozenScorer> {
         mfod_persist::load::<FrozenScorerSnapshot>(path)?.restore()
+    }
+
+    /// Loads a scorer by memory-mapping the snapshot file — the
+    /// zero-copy twin of [`FrozenScorer::load`]; see
+    /// [`FittedPipeline::load_mapped`].
+    pub fn load_mapped(path: &Path) -> Result<FrozenScorer> {
+        mfod_persist::load_mapped::<FrozenScorerSnapshot>(path)?.restore()
     }
 }
 
@@ -406,6 +423,13 @@ impl FittedMappingEnsemble {
     /// bit-identically to the ensemble that was saved.
     pub fn load(path: &Path) -> Result<FittedMappingEnsemble> {
         mfod_persist::load::<EnsembleSnapshot>(path)?.restore()
+    }
+
+    /// Loads an ensemble by memory-mapping the snapshot file — the
+    /// zero-copy twin of [`FittedMappingEnsemble::load`]; see
+    /// [`FittedPipeline::load_mapped`].
+    pub fn load_mapped(path: &Path) -> Result<FittedMappingEnsemble> {
+        mfod_persist::load_mapped::<EnsembleSnapshot>(path)?.restore()
     }
 }
 
@@ -525,6 +549,49 @@ mod tests {
             Err(MfodError::Persist(PersistError::WrongKind { .. }))
         ));
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mapped_load_scores_bit_identically_and_outlives_the_file() {
+        let dir = std::env::temp_dir().join(format!("mfod-snap-map-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = ecg(12, 3, 21);
+        // OcSvm carries a support-vector `Matrix`, so this restore exercises
+        // the zero-copy decode path over the mapped file.
+        let pipeline = GeomOutlierPipeline::new(
+            PipelineConfig::fast(),
+            Arc::new(Curvature),
+            Arc::new(OcSvm::with_nu(0.2).unwrap()),
+        )
+        .fit(data.samples())
+        .unwrap();
+        let path = dir.join("pipeline.mfod");
+        pipeline.save(&path).unwrap();
+        let eager = FittedPipeline::load(&path).unwrap();
+        let mapped = FittedPipeline::load_mapped(&path).unwrap();
+        // The restored model keeps the mapping alive on its own: deleting
+        // the file (and its directory) must not invalidate borrowed state.
+        std::fs::remove_dir_all(&dir).unwrap();
+        let a = pipeline.score(data.samples()).unwrap();
+        let b = eager.score(data.samples()).unwrap();
+        let c = mapped.score(data.samples()).unwrap();
+        assert_bits_eq(&a, &b, "eager load");
+        assert_bits_eq(&a, &c, "mapped load");
+        assert_bits_eq(
+            &pipeline.par_score(data.samples()).unwrap(),
+            &mapped.par_score(data.samples()).unwrap(),
+            "mapped parallel",
+        );
+        // wrong-kind rejection is identical across tiers
+        let fs_path = std::env::temp_dir().join(format!("mfod-snap-map2-{}", std::process::id()));
+        std::fs::create_dir_all(&fs_path).unwrap();
+        let p2 = fs_path.join("pipeline.mfod");
+        pipeline.save(&p2).unwrap();
+        assert!(matches!(
+            FrozenScorer::load_mapped(&p2),
+            Err(MfodError::Persist(PersistError::WrongKind { .. }))
+        ));
+        std::fs::remove_dir_all(&fs_path).unwrap();
     }
 
     #[test]

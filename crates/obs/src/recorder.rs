@@ -76,6 +76,20 @@ pub struct Metrics {
     pub registry_unchanged: Counter,
     /// Nanoseconds per directory sweep.
     pub registry_sweep_time: Histogram,
+    /// Nanoseconds per model install (`install_bytes`/`install_mapped`:
+    /// validate + decode + swap, excluding file discovery).
+    pub registry_install_time: Histogram,
+
+    // -- Snapshot decode tiers (mfod_persist) -------------------------
+    /// Sections decoded through the eager owned tier.
+    pub persist_sections_eager: Counter,
+    /// Sections decoded lazily on first touch.
+    pub persist_sections_lazy: Counter,
+    /// Nanoseconds per lazy first-touch section decode.
+    pub persist_first_touch: Histogram,
+    /// Bytes currently memory-mapped (or owner-pinned) by snapshot
+    /// buffers: `add` on map, `sub` on release.
+    pub persist_mapped_bytes: Gauge,
 
     // -- Pipeline phases (mfod) ---------------------------------------
     /// Exclusive nanoseconds per pipeline phase, indexed by
@@ -108,6 +122,11 @@ impl Metrics {
             registry_rejected: Counter::new(),
             registry_unchanged: Counter::new(),
             registry_sweep_time: Histogram::new(),
+            registry_install_time: Histogram::new(),
+            persist_sections_eager: Counter::new(),
+            persist_sections_lazy: Counter::new(),
+            persist_first_touch: Histogram::new(),
+            persist_mapped_bytes: Gauge::new(),
             phases: [const { Histogram::new() }; Phase::COUNT],
         }
     }
@@ -135,6 +154,11 @@ impl Metrics {
         self.registry_rejected.reset();
         self.registry_unchanged.reset();
         self.registry_sweep_time.reset();
+        self.registry_install_time.reset();
+        self.persist_sections_eager.reset();
+        self.persist_sections_lazy.reset();
+        self.persist_first_touch.reset();
+        self.persist_mapped_bytes.reset();
         for h in &self.phases {
             h.reset();
         }
@@ -307,6 +331,25 @@ pub struct RegistrySnapshot {
     pub rejected: u64,
     pub unchanged: u64,
     pub sweep_time: HistogramSnapshot,
+    pub install_time: HistogramSnapshot,
+}
+
+/// Snapshot-decode-tier snapshot (`mfod-persist`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PersistSnapshot {
+    pub sections_eager: u64,
+    pub sections_lazy: u64,
+    pub first_touch: HistogramSnapshot,
+    pub mapped_bytes: u64,
+}
+
+impl PersistSnapshot {
+    /// Share of section decodes deferred to first touch (`None` until a
+    /// section was decoded through either tier).
+    pub fn lazy_share(&self) -> Option<f64> {
+        let total = self.sections_eager + self.sections_lazy;
+        (total > 0).then(|| self.sections_lazy as f64 / total as f64)
+    }
 }
 
 /// One pipeline phase's exclusive-time histogram, labelled.
@@ -325,6 +368,7 @@ pub struct MetricsSnapshot {
     pub plan_cache: PlanCacheSnapshot,
     pub stream: StreamObsSnapshot,
     pub registry: RegistrySnapshot,
+    pub persist: PersistSnapshot,
     /// Indexed by [`Phase::index`], in [`Phase::ALL`] order.
     pub phases: Vec<PhaseSnapshot>,
 }
@@ -361,6 +405,13 @@ impl MetricsSnapshot {
                 rejected: m.registry_rejected.get(),
                 unchanged: m.registry_unchanged.get(),
                 sweep_time: m.registry_sweep_time.snapshot(),
+                install_time: m.registry_install_time.snapshot(),
+            },
+            persist: PersistSnapshot {
+                sections_eager: m.persist_sections_eager.get(),
+                sections_lazy: m.persist_sections_lazy.get(),
+                first_touch: m.persist_first_touch.snapshot(),
+                mapped_bytes: m.persist_mapped_bytes.get(),
             },
             phases: Phase::ALL
                 .iter()
@@ -442,6 +493,23 @@ impl MetricsSnapshot {
                     .unchanged
                     .saturating_sub(earlier.registry.unchanged),
                 sweep_time: self.registry.sweep_time.diff(&earlier.registry.sweep_time),
+                install_time: self
+                    .registry
+                    .install_time
+                    .diff(&earlier.registry.install_time),
+            },
+            persist: PersistSnapshot {
+                sections_eager: self
+                    .persist
+                    .sections_eager
+                    .saturating_sub(earlier.persist.sections_eager),
+                sections_lazy: self
+                    .persist
+                    .sections_lazy
+                    .saturating_sub(earlier.persist.sections_lazy),
+                first_touch: self.persist.first_touch.diff(&earlier.persist.first_touch),
+                // a level, not a rate: keep the later reading
+                mapped_bytes: self.persist.mapped_bytes,
             },
             phases: self
                 .phases
@@ -485,6 +553,17 @@ impl MetricsSnapshot {
         push_u64(&mut out, "rejected", self.registry.rejected, false);
         push_u64(&mut out, "unchanged", self.registry.unchanged, false);
         push_hist(&mut out, "sweep_ns", &self.registry.sweep_time);
+        push_hist(&mut out, "install_ns", &self.registry.install_time);
+        out.push_str("},\n  \"persist\": {");
+        push_u64(
+            &mut out,
+            "sections_eager",
+            self.persist.sections_eager,
+            true,
+        );
+        push_u64(&mut out, "sections_lazy", self.persist.sections_lazy, false);
+        push_u64(&mut out, "mapped_bytes", self.persist.mapped_bytes, false);
+        push_hist(&mut out, "first_touch_ns", &self.persist.first_touch);
         out.push_str("},\n  \"phases\": {");
         for (i, p) in self.phases.iter().enumerate() {
             if i > 0 {
@@ -544,6 +623,19 @@ impl MetricsSnapshot {
             g.generation, g.swaps, g.sweeps, g.rejected, g.unchanged
         );
         hist_line(&mut r, "  sweep     ", &g.sweep_time);
+        hist_line(&mut r, "  install   ", &g.install_time);
+
+        let pe = &self.persist;
+        let share = pe
+            .lazy_share()
+            .map(|s| format!("{:.1}%", 100.0 * s))
+            .unwrap_or_else(|| "n/a".into());
+        let _ = writeln!(
+            r,
+            "persist    sections: {} eager / {} lazy ({share} lazy) · {} bytes mapped",
+            pe.sections_eager, pe.sections_lazy, pe.mapped_bytes
+        );
+        hist_line(&mut r, "  1st touch ", &pe.first_touch);
 
         r.push_str("phases (exclusive time)\n");
         for ph in &self.phases {
@@ -727,6 +819,11 @@ mod tests {
         m.pool_chunks_queued.add(8);
         m.stream_batch_score.record(2_000_000);
         m.registry_generation.set(3);
+        m.persist_sections_lazy.add(2);
+        m.persist_sections_eager.add(6);
+        m.persist_mapped_bytes.add(4_096);
+        m.persist_first_touch.record(10_000);
+        m.registry_install_time.record(5_000_000);
         let snap = Recorder::snapshot();
         let json = snap.to_json();
         for key in [
@@ -734,9 +831,14 @@ mod tests {
             "\"plan_cache\"",
             "\"stream\"",
             "\"registry\"",
+            "\"persist\"",
             "\"phases\"",
             "\"caller_steals\": 4",
             "\"generation\": 3",
+            "\"sections_lazy\": 2",
+            "\"mapped_bytes\": 4096",
+            "\"install_ns\"",
+            "\"first_touch_ns\"",
             "\"p50\"",
             "\"buckets\"",
             "\"fit-features\"",
@@ -752,6 +854,7 @@ mod tests {
             "stream",
             "batch lat",
             "registry   generation 3",
+            "persist    sections: 6 eager / 2 lazy (25.0% lazy) · 4096 bytes mapped",
             "phases",
         ] {
             assert!(

@@ -10,12 +10,18 @@
 //! 8       4     artifact kind  (u32, see [`Snapshot::KIND`])
 //! 12      4     section count  (u32)
 //! 16      20·k  section table: k × { id: u32, offset: u64, len: u64 }
-//! …       n     payload (concatenated section bodies)
+//! …       n     payload (section bodies, each padded to an 8-aligned
+//!               file offset with deterministic zero gaps)
 //! end−4   4     CRC-32 (IEEE) over every preceding byte
 //! ```
 //!
 //! Section offsets are relative to the payload start and are validated
 //! against the payload bounds before any section is handed to a decoder.
+//! Table offsets are authoritative, so the inter-section alignment gaps
+//! are invisible to readers (they are covered by the CRC); they exist so
+//! `f64` runs inside a mapped file land 8-byte aligned and the zero-copy
+//! decode tier ([`LazySnapshot`], [`from_shared`]) can serve matrix
+//! payloads in place.
 //!
 //! ## Versioning policy
 //!
@@ -28,9 +34,12 @@
 //! treat a missing optional section as its default.
 
 use crate::error::PersistError;
+use crate::map::SharedBytes;
 use crate::wire::{Decode, Decoder, Encode, Encoder};
 use crate::Result;
+use std::any::Any;
 use std::path::Path;
+use std::sync::OnceLock;
 
 /// Snapshot file magic.
 pub const MAGIC: [u8; 4] = *b"MFOD";
@@ -44,20 +53,165 @@ pub const SNAPSHOT_EXT: &str = "mfod";
 /// Section id for the single-section body written by [`to_bytes`].
 pub const SECTION_BODY: u32 = 1;
 
-/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) of `bytes`.
-///
-/// Bitwise implementation — snapshots are model-sized (kilobytes to a few
-/// megabytes), so a lookup table is not worth the code.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        crc ^= u32::from(b);
-        for _ in 0..8 {
+/// Slice-by-16 lookup tables for [`crc32`], generated at compile time.
+/// `CRC_TABLES[0]` is the classic byte-at-a-time table; table `k` maps a
+/// byte to its CRC contribution when it sits `k` positions deeper in a
+/// 16-byte block.
+const CRC_TABLES: [[u32; 256]; 16] = build_crc_tables();
+
+const fn build_crc_tables() -> [[u32; 256]; 16] {
+    let mut t = [[0u32; 256]; 16];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut j = 0;
+        while j < 8 {
             let mask = (crc & 1).wrapping_neg();
             crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+            j += 1;
         }
+        t[0][i] = crc;
+        i += 1;
     }
-    !crc
+    let mut k = 1;
+    while k < 16 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = t[k - 1][i];
+            t[k][i] = (prev >> 8) ^ t[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    t
+}
+
+/// One slice-by-16 step: folds a 16-byte block into the running state.
+/// The sixteen lookups have no chain between them, so the core can
+/// overlap them across the block.
+#[inline(always)]
+fn crc32_step16(crc: u32, c: &[u8]) -> u32 {
+    let a = u32::from_le_bytes([c[0], c[1], c[2], c[3]]) ^ crc;
+    let b = u32::from_le_bytes([c[4], c[5], c[6], c[7]]);
+    let d = u32::from_le_bytes([c[8], c[9], c[10], c[11]]);
+    let e = u32::from_le_bytes([c[12], c[13], c[14], c[15]]);
+    CRC_TABLES[15][(a & 0xFF) as usize]
+        ^ CRC_TABLES[14][((a >> 8) & 0xFF) as usize]
+        ^ CRC_TABLES[13][((a >> 16) & 0xFF) as usize]
+        ^ CRC_TABLES[12][(a >> 24) as usize]
+        ^ CRC_TABLES[11][(b & 0xFF) as usize]
+        ^ CRC_TABLES[10][((b >> 8) & 0xFF) as usize]
+        ^ CRC_TABLES[9][((b >> 16) & 0xFF) as usize]
+        ^ CRC_TABLES[8][(b >> 24) as usize]
+        ^ CRC_TABLES[7][(d & 0xFF) as usize]
+        ^ CRC_TABLES[6][((d >> 8) & 0xFF) as usize]
+        ^ CRC_TABLES[5][((d >> 16) & 0xFF) as usize]
+        ^ CRC_TABLES[4][(d >> 24) as usize]
+        ^ CRC_TABLES[3][(e & 0xFF) as usize]
+        ^ CRC_TABLES[2][((e >> 8) & 0xFF) as usize]
+        ^ CRC_TABLES[1][((e >> 16) & 0xFF) as usize]
+        ^ CRC_TABLES[0][(e >> 24) as usize]
+}
+
+/// Raw state update (no init/final conditioning) over `bytes`.
+fn crc32_update(mut crc: u32, bytes: &[u8]) -> u32 {
+    let mut chunks = bytes.chunks_exact(16);
+    for c in chunks.by_ref() {
+        crc = crc32_step16(crc, c);
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ CRC_TABLES[0][((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    crc
+}
+
+/// Multiply the GF(2) operator matrix `mat` by the bit-vector `vec`.
+fn gf2_times(mat: &[u32; 32], mut vec: u32) -> u32 {
+    let mut sum = 0;
+    let mut i = 0;
+    while vec != 0 {
+        if vec & 1 != 0 {
+            sum ^= mat[i];
+        }
+        vec >>= 1;
+        i += 1;
+    }
+    sum
+}
+
+/// `square = mat²` in GF(2): each column is the matrix applied to itself.
+fn gf2_square(square: &mut [u32; 32], mat: &[u32; 32]) {
+    for n in 0..32 {
+        square[n] = gf2_times(mat, mat[n]);
+    }
+}
+
+/// CRC of the concatenation `A ‖ B` given the finalized CRCs of `A` and
+/// `B` and the byte length of `B` — the classic zero-operator trick:
+/// appending `len2` zero bytes to `A` is a linear operator over GF(2),
+/// built by squaring the one-zero-bit matrix `log₂(len2)` times.
+fn crc32_combine(mut crc1: u32, crc2: u32, mut len2: u64) -> u32 {
+    if len2 == 0 {
+        return crc1;
+    }
+    let mut odd = [0u32; 32];
+    odd[0] = 0xEDB8_8320; // operator for one zero bit
+    for (n, slot) in odd.iter_mut().enumerate().skip(1) {
+        *slot = 1 << (n - 1);
+    }
+    let mut even = [0u32; 32];
+    gf2_square(&mut even, &odd); // two bits
+    gf2_square(&mut odd, &even); // four bits
+    loop {
+        gf2_square(&mut even, &odd); // first pass: one zero byte
+        if len2 & 1 != 0 {
+            crc1 = gf2_times(&even, crc1);
+        }
+        len2 >>= 1;
+        if len2 == 0 {
+            break;
+        }
+        gf2_square(&mut odd, &even);
+        if len2 & 1 != 0 {
+            crc1 = gf2_times(&odd, crc1);
+        }
+        len2 >>= 1;
+    }
+    crc1 ^ crc2
+}
+
+/// Below this length the three-stream split is not worth the two
+/// zero-operator combines (~tens of µs of GF(2) matrix work).
+const CRC_INTERLEAVE_MIN: usize = 1 << 18;
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) of `bytes`.
+///
+/// The checksum is the dominant cost of opening a mapped snapshot
+/// (everything else is header + section-table validation, O(sections)
+/// not O(bytes)), so the hot loop is a slice-by-16 table walk, and large
+/// inputs are split into three interleaved streams whose serial
+/// dependency chains overlap in the pipeline, merged with the GF(2)
+/// zero-operator combine.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    if bytes.len() >= CRC_INTERLEAVE_MIN {
+        let part = (bytes.len() / 3) & !15;
+        let (a, rest) = bytes.split_at(part);
+        let (b, rest) = rest.split_at(part);
+        let (c, tail) = rest.split_at(part);
+        let (mut ca, mut cb, mut cc) = (0xFFFF_FFFFu32, 0xFFFF_FFFFu32, 0xFFFF_FFFFu32);
+        for ((x, y), z) in a
+            .chunks_exact(16)
+            .zip(b.chunks_exact(16))
+            .zip(c.chunks_exact(16))
+        {
+            ca = crc32_step16(ca, x);
+            cb = crc32_step16(cb, y);
+            cc = crc32_step16(cc, z);
+        }
+        let merged = crc32_combine(crc32_combine(!ca, !cb, part as u64), !cc, part as u64);
+        return !crc32_update(!merged, tail);
+    }
+    !crc32_update(0xFFFF_FFFF, bytes)
 }
 
 /// A typed artifact with a stable on-disk identity.
@@ -97,22 +251,38 @@ impl SnapshotWriter {
     }
 
     /// Serializes the container: header, table, payload, CRC trailer.
+    ///
+    /// Each section body is padded to start at a **file offset that is a
+    /// multiple of 8**, so that `f64` runs inside a section land 8-byte
+    /// aligned in a mapped file and the zero-copy decode tier can serve
+    /// them in place. The padding is deterministic zero bytes living in
+    /// the gaps *between* table-addressed sections — readers never see it
+    /// (table offsets are authoritative), the CRC covers it, and files
+    /// remain readable by any [`FORMAT_VERSION`] 1 reader, so this is
+    /// additive, not a version bump.
     pub fn finish(self) -> Vec<u8> {
+        // header (16 bytes) + table (20 bytes per section) precede the payload
+        let payload_base = 16 + 20 * self.sections.len();
+        let mut payload: Vec<u8> = Vec::new();
+        let mut entries = Vec::with_capacity(self.sections.len());
+        for (id, body) in &self.sections {
+            let file_offset = payload_base + payload.len();
+            let pad = (8 - file_offset % 8) % 8;
+            payload.resize(payload.len() + pad, 0);
+            entries.push((*id, payload.len() as u64, body.len() as u64));
+            payload.extend_from_slice(body);
+        }
         let mut out = Encoder::new();
         out.put_bytes(&MAGIC);
         out.put_u32(FORMAT_VERSION);
         out.put_u32(self.kind);
         out.put_u32(self.sections.len() as u32);
-        let mut offset = 0u64;
-        for (id, body) in &self.sections {
-            out.put_u32(*id);
+        for (id, offset, len) in entries {
+            out.put_u32(id);
             out.put_u64(offset);
-            out.put_u64(body.len() as u64);
-            offset += body.len() as u64;
+            out.put_u64(len);
         }
-        for (_, body) in &self.sections {
-            out.put_bytes(body);
-        }
+        out.put_bytes(&payload);
         let mut bytes = out.into_bytes();
         let crc = crc32(&bytes);
         bytes.extend_from_slice(&crc.to_le_bytes());
@@ -218,8 +388,161 @@ impl<'a> SnapshotReader<'a> {
         self.sections
             .iter()
             .find(|&&(sid, _)| sid == id)
-            .map(|&(_, body)| Decoder::new(body))
+            .map(|&(_, body)| {
+                if let Some(m) = mfod_obs::active() {
+                    m.persist_sections_eager.add(1);
+                }
+                Decoder::new(body)
+            })
             .ok_or(PersistError::MissingSection { id })
+    }
+}
+
+/// A validated-once, decode-on-touch view over a snapshot container.
+///
+/// Opening validates magic, version, section-table bounds and the CRC
+/// **once** over the whole byte slice — O(file) for the checksum scan
+/// and nothing else — and after that no decoding happens until a section
+/// is touched. This is the integrity contract of the lazy tier: a
+/// tampered section that is *never* touched is still rejected up front
+/// by the CRC gate, and a touched one fails with the same typed error
+/// the eager path produces (decode failures are never cached — every
+/// touch of a corrupt section re-fails identically).
+///
+/// Opened over a [`SharedBytes`] owner ([`LazySnapshot::open_shared`],
+/// typically a mapped file), section decoders are owner-aware, so
+/// `Matrix` payloads decode as zero-copy views into the map;
+/// [`LazySnapshot::shared_section`] additionally hands out owner-pinned
+/// section bytes for `'static` consumers ([`crate::map::LazySection`]).
+///
+/// [`LazySnapshot::section_value`] memoizes successful decodes, so
+/// repeated touches of one section pay the decode once.
+#[derive(Debug)]
+pub struct LazySnapshot<'a> {
+    reader: SnapshotReader<'a>,
+    shared: Option<&'a SharedBytes>,
+    base: usize,
+    cells: Vec<OnceLock<Box<dyn Any + Send + Sync>>>,
+}
+
+impl<'a> LazySnapshot<'a> {
+    /// Opens a container over caller-held bytes (CRC, magic, version and
+    /// table validated now; sections decoded on touch).
+    pub fn open(bytes: &'a [u8]) -> Result<Self> {
+        let reader = SnapshotReader::parse(bytes)?;
+        let cells = (0..reader.sections.len())
+            .map(|_| OnceLock::new())
+            .collect();
+        Ok(LazySnapshot {
+            reader,
+            shared: None,
+            base: bytes.as_ptr() as usize,
+            cells,
+        })
+    }
+
+    /// Opens a container over owner-pinned bytes (a mapped snapshot
+    /// file): same validation as [`LazySnapshot::open`], plus the
+    /// zero-copy decode tier for every section.
+    pub fn open_shared(shared: &'a SharedBytes) -> Result<Self> {
+        let reader = SnapshotReader::parse(shared.as_slice())?;
+        let cells = (0..reader.sections.len())
+            .map(|_| OnceLock::new())
+            .collect();
+        Ok(LazySnapshot {
+            reader,
+            shared: Some(shared),
+            base: shared.as_slice().as_ptr() as usize,
+            cells,
+        })
+    }
+
+    /// Artifact kind from the header.
+    pub fn kind(&self) -> u32 {
+        self.reader.kind()
+    }
+
+    /// Container version the file was written with.
+    pub fn version(&self) -> u32 {
+        self.reader.version()
+    }
+
+    /// Ids of every section present, in file order.
+    pub fn section_ids(&self) -> Vec<u32> {
+        self.reader.section_ids()
+    }
+
+    /// Whether a section with this id is present.
+    pub fn has_section(&self, id: u32) -> bool {
+        self.reader.sections.iter().any(|&(sid, _)| sid == id)
+    }
+
+    fn find(&self, id: u32) -> Result<(usize, &'a [u8])> {
+        self.reader
+            .sections
+            .iter()
+            .position(|&(sid, _)| sid == id)
+            .map(|idx| (idx, self.reader.sections[idx].1))
+            .ok_or(PersistError::MissingSection { id })
+    }
+
+    /// A required section's raw bytes.
+    pub fn section_bytes(&self, id: u32) -> Result<&'a [u8]> {
+        Ok(self.find(id)?.1)
+    }
+
+    /// Decoder over a required section's body — owner-aware (zero-copy
+    /// capable) when the container was opened over [`SharedBytes`].
+    pub fn section(&self, id: u32) -> Result<Decoder<'a>> {
+        let (_, body) = self.find(id)?;
+        Ok(match self.shared {
+            Some(owner) => Decoder::with_owner(body, owner),
+            None => Decoder::new(body),
+        })
+    }
+
+    /// A required section's bytes as an owner-pinned [`SharedBytes`]
+    /// sub-view — the handle to hand to [`crate::map::LazySection`] for
+    /// `'static` first-touch decoding. Requires the container to have
+    /// been opened via [`LazySnapshot::open_shared`].
+    pub fn shared_section(&self, id: u32) -> Result<SharedBytes> {
+        let (_, body) = self.find(id)?;
+        let owner = self.shared.ok_or_else(|| {
+            PersistError::Malformed("shared_section on a container opened without an owner".into())
+        })?;
+        let start = body.as_ptr() as usize - self.base;
+        Ok(owner.slice(start..start + body.len()))
+    }
+
+    /// Decodes a required section on first touch and memoizes the
+    /// result; later calls return the cached value without re-decoding.
+    /// Only successes are cached: a corrupt section fails with the same
+    /// typed error on every touch, exactly like the eager path.
+    ///
+    /// The decoder must consume the section exactly (trailing bytes are
+    /// corruption). Requesting the same section as two different types
+    /// is a caller bug and reported as [`PersistError::Malformed`].
+    pub fn section_value<T: Decode + Send + Sync + 'static>(&self, id: u32) -> Result<&T> {
+        let (idx, _) = self.find(id)?;
+        if self.cells[idx].get().is_none() {
+            let started = mfod_obs::active().map(|_| std::time::Instant::now());
+            let mut dec = self.section(id)?;
+            let value = T::decode(&mut dec)?;
+            dec.finish()?;
+            if let (Some(m), Some(t)) = (mfod_obs::active(), started) {
+                m.persist_sections_lazy.add(1);
+                m.persist_first_touch.record(t.elapsed().as_nanos() as u64);
+            }
+            // under a concurrent first touch, the winner's value is kept
+            let _ = self.cells[idx].set(Box::new(value));
+        }
+        self.cells[idx]
+            .get()
+            .expect("cell initialized above")
+            .downcast_ref::<T>()
+            .ok_or_else(|| {
+                PersistError::Malformed(format!("section {id} touched as two different types"))
+            })
     }
 }
 
@@ -244,6 +567,37 @@ pub fn from_bytes<T: Snapshot>(bytes: &[u8]) -> Result<T> {
     let value = T::decode(&mut dec)?;
     dec.finish()?;
     Ok(value)
+}
+
+/// [`from_bytes`] over owner-pinned bytes: identical validation and
+/// identical decoded values (bit-for-bit), but matrix payloads come back
+/// as zero-copy views into the shared buffer wherever the layout's
+/// 8-byte alignment allows, each view holding the owner alive. The
+/// decoded value is `'static` — it owns its keep-alive handles — so it
+/// can outlive both `shared` and the call stack (e.g. live inside a
+/// `ModelRegistry` entry).
+pub fn from_shared<T: Snapshot>(shared: &SharedBytes) -> Result<T> {
+    let snap = LazySnapshot::open_shared(shared)?;
+    if snap.kind() != T::KIND {
+        return Err(PersistError::WrongKind {
+            got: snap.kind(),
+            expected: T::KIND,
+        });
+    }
+    let mut dec = snap.section(SECTION_BODY)?;
+    let value = T::decode(&mut dec)?;
+    dec.finish()?;
+    Ok(value)
+}
+
+/// Loads a snapshot by memory-mapping the file ([`SharedBytes::map`])
+/// and decoding through the zero-copy tier ([`from_shared`]): install
+/// cost is header + table + CRC validation plus structural decode, with
+/// large `f64` payloads served straight from the page cache instead of
+/// copied. The mapping stays alive as long as any decoded view does.
+pub fn load_mapped<T: Snapshot>(path: &Path) -> Result<T> {
+    let shared = SharedBytes::map(path)?;
+    from_shared(&shared)
 }
 
 /// Writes `bytes` to `path` atomically: the data lands in a sibling
@@ -317,6 +671,46 @@ mod tests {
         // standard check value for "123456789"
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    /// The interleaved three-stream path and the serial path must agree
+    /// with a byte-at-a-time reference at every structural edge: below /
+    /// at / above the interleave threshold, and with tails that are not
+    /// multiples of the 16-byte block or the three-way split.
+    #[test]
+    fn crc32_interleaved_matches_reference() {
+        fn reference(bytes: &[u8]) -> u32 {
+            let mut crc = 0xFFFF_FFFFu32;
+            for &b in bytes {
+                crc = (crc >> 8) ^ CRC_TABLES[0][((crc ^ u32::from(b)) & 0xFF) as usize];
+            }
+            !crc
+        }
+        // deterministic pseudo-random fill, no RNG dependency
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let data: Vec<u8> = (0..CRC_INTERLEAVE_MIN + 211)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 56) as u8
+            })
+            .collect();
+        for len in [
+            0,
+            1,
+            15,
+            16,
+            17,
+            4096,
+            CRC_INTERLEAVE_MIN - 1,
+            CRC_INTERLEAVE_MIN,
+            CRC_INTERLEAVE_MIN + 1,
+            CRC_INTERLEAVE_MIN + 48,
+            CRC_INTERLEAVE_MIN + 211,
+        ] {
+            assert_eq!(crc32(&data[..len]), reference(&data[..len]), "len {len}");
+        }
     }
 
     #[test]
@@ -424,6 +818,185 @@ mod tests {
         let bytes = w.finish();
         let back: Blob = from_bytes(&bytes).unwrap();
         assert_eq!(back.tag, b.tag);
+    }
+
+    #[test]
+    fn crc32_matches_bitwise_reference() {
+        fn reference(bytes: &[u8]) -> u32 {
+            let mut crc = 0xFFFF_FFFFu32;
+            for &b in bytes {
+                crc ^= u32::from(b);
+                for _ in 0..8 {
+                    let mask = (crc & 1).wrapping_neg();
+                    crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+                }
+            }
+            !crc
+        }
+        let mut x = 0x9E37_79B9_u64;
+        for n in [0usize, 1, 7, 8, 9, 63, 64, 65, 1000] {
+            let buf: Vec<u8> = (0..n)
+                .map(|_| {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (x >> 33) as u8
+                })
+                .collect();
+            assert_eq!(crc32(&buf), reference(&buf), "len {n}");
+        }
+    }
+
+    #[test]
+    fn sections_start_at_8_aligned_file_offsets() {
+        let mut w = SnapshotWriter::new(7);
+        w.section(1, |enc| enc.put_u8(0xAA)); // odd length forces padding
+        w.section(2, |enc| enc.put_u64(0xDEAD_BEEF));
+        w.section(3, |enc| enc.put_bytes(&[1, 2, 3]));
+        let bytes = w.finish();
+        let reader = SnapshotReader::parse(&bytes).unwrap();
+        let payload_base = 16 + 20 * 3;
+        let mut r = Decoder::new(&bytes[16..payload_base]);
+        for expect_id in [1u32, 2, 3] {
+            let id = r.take_u32().unwrap();
+            let offset = r.take_u64().unwrap() as usize;
+            let len = r.take_u64().unwrap();
+            assert_eq!(id, expect_id);
+            assert_eq!((payload_base + offset) % 8, 0, "section {id} misaligned");
+            assert!(len > 0);
+        }
+        // padding is invisible to section readers
+        assert_eq!(reader.section(2).unwrap().take_u64().unwrap(), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn lazy_snapshot_decodes_on_touch_and_memoizes() {
+        let b = blob();
+        let bytes = to_bytes(&b);
+        let snap = LazySnapshot::open(&bytes).unwrap();
+        assert_eq!(snap.kind(), Blob::KIND);
+        assert_eq!(snap.version(), FORMAT_VERSION);
+        assert!(snap.has_section(SECTION_BODY));
+        assert!(!snap.has_section(0xFFFF));
+        assert_eq!(snap.section_ids(), vec![SECTION_BODY]);
+
+        let first = snap.section_value::<Blob>(SECTION_BODY).unwrap();
+        assert_eq!(first.tag, b.tag);
+        let second = snap.section_value::<Blob>(SECTION_BODY).unwrap();
+        assert!(
+            std::ptr::eq(first, second),
+            "second touch must return the memoized value"
+        );
+        // same section under a different type is a typed caller bug
+        assert!(matches!(
+            snap.section_value::<u64>(SECTION_BODY),
+            Err(PersistError::Malformed(_))
+        ));
+        assert!(matches!(
+            snap.section_value::<Blob>(0x7777),
+            Err(PersistError::MissingSection { id: 0x7777 })
+        ));
+    }
+
+    #[test]
+    fn lazy_and_eager_paths_are_bit_identical() {
+        let b = blob();
+        let bytes = to_bytes(&b);
+        let eager: Blob = from_bytes(&bytes).unwrap();
+        let shared = SharedBytes::from_vec(bytes.clone());
+        let lazy: Blob = from_shared(&shared).unwrap();
+        let snap = LazySnapshot::open_shared(&shared).unwrap();
+        let touched = snap.section_value::<Blob>(SECTION_BODY).unwrap();
+        for variant in [&eager, &lazy, touched] {
+            assert_eq!(variant.tag, b.tag);
+            let bits: Vec<u64> = variant.xs.iter().map(|v| v.to_bits()).collect();
+            let want: Vec<u64> = b.xs.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bits, want);
+        }
+    }
+
+    #[test]
+    fn mapped_decode_serves_matrices_zero_copy() {
+        #[derive(Debug)]
+        struct Weights {
+            m: mfod_linalg::Matrix,
+        }
+        impl Encode for Weights {
+            fn encode(&self, w: &mut Encoder) {
+                self.m.encode(w);
+            }
+        }
+        impl Decode for Weights {
+            fn decode(r: &mut Decoder<'_>) -> Result<Self> {
+                Ok(Weights {
+                    m: mfod_linalg::Matrix::decode(r)?,
+                })
+            }
+        }
+        impl Snapshot for Weights {
+            const KIND: u32 = 0x3333;
+            const NAME: &'static str = "weights";
+        }
+        let w = Weights {
+            m: mfod_linalg::Matrix::from_fn(16, 16, |i, j| ((i * 16 + j) as f64).sqrt()),
+        };
+        let dir = std::env::temp_dir().join(format!("mfod-lazy-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("w.mfod");
+        save(&w, &path).unwrap();
+
+        let eager: Weights = load(&path).unwrap();
+        assert!(!eager.m.is_borrowed());
+        let mapped: Weights = load_mapped(&path).unwrap();
+        assert!(
+            mapped.m.is_borrowed(),
+            "aligned matrix payload must be served from the map"
+        );
+        for (a, b) in eager.m.as_slice().iter().zip(mapped.m.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // the decoded value owns its keep-alive: reads work after the
+        // mapping handle and the file are gone
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert_eq!(mapped.m[(3, 5)].to_bits(), w.m[(3, 5)].to_bits());
+    }
+
+    #[test]
+    fn tampering_is_caught_at_open_even_if_never_touched() {
+        let mut w = SnapshotWriter::new(9);
+        w.section(1, |enc| enc.put_u64(1));
+        w.section(2, |enc| enc.put_u64(2));
+        let mut bytes = w.finish();
+        // corrupt section 2's payload only
+        let n = bytes.len();
+        bytes[n - 5] ^= 0xFF;
+        // the CRC gate fires at open — before any section is touched
+        assert!(matches!(
+            LazySnapshot::open(&bytes),
+            Err(PersistError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn touched_corruption_fails_typed_like_the_eager_path() {
+        let b = blob();
+        let mut w = SnapshotWriter::new(Blob::KIND);
+        // a body section that lies about its vec length
+        w.section(SECTION_BODY, |enc| {
+            enc.put_usize(1_000_000);
+            enc.put_f64(1.0);
+        });
+        let bytes = w.finish();
+        // both paths agree: typed truncation, no panic, repeated on every touch
+        let eager_err = from_bytes::<Blob>(&bytes).unwrap_err();
+        assert!(matches!(eager_err, PersistError::Truncated { .. }));
+        let snap = LazySnapshot::open(&bytes).unwrap();
+        for _ in 0..2 {
+            let lazy_err = snap.section_value::<Blob>(SECTION_BODY).unwrap_err();
+            assert!(
+                matches!(lazy_err, PersistError::Truncated { .. }),
+                "lazy touch must re-fail typed: {lazy_err}"
+            );
+        }
+        drop(b);
     }
 
     #[test]

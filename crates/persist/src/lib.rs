@@ -52,17 +52,19 @@
 pub mod error;
 pub mod format;
 pub mod hash;
+pub mod map;
 pub mod registry;
 pub mod wire;
 
 pub use error::PersistError;
 pub use format::{
-    crc32, from_bytes, load, save, save_bytes, to_bytes, Snapshot, SnapshotReader, SnapshotWriter,
-    FORMAT_VERSION, MAGIC, SECTION_BODY, SNAPSHOT_EXT,
+    crc32, from_bytes, from_shared, load, load_mapped, save, save_bytes, to_bytes, LazySnapshot,
+    Snapshot, SnapshotReader, SnapshotWriter, FORMAT_VERSION, MAGIC, SECTION_BODY, SNAPSHOT_EXT,
 };
 pub use hash::{fnv1a64, hash_f64s, Fnv1a};
+pub use map::{LazySection, SharedBytes};
 pub use registry::{DirLoadReport, ModelRegistry, Restorable, WatchHandle};
-pub use wire::{Decode, Decoder, Encode, Encoder};
+pub use wire::{Decode, DecodeRef, Decoder, Encode, Encoder, F64Bits};
 
 /// Crate-wide `Result` alias.
 pub type Result<T> = std::result::Result<T, PersistError>;
@@ -70,8 +72,11 @@ pub type Result<T> = std::result::Result<T, PersistError>;
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::error::PersistError;
-    pub use crate::format::{from_bytes, load, save, to_bytes, Snapshot};
+    pub use crate::format::{
+        from_bytes, from_shared, load, load_mapped, save, to_bytes, LazySnapshot, Snapshot,
+    };
     pub use crate::hash::{fnv1a64, hash_f64s, Fnv1a};
+    pub use crate::map::{LazySection, SharedBytes};
     pub use crate::registry::{DirLoadReport, ModelRegistry, Restorable, WatchHandle};
-    pub use crate::wire::{Decode, Decoder, Encode, Encoder};
+    pub use crate::wire::{Decode, DecodeRef, Decoder, Encode, Encoder, F64Bits};
 }

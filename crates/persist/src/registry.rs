@@ -18,12 +18,13 @@
 //! [`load_dir`]: ModelRegistry::load_dir
 
 use crate::error::PersistError;
-use crate::format::{from_bytes, Snapshot, SNAPSHOT_EXT};
+use crate::format::{from_bytes, from_shared, Snapshot, SNAPSHOT_EXT};
+use crate::map::SharedBytes;
 use crate::Result;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
-use std::time::Duration;
+use std::time::{Duration, SystemTime};
 
 /// A live artifact that can be rebuilt from its snapshot form.
 ///
@@ -46,25 +47,42 @@ pub trait Restorable: Sized {
 pub struct DirLoadReport {
     /// The file that became active, with its new generation number.
     pub installed: Option<(PathBuf, u64)>,
-    /// The newest valid file byte-matched the currently active install,
-    /// so the sweep was a no-op (generation unchanged) — the steady
-    /// state of a polling watcher loop.
+    /// The newest valid file matched the currently active install, so
+    /// the sweep was a no-op (generation unchanged) — the steady state
+    /// of a polling watcher loop.
     pub unchanged: Option<PathBuf>,
+    /// The no-op above was decided from file metadata alone (size +
+    /// mtime matched the active install), without reading a single
+    /// payload byte — the steady-state watcher poll is O(1) I/O, not
+    /// O(file).
+    pub stat_fast_path: bool,
     /// Files that failed validation, each with its typed error.
     pub rejected: Vec<(PathBuf, PersistError)>,
     /// Candidate snapshot files considered (sorted by file name).
     pub considered: usize,
 }
 
+/// Identity of the bytes behind the active install: file size, mtime
+/// (when installed from a file) and FNV-1a content hash. The size+mtime
+/// pair powers the stat-only fast path in [`ModelRegistry::load_dir`];
+/// the hash is the ground truth when metadata is inconclusive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct SourceId {
+    len: u64,
+    mtime: Option<SystemTime>,
+    hash: u64,
+}
+
 /// An atomically hot-swappable slot holding the active model generation.
 pub struct ModelRegistry<T> {
     active: RwLock<Option<Arc<T>>>,
     generation: AtomicU64,
-    /// FNV-1a of the snapshot bytes behind the active model, when it was
-    /// installed from bytes — lets [`ModelRegistry::load_dir`] skip
-    /// re-decoding (and spuriously re-installing) an unchanged file on
-    /// every watcher poll. `None` after a direct [`ModelRegistry::install`].
-    active_bytes_hash: std::sync::Mutex<Option<u64>>,
+    /// Identity of the snapshot behind the active model, when it was
+    /// installed from bytes or a file — lets [`ModelRegistry::load_dir`]
+    /// skip re-reading (stat fast path) and re-decoding an unchanged
+    /// file on every watcher poll. `None` after a direct
+    /// [`ModelRegistry::install`].
+    active_source: Mutex<Option<SourceId>>,
 }
 
 impl<T> std::fmt::Debug for ModelRegistry<T> {
@@ -81,7 +99,7 @@ impl<T> Default for ModelRegistry<T> {
         ModelRegistry {
             active: RwLock::new(None),
             generation: AtomicU64::new(0),
-            active_bytes_hash: std::sync::Mutex::new(None),
+            active_source: Mutex::new(None),
         }
     }
 }
@@ -112,17 +130,14 @@ impl<T> ModelRegistry<T> {
     /// number. The previous model is dropped when its last in-flight
     /// batch finishes.
     pub fn install(&self, model: Arc<T>) -> u64 {
-        self.install_hashed(model, None)
+        self.install_tagged(model, None)
     }
 
-    fn install_hashed(&self, model: Arc<T>, bytes_hash: Option<u64>) -> u64 {
+    fn install_tagged(&self, model: Arc<T>, source: Option<SourceId>) -> u64 {
         // Take both locks in a fixed order so a concurrent load_dir's
-        // hash check can never observe a hash newer than the slot.
+        // identity check can never observe a source newer than the slot.
         let mut slot = self.active.write().unwrap_or_else(|p| p.into_inner());
-        *self
-            .active_bytes_hash
-            .lock()
-            .unwrap_or_else(|p| p.into_inner()) = bytes_hash;
+        *self.active_source.lock().unwrap_or_else(|p| p.into_inner()) = source;
         *slot = Some(model);
         let generation = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
         if let Some(m) = mfod_obs::active() {
@@ -136,19 +151,62 @@ impl<T> ModelRegistry<T> {
 impl<T: Restorable> ModelRegistry<T> {
     /// Decodes, restores and installs a snapshot byte buffer.
     pub fn install_bytes(&self, bytes: &[u8]) -> Result<u64> {
+        let started = mfod_obs::active().map(|_| std::time::Instant::now());
         let snapshot = from_bytes::<T::Snapshot>(bytes)?;
         let model = T::restore(snapshot).map_err(PersistError::Restore)?;
-        Ok(self.install_hashed(Arc::new(model), Some(crate::hash::fnv1a64(bytes))))
+        let generation = self.install_tagged(
+            Arc::new(model),
+            Some(SourceId {
+                len: bytes.len() as u64,
+                mtime: None,
+                hash: crate::hash::fnv1a64(bytes),
+            }),
+        );
+        if let (Some(m), Some(t)) = (mfod_obs::active(), started) {
+            m.registry_install_time
+                .record(t.elapsed().as_nanos() as u64);
+        }
+        Ok(generation)
     }
 
-    /// Loads one snapshot file and hot-swaps it in. The active model is
-    /// untouched when the file fails any validation step.
-    pub fn load_file(&self, path: &Path) -> Result<u64> {
-        let bytes = std::fs::read(path).map_err(|source| PersistError::Io {
+    /// Restores and installs a model from already-mapped snapshot bytes.
+    fn install_shared(&self, shared: &SharedBytes, source: SourceId) -> Result<u64> {
+        let started = mfod_obs::active().map(|_| std::time::Instant::now());
+        let snapshot = from_shared::<T::Snapshot>(shared)?;
+        let model = T::restore(snapshot).map_err(PersistError::Restore)?;
+        let generation = self.install_tagged(Arc::new(model), Some(source));
+        if let (Some(m), Some(t)) = (mfod_obs::active(), started) {
+            m.registry_install_time
+                .record(t.elapsed().as_nanos() as u64);
+        }
+        Ok(generation)
+    }
+
+    /// Memory-maps one snapshot file, validates it (header + table + CRC
+    /// over the mapped slice) and hot-swaps the restored model in.
+    /// Matrix payloads are served zero-copy out of the mapping wherever
+    /// alignment allows; the decoded model owns the keep-alive handles,
+    /// so the mapping lives exactly as long as any view into it. The
+    /// active model is untouched when the file fails any validation step.
+    pub fn install_mapped(&self, path: &Path) -> Result<u64> {
+        let meta = std::fs::metadata(path).map_err(|source| PersistError::Io {
             path: path.to_path_buf(),
             source,
         })?;
-        self.install_bytes(&bytes)
+        let shared = SharedBytes::map(path)?;
+        let source = SourceId {
+            len: meta.len(),
+            mtime: meta.modified().ok(),
+            hash: crate::hash::fnv1a64(shared.as_slice()),
+        };
+        self.install_shared(&shared, source)
+    }
+
+    /// Loads one snapshot file and hot-swaps it in — via the mapped
+    /// zero-copy path ([`ModelRegistry::install_mapped`]). The active
+    /// model is untouched when the file fails any validation step.
+    pub fn load_file(&self, path: &Path) -> Result<u64> {
+        self.install_mapped(path)
     }
 
     /// Scans `dir` for `*.mfod` snapshots and installs the newest valid
@@ -161,11 +219,15 @@ impl<T: Restorable> ModelRegistry<T> {
     ///
     /// Re-running `load_dir` on an interval (a polling watcher) is the
     /// intended deployment loop, so an unchanged winner is a no-op: when
-    /// the newest valid file's bytes hash-match the bytes behind the
-    /// active install, the sweep skips decode/restore entirely, reports
-    /// the file in [`DirLoadReport::unchanged`] and leaves the
-    /// generation counter alone — `generation()` then counts real model
-    /// changes, not polls.
+    /// the newest valid file's size and mtime match the active install
+    /// the sweep skips reading the file entirely (the stat fast path,
+    /// [`DirLoadReport::stat_fast_path`] — steady-state polls are O(1)
+    /// I/O); when metadata is inconclusive the file is mapped and its
+    /// content hash compared, skipping decode/restore on a match. Either
+    /// way the file lands in [`DirLoadReport::unchanged`] and the
+    /// generation counter is left alone — `generation()` counts real
+    /// model changes, not polls. Installs go through the mapped
+    /// zero-copy path ([`ModelRegistry::install_mapped`]).
     pub fn load_dir(&self, dir: &Path) -> Result<DirLoadReport> {
         let obs = mfod_obs::active();
         let sweep_started = obs.map(|_| std::time::Instant::now());
@@ -196,31 +258,54 @@ impl<T: Restorable> ModelRegistry<T> {
         let mut rejected = Vec::new();
         let mut installed = None;
         let mut unchanged = None;
+        let mut stat_fast_path = false;
         // newest first; the first valid file wins
         for path in files.into_iter().rev() {
-            let bytes = match std::fs::read(&path) {
-                Ok(bytes) => bytes,
+            let io = |source| PersistError::Io {
+                path: path.clone(),
+                source,
+            };
+            let meta = match std::fs::metadata(&path) {
+                Ok(meta) => meta,
                 Err(source) => {
-                    rejected.push((
-                        path.clone(),
-                        PersistError::Io {
-                            path: path.clone(),
-                            source,
-                        },
-                    ));
+                    rejected.push((path.clone(), io(source)));
                     continue;
                 }
             };
-            let hash = crate::hash::fnv1a64(&bytes);
-            let active_hash = *self
-                .active_bytes_hash
-                .lock()
-                .unwrap_or_else(|p| p.into_inner());
-            if active_hash == Some(hash) {
+            let (len, mtime) = (meta.len(), meta.modified().ok());
+            let active = *self.active_source.lock().unwrap_or_else(|p| p.into_inner());
+            // Stat fast path: size + mtime match the active install, so
+            // the poll skips reading the file entirely. (A same-length
+            // in-place overwrite inside one mtime tick would be missed —
+            // snapshot deployment is atomic rename of a *new* file, which
+            // always moves the mtime.)
+            if let Some(active) = active {
+                if active.mtime.is_some() && active.mtime == mtime && active.len == len {
+                    unchanged = Some(path);
+                    stat_fast_path = true;
+                    break;
+                }
+            }
+            let shared = match SharedBytes::map(&path) {
+                Ok(shared) => shared,
+                Err(e) => {
+                    rejected.push((path, e));
+                    continue;
+                }
+            };
+            // hash over the mapped slice — no buffer copy even when the
+            // metadata check was inconclusive
+            let hash = crate::hash::fnv1a64(shared.as_slice());
+            if active.is_some_and(|a| a.hash == hash) {
+                // same content behind fresh metadata (e.g. a re-written
+                // identical file): refresh the identity so the next poll
+                // takes the stat path
+                *self.active_source.lock().unwrap_or_else(|p| p.into_inner()) =
+                    Some(SourceId { len, mtime, hash });
                 unchanged = Some(path);
                 break;
             }
-            match self.install_bytes(&bytes) {
+            match self.install_shared(&shared, SourceId { len, mtime, hash }) {
                 Ok(generation) => {
                     installed = Some((path, generation));
                     break;
@@ -231,6 +316,7 @@ impl<T: Restorable> ModelRegistry<T> {
         Ok(DirLoadReport {
             installed,
             unchanged,
+            stat_fast_path,
             rejected,
             considered,
         })
@@ -299,9 +385,11 @@ impl<T: Restorable + Send + Sync + 'static> ModelRegistry<T> {
     /// with no registry call from the serving path.
     ///
     /// Polling is cheap in the steady state: an unchanged newest file
-    /// hash-matches the active install and the sweep skips
-    /// decode/restore entirely ([`DirLoadReport::unchanged`]), so
-    /// `generation()` keeps counting real deployments, not polls. Sweep
+    /// stat-matches the active install (size + mtime) and the sweep ends
+    /// without reading a single payload byte
+    /// ([`DirLoadReport::stat_fast_path`]), so watcher polls are O(1)
+    /// I/O and `generation()` keeps counting real deployments, not
+    /// polls. Sweep
     /// errors (e.g. the directory briefly missing during a deploy) are
     /// swallowed and retried on the next tick — a watcher must survive
     /// transient filesystem states; malformed snapshot *files* were
@@ -500,6 +588,66 @@ mod tests {
         let poll = reg.load_dir(&dir).unwrap();
         assert!(poll.installed.is_some());
         assert_eq!(reg.generation(), 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn steady_state_polls_take_the_stat_fast_path() {
+        let dir = tmpdir("statfast");
+        let path = dir.join("gen-001.mfod");
+        save(&WeightsSnapshot { w: vec![1.0, 2.0] }, &path).unwrap();
+        let reg: ModelRegistry<Weights> = ModelRegistry::new();
+        let first = reg.load_dir(&dir).unwrap();
+        assert!(first.installed.is_some());
+        assert!(!first.stat_fast_path);
+        // second poll: size + mtime match — decided without reading bytes
+        let poll = reg.load_dir(&dir).unwrap();
+        assert!(poll.unchanged.is_some());
+        assert!(poll.stat_fast_path, "steady-state poll must be stat-only");
+        // re-write identical content: mtime moves, hash still matches —
+        // one hashing poll, then the stat path re-arms
+        std::thread::sleep(Duration::from_millis(20));
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes).unwrap();
+        let rehash = reg.load_dir(&dir).unwrap();
+        assert!(rehash.unchanged.is_some());
+        if !rehash.stat_fast_path {
+            let again = reg.load_dir(&dir).unwrap();
+            assert!(again.unchanged.is_some());
+            assert!(
+                again.stat_fast_path,
+                "identity must refresh after a re-hash"
+            );
+        }
+        assert_eq!(reg.generation(), 1, "no-op polls never bump the generation");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn install_mapped_swaps_from_a_mapped_file() {
+        let dir = tmpdir("mapped");
+        let path = dir.join("gen-001.mfod");
+        save(&WeightsSnapshot { w: vec![7.0, 8.0] }, &path).unwrap();
+        let reg: ModelRegistry<Weights> = ModelRegistry::new();
+        let generation = reg.install_mapped(&path).unwrap();
+        assert_eq!(generation, 1);
+        assert_eq!(reg.active().unwrap().w, vec![7.0, 8.0]);
+        // the mapped install arms the stat fast path for the watcher loop
+        let poll = reg.load_dir(&dir).unwrap();
+        assert!(poll.unchanged.is_some());
+        assert!(poll.stat_fast_path);
+        // corrupt file: typed error, active model untouched
+        let mut corrupt = std::fs::read(&path).unwrap();
+        let n = corrupt.len();
+        corrupt[n / 2] ^= 0xFF;
+        let bad = dir.join("gen-002.mfod");
+        std::fs::write(&bad, &corrupt).unwrap();
+        assert!(reg.install_mapped(&bad).is_err());
+        assert_eq!(reg.active().unwrap().w, vec![7.0, 8.0]);
+        assert!(matches!(
+            reg.install_mapped(&dir.join("missing.mfod")),
+            Err(PersistError::Io { .. })
+        ));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

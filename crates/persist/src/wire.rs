@@ -10,8 +10,9 @@
 //! allocation.
 
 use crate::error::PersistError;
+use crate::map::SharedBytes;
 use crate::Result;
-use mfod_linalg::Matrix;
+use mfod_linalg::{Matrix, SharedF64s};
 
 /// Append-only byte sink for snapshot payloads.
 #[derive(Debug, Default)]
@@ -83,16 +84,56 @@ impl Encoder {
 }
 
 /// Bounds-checked reader over snapshot payload bytes.
+///
+/// A decoder can optionally carry the [`SharedBytes`] owner its buffer
+/// lives inside ([`Decoder::over_shared`]); owner-aware decoders let
+/// payload decoders hand out zero-copy views whose memory is pinned by
+/// the owner (see [`Decoder::take_shared_f64s`]). Every read stays
+/// bounds-checked and allocation-guarded either way.
 #[derive(Debug, Clone)]
 pub struct Decoder<'a> {
     buf: &'a [u8],
     pos: usize,
+    owner: Option<&'a SharedBytes>,
 }
 
 impl<'a> Decoder<'a> {
     /// Reads from the start of `buf`.
     pub fn new(buf: &'a [u8]) -> Self {
-        Decoder { buf, pos: 0 }
+        Decoder {
+            buf,
+            pos: 0,
+            owner: None,
+        }
+    }
+
+    /// Reads from the start of `shared`, remembering the owner so
+    /// decoded views can pin the backing memory (zero-copy tier).
+    pub fn over_shared(shared: &'a SharedBytes) -> Self {
+        Decoder {
+            buf: shared.as_slice(),
+            pos: 0,
+            owner: Some(shared),
+        }
+    }
+
+    /// Reads `buf`, a sub-slice of `owner`'s memory, keeping the
+    /// zero-copy tier available (used for sections of a mapped
+    /// container).
+    pub(crate) fn with_owner(buf: &'a [u8], owner: &'a SharedBytes) -> Self {
+        debug_assert!(
+            buf.is_empty() || {
+                let base = owner.as_slice().as_ptr() as usize;
+                let p = buf.as_ptr() as usize;
+                p >= base && p + buf.len() <= base + owner.len()
+            },
+            "decoder buffer must live inside its owner"
+        );
+        Decoder {
+            buf,
+            pos: 0,
+            owner: Some(owner),
+        }
     }
 
     /// Bytes not yet consumed.
@@ -179,6 +220,41 @@ impl<'a> Decoder<'a> {
             .map_err(|_| PersistError::Malformed("string is not UTF-8".into()))
     }
 
+    /// Takes `count` f64s as a zero-copy view pinned by the decoder's
+    /// owner, or `None` when the caller must fall back to copying: the
+    /// decoder has no owner (plain in-memory bytes), the target is not
+    /// little-endian (the wire format is LE, so bits cannot be
+    /// reinterpreted in place), or the run is misaligned for `f64`.
+    /// Bounds violations are still typed errors, never `None`; on `None`
+    /// no bytes are consumed.
+    pub fn take_shared_f64s(
+        &mut self,
+        count: usize,
+        context: &'static str,
+    ) -> Result<Option<SharedF64s>> {
+        let needed = count.checked_mul(8).ok_or_else(|| {
+            PersistError::Malformed(format!("{context}: count {count} overflows"))
+        })?;
+        if needed > self.remaining() {
+            return Err(PersistError::Truncated {
+                context,
+                needed,
+                available: self.remaining(),
+            });
+        }
+        let Some(owner) = self.owner else {
+            return Ok(None);
+        };
+        let start = self.buf[self.pos..].as_ptr() as usize - owner.as_slice().as_ptr() as usize;
+        match owner.f64s_at(start, count) {
+            Some(view) => {
+                self.pos += needed;
+                Ok(Some(view))
+            }
+            None => Ok(None),
+        }
+    }
+
     /// Asserts the decoder consumed the whole buffer (trailing garbage is
     /// corruption, not padding).
     pub fn finish(&self) -> Result<()> {
@@ -208,6 +284,111 @@ pub trait Decode: Sized {
     /// Reads one value, consuming exactly the bytes [`Encode::encode`]
     /// wrote for it.
     fn decode(r: &mut Decoder<'_>) -> Result<Self>;
+}
+
+/// The borrowed decode tier: values that reconstruct themselves as
+/// **views into the decoder's buffer** instead of owned copies — the
+/// wire-level half of the zero-copy path. A `DecodeRef` value is only
+/// valid while the underlying bytes are (a mapped snapshot held open, a
+/// caller-owned buffer); consumers that need `'static` values wrap the
+/// buffer in a [`SharedBytes`] owner and use [`Decoder::take_shared_f64s`]
+/// / [`crate::map::LazySection`] instead.
+///
+/// Implementations consume exactly the bytes the owned-tier
+/// [`Encode`] wrote, so the two tiers are interchangeable over the same
+/// wire bytes.
+pub trait DecodeRef<'a>: Sized {
+    /// Reads one borrowed value from `r`.
+    fn decode_ref(r: &mut Decoder<'a>) -> Result<Self>;
+}
+
+/// Length-prefixed raw bytes, borrowed (pairs with
+/// [`Encoder::put_str`]-style `put_usize` + `put_bytes` writing).
+impl<'a> DecodeRef<'a> for &'a [u8] {
+    fn decode_ref(r: &mut Decoder<'a>) -> Result<Self> {
+        let len = r.take_len(1, "bytes")?;
+        r.take_bytes(len, "byte run")
+    }
+}
+
+/// Length-prefixed UTF-8, borrowed — the zero-copy twin of
+/// [`Decoder::take_str`] over the same wire bytes.
+impl<'a> DecodeRef<'a> for &'a str {
+    fn decode_ref(r: &mut Decoder<'a>) -> Result<Self> {
+        let len = r.take_len(1, "string")?;
+        let bytes = r.take_bytes(len, "string bytes")?;
+        std::str::from_utf8(bytes)
+            .map_err(|_| PersistError::Malformed("string is not UTF-8".into()))
+    }
+}
+
+/// A borrowed view over a length-prefixed run of `f64` bit patterns —
+/// the same wire bytes `Vec<f64>` encodes to, without materializing the
+/// floats. Individual values are assembled from the little-endian bytes
+/// on access; [`F64Bits::as_f64_slice`] reinterprets the whole run in
+/// place when the platform and alignment allow.
+#[derive(Debug, Clone, Copy)]
+pub struct F64Bits<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> F64Bits<'a> {
+    /// Number of `f64` values in the view.
+    pub fn len(&self) -> usize {
+        self.bytes.len() / 8
+    }
+
+    /// Whether the view holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Value `i`, decoded from its bit pattern (bit-exact).
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    pub fn get(&self, i: usize) -> f64 {
+        let b: [u8; 8] = self.bytes[i * 8..(i + 1) * 8]
+            .try_into()
+            .expect("8 bytes per f64");
+        f64::from_bits(u64::from_le_bytes(b))
+    }
+
+    /// Iterates the values in order.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + 'a {
+        self.bytes
+            .chunks_exact(8)
+            .map(|b| f64::from_bits(u64::from_le_bytes(b.try_into().expect("8 bytes per f64"))))
+    }
+
+    /// The run reinterpreted in place as `&[f64]`, when the target is
+    /// little-endian and the bytes happen to be 8-aligned; `None` means
+    /// the caller should fall back to [`F64Bits::to_vec`] or per-element
+    /// access.
+    pub fn as_f64_slice(&self) -> Option<&'a [f64]> {
+        if cfg!(not(target_endian = "little")) {
+            return None;
+        }
+        if !(self.bytes.as_ptr() as usize).is_multiple_of(std::mem::align_of::<f64>()) {
+            return None;
+        }
+        // SAFETY: aligned (checked), initialized, and every 8-byte LE
+        // pattern is a valid f64 bit pattern.
+        Some(unsafe { std::slice::from_raw_parts(self.bytes.as_ptr().cast::<f64>(), self.len()) })
+    }
+
+    /// Materializes the values into an owned vector.
+    pub fn to_vec(&self) -> Vec<f64> {
+        self.iter().collect()
+    }
+}
+
+impl<'a> DecodeRef<'a> for F64Bits<'a> {
+    fn decode_ref(r: &mut Decoder<'a>) -> Result<Self> {
+        let count = r.take_len(8, "f64 run")?;
+        let bytes = r.take_bytes(count * 8, "f64 bits")?;
+        Ok(F64Bits { bytes })
+    }
 }
 
 impl Encode for u8 {
@@ -382,6 +563,15 @@ impl Decode for Matrix {
                 available: r.remaining(),
             });
         }
+        // Zero-copy tier: when the decoder reads out of an owner-pinned
+        // buffer (a mapped snapshot) and the run is 8-aligned, serve the
+        // payload directly from that memory; otherwise copy — bit-exact
+        // either way, since f64s travel as raw LE bit patterns.
+        if n > 0 {
+            if let Some(view) = r.take_shared_f64s(n, "matrix data")? {
+                return Ok(Matrix::from_shared(rows, cols, view));
+            }
+        }
         let mut data = Vec::with_capacity(n);
         for _ in 0..n {
             data.push(r.take_f64()?);
@@ -544,6 +734,139 @@ mod tests {
             mfod_linalg::Cholesky::decode(&mut r),
             Err(PersistError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn decode_ref_views_share_wire_bytes_with_owned_tier() {
+        let mut w = Encoder::new();
+        w.put_str("mapped κ");
+        vec![1.5f64, -0.0, f64::NAN].encode(&mut w);
+        w.put_usize(3);
+        w.put_bytes(&[9, 8, 7]);
+        let bytes = w.into_bytes();
+
+        // owned tier
+        let mut r = Decoder::new(&bytes);
+        assert_eq!(r.take_str().unwrap(), "mapped κ");
+        let owned = Vec::<f64>::decode(&mut r).unwrap();
+        let raw = <&[u8]>::decode_ref(&mut r).unwrap();
+        assert_eq!(raw, &[9, 8, 7]);
+        r.finish().unwrap();
+
+        // borrowed tier over the same bytes
+        let mut r = Decoder::new(&bytes);
+        let s = <&str>::decode_ref(&mut r).unwrap();
+        assert_eq!(s, "mapped κ");
+        assert!(std::ptr::eq(s.as_bytes().as_ptr(), &bytes[8]));
+        let bits = F64Bits::decode_ref(&mut r).unwrap();
+        assert_eq!(bits.len(), 3);
+        assert!(!bits.is_empty());
+        for (i, v) in bits.iter().enumerate() {
+            assert_eq!(v.to_bits(), owned[i].to_bits());
+            assert_eq!(bits.get(i).to_bits(), owned[i].to_bits());
+        }
+        let back = bits.to_vec();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back[1].to_bits(), (-0.0f64).to_bits());
+        let _ = <&[u8]>::decode_ref(&mut r).unwrap();
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn f64bits_in_place_slice_requires_alignment() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&2u64.to_le_bytes());
+        bytes.extend_from_slice(&1.25f64.to_bits().to_le_bytes());
+        bytes.extend_from_slice(&(-3.5f64).to_bits().to_le_bytes());
+        // force a deliberately misaligned backing buffer
+        let mut shifted = vec![0u8];
+        shifted.extend_from_slice(&bytes);
+        let mut r = Decoder::new(&shifted[1..]);
+        let bits = F64Bits::decode_ref(&mut r).unwrap();
+        match bits.as_f64_slice() {
+            Some(s) => {
+                // alignment happened to work out — values must match
+                assert_eq!(s[0], 1.25);
+                assert_eq!(s[1], -3.5);
+            }
+            None => {
+                // fallback tier still yields exact values
+                assert_eq!(bits.get(0), 1.25);
+                assert_eq!(bits.get(1), -3.5);
+            }
+        }
+        // truncated runs are typed
+        let mut r = Decoder::new(&bytes[..12]);
+        assert!(matches!(
+            F64Bits::decode_ref(&mut r),
+            Err(PersistError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn ownerless_decoders_never_yield_shared_views() {
+        let mut w = Encoder::new();
+        for v in [1.0f64, 2.0, 3.0] {
+            w.put_f64(v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = Decoder::new(&bytes);
+        assert!(r.take_shared_f64s(3, "run").unwrap().is_none());
+        // nothing consumed on the fallback signal
+        assert_eq!(r.remaining(), 24);
+        assert!(matches!(
+            r.take_shared_f64s(4, "run"),
+            Err(PersistError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn owner_aware_decoder_yields_pinned_views() {
+        use crate::map::SharedBytes;
+        let mut w = Encoder::new();
+        for v in [4.0f64, 5.0, 6.0] {
+            w.put_f64(v);
+        }
+        let shared = SharedBytes::from_vec(w.into_bytes());
+        let mut r = Decoder::over_shared(&shared);
+        let view = r
+            .take_shared_f64s(3, "run")
+            .unwrap()
+            .expect("aligned run over an owner must be zero-copy");
+        assert_eq!(view.as_slice(), &[4.0, 5.0, 6.0]);
+        assert_eq!(r.remaining(), 0);
+        // the view pins the owner by itself
+        drop(shared);
+        assert_eq!(view.as_slice()[2], 6.0);
+    }
+
+    #[test]
+    fn matrix_decode_is_zero_copy_over_shared_bytes() {
+        use crate::map::SharedBytes;
+        let m = Matrix::from_fn(5, 3, |i, j| (i * 3 + j) as f64 + 0.5);
+        let mut w = Encoder::new();
+        m.encode(&mut w);
+        let shared = SharedBytes::from_vec(w.into_bytes());
+        let mut r = Decoder::over_shared(&shared);
+        let back = Matrix::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert!(
+            back.is_borrowed(),
+            "16-byte header leaves the run 8-aligned"
+        );
+        assert_eq!(m, back);
+
+        // a misaligned run (extra leading byte) falls back to copying,
+        // with identical values
+        let mut w = Encoder::new();
+        w.put_u8(0);
+        m.encode(&mut w);
+        let shared = SharedBytes::from_vec(w.into_bytes());
+        let mut r = Decoder::over_shared(&shared);
+        let _ = r.take_u8().unwrap();
+        let back = Matrix::decode(&mut r).unwrap();
+        assert!(!back.is_borrowed());
+        assert_eq!(m, back);
     }
 
     #[test]

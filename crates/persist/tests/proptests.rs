@@ -12,7 +12,8 @@
 
 use mfod_linalg::Matrix;
 use mfod_persist::{
-    from_bytes, to_bytes, Decode, Decoder, Encode, Encoder, PersistError, Snapshot,
+    from_bytes, from_shared, to_bytes, Decode, Decoder, Encode, Encoder, LazySnapshot,
+    PersistError, SharedBytes, Snapshot, SnapshotWriter,
 };
 use proptest::prelude::*;
 
@@ -138,6 +139,54 @@ proptest! {
     }
 
     #[test]
+    fn lazy_tier_decodes_bit_identically_to_eager(
+        bits in proptest::collection::vec(proptest::arbitrary::any::<u64>(), 1..40),
+        rows in 1usize..8,
+        cols in 1usize..8,
+        flag in proptest::arbitrary::any::<bool>(),
+    ) {
+        let original = mixed_from(bits, rows, cols, String::from("λ-payload"), flag);
+        let bytes = to_bytes(&original);
+        let eager: Mixed = from_bytes(&bytes).unwrap();
+        let shared = SharedBytes::from_vec(bytes.clone());
+        let lazy: Mixed = from_shared(&shared).unwrap();
+        // field-by-field bit equality across tiers (matrix equality spans
+        // owned and borrowed storage)
+        prop_assert_eq!(bits_of(&eager.xs), bits_of(&lazy.xs));
+        prop_assert_eq!(
+            bits_of(eager.matrix.as_slice()),
+            bits_of(lazy.matrix.as_slice())
+        );
+        prop_assert_eq!(eager.matrix.shape(), lazy.matrix.shape());
+        prop_assert_eq!(&eager.tag, &lazy.tag);
+        prop_assert_eq!(eager.flag, lazy.flag);
+        prop_assert_eq!(eager.maybe.map(f64::to_bits), lazy.maybe.map(f64::to_bits));
+        // and the lazy-decoded value re-encodes to the original file
+        prop_assert_eq!(to_bytes(&lazy), bytes);
+    }
+
+    #[test]
+    fn lazy_tier_rejects_exactly_what_eager_rejects(
+        bits in proptest::collection::vec(proptest::arbitrary::any::<u64>(), 1..16),
+        at_permille in 0usize..1000,
+        flip in 1u32..256,
+    ) {
+        let original = mixed_from(bits, 3, 2, String::from("e"), false);
+        let mut bytes = to_bytes(&original);
+        let at = at_permille * (bytes.len() - 1) / 1000;
+        bytes[at] ^= flip as u8;
+        let eager = from_bytes::<Mixed>(&bytes);
+        let shared = SharedBytes::from_vec(bytes);
+        let lazy = from_shared::<Mixed>(&shared);
+        // both tiers reject, with the same typed error family
+        prop_assert!(eager.is_err() && lazy.is_err());
+        prop_assert_eq!(
+            std::mem::discriminant(&eager.unwrap_err()),
+            std::mem::discriminant(&lazy.unwrap_err())
+        );
+    }
+
+    #[test]
     fn random_garbage_is_rejected_with_typed_errors(
         words in proptest::collection::vec(proptest::arbitrary::any::<u32>(), 0..50),
     ) {
@@ -156,5 +205,60 @@ proptest! {
             ) => {}
             Err(e) => prop_assert!(false, "unexpected error family: {e}"),
         }
+    }
+}
+
+/// A small multi-section container for the exhaustive lazy-tier sweeps:
+/// three independently addressable `Vec<f64>` sections.
+fn multi_section_bytes() -> Vec<u8> {
+    let mut w = SnapshotWriter::new(0x4C5A);
+    for id in 1u32..=3 {
+        let payload: Vec<f64> = (0..9)
+            .map(|i| f64::from_bits(0x3FF0_0000_0000_0000 ^ (u64::from(id) << 40) ^ i))
+            .collect();
+        w.section(id, |enc| payload.encode(enc));
+    }
+    w.finish()
+}
+
+/// Exhaustive sweep: **every** single-byte corruption of a multi-section
+/// snapshot is rejected by [`LazySnapshot::open`] — up front, before any
+/// section is touched. This is the "tamper in a section you never
+/// decode" guarantee: validation is CRC-whole-file, not per-touch.
+#[test]
+fn every_byte_flip_is_rejected_at_lazy_open() {
+    let good = multi_section_bytes();
+    for at in 0..good.len() {
+        let mut bad = good.clone();
+        bad[at] ^= 0x01;
+        assert!(
+            LazySnapshot::open(&bad).is_err(),
+            "flip at byte {at} survived open"
+        );
+    }
+    // and the pristine bytes still open, with all sections reachable
+    let snap = LazySnapshot::open(&good).unwrap();
+    for id in 1u32..=3 {
+        let xs: &Vec<f64> = snap.section_value(id).unwrap();
+        assert_eq!(xs.len(), 9);
+    }
+}
+
+/// Exhaustive sweep: **every** truncation of a multi-section snapshot is
+/// rejected by the lazy tier, through both the borrowed and the
+/// owner-pinned open paths.
+#[test]
+fn every_truncation_is_rejected_at_lazy_open() {
+    let good = multi_section_bytes();
+    for n in 0..good.len() {
+        assert!(
+            LazySnapshot::open(&good[..n]).is_err(),
+            "truncation to {n} bytes survived open"
+        );
+        let shared = SharedBytes::from_vec(good[..n].to_vec());
+        assert!(
+            LazySnapshot::open_shared(&shared).is_err(),
+            "truncation to {n} bytes survived open_shared"
+        );
     }
 }

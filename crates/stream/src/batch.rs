@@ -260,7 +260,7 @@ impl MicroBatcher {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fixture::{sine_pipeline, FixtureConfig};
+    use mfod_fixtures::{sine_pipeline, FixtureConfig};
 
     fn tiny_pipeline() -> (Arc<FittedPipeline>, Vec<RawSample>, Vec<f64>) {
         sine_pipeline(&FixtureConfig::default())

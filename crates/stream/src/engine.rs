@@ -216,8 +216,8 @@ impl OnlineScorer {
 mod tests {
     use super::*;
     use crate::batch::ScoringMode;
-    use crate::fixture::{sine_pipeline, FixtureConfig};
     use mfod_fda::RawSample;
+    use mfod_fixtures::{sine_pipeline, FixtureConfig};
 
     fn setup() -> (Arc<FittedPipeline>, Vec<RawSample>, Vec<f64>) {
         sine_pipeline(&FixtureConfig {

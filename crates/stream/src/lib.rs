@@ -74,8 +74,6 @@ pub mod batch;
 pub mod calibrate;
 pub mod engine;
 pub mod error;
-#[cfg(feature = "fixtures")]
-pub mod fixture;
 pub mod stats;
 pub mod window;
 

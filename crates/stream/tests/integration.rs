@@ -4,7 +4,7 @@
 //! and require the streamed scores to be **identical** (bit for bit) to
 //! the offline `score`/`score_batch` on the same windows.
 
-use mfod_stream::fixture::{ecg_fitted as fit, ecg_split};
+use mfod_fixtures::{ecg_fitted as fit, ecg_split};
 use mfod_stream::{
     BatchConfig, OnlineScorer, ScoringMode, StreamConfig, ThresholdCalibrator, WindowConfig,
 };

@@ -4,7 +4,7 @@
 
 use mfod::prelude::*;
 use mfod_fda::RawSample;
-use mfod_stream::fixture::{sine_pipeline, FixtureConfig};
+use mfod_fixtures::{sine_pipeline, FixtureConfig};
 use mfod_stream::{BatchConfig, MicroBatcher, StreamStats, WindowBuffer, WindowConfig};
 use proptest::prelude::*;
 use std::sync::{Arc, OnceLock};

@@ -6,8 +6,8 @@
 use mfod::linalg::par::Pool;
 use mfod::persist::ModelRegistry;
 use mfod::prelude::*;
+use mfod_fixtures::{ecg_fitted, ecg_split, sine_pipeline, FixtureConfig};
 use mfod_obs::{Phase, Recorder};
-use mfod_stream::fixture::{ecg_fitted, ecg_split, sine_pipeline, FixtureConfig};
 use mfod_stream::{BatchConfig, OnlineScorer, StreamConfig, WindowConfig};
 use std::sync::{Arc, Mutex};
 
@@ -113,10 +113,20 @@ fn disabled_recorder_records_nothing() {
     fitted.par_score(test.samples()).unwrap();
     let pool = Pool::with_threads(2);
     pool.map(1000, |i| i + 1);
+    let dir = std::env::temp_dir().join(format!("mfod-it-obs-off-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("pipeline.mfod");
+    fitted.save(&path).unwrap();
+    let registry: ModelRegistry<FittedPipeline> = ModelRegistry::new();
+    registry.install_mapped(&path).unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
     let snap = Recorder::snapshot();
     assert_eq!(snap.pool.maps, 0);
     assert_eq!(snap.pool.chunks_queued, 0);
     assert_eq!(snap.plan_cache.hits + snap.plan_cache.misses, 0);
+    assert_eq!(snap.persist.sections_eager + snap.persist.sections_lazy, 0);
+    assert_eq!(snap.persist.mapped_bytes, 0);
+    assert_eq!(snap.registry.install_time.count, 0);
     assert!(snap.phases.iter().all(|p| p.exclusive.count == 0));
 }
 
@@ -149,8 +159,28 @@ fn live_run_populates_every_report_section() {
     registry
         .install_bytes(&mfod::persist::to_bytes(&fitted.snapshot().unwrap()))
         .unwrap();
+    // and a mapped install, so the lazy-tier metrics move too
+    let dir = std::env::temp_dir().join(format!("mfod-it-obs-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("pipeline.mfod");
+    fitted.save(&path).unwrap();
+    registry.install_mapped(&path).unwrap();
+    let mapped = registry.active().unwrap();
+    // hold a mapping open so the resident-bytes gauge has a live level
+    // to report (a mapped install only pins pages while borrowed views
+    // survive the restore)
+    let held = mfod::persist::SharedBytes::map(&path).unwrap();
+    // a lazy first-touch decode, so the deferred-tier metrics move
+    let fleet = mfod_fixtures::persist::tenant_fleet_bytes(
+        &mfod_fixtures::persist::TenantFleetConfig::default(),
+    );
+    let shared = mfod::persist::SharedBytes::from_vec(fleet);
+    let lazy = mfod::persist::LazySnapshot::open_shared(&shared).unwrap();
+    mfod_fixtures::persist::lazy_tenant_digest(&lazy, 0).unwrap();
     let snap = Recorder::snapshot();
     Recorder::install(false);
+    drop(held);
+    std::fs::remove_dir_all(&dir).unwrap();
 
     // fit + scoring phases were traced
     assert!(snap.phases[Phase::FitFeatures.index()].exclusive.count >= 1);
@@ -164,9 +194,21 @@ fn live_run_populates_every_report_section() {
     assert!(flushes > 0, "no micro-batch flushes recorded");
     assert_eq!(snap.stream.batch_score.count, flushes);
     assert!(snap.stream.batch_score.quantile(0.99).is_some());
-    // the registry swap bumped the generation gauge
-    assert_eq!(snap.registry.swaps, 1);
-    assert_eq!(snap.registry.generation, 1);
+    // the registry swaps bumped the generation gauge and were timed
+    assert_eq!(snap.registry.swaps, 2);
+    assert_eq!(snap.registry.generation, 2);
+    assert_eq!(snap.registry.install_time.count, 2);
+    // the eager install decoded through the owned tier; the mapped
+    // install pinned the snapshot file while the model serves from it
+    assert!(snap.persist.sections_eager >= 1, "no eager section decodes");
+    assert!(
+        snap.persist.mapped_bytes > 0,
+        "mapped install left no bytes pinned"
+    );
+    // the fleet touch decoded exactly one section lazily, and timed it
+    assert_eq!(snap.persist.sections_lazy, 1);
+    assert_eq!(snap.persist.first_touch.count, 1);
+    drop(mapped);
 
     // and both renderings carry the headline numbers
     let report = snap.format_report();
@@ -174,7 +216,9 @@ fn live_run_populates_every_report_section() {
         "pool",
         "plan cache",
         "hit rate",
-        "registry   generation 1",
+        "registry   generation 2",
+        "persist    sections:",
+        "bytes mapped",
         "p95",
     ] {
         assert!(
@@ -183,6 +227,8 @@ fn live_run_populates_every_report_section() {
         );
     }
     let json = snap.to_json();
-    assert!(json.contains("\"generation\": 1"));
+    assert!(json.contains("\"generation\": 2"));
+    assert!(json.contains("\"mapped_bytes\""));
+    assert!(json.contains("\"install_ns\""));
     assert!(json.contains("\"p99\""));
 }

@@ -10,7 +10,7 @@ use mfod::detect::prelude::*;
 use mfod::linalg::par::{self, Pool};
 use mfod::linalg::Matrix;
 use mfod::prelude::{Curvature, DirOut, GeomOutlierPipeline, PipelineConfig};
-use mfod_stream::fixture::{ecg_fitted, ecg_split};
+use mfod_fixtures::{ecg_fitted, ecg_split};
 use std::sync::Arc;
 
 fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {

@@ -6,7 +6,7 @@
 
 use mfod::persist::{ModelRegistry, PersistError};
 use mfod::prelude::*;
-use mfod_stream::fixture::{ecg_fitted, ecg_split};
+use mfod_fixtures::{ecg_fitted, ecg_split};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -119,6 +119,99 @@ fn registry_hot_swaps_pipelines_under_scoring_traffic() {
         "post-swap generation",
     );
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn mapped_install_hot_swaps_bit_identically_across_paths() {
+    let dir = tmpdir("mapped");
+    let (train, test) = ecg_split();
+    let gen1 = ecg_fitted(&train);
+    gen1.save(&dir.join("model-001.mfod")).unwrap();
+    let eager = FittedPipeline::load(&dir.join("model-001.mfod")).unwrap();
+
+    // mmap-install into the registry (zero-copy decode tier)
+    let registry: ModelRegistry<FittedPipeline> = ModelRegistry::new();
+    registry
+        .install_mapped(&dir.join("model-001.mfod"))
+        .unwrap();
+    let mapped = registry.active().unwrap();
+
+    // exact path, sequential and parallel: the mapped generation matches
+    // both the never-persisted original and the eager reload, bit for bit
+    let want = gen1.score(test.samples()).unwrap();
+    assert_bits_eq(
+        &want,
+        &eager.score(test.samples()).unwrap(),
+        "eager reload (exact)",
+    );
+    assert_bits_eq(
+        &want,
+        &mapped.score(test.samples()).unwrap(),
+        "mapped install (exact)",
+    );
+    assert_bits_eq(
+        &want,
+        &mapped.par_score(test.samples()).unwrap(),
+        "mapped install (parallel exact)",
+    );
+
+    // frozen serving path: freeze the mapped generation and a mapped
+    // reload of a frozen artifact, sequential and parallel
+    let ts = train.samples()[0].t.clone();
+    let frozen_mem = FrozenScorer::new(Arc::clone(&gen1), &ts).unwrap();
+    let fwant = frozen_mem.score(test.samples()).unwrap();
+    let frozen_over_mapped = FrozenScorer::new(Arc::clone(&mapped), &ts).unwrap();
+    assert_bits_eq(
+        &fwant,
+        &frozen_over_mapped.score(test.samples()).unwrap(),
+        "frozen over mapped generation",
+    );
+    let fpath = dir.join("frozen.mfod");
+    frozen_mem.save(&fpath).unwrap();
+    let frozen_mapped = FrozenScorer::load_mapped(&fpath).unwrap();
+    assert_bits_eq(
+        &fwant,
+        &frozen_mapped.score(test.samples()).unwrap(),
+        "mapped frozen reload",
+    );
+    assert_bits_eq(
+        &fwant,
+        &frozen_mapped.par_score(test.samples()).unwrap(),
+        "mapped frozen reload (parallel)",
+    );
+
+    // hot-swap mid-stream: an in-flight batch keeps the mapped gen1
+    // while a mapped gen2 install lands; the next batch sees gen2
+    let gen2 = GeomOutlierPipeline::new(
+        PipelineConfig::fast(),
+        Arc::new(Curvature),
+        Arc::new(IsolationForest {
+            n_trees: 30,
+            ..Default::default()
+        }),
+    )
+    .fit(train.samples())
+    .unwrap();
+    gen2.save(&dir.join("model-002.mfod")).unwrap();
+    registry
+        .install_mapped(&dir.join("model-002.mfod"))
+        .unwrap();
+    let in_flight = mapped.score(test.samples()).unwrap();
+    assert_bits_eq(&want, &in_flight, "in-flight batch after mapped swap");
+    assert_bits_eq(
+        &registry.active().unwrap().score(test.samples()).unwrap(),
+        &gen2.score(test.samples()).unwrap(),
+        "post-swap mapped generation",
+    );
+
+    // the decoded generations own their mappings: deleting every file
+    // must not disturb models already serving
+    std::fs::remove_dir_all(&dir).unwrap();
+    assert_bits_eq(
+        &want,
+        &mapped.score(test.samples()).unwrap(),
+        "mapped generation after file deletion",
+    );
 }
 
 #[test]
