@@ -29,6 +29,13 @@
 //!   atomic load on every machine — so no hardware-relative floor
 //!   applies.
 //!
+//! * **`faultline_overhead`** (`BENCH_faultline.json`) — the
+//!   `mfod-faultline` zero-cost-when-disarmed contract. Gates: the
+//!   bit-parity field always; in full mode the measured disarmed-hook
+//!   overhead must stay ≤2%. Like `obs_overhead` the ceiling is
+//!   absolute — a disarmed injection point costs the same relaxed load
+//!   on every machine.
+//!
 //! * **`persist_load`** (`BENCH_persist.json`) — the two-tier snapshot
 //!   decode. Gates: the bit-parity field always; the zero-copy gate
 //!   always (the lazy tier must serve aligned sections as borrowed
@@ -287,6 +294,46 @@ fn ratchet_obs(
     Ok(())
 }
 
+// ---- faultline_overhead ------------------------------------------------
+
+/// The absolute disarmed-path overhead contract, in percent (must match
+/// `benches/faultline_overhead.rs`).
+const FAULTLINE_OVERHEAD_CEILING_PCT: f64 = 2.0;
+
+fn ratchet_faultline(
+    baseline_json: &str,
+    baseline_path: &str,
+    current_json: &str,
+    current_path: &str,
+) -> Result<(), String> {
+    check_parity(current_json, current_path)?;
+    let current_pct = number(current_json, "overhead_pct", current_path)?;
+    let current_smoke = text(current_json, "smoke", current_path)?;
+    let base_pct = number(baseline_json, "overhead_pct", baseline_path)?;
+    let base_smoke = text(baseline_json, "smoke", baseline_path)?;
+    println!(
+        "ratchet[faultline]: disarmed-path injection overhead {current_pct:+.2}% vs baseline \
+         {base_pct:+.2}% (ceiling {FAULTLINE_OVERHEAD_CEILING_PCT}%; baseline \
+         smoke={base_smoke}, current smoke={current_smoke})"
+    );
+    if current_smoke == "true" {
+        println!(
+            "ratchet[faultline]: smoke-mode report — wall-clock gate skipped (parity gate passed)"
+        );
+        return Ok(());
+    }
+    // Like the obs contract, the ceiling is absolute — a disarmed
+    // injection point costs the same atomic load on every machine.
+    // Negative values are timing noise in the caller's favour.
+    if current_pct > FAULTLINE_OVERHEAD_CEILING_PCT {
+        return Err(format!(
+            "fault-injection regression: disarmed-path hook overhead {current_pct:.2}% \
+             exceeds the {FAULTLINE_OVERHEAD_CEILING_PCT}% ceiling"
+        ));
+    }
+    Ok(())
+}
+
 // ---- persist_load ------------------------------------------------------
 
 /// The absolute lazy-vs-eager install contract at the largest scale
@@ -403,6 +450,9 @@ fn run() -> Result<(), String> {
             ratchet_pool(&baseline_json, baseline_path, &current_json, current_path)?
         }
         "obs_overhead" => ratchet_obs(&baseline_json, baseline_path, &current_json, current_path)?,
+        "faultline_overhead" => {
+            ratchet_faultline(&baseline_json, baseline_path, &current_json, current_path)?
+        }
         "persist_load" => {
             ratchet_persist(&baseline_json, baseline_path, &current_json, current_path)?
         }

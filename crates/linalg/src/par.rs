@@ -404,6 +404,19 @@ impl Pool {
         F: Fn(usize) -> Result<T, E> + Sync,
     {
         if chunks <= 1 || self.threads == 1 {
+            // The sequential fallback is still a pool execution path: the
+            // chaos hooks must cover it too (a 1-thread pool, or a batch
+            // too small to split, is how most CI machines run). The whole
+            // range is one "chunk" here, so one hit per non-empty map.
+            // Unlike the stealing path there is no catch/rethrow wrapper:
+            // an injected panic propagates inline, exactly like a real
+            // item panic on this path.
+            if n > 0 {
+                mfod_faultline::stall(mfod_faultline::points::POOL_STRAGGLE);
+                if mfod_faultline::should_fire(mfod_faultline::points::POOL_PANIC) {
+                    panic!("injected fault: pool.panic");
+                }
+            }
             return (0..n).map(f).collect();
         }
         let obs = mfod_obs::active();
@@ -426,6 +439,14 @@ impl Pool {
         let run_chunk = |c: usize| -> ChunkOutcome<T, E> {
             let (lo, hi) = (bounds[c], bounds[c + 1]);
             match catch_unwind(AssertUnwindSafe(|| {
+                // Chaos hooks: a straggling chunk (injected delay) and a
+                // panicking work item. Both compile to one relaxed load
+                // when no fault plan is armed; the injected panic rides
+                // the same catch/rethrow path as a real item panic.
+                mfod_faultline::stall(mfod_faultline::points::POOL_STRAGGLE);
+                if mfod_faultline::should_fire(mfod_faultline::points::POOL_PANIC) {
+                    panic!("injected fault: pool.panic");
+                }
                 (lo..hi).map(&f).collect::<Result<Vec<T>, E>>()
             })) {
                 Ok(Ok(items)) => ChunkOutcome::Items(items),
@@ -809,6 +830,46 @@ mod tests {
         for _ in 0..10 {
             assert_eq!(pool.map(64, |i| i + 1), (1..=64).collect::<Vec<_>>());
         }
+    }
+
+    #[test]
+    fn injected_pool_faults_surface_like_real_ones() {
+        let _fault_lock = mfod_faultline::serial_guard();
+        // An injected chunk panic rides the normal catch/rethrow path:
+        // the caller sees the panic, the pool survives.
+        mfod_faultline::install(mfod_faultline::FaultPlan::new(21).rule(
+            mfod_faultline::points::POOL_PANIC,
+            mfod_faultline::FaultRule::once(),
+        ));
+        let pool = Pool::with_threads(4);
+        let caught = catch_unwind(AssertUnwindSafe(|| pool.map(256, |i| i * 2)))
+            .expect_err("injected panic must surface on the caller");
+        let msg = caught.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(msg.contains("injected fault: pool.panic"), "{msg}");
+        let report = mfod_faultline::disarm().unwrap();
+        assert_eq!(report.fires(mfod_faultline::points::POOL_PANIC), 1);
+        // plan exhausted + disarmed: the pool is healthy and outputs are
+        // identical to the sequential path again
+        assert_eq!(
+            pool.map(256, |i| i * 2),
+            (0..256).map(|i| i * 2).collect::<Vec<_>>()
+        );
+        // An injected straggler only delays; outputs stay bit-identical.
+        mfod_faultline::install(
+            mfod_faultline::FaultPlan::new(22).rule(
+                mfod_faultline::points::POOL_STRAGGLE,
+                mfod_faultline::FaultRule::with_probability(0.5)
+                    .delay(std::time::Duration::from_millis(1)),
+            ),
+        );
+        let delayed = pool.map(256, |i| (i as f64).sqrt().to_bits());
+        mfod_faultline::disarm();
+        assert_eq!(
+            delayed,
+            (0..256)
+                .map(|i| (i as f64).sqrt().to_bits())
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -44,9 +44,9 @@ mod span;
 
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, HIST_BUCKETS};
 pub use recorder::{
-    active, json_dump_guard, JsonDumpGuard, MetricsSnapshot, PersistSnapshot, PhaseSnapshot,
-    PlanCacheSnapshot, PoolSnapshot, Recorder, RegistrySnapshot, StreamObsSnapshot, ENV_OBS,
-    ENV_OBS_JSON,
+    active, json_dump_guard, FailureSnapshot, JsonDumpGuard, MetricsSnapshot, PersistSnapshot,
+    PhaseSnapshot, PlanCacheSnapshot, PoolSnapshot, Recorder, RegistrySnapshot, StreamObsSnapshot,
+    ENV_OBS, ENV_OBS_JSON,
 };
 pub use recorder::{Metrics, PhaseSlots};
 pub use span::{Phase, SpanTimer};

@@ -91,6 +91,20 @@ pub struct Metrics {
     /// buffers: `add` on map, `sub` on release.
     pub persist_mapped_bytes: Gauge,
 
+    // -- Failure semantics (mfod-stream / mfod-persist) ---------------
+    /// Typed errors surfaced by the serving path: failed or injected
+    /// flushes, deadline misses, overload rejections, quarantines.
+    pub errors_total: Counter,
+    /// Windows shed by the overload policy (rejected or dropped-oldest).
+    pub sheds_total: Counter,
+    /// Micro-batch flushes that exceeded their scoring deadline.
+    pub deadline_misses: Counter,
+    /// Sessions whose pending windows were quarantined after repeated
+    /// flush failures.
+    pub quarantined_sessions: Counter,
+    /// Current watcher backoff level (0 when the last sweep succeeded).
+    pub registry_backoff: Gauge,
+
     // -- Pipeline phases (mfod) ---------------------------------------
     /// Exclusive nanoseconds per pipeline phase, indexed by
     /// [`Phase::index`].
@@ -127,6 +141,11 @@ impl Metrics {
             persist_sections_lazy: Counter::new(),
             persist_first_touch: Histogram::new(),
             persist_mapped_bytes: Gauge::new(),
+            errors_total: Counter::new(),
+            sheds_total: Counter::new(),
+            deadline_misses: Counter::new(),
+            quarantined_sessions: Counter::new(),
+            registry_backoff: Gauge::new(),
             phases: [const { Histogram::new() }; Phase::COUNT],
         }
     }
@@ -159,6 +178,11 @@ impl Metrics {
         self.persist_sections_lazy.reset();
         self.persist_first_touch.reset();
         self.persist_mapped_bytes.reset();
+        self.errors_total.reset();
+        self.sheds_total.reset();
+        self.deadline_misses.reset();
+        self.quarantined_sessions.reset();
+        self.registry_backoff.reset();
         for h in &self.phases {
             h.reset();
         }
@@ -352,6 +376,17 @@ impl PersistSnapshot {
     }
 }
 
+/// Failure-semantics snapshot: the graceful-degradation counters and the
+/// watcher backoff level.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FailureSnapshot {
+    pub errors: u64,
+    pub sheds: u64,
+    pub deadline_misses: u64,
+    pub quarantined_sessions: u64,
+    pub registry_backoff: u64,
+}
+
 /// One pipeline phase's exclusive-time histogram, labelled.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PhaseSnapshot {
@@ -369,6 +404,7 @@ pub struct MetricsSnapshot {
     pub stream: StreamObsSnapshot,
     pub registry: RegistrySnapshot,
     pub persist: PersistSnapshot,
+    pub failures: FailureSnapshot,
     /// Indexed by [`Phase::index`], in [`Phase::ALL`] order.
     pub phases: Vec<PhaseSnapshot>,
 }
@@ -412,6 +448,13 @@ impl MetricsSnapshot {
                 sections_lazy: m.persist_sections_lazy.get(),
                 first_touch: m.persist_first_touch.snapshot(),
                 mapped_bytes: m.persist_mapped_bytes.get(),
+            },
+            failures: FailureSnapshot {
+                errors: m.errors_total.get(),
+                sheds: m.sheds_total.get(),
+                deadline_misses: m.deadline_misses.get(),
+                quarantined_sessions: m.quarantined_sessions.get(),
+                registry_backoff: m.registry_backoff.get(),
             },
             phases: Phase::ALL
                 .iter()
@@ -511,6 +554,20 @@ impl MetricsSnapshot {
                 // a level, not a rate: keep the later reading
                 mapped_bytes: self.persist.mapped_bytes,
             },
+            failures: FailureSnapshot {
+                errors: self.failures.errors.saturating_sub(earlier.failures.errors),
+                sheds: self.failures.sheds.saturating_sub(earlier.failures.sheds),
+                deadline_misses: self
+                    .failures
+                    .deadline_misses
+                    .saturating_sub(earlier.failures.deadline_misses),
+                quarantined_sessions: self
+                    .failures
+                    .quarantined_sessions
+                    .saturating_sub(earlier.failures.quarantined_sessions),
+                // a level, not a rate: keep the later reading
+                registry_backoff: self.failures.registry_backoff,
+            },
             phases: self
                 .phases
                 .iter()
@@ -564,6 +621,27 @@ impl MetricsSnapshot {
         push_u64(&mut out, "sections_lazy", self.persist.sections_lazy, false);
         push_u64(&mut out, "mapped_bytes", self.persist.mapped_bytes, false);
         push_hist(&mut out, "first_touch_ns", &self.persist.first_touch);
+        out.push_str("},\n  \"failures\": {");
+        push_u64(&mut out, "errors_total", self.failures.errors, true);
+        push_u64(&mut out, "sheds_total", self.failures.sheds, false);
+        push_u64(
+            &mut out,
+            "deadline_misses",
+            self.failures.deadline_misses,
+            false,
+        );
+        push_u64(
+            &mut out,
+            "quarantined_sessions",
+            self.failures.quarantined_sessions,
+            false,
+        );
+        push_u64(
+            &mut out,
+            "registry_backoff",
+            self.failures.registry_backoff,
+            false,
+        );
         out.push_str("},\n  \"phases\": {");
         for (i, p) in self.phases.iter().enumerate() {
             if i > 0 {
@@ -636,6 +714,13 @@ impl MetricsSnapshot {
             pe.sections_eager, pe.sections_lazy, pe.mapped_bytes
         );
         hist_line(&mut r, "  1st touch ", &pe.first_touch);
+
+        let f = &self.failures;
+        let _ = writeln!(
+            r,
+            "failures   {} errors · {} sheds · {} deadline misses · {} quarantined · backoff level {}",
+            f.errors, f.sheds, f.deadline_misses, f.quarantined_sessions, f.registry_backoff
+        );
 
         r.push_str("phases (exclusive time)\n");
         for ph in &self.phases {
@@ -824,6 +909,11 @@ mod tests {
         m.persist_mapped_bytes.add(4_096);
         m.persist_first_touch.record(10_000);
         m.registry_install_time.record(5_000_000);
+        m.errors_total.add(5);
+        m.sheds_total.add(2);
+        m.deadline_misses.add(1);
+        m.quarantined_sessions.add(1);
+        m.registry_backoff.set(3);
         let snap = Recorder::snapshot();
         let json = snap.to_json();
         for key in [
@@ -839,6 +929,12 @@ mod tests {
             "\"mapped_bytes\": 4096",
             "\"install_ns\"",
             "\"first_touch_ns\"",
+            "\"failures\"",
+            "\"errors_total\": 5",
+            "\"sheds_total\": 2",
+            "\"deadline_misses\": 1",
+            "\"quarantined_sessions\": 1",
+            "\"registry_backoff\": 3",
             "\"p50\"",
             "\"buckets\"",
             "\"fit-features\"",
@@ -855,6 +951,7 @@ mod tests {
             "batch lat",
             "registry   generation 3",
             "persist    sections: 6 eager / 2 lazy (25.0% lazy) · 4096 bytes mapped",
+            "failures   5 errors · 2 sheds · 1 deadline misses · 1 quarantined · backoff level 3",
             "phases",
         ] {
             assert!(

@@ -317,7 +317,12 @@ impl<'a> SnapshotReader<'a> {
         }
         let (body, trailer) = bytes.split_at(bytes.len() - 4);
         let stored = u32::from_le_bytes(trailer.try_into().expect("4 bytes"));
-        let computed = crc32(body);
+        let mut computed = crc32(body);
+        if mfod_faultline::should_fire(mfod_faultline::points::PERSIST_CRC) {
+            // Injected CRC corruption: invert the computed checksum so an
+            // otherwise valid snapshot fails the integrity gate.
+            computed = !computed;
+        }
         if stored != computed {
             return Err(PersistError::ChecksumMismatch { stored, computed });
         }
@@ -609,6 +614,16 @@ pub fn save_bytes(path: &Path, bytes: &[u8]) -> Result<()> {
         path: path.to_path_buf(),
         source,
     };
+    if mfod_faultline::should_fire(mfod_faultline::points::PERSIST_TORN_WRITE) {
+        // Injected torn write: a truncated file lands at the *final*
+        // path, as if a crashed writer had bypassed the atomic rename.
+        // Readers must reject it via the CRC/truncation gates.
+        let keep = bytes.len().saturating_mul(2) / 3;
+        let _ = std::fs::write(path, &bytes[..keep]);
+        return Err(io(std::io::Error::other(
+            "injected fault: persist.torn_write",
+        )));
+    }
     let tmp = path.with_extension("mfod.tmp");
     std::fs::write(&tmp, bytes).map_err(io)?;
     std::fs::rename(&tmp, path).map_err(io)

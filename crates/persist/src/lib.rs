@@ -63,7 +63,9 @@ pub use format::{
 };
 pub use hash::{fnv1a64, hash_f64s, Fnv1a};
 pub use map::{LazySection, SharedBytes};
-pub use registry::{DirLoadReport, ModelRegistry, Restorable, WatchHandle};
+pub use registry::{
+    DirLoadReport, ModelRegistry, RegistryHealth, Restorable, WatchConfig, WatchHandle,
+};
 pub use wire::{Decode, DecodeRef, Decoder, Encode, Encoder, F64Bits};
 
 /// Crate-wide `Result` alias.
@@ -77,6 +79,8 @@ pub mod prelude {
     };
     pub use crate::hash::{fnv1a64, hash_f64s, Fnv1a};
     pub use crate::map::{LazySection, SharedBytes};
-    pub use crate::registry::{DirLoadReport, ModelRegistry, Restorable, WatchHandle};
+    pub use crate::registry::{
+        DirLoadReport, ModelRegistry, RegistryHealth, Restorable, WatchConfig, WatchHandle,
+    };
     pub use crate::wire::{Decode, DecodeRef, Decoder, Encode, Encoder, F64Bits};
 }

@@ -63,8 +63,16 @@ impl SharedBytes {
             path: path.to_path_buf(),
             source,
         };
+        if mfod_faultline::should_fire(mfod_faultline::points::PERSIST_READ) {
+            return Err(io(std::io::Error::other("injected fault: persist.read")));
+        }
         #[cfg(unix)]
         {
+            if mfod_faultline::should_fire(mfod_faultline::points::PERSIST_MMAP) {
+                // Injected mmap failure: take the owned-read fallback the
+                // non-unix tier uses; downstream behavior is identical.
+                return Ok(SharedBytes::from_vec(std::fs::read(path).map_err(io)?));
+            }
             let mapped = mmap_impl::MappedFile::open(path).map_err(io)?;
             match mapped {
                 Some(m) => {

@@ -21,6 +21,8 @@ use crate::error::PersistError;
 use crate::format::{from_bytes, from_shared, Snapshot, SNAPSHOT_EXT};
 use crate::map::SharedBytes;
 use crate::Result;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
@@ -62,6 +64,14 @@ pub struct DirLoadReport {
     pub considered: usize,
 }
 
+/// Filesystems stamp mtimes with finite granularity (ns on ext4, 2 s on
+/// FAT): a file rewritten within one tick of its recorded mtime can
+/// carry an identical `(len, mtime)` pair with different bytes. The stat
+/// fast path is therefore only trusted once the recorded mtime was at
+/// least this old at the moment the identity was hash-confirmed — any
+/// later rewrite must then move the mtime forward past the recorded one.
+const MTIME_GRANULARITY: Duration = Duration::from_secs(2);
+
 /// Identity of the bytes behind the active install: file size, mtime
 /// (when installed from a file) and FNV-1a content hash. The size+mtime
 /// pair powers the stat-only fast path in [`ModelRegistry::load_dir`];
@@ -71,6 +81,23 @@ struct SourceId {
     len: u64,
     mtime: Option<SystemTime>,
     hash: u64,
+    /// Whether the `(len, mtime)` pair may stand in for the hash on the
+    /// next poll: true only when the mtime was already at least
+    /// [`MTIME_GRANULARITY`] old when this identity was recorded, closing
+    /// the same-tick rewrite blind spot. While false, every poll falls
+    /// back to the content hash until a confirmation observes an aged
+    /// mtime.
+    stat_stable: bool,
+}
+
+/// Is an mtime old enough, *right now*, for a same-tick rewrite to be
+/// impossible afterwards? See [`MTIME_GRANULARITY`].
+fn mtime_is_settled(mtime: Option<SystemTime>) -> bool {
+    mtime.is_some_and(|m| {
+        SystemTime::now()
+            .duration_since(m)
+            .is_ok_and(|age| age >= MTIME_GRANULARITY)
+    })
 }
 
 /// An atomically hot-swappable slot holding the active model generation.
@@ -160,6 +187,7 @@ impl<T: Restorable> ModelRegistry<T> {
                 len: bytes.len() as u64,
                 mtime: None,
                 hash: crate::hash::fnv1a64(bytes),
+                stat_stable: false,
             }),
         );
         if let (Some(m), Some(t)) = (mfod_obs::active(), started) {
@@ -194,10 +222,12 @@ impl<T: Restorable> ModelRegistry<T> {
             source,
         })?;
         let shared = SharedBytes::map(path)?;
+        let mtime = meta.modified().ok();
         let source = SourceId {
             len: meta.len(),
-            mtime: meta.modified().ok(),
+            mtime,
             hash: crate::hash::fnv1a64(shared.as_slice()),
+            stat_stable: mtime_is_settled(mtime),
         };
         self.install_shared(&shared, source)
     }
@@ -245,6 +275,12 @@ impl<T: Restorable> ModelRegistry<T> {
     }
 
     fn load_dir_inner(&self, dir: &Path) -> Result<DirLoadReport> {
+        if mfod_faultline::should_fire(mfod_faultline::points::REGISTRY_SWEEP) {
+            return Err(PersistError::Io {
+                path: dir.to_path_buf(),
+                source: std::io::Error::other("injected fault: registry.sweep"),
+            });
+        }
         let entries = std::fs::read_dir(dir).map_err(|source| PersistError::Io {
             path: dir.to_path_buf(),
             source,
@@ -275,12 +311,14 @@ impl<T: Restorable> ModelRegistry<T> {
             let (len, mtime) = (meta.len(), meta.modified().ok());
             let active = *self.active_source.lock().unwrap_or_else(|p| p.into_inner());
             // Stat fast path: size + mtime match the active install, so
-            // the poll skips reading the file entirely. (A same-length
-            // in-place overwrite inside one mtime tick would be missed —
-            // snapshot deployment is atomic rename of a *new* file, which
-            // always moves the mtime.)
+            // the poll skips reading the file entirely. Only trusted once
+            // the identity is *stat-stable* — hash-confirmed at a moment
+            // when the mtime was already a full granularity tick old — so
+            // a same-length rewrite inside the same mtime tick (the
+            // classic `(len, mtime)` blind spot) can never be skipped:
+            // until stability is confirmed, every poll hashes.
             if let Some(active) = active {
-                if active.mtime.is_some() && active.mtime == mtime && active.len == len {
+                if active.stat_stable && active.mtime == mtime && active.len == len {
                     unchanged = Some(path);
                     stat_fast_path = true;
                     break;
@@ -297,15 +335,25 @@ impl<T: Restorable> ModelRegistry<T> {
             // metadata check was inconclusive
             let hash = crate::hash::fnv1a64(shared.as_slice());
             if active.is_some_and(|a| a.hash == hash) {
-                // same content behind fresh metadata (e.g. a re-written
-                // identical file): refresh the identity so the next poll
-                // takes the stat path
-                *self.active_source.lock().unwrap_or_else(|p| p.into_inner()) =
-                    Some(SourceId { len, mtime, hash });
+                // same content behind fresh or unconfirmed metadata:
+                // refresh the identity; the stat path arms once the
+                // mtime has settled (confirmed by this very hash check)
+                *self.active_source.lock().unwrap_or_else(|p| p.into_inner()) = Some(SourceId {
+                    len,
+                    mtime,
+                    hash,
+                    stat_stable: mtime_is_settled(mtime),
+                });
                 unchanged = Some(path);
                 break;
             }
-            match self.install_shared(&shared, SourceId { len, mtime, hash }) {
+            let source = SourceId {
+                len,
+                mtime,
+                hash,
+                stat_stable: mtime_is_settled(mtime),
+            };
+            match self.install_shared(&shared, source) {
                 Ok(generation) => {
                     installed = Some((path, generation));
                     break;
@@ -328,12 +376,95 @@ impl<T: Restorable> ModelRegistry<T> {
 /// immediately instead of after the current interval.
 type StopSignal = Arc<(Mutex<bool>, Condvar)>;
 
+/// Ceiling on the exponent in the watcher backoff schedule; with the
+/// default factor of 2 this caps the multiplier at 2¹⁶ before
+/// [`WatchConfig::max_backoff`] clamps the interval anyway.
+const MAX_BACKOFF_LEVEL: u32 = 16;
+
+/// Tuning for a [`ModelRegistry::watch_dir_with`] watcher: the healthy
+/// poll interval plus the failure backoff schedule.
+///
+/// Consecutive failing sweeps back the interval off exponentially —
+/// `interval · factorᵏ` after `k` consecutive failures, clamped to
+/// `max_backoff` — with a deterministic jitter (up to +25%, drawn from a
+/// xoshiro stream seeded by `jitter_seed`) so a fleet of watchers sharing
+/// a seed-per-host never thunders back in lockstep. One successful sweep
+/// resets the schedule to `interval`.
+#[derive(Debug, Clone)]
+pub struct WatchConfig {
+    /// Healthy steady-state poll interval.
+    pub interval: Duration,
+    /// Backoff multiplier per consecutive failing sweep (values < 2 are
+    /// treated as 2⁰ = no growth beyond the first step... clamped to ≥1).
+    pub backoff_factor: u32,
+    /// Upper bound on the backed-off interval.
+    pub max_backoff: Duration,
+    /// Seed of the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl WatchConfig {
+    /// Defaults: factor 2, `max_backoff = 64 · interval`, jitter seed 0.
+    pub fn new(interval: Duration) -> Self {
+        WatchConfig {
+            interval,
+            backoff_factor: 2,
+            max_backoff: interval.saturating_mul(64),
+            jitter_seed: 0,
+        }
+    }
+}
+
+/// The backed-off sleep before the next sweep: `interval · factor^level`
+/// clamped to `max_backoff`, stretched by `jitter_frac ∈ [0, 1)` mapped
+/// onto `[1.0, 1.25)`. Level 0 (healthy) is exactly `interval`, no
+/// jitter. Pure, so the schedule is unit-testable without a watcher.
+fn backoff_interval(config: &WatchConfig, level: u32, jitter_frac: f64) -> Duration {
+    if level == 0 {
+        return config.interval;
+    }
+    let factor =
+        u64::from(config.backoff_factor.max(1)).saturating_pow(level.min(MAX_BACKOFF_LEVEL));
+    let factor = u32::try_from(factor).unwrap_or(u32::MAX);
+    let base = config
+        .interval
+        .saturating_mul(factor)
+        .min(config.max_backoff);
+    base.mul_f64(1.0 + 0.25 * jitter_frac.clamp(0.0, 1.0))
+        .min(config.max_backoff.mul_f64(1.25))
+}
+
+/// Point-in-time health of a watcher loop, surfaced by
+/// [`WatchHandle::health`]. Failing sweeps no longer vanish: the latest
+/// typed error's message, the consecutive-failure streak and the current
+/// backoff posture are all readable while the watcher self-heals.
+#[derive(Debug, Clone)]
+pub struct RegistryHealth {
+    /// Did the most recent completed sweep succeed? (`true` before the
+    /// first sweep completes — no evidence of trouble yet.)
+    pub healthy: bool,
+    /// Length of the current consecutive-failure streak (0 when healthy).
+    pub consecutive_failures: u64,
+    /// Current backoff exponent (0 when healthy).
+    pub backoff_level: u32,
+    /// The sleep chosen before the next sweep (equals the configured
+    /// interval when healthy, the jittered backed-off value otherwise).
+    pub next_interval: Duration,
+    /// Message of the most recent sweep error, retained across recovery
+    /// for post-mortems; `None` until a sweep first fails.
+    pub last_error: Option<String>,
+    /// Times the watcher transitioned failing → healthy.
+    pub recoveries: u64,
+}
+
 /// Handle to a background directory watcher started by
-/// [`ModelRegistry::watch_dir`]. Dropping the handle (or calling
-/// [`WatchHandle::stop`]) signals the watcher thread and joins it.
+/// [`ModelRegistry::watch_dir`] / [`ModelRegistry::watch_dir_with`].
+/// Dropping the handle (or calling [`WatchHandle::stop`]) signals the
+/// watcher thread and joins it.
 pub struct WatchHandle {
     stop: StopSignal,
     polls: Arc<AtomicU64>,
+    health: Arc<Mutex<RegistryHealth>>,
     thread: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -352,6 +483,15 @@ impl WatchHandle {
     /// them actually deployed a new model).
     pub fn polls(&self) -> u64 {
         self.polls.load(Ordering::Acquire)
+    }
+
+    /// A snapshot of the watcher's health: last sweep outcome, failure
+    /// streak, backoff posture and the most recent sweep error.
+    pub fn health(&self) -> RegistryHealth {
+        self.health
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
     }
 
     /// Signals the watcher to stop and joins its thread. Any poll already
@@ -389,33 +529,85 @@ impl<T: Restorable + Send + Sync + 'static> ModelRegistry<T> {
     /// without reading a single payload byte
     /// ([`DirLoadReport::stat_fast_path`]), so watcher polls are O(1)
     /// I/O and `generation()` keeps counting real deployments, not
-    /// polls. Sweep
-    /// errors (e.g. the directory briefly missing during a deploy) are
-    /// swallowed and retried on the next tick — a watcher must survive
-    /// transient filesystem states; malformed snapshot *files* were
-    /// already non-fatal per the `load_dir` contract.
+    /// polls. Sweep errors (e.g. the directory briefly missing during a
+    /// deploy) are non-fatal — the watcher self-heals: consecutive
+    /// failures back the poll interval off exponentially with
+    /// deterministic jitter (see [`WatchConfig`]), one success resets the
+    /// schedule, and the latest error stays readable via
+    /// [`WatchHandle::health`] instead of vanishing. Malformed snapshot
+    /// *files* were already non-fatal per the `load_dir` contract.
     ///
     /// The first poll runs immediately. The returned [`WatchHandle`]
     /// owns the thread: dropping it stops the watcher.
     pub fn watch_dir(self: &Arc<Self>, dir: impl Into<PathBuf>, interval: Duration) -> WatchHandle {
+        self.watch_dir_with(dir, WatchConfig::new(interval))
+    }
+
+    /// [`ModelRegistry::watch_dir`] with an explicit backoff/jitter
+    /// configuration.
+    pub fn watch_dir_with(
+        self: &Arc<Self>,
+        dir: impl Into<PathBuf>,
+        config: WatchConfig,
+    ) -> WatchHandle {
         let dir = dir.into();
         let registry = Arc::clone(self);
         let stop: StopSignal = Arc::new((Mutex::new(false), Condvar::new()));
         let polls = Arc::new(AtomicU64::new(0));
+        let health = Arc::new(Mutex::new(RegistryHealth {
+            healthy: true,
+            consecutive_failures: 0,
+            backoff_level: 0,
+            next_interval: config.interval,
+            last_error: None,
+            recoveries: 0,
+        }));
         let thread = {
             let stop = Arc::clone(&stop);
             let polls = Arc::clone(&polls);
+            let health = Arc::clone(&health);
             std::thread::Builder::new()
                 .name("mfod-registry-watch".into())
                 .spawn(move || {
                     let (flag, signal) = &*stop;
+                    let mut jitter = StdRng::seed_from_u64(config.jitter_seed);
+                    let mut level: u32 = 0;
                     loop {
-                        let _ = registry.load_dir(&dir);
+                        let outcome = registry.load_dir(&dir);
                         polls.fetch_add(1, Ordering::AcqRel);
+                        let sleep = {
+                            let mut h = health.lock().unwrap_or_else(|p| p.into_inner());
+                            match outcome {
+                                Ok(_) => {
+                                    if !h.healthy {
+                                        h.recoveries += 1;
+                                    }
+                                    h.healthy = true;
+                                    h.consecutive_failures = 0;
+                                    level = 0;
+                                }
+                                Err(e) => {
+                                    h.healthy = false;
+                                    h.consecutive_failures += 1;
+                                    h.last_error = Some(e.to_string());
+                                    level = (level + 1).min(MAX_BACKOFF_LEVEL);
+                                }
+                            }
+                            // one jitter draw per *failing* sweep keeps the
+                            // stream a pure function of the failure schedule
+                            let frac = if level > 0 { jitter.random() } else { 0.0 };
+                            let sleep = backoff_interval(&config, level, frac);
+                            h.backoff_level = level;
+                            h.next_interval = sleep;
+                            if let Some(m) = mfod_obs::active() {
+                                m.registry_backoff.set(u64::from(level));
+                            }
+                            sleep
+                        };
                         let mut stopped = flag.lock().unwrap_or_else(|p| p.into_inner());
                         while !*stopped {
                             let (guard, timeout) = signal
-                                .wait_timeout(stopped, interval)
+                                .wait_timeout(stopped, sleep)
                                 .unwrap_or_else(|p| p.into_inner());
                             stopped = guard;
                             if timeout.timed_out() {
@@ -432,6 +624,7 @@ impl<T: Restorable + Send + Sync + 'static> ModelRegistry<T> {
         WatchHandle {
             stop,
             polls,
+            health,
             thread: Some(thread),
         }
     }
@@ -486,6 +679,18 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir
+    }
+
+    /// Backdates `path`'s mtime past [`MTIME_GRANULARITY`], so the next
+    /// hash confirmation marks the identity stat-stable without a sleep.
+    fn age_mtime(path: &Path) {
+        let old = SystemTime::now() - MTIME_GRANULARITY - Duration::from_secs(3);
+        std::fs::File::options()
+            .write(true)
+            .open(path)
+            .unwrap()
+            .set_modified(old)
+            .unwrap();
     }
 
     #[test]
@@ -596,30 +801,159 @@ mod tests {
         let dir = tmpdir("statfast");
         let path = dir.join("gen-001.mfod");
         save(&WeightsSnapshot { w: vec![1.0, 2.0] }, &path).unwrap();
+        // settle the mtime so the install itself confirms stat stability
+        age_mtime(&path);
         let reg: ModelRegistry<Weights> = ModelRegistry::new();
         let first = reg.load_dir(&dir).unwrap();
         assert!(first.installed.is_some());
         assert!(!first.stat_fast_path);
-        // second poll: size + mtime match — decided without reading bytes
+        // second poll: size + mtime match a settled identity — decided
+        // without reading bytes
         let poll = reg.load_dir(&dir).unwrap();
         assert!(poll.unchanged.is_some());
         assert!(poll.stat_fast_path, "steady-state poll must be stat-only");
-        // re-write identical content: mtime moves, hash still matches —
-        // one hashing poll, then the stat path re-arms
-        std::thread::sleep(Duration::from_millis(20));
+        // re-write identical content: mtime moves to "now", hash still
+        // matches — polls keep hashing while the mtime is fresh (the
+        // same-tick rewrite window), and the stat path re-arms only once
+        // the identity is confirmed over a settled mtime
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes).unwrap();
         let rehash = reg.load_dir(&dir).unwrap();
         assert!(rehash.unchanged.is_some());
-        if !rehash.stat_fast_path {
-            let again = reg.load_dir(&dir).unwrap();
-            assert!(again.unchanged.is_some());
-            assert!(
-                again.stat_fast_path,
-                "identity must refresh after a re-hash"
-            );
-        }
+        assert!(
+            !rehash.stat_fast_path,
+            "a fresh mtime must force the hash fallback"
+        );
+        let fresh = reg.load_dir(&dir).unwrap();
+        assert!(fresh.unchanged.is_some());
+        assert!(
+            !fresh.stat_fast_path,
+            "the stat path must stay disarmed while the mtime is fresh"
+        );
+        age_mtime(&path);
+        let confirm = reg.load_dir(&dir).unwrap(); // hash poll confirms over a settled mtime
+        assert!(confirm.unchanged.is_some());
+        let again = reg.load_dir(&dir).unwrap();
+        assert!(again.unchanged.is_some());
+        assert!(again.stat_fast_path, "stat path must re-arm after settling");
         assert_eq!(reg.generation(), 1, "no-op polls never bump the generation");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Regression: the `(len, mtime)` stat fast path used to silently
+    /// skip a snapshot rewritten in place with identical length inside
+    /// one mtime tick. With stat stability the unsettled identity falls
+    /// back to the content hash and catches the new bytes.
+    #[test]
+    fn same_tick_equal_length_rewrite_is_caught_by_hash_fallback() {
+        let dir = tmpdir("sametick");
+        let path = dir.join("gen-001.mfod");
+        save(&WeightsSnapshot { w: vec![1.0, 2.0] }, &path).unwrap();
+        let reg: ModelRegistry<Weights> = ModelRegistry::new();
+        reg.load_dir(&dir).unwrap();
+        assert_eq!(reg.active().unwrap().w, vec![1.0, 2.0]);
+        let recorded_mtime = std::fs::metadata(&path).unwrap().modified().unwrap();
+
+        // in-place rewrite: different bytes, same length, and the mtime
+        // pinned to the recorded value — exactly the blind spot
+        let rewritten = to_bytes(&WeightsSnapshot { w: vec![5.0, 6.0] });
+        assert_eq!(
+            rewritten.len() as u64,
+            std::fs::metadata(&path).unwrap().len(),
+            "test requires an equal-length rewrite"
+        );
+        std::fs::write(&path, &rewritten).unwrap();
+        std::fs::File::options()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_modified(recorded_mtime)
+            .unwrap();
+
+        let poll = reg.load_dir(&dir).unwrap();
+        assert!(!poll.stat_fast_path, "unsettled identity must hash");
+        assert!(poll.installed.is_some(), "rewrite must be detected");
+        assert_eq!(reg.generation(), 2);
+        assert_eq!(reg.active().unwrap().w, vec![5.0, 6.0]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn backoff_schedule_is_exponential_capped_and_jittered() {
+        let config = WatchConfig::new(Duration::from_millis(10));
+        // healthy: exactly the interval, jitter ignored
+        assert_eq!(backoff_interval(&config, 0, 0.9), config.interval);
+        // exponential growth, deterministic at zero jitter
+        assert_eq!(backoff_interval(&config, 1, 0.0), Duration::from_millis(20));
+        assert_eq!(backoff_interval(&config, 3, 0.0), Duration::from_millis(80));
+        // cap: 64 · interval by default
+        assert_eq!(
+            backoff_interval(&config, 16, 0.0),
+            Duration::from_millis(640)
+        );
+        // jitter stretches by at most +25%
+        let jittered = backoff_interval(&config, 1, 1.0);
+        assert!(jittered >= Duration::from_millis(20) && jittered <= Duration::from_millis(25));
+        // a huge level saturates instead of overflowing
+        let wide = WatchConfig {
+            backoff_factor: u32::MAX,
+            ..WatchConfig::new(Duration::from_secs(1))
+        };
+        assert_eq!(backoff_interval(&wide, 16, 0.0), wide.max_backoff);
+    }
+
+    #[test]
+    fn watcher_backs_off_on_failures_and_heals_on_recovery() {
+        let dir = tmpdir("heal");
+        let gone = dir.join("not-yet-there");
+        let reg: Arc<ModelRegistry<Weights>> = Arc::new(ModelRegistry::new());
+        let handle = reg.watch_dir_with(
+            &gone,
+            WatchConfig {
+                interval: Duration::from_millis(2),
+                backoff_factor: 2,
+                max_backoff: Duration::from_millis(20),
+                jitter_seed: 7,
+            },
+        );
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        // failing sweeps: unhealthy, streak grows, backoff engages, the
+        // error is surfaced instead of vanishing
+        while handle.health().consecutive_failures < 3 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let sick = handle.health();
+        assert!(!sick.healthy);
+        assert!(sick.consecutive_failures >= 3);
+        assert!(sick.backoff_level >= 3);
+        assert!(sick.next_interval > Duration::from_millis(2));
+        assert!(sick
+            .last_error
+            .as_deref()
+            .is_some_and(|e| e.contains("not-yet-there")));
+        // the directory appears with a valid snapshot: the watcher must
+        // recover hands-free and reset the schedule
+        std::fs::create_dir_all(&gone).unwrap();
+        save(
+            &WeightsSnapshot { w: vec![4.0] },
+            &gone.join("gen-001.mfod"),
+        )
+        .unwrap();
+        while !handle.health().healthy && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let well = handle.health();
+        assert!(well.healthy, "watcher must self-heal");
+        assert_eq!(well.consecutive_failures, 0);
+        assert_eq!(well.backoff_level, 0);
+        assert_eq!(well.next_interval, Duration::from_millis(2));
+        assert!(well.recoveries >= 1);
+        assert!(well.last_error.is_some(), "history survives recovery");
+        while reg.generation() < 1 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(reg.active().unwrap().w, vec![4.0]);
+        handle.stop();
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -628,6 +962,7 @@ mod tests {
         let dir = tmpdir("mapped");
         let path = dir.join("gen-001.mfod");
         save(&WeightsSnapshot { w: vec![7.0, 8.0] }, &path).unwrap();
+        age_mtime(&path); // settle so the install arms the stat path
         let reg: ModelRegistry<Weights> = ModelRegistry::new();
         let generation = reg.install_mapped(&path).unwrap();
         assert_eq!(generation, 1);

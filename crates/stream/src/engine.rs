@@ -15,11 +15,29 @@
 
 use crate::batch::{BatchConfig, MicroBatcher, ScoredWindow};
 use crate::calibrate::ThresholdCalibrator;
+use crate::error::StreamError;
 use crate::stats::{StatsSnapshot, StreamStats};
 use crate::window::{WindowBuffer, WindowConfig};
 use crate::Result;
 use mfod::FittedPipeline;
 use std::sync::Arc;
+
+/// A batch the scorer gave up on: after the initial flush attempt plus
+/// `max_flush_retries` retries all failed, the pending windows are moved
+/// aside so the stream can keep scoring. Retrieve reports via
+/// [`OnlineScorer::drain_quarantine`]; the windows can be inspected and
+/// resubmitted (they will score under fresh sequence numbers).
+#[derive(Debug, Clone)]
+pub struct QuarantineReport {
+    /// Sequence number of the first quarantined window.
+    pub first_seq: u64,
+    /// The quarantined windows, in submission order.
+    pub windows: Vec<mfod_fda::RawSample>,
+    /// Consecutive flush failures that triggered the quarantine.
+    pub attempts: u32,
+    /// Display of the error from the final flush attempt.
+    pub error: String,
+}
 
 /// Full streaming configuration: window geometry + batching policy.
 #[derive(Debug, Clone)]
@@ -50,6 +68,7 @@ pub struct OnlineScorer {
     batcher: MicroBatcher,
     calibrator: Option<ThresholdCalibrator>,
     stats: Arc<StreamStats>,
+    quarantine: Vec<QuarantineReport>,
 }
 
 impl std::fmt::Debug for OnlineScorer {
@@ -99,6 +118,7 @@ impl OnlineScorer {
             batcher,
             calibrator: None,
             stats,
+            quarantine: Vec::new(),
         })
     }
 
@@ -145,6 +165,12 @@ impl OnlineScorer {
 
     /// Ingests one multichannel observation; returns the verdicts released
     /// by any micro-batch this observation completed.
+    ///
+    /// When the batcher has exhausted its flush retries on a poisoned
+    /// batch, the batch is **quarantined** instead of wedging the stream:
+    /// the pending windows move into a [`QuarantineReport`], this call
+    /// returns [`StreamError::Quarantined`] once, and subsequent pushes
+    /// score normally.
     pub fn push(&mut self, obs: &[f64]) -> Result<Vec<Verdict>> {
         let window = self.buffer.push(obs)?;
         // Count only after validation, so the counter agrees with
@@ -153,16 +179,65 @@ impl OnlineScorer {
         match window {
             None => Ok(Vec::new()),
             Some(window) => {
-                let scored = self.batcher.submit(window)?;
+                let scored = self
+                    .batcher
+                    .submit(window)
+                    .map_err(|e| self.quarantine_on_give_up(e))?;
                 Ok(self.apply_calibration(scored))
             }
         }
     }
 
-    /// Flushes every pending window (end of stream).
+    /// Flushes every pending window (end of stream). Like
+    /// [`OnlineScorer::push`], a batch that has exhausted its flush
+    /// retries is quarantined rather than blocking the stream forever.
     pub fn finish(&mut self) -> Result<Vec<Verdict>> {
-        let scored = self.batcher.flush()?;
+        let scored = self
+            .batcher
+            .flush()
+            .map_err(|e| self.quarantine_on_give_up(e))?;
         Ok(self.apply_calibration(scored))
+    }
+
+    /// Converts a flush give-up into a quarantine: drains the pending
+    /// batch into a [`QuarantineReport`] so the scorer stays live. All
+    /// other errors pass through unchanged.
+    fn quarantine_on_give_up(&mut self, e: StreamError) -> StreamError {
+        let StreamError::FlushRetriesExhausted {
+            attempts,
+            last_error,
+        } = e
+        else {
+            return e;
+        };
+        let tagged = self.batcher.take_pending_tagged();
+        let first_seq = tagged.first().map(|(s, _)| *s).unwrap_or(0);
+        let windows: Vec<mfod_fda::RawSample> = tagged.into_iter().map(|(_, w)| w).collect();
+        let count = windows.len();
+        self.stats.record_quarantine();
+        if let Some(m) = mfod_obs::active() {
+            m.quarantined_sessions.add(1);
+        }
+        self.quarantine.push(QuarantineReport {
+            first_seq,
+            windows,
+            attempts,
+            error: last_error,
+        });
+        StreamError::Quarantined {
+            windows: count,
+            first_seq,
+        }
+    }
+
+    /// Batches currently sitting in quarantine.
+    pub fn quarantined(&self) -> usize {
+        self.quarantine.len()
+    }
+
+    /// Removes and returns every [`QuarantineReport`] accumulated so far.
+    pub fn drain_quarantine(&mut self) -> Vec<QuarantineReport> {
+        std::mem::take(&mut self.quarantine)
     }
 
     /// Counter snapshot (throughput, latency, alarm counts).
@@ -378,6 +453,76 @@ mod tests {
             .push(&[train[0].channels[0][0], train[0].channels[1][0]])
             .unwrap();
         assert_eq!(scorer.stats().observations, 1);
+    }
+
+    #[test]
+    fn exhausted_retries_quarantine_and_the_scorer_stays_live() {
+        let _guard = mfod_faultline::serial_guard();
+        let (fitted, train, ts) = setup();
+        let mut scorer = OnlineScorer::new(
+            fitted,
+            StreamConfig {
+                window: WindowConfig::tumbling(ts.clone(), 2),
+                batch: BatchConfig {
+                    batch_size: 1,
+                    max_flush_retries: 0,
+                    ..Default::default()
+                },
+            },
+        )
+        .unwrap();
+        let push_window = |scorer: &mut OnlineScorer, i: usize| {
+            let mut out = Ok(Vec::new());
+            for j in 0..ts.len() {
+                out = scorer.push(&[train[i].channels[0][j], train[i].channels[1][j]]);
+            }
+            out
+        };
+        // One injected flush failure; with zero retries the next flush
+        // gives up and the engine quarantines the batch.
+        mfod_faultline::install(mfod_faultline::FaultPlan::new(41).rule(
+            mfod_faultline::points::STREAM_FLUSH,
+            mfod_faultline::FaultRule::always().times(1),
+        ));
+        let err = push_window(&mut scorer, 0).unwrap_err();
+        assert!(err.to_string().contains("injected fault"), "{err}");
+        let err = push_window(&mut scorer, 1).unwrap_err();
+        mfod_faultline::disarm();
+        assert!(
+            matches!(
+                err,
+                crate::StreamError::Quarantined {
+                    windows: 2,
+                    first_seq: 0
+                }
+            ),
+            "{err}"
+        );
+        // The scorer is still live: the next window scores normally on
+        // the seq after the quarantined ones.
+        let verdicts = push_window(&mut scorer, 2).unwrap();
+        assert_eq!(verdicts.len(), 1);
+        assert_eq!(verdicts[0].seq, 2);
+        assert!(verdicts[0].score.is_finite());
+        assert_eq!(scorer.pending_windows(), 0);
+        // The report carries the windows, the attempt count and the
+        // underlying error.
+        assert_eq!(scorer.quarantined(), 1);
+        assert_eq!(scorer.stats().quarantined, 1);
+        let reports = scorer.drain_quarantine();
+        assert_eq!(scorer.quarantined(), 0);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].first_seq, 0);
+        assert_eq!(reports[0].windows.len(), 2);
+        assert_eq!(reports[0].attempts, 1);
+        assert!(reports[0].error.contains("injected fault"));
+        // Quarantined windows survive intact and can be rescored.
+        let rescored = scorer
+            .batcher
+            .pipeline()
+            .score(&reports[0].windows)
+            .unwrap();
+        assert!(rescored.iter().all(|s| s.is_finite()));
     }
 
     #[test]

@@ -11,6 +11,47 @@ pub enum StreamError {
     Ingest(String),
     /// The underlying pipeline rejected or failed on a window.
     Pipeline(mfod::MfodError),
+    /// A deadline-bounded flush did not finish within its budget. The
+    /// batch is back in the pending queue, untouched — retry, raise the
+    /// budget, or drain via `take_pending`.
+    DeadlineExceeded {
+        /// The configured scoring budget.
+        budget: std::time::Duration,
+        /// Windows restored to the pending queue.
+        pending: usize,
+    },
+    /// The pending queue hit `max_pending` under
+    /// [`OverloadPolicy::Reject`](crate::OverloadPolicy::Reject); the
+    /// submitted window was shed (never enqueued, no sequence number
+    /// consumed).
+    Overloaded {
+        /// Windows pending when the submission was rejected.
+        pending: usize,
+        /// The configured `max_pending` cap.
+        cap: usize,
+    },
+    /// Scoring panicked. The batch is back in the pending queue; the
+    /// scorer itself stays usable.
+    ScorePanicked(String),
+    /// `max_flush_retries` consecutive flushes failed on this batch; the
+    /// batcher refuses further attempts until the pending windows are
+    /// drained (`take_pending`) or, at the
+    /// [`OnlineScorer`](crate::OnlineScorer) level, quarantined.
+    FlushRetriesExhausted {
+        /// Consecutive failed flush attempts.
+        attempts: u32,
+        /// Display of the error from the final attempt.
+        last_error: String,
+    },
+    /// The scorer quarantined its pending batch after exhausting flush
+    /// retries. The windows are retrievable via
+    /// `OnlineScorer::drain_quarantine`; the scorer stays live.
+    Quarantined {
+        /// Windows moved into quarantine.
+        windows: usize,
+        /// Sequence number of the first quarantined window.
+        first_seq: u64,
+    },
 }
 
 impl fmt::Display for StreamError {
@@ -21,6 +62,31 @@ impl fmt::Display for StreamError {
             // No prefix: the MfodError Display already names its stage
             // ("pipeline: …"), and doubling it reads badly.
             StreamError::Pipeline(e) => write!(f, "{e}"),
+            StreamError::DeadlineExceeded { budget, pending } => write!(
+                f,
+                "stream deadline: scoring exceeded the {budget:?} budget \
+                 ({pending} windows back in the pending queue)"
+            ),
+            StreamError::Overloaded { pending, cap } => write!(
+                f,
+                "stream overload: {pending} windows pending at cap {cap}, submission shed"
+            ),
+            StreamError::ScorePanicked(msg) => {
+                write!(f, "stream scoring panicked: {msg}")
+            }
+            StreamError::FlushRetriesExhausted {
+                attempts,
+                last_error,
+            } => write!(
+                f,
+                "stream flush gave up after {attempts} consecutive failures \
+                 (last: {last_error}); drain or quarantine the pending batch"
+            ),
+            StreamError::Quarantined { windows, first_seq } => write!(
+                f,
+                "stream quarantine: {windows} windows (first seq {first_seq}) \
+                 moved to quarantine after repeated flush failures"
+            ),
         }
     }
 }
@@ -59,5 +125,30 @@ mod tests {
         let p = StreamError::from(mfod::MfodError::Pipeline("boom".into()));
         assert!(p.to_string().contains("boom"));
         assert!(p.source().is_some());
+    }
+
+    #[test]
+    fn failure_variants_display_their_context() {
+        let d = StreamError::DeadlineExceeded {
+            budget: std::time::Duration::from_millis(5),
+            pending: 3,
+        };
+        assert!(d.to_string().contains("5ms"), "{d}");
+        assert!(d.to_string().contains("3 windows"), "{d}");
+        assert!(d.source().is_none());
+        let o = StreamError::Overloaded { pending: 9, cap: 8 };
+        assert!(o.to_string().contains("cap 8"), "{o}");
+        let s = StreamError::ScorePanicked("kaboom".into());
+        assert!(s.to_string().contains("kaboom"), "{s}");
+        let r = StreamError::FlushRetriesExhausted {
+            attempts: 4,
+            last_error: "io".into(),
+        };
+        assert!(r.to_string().contains("4 consecutive"), "{r}");
+        let q = StreamError::Quarantined {
+            windows: 2,
+            first_seq: 7,
+        };
+        assert!(q.to_string().contains("first seq 7"), "{q}");
     }
 }

@@ -23,6 +23,15 @@
 //! * [`OnlineScorer`] — the push-based facade composing all three, with
 //!   running throughput/latency counters ([`StreamStats`]).
 //!
+//! The serving path is supervised: flushes can be deadline-bounded
+//! ([`ScoringDeadline`] — a slow batch returns
+//! [`StreamError::DeadlineExceeded`], never a hang), backpressure is
+//! explicit ([`OverloadPolicy`] + shed counters), scoring panics are
+//! contained, and a batch that keeps failing is quarantined
+//! ([`QuarantineReport`]) so the stream stays live. Fault hooks from
+//! `mfod-faultline` let tests drive all of these paths deterministically;
+//! disarmed they cost one relaxed atomic load.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -77,9 +86,11 @@ pub mod error;
 pub mod stats;
 pub mod window;
 
-pub use batch::{BatchConfig, MicroBatcher, ScoredWindow, ScoringMode};
+pub use batch::{
+    BatchConfig, MicroBatcher, OverloadPolicy, ScoredWindow, ScoringDeadline, ScoringMode,
+};
 pub use calibrate::ThresholdCalibrator;
-pub use engine::{OnlineScorer, StreamConfig, Verdict};
+pub use engine::{OnlineScorer, QuarantineReport, StreamConfig, Verdict};
 pub use error::StreamError;
 pub use stats::{StatsSnapshot, StreamStats};
 pub use window::{WindowBuffer, WindowConfig};

@@ -19,6 +19,9 @@ pub struct StreamStats {
     windows: Counter,
     batches: Counter,
     alarms: Counter,
+    sheds: Counter,
+    deadline_misses: Counter,
+    quarantined: Counter,
     scoring_nanos: Counter,
     /// Per-batch end-to-end scoring latency in nanoseconds (one sample
     /// per flushed micro-batch).
@@ -41,6 +44,15 @@ pub struct StatsSnapshot {
     pub batches: u64,
     /// Windows whose score crossed the calibrated threshold.
     pub alarms: u64,
+    /// Windows shed by the overload policy (rejected or dropped-oldest;
+    /// see [`crate::OverloadPolicy`]).
+    pub sheds: u64,
+    /// Flushes abandoned because scoring overran its
+    /// [`crate::ScoringDeadline`] budget.
+    pub deadline_misses: u64,
+    /// Quarantine events: batches moved aside after exhausting flush
+    /// retries (one per quarantined batch, not per window).
+    pub quarantined: u64,
     /// Total wall-clock time spent scoring micro-batches end to end
     /// (smoothing → mapping → transform → detector; in Exact mode the
     /// per-sample cross-validated smoothing dominates).
@@ -96,6 +108,18 @@ impl StreamStats {
         self.alarms.add(alarms);
     }
 
+    pub(crate) fn record_sheds(&self, sheds: u64) {
+        self.sheds.add(sheds);
+    }
+
+    pub(crate) fn record_deadline_miss(&self) {
+        self.deadline_misses.add(1);
+    }
+
+    pub(crate) fn record_quarantine(&self) {
+        self.quarantined.add(1);
+    }
+
     /// Copies the counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -103,6 +127,9 @@ impl StreamStats {
             windows: self.windows.get(),
             batches: self.batches.get(),
             alarms: self.alarms.get(),
+            sheds: self.sheds.get(),
+            deadline_misses: self.deadline_misses.get(),
+            quarantined: self.quarantined.get(),
             scoring_time: Duration::from_nanos(self.scoring_nanos.get()),
         }
     }
@@ -132,11 +159,17 @@ mod tests {
         s.record_batch(8, Duration::from_millis(4));
         s.record_alarms(2);
         s.record_batch(8, Duration::from_millis(4));
+        s.record_sheds(3);
+        s.record_deadline_miss();
+        s.record_quarantine();
         let snap = s.snapshot();
         assert_eq!(snap.observations, 2);
         assert_eq!(snap.windows, 16);
         assert_eq!(snap.batches, 2);
         assert_eq!(snap.alarms, 2);
+        assert_eq!(snap.sheds, 3);
+        assert_eq!(snap.deadline_misses, 1);
+        assert_eq!(snap.quarantined, 1);
         assert_eq!(snap.scoring_time, Duration::from_millis(8));
         let wps = snap.windows_per_sec().unwrap();
         assert!((wps - 2000.0).abs() < 1.0, "wps {wps}");

@@ -127,6 +127,16 @@ impl WindowBuffer {
                 self.config.channels
             )));
         }
+        // Injected fault: corrupt one channel value to NaN *before* the
+        // finiteness gate, modeling upstream data corruption. The gate
+        // below must reject it and leave the buffer untouched.
+        let poisoned: Option<Vec<f64>> =
+            mfod_faultline::should_fire(mfod_faultline::points::STREAM_POISON).then(|| {
+                let mut p = obs.to_vec();
+                p[0] = f64::NAN;
+                p
+            });
+        let obs: &[f64] = poisoned.as_deref().unwrap_or(obs);
         if !obs.iter().all(|v| v.is_finite()) {
             return Err(StreamError::Ingest(
                 "observation values must be finite".into(),
@@ -334,6 +344,27 @@ mod tests {
         assert!(buf.push(&[1.0, f64::INFINITY]).is_err());
         // errors must not corrupt the count
         assert_eq!(buf.observations(), 0);
+    }
+
+    #[test]
+    fn injected_poison_is_rejected_like_real_corruption() {
+        let _guard = mfod_faultline::serial_guard();
+        let mut buf = WindowBuffer::new(cfg(4, 4, 2)).unwrap();
+        mfod_faultline::install(mfod_faultline::FaultPlan::new(51).rule(
+            mfod_faultline::points::STREAM_POISON,
+            mfod_faultline::FaultRule::always().times(1),
+        ));
+        // The poisoned observation is rejected by the finiteness gate and
+        // the buffer is untouched — exactly like a real NaN push.
+        let err = buf.push(&[1.0, 2.0]).unwrap_err();
+        assert!(err.to_string().contains("finite"), "{err}");
+        assert_eq!(buf.observations(), 0);
+        assert_eq!(buf.windows_emitted(), 0);
+        // With the fault exhausted the same observation ingests cleanly.
+        assert!(buf.push(&[1.0, 2.0]).unwrap().is_none());
+        assert_eq!(buf.observations(), 1);
+        let report = mfod_faultline::disarm().unwrap();
+        assert_eq!(report.fires(mfod_faultline::points::STREAM_POISON), 1);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Property-based tests of the streaming invariants: window geometry,
-//! stride accounting, and no window dropped or duplicated across
-//! micro-batch flushes.
+//! stride accounting, no window dropped or duplicated across micro-batch
+//! flushes, and ingestion recovery — rejected pushes, rejected chunks and
+//! injected poison never drop, duplicate, or corrupt a window.
 
 use mfod::prelude::*;
 use mfod_fda::RawSample;
@@ -107,6 +108,66 @@ proptest! {
                 "window {} score drifted under batch_size {} flush_every {}",
                 r.seq, batch_size, flush_every
             );
+        }
+    }
+
+    /// Recovery invariant: a stream peppered with rejected observations
+    /// (NaN pushes, wrong shapes, atomically-rejected chunks, injected
+    /// poison) emits exactly the windows of a clean stream that saw only
+    /// the valid observations — nothing dropped, duplicated or corrupted.
+    #[test]
+    fn window_buffer_survives_rejections_without_losing_windows(
+        window_len in 2usize..10,
+        stride in 1usize..12,
+        ops in prop::collection::vec(0u32..5, 0..60),
+    ) {
+        let _guard = mfod_faultline::serial_guard();
+        let mut buf = WindowBuffer::new(window_cfg(window_len, stride, 1)).unwrap();
+        let mut clean = WindowBuffer::new(window_cfg(window_len, stride, 1)).unwrap();
+        let mut emitted = Vec::new();
+        let mut clean_emitted = Vec::new();
+        let mut i = 0usize; // valid observations ingested so far
+        for op in ops {
+            match op {
+                // a valid observation, mirrored into the clean reference
+                0 | 1 => {
+                    let v = i as f64;
+                    if let Some(w) = buf.push(&[v]).unwrap() { emitted.push(w); }
+                    if let Some(w) = clean.push(&[v]).unwrap() { clean_emitted.push(w); }
+                    i += 1;
+                }
+                // a NaN observation: rejected, buffer untouched
+                2 => prop_assert!(buf.push(&[f64::NAN]).is_err()),
+                // wrong channel count: rejected, buffer untouched
+                3 => prop_assert!(buf.push(&[1.0, 2.0]).is_err()),
+                // a chunk with a bad tail: rejected atomically — the
+                // valid prefix must not be ingested either
+                4 => {
+                    let bad: Vec<Vec<f64>> =
+                        vec![vec![i as f64], vec![(i + 1) as f64], vec![f64::NAN]];
+                    prop_assert!(buf.push_chunk(&bad).is_err());
+                }
+                _ => unreachable!(),
+            }
+            prop_assert_eq!(buf.observations(), clean.observations());
+            prop_assert_eq!(buf.windows_emitted(), clean.windows_emitted());
+        }
+        // Injected poison behaves exactly like a real rejected push…
+        mfod_faultline::install(mfod_faultline::FaultPlan::new(61).rule(
+            mfod_faultline::points::STREAM_POISON,
+            mfod_faultline::FaultRule::always().times(1),
+        ));
+        let poisoned = buf.push(&[i as f64]);
+        mfod_faultline::disarm();
+        prop_assert!(poisoned.is_err());
+        // …and the stream still tracks the clean reference bit-for-bit.
+        if let Some(w) = buf.push(&[i as f64]).unwrap() { emitted.push(w); }
+        if let Some(w) = clean.push(&[i as f64]).unwrap() { clean_emitted.push(w); }
+        prop_assert_eq!(buf.observations(), clean.observations());
+        prop_assert_eq!(emitted.len(), clean_emitted.len());
+        for (a, b) in emitted.iter().zip(&clean_emitted) {
+            prop_assert_eq!(&a.channels, &b.channels);
+            prop_assert_eq!(&a.t, &b.t);
         }
     }
 }

@@ -1,0 +1,346 @@
+//! Seeded chaos soak for the supervised serving runtime.
+//!
+//! Each schedule arms a deterministic `mfod-faultline` plan covering every
+//! subsystem (persist reads, torn writes, mmap failures, CRC corruption,
+//! registry sweeps, stream flushes/delays/poison, pool panics/stragglers)
+//! and then drives a full serving session against it. Acceptance, per
+//! schedule:
+//!
+//! * **zero panics** escape — every injected failure surfaces as a typed
+//!   error (the test completing is the proof);
+//! * the **active model is never unseated** by torn writes or failing
+//!   sweeps — generation and identity are stable while faults fly;
+//! * once the capped stream/pool fault rules are exhausted, a clean
+//!   session scores **bit-identically** to a no-faults reference (a
+//!   straggler-only fault that stays armed must not change results);
+//! * after the plan is disarmed the registry **heals**: a valid new
+//!   generation installs and the watcher returns to its steady state.
+//!
+//! Runs 3 schedules by default; `MFOD_CHAOS_FULL=1` runs 12. With
+//! `MFOD_CHAOS_JSON=<path>` a JSON report artifact (per-schedule error
+//! counts plus the faultline hit/fire report) is written at the end.
+
+use mfod::fda::RawSample;
+use mfod::persist::{ModelRegistry, WatchConfig};
+use mfod::FittedPipeline;
+use mfod_faultline::{points, FaultPlan, FaultRule};
+use mfod_fixtures::{sine_pipeline, FixtureConfig};
+use mfod_stream::{
+    BatchConfig, OnlineScorer, ScoringDeadline, StreamConfig, StreamError, WindowConfig,
+};
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+fn fixture() -> &'static (Arc<FittedPipeline>, Vec<RawSample>, Vec<f64>) {
+    static FIXTURE: OnceLock<(Arc<FittedPipeline>, Vec<RawSample>, Vec<f64>)> = OnceLock::new();
+    FIXTURE.get_or_init(|| sine_pipeline(&FixtureConfig::default()))
+}
+
+/// A second, differently-configured model for the post-fault upgrade.
+/// `fixture()` saved twice produces byte-identical snapshots, which the
+/// registry's content hash would (correctly) treat as "unchanged" — the
+/// heal phase needs a snapshot with genuinely new content to install.
+fn upgrade_fixture() -> &'static Arc<FittedPipeline> {
+    static UPGRADE: OnceLock<Arc<FittedPipeline>> = OnceLock::new();
+    UPGRADE.get_or_init(|| {
+        let (fitted, _, _) = sine_pipeline(&FixtureConfig {
+            n_samples: 30,
+            m: 20,
+            n_trees: 15,
+            grid_len: 12,
+        });
+        fitted
+    })
+}
+
+fn offline_scores() -> &'static Vec<f64> {
+    static SCORES: OnceLock<Vec<f64>> = OnceLock::new();
+    SCORES.get_or_init(|| {
+        let (fitted, windows, _) = fixture();
+        fitted.score(windows).unwrap()
+    })
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mfod-it-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Pushes every observation of window `i` into the scorer, splitting the
+/// outcomes into released verdicts and typed errors. Injected ingest
+/// rejections shift the window alignment, so a flush (and with it any
+/// flush-stage fault) can surface on *any* push — the driver must accept
+/// errors anywhere, which is exactly the recovery contract.
+fn push_window(
+    scorer: &mut OnlineScorer,
+    i: usize,
+) -> (Vec<mfod_stream::Verdict>, Vec<StreamError>) {
+    let (_, windows, ts) = fixture();
+    let w = &windows[i % windows.len()];
+    let mut verdicts = Vec::new();
+    let mut errors = Vec::new();
+    for j in 0..ts.len() {
+        match scorer.push(&[w.channels[0][j], w.channels[1][j]]) {
+            Ok(v) => verdicts.extend(v),
+            Err(e) => errors.push(e),
+        }
+    }
+    (verdicts, errors)
+}
+
+struct ScheduleOutcome {
+    seed: u64,
+    typed_errors: usize,
+    quarantined_batches: usize,
+    fault_report: mfod_faultline::FaultReport,
+}
+
+/// One full chaos schedule: arm → torn upgrade → dirty session → clean
+/// session (bit parity) → disarm → heal.
+fn run_schedule(seed: u64) -> ScheduleOutcome {
+    let (fitted, windows, ts) = fixture();
+    let dir = tmpdir(&format!("s{seed}"));
+
+    // Generation 1 installs cleanly before any fault is armed.
+    fitted.save(&dir.join("model-001.mfod")).unwrap();
+    let registry: Arc<ModelRegistry<FittedPipeline>> = Arc::new(ModelRegistry::new());
+    registry.load_dir(&dir).unwrap();
+    let gen0 = registry.generation();
+    let active0 = registry.active().unwrap();
+    let mut watch_config = WatchConfig::new(Duration::from_millis(2));
+    watch_config.jitter_seed = seed;
+    let handle = registry.watch_dir_with(&dir, watch_config);
+
+    // Arm the full-spectrum plan. Stream/pool rules are capped so the
+    // dirty session can exhaust them; persist rules are probabilistic but
+    // bounded; the straggler stays armed through the clean session.
+    mfod_faultline::install(
+        FaultPlan::new(seed)
+            .rule(
+                points::PERSIST_READ,
+                FaultRule::with_probability(0.3).times(4),
+            )
+            .rule(
+                points::PERSIST_MMAP,
+                FaultRule::with_probability(0.5).times(4),
+            )
+            .rule(
+                points::PERSIST_CRC,
+                FaultRule::with_probability(0.3).times(4),
+            )
+            .rule(
+                points::REGISTRY_SWEEP,
+                FaultRule::with_probability(0.3).times(4),
+            )
+            .rule(points::PERSIST_TORN_WRITE, FaultRule::once())
+            .rule(points::STREAM_POISON, FaultRule::always().times(2))
+            .rule(
+                points::STREAM_DELAY,
+                FaultRule::once().delay(Duration::from_millis(60)),
+            )
+            .rule(points::STREAM_FLUSH, FaultRule::always().times(2))
+            .rule(points::POOL_PANIC, FaultRule::once())
+            .rule(
+                points::POOL_STRAGGLE,
+                FaultRule::with_probability(0.1).delay(Duration::from_millis(1)),
+            ),
+    );
+
+    // A model upgrade lands on the torn-write fault: the save fails with
+    // a typed error and leaves a truncated file for the watcher to chew
+    // on. It must never unseat the active generation.
+    let torn = fitted.save(&dir.join("model-002.mfod"));
+    assert!(torn.is_err(), "torn write must surface as an error");
+    assert!(
+        dir.join("model-002.mfod").exists(),
+        "the torn file must be on disk for sweeps to reject"
+    );
+
+    // Dirty session: deadline-bounded scoring against the active model
+    // while every fault fires. Everything lands as a typed error.
+    let mut scorer = OnlineScorer::new(
+        Arc::clone(&active0),
+        StreamConfig {
+            window: WindowConfig::tumbling(ts.clone(), 2),
+            batch: BatchConfig {
+                batch_size: 4,
+                deadline: Some(ScoringDeadline::new(Duration::from_millis(10))),
+                max_flush_retries: 1,
+                ..Default::default()
+            },
+        },
+    )
+    .unwrap();
+    let mut typed_errors = Vec::new();
+    for pass in 0..2 {
+        for i in 0..windows.len() {
+            let (_, errors) = push_window(&mut scorer, pass * windows.len() + i);
+            typed_errors.extend(errors);
+        }
+    }
+    // Settle: retry the final flush a few times (injected faults may hit
+    // it), then drain whatever is left. Never a hang, never a panic.
+    for _ in 0..5 {
+        match scorer.finish() {
+            Ok(_) => break,
+            Err(e) => typed_errors.push(e),
+        }
+    }
+    let _ = scorer.take_pending();
+    let quarantined_batches = scorer.drain_quarantine().len();
+
+    // The injected menu was actually served.
+    assert!(
+        typed_errors
+            .iter()
+            .any(|e| matches!(e, StreamError::DeadlineExceeded { .. })),
+        "seed {seed}: expected a deadline miss, got {typed_errors:?}"
+    );
+    assert!(
+        typed_errors
+            .iter()
+            .any(|e| matches!(e, StreamError::Ingest(_))),
+        "seed {seed}: expected a poison rejection, got {typed_errors:?}"
+    );
+    assert!(
+        typed_errors
+            .iter()
+            .any(|e| e.to_string().contains("injected fault: stream.flush")),
+        "seed {seed}: expected an injected flush failure, got {typed_errors:?}"
+    );
+    assert!(
+        quarantined_batches >= 1,
+        "seed {seed}: repeated flush failures must quarantine"
+    );
+
+    // Wait for the capped stream/pool faults to exhaust (the deadline
+    // helper thread may still be consuming its scheduled fire).
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let report = mfod_faultline::report().unwrap();
+        if report.fires(points::STREAM_DELAY) == 1
+            && report.fires(points::STREAM_FLUSH) == 2
+            && report.fires(points::STREAM_POISON) == 2
+            && report.fires(points::POOL_PANIC) == 1
+        {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "seed {seed}: capped faults never exhausted: {}",
+            report.to_json()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // The active model was never unseated while faults were flying.
+    assert_eq!(registry.generation(), gen0, "seed {seed}");
+    assert!(
+        Arc::ptr_eq(&registry.active().unwrap(), &active0),
+        "seed {seed}: active generation must be identity-stable under faults"
+    );
+
+    // Clean session: with only the straggler left armed, streaming must
+    // be bit-identical to the no-faults offline reference.
+    let mut clean = OnlineScorer::new(
+        Arc::clone(&active0),
+        StreamConfig {
+            window: WindowConfig::tumbling(ts.clone(), 2),
+            batch: BatchConfig {
+                batch_size: 4,
+                ..Default::default()
+            },
+        },
+    )
+    .unwrap();
+    let mut verdicts = Vec::new();
+    for i in 0..windows.len() {
+        let (v, errors) = push_window(&mut clean, i);
+        assert!(errors.is_empty(), "seed {seed}: clean session: {errors:?}");
+        verdicts.extend(v);
+    }
+    verdicts.extend(clean.finish().unwrap());
+    let reference = offline_scores();
+    assert_eq!(verdicts.len(), reference.len(), "seed {seed}");
+    for (v, r) in verdicts.iter().zip(reference) {
+        assert_eq!(
+            v.score.to_bits(),
+            r.to_bits(),
+            "seed {seed}: fault-free session drifted from the reference at seq {}",
+            v.seq
+        );
+    }
+
+    // Disarm and heal: a valid new generation installs and the watcher
+    // settles back to its steady state.
+    let fault_report = mfod_faultline::disarm().unwrap();
+    upgrade_fixture().save(&dir.join("model-003.mfod")).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let health = handle.health();
+        if registry.generation() > gen0 && health.healthy && health.backoff_level == 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "seed {seed}: registry never healed (gen {} vs {gen0}, health {health:?})",
+            registry.generation()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let health = handle.health();
+    if fault_report.fires(points::REGISTRY_SWEEP) > 0 {
+        assert!(
+            health.recoveries >= 1,
+            "seed {seed}: failing sweeps must be followed by a recovery"
+        );
+        assert!(
+            health.last_error.is_some(),
+            "seed {seed}: the last sweep error is retained for post-mortems"
+        );
+    }
+    handle.stop();
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    ScheduleOutcome {
+        seed,
+        typed_errors: typed_errors.len(),
+        quarantined_batches,
+        fault_report,
+    }
+}
+
+#[test]
+fn chaos_soak_serving_runtime_survives_seeded_fault_schedules() {
+    let _guard = mfod_faultline::serial_guard();
+    let full = std::env::var("MFOD_CHAOS_FULL").is_ok_and(|v| v == "1");
+    let schedules: u64 = if full { 12 } else { 3 };
+    let mut outcomes = Vec::new();
+    for i in 0..schedules {
+        outcomes.push(run_schedule(1000 + 97 * i));
+    }
+    if let Ok(path) = std::env::var("MFOD_CHAOS_JSON") {
+        let per_schedule: Vec<String> = outcomes
+            .iter()
+            .map(|o| {
+                format!(
+                    "{{\"seed\":{},\"typed_errors\":{},\"quarantined_batches\":{},\"faults\":{}}}",
+                    o.seed,
+                    o.typed_errors,
+                    o.quarantined_batches,
+                    o.fault_report.to_json()
+                )
+            })
+            .collect();
+        let json = format!(
+            "{{\"schedules\":{},\"full\":{},\"results\":[{}]}}\n",
+            schedules,
+            full,
+            per_schedule.join(",")
+        );
+        std::fs::write(&path, json).unwrap();
+    }
+}
