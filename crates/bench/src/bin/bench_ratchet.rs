@@ -278,6 +278,17 @@ fn ratchet_obs(
          {base_pct:+.2}% (ceiling {OBS_OVERHEAD_CEILING_PCT}%; baseline smoke={base_smoke}, \
          current smoke={current_smoke})"
     );
+    // Enabled-recorder arms are informational only — the contract gates
+    // the disabled path; recording (and journalling) may cost something.
+    if let (Ok(enabled_pct), Ok(journal_pct)) = (
+        number(current_json, "enabled_pct", current_path),
+        number(current_json, "journal_pct", current_path),
+    ) {
+        println!(
+            "ratchet[obs]: enabled-path overhead {enabled_pct:+.2}% · with per-item journal \
+             span {journal_pct:+.2}% (informational, not gated)"
+        );
+    }
     if current_smoke == "true" {
         println!("ratchet[obs]: smoke-mode report — wall-clock gate skipped (parity gate passed)");
         return Ok(());

@@ -388,9 +388,19 @@ pub fn stall(point: &str) {
 
 #[cold]
 fn check_slow(point: &str) -> Option<FaultRule> {
-    let mut slot = plan_slot().lock().expect("faultline plan lock poisoned");
-    // The gate may have been disarmed between the load and the lock.
-    slot.as_mut().and_then(|plan| plan.check(point))
+    let fired = {
+        let mut slot = plan_slot().lock().expect("faultline plan lock poisoned");
+        // The gate may have been disarmed between the load and the lock.
+        slot.as_mut().and_then(|plan| plan.check(point))
+    };
+    if fired.is_some() {
+        // Timeline marker for the observability journal: one instant
+        // event per actual firing, so a chaos-soak trace shows *when*
+        // each fault landed relative to flushes and sweeps. Fires are
+        // rare by construction, so the interning cost is irrelevant.
+        mfod_obs::journal::instant(&format!("fault:{point}"));
+    }
+    fired
 }
 
 /// Serialize tests that arm plans: faultline state is process-global, so

@@ -472,9 +472,13 @@ impl Pool {
                         if let (Some(m), Some(t)) = (obs, queued_at) {
                             m.pool_queue_wait.record_duration(t.elapsed());
                         }
-                        let started = obs.map(|_| std::time::Instant::now());
+                        let started = obs.map(|_| {
+                            mfod_obs::journal::span_begin(mfod_obs::journal::NAME_POOL_CHUNK);
+                            std::time::Instant::now()
+                        });
                         let outcome = run_chunk(c);
                         if let (Some(m), Some(t)) = (obs, started) {
+                            mfod_obs::journal::span_end(mfod_obs::journal::NAME_POOL_CHUNK);
                             m.pool_chunk_run.record_duration(t.elapsed());
                         }
                         *lock_recovering(&outcomes[c]) = Some(outcome);
@@ -490,9 +494,13 @@ impl Pool {
             // finished running and dropped its borrows.
             unsafe { self.inject_scoped(tasks) };
         }
-        let started = obs.map(|_| std::time::Instant::now());
+        let started = obs.map(|_| {
+            mfod_obs::journal::span_begin(mfod_obs::journal::NAME_POOL_CHUNK);
+            std::time::Instant::now()
+        });
         let first = run_chunk(0);
         if let (Some(m), Some(t)) = (obs, started) {
+            mfod_obs::journal::span_end(mfod_obs::journal::NAME_POOL_CHUNK);
             m.pool_chunk_run.record_duration(t.elapsed());
         }
         self.help_until(&latch);

@@ -1,0 +1,483 @@
+//! A lock-free, bounded, per-thread event journal: span begin/end and
+//! instant events with nanosecond timestamps on a process-wide epoch
+//! clock, merged on demand into Chrome trace-event JSON.
+//!
+//! # Design
+//!
+//! Each thread owns one fixed-capacity ring of event slots. Only the
+//! owning thread writes; a slot is published by a release store of the
+//! ring's length, after which it is immutable (**keep-first-N**: when
+//! the ring is full, later events are dropped and counted rather than
+//! overwriting older ones). That makes reads trivially safe without
+//! locks and gives the conservation law
+//! `recorded + dropped == emitted` per ring.
+//!
+//! Keep-first-N also means the recorded events on a thread are a strict
+//! time *prefix* of what was emitted: an `End` can only be present if
+//! its `Begin` (which came earlier on the same thread) is present too.
+//! Orphan `End`s are therefore impossible; orphan `Begin`s (whose `End`
+//! was dropped) are excluded at export time by a per-thread stack walk,
+//! so every span in the exported trace has a matched begin/end pair.
+//!
+//! All entry points gate on [`Recorder::enabled`], so a disabled
+//! recorder pays one relaxed load and a predictable branch — the same
+//! contract as the metric hooks.
+
+use crate::recorder::Recorder;
+use crate::span::Phase;
+use std::cell::OnceCell;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Events each thread-local ring can hold before dropping (and
+/// counting) the overflow. 8192 events × 16 bytes ≈ 128 KiB per
+/// recording thread, allocated lazily on that thread's first event.
+pub const RING_CAPACITY: usize = 8192;
+
+const KIND_BEGIN: u64 = 0;
+const KIND_END: u64 = 1;
+const KIND_INSTANT: u64 = 2;
+
+/// Fixed name id for pool sub-chunk execution spans (phases use their
+/// [`Phase::index`] as the id).
+pub const NAME_POOL_CHUNK: u32 = 8;
+/// First id handed out by the dynamic name interner.
+const FIRST_DYNAMIC: u32 = 16;
+
+/// What a journal event marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opened (`ph: "B"` in the trace).
+    Begin,
+    /// A span closed (`ph: "E"`).
+    End,
+    /// A point-in-time marker (`ph: "i"`), e.g. a fault firing.
+    Instant,
+}
+
+/// A decoded journal event (export/test view; the wire form is two
+/// packed `u64` words).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalEvent {
+    /// Journal-assigned thread id (dense, starts at 1).
+    pub tid: u64,
+    /// Nanoseconds since the process epoch clock.
+    pub ts_ns: u64,
+    pub kind: EventKind,
+    pub name: String,
+}
+
+/// Journal-wide drop accounting. Invariant (per ring, hence in total):
+/// `recorded + dropped == emitted`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JournalStats {
+    /// Events sitting in rings, readable by the exporter.
+    pub recorded: u64,
+    /// Events discarded because their thread's ring was full.
+    pub dropped: u64,
+    /// Events offered to the journal while recording was enabled.
+    pub emitted: u64,
+    /// Threads that have recorded at least one event.
+    pub threads: usize,
+}
+
+struct Slot {
+    ts: AtomicU64,
+    /// `kind << 32 | name_id`.
+    tag: AtomicU64,
+}
+
+struct ThreadRing {
+    tid: u64,
+    slots: Vec<Slot>,
+    /// Published event count; slots below it are immutable.
+    len: AtomicUsize,
+    dropped: AtomicU64,
+    emitted: AtomicU64,
+}
+
+impl ThreadRing {
+    fn new(tid: u64) -> ThreadRing {
+        let mut slots = Vec::with_capacity(RING_CAPACITY);
+        for _ in 0..RING_CAPACITY {
+            slots.push(Slot {
+                ts: AtomicU64::new(0),
+                tag: AtomicU64::new(0),
+            });
+        }
+        ThreadRing {
+            tid,
+            slots,
+            len: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+            emitted: AtomicU64::new(0),
+        }
+    }
+
+    /// Single-writer push (only the owning thread calls this), so a
+    /// plain load/store pair on `len` suffices; the release store
+    /// publishes the freshly written slot.
+    fn push(&self, ts: u64, kind: u64, name_id: u32) {
+        self.emitted.fetch_add(1, Ordering::Relaxed);
+        let i = self.len.load(Ordering::Relaxed);
+        if i >= self.slots.len() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let slot = &self.slots[i];
+        slot.ts.store(ts, Ordering::Relaxed);
+        slot.tag
+            .store(kind << 32 | u64::from(name_id), Ordering::Relaxed);
+        self.len.store(i + 1, Ordering::Release);
+    }
+
+    fn events(&self) -> Vec<(u64, u64, u32)> {
+        let len = self.len.load(Ordering::Acquire).min(self.slots.len());
+        self.slots[..len]
+            .iter()
+            .map(|s| {
+                let tag = s.tag.load(Ordering::Relaxed);
+                (
+                    s.ts.load(Ordering::Relaxed),
+                    tag >> 32,
+                    (tag & u32::MAX as u64) as u32,
+                )
+            })
+            .collect()
+    }
+}
+
+static RINGS: Mutex<Vec<Arc<ThreadRing>>> = Mutex::new(Vec::new());
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+static NAMES: Mutex<Vec<String>> = Mutex::new(Vec::new());
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+thread_local! {
+    static RING: OnceCell<Arc<ThreadRing>> = const { OnceCell::new() };
+}
+
+/// Nanoseconds since the process epoch (the first clock read by the
+/// journal or the windowed metrics; shared so both timelines agree).
+#[inline]
+pub(crate) fn epoch_nanos() -> u64 {
+    EPOCH
+        .get_or_init(Instant::now)
+        .elapsed()
+        .as_nanos()
+        .min(u64::MAX as u128) as u64
+}
+
+fn rings_locked() -> std::sync::MutexGuard<'static, Vec<Arc<ThreadRing>>> {
+    RINGS.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn names_locked() -> std::sync::MutexGuard<'static, Vec<String>> {
+    NAMES.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn push(kind: u64, name_id: u32) {
+    let ts = epoch_nanos();
+    RING.with(|cell| {
+        let ring = cell.get_or_init(|| {
+            let ring = Arc::new(ThreadRing::new(NEXT_TID.fetch_add(1, Ordering::Relaxed)));
+            rings_locked().push(Arc::clone(&ring));
+            ring
+        });
+        ring.push(ts, kind, name_id);
+    });
+}
+
+/// Interns `name`, returning a stable id usable with [`span_begin`],
+/// [`span_end`] and [`instant_id`]. Takes a mutex and scans linearly —
+/// intended for rare events or one-time setup, never per-item hot
+/// paths.
+pub fn intern(name: &str) -> u32 {
+    let mut names = names_locked();
+    if let Some(pos) = names.iter().position(|n| n == name) {
+        return FIRST_DYNAMIC + pos as u32;
+    }
+    names.push(name.to_string());
+    FIRST_DYNAMIC + (names.len() - 1) as u32
+}
+
+fn name_of(id: u32) -> String {
+    if (id as usize) < Phase::COUNT {
+        return Phase::ALL[id as usize].name().to_string();
+    }
+    if id == NAME_POOL_CHUNK {
+        return "pool.chunk".to_string();
+    }
+    names_locked()
+        .get((id - FIRST_DYNAMIC) as usize)
+        .cloned()
+        .unwrap_or_else(|| format!("name#{id}"))
+}
+
+/// Records a span-begin event for `name_id` (a [`Phase::index`],
+/// [`NAME_POOL_CHUNK`], or an [`intern`]ed id). No-op when the
+/// recorder is disabled.
+#[inline]
+pub fn span_begin(name_id: u32) {
+    if Recorder::enabled() {
+        push(KIND_BEGIN, name_id);
+    }
+}
+
+/// Records the matching span-end event. Begin/end pairs must nest
+/// (LIFO) per thread — RAII guards at the call sites guarantee this.
+#[inline]
+pub fn span_end(name_id: u32) {
+    if Recorder::enabled() {
+        push(KIND_END, name_id);
+    }
+}
+
+/// Records an instant event under an already-interned id.
+#[inline]
+pub fn instant_id(name_id: u32) {
+    if Recorder::enabled() {
+        push(KIND_INSTANT, name_id);
+    }
+}
+
+/// Records an instant event, interning `name` on the fly. Meant for
+/// rare occurrences (fault firings, registry swaps, quarantines);
+/// pre-intern with [`intern`] if a site could ever become hot.
+#[inline]
+pub fn instant(name: &str) {
+    if Recorder::enabled() {
+        push(KIND_INSTANT, intern(name));
+    }
+}
+
+/// Current journal-wide drop accounting.
+pub fn stats() -> JournalStats {
+    let rings = rings_locked();
+    let mut s = JournalStats::default();
+    for ring in rings.iter() {
+        let recorded = ring.len.load(Ordering::Acquire).min(ring.slots.len()) as u64;
+        s.recorded += recorded;
+        s.dropped += ring.dropped.load(Ordering::Relaxed);
+        s.emitted += ring.emitted.load(Ordering::Relaxed);
+        if ring.emitted.load(Ordering::Relaxed) > 0 {
+            s.threads += 1;
+        }
+    }
+    s
+}
+
+/// Clears every ring (test epochs). Not synchronised against
+/// concurrent writers: a thread mid-push may land one event into the
+/// cleared ring, which is fine for the test-serialised use this is
+/// meant for.
+pub fn reset() {
+    for ring in rings_locked().iter() {
+        ring.len.store(0, Ordering::Release);
+        ring.dropped.store(0, Ordering::Relaxed);
+        ring.emitted.store(0, Ordering::Relaxed);
+    }
+}
+
+/// All recorded events, merged across threads (ordered by thread, then
+/// recording order — timestamps are monotone per thread). Unpaired
+/// begin events are *included* here; use [`chrome_trace_json`] for the
+/// matched view.
+pub fn events() -> Vec<JournalEvent> {
+    let rings: Vec<Arc<ThreadRing>> = {
+        let mut v: Vec<_> = rings_locked().iter().cloned().collect();
+        v.sort_by_key(|r| r.tid);
+        v
+    };
+    let mut out = Vec::new();
+    for ring in rings {
+        for (ts, kind, name_id) in ring.events() {
+            out.push(JournalEvent {
+                tid: ring.tid,
+                ts_ns: ts,
+                kind: match kind {
+                    KIND_BEGIN => EventKind::Begin,
+                    KIND_END => EventKind::End,
+                    _ => EventKind::Instant,
+                },
+                name: name_of(name_id),
+            });
+        }
+    }
+    out
+}
+
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Serialises the journal as Chrome trace-event JSON (the format
+/// `chrome://tracing` / Perfetto open directly). Spans whose end was
+/// dropped are excluded, so every emitted `"B"` has a matching `"E"`;
+/// instant events are emitted with thread scope. Drop accounting is
+/// attached under `otherData` (viewers ignore unknown top-level keys).
+pub fn chrome_trace_json() -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let rings: Vec<Arc<ThreadRing>> = {
+        let mut v: Vec<_> = rings_locked().iter().cloned().collect();
+        v.sort_by_key(|r| r.tid);
+        v
+    };
+    for ring in &rings {
+        let events = ring.events();
+        // Per-thread LIFO walk: pair each End with the most recent open
+        // Begin; keep only paired spans (plus all instants).
+        let mut keep = vec![false; events.len()];
+        let mut open: Vec<usize> = Vec::new();
+        for (i, &(_, kind, name_id)) in events.iter().enumerate() {
+            match kind {
+                KIND_BEGIN => open.push(i),
+                KIND_END => {
+                    if let Some(b) = open.pop() {
+                        if events[b].2 == name_id {
+                            keep[b] = true;
+                            keep[i] = true;
+                        }
+                    }
+                }
+                _ => keep[i] = true,
+            }
+        }
+        for (i, &(ts, kind, name_id)) in events.iter().enumerate() {
+            if !keep[i] {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let ph = match kind {
+                KIND_BEGIN => "B",
+                KIND_END => "E",
+                _ => "i",
+            };
+            out.push_str("\n{\"name\":\"");
+            escape_json(&name_of(name_id), &mut out);
+            let _ = write!(
+                out,
+                "\",\"ph\":\"{ph}\",\"pid\":1,\"tid\":{},\"ts\":{}.{:03}",
+                ring.tid,
+                ts / 1_000,
+                ts % 1_000
+            );
+            if kind == KIND_INSTANT {
+                out.push_str(",\"s\":\"t\"");
+            }
+            out.push('}');
+        }
+    }
+    let s = stats();
+    let _ = write!(
+        out,
+        "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"recorded\":{},\"dropped\":{},\"emitted\":{}}}}}",
+        s.recorded, s.dropped, s.emitted
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::locked;
+
+    #[test]
+    fn disabled_journal_records_nothing() {
+        let _g = locked();
+        Recorder::install(false);
+        reset();
+        span_begin(0);
+        span_end(0);
+        instant("never");
+        let s = stats();
+        assert_eq!((s.recorded, s.dropped, s.emitted), (0, 0, 0));
+    }
+
+    #[test]
+    fn spans_and_instants_round_trip() {
+        let _g = locked();
+        Recorder::install(true);
+        reset();
+        span_begin(Phase::FitFeatures.index() as u32);
+        instant("registry.swap");
+        span_end(Phase::FitFeatures.index() as u32);
+        let evs = events();
+        let mine: Vec<_> = evs
+            .iter()
+            .filter(|e| e.name == "fit-features" || e.name == "registry.swap")
+            .collect();
+        assert_eq!(mine.len(), 3);
+        assert_eq!(mine[0].kind, EventKind::Begin);
+        assert_eq!(mine[1].kind, EventKind::Instant);
+        assert_eq!(mine[2].kind, EventKind::End);
+        assert!(mine[0].ts_ns <= mine[1].ts_ns && mine[1].ts_ns <= mine[2].ts_ns);
+        reset();
+        Recorder::install(false);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_conserves_counts() {
+        let _g = locked();
+        Recorder::install(true);
+        reset();
+        let extra = 100u64;
+        for _ in 0..RING_CAPACITY as u64 + extra {
+            instant_id(NAME_POOL_CHUNK);
+        }
+        let s = stats();
+        assert_eq!(s.recorded, RING_CAPACITY as u64);
+        assert_eq!(s.dropped, extra);
+        assert_eq!(s.recorded + s.dropped, s.emitted);
+        reset();
+        Recorder::install(false);
+    }
+
+    #[test]
+    fn intern_is_stable_and_deduplicating() {
+        let a = intern("some.point");
+        let b = intern("some.point");
+        let c = intern("other.point");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(name_of(a), "some.point");
+        assert_eq!(
+            name_of(Phase::ScoreDetector.index() as u32),
+            "score-detector"
+        );
+        assert_eq!(name_of(NAME_POOL_CHUNK), "pool.chunk");
+    }
+
+    #[test]
+    fn trace_export_drops_unmatched_begins() {
+        let _g = locked();
+        Recorder::install(true);
+        reset();
+        span_begin(0);
+        span_begin(1);
+        span_end(1);
+        // span 0 never ends: it must not appear in the export
+        let json = chrome_trace_json();
+        assert_eq!(json.matches("\"ph\":\"B\"").count(), 1);
+        assert_eq!(json.matches("\"ph\":\"E\"").count(), 1);
+        assert!(json.contains("\"name\":\"fit-detector\""));
+        assert!(!json.contains("\"name\":\"fit-features\""));
+        reset();
+        Recorder::install(false);
+    }
+}

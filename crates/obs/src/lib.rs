@@ -25,7 +25,11 @@
 //! overrides the environment). With `MFOD_OBS_JSON=<path>` set, a
 //! [`json_dump_guard`] writes the full [`MetricsSnapshot`] as JSON to
 //! `<path>` when dropped; [`Recorder::dump_json`] does the same on
-//! demand.
+//! demand. `MFOD_OBS_TRACE=<path>` additionally dumps the event
+//! [`journal`] as Chrome trace-event JSON, and
+//! `MFOD_OBS_HTTP=<addr>` (via [`Recorder::serve_from_env`]) starts a
+//! std-only scrape endpoint serving `/metrics` (Prometheus text
+//! exposition), `/report` and `/trace`.
 //!
 //! # Determinism
 //!
@@ -38,15 +42,34 @@
 //! never what is scored (guarded by bit-parity tests in the workspace
 //! facade).
 
+mod http;
+pub mod journal;
 mod metrics;
 mod recorder;
 mod span;
+pub mod window;
 
+pub use http::{prometheus_text, HttpHandle, ENV_OBS_HTTP};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, HIST_BUCKETS};
 pub use recorder::{
     active, json_dump_guard, FailureSnapshot, JsonDumpGuard, MetricsSnapshot, PersistSnapshot,
     PhaseSnapshot, PlanCacheSnapshot, PoolSnapshot, Recorder, RegistrySnapshot, StreamObsSnapshot,
-    ENV_OBS, ENV_OBS_JSON,
+    WindowSnapshot, ENV_OBS, ENV_OBS_JSON, ENV_OBS_TRACE,
 };
 pub use recorder::{Metrics, PhaseSlots};
 pub use span::{Phase, SpanTimer};
+pub use window::{WindowedCounter, WindowedHistogram, WINDOW_SLOTS, WINDOW_SLOT_MILLIS};
+
+/// Serialises unit tests that toggle the global gate, reset the
+/// metrics bundle, or read/clear the global journal — spans feed the
+/// journal, so recorder and journal tests share one lock.
+#[cfg(test)]
+pub(crate) mod testutil {
+    use std::sync::{Mutex, MutexGuard};
+
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    pub fn locked() -> MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}

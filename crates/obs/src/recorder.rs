@@ -1,9 +1,13 @@
 //! The process-wide recorder: one static bundle of named metric slots,
 //! an enable gate resolved from `MFOD_OBS`, ordered snapshots with
-//! `diff`, a hand-rolled JSON dump and a human-readable report.
+//! `diff`, a hand-rolled JSON dump, a human-readable report, a Chrome
+//! trace export of the event journal, and a scrape endpoint.
 
+use crate::http::HttpHandle;
+use crate::journal;
 use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 use crate::span::Phase;
+use crate::window::{self, WindowedCounter, WindowedHistogram};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -14,6 +18,9 @@ pub const ENV_OBS: &str = "MFOD_OBS";
 /// Environment variable naming the JSON dump path used by
 /// [`json_dump_guard`] and honoured by [`Recorder::dump_json_to_env`].
 pub const ENV_OBS_JSON: &str = "MFOD_OBS_JSON";
+/// Environment variable naming the Chrome trace-event JSON path used by
+/// [`json_dump_guard`] and honoured by [`Recorder::dump_trace_to_env`].
+pub const ENV_OBS_TRACE: &str = "MFOD_OBS_TRACE";
 
 /// Per-phase histogram array (exclusive nanoseconds per span).
 pub type PhaseSlots = [Histogram; Phase::COUNT];
@@ -105,6 +112,22 @@ pub struct Metrics {
     /// Current watcher backoff level (0 when the last sweep succeeded).
     pub registry_backoff: Gauge,
 
+    // -- Windowed telemetry (rates and rolling distributions) ---------
+    /// Windows scored per rolling window (→ windows/sec).
+    pub win_stream_windows: WindowedCounter,
+    /// Model swaps per rolling window (→ swaps/min).
+    pub win_registry_swaps: WindowedCounter,
+    /// Windows shed per rolling window (→ sheds/sec).
+    pub win_sheds: WindowedCounter,
+    /// Serving errors per rolling window (→ errors/sec).
+    pub win_errors: WindowedCounter,
+    /// Rolling micro-batch scoring latency (ns; rolling p50/p95/p99).
+    pub win_batch_score: WindowedHistogram,
+    /// Rolling outlier-score distribution sketch in nanoscore units
+    /// (see [`crate::window::quantize_score`]) — the drift-monitor
+    /// substrate.
+    pub win_score_dist: WindowedHistogram,
+
     // -- Pipeline phases (mfod) ---------------------------------------
     /// Exclusive nanoseconds per pipeline phase, indexed by
     /// [`Phase::index`].
@@ -146,6 +169,12 @@ impl Metrics {
             deadline_misses: Counter::new(),
             quarantined_sessions: Counter::new(),
             registry_backoff: Gauge::new(),
+            win_stream_windows: WindowedCounter::new(),
+            win_registry_swaps: WindowedCounter::new(),
+            win_sheds: WindowedCounter::new(),
+            win_errors: WindowedCounter::new(),
+            win_batch_score: WindowedHistogram::new(),
+            win_score_dist: WindowedHistogram::new(),
             phases: [const { Histogram::new() }; Phase::COUNT],
         }
     }
@@ -183,6 +212,12 @@ impl Metrics {
         self.deadline_misses.reset();
         self.quarantined_sessions.reset();
         self.registry_backoff.reset();
+        self.win_stream_windows.reset();
+        self.win_registry_swaps.reset();
+        self.win_sheds.reset();
+        self.win_errors.reset();
+        self.win_batch_score.reset();
+        self.win_score_dist.reset();
         for h in &self.phases {
             h.reset();
         }
@@ -261,6 +296,42 @@ impl Recorder {
             _ => Ok(None),
         }
     }
+
+    /// Writes the merged event journal as Chrome trace-event JSON to
+    /// `path` (open it in `chrome://tracing` or Perfetto).
+    pub fn dump_trace(path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, journal::chrome_trace_json())
+    }
+
+    /// Writes the Chrome trace to the path named by [`ENV_OBS_TRACE`],
+    /// if set. Returns the path written.
+    pub fn dump_trace_to_env() -> std::io::Result<Option<PathBuf>> {
+        match std::env::var_os(ENV_OBS_TRACE) {
+            Some(p) if !p.is_empty() => {
+                let path = PathBuf::from(p);
+                Self::dump_trace(&path)?;
+                Ok(Some(path))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    /// Starts the scrape endpoint on `addr` (e.g. `127.0.0.1:9464`, or
+    /// port 0 for an ephemeral port). The returned handle stops the
+    /// server when dropped; see [`HttpHandle::addr`] for the bound
+    /// address.
+    pub fn serve(addr: &str) -> std::io::Result<HttpHandle> {
+        crate::http::serve(addr)
+    }
+
+    /// Starts the scrape endpoint on the address named by
+    /// [`crate::ENV_OBS_HTTP`], if set.
+    pub fn serve_from_env() -> std::io::Result<Option<HttpHandle>> {
+        match std::env::var(crate::http::ENV_OBS_HTTP) {
+            Ok(addr) if !addr.is_empty() => Self::serve(&addr).map(Some),
+            _ => Ok(None),
+        }
+    }
 }
 
 /// Gate for hot-path instrumentation: `Some(&Metrics)` only when the
@@ -278,14 +349,21 @@ pub fn active() -> Option<&'static Metrics> {
 }
 
 /// RAII guard returned by [`json_dump_guard`]: on drop, writes the
-/// final snapshot to the [`ENV_OBS_JSON`] path (if set). Dump errors
-/// are swallowed — telemetry must never panic a shutdown path.
+/// final snapshot to the [`ENV_OBS_JSON`] path and the Chrome trace to
+/// the [`ENV_OBS_TRACE`] path (when set). Dump errors are reported on
+/// stderr but never panic — telemetry must not take down a shutdown
+/// path, yet a silently missing dump is a debugging dead end.
 #[derive(Debug)]
 pub struct JsonDumpGuard(());
 
 impl Drop for JsonDumpGuard {
     fn drop(&mut self) {
-        let _ = Recorder::dump_json_to_env();
+        if let Err(e) = Recorder::dump_json_to_env() {
+            eprintln!("mfod-obs: failed to write {ENV_OBS_JSON} metrics dump: {e}");
+        }
+        if let Err(e) = Recorder::dump_trace_to_env() {
+            eprintln!("mfod-obs: failed to write {ENV_OBS_TRACE} trace dump: {e}");
+        }
     }
 }
 
@@ -387,6 +465,27 @@ pub struct FailureSnapshot {
     pub registry_backoff: u64,
 }
 
+/// Windowed-telemetry snapshot: rates and rolling distributions over
+/// the last [`window::WINDOW_SLOTS`]×[`window::WINDOW_SLOT_MILLIS`]
+/// (60×1s). Rates are 0.0 while nothing was recorded, so snapshots of
+/// idle windows stay deterministic.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WindowSnapshot {
+    /// Windows scored per second over the live window.
+    pub windows_per_sec: f64,
+    /// Model swaps per minute over the live window.
+    pub swaps_per_min: f64,
+    /// Windows shed per second over the live window.
+    pub sheds_per_sec: f64,
+    /// Serving errors per second over the live window.
+    pub errors_per_sec: f64,
+    /// Rolling micro-batch scoring latency (ns).
+    pub batch_score: HistogramSnapshot,
+    /// Rolling outlier-score distribution in nanoscore units
+    /// ([`window::quantize_score`]).
+    pub score_dist: HistogramSnapshot,
+}
+
 /// One pipeline phase's exclusive-time histogram, labelled.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PhaseSnapshot {
@@ -405,6 +504,7 @@ pub struct MetricsSnapshot {
     pub registry: RegistrySnapshot,
     pub persist: PersistSnapshot,
     pub failures: FailureSnapshot,
+    pub window: WindowSnapshot,
     /// Indexed by [`Phase::index`], in [`Phase::ALL`] order.
     pub phases: Vec<PhaseSnapshot>,
 }
@@ -455,6 +555,17 @@ impl MetricsSnapshot {
                 deadline_misses: m.deadline_misses.get(),
                 quarantined_sessions: m.quarantined_sessions.get(),
                 registry_backoff: m.registry_backoff.get(),
+            },
+            window: {
+                let now_id = window::now_slot_id();
+                WindowSnapshot {
+                    windows_per_sec: m.win_stream_windows.rate_per_sec(now_id),
+                    swaps_per_min: m.win_registry_swaps.rate_per_sec(now_id) * 60.0,
+                    sheds_per_sec: m.win_sheds.rate_per_sec(now_id),
+                    errors_per_sec: m.win_errors.rate_per_sec(now_id),
+                    batch_score: m.win_batch_score.snapshot_live(now_id),
+                    score_dist: m.win_score_dist.snapshot_live(now_id),
+                }
             },
             phases: Phase::ALL
                 .iter()
@@ -568,6 +679,8 @@ impl MetricsSnapshot {
                 // a level, not a rate: keep the later reading
                 registry_backoff: self.failures.registry_backoff,
             },
+            // Already windowed — a diff keeps the later reading.
+            window: self.window.clone(),
             phases: self
                 .phases
                 .iter()
@@ -642,6 +755,14 @@ impl MetricsSnapshot {
             self.failures.registry_backoff,
             false,
         );
+        out.push_str("},\n  \"window\": {");
+        let w = &self.window;
+        push_f64(&mut out, "windows_per_sec", w.windows_per_sec, true);
+        push_f64(&mut out, "swaps_per_min", w.swaps_per_min, false);
+        push_f64(&mut out, "sheds_per_sec", w.sheds_per_sec, false);
+        push_f64(&mut out, "errors_per_sec", w.errors_per_sec, false);
+        push_hist(&mut out, "batch_score_ns", &w.batch_score);
+        push_hist(&mut out, "score_dist_nanoscore", &w.score_dist);
         out.push_str("},\n  \"phases\": {");
         for (i, p) in self.phases.iter().enumerate() {
             if i > 0 {
@@ -722,6 +843,20 @@ impl MetricsSnapshot {
             f.errors, f.sheds, f.deadline_misses, f.quarantined_sessions, f.registry_backoff
         );
 
+        let w = &self.window;
+        let _ = writeln!(
+            r,
+            "window({}x{}ms) {:.2} windows/s · {:.2} swaps/min · {:.2} sheds/s · {:.2} errors/s",
+            window::WINDOW_SLOTS,
+            window::WINDOW_SLOT_MILLIS,
+            w.windows_per_sec,
+            w.swaps_per_min,
+            w.sheds_per_sec,
+            w.errors_per_sec
+        );
+        hist_line(&mut r, "  score lat ", &w.batch_score);
+        score_dist_line(&mut r, "  score dist", &w.score_dist);
+
         r.push_str("phases (exclusive time)\n");
         for ph in &self.phases {
             hist_line(&mut r, &format!("  {:<14}", ph.phase.name()), &ph.exclusive);
@@ -735,6 +870,13 @@ fn push_u64(out: &mut String, key: &str, v: u64, first: bool) {
         out.push(',');
     }
     let _ = write!(out, "\n    \"{key}\": {v}");
+}
+
+fn push_f64(out: &mut String, key: &str, v: f64, first: bool) {
+    if !first {
+        out.push(',');
+    }
+    let _ = write!(out, "\n    \"{key}\": {v:.6}");
 }
 
 fn push_hist(out: &mut String, key: &str, h: &HistogramSnapshot) {
@@ -764,6 +906,25 @@ fn hist_json(out: &mut String, h: &HistogramSnapshot) {
         let _ = write!(out, "{b}");
     }
     out.push_str("]}");
+}
+
+/// Report line for the score-distribution sketch: nanoscore bucket
+/// edges rendered back in score units.
+fn score_dist_line(r: &mut String, label: &str, h: &HistogramSnapshot) {
+    if h.count == 0 {
+        let _ = writeln!(r, "{label}  (no samples)");
+        return;
+    }
+    let q = |p: f64| window::dequantize_score(h.quantile(p).unwrap_or(0));
+    let _ = writeln!(
+        r,
+        "{label}  n={:<6} p50 {:.4} · p95 {:.4} · p99 {:.4} · max {:.4}",
+        h.count,
+        q(0.50),
+        q(0.95),
+        q(0.99),
+        window::dequantize_score(h.max)
+    );
 }
 
 fn hist_line(r: &mut String, label: &str, h: &HistogramSnapshot) {
@@ -801,14 +962,7 @@ fn fmt_nanos(ns: u64) -> String {
 mod tests {
     use super::*;
     use crate::span::SpanTimer;
-    use std::sync::Mutex;
-
-    /// Serialises tests that mutate the global gate or metrics.
-    static TEST_LOCK: Mutex<()> = Mutex::new(());
-
-    fn locked() -> std::sync::MutexGuard<'static, ()> {
-        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
-    }
+    use crate::testutil::locked;
 
     #[test]
     fn install_overrides_and_gates_active() {
@@ -935,6 +1089,11 @@ mod tests {
             "\"deadline_misses\": 1",
             "\"quarantined_sessions\": 1",
             "\"registry_backoff\": 3",
+            "\"window\"",
+            "\"windows_per_sec\"",
+            "\"swaps_per_min\"",
+            "\"batch_score_ns\"",
+            "\"score_dist_nanoscore\"",
             "\"p50\"",
             "\"buckets\"",
             "\"fit-features\"",
@@ -952,6 +1111,9 @@ mod tests {
             "registry   generation 3",
             "persist    sections: 6 eager / 2 lazy (25.0% lazy) · 4096 bytes mapped",
             "failures   5 errors · 2 sheds · 1 deadline misses · 1 quarantined · backoff level 3",
+            "window(60x1000ms)",
+            "windows/s",
+            "score dist",
             "phases",
         ] {
             assert!(
@@ -959,6 +1121,35 @@ mod tests {
                 "report missing {needle}:\n{report}"
             );
         }
+        Recorder::reset();
+        Recorder::install(false);
+    }
+
+    #[test]
+    fn windowed_slots_surface_rates_and_rolling_quantiles() {
+        let _g = locked();
+        Recorder::install(true);
+        Recorder::reset();
+        let m = Recorder::metrics();
+        // Record into the *current* wall-clock slot so capture (which
+        // reads the live window at `now_slot_id`) sees everything.
+        let now_id = crate::window::now_slot_id();
+        m.win_stream_windows.add_at(now_id, 30);
+        m.win_registry_swaps.add_at(now_id, 2);
+        m.win_batch_score.record_at(now_id, 1_000_000);
+        m.win_score_dist
+            .record_at(now_id, crate::window::quantize_score(0.5));
+        let snap = Recorder::snapshot();
+        assert!(snap.window.windows_per_sec > 0.0);
+        assert!(snap.window.swaps_per_min > 0.0);
+        assert_eq!(snap.window.batch_score.count, 1);
+        assert_eq!(snap.window.score_dist.count, 1);
+        // The sketch quantile dequantizes back near the score (log₂
+        // buckets → upper edge within 2× of the true value).
+        let p50 = crate::window::dequantize_score(snap.window.score_dist.quantile(0.5).unwrap());
+        assert!((0.5..=1.0).contains(&p50), "p50 {p50}");
+        let report = snap.format_report();
+        assert!(report.contains("score dist"), "{report}");
         Recorder::reset();
         Recorder::install(false);
     }

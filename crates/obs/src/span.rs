@@ -84,6 +84,7 @@ impl SpanTimer {
             return SpanTimer { armed: None };
         }
         SPAN_STACK.with(|s| s.borrow_mut().push(SpanFrame { child_nanos: 0 }));
+        crate::journal::span_begin(phase.index() as u32);
         SpanTimer {
             armed: Some((phase, Instant::now())),
         }
@@ -95,6 +96,10 @@ impl Drop for SpanTimer {
         let Some((phase, started)) = self.armed.take() else {
             return;
         };
+        // The journal gets the *total* span interval (begin..end, what a
+        // trace viewer nests visually); the histogram below still gets
+        // the exclusive time, exactly as before the journal existed.
+        crate::journal::span_end(phase.index() as u32);
         let total = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         let child = SPAN_STACK.with(|s| {
             let mut stack = s.borrow_mut();

@@ -170,6 +170,8 @@ impl<T> ModelRegistry<T> {
         if let Some(m) = mfod_obs::active() {
             m.registry_swaps.add(1);
             m.registry_generation.set(generation);
+            m.win_registry_swaps.add(1);
+            mfod_obs::journal::instant("registry.swap");
         }
         generation
     }
@@ -600,7 +602,18 @@ impl<T: Restorable + Send + Sync + 'static> ModelRegistry<T> {
                             h.backoff_level = level;
                             h.next_interval = sleep;
                             if let Some(m) = mfod_obs::active() {
+                                let previous = m.registry_backoff.get();
                                 m.registry_backoff.set(u64::from(level));
+                                // Journal only *transitions*, so a healthy
+                                // steady-state watcher stays silent in the
+                                // trace.
+                                if previous != u64::from(level) {
+                                    mfod_obs::journal::instant(if u64::from(level) > previous {
+                                        "registry.backoff.raise"
+                                    } else {
+                                        "registry.backoff.clear"
+                                    });
+                                }
                             }
                             sleep
                         };

@@ -339,6 +339,7 @@ impl MicroBatcher {
         self.stats.record_sheds(n);
         if let Some(m) = mfod_obs::active() {
             m.sheds_total.add(n);
+            m.win_sheds.add(n);
         }
     }
 
@@ -423,6 +424,7 @@ impl MicroBatcher {
         self.last_error = Some(err.to_string());
         if let Some(m) = mfod_obs::active() {
             m.errors_total.add(1);
+            m.win_errors.add(1);
         }
         err
     }
@@ -434,6 +436,7 @@ impl MicroBatcher {
         if self.consecutive_failures > self.config.max_flush_retries {
             if let Some(m) = mfod_obs::active() {
                 m.errors_total.add(1);
+                m.win_errors.add(1);
             }
             return Err(StreamError::FlushRetriesExhausted {
                 attempts: self.consecutive_failures,
@@ -514,6 +517,16 @@ impl MicroBatcher {
                 m.stream_batch_assembly.record_duration(a);
             }
             m.stream_batch_score.record_duration(elapsed);
+            // Windowed telemetry: throughput rate, rolling flush-latency
+            // quantiles, and the score-distribution sketch the drift
+            // monitor reads. Sketch quantization never feeds back into
+            // the scores handed to callers.
+            m.win_stream_windows.add(scores.len() as u64);
+            m.win_batch_score.record_duration(elapsed);
+            for &score in &scores {
+                m.win_score_dist
+                    .record(mfod_obs::window::quantize_score(score));
+            }
         }
         Ok(seqs
             .into_iter()

@@ -217,6 +217,8 @@ impl OnlineScorer {
         self.stats.record_quarantine();
         if let Some(m) = mfod_obs::active() {
             m.quarantined_sessions.add(1);
+            m.win_errors.add(1);
+            mfod_obs::journal::instant("stream.quarantine");
         }
         self.quarantine.push(QuarantineReport {
             first_seq,

@@ -5,8 +5,16 @@
 //! Run with: `MFOD_OBS=1 cargo run --release --example observability`
 //! (the example force-enables the recorder when `MFOD_OBS` is unset, so
 //! it is useful standalone; `MFOD_OBS=0` keeps it off to demonstrate
-//! the disabled path). Set `MFOD_OBS_JSON=metrics.json` to additionally
-//! dump the raw snapshot as JSON on exit.
+//! the disabled path). Knobs:
+//!
+//! * `MFOD_OBS_JSON=metrics.json` — dump the raw snapshot as JSON on exit
+//! * `MFOD_OBS_TRACE=trace.json` — dump the event journal as Chrome
+//!   trace-event JSON on exit (load it in `chrome://tracing`/Perfetto)
+//! * `MFOD_OBS_HTTP=127.0.0.1:9464` — serve `/metrics` (Prometheus),
+//!   `/report` and `/trace` while the demo runs
+//! * `MFOD_OBS_LINGER_SECS=30` — keep the process (and the scrape
+//!   endpoint) alive that many seconds after the run, so an external
+//!   scraper can pull the final state (used by the CI smoke)
 
 use mfod::persist::ModelRegistry;
 use mfod::prelude::*;
@@ -18,6 +26,13 @@ fn main() {
     // Honour an explicit MFOD_OBS setting; default to on for the demo.
     Recorder::install(std::env::var(mfod_obs::ENV_OBS).map_or(true, |v| v == "1"));
     let _dump = json_dump_guard();
+    let http = Recorder::serve_from_env().expect("failed to bind MFOD_OBS_HTTP");
+    if let Some(h) = &http {
+        println!(
+            "scrape endpoint on http://{}/ (/metrics /report /trace)",
+            h.addr()
+        );
+    }
 
     // A single-core machine never engages the work-stealing pool (and so
     // records no pool metrics); nudge the demo onto the parallel path
@@ -105,4 +120,14 @@ fn main() {
     } else {
         println!("recorder disabled (MFOD_OBS=0): nothing was recorded");
     }
+
+    // Let an external scraper pull the final state before the endpoint
+    // goes away (CI smoke; harmless without MFOD_OBS_HTTP).
+    if let Ok(secs) = std::env::var("MFOD_OBS_LINGER_SECS") {
+        if let Ok(secs) = secs.parse::<u64>() {
+            println!("lingering {secs}s for scrapes...");
+            std::thread::sleep(std::time::Duration::from_secs(secs));
+        }
+    }
+    drop(http);
 }

@@ -7,8 +7,10 @@ use mfod::linalg::par::Pool;
 use mfod::persist::ModelRegistry;
 use mfod::prelude::*;
 use mfod_fixtures::{ecg_fitted, ecg_split, sine_pipeline, FixtureConfig};
-use mfod_obs::{Phase, Recorder};
+use mfod_obs::{journal, Phase, Recorder};
 use mfod_stream::{BatchConfig, OnlineScorer, StreamConfig, WindowConfig};
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
 use std::sync::{Arc, Mutex};
 
 /// The recorder is process-global; tests that toggle it must not
@@ -56,6 +58,29 @@ fn full_run() -> (Vec<f64>, Vec<f64>, Vec<f64>) {
     }
     stream_scores.extend(scorer.finish().unwrap().into_iter().map(|v| v.score));
     (exact, par, stream_scores)
+}
+
+/// Scores the ECG test split through the frozen serving path,
+/// sequential and parallel.
+fn frozen_run() -> (Vec<f64>, Vec<f64>) {
+    let (train, test) = ecg_split();
+    let fitted = ecg_fitted(&train);
+    let ts = test.samples()[0].t.clone();
+    let frozen = FrozenScorer::new(Arc::clone(&fitted), &ts).unwrap();
+    let seq = frozen.score(test.samples()).unwrap();
+    let par = frozen.par_score(test.samples()).unwrap();
+    (seq, par)
+}
+
+/// One blocking HTTP GET against the scrape endpoint, returning the
+/// response head and body.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    let mut resp = String::new();
+    stream.read_to_string(&mut resp).unwrap();
+    let (head, body) = resp.split_once("\r\n\r\n").expect("no header/body split");
+    (head.to_string(), body.to_string())
 }
 
 #[test]
@@ -231,4 +256,185 @@ fn live_run_populates_every_report_section() {
     assert!(json.contains("\"mapped_bytes\""));
     assert!(json.contains("\"install_ns\""));
     assert!(json.contains("\"p99\""));
+}
+
+/// The full telemetry stack — event journal, rotating windows and the
+/// live scrape endpoint — must still be a pure observer: every scoring
+/// path (exact/frozen × sequential/parallel, plus streaming) produces
+/// the same bits as a run with the recorder fully disabled.
+#[test]
+fn scores_are_bit_identical_with_full_telemetry_stack_live() {
+    let _g = locked();
+    Recorder::install(false);
+    let (exact_off, par_off, stream_off) = full_run();
+    let (fseq_off, fpar_off) = frozen_run();
+
+    Recorder::install(true);
+    Recorder::reset();
+    journal::reset();
+    let http = Recorder::serve("127.0.0.1:0").unwrap();
+    let (exact_on, par_on, stream_on) = full_run();
+    let (fseq_on, fpar_on) = frozen_run();
+    // Scrape mid-flight state and export the trace while the recorder
+    // is still live — neither may perturb anything scored afterwards.
+    let (head, _) = http_get(http.addr(), "/metrics");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    let _ = journal::chrome_trace_json();
+    let (exact_again, ..) = full_run();
+    drop(http);
+    journal::reset();
+    Recorder::install(false);
+
+    assert_bits_eq(&exact_off, &exact_on, "exact sequential path");
+    assert_bits_eq(&par_off, &par_on, "exact parallel path");
+    assert_bits_eq(&stream_off, &stream_on, "streaming path");
+    assert_bits_eq(&fseq_off, &fseq_on, "frozen sequential path");
+    assert_bits_eq(&fpar_off, &fpar_on, "frozen parallel path");
+    assert_bits_eq(&exact_off, &exact_again, "exact path after scrape");
+}
+
+/// `/metrics` after a real workload is valid Prometheus text
+/// exposition: well-formed lines, headered families, cumulative `le`
+/// series ending in `+Inf`, and the windowed/journal families present.
+#[test]
+fn scrape_endpoint_serves_valid_prometheus_exposition() {
+    let _g = locked();
+    Recorder::install(true);
+    Recorder::reset();
+    journal::reset();
+    let pool = Pool::with_threads(2);
+    pool.map(2048, |i| i as u64 + 1);
+    let http = Recorder::serve("127.0.0.1:0").unwrap();
+    let (head, body) = http_get(http.addr(), "/metrics");
+    drop(http);
+    journal::reset();
+    Recorder::install(false);
+
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(head.contains("text/plain; version=0.0.4"), "{head}");
+    let mut typed = std::collections::HashSet::new();
+    for line in body.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            typed.insert(rest.split(' ').next().unwrap().to_string());
+            continue;
+        }
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name_and_labels, value) = line.rsplit_once(' ').expect(line);
+        assert!(value.parse::<f64>().is_ok(), "unparseable value: {line}");
+        let name = name_and_labels.split('{').next().unwrap();
+        assert!(
+            name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+            "bad metric name: {line}"
+        );
+        // Every sample belongs to a declared family (histogram series
+        // reuse their family name with a _bucket/_sum/_count suffix).
+        let base = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .unwrap_or(name);
+        assert!(
+            typed.contains(base) || typed.contains(name),
+            "sample without # TYPE header: {line}"
+        );
+    }
+    for family in [
+        "mfod_pool_maps_total",
+        "mfod_pool_chunk_run_ns",
+        "mfod_phase_exclusive_ns",
+        "mfod_window_windows_per_sec",
+        "mfod_window_score_dist_nanoscore",
+        "mfod_journal_recorded_total",
+    ] {
+        assert!(typed.contains(family), "missing family {family}:\n{body}");
+    }
+    // Cumulative histograms: counts never decrease down a `le` series
+    // and every series closes with +Inf.
+    let buckets: Vec<u64> = body
+        .lines()
+        .filter(|l| l.starts_with("mfod_pool_chunk_run_ns_bucket"))
+        .map(|l| l.rsplit_once(' ').unwrap().1.parse().unwrap())
+        .collect();
+    assert!(!buckets.is_empty(), "pool chunk histogram missing");
+    assert!(buckets.windows(2).all(|w| w[0] <= w[1]), "{buckets:?}");
+    assert!(body.contains("mfod_pool_chunk_run_ns_bucket{le=\"+Inf\"}"));
+}
+
+/// The exported trace after a full pipeline run is valid Chrome
+/// trace-event JSON: every span begin is matched by an end (globally
+/// and per thread, with proper nesting), and the drop accounting
+/// conserves.
+#[test]
+fn exported_trace_is_balanced_chrome_trace_json() {
+    let _g = locked();
+    Recorder::install(true);
+    Recorder::reset();
+    journal::reset();
+    full_run();
+    let json = journal::chrome_trace_json();
+    let stats = journal::stats();
+    journal::reset();
+    Recorder::install(false);
+
+    assert_eq!(stats.recorded + stats.dropped, stats.emitted);
+    assert!(stats.recorded > 0, "pipeline run journalled nothing");
+
+    // Pull the traceEvents array apart without a JSON dependency: the
+    // exporter emits one flat object per event, no nesting.
+    let start = json.find("\"traceEvents\":[").expect("no traceEvents") + 15;
+    let end = json[start..].find(']').expect("unterminated array") + start;
+    let events: Vec<&str> = json[start..end]
+        .split("},\n{")
+        .map(str::trim)
+        .filter(|e| !e.is_empty())
+        .collect();
+    let field = |ev: &str, key: &str| -> String {
+        let at = ev.find(&format!("\"{key}\":")).unwrap_or_else(|| {
+            panic!("event missing {key}: {ev}");
+        }) + key.len()
+            + 3;
+        ev[at..]
+            .trim_start_matches('"')
+            .chars()
+            .take_while(|&c| c != ',' && c != '"' && c != '}')
+            .collect()
+    };
+    let mut depth: std::collections::HashMap<String, i64> = std::collections::HashMap::new();
+    let mut begins = 0u64;
+    let mut ends = 0u64;
+    for ev in &events {
+        let (ph, tid) = (field(ev, "ph"), field(ev, "tid"));
+        assert!(!field(ev, "name").is_empty(), "unnamed event: {ev}");
+        field(ev, "ts").parse::<f64>().expect("non-numeric ts");
+        let d = depth.entry(tid).or_insert(0);
+        match ph.as_str() {
+            "B" => {
+                begins += 1;
+                *d += 1;
+            }
+            "E" => {
+                ends += 1;
+                *d -= 1;
+                assert!(*d >= 0, "span end without begin on a thread: {ev}");
+            }
+            "i" => {}
+            other => panic!("unexpected phase {other}: {ev}"),
+        }
+    }
+    assert_eq!(begins, ends, "unbalanced spans in exported trace");
+    assert!(begins > 0, "pipeline run produced no spans");
+    assert!(
+        depth.values().all(|&d| d == 0),
+        "unclosed spans per thread: {depth:?}"
+    );
+    // Drop-free run with every span closed → nothing was excluded as an
+    // orphan, so the export carries exactly the recorded events. With
+    // drops, begins whose ends fell off the ring are excluded.
+    if stats.dropped == 0 {
+        assert_eq!(events.len() as u64, stats.recorded);
+    } else {
+        assert!(events.len() as u64 <= stats.recorded);
+    }
 }
