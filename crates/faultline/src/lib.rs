@@ -81,6 +81,23 @@ pub mod points {
     /// Straggler delay injected into a pool chunk; pair with a
     /// [`FaultRule::delay`](crate::FaultRule::delay).
     pub const POOL_STRAGGLE: &str = "pool.straggle";
+    /// `fsync` of a freshly written snapshot temp file fails (or, in a
+    /// parked plan, the process dies right before the data is durable):
+    /// the temp file may exist with unsynced bytes, the final path is
+    /// untouched.
+    pub const PERSIST_FSYNC: &str = "persist.fsync";
+    /// The rename of a synced temp file onto its final path fails (or
+    /// the process dies between fsync and rename): a durable stray temp
+    /// file is left next to an untouched final path.
+    pub const PERSIST_RENAME: &str = "persist.rename";
+    /// Torn deployment-log append: only a prefix of the framed record
+    /// reaches the log before the writer dies, leaving a tail the
+    /// recovery replay must detect and quarantine.
+    pub const MANIFEST_APPEND_TORN: &str = "manifest.append.torn";
+    /// Crash on the commit step of a store promotion: the snapshot and
+    /// its intent record are durable but the commit marker never lands,
+    /// so recovery must treat the generation as uncommitted.
+    pub const STORE_COMMIT: &str = "store.commit";
 }
 
 /// FNV-1a 64-bit hash of the point name (same constants as
@@ -158,6 +175,7 @@ impl FaultRule {
 pub struct FaultPlan {
     seed: u64,
     rules: Vec<(String, FaultRule)>,
+    park_on_fire: bool,
 }
 
 impl FaultPlan {
@@ -167,7 +185,20 @@ impl FaultPlan {
         FaultPlan {
             seed,
             rules: Vec::new(),
+            park_on_fire: false,
         }
+    }
+
+    /// Crash-harness mode: when a crash-point hook fires under this plan,
+    /// [`park_if_requested`] freezes the process at the injection point
+    /// (after writing the fault report to the [`ENV_FAULT_REPORT`] path,
+    /// if set) instead of letting the hook return a typed error. The
+    /// parked process sits in an endless sleep so an external supervisor
+    /// can SIGKILL it with the on-disk state exactly as it was at the
+    /// crash point.
+    pub fn park_on_fire(mut self) -> Self {
+        self.park_on_fire = true;
+        self
     }
 
     /// Attach `rule` to the named injection point, replacing any earlier
@@ -235,6 +266,7 @@ impl PointState {
 struct ArmedPlan {
     seed: u64,
     states: HashMap<String, PointState>,
+    park_on_fire: bool,
 }
 
 impl ArmedPlan {
@@ -249,6 +281,7 @@ impl ArmedPlan {
         ArmedPlan {
             seed: plan.seed,
             states,
+            park_on_fire: plan.park_on_fire,
         }
     }
 
@@ -383,6 +416,45 @@ pub fn stall(point: &str) {
         if let Some(d) = rule.delay {
             std::thread::sleep(d);
         }
+    }
+}
+
+/// Environment variable naming the file [`park_if_requested`] writes the
+/// in-flight [`FaultReport`] JSON to just before freezing, so the
+/// supervising process can attribute the kill to the point that fired.
+pub const ENV_FAULT_REPORT: &str = "MFOD_FAULT_REPORT";
+
+/// Crash-harness freeze: if the armed plan was built with
+/// [`FaultPlan::park_on_fire`], dump the current [`FaultReport`] to the
+/// [`ENV_FAULT_REPORT`] path (when set), announce the parked point on
+/// stdout, and sleep forever awaiting an external SIGKILL. Under a
+/// normal (non-parking) plan — or no plan — this returns immediately, so
+/// crash-point hooks call it unconditionally after [`should_fire`] and
+/// then surface their usual typed injected error.
+///
+/// The caller performs any torn side effects (partial writes, fsyncs)
+/// *before* calling this, so the frozen on-disk state is exactly the
+/// state a real crash at the point would leave behind.
+pub fn park_if_requested(point: &str) {
+    let parked = {
+        let slot = plan_slot().lock().expect("faultline plan lock poisoned");
+        slot.as_ref()
+            .filter(|plan| plan.park_on_fire)
+            .map(FaultReport::from_plan)
+    };
+    let Some(report) = parked else {
+        return;
+    };
+    if let Some(path) = std::env::var_os(ENV_FAULT_REPORT).filter(|p| !p.is_empty()) {
+        let _ = std::fs::write(path, report.to_json());
+    }
+    use std::io::Write as _;
+    let mut out = std::io::stdout().lock();
+    let _ = writeln!(out, "mfod-faultline: parked at {point}");
+    let _ = out.flush();
+    drop(out);
+    loop {
+        std::thread::sleep(Duration::from_secs(60));
     }
 }
 
@@ -550,6 +622,31 @@ mod tests {
         assert!(json.contains("\"stream.flush\": {\"hits\": 1, \"fires\": 1}"));
         // persist.* sorts before stream.*
         assert!(json.find("persist.read").unwrap() < json.find("stream.flush").unwrap());
+    }
+
+    #[test]
+    fn park_is_a_noop_without_a_parking_plan() {
+        let _lock = serial_guard();
+        // no plan armed: returns immediately
+        disarm();
+        park_if_requested(points::STORE_COMMIT);
+        // armed but not a parking plan: still a no-op
+        install(FaultPlan::new(1).rule(points::STORE_COMMIT, FaultRule::always()));
+        assert!(should_fire(points::STORE_COMMIT));
+        park_if_requested(points::STORE_COMMIT);
+        disarm();
+    }
+
+    #[test]
+    fn crash_points_are_named_consistently() {
+        for p in [
+            points::PERSIST_FSYNC,
+            points::PERSIST_RENAME,
+            points::MANIFEST_APPEND_TORN,
+            points::STORE_COMMIT,
+        ] {
+            assert!(p.contains('.'), "point {p} must be <area>.<event>");
+        }
     }
 
     #[test]

@@ -409,6 +409,37 @@ pub fn prometheus_text(s: &MetricsSnapshot) -> String {
         s.failures.registry_backoff,
     );
 
+    counter(
+        &mut o,
+        "mfod_store_promotions_total",
+        "Generations promoted through the transactional store.",
+        s.store.promotions,
+    );
+    counter(
+        &mut o,
+        "mfod_store_recoveries_total",
+        "Store opens that ran log-replay recovery.",
+        s.store.recoveries,
+    );
+    counter(
+        &mut o,
+        "mfod_store_rollbacks_total",
+        "Rollbacks re-pointing the active generation.",
+        s.store.rollbacks,
+    );
+    counter(
+        &mut o,
+        "mfod_store_quarantined_total",
+        "Artifacts moved into quarantine (never deleted).",
+        s.store.quarantined,
+    );
+    counter(
+        &mut o,
+        "mfod_store_fsck_issues_total",
+        "Issues reported by fsck walks.",
+        s.store.fsck_issues,
+    );
+
     family(
         &mut o,
         "mfod_phase_exclusive_ns",
@@ -436,6 +467,12 @@ pub fn prometheus_text(s: &MetricsSnapshot) -> String {
         "mfod_window_swaps_per_min",
         "Model swaps per minute (rolling window).",
         w.swaps_per_min,
+    );
+    gauge_f64(
+        &mut o,
+        "mfod_window_rejected_per_min",
+        "Sweep-rejected snapshot files per minute (rolling window).",
+        w.rejected_per_min,
     );
     gauge_f64(
         &mut o,

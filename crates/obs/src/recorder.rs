@@ -112,11 +112,27 @@ pub struct Metrics {
     /// Current watcher backoff level (0 when the last sweep succeeded).
     pub registry_backoff: Gauge,
 
+    // -- Crash-consistent model store (mfod-persist) ------------------
+    /// Generations promoted through the transactional protocol.
+    pub store_promotions: Counter,
+    /// Store opens that ran the log-replay recovery path.
+    pub store_recoveries: Counter,
+    /// Rollback calls that re-pointed the active generation.
+    pub store_rollbacks: Counter,
+    /// Artifacts moved into `quarantine/` (torn, uncommitted, orphaned
+    /// or damaged — moved, never deleted).
+    pub store_quarantined: Counter,
+    /// Issues reported by fsck walks (0 adds on clean walks).
+    pub store_fsck_issues: Counter,
+
     // -- Windowed telemetry (rates and rolling distributions) ---------
     /// Windows scored per rolling window (→ windows/sec).
     pub win_stream_windows: WindowedCounter,
     /// Model swaps per rolling window (→ swaps/min).
     pub win_registry_swaps: WindowedCounter,
+    /// Snapshot files rejected by directory sweeps per rolling window
+    /// (→ rejections/min) — the feed behind quarantine decisions.
+    pub win_registry_rejected: WindowedCounter,
     /// Windows shed per rolling window (→ sheds/sec).
     pub win_sheds: WindowedCounter,
     /// Serving errors per rolling window (→ errors/sec).
@@ -169,8 +185,14 @@ impl Metrics {
             deadline_misses: Counter::new(),
             quarantined_sessions: Counter::new(),
             registry_backoff: Gauge::new(),
+            store_promotions: Counter::new(),
+            store_recoveries: Counter::new(),
+            store_rollbacks: Counter::new(),
+            store_quarantined: Counter::new(),
+            store_fsck_issues: Counter::new(),
             win_stream_windows: WindowedCounter::new(),
             win_registry_swaps: WindowedCounter::new(),
+            win_registry_rejected: WindowedCounter::new(),
             win_sheds: WindowedCounter::new(),
             win_errors: WindowedCounter::new(),
             win_batch_score: WindowedHistogram::new(),
@@ -212,8 +234,14 @@ impl Metrics {
         self.deadline_misses.reset();
         self.quarantined_sessions.reset();
         self.registry_backoff.reset();
+        self.store_promotions.reset();
+        self.store_recoveries.reset();
+        self.store_rollbacks.reset();
+        self.store_quarantined.reset();
+        self.store_fsck_issues.reset();
         self.win_stream_windows.reset();
         self.win_registry_swaps.reset();
+        self.win_registry_rejected.reset();
         self.win_sheds.reset();
         self.win_errors.reset();
         self.win_batch_score.reset();
@@ -465,6 +493,17 @@ pub struct FailureSnapshot {
     pub registry_backoff: u64,
 }
 
+/// Crash-consistent-store snapshot: promotion/recovery/rollback/
+/// quarantine/fsck counters from the durability layer.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StoreSnapshot {
+    pub promotions: u64,
+    pub recoveries: u64,
+    pub rollbacks: u64,
+    pub quarantined: u64,
+    pub fsck_issues: u64,
+}
+
 /// Windowed-telemetry snapshot: rates and rolling distributions over
 /// the last [`window::WINDOW_SLOTS`]×[`window::WINDOW_SLOT_MILLIS`]
 /// (60×1s). Rates are 0.0 while nothing was recorded, so snapshots of
@@ -475,6 +514,8 @@ pub struct WindowSnapshot {
     pub windows_per_sec: f64,
     /// Model swaps per minute over the live window.
     pub swaps_per_min: f64,
+    /// Sweep rejections per minute over the live window.
+    pub rejected_per_min: f64,
     /// Windows shed per second over the live window.
     pub sheds_per_sec: f64,
     /// Serving errors per second over the live window.
@@ -504,6 +545,7 @@ pub struct MetricsSnapshot {
     pub registry: RegistrySnapshot,
     pub persist: PersistSnapshot,
     pub failures: FailureSnapshot,
+    pub store: StoreSnapshot,
     pub window: WindowSnapshot,
     /// Indexed by [`Phase::index`], in [`Phase::ALL`] order.
     pub phases: Vec<PhaseSnapshot>,
@@ -556,11 +598,19 @@ impl MetricsSnapshot {
                 quarantined_sessions: m.quarantined_sessions.get(),
                 registry_backoff: m.registry_backoff.get(),
             },
+            store: StoreSnapshot {
+                promotions: m.store_promotions.get(),
+                recoveries: m.store_recoveries.get(),
+                rollbacks: m.store_rollbacks.get(),
+                quarantined: m.store_quarantined.get(),
+                fsck_issues: m.store_fsck_issues.get(),
+            },
             window: {
                 let now_id = window::now_slot_id();
                 WindowSnapshot {
                     windows_per_sec: m.win_stream_windows.rate_per_sec(now_id),
                     swaps_per_min: m.win_registry_swaps.rate_per_sec(now_id) * 60.0,
+                    rejected_per_min: m.win_registry_rejected.rate_per_sec(now_id) * 60.0,
                     sheds_per_sec: m.win_sheds.rate_per_sec(now_id),
                     errors_per_sec: m.win_errors.rate_per_sec(now_id),
                     batch_score: m.win_batch_score.snapshot_live(now_id),
@@ -679,6 +729,25 @@ impl MetricsSnapshot {
                 // a level, not a rate: keep the later reading
                 registry_backoff: self.failures.registry_backoff,
             },
+            store: StoreSnapshot {
+                promotions: self
+                    .store
+                    .promotions
+                    .saturating_sub(earlier.store.promotions),
+                recoveries: self
+                    .store
+                    .recoveries
+                    .saturating_sub(earlier.store.recoveries),
+                rollbacks: self.store.rollbacks.saturating_sub(earlier.store.rollbacks),
+                quarantined: self
+                    .store
+                    .quarantined
+                    .saturating_sub(earlier.store.quarantined),
+                fsck_issues: self
+                    .store
+                    .fsck_issues
+                    .saturating_sub(earlier.store.fsck_issues),
+            },
             // Already windowed — a diff keeps the later reading.
             window: self.window.clone(),
             phases: self
@@ -755,10 +824,17 @@ impl MetricsSnapshot {
             self.failures.registry_backoff,
             false,
         );
+        out.push_str("},\n  \"store\": {");
+        push_u64(&mut out, "promotions", self.store.promotions, true);
+        push_u64(&mut out, "recoveries", self.store.recoveries, false);
+        push_u64(&mut out, "rollbacks", self.store.rollbacks, false);
+        push_u64(&mut out, "quarantined", self.store.quarantined, false);
+        push_u64(&mut out, "fsck_issues", self.store.fsck_issues, false);
         out.push_str("},\n  \"window\": {");
         let w = &self.window;
         push_f64(&mut out, "windows_per_sec", w.windows_per_sec, true);
         push_f64(&mut out, "swaps_per_min", w.swaps_per_min, false);
+        push_f64(&mut out, "rejected_per_min", w.rejected_per_min, false);
         push_f64(&mut out, "sheds_per_sec", w.sheds_per_sec, false);
         push_f64(&mut out, "errors_per_sec", w.errors_per_sec, false);
         push_hist(&mut out, "batch_score_ns", &w.batch_score);
@@ -843,14 +919,22 @@ impl MetricsSnapshot {
             f.errors, f.sheds, f.deadline_misses, f.quarantined_sessions, f.registry_backoff
         );
 
+        let st = &self.store;
+        let _ = writeln!(
+            r,
+            "store      {} promotions · {} recoveries · {} rollbacks · {} quarantined · {} fsck issues",
+            st.promotions, st.recoveries, st.rollbacks, st.quarantined, st.fsck_issues
+        );
+
         let w = &self.window;
         let _ = writeln!(
             r,
-            "window({}x{}ms) {:.2} windows/s · {:.2} swaps/min · {:.2} sheds/s · {:.2} errors/s",
+            "window({}x{}ms) {:.2} windows/s · {:.2} swaps/min · {:.2} rejected/min · {:.2} sheds/s · {:.2} errors/s",
             window::WINDOW_SLOTS,
             window::WINDOW_SLOT_MILLIS,
             w.windows_per_sec,
             w.swaps_per_min,
+            w.rejected_per_min,
             w.sheds_per_sec,
             w.errors_per_sec
         );
@@ -1068,6 +1152,11 @@ mod tests {
         m.deadline_misses.add(1);
         m.quarantined_sessions.add(1);
         m.registry_backoff.set(3);
+        m.store_promotions.add(7);
+        m.store_recoveries.add(2);
+        m.store_rollbacks.add(1);
+        m.store_quarantined.add(3);
+        m.store_fsck_issues.add(4);
         let snap = Recorder::snapshot();
         let json = snap.to_json();
         for key in [
@@ -1089,9 +1178,16 @@ mod tests {
             "\"deadline_misses\": 1",
             "\"quarantined_sessions\": 1",
             "\"registry_backoff\": 3",
+            "\"store\"",
+            "\"promotions\": 7",
+            "\"recoveries\": 2",
+            "\"rollbacks\": 1",
+            "\"quarantined\": 3",
+            "\"fsck_issues\": 4",
             "\"window\"",
             "\"windows_per_sec\"",
             "\"swaps_per_min\"",
+            "\"rejected_per_min\"",
             "\"batch_score_ns\"",
             "\"score_dist_nanoscore\"",
             "\"p50\"",
@@ -1111,6 +1207,8 @@ mod tests {
             "registry   generation 3",
             "persist    sections: 6 eager / 2 lazy (25.0% lazy) · 4096 bytes mapped",
             "failures   5 errors · 2 sheds · 1 deadline misses · 1 quarantined · backoff level 3",
+            "store      7 promotions · 2 recoveries · 1 rollbacks · 3 quarantined · 4 fsck issues",
+            "rejected/min",
             "window(60x1000ms)",
             "windows/s",
             "score dist",

@@ -38,7 +38,7 @@ use crate::map::SharedBytes;
 use crate::wire::{Decode, Decoder, Encode, Encoder};
 use crate::Result;
 use std::any::Any;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::OnceLock;
 
 /// Snapshot file magic.
@@ -605,10 +605,45 @@ pub fn load_mapped<T: Snapshot>(path: &Path) -> Result<T> {
     from_shared(&shared)
 }
 
-/// Writes `bytes` to `path` atomically: the data lands in a sibling
-/// temporary file first and is renamed into place, so a reader (or the
+/// Infix every writer-unique temp file carries between the original file
+/// name and its per-writer suffix — recovery and fsck treat any sibling
+/// whose name contains this marker as a stray crashed-writer temp.
+pub const TMP_INFIX: &str = ".mfod-tmp-";
+
+/// A temp path unique per writer: `<name>.mfod-tmp-<pid>-<seq>` next to
+/// the final path. Two concurrent savers targeting one path each get
+/// their own temp file, so neither can clobber or rename the other's
+/// half-written bytes (the old fixed `.mfod.tmp` name raced).
+fn unique_tmp(path: &Path) -> PathBuf {
+    static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "snapshot".into());
+    path.with_file_name(format!("{name}{TMP_INFIX}{}-{seq}", std::process::id()))
+}
+
+/// Opens `path`'s parent directory and fsyncs it, making a just-renamed
+/// directory entry durable. A path with no parent component syncs the
+/// current directory.
+fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    std::fs::File::open(parent)?.sync_all()
+}
+
+/// Writes `bytes` to `path` atomically **and durably**: the data lands
+/// in a writer-unique sibling temp file, is fsynced, renamed into place,
+/// and the parent directory is fsynced — so a reader (or the
 /// [`crate::registry::ModelRegistry`] directory scan) never observes a
-/// half-written snapshot.
+/// half-written snapshot, and a SIGKILL at any step leaves either the
+/// old file or the complete new one, never a torn tail at the final
+/// path. Crash points: [`mfod_faultline::points::PERSIST_FSYNC`] before
+/// the data is durable, [`mfod_faultline::points::PERSIST_RENAME`]
+/// between durability and visibility.
 pub fn save_bytes(path: &Path, bytes: &[u8]) -> Result<()> {
     let io = |source| PersistError::Io {
         path: path.to_path_buf(),
@@ -624,9 +659,22 @@ pub fn save_bytes(path: &Path, bytes: &[u8]) -> Result<()> {
             "injected fault: persist.torn_write",
         )));
     }
-    let tmp = path.with_extension("mfod.tmp");
-    std::fs::write(&tmp, bytes).map_err(io)?;
-    std::fs::rename(&tmp, path).map_err(io)
+    use std::io::Write as _;
+    let tmp = unique_tmp(path);
+    let mut file = std::fs::File::create(&tmp).map_err(io)?;
+    file.write_all(bytes).map_err(io)?;
+    if mfod_faultline::should_fire(mfod_faultline::points::PERSIST_FSYNC) {
+        mfod_faultline::park_if_requested(mfod_faultline::points::PERSIST_FSYNC);
+        return Err(io(std::io::Error::other("injected fault: persist.fsync")));
+    }
+    file.sync_all().map_err(io)?;
+    drop(file);
+    if mfod_faultline::should_fire(mfod_faultline::points::PERSIST_RENAME) {
+        mfod_faultline::park_if_requested(mfod_faultline::points::PERSIST_RENAME);
+        return Err(io(std::io::Error::other("injected fault: persist.rename")));
+    }
+    std::fs::rename(&tmp, path).map_err(io)?;
+    sync_parent_dir(path).map_err(io)
 }
 
 /// Saves `value` as a snapshot file (atomic write, see [`save_bytes`]).
@@ -1021,7 +1069,14 @@ mod tests {
         let path = dir.join("blob.mfod");
         let b = blob();
         save(&b, &path).unwrap();
-        assert!(!path.with_extension("mfod.tmp").exists());
+        // a clean save leaves no writer temp behind, under any naming scheme
+        let strays: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(TMP_INFIX) || n.ends_with(".tmp"))
+            .collect();
+        assert!(strays.is_empty(), "stray temp files after save: {strays:?}");
         let back: Blob = load(&path).unwrap();
         assert_eq!(back.tag, b.tag);
         let missing = dir.join("missing.mfod");
@@ -1029,6 +1084,55 @@ mod tests {
             load::<Blob>(&missing),
             Err(PersistError::Io { .. })
         ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_savers_to_one_path_never_clobber_each_other() {
+        let dir = std::env::temp_dir().join(format!("mfod-persist-race-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("contended.mfod");
+        // each saver writes a distinct payload; with unique temp names no
+        // writer can rename another's half-written temp into place, so the
+        // final file is always one of the complete payloads
+        let payloads: Vec<Vec<u8>> = (0u8..4)
+            .map(|i| {
+                let mut w = SnapshotWriter::new(Blob::KIND);
+                w.section(SECTION_BODY, |enc| {
+                    let body: Vec<f64> = (0..512).map(|j| f64::from(i) + j as f64).collect();
+                    enc.put_usize(body.len());
+                    for v in &body {
+                        enc.put_f64(*v);
+                    }
+                });
+                w.finish()
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            for p in &payloads {
+                let path = &path;
+                scope.spawn(move || {
+                    for _ in 0..8 {
+                        save_bytes(path, p).unwrap();
+                    }
+                });
+            }
+        });
+        let on_disk = std::fs::read(&path).unwrap();
+        assert!(
+            payloads.contains(&on_disk),
+            "final file must be one complete payload, got {} bytes",
+            on_disk.len()
+        );
+        // and the winner still parses as a valid snapshot
+        SnapshotReader::parse(&on_disk).unwrap();
+        let strays: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(TMP_INFIX))
+            .collect();
+        assert!(strays.is_empty(), "stray temp files after race: {strays:?}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

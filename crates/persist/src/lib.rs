@@ -52,8 +52,11 @@
 pub mod error;
 pub mod format;
 pub mod hash;
+pub mod manifest;
 pub mod map;
 pub mod registry;
+pub mod store;
+pub mod wal;
 pub mod wire;
 
 pub use error::PersistError;
@@ -62,10 +65,16 @@ pub use format::{
     Snapshot, SnapshotReader, SnapshotWriter, FORMAT_VERSION, MAGIC, SECTION_BODY, SNAPSHOT_EXT,
 };
 pub use hash::{fnv1a64, hash_f64s, Fnv1a};
+pub use manifest::{Manifest, ManifestEntry, KIND_MANIFEST};
 pub use map::{LazySection, SharedBytes};
 pub use registry::{
     DirLoadReport, ModelRegistry, RegistryHealth, Restorable, WatchConfig, WatchHandle,
 };
+pub use store::{
+    fsck_dir, generation_file, FsckIssue, FsckReport, ModelStore, QuarantineReason, RecoveryReport,
+    DEPLOY_LOG_FILE, MANIFEST_FILE, QUARANTINE_DIR,
+};
+pub use wal::{append_record, replay, LogRecord, Replay, TornTail};
 pub use wire::{Decode, DecodeRef, Decoder, Encode, Encoder, F64Bits};
 
 /// Crate-wide `Result` alias.
@@ -78,9 +87,11 @@ pub mod prelude {
         from_bytes, from_shared, load, load_mapped, save, to_bytes, LazySnapshot, Snapshot,
     };
     pub use crate::hash::{fnv1a64, hash_f64s, Fnv1a};
+    pub use crate::manifest::{Manifest, ManifestEntry};
     pub use crate::map::{LazySection, SharedBytes};
     pub use crate::registry::{
         DirLoadReport, ModelRegistry, RegistryHealth, Restorable, WatchConfig, WatchHandle,
     };
+    pub use crate::store::{FsckIssue, FsckReport, ModelStore, QuarantineReason, RecoveryReport};
     pub use crate::wire::{Decode, DecodeRef, Decoder, Encode, Encoder, F64Bits};
 }

@@ -1,0 +1,275 @@
+//! The deployment **manifest**: a catalog artifact (container KIND 6)
+//! naming every generation a [`crate::store::ModelStore`] has promoted.
+//!
+//! Each [`ManifestEntry`] records the artifact's identity — file name,
+//! artifact kind, FNV-1a content hash and byte length — plus its
+//! provenance: the fit-config fingerprint, the parent generation it was
+//! refit from (model lineage), and a free-form tag. The manifest itself
+//! names the **active** generation, so promotion and rollback are both
+//! "re-point the manifest", and an auditor can answer *which model
+//! scored this batch* from the registry generation alone.
+//!
+//! The manifest file (`store.manifest`) is a checkpoint of the
+//! append-only deployment log, not the recovery source of truth: on
+//! startup [`crate::store::ModelStore::open`] replays the log and
+//! rewrites the checkpoint; see the module docs of [`crate::store`] for
+//! the durability contract.
+
+use crate::error::PersistError;
+use crate::format::Snapshot;
+use crate::wire::{Decode, Decoder, Encode, Encoder};
+use crate::Result;
+
+/// Artifact-kind tag of the manifest container (KINDs 1–5 are taken by
+/// the pipeline/frozen-scorer/calibrator/ensemble/depth-baseline
+/// artifacts in the workspace crates above this one).
+pub const KIND_MANIFEST: u32 = 6;
+
+/// One promoted generation: identity + provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Store generation, assigned monotonically from 1 at promotion.
+    pub generation: u64,
+    /// Snapshot file name relative to the store directory
+    /// (e.g. `gen-000003.mfod`).
+    pub file: String,
+    /// Artifact KIND of the snapshot the entry points at.
+    pub kind: u32,
+    /// FNV-1a 64-bit hash of the complete snapshot file bytes.
+    pub content_hash: u64,
+    /// Byte length of the snapshot file.
+    pub len: u64,
+    /// Fingerprint of the fit configuration that produced the model
+    /// (caller-defined; hash of the config, not of the data).
+    pub config_fingerprint: u64,
+    /// Generation this model was refit from, if any — the lineage link.
+    pub parent: Option<u64>,
+    /// Free-form label (experiment name, variant id).
+    pub tag: String,
+}
+
+impl Encode for ManifestEntry {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_u64(self.generation);
+        w.put_str(&self.file);
+        w.put_u32(self.kind);
+        w.put_u64(self.content_hash);
+        w.put_u64(self.len);
+        w.put_u64(self.config_fingerprint);
+        match self.parent {
+            Some(p) => {
+                w.put_bool(true);
+                w.put_u64(p);
+            }
+            None => w.put_bool(false),
+        }
+        w.put_str(&self.tag);
+    }
+}
+
+impl Decode for ManifestEntry {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self> {
+        let generation = r.take_u64()?;
+        let file = r.take_str()?;
+        let kind = r.take_u32()?;
+        let content_hash = r.take_u64()?;
+        let len = r.take_u64()?;
+        let config_fingerprint = r.take_u64()?;
+        let parent = if r.take_bool()? {
+            Some(r.take_u64()?)
+        } else {
+            None
+        };
+        let tag = r.take_str()?;
+        Ok(ManifestEntry {
+            generation,
+            file,
+            kind,
+            content_hash,
+            len,
+            config_fingerprint,
+            parent,
+            tag,
+        })
+    }
+}
+
+/// Smallest possible encoded [`ManifestEntry`]: 4×u64 + u32 + bool +
+/// two empty length-prefixed strings — bounds the pre-allocation of a
+/// decoded entry vector against hostile length fields.
+const ENTRY_MIN_BYTES: usize = 8 + 8 + 4 + 8 + 8 + 8 + 1 + 8;
+
+/// The deployment catalog: every promoted generation plus the active one.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Manifest {
+    /// The committed generation the store currently serves, if any.
+    pub active: Option<u64>,
+    /// Promoted generations in ascending generation order.
+    pub entries: Vec<ManifestEntry>,
+}
+
+impl Manifest {
+    /// An empty manifest (no generations, nothing active).
+    pub fn new() -> Self {
+        Manifest::default()
+    }
+
+    /// The entry for `generation`, if the manifest knows it.
+    pub fn entry(&self, generation: u64) -> Option<&ManifestEntry> {
+        self.entries.iter().find(|e| e.generation == generation)
+    }
+
+    /// The entry behind [`Manifest::active`], if any.
+    pub fn active_entry(&self) -> Option<&ManifestEntry> {
+        self.active.and_then(|g| self.entry(g))
+    }
+
+    /// The generation a fresh promotion would get: one past the highest
+    /// known generation (generations start at 1).
+    pub fn next_generation(&self) -> u64 {
+        self.entries.iter().map(|e| e.generation).max().unwrap_or(0) + 1
+    }
+
+    /// Inserts or replaces the entry for its generation, keeping the
+    /// entry list sorted by generation.
+    pub fn upsert(&mut self, entry: ManifestEntry) {
+        match self
+            .entries
+            .binary_search_by_key(&entry.generation, |e| e.generation)
+        {
+            Ok(i) => self.entries[i] = entry,
+            Err(i) => self.entries.insert(i, entry),
+        }
+    }
+}
+
+impl Encode for Manifest {
+    fn encode(&self, w: &mut Encoder) {
+        match self.active {
+            Some(g) => {
+                w.put_bool(true);
+                w.put_u64(g);
+            }
+            None => w.put_bool(false),
+        }
+        w.put_usize(self.entries.len());
+        for e in &self.entries {
+            e.encode(w);
+        }
+    }
+}
+
+impl Decode for Manifest {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self> {
+        let active = if r.take_bool()? {
+            Some(r.take_u64()?)
+        } else {
+            None
+        };
+        let count = r.take_len(ENTRY_MIN_BYTES, "manifest entries")?;
+        let mut entries = Vec::with_capacity(count);
+        let mut prev: Option<u64> = None;
+        for _ in 0..count {
+            let e = ManifestEntry::decode(r)?;
+            if prev.is_some_and(|p| p >= e.generation) {
+                return Err(PersistError::Malformed(format!(
+                    "manifest entries out of order at generation {}",
+                    e.generation
+                )));
+            }
+            prev = Some(e.generation);
+            entries.push(e);
+        }
+        let m = Manifest { active, entries };
+        if let Some(g) = m.active {
+            if m.entry(g).is_none() {
+                return Err(PersistError::Malformed(format!(
+                    "manifest active generation {g} has no entry"
+                )));
+            }
+        }
+        Ok(m)
+    }
+}
+
+impl Snapshot for Manifest {
+    const KIND: u32 = KIND_MANIFEST;
+    const NAME: &'static str = "manifest";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{from_bytes, to_bytes};
+
+    fn entry(generation: u64, parent: Option<u64>) -> ManifestEntry {
+        ManifestEntry {
+            generation,
+            file: format!("gen-{generation:06}.mfod"),
+            kind: 1,
+            content_hash: 0xDEAD_BEEF ^ generation,
+            len: 1024 + generation,
+            config_fingerprint: 42,
+            parent,
+            tag: format!("variant-{generation}"),
+        }
+    }
+
+    fn manifest() -> Manifest {
+        let mut m = Manifest::new();
+        m.upsert(entry(1, None));
+        m.upsert(entry(2, Some(1)));
+        m.upsert(entry(3, Some(2)));
+        m.active = Some(3);
+        m
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let m = manifest();
+        let back: Manifest = from_bytes(&to_bytes(&m)).unwrap();
+        assert_eq!(back, m);
+        let empty: Manifest = from_bytes(&to_bytes(&Manifest::new())).unwrap();
+        assert_eq!(empty, Manifest::new());
+    }
+
+    #[test]
+    fn lineage_and_lookup() {
+        let m = manifest();
+        assert_eq!(m.active_entry().unwrap().generation, 3);
+        assert_eq!(m.entry(2).unwrap().parent, Some(1));
+        assert_eq!(m.next_generation(), 4);
+        assert!(m.entry(9).is_none());
+        assert_eq!(Manifest::new().next_generation(), 1);
+    }
+
+    #[test]
+    fn upsert_replaces_in_place_and_keeps_order() {
+        let mut m = manifest();
+        let mut replacement = entry(2, Some(1));
+        replacement.tag = "rewritten".into();
+        m.upsert(replacement);
+        assert_eq!(m.entries.len(), 3);
+        assert_eq!(m.entry(2).unwrap().tag, "rewritten");
+        let gens: Vec<u64> = m.entries.iter().map(|e| e.generation).collect();
+        assert_eq!(gens, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn dangling_active_is_rejected() {
+        let mut m = manifest();
+        m.active = Some(9);
+        let err = from_bytes::<Manifest>(&to_bytes(&m)).unwrap_err();
+        assert!(matches!(err, PersistError::Malformed(_)), "{err}");
+    }
+
+    #[test]
+    fn out_of_order_entries_are_rejected() {
+        // encode by hand with swapped generations to bypass upsert's sort
+        let mut m = Manifest::new();
+        m.entries.push(entry(2, None));
+        m.entries.push(entry(1, None));
+        let err = from_bytes::<Manifest>(&to_bytes(&m)).unwrap_err();
+        assert!(matches!(err, PersistError::Malformed(_)), "{err}");
+    }
+}

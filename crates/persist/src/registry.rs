@@ -269,6 +269,7 @@ impl<T: Restorable> ModelRegistry<T> {
             m.registry_sweep_time.record_duration(t.elapsed());
             if let Ok(report) = &report {
                 m.registry_rejected.add(report.rejected.len() as u64);
+                m.win_registry_rejected.add(report.rejected.len() as u64);
                 m.registry_unchanged
                     .add(u64::from(report.unchanged.is_some()));
             }
@@ -457,6 +458,11 @@ pub struct RegistryHealth {
     pub last_error: Option<String>,
     /// Times the watcher transitioned failing → healthy.
     pub recoveries: u64,
+    /// Per-path rejection reasons from the most recent *successful*
+    /// sweep that rejected anything, retained until a later sweep
+    /// rejects a different set — the evidence behind quarantine
+    /// decisions, readable instead of vanishing with the sweep report.
+    pub last_rejections: Vec<(PathBuf, String)>,
 }
 
 /// Handle to a background directory watcher started by
@@ -563,6 +569,7 @@ impl<T: Restorable + Send + Sync + 'static> ModelRegistry<T> {
             next_interval: config.interval,
             last_error: None,
             recoveries: 0,
+            last_rejections: Vec::new(),
         }));
         let thread = {
             let stop = Arc::clone(&stop);
@@ -580,13 +587,20 @@ impl<T: Restorable + Send + Sync + 'static> ModelRegistry<T> {
                         let sleep = {
                             let mut h = health.lock().unwrap_or_else(|p| p.into_inner());
                             match outcome {
-                                Ok(_) => {
+                                Ok(report) => {
                                     if !h.healthy {
                                         h.recoveries += 1;
                                     }
                                     h.healthy = true;
                                     h.consecutive_failures = 0;
                                     level = 0;
+                                    if !report.rejected.is_empty() {
+                                        h.last_rejections = report
+                                            .rejected
+                                            .iter()
+                                            .map(|(p, e)| (p.clone(), e.to_string()))
+                                            .collect();
+                                    }
                                 }
                                 Err(e) => {
                                     h.healthy = false;
@@ -966,6 +980,53 @@ mod tests {
             std::thread::sleep(Duration::from_millis(2));
         }
         assert_eq!(reg.active().unwrap().w, vec![4.0]);
+        handle.stop();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn watcher_surfaces_per_path_rejection_reasons() {
+        let dir = tmpdir("rejections");
+        save(&WeightsSnapshot { w: vec![1.0] }, &dir.join("gen-001.mfod")).unwrap();
+        // a corrupt upload lands next to the good generation
+        let mut corrupt = std::fs::read(dir.join("gen-001.mfod")).unwrap();
+        let n = corrupt.len();
+        corrupt[n / 2] ^= 0xFF;
+        let bad = dir.join("gen-002.mfod");
+        std::fs::write(&bad, &corrupt).unwrap();
+
+        let reg: Arc<ModelRegistry<Weights>> = Arc::new(ModelRegistry::new());
+        let handle = reg.watch_dir_with(
+            &dir,
+            WatchConfig {
+                interval: Duration::from_millis(2),
+                ..WatchConfig::new(Duration::from_millis(2))
+            },
+        );
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while (reg.generation() < 1 || handle.health().last_rejections.is_empty())
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // the corrupt file never unseated the good model, and its typed
+        // rejection reason is on the health surface, keyed by path
+        assert_eq!(reg.active().unwrap().w, vec![1.0]);
+        let health = handle.health();
+        let (path, why) = health
+            .last_rejections
+            .first()
+            .expect("rejection must surface");
+        assert!(path.ends_with("gen-002.mfod"), "{path:?}");
+        assert!(why.contains("checksum"), "{why}");
+        // once the bad file is gone, clean sweeps retain the last
+        // non-empty evidence for post-mortems
+        std::fs::remove_file(&bad).unwrap();
+        let polls = handle.polls();
+        while handle.polls() < polls + 3 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(!handle.health().last_rejections.is_empty());
         handle.stop();
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -1,0 +1,336 @@
+//! The append-only **deployment log** (`deploy.log`) behind
+//! [`crate::store::ModelStore`] — the crash-consistency source of truth.
+//!
+//! Every record is framed `[len: u32][crc32(payload): u32][payload]`,
+//! appended with an fsync, so the log on disk is always a valid prefix
+//! of what was written plus at most one torn frame at the tail. Replay
+//! stops at the first frame that fails its length or CRC gate and
+//! reports the torn tail's offset instead of erroring — recovery copies
+//! the tail into quarantine and truncates, it never guesses at partial
+//! frames.
+//!
+//! Record kinds mirror the promotion protocol: an [`LogRecord::Intent`]
+//! lands after the snapshot file is durable, the matching
+//! [`LogRecord::Commit`] makes the generation the committed truth, and
+//! [`LogRecord::Rollback`] re-points the active generation without
+//! touching any snapshot bytes.
+
+use crate::error::PersistError;
+use crate::format::crc32;
+use crate::manifest::ManifestEntry;
+use crate::wire::{Decode, Decoder, Encode, Encoder};
+use crate::Result;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Record tag for [`LogRecord::Intent`].
+const TAG_INTENT: u8 = 1;
+/// Record tag for [`LogRecord::Commit`].
+const TAG_COMMIT: u8 = 2;
+/// Record tag for [`LogRecord::Rollback`].
+const TAG_ROLLBACK: u8 = 3;
+
+/// One deployment-log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogRecord {
+    /// A snapshot file is durable on disk and about to become a
+    /// generation; carries the full catalog entry.
+    Intent(ManifestEntry),
+    /// The generation named by a prior intent is now the committed,
+    /// active truth.
+    Commit {
+        /// Generation being committed.
+        generation: u64,
+    },
+    /// The active generation was re-pointed at a prior committed one.
+    Rollback {
+        /// Generation that was active before the rollback.
+        from: u64,
+        /// Committed generation now active.
+        to: u64,
+    },
+}
+
+impl Encode for LogRecord {
+    fn encode(&self, w: &mut Encoder) {
+        match self {
+            LogRecord::Intent(entry) => {
+                w.put_u8(TAG_INTENT);
+                entry.encode(w);
+            }
+            LogRecord::Commit { generation } => {
+                w.put_u8(TAG_COMMIT);
+                w.put_u64(*generation);
+            }
+            LogRecord::Rollback { from, to } => {
+                w.put_u8(TAG_ROLLBACK);
+                w.put_u64(*from);
+                w.put_u64(*to);
+            }
+        }
+    }
+}
+
+impl Decode for LogRecord {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self> {
+        match r.take_u8()? {
+            TAG_INTENT => Ok(LogRecord::Intent(ManifestEntry::decode(r)?)),
+            TAG_COMMIT => Ok(LogRecord::Commit {
+                generation: r.take_u64()?,
+            }),
+            TAG_ROLLBACK => Ok(LogRecord::Rollback {
+                from: r.take_u64()?,
+                to: r.take_u64()?,
+            }),
+            tag => Err(PersistError::UnknownTag {
+                what: "deploy log record",
+                tag: u32::from(tag),
+            }),
+        }
+    }
+}
+
+/// A torn or corrupt tail found during [`replay`]: everything from
+/// `offset` on is untrusted and should be quarantined, then truncated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TornTail {
+    /// Byte offset where the last fully valid record ends.
+    pub offset: u64,
+    /// Number of untrusted bytes from `offset` to end of file.
+    pub len: u64,
+    /// What failed: a short frame header, a frame length past EOF, a
+    /// CRC mismatch, or a CRC-valid payload that would not decode.
+    pub reason: String,
+}
+
+/// Outcome of replaying a deployment log.
+#[derive(Debug, Default)]
+pub struct Replay {
+    /// Every fully valid record, in append order.
+    pub records: Vec<LogRecord>,
+    /// The torn tail, if the file does not end on a frame boundary.
+    pub torn: Option<TornTail>,
+}
+
+/// Serializes one record into its on-disk frame.
+fn frame(record: &LogRecord) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    record.encode(&mut enc);
+    let payload = enc.into_bytes();
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Appends one record to the log at `path` (created if missing) and
+/// fsyncs it, so a returned `Ok` means the record is durable.
+///
+/// Crash point [`mfod_faultline::points::MANIFEST_APPEND_TORN`] writes
+/// only a durable *prefix* of the frame before failing — the exact state
+/// a power cut mid-append leaves behind — which [`replay`] must detect
+/// as a torn tail.
+pub fn append_record(path: &Path, record: &LogRecord) -> Result<()> {
+    let io = |source| PersistError::Io {
+        path: path.to_path_buf(),
+        source,
+    };
+    let bytes = frame(record);
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(io)?;
+    if mfod_faultline::should_fire(mfod_faultline::points::MANIFEST_APPEND_TORN) {
+        // Injected torn append: a durable partial frame lands at the
+        // tail, exactly as if the writer died mid-write. Persist it
+        // *before* parking so a SIGKILL freezes the authentic state.
+        let keep = (bytes.len() * 2 / 3).max(1);
+        let _ = file.write_all(&bytes[..keep]);
+        let _ = file.sync_all();
+        mfod_faultline::park_if_requested(mfod_faultline::points::MANIFEST_APPEND_TORN);
+        return Err(io(std::io::Error::other(
+            "injected fault: manifest.append.torn",
+        )));
+    }
+    file.write_all(&bytes).map_err(io)?;
+    file.sync_all().map_err(io)
+}
+
+/// Replays the log at `path`, returning every valid record plus the
+/// torn tail, if any. A missing file is an empty log, not an error;
+/// only a genuine read failure returns `Err`.
+pub fn replay(path: &Path) -> Result<Replay> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Replay::default()),
+        Err(source) => {
+            return Err(PersistError::Io {
+                path: path.to_path_buf(),
+                source,
+            })
+        }
+    };
+    let mut replay = Replay::default();
+    let mut offset = 0usize;
+    while offset < bytes.len() {
+        let torn = |reason: String| TornTail {
+            offset: offset as u64,
+            len: (bytes.len() - offset) as u64,
+            reason,
+        };
+        let rest = &bytes[offset..];
+        if rest.len() < 8 {
+            replay.torn = Some(torn(format!("short frame header: {} bytes", rest.len())));
+            break;
+        }
+        let len = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
+        let stored_crc = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes"));
+        let Some(payload) = rest.get(8..8 + len) else {
+            replay.torn = Some(torn(format!(
+                "frame length {len} past end of file ({} bytes left)",
+                rest.len() - 8
+            )));
+            break;
+        };
+        let computed = crc32(payload);
+        if computed != stored_crc {
+            replay.torn = Some(torn(format!(
+                "frame CRC mismatch: stored {stored_crc:#010X}, computed {computed:#010X}"
+            )));
+            break;
+        }
+        let mut dec = Decoder::new(payload);
+        let record = match LogRecord::decode(&mut dec).and_then(|r| dec.finish().map(|()| r)) {
+            Ok(r) => r,
+            Err(e) => {
+                replay.torn = Some(torn(format!("undecodable record: {e}")));
+                break;
+            }
+        };
+        replay.records.push(record);
+        offset += 8 + len;
+    }
+    Ok(replay)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(generation: u64) -> ManifestEntry {
+        ManifestEntry {
+            generation,
+            file: format!("gen-{generation:06}.mfod"),
+            kind: 1,
+            content_hash: generation * 7,
+            len: 100,
+            config_fingerprint: 5,
+            parent: generation.checked_sub(1).filter(|&p| p > 0),
+            tag: "t".into(),
+        }
+    }
+
+    fn tmplog(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("mfod-wal-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("deploy.log")
+    }
+
+    #[test]
+    fn append_then_replay_roundtrips_in_order() {
+        let path = tmplog("roundtrip");
+        let records = vec![
+            LogRecord::Intent(entry(1)),
+            LogRecord::Commit { generation: 1 },
+            LogRecord::Intent(entry(2)),
+            LogRecord::Commit { generation: 2 },
+            LogRecord::Rollback { from: 2, to: 1 },
+        ];
+        for r in &records {
+            append_record(&path, r).unwrap();
+        }
+        let replay = replay(&path).unwrap();
+        assert_eq!(replay.records, records);
+        assert!(replay.torn.is_none());
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn missing_log_is_empty_not_an_error() {
+        let replay = replay(Path::new("/nonexistent/deploy.log")).unwrap();
+        assert!(replay.records.is_empty());
+        assert!(replay.torn.is_none());
+    }
+
+    #[test]
+    fn every_truncation_of_the_tail_frame_is_a_torn_tail() {
+        let path = tmplog("trunc");
+        append_record(&path, &LogRecord::Intent(entry(1))).unwrap();
+        append_record(&path, &LogRecord::Commit { generation: 1 }).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        let first_len = 8 + u32::from_le_bytes(full[..4].try_into().unwrap()) as usize;
+        // cut anywhere strictly inside the second frame: first record
+        // must survive, the rest must be reported torn, never panic
+        for cut in first_len + 1..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let replay = replay(&path).unwrap();
+            assert_eq!(replay.records, vec![LogRecord::Intent(entry(1))]);
+            let torn = replay.torn.expect("torn tail");
+            assert_eq!(torn.offset, first_len as u64);
+            assert_eq!(torn.len, (cut - first_len) as u64);
+        }
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn every_byte_flip_in_a_frame_is_caught() {
+        let path = tmplog("flip");
+        append_record(&path, &LogRecord::Commit { generation: 3 }).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        for i in 0..full.len() {
+            let mut bad = full.clone();
+            bad[i] ^= 0x01;
+            std::fs::write(&path, &bad).unwrap();
+            let replay = replay(&path).unwrap();
+            // a flipped byte may enlarge the len field (frame past EOF),
+            // break the CRC, or corrupt the payload — all are torn, and
+            // the record never silently decodes to something else
+            assert!(
+                replay.records.is_empty(),
+                "flip at {i} silently accepted: {:?}",
+                replay.records
+            );
+            assert!(replay.torn.is_some(), "flip at {i} not reported");
+        }
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn injected_torn_append_is_durable_and_detected() {
+        let _guard = mfod_faultline::serial_guard();
+        let path = tmplog("inject");
+        append_record(&path, &LogRecord::Intent(entry(1))).unwrap();
+        mfod_faultline::install(mfod_faultline::FaultPlan::new(7).rule(
+            mfod_faultline::points::MANIFEST_APPEND_TORN,
+            mfod_faultline::FaultRule::once(),
+        ));
+        let err = append_record(&path, &LogRecord::Commit { generation: 1 }).unwrap_err();
+        mfod_faultline::disarm();
+        assert!(matches!(err, PersistError::Io { .. }), "{err}");
+        let replay = replay(&path).unwrap();
+        assert_eq!(replay.records, vec![LogRecord::Intent(entry(1))]);
+        assert!(replay.torn.is_some(), "partial frame must read as torn");
+        // the log is append-only: a later healthy append lands after the
+        // torn bytes, so recovery must truncate the tail first. mimic it.
+        let torn = replay.torn.unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..torn.offset as usize]).unwrap();
+        append_record(&path, &LogRecord::Commit { generation: 1 }).unwrap();
+        let healed = super::replay(&path).unwrap();
+        assert_eq!(healed.records.len(), 2);
+        assert!(healed.torn.is_none());
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+}

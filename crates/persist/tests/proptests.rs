@@ -262,3 +262,171 @@ fn every_truncation_is_rejected_at_lazy_open() {
         );
     }
 }
+
+/// A representative manifest for the codec sweeps: several generations,
+/// a lineage chain, and an active pointer.
+fn manifest_fixture() -> mfod_persist::Manifest {
+    let mut m = mfod_persist::Manifest::new();
+    for generation in 1..=4u64 {
+        m.upsert(mfod_persist::ManifestEntry {
+            generation,
+            file: mfod_persist::generation_file(generation),
+            kind: 1,
+            content_hash: 0x1234_5678_9ABC_DEF0 ^ generation,
+            len: 4096 + generation,
+            config_fingerprint: 0xFEED,
+            parent: generation.checked_sub(1).filter(|&p| p > 0),
+            tag: format!("variant-{generation}"),
+        });
+    }
+    m.active = Some(4);
+    m
+}
+
+/// Exhaustive sweep: **every** single-byte corruption of an encoded
+/// manifest is rejected — the deployment catalog gets the same
+/// whole-file integrity gate as every other artifact.
+#[test]
+fn every_manifest_byte_flip_is_rejected() {
+    let good = to_bytes(&manifest_fixture());
+    for at in 0..good.len() {
+        let mut bad = good.clone();
+        bad[at] ^= 0x01;
+        assert!(
+            from_bytes::<mfod_persist::Manifest>(&bad).is_err(),
+            "manifest flip at byte {at} decoded"
+        );
+        assert!(
+            LazySnapshot::open(&bad).is_err(),
+            "manifest flip at byte {at} survived lazy open"
+        );
+    }
+    let back: mfod_persist::Manifest = from_bytes(&good).unwrap();
+    assert_eq!(back, manifest_fixture());
+}
+
+/// Exhaustive sweep: **every** truncation of an encoded manifest is
+/// rejected with a typed error, never a panic or partial catalog.
+#[test]
+fn every_manifest_truncation_is_rejected() {
+    let good = to_bytes(&manifest_fixture());
+    for n in 0..good.len() {
+        match from_bytes::<mfod_persist::Manifest>(&good[..n]) {
+            Ok(_) => panic!("manifest truncation to {n} bytes decoded"),
+            Err(
+                PersistError::BadMagic { .. }
+                | PersistError::Truncated { .. }
+                | PersistError::ChecksumMismatch { .. }
+                | PersistError::Malformed(_)
+                | PersistError::MissingSection { .. },
+            ) => {}
+            Err(e) => panic!("manifest truncation to {n}: unexpected error family: {e}"),
+        }
+    }
+}
+
+/// A tiny store artifact for the recovery-idempotence property.
+#[derive(Debug, Clone, PartialEq)]
+struct Probe {
+    v: Vec<f64>,
+}
+
+impl Encode for Probe {
+    fn encode(&self, w: &mut Encoder) {
+        self.v.encode(w);
+    }
+}
+
+impl Decode for Probe {
+    fn decode(r: &mut Decoder<'_>) -> mfod_persist::Result<Self> {
+        Ok(Probe { v: Vec::decode(r)? })
+    }
+}
+
+impl Snapshot for Probe {
+    const KIND: u32 = 0x5052;
+    const NAME: &'static str = "probe";
+}
+
+/// Directory listing minus the quarantine subdir contents ordering
+/// noise: sorted names of everything in the store dir and quarantine.
+fn store_footprint(dir: &std::path::Path) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    for base in [dir.to_path_buf(), dir.join(mfod_persist::QUARANTINE_DIR)] {
+        let Ok(entries) = std::fs::read_dir(&base) else {
+            continue;
+        };
+        for e in entries.filter_map(|e| e.ok()) {
+            if e.file_type().map(|t| t.is_file()).unwrap_or(false) {
+                let prefix = if base.ends_with(mfod_persist::QUARANTINE_DIR) {
+                    "quarantine/"
+                } else {
+                    ""
+                };
+                names.push(format!("{prefix}{}", e.file_name().to_string_lossy()));
+            }
+        }
+    }
+    names.sort();
+    names
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Recovery is idempotent: whatever mess a seeded crash schedule
+    /// leaves behind, opening the store twice yields the same catalog,
+    /// the same active generation and the same on-disk footprint as
+    /// opening it once.
+    #[test]
+    fn recovery_is_idempotent_across_seeded_crash_schedules(
+        seed in proptest::arbitrary::any::<u64>(),
+        promotions in 1usize..5,
+        crash_point in 0usize..4,
+    ) {
+        let _guard = mfod_faultline::serial_guard();
+        let dir = std::env::temp_dir().join(format!(
+            "mfod-recovery-prop-{}-{seed}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let point = [
+            mfod_faultline::points::PERSIST_FSYNC,
+            mfod_faultline::points::PERSIST_RENAME,
+            mfod_faultline::points::MANIFEST_APPEND_TORN,
+            mfod_faultline::points::STORE_COMMIT,
+        ][crash_point];
+        {
+            let (mut store, _) = mfod_persist::ModelStore::open(&dir).unwrap();
+            for i in 0..promotions {
+                let probe = Probe {
+                    v: (0..16).map(|j| seed as f64 + (i * 16 + j) as f64).collect(),
+                };
+                store.promote(&probe, seed, &format!("p{i}")).unwrap();
+            }
+            // crash the final promotion at the seeded point
+            mfod_faultline::install(
+                mfod_faultline::FaultPlan::new(seed)
+                    .rule(point, mfod_faultline::FaultRule::once()),
+            );
+            let doomed = Probe { v: vec![seed as f64; 8] };
+            let _ = store.promote(&doomed, seed, "doomed");
+            mfod_faultline::disarm();
+        }
+        let (once, _) = mfod_persist::ModelStore::open(&dir).unwrap();
+        let once_manifest = once.manifest().clone();
+        let once_footprint = store_footprint(&dir);
+        drop(once);
+        let (twice, report) = mfod_persist::ModelStore::open(&dir).unwrap();
+        prop_assert_eq!(twice.manifest(), &once_manifest);
+        prop_assert_eq!(store_footprint(&dir), once_footprint);
+        prop_assert!(
+            report.quarantined.is_empty(),
+            "second recovery re-quarantined: {:?}",
+            report.quarantined
+        );
+        // and the recovered active generation always fscks clean
+        prop_assert!(twice.fsck().unwrap().is_clean());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
